@@ -1,0 +1,33 @@
+# Convenience targets for the FCM-Sketch reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-examples:
+	REPRO_RUN_EXAMPLES=1 $(PYTHON) -m pytest tests/test_examples.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-fast:
+	REPRO_BENCH_PACKETS=100000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m benchmarks.report
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

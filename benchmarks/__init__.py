@@ -1,0 +1,13 @@
+"""Benchmark suite: one module per table/figure of the paper.
+
+Run everything:   pytest benchmarks/ --benchmark-only
+Run one figure:   pytest benchmarks/test_fig06_dataplane_queries.py --benchmark-only
+
+Scale knobs (environment variables):
+  REPRO_BENCH_PACKETS  packets per trace      (default 400000)
+  REPRO_BENCH_MEMORY   sketch budget in bytes (default 49152)
+  REPRO_BENCH_SEED     trace seed             (default 1)
+
+Each benchmark prints the same rows/series its paper counterpart
+reports and writes a JSON record under benchmarks/results/.
+"""

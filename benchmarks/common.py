@@ -1,0 +1,148 @@
+"""Shared benchmark plumbing: scaled workloads, metric helpers,
+tabular printing and JSON result records."""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.metrics import (
+    average_absolute_error,
+    average_relative_error,
+    f1_score,
+    relative_error,
+    weighted_mean_relative_error,
+)
+from repro.traffic import Trace, caida_like_trace, zipf_trace
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+PACKETS = int(os.environ.get("REPRO_BENCH_PACKETS", 400_000))
+MEMORY = int(os.environ.get("REPRO_BENCH_MEMORY", 48 * 1024))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", 1))
+
+#: Figure 12's memory sweep, scaled from the paper's 0.5-2.5 MB in the
+#: same 1:5 ratio (override the midpoint via REPRO_BENCH_MEMORY).
+MEMORY_SWEEP = [MEMORY * f // 3 for f in (1, 2, 3, 4, 5)]
+
+#: Figure 10/11's skew sweep.
+ZIPF_ALPHAS = [1.1, 1.3, 1.5, 1.7]
+
+#: Figure 6/7's arity sweep.
+K_VALUES = [2, 4, 8, 16, 32]
+
+
+@lru_cache(maxsize=None)
+def caida_trace(packets: int = PACKETS, seed: int = SEED) -> Trace:
+    """The shared CAIDA-like workload (cached per scale)."""
+    return caida_like_trace(num_packets=packets, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def zipf_workload(alpha: float, packets: int = PACKETS,
+                  seed: int = SEED) -> Trace:
+    """A Zipf(alpha) workload with the paper's ~50-packet mean."""
+    return zipf_trace(packets, alpha, avg_flow_size=50.0, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# metric helpers
+# ----------------------------------------------------------------------
+
+def flow_size_metrics(sketch, trace: Trace) -> Dict[str, float]:
+    """ARE and AAE of a loaded sketch over all true flows."""
+    gt = trace.ground_truth
+    estimates = sketch.query_many(gt.keys_array())
+    sizes = gt.sizes_array()
+    return {
+        "are": average_relative_error(sizes, estimates),
+        "aae": average_absolute_error(sizes, estimates),
+    }
+
+
+def heavy_hitter_f1(sketch, trace: Trace,
+                    fraction: float = 0.0005) -> float:
+    """F1-score at the paper's 0.05%-of-packets threshold."""
+    threshold = trace.heavy_hitter_threshold(fraction)
+    truth = trace.ground_truth.heavy_hitters(threshold)
+    reported = sketch.heavy_hitters(trace.ground_truth.keys_array(),
+                                    threshold)
+    return f1_score(reported, truth)
+
+
+def cardinality_re(sketch, trace: Trace) -> float:
+    """Relative error of the cardinality estimate."""
+    return relative_error(trace.ground_truth.cardinality,
+                          sketch.cardinality())
+
+
+def distribution_wmre(size_counts: np.ndarray, trace: Trace) -> float:
+    """WMRE of an estimated flow-size distribution."""
+    truth = trace.ground_truth.size_distribution_array()
+    return weighted_mean_relative_error(truth, size_counts)
+
+
+def entropy_re(estimate: float, trace: Trace) -> float:
+    """Relative error of an entropy estimate."""
+    return relative_error(trace.ground_truth.entropy, estimate)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence]) -> None:
+    """Print an aligned table resembling the paper's figures/tables."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def save_results(name: str, payload: dict) -> str:
+    """Write a JSON record next to the benchmarks."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(_to_jsonable(payload), fh, indent=2, sort_keys=True)
+    return path
+
+
+def _to_jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+def run_once(benchmark, func):
+    """Record a single-shot experiment with pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)

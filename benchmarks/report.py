@@ -1,0 +1,116 @@
+"""Consolidated benchmark report.
+
+Reads every JSON record the benchmarks left under
+``benchmarks/results/`` and prints one summary: which experiments ran,
+their headline numbers, and the paper-shape verdicts recomputed from
+the stored data.
+
+Usage:  python -m benchmarks.report
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+EXPERIMENT_TITLES = {
+    "fig06_dataplane_queries": "Figure 6  — data-plane queries vs k",
+    "fig07_controlplane_queries": "Figure 7  — control-plane queries vs k",
+    "fig08_degree_histogram": "Figure 8  — virtual-counter degrees",
+    "fig09_em_runtime": "Figure 9  — EM runtime & convergence",
+    "fig10_11_zipf_sweep": "Figures 10/11 — Zipf parameterization",
+    "table3_num_trees": "Table 3   — number of trees",
+    "fig12_state_of_the_art": "Figure 12 — vs Elastic/UnivMon",
+    "fig13_software_vs_hardware": "Figure 13 — software vs Tofino",
+    "fig14_hardware_comparison": "Figure 14 — vs CM(d)+TopK on switch",
+    "table4_5_resources": "Tables 4/5 — hardware resources",
+    "appc_tcam_cardinality": "Appendix C — TCAM cardinality table",
+    "bounds_validation": "Extra     — Theorem 5.1 validation",
+    "ablations": "Extra     — design ablations",
+    "heavy_change": "Extra     — heavy-change detection",
+    "counter_sharing_family": "Extra     — counter-sharing family",
+    "network_apps": "Extra     — Figure-1 application studies",
+}
+
+
+def _load(name: str) -> Optional[Dict]:
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _headline(name: str, data: Dict) -> str:
+    """One-line headline per experiment (best-effort per schema)."""
+    try:
+        if name == "fig06_dataplane_queries":
+            fcm = data["fcm"]["16"]["are"]
+            cm = data["baselines"]["CM"]["are"]
+            return (f"FCM 16-ary ARE {fcm:.3f} vs CM {cm:.3f} "
+                    f"({100 * (1 - fcm / cm):.0f}% lower)")
+        if name == "fig07_controlplane_queries":
+            fcm = data["fcm"]["8"]["wmre"]
+            mrac = data["mrac"]["wmre"]
+            return f"FCM 8-ary WMRE {fcm:.3f} vs MRAC {mrac:.3f}"
+        if name == "fig09_em_runtime":
+            return (f"FCM(s) {data['fcm_s_sec_per_iter']:.3f}s/iter, "
+                    f"MRAC {data['mrac_sec_per_iter']:.3f}s/iter")
+        if name == "fig12_state_of_the_art":
+            sweep = data["memory_sweep"]
+            mid = str(sweep[len(sweep) // 2])
+            return (f"mid-memory ARE: FCM+TopK "
+                    f"{data['topk'][mid]['are']:.3f} vs Elastic "
+                    f"{data['elastic'][mid]['are']:.3f}")
+        if name == "fig13_software_vs_hardware":
+            return (f"FCM register parity: "
+                    f"{data['fcm_registers_identical']}; FCM+TopK hw "
+                    f"ARE {data['topk_tofino']['are']:.3f} vs sw "
+                    f"{data['topk_software']['are']:.3f}")
+        if name == "table4_5_resources":
+            return (f"FCM {data['fcm']['sram_pct']:.2f}% SRAM, "
+                    f"{data['fcm']['salu_pct']:.2f}% sALU, "
+                    f"{data['fcm']['stages']} stages")
+        if name == "appc_tcam_cardinality":
+            info = data["bounds"]["0.002"]
+            return (f"{info['entries']} entries "
+                    f"({info['compression']:.0f}x), worst added error "
+                    f"{info['worst_added_error'] * 100:.3f}%")
+        if name == "heavy_change":
+            f1s = [s["change_f1"] for s in data["sketches"].values()]
+            return f"change F1 {min(f1s):.3f}..{max(f1s):.3f}"
+        if name == "bounds_validation":
+            worst = max(r["violation_rate"] for r in data.values())
+            return f"worst bound-violation rate {worst:.4f}"
+    except (KeyError, TypeError, ZeroDivisionError):
+        pass
+    return "recorded"
+
+
+def main() -> int:
+    if not os.path.isdir(RESULTS_DIR):
+        print("no results yet — run: pytest benchmarks/ --benchmark-only")
+        return 1
+    present = 0
+    print("FCM-Sketch reproduction — benchmark report")
+    print("=" * 64)
+    for name, title in EXPERIMENT_TITLES.items():
+        data = _load(name)
+        if data is None:
+            print(f"[missing] {title}")
+            continue
+        present += 1
+        print(f"[ok]      {title}")
+        print(f"          {_headline(name, data)}")
+    print("=" * 64)
+    print(f"{present}/{len(EXPERIMENT_TITLES)} experiments recorded in "
+          f"{RESULTS_DIR}")
+    return 0 if present else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

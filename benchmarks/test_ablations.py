@@ -1,0 +1,127 @@
+"""Ablations of FCM's design choices (beyond the paper's figures).
+
+1. Counter-width ladder: the paper's byte-aligned 8/16/32 vs a
+   4-stage 4/8/16/32 ladder and a flat 32-bit single stage (== CM with
+   one hash per tree).
+2. Overflow encoding: the sentinel-value encoding vs spending one bit
+   per counter on an explicit overflow flag (the prior-work design the
+   paper argues against) — fewer counters at equal memory.
+3. EM truncation thresholds: accuracy sensitivity to the §4.3
+   complexity-reduction heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMSketch
+from repro.core.em import EMConfig, EMEstimator
+from repro.core.virtual import convert_sketch
+
+from benchmarks.common import (
+    MEMORY,
+    caida_trace,
+    distribution_wmre,
+    flow_size_metrics,
+    print_table,
+    run_once,
+    save_results,
+)
+
+
+def _ladder_variants() -> dict:
+    return {
+        "8/16/32 (paper)": dict(stage_bits=(8, 16, 32)),
+        "4/8/16/32": dict(stage_bits=(4, 8, 16, 32)),
+        "8/32": dict(stage_bits=(8, 32)),
+        "32 flat": dict(stage_bits=(32,)),
+    }
+
+
+def _flag_bit_memory(memory: int, stage_bits) -> int:
+    """Equivalent budget under flag-bit encoding: each counter loses
+    one counting bit to the flag, i.e. the same counters cost
+    (b+1)/b as much — shrink the budget accordingly."""
+    avg = sum(stage_bits) / len(stage_bits)
+    return int(memory * avg / (avg + 1))
+
+
+def _run_experiment() -> dict:
+    trace = caida_trace()
+    results: dict = {"ladder": {}, "encoding": {}, "em": {}}
+
+    for name, kwargs in _ladder_variants().items():
+        sketch = FCMSketch.with_memory(MEMORY, k=8, seed=3, **kwargs)
+        sketch.ingest(trace.keys)
+        results["ladder"][name] = flow_size_metrics(sketch, trace)
+
+    # Sentinel vs flag-bit encoding (modeled as a memory haircut).
+    sentinel = FCMSketch.with_memory(MEMORY, k=8, seed=3)
+    sentinel.ingest(trace.keys)
+    results["encoding"]["sentinel (paper)"] = flow_size_metrics(
+        sentinel, trace
+    )
+    flag_budget = _flag_bit_memory(MEMORY, (8, 16, 32))
+    flag = FCMSketch.with_memory(flag_budget, k=8, seed=3)
+    flag.ingest(trace.keys)
+    entry = flow_size_metrics(flag, trace)
+    entry["memory_bytes"] = flag_budget
+    results["encoding"]["flag bit"] = entry
+
+    # EM truncation sensitivity.
+    sketch = FCMSketch.with_memory(MEMORY, k=8, seed=3)
+    sketch.ingest(trace.keys)
+    arrays = convert_sketch(sketch)
+    for label, config in (
+        ("tight (40/100/500)", EMConfig(exact_threshold=40,
+                                        pair_threshold=100,
+                                        tight_threshold=500)),
+        ("paper-like (80/400/2000)", EMConfig()),
+        ("loose (120/800/4000)", EMConfig(exact_threshold=120,
+                                          pair_threshold=800,
+                                          tight_threshold=4000)),
+    ):
+        import time
+        start = time.perf_counter()
+        result = EMEstimator(arrays, config).run(iterations=5)
+        results["em"][label] = {
+            "wmre": distribution_wmre(result.size_counts, trace),
+            "seconds": time.perf_counter() - start,
+        }
+    return results
+
+
+def test_ablations(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    print_table(
+        "Ablation 1: counter-width ladder",
+        ["ladder", "ARE", "AAE"],
+        [[name, m["are"], m["aae"]]
+         for name, m in results["ladder"].items()],
+    )
+    print_table(
+        "Ablation 2: overflow encoding",
+        ["encoding", "ARE", "AAE"],
+        [[name, m["are"], m["aae"]]
+         for name, m in results["encoding"].items()],
+    )
+    print_table(
+        "Ablation 3: EM truncation thresholds",
+        ["thresholds", "WMRE", "seconds"],
+        [[name, m["wmre"], m["seconds"]]
+         for name, m in results["em"].items()],
+    )
+    save_results("ablations", results)
+
+    # Multi-stage ladders must beat the flat 32-bit layout (the core
+    # design claim).
+    flat = results["ladder"]["32 flat"]["are"]
+    assert results["ladder"]["8/16/32 (paper)"]["are"] < flat
+    # The sentinel encoding (more counters) must not be worse than the
+    # flag-bit haircut.
+    assert results["encoding"]["sentinel (paper)"]["are"] \
+        <= results["encoding"]["flag bit"]["are"] * 1.05
+    # Looser EM truncation may help accuracy but costs time.
+    tight = results["em"]["tight (40/100/500)"]
+    loose = results["em"]["loose (120/800/4000)"]
+    assert loose["seconds"] >= tight["seconds"] * 0.5

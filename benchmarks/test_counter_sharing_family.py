@@ -1,0 +1,111 @@
+"""Extension: the counter-sharing design space (§9).
+
+Compares every counter-sharing/filtering design in the repository at
+equal memory on the shared workload, with seed-replicated error bars
+(the paper's 10-90% bars, Figure 6 style):
+
+  CM (no sharing), CU, PCM (Pyramid), Cold Filter + CM, FCM, FCM with
+  conservative update (FCU, the §7.1-mentioned variant), FCM+TopK.
+
+Shape expectations: every sharing design beats plain CM; FCU <= FCM;
+FCM+TopK best-in-family on this skewed workload.
+"""
+
+from __future__ import annotations
+
+from repro.core import FCMSketch, FCMTopK
+from repro.core.fcu import CUFCMSketch
+from repro.experiments import replicate_many
+from repro.sketches import CountMinSketch, CUSketch, PyramidCMSketch
+from repro.sketches.coldfilter import ColdFilterSketch
+
+from benchmarks.common import (
+    MEMORY,
+    caida_trace,
+    flow_size_metrics,
+    print_table,
+    run_once,
+    save_results,
+)
+
+NUM_SEEDS = 3
+# FCU is per-packet and CPU-heavy; evaluate it on a trace prefix.
+FCU_PACKETS = 100_000
+
+FACTORIES = {
+    "CM": lambda seed: CountMinSketch(MEMORY, seed=seed),
+    "CU": lambda seed: CUSketch(MEMORY, seed=seed),
+    "PCM": lambda seed: PyramidCMSketch(MEMORY, seed=seed),
+    "ColdFilter+CM": lambda seed: ColdFilterSketch(MEMORY, seed=seed),
+    "FCM": lambda seed: FCMSketch.with_memory(MEMORY, k=8, seed=seed),
+    "FCM+TopK": lambda seed: FCMTopK(MEMORY, k=16, seed=seed),
+}
+
+
+def _run_experiment() -> dict:
+    trace = caida_trace()
+    results: dict = {}
+    for name, make in FACTORIES.items():
+        def run(seed: int, make=make):
+            sketch = make(seed)
+            sketch.ingest(trace.keys)
+            return flow_size_metrics(sketch, trace)
+
+        results[name] = {
+            metric: summary.as_dict()
+            for metric, summary in
+            replicate_many(run, seeds=range(NUM_SEEDS)).items()
+        }
+
+    # FCU on a prefix, with FCM on the same prefix for a fair pair.
+    prefix_keys = trace.keys[:FCU_PACKETS]
+    from repro.traffic import Trace
+    prefix = Trace(prefix_keys, name="prefix")
+
+    def run_fcu(seed: int):
+        sketch = CUFCMSketch(MEMORY, k=8, seed=seed)
+        sketch.ingest(prefix.keys)
+        return flow_size_metrics(sketch, prefix)
+
+    def run_fcm_prefix(seed: int):
+        sketch = FCMSketch.with_memory(MEMORY, k=8, seed=seed)
+        sketch.ingest(prefix.keys)
+        return flow_size_metrics(sketch, prefix)
+
+    results["FCU (prefix)"] = {
+        metric: s.as_dict()
+        for metric, s in replicate_many(run_fcu,
+                                        seeds=range(NUM_SEEDS)).items()
+    }
+    results["FCM (prefix)"] = {
+        metric: s.as_dict()
+        for metric, s in replicate_many(run_fcm_prefix,
+                                        seeds=range(NUM_SEEDS)).items()
+    }
+    return results
+
+
+def test_counter_sharing_family(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    rows = []
+    for name, metrics in results.items():
+        rows.append([
+            name,
+            metrics["are"]["mean"], metrics["are"]["p10"],
+            metrics["are"]["p90"], metrics["aae"]["mean"],
+        ])
+    print_table(
+        f"Counter-sharing family (mean over {NUM_SEEDS} seeds, "
+        "10/90% bars)",
+        ["design", "ARE mean", "ARE p10", "ARE p90", "AAE mean"],
+        rows,
+    )
+    save_results("counter_sharing_family", results)
+
+    cm = results["CM"]["are"]["mean"]
+    for name in ("CU", "PCM", "ColdFilter+CM", "FCM", "FCM+TopK"):
+        assert results[name]["are"]["mean"] < cm, name
+    # The §7.1 claim: conservative update improves FCM too.
+    assert (results["FCU (prefix)"]["are"]["mean"]
+            <= results["FCM (prefix)"]["are"]["mean"] + 1e-9)

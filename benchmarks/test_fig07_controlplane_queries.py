@@ -1,0 +1,87 @@
+"""Figure 7: accuracy of control-plane queries for different k-ary
+trees, against MRAC.
+
+  7a  WMRE of the flow-size distribution (EM)
+  7b  RE of entropy
+
+Paper shape: for k >= 4 both FCM and FCM+TopK beat MRAC; MRAC wins at
+k = 2 (binary trees have too few leaves / too many collisions).
+"""
+
+from __future__ import annotations
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMSketch, FCMTopK
+from repro.sketches import MRAC
+
+from benchmarks.common import (
+    K_VALUES,
+    MEMORY,
+    caida_trace,
+    distribution_wmre,
+    entropy_re,
+    print_table,
+    run_once,
+    save_results,
+)
+
+EM_ITERATIONS = 5
+
+
+def _run_experiment() -> dict:
+    trace = caida_trace()
+    results: dict = {"memory_bytes": MEMORY, "packets": len(trace),
+                     "fcm": {}, "topk": {}, "mrac": {}}
+
+    mrac = MRAC(MEMORY, seed=3)
+    mrac.ingest(trace.keys)
+    mrac_result = mrac.estimate_distribution(iterations=EM_ITERATIONS)
+    results["mrac"] = {
+        "wmre": distribution_wmre(mrac_result.size_counts, trace),
+        "entropy_re": entropy_re(mrac_result.entropy, trace),
+    }
+
+    for k in K_VALUES:
+        fcm = FCMSketch.with_memory(MEMORY, k=k, seed=3)
+        fcm.ingest(trace.keys)
+        fcm_result = estimate_distribution(fcm, iterations=EM_ITERATIONS)
+        results["fcm"][k] = {
+            "wmre": distribution_wmre(fcm_result.size_counts, trace),
+            "entropy_re": entropy_re(fcm_result.entropy, trace),
+        }
+
+        topk = FCMTopK(MEMORY, k=k, seed=3)
+        topk.ingest(trace.keys)
+        topk_result = estimate_distribution(topk,
+                                            iterations=EM_ITERATIONS)
+        results["topk"][k] = {
+            "wmre": distribution_wmre(topk_result.size_counts, trace),
+            "entropy_re": entropy_re(topk_result.entropy, trace),
+        }
+    return results
+
+
+def test_fig07_controlplane_queries(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    rows = [[f"{k}-ary",
+             results["fcm"][k]["wmre"], results["topk"][k]["wmre"],
+             results["fcm"][k]["entropy_re"],
+             results["topk"][k]["entropy_re"]]
+            for k in K_VALUES]
+    rows.append(["MRAC", results["mrac"]["wmre"], "-",
+                 results["mrac"]["entropy_re"], "-"])
+    print_table(
+        "Figure 7: control-plane queries vs k (EM, "
+        f"{EM_ITERATIONS} iterations)",
+        ["config", "FCM WMRE", "+TopK WMRE", "FCM entRE", "+TopK entRE"],
+        rows,
+    )
+    save_results("fig07_controlplane_queries", results)
+
+    # Paper shape: FCM at k in {8, 16} beats MRAC on WMRE.
+    mrac_wmre = results["mrac"]["wmre"]
+    assert results["fcm"][8]["wmre"] < mrac_wmre
+    assert results["fcm"][16]["wmre"] < mrac_wmre
+    # Entropy errors stay in the e-2/e-3 regime of Figure 7b.
+    assert results["fcm"][8]["entropy_re"] < 0.05

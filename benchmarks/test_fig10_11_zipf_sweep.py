@@ -1,0 +1,115 @@
+"""Figures 10 and 11: parameterization of FCM under varying skew.
+
+Synthetic Zipf(alpha) traces (alpha in 1.1..1.7, mean flow size ~50,
+exact packet volume) — the workload of §7.4:
+
+  Fig 10a/10b  ARE/AAE of flow size for FCM{4,8,16,32} and
+               FCM{...}+TopK, normalized to CM-Sketch.
+  Fig 11       WMRE of the flow-size distribution, normalized to MRAC.
+
+Paper shape: every configuration is below 1.0 (beats the baselines);
+higher k is not always better (32-ary degrades at mid skew for plain
+FCM); FCM+TopK is insensitive to skew.
+"""
+
+from __future__ import annotations
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMSketch, FCMTopK
+from repro.sketches import CountMinSketch, MRAC
+
+from benchmarks.common import (
+    MEMORY,
+    ZIPF_ALPHAS,
+    distribution_wmre,
+    flow_size_metrics,
+    print_table,
+    run_once,
+    save_results,
+    zipf_workload,
+)
+
+SWEEP_KS = [4, 8, 16, 32]
+EM_ITERATIONS = 5
+
+
+def _run_experiment() -> dict:
+    results: dict = {alpha: {"fcm": {}, "topk": {}} for alpha in ZIPF_ALPHAS}
+    for alpha in ZIPF_ALPHAS:
+        trace = zipf_workload(alpha)
+        cm = CountMinSketch(MEMORY, seed=3)
+        cm.ingest(trace.keys)
+        cm_metrics = flow_size_metrics(cm, trace)
+
+        mrac = MRAC(MEMORY, seed=3)
+        mrac.ingest(trace.keys)
+        mrac_wmre = distribution_wmre(
+            mrac.estimate_distribution(iterations=EM_ITERATIONS)
+            .size_counts,
+            trace,
+        )
+        results[alpha]["cm"] = cm_metrics
+        results[alpha]["mrac_wmre"] = mrac_wmre
+
+        for k in SWEEP_KS:
+            fcm = FCMSketch.with_memory(MEMORY, k=k, seed=3)
+            fcm.ingest(trace.keys)
+            metrics = flow_size_metrics(fcm, trace)
+            metrics["wmre"] = distribution_wmre(
+                estimate_distribution(fcm, iterations=EM_ITERATIONS)
+                .size_counts,
+                trace,
+            )
+            results[alpha]["fcm"][k] = metrics
+
+            topk = FCMTopK(MEMORY, k=k, seed=3)
+            topk.ingest(trace.keys)
+            metrics = flow_size_metrics(topk, trace)
+            metrics["wmre"] = distribution_wmre(
+                estimate_distribution(topk, iterations=EM_ITERATIONS)
+                .size_counts,
+                trace,
+            )
+            results[alpha]["topk"][k] = metrics
+    return results
+
+
+def test_fig10_11_zipf_sweep(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    for metric, baseline_key, title in (
+        ("are", "cm", "Figure 10a: normalized ARE (vs CM)"),
+        ("aae", "cm", "Figure 10b: normalized AAE (vs CM)"),
+        ("wmre", "mrac_wmre", "Figure 11: normalized WMRE (vs MRAC)"),
+    ):
+        rows = []
+        for alpha in ZIPF_ALPHAS:
+            if baseline_key == "cm":
+                base = results[alpha]["cm"][metric]
+            else:
+                base = results[alpha]["mrac_wmre"]
+            row = [f"Zipf({alpha})"]
+            for family in ("fcm", "topk"):
+                for k in SWEEP_KS:
+                    row.append(results[alpha][family][k][metric] / base)
+            rows.append(row)
+        print_table(
+            title,
+            ["trace"]
+            + [f"FCM{k}" for k in SWEEP_KS]
+            + [f"FCM{k}+TopK" for k in SWEEP_KS],
+            rows,
+        )
+    save_results("fig10_11_zipf_sweep", results)
+
+    # Paper shape: all FCM/FCM+TopK configurations beat CM on ARE...
+    for alpha in ZIPF_ALPHAS:
+        cm_are = results[alpha]["cm"]["are"]
+        for k in SWEEP_KS:
+            assert results[alpha]["fcm"][k]["are"] < cm_are
+            assert results[alpha]["topk"][k]["are"] < cm_are
+    # ...and the paper's recommended static settings beat MRAC on WMRE.
+    for alpha in ZIPF_ALPHAS:
+        mrac_wmre = results[alpha]["mrac_wmre"]
+        assert results[alpha]["fcm"][8]["wmre"] < 1.1 * mrac_wmre
+        assert results[alpha]["topk"][16]["wmre"] < 1.1 * mrac_wmre

@@ -1,0 +1,127 @@
+"""Figure 12: comparison with state-of-the-art generic frameworks
+(ElasticSketch, UnivMon) across a memory sweep, on five tasks:
+
+  12a ARE of flow size            12b AAE of flow size
+  12c heavy-hitter F1             12d cardinality RE
+  12e flow-size distribution WMRE 12f entropy RE
+
+Paper shape: FCM and FCM+TopK match or beat Elastic everywhere and
+dominate UnivMon; FCM's cardinality is ~10x better than the others;
+FCM+TopK is the best overall.  (UnivMon is not evaluated on flow size
+or distribution, as in the paper.)
+"""
+
+from __future__ import annotations
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMSketch, FCMTopK
+from repro.sketches import ElasticSketch, UnivMon
+
+from benchmarks.common import (
+    MEMORY_SWEEP,
+    caida_trace,
+    cardinality_re,
+    distribution_wmre,
+    entropy_re,
+    flow_size_metrics,
+    heavy_hitter_f1,
+    print_table,
+    run_once,
+    save_results,
+)
+
+EM_ITERATIONS = 5
+
+
+def _evaluate_fcm_family(sketch, trace) -> dict:
+    metrics = flow_size_metrics(sketch, trace)
+    metrics["f1"] = heavy_hitter_f1(sketch, trace)
+    metrics["card_re"] = cardinality_re(sketch, trace)
+    result = estimate_distribution(sketch, iterations=EM_ITERATIONS)
+    metrics["wmre"] = distribution_wmre(result.size_counts, trace)
+    metrics["entropy_re"] = entropy_re(result.entropy, trace)
+    return metrics
+
+
+def _evaluate_elastic(sketch, trace) -> dict:
+    metrics = flow_size_metrics(sketch, trace)
+    metrics["f1"] = heavy_hitter_f1(sketch, trace)
+    metrics["card_re"] = cardinality_re(sketch, trace)
+    result = sketch.estimate_distribution(iterations=EM_ITERATIONS)
+    metrics["wmre"] = distribution_wmre(result.size_counts, trace)
+    metrics["entropy_re"] = entropy_re(result.entropy, trace)
+    return metrics
+
+
+def _evaluate_univmon(sketch, trace) -> dict:
+    return {
+        "f1": heavy_hitter_f1(sketch, trace),
+        "card_re": cardinality_re(sketch, trace),
+        "entropy_re": entropy_re(sketch.estimate_entropy(), trace),
+    }
+
+
+def _run_experiment() -> dict:
+    trace = caida_trace()
+    results: dict = {"memory_sweep": MEMORY_SWEEP,
+                     "fcm": {}, "topk": {}, "elastic": {}, "univmon": {}}
+    for memory in MEMORY_SWEEP:
+        fcm = FCMSketch.with_memory(memory, k=8, seed=3)
+        fcm.ingest(trace.keys)
+        results["fcm"][memory] = _evaluate_fcm_family(fcm, trace)
+
+        topk = FCMTopK(memory, k=16, seed=3)
+        topk.ingest(trace.keys)
+        results["topk"][memory] = _evaluate_fcm_family(topk, trace)
+
+        elastic = ElasticSketch(memory, seed=3)
+        elastic.ingest(trace.keys)
+        results["elastic"][memory] = _evaluate_elastic(elastic, trace)
+
+        univmon = UnivMon(memory, seed=3)
+        univmon.ingest(trace.keys)
+        results["univmon"][memory] = _evaluate_univmon(univmon, trace)
+    return results
+
+
+PANELS = [
+    ("12a ARE of flow size", "are", ("fcm", "topk", "elastic")),
+    ("12b AAE of flow size", "aae", ("fcm", "topk", "elastic")),
+    ("12c Heavy-hitter F1", "f1", ("fcm", "topk", "elastic", "univmon")),
+    ("12d Cardinality RE", "card_re",
+     ("fcm", "topk", "elastic", "univmon")),
+    ("12e Flow-size dist. WMRE", "wmre", ("fcm", "topk", "elastic")),
+    ("12f Entropy RE", "entropy_re",
+     ("fcm", "topk", "elastic", "univmon")),
+]
+
+LABELS = {"fcm": "FCM", "topk": "FCM+TopK", "elastic": "Elastic",
+          "univmon": "UnivMon"}
+
+
+def test_fig12_state_of_the_art(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    for title, metric, families in PANELS:
+        rows = []
+        for memory in MEMORY_SWEEP:
+            rows.append([f"{memory // 1024} KB"]
+                        + [results[f][memory][metric] for f in families])
+        print_table(f"Figure {title}",
+                    ["memory"] + [LABELS[f] for f in families], rows)
+    save_results("fig12_state_of_the_art", results)
+
+    mid = MEMORY_SWEEP[2]
+    top = MEMORY_SWEEP[-1]
+    # Paper shape at the mid/large operating points:
+    # FCM+TopK beats Elastic on flow size.
+    assert results["topk"][mid]["are"] < results["elastic"][mid]["are"]
+    # Everyone beats UnivMon on heavy hitters at the largest budget.
+    assert results["fcm"][top]["f1"] > results["univmon"][top]["f1"]
+    assert results["topk"][top]["f1"] > 0.99
+    # FCM-family cardinality dominates UnivMon.
+    assert results["fcm"][mid]["card_re"] \
+        < results["univmon"][mid]["card_re"]
+    # Entropy: FCM-family below UnivMon.
+    assert results["topk"][mid]["entropy_re"] \
+        < results["univmon"][mid]["entropy_re"]

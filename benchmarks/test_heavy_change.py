@@ -1,0 +1,81 @@
+"""Heavy-change detection across adjacent windows (§4.4).
+
+The paper omits the heavy-change plot because "it is very close to
+that of heavy hitter detection" (§7.2 footnote); this bench verifies
+exactly that claim: F1 for heavy change tracks F1 for heavy hitters
+across the same sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.controlplane import HeavyChangeDetector
+from repro.core import FCMSketch, FCMTopK
+from repro.metrics import f1_score
+from repro.sketches import ElasticSketch
+from repro.traffic import split_windows
+
+from benchmarks.common import (
+    MEMORY,
+    caida_trace,
+    heavy_hitter_f1,
+    print_table,
+    run_once,
+    save_results,
+)
+
+
+def _run_experiment() -> dict:
+    trace = caida_trace()
+    first, second = split_windows(trace, 2)
+    # Threshold scaled to the window (0.02% of window packets) so a
+    # meaningful population of changes exists.
+    threshold = first.heavy_hitter_threshold(0.0002)
+    truth = first.ground_truth.heavy_changes(second.ground_truth,
+                                             threshold)
+    candidates = np.union1d(first.ground_truth.keys_array(),
+                            second.ground_truth.keys_array())
+    candidate_list = [int(k) for k in candidates]
+
+    results: dict = {"threshold": threshold,
+                     "true_changes": len(truth), "sketches": {}}
+    factories = {
+        "FCM": lambda seed: FCMSketch.with_memory(MEMORY, k=8, seed=seed),
+        "FCM+TopK": lambda seed: FCMTopK(MEMORY, k=16, seed=seed),
+        "Elastic": lambda seed: ElasticSketch(MEMORY, seed=seed),
+    }
+    for name, make in factories.items():
+        a, b = make(3), make(3)
+        a.ingest(first.keys)
+        b.ingest(second.keys)
+        detected = HeavyChangeDetector(a, b).detect(candidate_list,
+                                                    threshold)
+        change_f1 = f1_score(detected, truth)
+        full = make(3)
+        full.ingest(trace.keys)
+        results["sketches"][name] = {
+            "change_f1": change_f1,
+            "hh_f1": heavy_hitter_f1(full, trace),
+            "detected": len(detected),
+        }
+    return results
+
+
+def test_heavy_change(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    print_table(
+        f"Heavy-change detection (threshold {results['threshold']}, "
+        f"{results['true_changes']} true changes)",
+        ["sketch", "change F1", "HH F1", "reported"],
+        [[name, info["change_f1"], info["hh_f1"], info["detected"]]
+         for name, info in results["sketches"].items()],
+    )
+    save_results("heavy_change", results)
+
+    # The paper's footnote: heavy-change accuracy tracks heavy-hitter
+    # accuracy.
+    for name, info in results["sketches"].items():
+        assert info["change_f1"] > 0.85, name
+        assert abs(info["change_f1"] - info["hh_f1"]) < 0.12, name

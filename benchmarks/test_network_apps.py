@@ -1,0 +1,109 @@
+"""Extension: Figure-1 application studies on the measurement fabric.
+
+Quantifies the two in-network applications built on FCM's queries:
+
+* elephant-aware load balancing vs plain ECMP (link-load imbalance on
+  a leaf-spine fabric with hash-colliding elephants), and
+* entropy-based anomaly detection of an injected DDoS window
+  (detection across deviation thresholds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network import (
+    EntropyAnomalyDetector,
+    NetworkSimulator,
+    SketchLoadBalancer,
+    leaf_spine,
+)
+from repro.traffic import Trace, split_windows
+
+from benchmarks.common import (
+    caida_trace,
+    print_table,
+    run_once,
+    save_results,
+)
+
+SEEDS = range(4)
+
+
+def _hotspot_trace(seed: int) -> Trace:
+    rng = np.random.default_rng(seed)
+    elephants = np.repeat(np.arange(16, dtype=np.uint64), 4000)
+    mice = rng.integers(1 << 20, 1 << 32, size=40_000, dtype=np.uint64)
+    return Trace(rng.permutation(np.concatenate([elephants, mice])))
+
+
+def _run_experiment() -> dict:
+    results: dict = {"load_balancing": [], "anomaly": {}}
+
+    # --- load balancing across seeds ---------------------------------
+    for seed in SEEDS:
+        trace = _hotspot_trace(seed)
+        ecmp = NetworkSimulator(leaf_spine(4, 2),
+                                memory_bytes=48 * 1024, seed=seed)
+        ecmp.route_trace(trace)
+        sim = NetworkSimulator(leaf_spine(4, 2),
+                               memory_bytes=48 * 1024, seed=seed)
+        balancer = SketchLoadBalancer(sim, elephant_threshold=1000)
+        steered = balancer.balance(warmup=trace, workload=trace)
+        results["load_balancing"].append({
+            "seed": seed,
+            "ecmp_imbalance": ecmp.load_imbalance(),
+            "steered_imbalance": steered,
+            "steered_flows": balancer.steered_flows,
+        })
+
+    # --- anomaly detection --------------------------------------------
+    base = caida_trace()
+    windows = split_windows(base, 4)
+    attack = np.random.default_rng(1).integers(
+        1 << 40, 1 << 41, size=len(base) // 4, dtype=np.uint64
+    )
+    schedule = [windows[0], windows[1],
+                Trace(np.concatenate([windows[2].keys, attack])),
+                windows[3]]
+    for threshold in (0.05, 0.1, 0.2):
+        detector = EntropyAnomalyDetector(
+            memory_bytes=64 * 1024, deviation_threshold=threshold
+        )
+        alerts = detector.scan(schedule)
+        results["anomaly"][threshold] = {
+            "alerts": [a.window_index for a in alerts],
+            "attack_detected": any(a.window_index == 2 for a in alerts),
+            "false_alerts": sum(1 for a in alerts
+                                if a.window_index != 2),
+        }
+    return results
+
+
+def test_network_apps(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    print_table(
+        "Sketch-guided load balancing vs ECMP (leaf-spine 4x2)",
+        ["seed", "ECMP imbalance", "steered imbalance", "flows steered"],
+        [[r["seed"], r["ecmp_imbalance"], r["steered_imbalance"],
+          r["steered_flows"]] for r in results["load_balancing"]],
+    )
+    print_table(
+        "Entropy anomaly detection (DDoS in window 2)",
+        ["deviation threshold", "alert windows", "attack found",
+         "false alerts"],
+        [[thr, str(info["alerts"]), info["attack_detected"],
+          info["false_alerts"]]
+         for thr, info in results["anomaly"].items()],
+    )
+    save_results("network_apps", results)
+
+    mean_ecmp = np.mean([r["ecmp_imbalance"]
+                         for r in results["load_balancing"]])
+    mean_steered = np.mean([r["steered_imbalance"]
+                            for r in results["load_balancing"]])
+    assert mean_steered <= mean_ecmp * 1.02
+    for info in results["anomaly"].values():
+        assert info["attack_detected"]
+        assert info["false_alerts"] <= 1

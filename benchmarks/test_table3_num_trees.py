@@ -1,0 +1,78 @@
+"""Table 3: FCM and FCM+TopK with different numbers of trees (2/3/4).
+
+Paper shape: more trees improve flow-size estimation (the min over
+more independent trees is tighter) but *hurt* the flow-size
+distribution and entropy (each tree gets less memory, so EM sees more
+collisions); cardinality is flat.  The paper picks 2 trees.
+"""
+
+from __future__ import annotations
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMSketch, FCMTopK
+
+from benchmarks.common import (
+    MEMORY,
+    caida_trace,
+    cardinality_re,
+    distribution_wmre,
+    entropy_re,
+    flow_size_metrics,
+    print_table,
+    run_once,
+    save_results,
+)
+
+TREE_COUNTS = [2, 3, 4]
+EM_ITERATIONS = 5
+
+
+def _evaluate(sketch, trace) -> dict:
+    metrics = flow_size_metrics(sketch, trace)
+    result = estimate_distribution(sketch, iterations=EM_ITERATIONS)
+    metrics["wmre"] = distribution_wmre(result.size_counts, trace)
+    metrics["entropy_re"] = entropy_re(result.entropy, trace)
+    metrics["card_re"] = cardinality_re(sketch, trace)
+    return metrics
+
+
+def _run_experiment() -> dict:
+    trace = caida_trace()
+    results: dict = {"fcm": {}, "topk": {}}
+    for trees in TREE_COUNTS:
+        fcm = FCMSketch.with_memory(MEMORY, num_trees=trees, k=8, seed=3)
+        fcm.ingest(trace.keys)
+        results["fcm"][trees] = _evaluate(fcm, trace)
+
+        topk = FCMTopK(MEMORY, num_trees=trees, k=16, seed=3)
+        topk.ingest(trace.keys)
+        results["topk"][trees] = _evaluate(topk, trace)
+    return results
+
+
+def test_table3_num_trees(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    rows = []
+    for task, key in (
+        ("Flow size (ARE)", "are"),
+        ("Flow size (AAE)", "aae"),
+        ("Flow size dist. (WMRE)", "wmre"),
+        ("Entropy (RE)", "entropy_re"),
+        ("Cardinality (RE)", "card_re"),
+    ):
+        rows.append([task]
+                    + [results["fcm"][t][key] for t in TREE_COUNTS]
+                    + [results["topk"][t][key] for t in TREE_COUNTS])
+    print_table(
+        "Table 3: number of trees (FCM 8-ary / FCM+TopK 16-ary)",
+        ["Task"] + [f"FCM d={t}" for t in TREE_COUNTS]
+        + [f"+TopK d={t}" for t in TREE_COUNTS],
+        rows,
+    )
+    save_results("table3_num_trees", results)
+
+    # Paper shape: more trees help the count-query...
+    assert results["fcm"][4]["are"] <= results["fcm"][2]["are"]
+    # ...but hurt the EM-based distribution estimate.
+    assert results["fcm"][4]["wmre"] >= results["fcm"][2]["wmre"]

@@ -1,0 +1,88 @@
+"""Tables 4 and 5: hardware resource consumption.
+
+Table 4 compares FCM-Sketch and FCM+TopK against switch.p4 on every
+Tofino resource class; Table 5 compares stages/sALUs against other
+published Tofino measurement solutions.  Both come from the calibrated
+resource model (DESIGN.md documents the substitution for real
+hardware).
+"""
+
+from __future__ import annotations
+
+from repro.core import FCMConfig
+from repro.dataplane import (
+    LITERATURE_SOLUTIONS,
+    SWITCH_P4,
+    fcm_resources,
+    fcm_topk_resources,
+)
+
+from benchmarks.common import print_table, run_once, save_results
+
+PAPER_MEMORY = 1_300_000
+
+PAPER_TABLE4 = {
+    "FCM-Sketch": {"sram": 9.38, "salu": 12.50, "hash": 2.02,
+                   "stages": 4},
+    "FCM+TopK": {"sram": 9.48, "salu": 20.83, "hash": 2.54,
+                 "stages": 8},
+}
+
+
+def _run_experiment() -> dict:
+    fcm = fcm_resources(FCMConfig().with_memory(PAPER_MEMORY))
+    topk = fcm_topk_resources(FCMConfig(k=16).with_memory(PAPER_MEMORY))
+    return {
+        "fcm": fcm.__dict__,
+        "topk": topk.__dict__,
+        "switch_p4": SWITCH_P4.__dict__,
+        "literature": LITERATURE_SOLUTIONS,
+    }
+
+
+def test_table4_5_resources(benchmark):
+    results = run_once(benchmark, _run_experiment)
+
+    fcm, topk, sw = results["fcm"], results["topk"], results["switch_p4"]
+    print_table(
+        "Table 4: resource consumption (1.3 MB)",
+        ["Resource", "switch.p4", "FCM-Sketch", "FCM+TopK"],
+        [["SRAM %", sw["sram_pct"], fcm["sram_pct"], topk["sram_pct"]],
+         ["Match Crossbar %", sw["crossbar_pct"], fcm["crossbar_pct"],
+          topk["crossbar_pct"]],
+         ["TCAM %", sw["tcam_pct"], fcm["tcam_pct"], topk["tcam_pct"]],
+         ["Stateful ALUs %", sw["salu_pct"], fcm["salu_pct"],
+          topk["salu_pct"]],
+         ["Hash Bits %", sw["hash_bits_pct"], fcm["hash_bits_pct"],
+          topk["hash_bits_pct"]],
+         ["VLIW Actions %", sw["vliw_pct"], fcm["vliw_pct"],
+          topk["vliw_pct"]],
+         ["Physical Stages", sw["stages"], fcm["stages"],
+          topk["stages"]]],
+    )
+
+    rows = [["FCM-Sketch", "Generic", fcm["stages"], fcm["salu_pct"]],
+            ["FCM+TopK", "Generic", topk["stages"], topk["salu_pct"]]]
+    for name, info in results["literature"].items():
+        rows.append([name, info["measurement"], info["stages"],
+                     info["salu_pct"] if info["salu_pct"] is not None
+                     else "-"])
+    print_table("Table 5: existing Tofino solutions",
+                ["Solution", "Measurement", "Stages", "sALU %"], rows)
+    save_results("table4_5_resources", results)
+
+    # The model must land on the paper's published figures.
+    for name, published, modeled in (
+        ("FCM sram", PAPER_TABLE4["FCM-Sketch"]["sram"],
+         fcm["sram_pct"]),
+        ("FCM+TopK sram", PAPER_TABLE4["FCM+TopK"]["sram"],
+         topk["sram_pct"]),
+    ):
+        assert abs(published - modeled) / published < 0.12, name
+    assert abs(fcm["salu_pct"] - PAPER_TABLE4["FCM-Sketch"]["salu"]) < 0.01
+    assert abs(topk["salu_pct"] - PAPER_TABLE4["FCM+TopK"]["salu"]) < 0.01
+    assert fcm["stages"] == 4 and topk["stages"] == 8
+    # FCM fits alongside switch.p4 with room to spare (the paper's
+    # deployability claim).
+    assert fcm["sram_pct"] + sw["sram_pct"] < 50
+    assert fcm["stages"] <= 4

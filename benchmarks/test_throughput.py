@@ -1,0 +1,70 @@
+"""Software throughput of every sketch implementation (§7.1 context).
+
+Not a paper figure (the paper measures accuracy in software and runs
+line-rate on Tofino), but essential library information: how many
+packets per second each pure-Python/numpy implementation sustains for
+bulk ingest and for point queries.  Uses pytest-benchmark's real
+multi-round timing rather than the single-shot harness the accuracy
+benches use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch, FCMTopK
+from repro.sketches import CountMinSketch, CUSketch, ElasticSketch
+
+from benchmarks.common import caida_trace
+
+INGEST_PACKETS = 100_000
+QUERY_KEYS = 5_000
+MEMORY = 64 * 1024
+
+
+@pytest.fixture(scope="module")
+def workload():
+    trace = caida_trace()
+    keys = trace.keys[:INGEST_PACKETS]
+    query_keys = trace.ground_truth.keys_array()[:QUERY_KEYS]
+    return keys, query_keys
+
+
+FACTORIES = {
+    "fcm": lambda: FCMSketch.with_memory(MEMORY, seed=1),
+    "cm": lambda: CountMinSketch(MEMORY, seed=1),
+    "cu": lambda: CUSketch(MEMORY, seed=1),
+    "fcm_topk": lambda: FCMTopK(MEMORY, seed=1),
+    "elastic": lambda: ElasticSketch(MEMORY, seed=1),
+}
+
+VECTORIZED = {"fcm", "cm"}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_ingest_throughput(benchmark, name, workload):
+    keys, _ = workload
+    benchmark.extra_info["packets"] = int(keys.shape[0])
+    benchmark.extra_info["vectorized"] = name in VECTORIZED
+
+    def run():
+        sketch = FACTORIES[name]()
+        sketch.ingest(keys)
+        return sketch
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_query_throughput(benchmark, name, workload):
+    keys, query_keys = workload
+    sketch = FACTORIES[name]()
+    sketch.ingest(keys)
+    benchmark.extra_info["queries"] = int(query_keys.shape[0])
+
+    result = benchmark.pedantic(
+        lambda: sketch.query_many(query_keys),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert np.all(np.asarray(result) >= 0)

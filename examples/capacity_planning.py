@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Capacity planning: size an FCM-Sketch from accuracy targets (§5).
+
+A network operator's workflow:
+
+  1. state an accuracy target (error fraction epsilon, failure
+     probability delta) and the expected per-window volume,
+  2. get a concrete configuration from Theorem 5.1's inversion,
+  3. deploy it and verify the guarantee holds on real traffic,
+  4. inspect the inverse view: what a fixed memory budget buys.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import FCMSketch, caida_like_trace
+from repro.analysis.planner import plan_for_accuracy, plan_for_memory
+
+
+def main() -> None:
+    trace = caida_like_trace(num_packets=300_000, seed=17)
+    print(f"planned workload: {len(trace)} packets/window, "
+          f"{trace.num_flows} flows\n")
+
+    # 1-2. Accuracy target -> configuration.
+    plan = plan_for_accuracy(
+        epsilon=0.0005,       # error <= 0.05% of window volume
+        delta=0.14,           # ~= e^-2: the paper's 2-tree setting
+        expected_packets=len(trace),
+    )
+    print("plan from accuracy targets:")
+    print(plan.describe())
+
+    # 3. Deploy and verify.
+    sketch = FCMSketch(plan.config)
+    sketch.ingest(trace.keys)
+    gt = trace.ground_truth
+    errors = sketch.query_many(gt.keys_array()) - gt.sizes_array()
+    allowed = plan.epsilon * len(trace)
+    violations = float(np.mean(errors > allowed))
+    print(f"\nverification: {violations * 100:.2f}% of flows exceed "
+          f"the bound (allowed: {plan.delta * 100:.0f}%)")
+    assert violations <= plan.delta
+
+    # 4. The inverse: what does a fixed budget deliver?
+    print("\nwhat a fixed budget buys (predicted additive error):")
+    for kb in (16, 64, 256, 1024):
+        inverse = plan_for_memory(kb * 1024,
+                                  expected_packets=len(trace))
+        print(f"  {kb:>5} KB -> eps = {inverse.epsilon:.2e}, "
+              f"error <= {inverse.predicted_error:,.0f} packets, "
+              f"safe up to {inverse.overflow_safe_volume:,} pkts")
+
+
+if __name__ == "__main__":
+    main()

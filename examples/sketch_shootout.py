@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Side-by-side comparison of every sketch in the repository.
+
+A miniature version of the paper's §7 evaluation: one heavy-tailed
+trace, one memory budget, every framework, every task it supports.
+Useful as a template for running your own workloads through the
+library.
+
+Run:  python examples/sketch_shootout.py [memory_kb] [packets]
+"""
+
+import sys
+
+from repro import FCMSketch, FCMTopK, caida_like_trace
+from repro.controlplane.distribution import estimate_distribution
+from repro.metrics import (
+    average_absolute_error,
+    average_relative_error,
+    f1_score,
+    relative_error,
+    weighted_mean_relative_error,
+)
+from repro.sketches import (
+    CountMinSketch,
+    CUSketch,
+    ElasticSketch,
+    HashPipe,
+    HyperLogLog,
+    PyramidCMSketch,
+    UnivMon,
+)
+
+
+def main() -> None:
+    memory_kb = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    packets = int(sys.argv[2]) if len(sys.argv) > 2 else 200_000
+    memory = memory_kb * 1024
+
+    trace = caida_like_trace(num_packets=packets, seed=9)
+    gt = trace.ground_truth
+    keys, sizes = gt.keys_array(), gt.sizes_array()
+    threshold = trace.heavy_hitter_threshold()
+    true_hh = gt.heavy_hitters(threshold)
+    truth_dist = gt.size_distribution_array()
+
+    print(f"{packets} packets, {gt.cardinality} flows, "
+          f"{memory_kb} KB per sketch, HH threshold {threshold}\n")
+    header = (f"{'sketch':<10} {'ARE':>8} {'AAE':>8} {'HH F1':>7} "
+              f"{'card RE':>8} {'WMRE':>7} {'ent RE':>7}")
+    print(header)
+    print("-" * len(header))
+
+    sketches = [
+        ("CM", CountMinSketch(memory, seed=1)),
+        ("CU", CUSketch(memory, seed=1)),
+        ("PCM", PyramidCMSketch(memory, seed=1)),
+        ("HashPipe", HashPipe(memory, seed=1)),
+        ("HLL", HyperLogLog(memory, seed=1)),
+        ("Elastic", ElasticSketch(memory, seed=1)),
+        ("UnivMon", UnivMon(memory, seed=1)),
+        ("FCM", FCMSketch.with_memory(memory, seed=1)),
+        ("FCM+TopK", FCMTopK(memory, k=16, seed=1)),
+    ]
+
+    for name, sketch in sketches:
+        sketch.ingest(trace.keys)
+        cells = {"are": "-", "aae": "-", "f1": "-", "card": "-",
+                 "wmre": "-", "ent": "-"}
+        if name not in ("HLL", "HashPipe", "UnivMon"):
+            est = sketch.query_many(keys)
+            cells["are"] = f"{average_relative_error(sizes, est):.4f}"
+            cells["aae"] = f"{average_absolute_error(sizes, est):.3f}"
+        if hasattr(sketch, "heavy_hitters") and name != "HLL":
+            hh = sketch.heavy_hitters(keys, threshold)
+            cells["f1"] = f"{f1_score(hh, true_hh):.4f}"
+        if hasattr(sketch, "cardinality"):
+            card = sketch.cardinality()
+            cells["card"] = f"{relative_error(gt.cardinality, card):.4f}"
+        result = None
+        if isinstance(sketch, (FCMSketch, FCMTopK)):
+            result = estimate_distribution(sketch, iterations=4)
+        elif isinstance(sketch, ElasticSketch):
+            result = sketch.estimate_distribution(iterations=4)
+        if result is not None:
+            cells["wmre"] = (
+                f"{weighted_mean_relative_error(truth_dist, result.size_counts):.4f}"
+            )
+            cells["ent"] = (
+                f"{relative_error(gt.entropy, result.entropy):.4f}"
+            )
+        elif isinstance(sketch, UnivMon):
+            cells["ent"] = (
+                f"{relative_error(gt.entropy, sketch.estimate_entropy()):.4f}"
+            )
+        print(f"{name:<10} {cells['are']:>8} {cells['aae']:>8} "
+              f"{cells['f1']:>7} {cells['card']:>8} {cells['wmre']:>7} "
+              f"{cells['ent']:>7}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""FCM-Sketch reproduction (CoNEXT 2020).
+
+A complete Python implementation of "FCM-Sketch: Generic Network
+Measurements with Data Plane Support" (Song, Kannan, Low, Chan):
+
+* the FCM-Sketch data structure and its data-plane queries (§3),
+* the control-plane virtual-counter conversion + EM estimators (§4),
+* FCM+TopK (§6) and every baseline the paper compares against (§7),
+* a PISA pipeline and resource model standing in for Tofino (§8).
+
+Quickstart::
+
+    from repro import FCMSketch
+    sketch = FCMSketch.with_memory(1 << 20)   # 1 MB, paper defaults
+    sketch.update(0x0A000001, count=7)
+    assert sketch.query(0x0A000001) >= 7
+"""
+
+from repro.core.config import FCMConfig
+from repro.core.em import EMConfig, EMEstimator, EMResult
+from repro.core.fcm import FCMSketch
+from repro.core.topk import FCMTopK, TopKFilter
+from repro.core.virtual import VirtualCounterArray, convert_sketch
+from repro.framework import FCMFramework, MeasurementReport
+from repro.traffic import Trace, caida_like_trace, zipf_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FCMConfig",
+    "FCMSketch",
+    "FCMTopK",
+    "TopKFilter",
+    "VirtualCounterArray",
+    "convert_sketch",
+    "EMConfig",
+    "EMEstimator",
+    "EMResult",
+    "FCMFramework",
+    "MeasurementReport",
+    "Trace",
+    "caida_like_trace",
+    "zipf_trace",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analytical error bounds (§5, §6, Appendix B)."""
+
+from repro.analysis.bounds import (
+    cm_error_bound,
+    eta,
+    fcm_error_bound,
+    fcm_general_error_bound,
+    fcm_topk_error_bound,
+    recommended_parameters,
+)
+
+__all__ = [
+    "eta",
+    "cm_error_bound",
+    "fcm_error_bound",
+    "fcm_general_error_bound",
+    "fcm_topk_error_bound",
+    "recommended_parameters",
+]

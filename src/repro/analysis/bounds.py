@@ -1,0 +1,95 @@
+"""Analytic accuracy bounds (Theorem 5.1, Theorem 6.1, Lemma B.1).
+
+These functions compute the paper's error bounds so experiments can
+check the empirical error against theory:
+
+* Count-Min:        x̂ <= x + eps * ||x||_1             w.p. 1 - delta
+* FCM (Thm 5.1):    x̂ <= x + eps * ||x||_1
+                         + eps * (D-1) * (||x||_1 - w1*theta1)+
+* FCM general
+  (Lemma B.1):      x̂ <= x + eps * max_xi (xi*||x||_1 - w1*eta_xi)
+* FCM+TopK
+  (Thm 6.1):        same with ||x||_1 replaced by the residual volume
+                    after the Top-K filter.
+
+with ``eps = e / w1`` and ``delta = e^-d`` for ``d`` trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def eta(xi: int, k: int, thetas: Sequence[int]) -> float:
+    """Eqn. 7: the minimum overestimate absorbed by a degree-xi merge.
+
+    ``eta_xi = sum_{j=1..ceil(log_k xi)} (ceil(xi / k^(j-1)) - 1) * theta_j``
+
+    Args:
+        xi: virtual counter degree.
+        k: tree arity.
+        thetas: per-stage counting ranges ``2^b_l - 2``.
+    """
+    if xi < 1:
+        raise ValueError("degree must be at least 1")
+    if xi == 1:
+        return 0.0
+    depth = math.ceil(math.log(xi, k))
+    total = 0.0
+    for j in range(1, depth + 1):
+        if j - 1 >= len(thetas):
+            break
+        total += (math.ceil(xi / (k ** (j - 1))) - 1) * thetas[j - 1]
+    return total
+
+
+def cm_error_bound(total_packets: float, width: int) -> float:
+    """Count-Min additive error bound ``eps * ||x||_1``, eps = e/w."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return (math.e / width) * total_packets
+
+
+def fcm_error_bound(total_packets: float, w1: int, theta1: int,
+                    max_degree: int) -> float:
+    """Theorem 5.1's additive error term.
+
+    ``eps*||x||_1 + eps*(D-1)*(||x||_1 - w1*theta1) * I{...}`` with
+    ``eps = e / w1``.
+    """
+    if w1 <= 0 or theta1 <= 0 or max_degree < 1:
+        raise ValueError("invalid parameters")
+    eps = math.e / w1
+    bound = eps * total_packets
+    excess = total_packets - w1 * theta1
+    if excess > 0:
+        bound += eps * (max_degree - 1) * excess
+    return bound
+
+
+def fcm_general_error_bound(total_packets: float, w1: int, k: int,
+                            thetas: Sequence[int],
+                            max_degree: int) -> float:
+    """Lemma B.1's tighter bound ``eps * max_xi(xi*||x||_1 - w1*eta_xi)``."""
+    if max_degree < 1:
+        raise ValueError("max_degree must be at least 1")
+    eps = math.e / w1
+    best = -math.inf
+    for xi in range(1, max_degree + 1):
+        best = max(best, xi * total_packets - w1 * eta(xi, k, thetas))
+    return eps * max(best, 0.0)
+
+
+def fcm_topk_error_bound(residual_packets: float, w1: int, theta1: int,
+                         max_degree: int) -> float:
+    """Theorem 6.1: Theorem 5.1 with the post-filter volume ||x_L||_1."""
+    return fcm_error_bound(residual_packets, w1, theta1, max_degree)
+
+
+def recommended_parameters(epsilon: float, delta: float) -> tuple[int, int]:
+    """Size an FCM-Sketch for accuracy targets: ``w1 = ceil(e / eps)``
+    leaves and ``d = ceil(ln(1/delta))`` trees (Theorem 5.1)."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ValueError("epsilon and delta must be in (0, 1)")
+    return math.ceil(math.e / epsilon), math.ceil(math.log(1.0 / delta))

@@ -1,0 +1,118 @@
+"""Capacity planning from the accuracy analysis (§5).
+
+Theorem 5.1 ties FCM's additive error to the stage-1 width ``w1``
+(``eps = e / w1``) and its failure probability to the tree count
+(``delta = e^-d``).  This module inverts that relationship into a
+deployment planner: given accuracy targets and an expected traffic
+volume, produce a concrete :class:`~repro.core.config.FCMConfig` and
+predict the error it will deliver — the sizing workflow a network
+operator would actually run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.bounds import fcm_error_bound, recommended_parameters
+from repro.core.config import FCMConfig
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A sizing recommendation.
+
+    Attributes:
+        config: the derived FCM configuration (widths set).
+        epsilon: the per-packet error fraction the config guarantees.
+        delta: the error probability (``e^-num_trees``).
+        predicted_error: Theorem 5.1's additive bound for the given
+            expected volume.
+        overflow_safe_volume: ``w1 * theta1`` — below this packet
+            volume the degree term of the bound vanishes entirely.
+    """
+
+    config: FCMConfig
+    epsilon: float
+    delta: float
+    predicted_error: float
+    overflow_safe_volume: int
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.config.describe()}\n"
+            f"guarantee: error <= {self.epsilon:.2e} * volume with "
+            f"probability >= {1 - self.delta:.3f}\n"
+            f"predicted additive error at the planned volume: "
+            f"{self.predicted_error:.1f} packets\n"
+            f"degree-term-free up to {self.overflow_safe_volume:,} "
+            f"packets"
+        )
+
+
+def plan_for_accuracy(epsilon: float, delta: float,
+                      expected_packets: int,
+                      k: int = 8,
+                      stage_bits: tuple = (8, 16, 32),
+                      max_degree: int = 4) -> Plan:
+    """Size an FCM-Sketch for accuracy targets.
+
+    Args:
+        epsilon: target error fraction (x̂ <= x + eps * volume).
+        delta: acceptable probability of exceeding the bound.
+        expected_packets: planned measurement-window volume.
+        k: tree arity (paper default 8).
+        stage_bits: counter-width ladder.
+        max_degree: assumed maximum virtual-counter degree for the
+            degree term of Theorem 5.1 (conservative default).
+    """
+    if expected_packets <= 0:
+        raise ValueError("expected_packets must be positive")
+    w1_needed, num_trees = recommended_parameters(epsilon, delta)
+    granule = k ** (len(stage_bits) - 1)
+    w1 = math.ceil(w1_needed / granule) * granule
+    widths = tuple(w1 // (k ** level)
+                   for level in range(len(stage_bits)))
+    config = FCMConfig(num_trees=num_trees, k=k,
+                       stage_bits=tuple(stage_bits),
+                       stage_widths=widths)
+    return _plan_from_config(config, expected_packets, max_degree)
+
+
+def plan_for_memory(memory_bytes: int, expected_packets: int,
+                    num_trees: int = 2, k: int = 8,
+                    stage_bits: tuple = (8, 16, 32),
+                    max_degree: int = 4) -> Plan:
+    """Predict the accuracy a memory budget buys (the inverse view)."""
+    if expected_packets <= 0:
+        raise ValueError("expected_packets must be positive")
+    config = FCMConfig(num_trees=num_trees, k=k,
+                       stage_bits=tuple(stage_bits)) \
+        .with_memory(memory_bytes)
+    return _plan_from_config(config, expected_packets, max_degree)
+
+
+def _plan_from_config(config: FCMConfig, expected_packets: int,
+                      max_degree: int) -> Plan:
+    w1 = config.leaf_width
+    theta1 = config.counting_ranges[0]
+    epsilon = math.e / w1
+    delta = math.exp(-config.num_trees)
+    predicted = fcm_error_bound(expected_packets, w1, theta1, max_degree)
+    return Plan(
+        config=config,
+        epsilon=epsilon,
+        delta=delta,
+        predicted_error=predicted,
+        overflow_safe_volume=w1 * theta1,
+    )
+
+
+def memory_for_accuracy(epsilon: float, delta: float, k: int = 8,
+                        stage_bits: tuple = (8, 16, 32)) -> int:
+    """Bytes needed to hit (epsilon, delta) — a convenience scalar."""
+    plan = plan_for_accuracy(epsilon, delta, expected_packets=1, k=k,
+                             stage_bits=stage_bits)
+    return plan.config.memory_bytes

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Three subcommands mirroring how the paper's system is operated:
+
+* ``evaluate`` — run one sketch over a synthetic workload and print
+  every supported measurement vs ground truth.
+* ``compare``  — run several sketches over the same workload (a
+  miniature §7.5).
+* ``resources`` — print the Table-4 style hardware resource report
+  for an FCM configuration.
+
+Examples::
+
+    python -m repro.cli evaluate --sketch fcm --memory-kb 64
+    python -m repro.cli compare --packets 200000 --memory-kb 48
+    python -m repro.cli resources --memory-kb 1300 --k 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMConfig, FCMSketch, FCMTopK
+from repro.metrics import (
+    average_absolute_error,
+    average_relative_error,
+    f1_score,
+    relative_error,
+    weighted_mean_relative_error,
+)
+from repro.traffic import caida_like_trace, zipf_trace
+
+
+def _build_trace(args):
+    if args.workload == "caida":
+        return caida_like_trace(num_packets=args.packets, seed=args.seed)
+    return zipf_trace(args.packets, alpha=args.alpha, seed=args.seed)
+
+
+def _build_sketch(name: str, memory: int, seed: int):
+    from repro.sketches import (
+        CountMinSketch,
+        CUSketch,
+        ElasticSketch,
+        PyramidCMSketch,
+        UnivMon,
+    )
+
+    factories = {
+        "fcm": lambda: FCMSketch.with_memory(memory, seed=seed),
+        "fcm-topk": lambda: FCMTopK(memory, k=16, seed=seed),
+        "cm": lambda: CountMinSketch(memory, seed=seed),
+        "cu": lambda: CUSketch(memory, seed=seed),
+        "pcm": lambda: PyramidCMSketch(memory, seed=seed),
+        "elastic": lambda: ElasticSketch(memory, seed=seed),
+        "univmon": lambda: UnivMon(memory, seed=seed),
+    }
+    if name not in factories:
+        raise SystemExit(f"unknown sketch {name!r}; "
+                         f"choose from {sorted(factories)}")
+    return factories[name]()
+
+
+def _evaluate(sketch, trace, em_iterations: int) -> dict:
+    gt = trace.ground_truth
+    report: dict = {}
+    if hasattr(sketch, "query_many"):
+        est = sketch.query_many(gt.keys_array())
+        report["are"] = average_relative_error(gt.sizes_array(), est)
+        report["aae"] = average_absolute_error(gt.sizes_array(), est)
+    if hasattr(sketch, "heavy_hitters"):
+        threshold = trace.heavy_hitter_threshold()
+        report["hh_f1"] = f1_score(
+            sketch.heavy_hitters(gt.keys_array(), threshold),
+            gt.heavy_hitters(threshold),
+        )
+    if hasattr(sketch, "cardinality"):
+        report["cardinality_re"] = relative_error(
+            gt.cardinality, sketch.cardinality()
+        )
+    result = None
+    if isinstance(sketch, (FCMSketch, FCMTopK)):
+        result = estimate_distribution(sketch, iterations=em_iterations)
+    elif hasattr(sketch, "estimate_distribution"):
+        result = sketch.estimate_distribution(iterations=em_iterations)
+    if result is not None:
+        report["wmre"] = weighted_mean_relative_error(
+            gt.size_distribution_array(), result.size_counts
+        )
+        report["entropy_re"] = relative_error(gt.entropy, result.entropy)
+    return report
+
+
+def cmd_evaluate(args) -> int:
+    trace = _build_trace(args)
+    sketch = _build_sketch(args.sketch, args.memory_kb * 1024, args.seed)
+    sketch.ingest(trace.keys)
+    print(f"workload: {len(trace)} packets, "
+          f"{trace.num_flows} flows ({trace.name})")
+    print(f"sketch:   {args.sketch} @ {args.memory_kb} KB")
+    for metric, value in _evaluate(sketch, trace,
+                                   args.em_iterations).items():
+        print(f"  {metric:<15} {value:.6f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = _build_trace(args)
+    print(f"workload: {len(trace)} packets, {trace.num_flows} flows")
+    header = (f"{'sketch':<10} {'ARE':>9} {'AAE':>9} {'HH F1':>7} "
+              f"{'card RE':>9}")
+    print(header)
+    print("-" * len(header))
+    for name in args.sketches.split(","):
+        sketch = _build_sketch(name.strip(), args.memory_kb * 1024,
+                               args.seed)
+        sketch.ingest(trace.keys)
+        report = _evaluate(sketch, trace, em_iterations=0)
+
+        def cell(key: str) -> str:
+            return f"{report[key]:.4f}" if key in report else "-"
+
+        print(f"{name:<10} {cell('are'):>9} {cell('aae'):>9} "
+              f"{cell('hh_f1'):>7} {cell('cardinality_re'):>9}")
+    return 0
+
+
+def cmd_resources(args) -> int:
+    from repro.dataplane import SWITCH_P4, fcm_resources, \
+        fcm_topk_resources
+
+    config = FCMConfig(k=args.k).with_memory(args.memory_kb * 1024)
+    print(f"configuration: {config.describe()}")
+    for report in (fcm_resources(config), fcm_topk_resources(config),
+                   SWITCH_P4):
+        print(f"{report.name:<12} SRAM {report.sram_pct:6.2f}%  "
+              f"sALU {report.salu_pct:6.2f}%  "
+              f"hash {report.hash_bits_pct:6.2f}%  "
+              f"stages {report.stages}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FCM-Sketch reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("--workload", choices=["caida", "zipf"],
+                       default="caida")
+        p.add_argument("--packets", type=int, default=200_000)
+        p.add_argument("--alpha", type=float, default=1.3,
+                       help="Zipf skew (zipf workload only)")
+        p.add_argument("--memory-kb", type=int, default=64)
+        p.add_argument("--seed", type=int, default=1)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one sketch")
+    add_workload_args(p_eval)
+    p_eval.add_argument("--sketch", default="fcm")
+    p_eval.add_argument("--em-iterations", type=int, default=5)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_cmp = sub.add_parser("compare", help="compare several sketches")
+    add_workload_args(p_cmp)
+    p_cmp.add_argument("--sketches",
+                       default="cm,cu,pcm,fcm,fcm-topk,elastic")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_res = sub.add_parser("resources", help="hardware resource report")
+    p_res.add_argument("--memory-kb", type=int, default=1300)
+    p_res.add_argument("--k", type=int, default=8)
+    p_res.set_defaults(func=cmd_resources)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

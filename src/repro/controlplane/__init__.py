@@ -1,0 +1,29 @@
+"""Control-plane algorithms (§4).
+
+The control plane periodically collects FCM-Sketch state from the data
+plane, converts it to virtual counters and answers complex measurement
+queries:
+
+* flow-size distribution via EM (:mod:`repro.controlplane.distribution`),
+* entropy from the estimated distribution
+  (:mod:`repro.controlplane.entropy`),
+* heavy-change detection across adjacent windows
+  (:mod:`repro.controlplane.heavychange`),
+* the window-by-window collector driving all of it
+  (:mod:`repro.controlplane.collector`).
+"""
+
+from repro.controlplane.collector import SketchCollector, WindowReport
+from repro.controlplane.distribution import estimate_distribution
+from repro.controlplane.entropy import estimate_entropy
+from repro.controlplane.heavychange import HeavyChangeDetector
+from repro.controlplane.sliding import JumpingWindowSketch
+
+__all__ = [
+    "SketchCollector",
+    "WindowReport",
+    "estimate_distribution",
+    "estimate_entropy",
+    "HeavyChangeDetector",
+    "JumpingWindowSketch",
+]

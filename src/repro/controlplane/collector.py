@@ -1,0 +1,86 @@
+"""Sketch collection across measurement windows (Figure 1's "Collect").
+
+The data plane accumulates one FCM-Sketch per measurement window
+(15 s in the paper's CAIDA setup); the control plane periodically
+drains the sketch, converts it to virtual counters, runs the complex
+measurements and rotates in a fresh sketch.  :class:`SketchCollector`
+simulates that loop over a packet trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.controlplane.heavychange import HeavyChangeDetector
+from repro.core.em import EMConfig, EMResult
+from repro.traffic.trace import Trace, split_windows
+
+
+@dataclass
+class WindowReport:
+    """Control-plane output for one measurement window."""
+
+    window_index: int
+    total_packets: int
+    cardinality_estimate: float
+    distribution: Optional[EMResult] = None
+    heavy_changes: set = field(default_factory=set)
+
+
+class SketchCollector:
+    """Drives window-by-window collection over a trace.
+
+    Args:
+        sketch_factory: builds a fresh data-plane sketch per window
+            (e.g. ``lambda: FCMSketch.with_memory(256 * 1024)``).
+        em_config: EM options used for per-window distribution
+            estimation; ``None`` skips the (expensive) EM step.
+        change_threshold: if set, adjacent windows are compared for
+            heavy changes at this packet-count threshold.
+    """
+
+    def __init__(self, sketch_factory: Callable[[], object],
+                 em_config: Optional[EMConfig] = None,
+                 run_em: bool = False,
+                 change_threshold: Optional[int] = None):
+        self.sketch_factory = sketch_factory
+        self.em_config = em_config
+        self.run_em = run_em
+        self.change_threshold = change_threshold
+        self.sketches: List[object] = []
+
+    def process(self, trace: Trace, num_windows: int) -> List[WindowReport]:
+        """Split the trace into windows and collect each one."""
+        windows = split_windows(trace, num_windows)
+        reports: List[WindowReport] = []
+        previous_sketch = None
+        previous_keys: Optional[np.ndarray] = None
+        for index, window in enumerate(windows):
+            sketch = self.sketch_factory()
+            sketch.ingest(window.keys)
+            self.sketches.append(sketch)
+            report = WindowReport(
+                window_index=index,
+                total_packets=len(window),
+                cardinality_estimate=float(sketch.cardinality()),
+            )
+            if self.run_em:
+                report.distribution = estimate_distribution(
+                    sketch, config=self.em_config
+                )
+            if self.change_threshold is not None and previous_sketch is not None:
+                detector = HeavyChangeDetector(previous_sketch, sketch)
+                candidates = np.union1d(
+                    previous_keys, window.ground_truth.keys_array()
+                )
+                report.heavy_changes = detector.detect(
+                    [int(k) for k in candidates], self.change_threshold
+                )
+            previous_sketch = sketch
+            previous_keys = window.ground_truth.keys_array()
+            reports.append(report)
+        return reports

@@ -1,0 +1,59 @@
+"""Flow-size distribution estimation (§4.2, §4.4).
+
+Wraps the EM estimator for the two data-plane structures:
+
+* plain :class:`~repro.core.fcm.FCMSketch` — EM over all trees'
+  virtual counters (Eqn. 5 averages the per-tree contributions);
+* :class:`~repro.core.topk.FCMTopK` — EM over the FCM residue plus the
+  Top-K filter's exact heavy-flow sizes (the Top-K algorithm counts
+  resident flows exactly, §6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.em import EMConfig, EMEstimator, EMResult
+from repro.core.fcm import FCMSketch
+from repro.core.topk import FCMTopK
+from repro.core.virtual import convert_sketch
+
+Measurable = Union[FCMSketch, FCMTopK]
+
+
+def estimate_distribution(sketch: Measurable,
+                          config: Optional[EMConfig] = None,
+                          iterations: Optional[int] = None,
+                          callback=None) -> EMResult:
+    """Estimate the flow-size distribution from a data-plane sketch.
+
+    Args:
+        sketch: an ``FCMSketch`` or ``FCMTopK``.
+        config: EM options (defaults follow §4.3's heuristics).
+        iterations: overrides ``config.max_iterations``.
+        callback: per-iteration hook ``callback(iteration, size_counts)``.
+
+    Returns:
+        An :class:`EMResult`; for FCM+TopK the resident heavy flows are
+        added to the EM output as exact single flows.
+    """
+    if isinstance(sketch, FCMTopK):
+        base = EMEstimator(convert_sketch(sketch.fcm), config=config)
+        result = base.run(iterations=iterations, callback=callback)
+        heavy_sizes = []
+        for key, _, _ in sketch.topk.entries():
+            size = sketch.query(key)
+            if size > 0:
+                heavy_sizes.append(size)
+        top = max([result.size_counts.shape[0] - 1] + heavy_sizes)
+        counts = np.zeros(top + 1, dtype=np.float64)
+        counts[: result.size_counts.shape[0]] = result.size_counts
+        for size in heavy_sizes:
+            counts[size] += 1.0
+        return EMResult(size_counts=counts, iterations=result.iterations)
+    if isinstance(sketch, FCMSketch):
+        estimator = EMEstimator(convert_sketch(sketch), config=config)
+        return estimator.run(iterations=iterations, callback=callback)
+    raise TypeError(f"unsupported sketch type: {type(sketch).__name__}")

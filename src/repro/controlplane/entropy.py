@@ -1,0 +1,33 @@
+"""Entropy estimation (§4.4).
+
+Entropy is derived from the estimated flow-size distribution:
+
+    H = -sum_k n_k * (k / m) * log2(k / m)
+
+with ``n_k`` the estimated number of size-``k`` flows and ``m`` the
+total packet count, exactly the paper's formulation (after Lall et
+al. [40]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core.em import EMConfig, EMResult
+from repro.core.fcm import FCMSketch
+from repro.core.topk import FCMTopK
+
+
+def entropy_of_result(result: EMResult) -> float:
+    """Entropy of an EM distribution estimate."""
+    return result.entropy
+
+
+def estimate_entropy(sketch: Union[FCMSketch, FCMTopK],
+                     config: Optional[EMConfig] = None,
+                     iterations: Optional[int] = None) -> float:
+    """End-to-end entropy estimate from a data-plane sketch."""
+    result = estimate_distribution(sketch, config=config,
+                                   iterations=iterations)
+    return result.entropy

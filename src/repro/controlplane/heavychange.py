@@ -1,0 +1,49 @@
+"""Heavy-change detection (§4.4).
+
+Flows whose sizes differ by more than a threshold between two adjacent
+time windows.  The paper's observation: if the *change* exceeds the
+threshold then at least one of the two sizes does too, so it suffices to
+
+1. collect candidate heavy flows (size above threshold) in each window,
+2. compare the two windows' count-queries for every candidate,
+3. report flows whose estimated change exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+class HeavyChangeDetector:
+    """Compares two collected data-plane sketches for heavy changes.
+
+    Both sketches must expose ``query(key)`` and ``heavy_hitters``;
+    plain FCM-Sketch, FCM+TopK and every baseline sketch qualify.
+
+    Args:
+        previous: the sketch collected for the earlier window.
+        current: the sketch collected for the later window.
+    """
+
+    def __init__(self, previous, current):
+        self.previous = previous
+        self.current = current
+
+    def candidates(self, candidate_keys: Iterable[int],
+                   threshold: int) -> Set[int]:
+        """Flows above the threshold in either window (step 1)."""
+        keys = list(candidate_keys)
+        return (self.previous.heavy_hitters(keys, threshold)
+                | self.current.heavy_hitters(keys, threshold))
+
+    def detect(self, candidate_keys: Iterable[int],
+               threshold: int) -> Set[int]:
+        """Flows whose estimated size changed by >= ``threshold``."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        changed: Set[int] = set()
+        for key in self.candidates(candidate_keys, threshold):
+            delta = abs(self.current.query(key) - self.previous.query(key))
+            if delta >= threshold:
+                changed.add(key)
+        return changed

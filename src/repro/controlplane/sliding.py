@@ -1,0 +1,116 @@
+"""Sliding-window measurement on top of FCM (extension).
+
+FCM counters cannot be decremented, so the standard way to answer
+"flow size over the last W packets" is a *jumping window*: the stream
+is cut into ``num_slots`` sub-windows, each accumulated into its own
+sketch; the window estimate is the sum of the live sub-window
+estimates, and the oldest sketch is recycled as the window advances.
+
+The sum of per-sub-window overestimates is itself an overestimate, so
+the no-underestimate invariant carries over to the windowed query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.core.fcm import FCMSketch
+
+
+class JumpingWindowSketch:
+    """A ring of sketches approximating a sliding window.
+
+    Args:
+        window_packets: the window size W (in packets).
+        num_slots: sub-windows per window; more slots = finer window
+            granularity but each sub-sketch gets the same memory, so
+            total memory grows linearly.
+        sketch_factory: builds one sub-window sketch (default: a
+            16 KB FCM-Sketch).
+    """
+
+    def __init__(self, window_packets: int, num_slots: int = 4,
+                 sketch_factory: Optional[Callable[[], object]] = None,
+                 memory_bytes: int = 16 * 1024, seed: int = 0):
+        if window_packets <= 0:
+            raise ValueError("window_packets must be positive")
+        if num_slots < 2:
+            raise ValueError("need at least two sub-windows")
+        if window_packets % num_slots:
+            raise ValueError("window_packets must divide evenly into "
+                             "num_slots sub-windows")
+        self.window_packets = window_packets
+        self.num_slots = num_slots
+        self.slot_packets = window_packets // num_slots
+        if sketch_factory is None:
+            sketch_factory = lambda: FCMSketch.with_memory(  # noqa: E731
+                memory_bytes, seed=seed
+            )
+        self._factory = sketch_factory
+        self._slots: List[object] = [sketch_factory()]
+        self._current_fill = 0
+        self.packets_seen = 0
+
+    def update(self, key: int) -> None:
+        """Observe one packet."""
+        if self._current_fill == self.slot_packets:
+            self._rotate()
+        self._slots[-1].update(int(key))
+        self._current_fill += 1
+        self.packets_seen += 1
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Observe a packet stream (chunked by sub-window boundary)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        offset = 0
+        while offset < keys.shape[0]:
+            if self._current_fill == self.slot_packets:
+                self._rotate()
+            room = self.slot_packets - self._current_fill
+            chunk = keys[offset:offset + room]
+            self._slots[-1].ingest(chunk)
+            self._current_fill += int(chunk.shape[0])
+            self.packets_seen += int(chunk.shape[0])
+            offset += int(chunk.shape[0])
+
+    def _rotate(self) -> None:
+        self._slots.append(self._factory())
+        if len(self._slots) > self.num_slots:
+            self._slots.pop(0)
+        self._current_fill = 0
+
+    @property
+    def live_packets(self) -> int:
+        """Packets currently covered by the window estimate."""
+        full_slots = len(self._slots) - 1
+        return full_slots * self.slot_packets + self._current_fill
+
+    def query(self, key: int) -> int:
+        """Estimated size of the flow over (at most) the last window.
+
+        The jumping window covers between W - slot and W packets; the
+        estimate never undercounts the covered span.
+        """
+        return sum(int(slot.query(int(key))) for slot in self._slots)
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        total = np.zeros(keys.shape, dtype=np.int64)
+        for slot in self._slots:
+            total += slot.query_many(keys)
+        return total
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        """Flows whose windowed estimate reaches the threshold."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        keys = np.asarray(list(candidate_keys), dtype=np.uint64)
+        if keys.size == 0:
+            return set()
+        estimates = self.query_many(keys)
+        return {int(k) for k, est in zip(keys, estimates)
+                if est >= threshold}

@@ -1,0 +1,26 @@
+"""The paper's primary contribution: FCM-Sketch and its control plane.
+
+* :class:`repro.core.config.FCMConfig` — tree geometry (k, stages,
+  counter widths, number of trees) and memory sizing.
+* :class:`repro.core.fcm.FCMSketch` — the data-plane structure (§3).
+* :mod:`repro.core.virtual` — FCM-Sketch → virtual counters (§4.1).
+* :mod:`repro.core.em` — EM flow-size-distribution estimator (§4.2-4.3).
+* :mod:`repro.core.topk` — Top-K filter and FCM+TopK (§6).
+"""
+
+from repro.core.config import FCMConfig
+from repro.core.em import EMEstimator, EMResult
+from repro.core.fcm import FCMSketch
+from repro.core.topk import FCMTopK, TopKFilter
+from repro.core.virtual import VirtualCounter, VirtualCounterArray
+
+__all__ = [
+    "FCMConfig",
+    "FCMSketch",
+    "VirtualCounter",
+    "VirtualCounterArray",
+    "EMEstimator",
+    "EMResult",
+    "TopKFilter",
+    "FCMTopK",
+]

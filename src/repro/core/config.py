@@ -1,0 +1,137 @@
+"""FCM-Sketch configuration (§3.1, §7.2).
+
+An FCM-Sketch is a forest of ``num_trees`` independent k-ary trees.
+Tree geometry:
+
+* stage ``l`` has ``w_l`` counters of ``b_l`` bits, ``w_{l+1} = w_l / k``;
+* counter widths grow with the stage (paper default 8/16/32-bit,
+  byte-aligned for hardware friendliness);
+* a counter's counting range is ``0 .. 2^b - 2``; the all-ones value
+  ``2^b - 1`` is the overflow sentinel (Figure 3).
+
+The paper's default is two 8-ary trees with 8/16/32-bit stages; its
+k-sweeps vary ``k`` holding total memory fixed.  :class:`FCMConfig`
+derives stage widths from a total memory budget the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import SketchMemoryError
+
+DEFAULT_STAGE_BITS: Tuple[int, ...] = (8, 16, 32)
+
+
+@dataclass(frozen=True)
+class FCMConfig:
+    """Geometry of an FCM-Sketch.
+
+    Attributes:
+        num_trees: number of independent trees, ``d`` (paper default 2).
+        k: tree arity (paper default 8; 16 for FCM+TopK).
+        stage_bits: counter width per stage, smallest first.
+        stage_widths: counters per stage of one tree, derived from the
+            memory budget unless given explicitly.
+        seed: base hash seed; tree ``t`` uses family ``seed + t``.
+    """
+
+    num_trees: int = 2
+    k: int = 8
+    stage_bits: Tuple[int, ...] = DEFAULT_STAGE_BITS
+    stage_widths: Tuple[int, ...] = field(default=())
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_trees <= 0:
+            raise ValueError("num_trees must be positive")
+        if self.k < 2:
+            raise ValueError("k must be at least 2")
+        if len(self.stage_bits) == 0:
+            raise ValueError("need at least one stage")
+        if any(b < 2 for b in self.stage_bits):
+            raise ValueError("counters need at least 2 bits")
+        if list(self.stage_bits) != sorted(self.stage_bits):
+            raise ValueError("stage_bits must be non-decreasing")
+        if self.stage_widths:
+            if len(self.stage_widths) != len(self.stage_bits):
+                raise ValueError("stage_widths/stage_bits length mismatch")
+            if any(w <= 0 for w in self.stage_widths):
+                raise ValueError("stage widths must be positive")
+            for lower, upper in zip(self.stage_widths, self.stage_widths[1:]):
+                if lower != upper * self.k:
+                    raise ValueError(
+                        "stage widths must shrink by exactly k per stage"
+                    )
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages ``L``."""
+        return len(self.stage_bits)
+
+    @property
+    def counting_ranges(self) -> List[int]:
+        """Per-stage maximum count value theta_l = 2^b_l - 2."""
+        return [(1 << b) - 2 for b in self.stage_bits]
+
+    @property
+    def sentinels(self) -> List[int]:
+        """Per-stage overflow sentinel 2^b_l - 1."""
+        return [(1 << b) - 1 for b in self.stage_bits]
+
+    def with_memory(self, memory_bytes: int) -> "FCMConfig":
+        """Derive stage widths so the whole forest fits ``memory_bytes``.
+
+        Stage 1 of one tree gets ``w1`` counters with
+        ``w1 * sum_l(b_l / k^(l-1)) / 8 * num_trees <= memory_bytes``;
+        ``w1`` is rounded down to a multiple of ``k^(L-1)`` so every
+        stage width is integral.
+        """
+        if memory_bytes <= 0:
+            raise SketchMemoryError("memory budget must be positive")
+        bits_per_leaf = sum(
+            b / (self.k ** l) for l, b in enumerate(self.stage_bits)
+        )
+        w1 = int((memory_bytes * 8) / (bits_per_leaf * self.num_trees))
+        granularity = self.k ** (self.num_stages - 1)
+        w1 = (w1 // granularity) * granularity
+        if w1 < granularity:
+            raise SketchMemoryError(
+                f"{memory_bytes} bytes cannot fit {self.num_trees} "
+                f"{self.k}-ary trees with {self.num_stages} stages"
+            )
+        widths = tuple(w1 // (self.k ** l) for l in range(self.num_stages))
+        return FCMConfig(
+            num_trees=self.num_trees,
+            k=self.k,
+            stage_bits=self.stage_bits,
+            stage_widths=widths,
+            seed=self.seed,
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total SRAM of the forest in bytes (0 until widths are set)."""
+        if not self.stage_widths:
+            return 0
+        per_tree_bits = sum(
+            w * b for w, b in zip(self.stage_widths, self.stage_bits)
+        )
+        return self.num_trees * per_tree_bits // 8
+
+    @property
+    def leaf_width(self) -> int:
+        """Number of stage-1 counters per tree (w1)."""
+        if not self.stage_widths:
+            raise ValueError("widths not derived yet; call with_memory()")
+        return self.stage_widths[0]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        widths = "x".join(str(w) for w in self.stage_widths) or "?"
+        bits = "/".join(str(b) for b in self.stage_bits)
+        return (
+            f"FCM(d={self.num_trees}, k={self.k}, bits={bits}, "
+            f"widths={widths}, {self.memory_bytes}B)"
+        )

@@ -1,0 +1,148 @@
+"""FCM-Sketch: the multi-tree data-plane structure (§3).
+
+A drop-in substitute for Count-Min: ``d`` independent k-ary trees, each
+updated through its own hash function; the count-query is the minimum
+over the per-tree estimates.  Data-plane queries supported at line-rate
+(§3.3):
+
+* flow-size estimation (count-query),
+* heavy-hitter detection (count-query against a threshold),
+* cardinality via Linear Counting on stage-1 occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+import numpy as np
+
+from repro.core.config import FCMConfig
+from repro.core.tree import FCMTree
+from repro.hashing.family import hash_families
+from repro.sketches.base import FrequencySketch
+from repro.sketches.linear_counting import linear_counting_estimate
+
+
+class FCMSketch(FrequencySketch):
+    """Feed-forward Count-Min sketch (the paper's FCM-Sketch).
+
+    Build either from an explicit config with derived widths, or with
+    the convenience constructor :meth:`with_memory`.
+
+    Example:
+        >>> sketch = FCMSketch.with_memory(64 * 1024)
+        >>> sketch.update(42, count=3)
+        >>> sketch.query(42)
+        3
+    """
+
+    def __init__(self, config: FCMConfig):
+        if not config.stage_widths:
+            raise ValueError("config must have stage widths; "
+                             "use FCMConfig.with_memory() or "
+                             "FCMSketch.with_memory()")
+        self.config = config
+        families = hash_families(config.num_trees, base_seed=config.seed)
+        self.trees: List[FCMTree] = [
+            FCMTree(config, family) for family in families
+        ]
+
+    @classmethod
+    def with_memory(cls, memory_bytes: int, num_trees: int = 2, k: int = 8,
+                    stage_bits: tuple = (8, 16, 32),
+                    seed: int = 0) -> "FCMSketch":
+        """Build an FCM-Sketch sized to a total memory budget."""
+        config = FCMConfig(
+            num_trees=num_trees, k=k, stage_bits=tuple(stage_bits), seed=seed
+        ).with_memory(memory_bytes)
+        return cls(config)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.config.memory_bytes
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.trees)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Record ``count`` packets of flow ``key`` in every tree."""
+        for tree in self.trees:
+            tree.update(key, count)
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Bulk-load a packet stream (vectorized per tree)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        for tree in self.trees:
+            tree.ingest(keys)
+
+    def ingest_weighted(self, keys: np.ndarray,
+                        weights: np.ndarray) -> None:
+        """Bulk-load with per-packet weights, e.g. byte counts (§3.3)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        for tree in self.trees:
+            tree.ingest(keys, weights=weights)
+
+    def merge(self, other: "FCMSketch") -> None:
+        """Merge another identically-configured sketch's traffic.
+
+        FCM state is additive (per-leaf totals), so sketches of the
+        same configuration and seed collected at different vantage
+        points — or across measurement sub-windows — merge losslessly:
+        the result equals a single sketch that saw both streams.
+        """
+        if other.config != self.config:
+            raise ValueError("cannot merge sketches with different "
+                             "configurations")
+        for mine, theirs in zip(self.trees, other.trees):
+            mine.merge_from(theirs)
+
+    # ------------------------------------------------------------------
+    # data-plane queries (§3.3)
+    # ------------------------------------------------------------------
+
+    def query(self, key: int) -> int:
+        """Flow-size estimate: minimum count-query over the trees."""
+        return min(tree.query(key) for tree in self.trees)
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        estimate = self.trees[0].query_many(keys)
+        for tree in self.trees[1:]:
+            np.minimum(estimate, tree.query_many(keys), out=estimate)
+        return estimate
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        """Flows estimated at or above ``threshold`` packets."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        keys = np.asarray(list(candidate_keys), dtype=np.uint64)
+        if keys.size == 0:
+            return set()
+        estimates = self.query_many(keys)
+        return {int(k) for k, est in zip(keys, estimates)
+                if est >= threshold}
+
+    def cardinality(self) -> float:
+        """Linear-Counting estimate from stage-1 occupancy (§3.3).
+
+        ``n̂ = -w1 * ln(w0/w1)`` with ``w0`` the average number of empty
+        leaves across trees.
+        """
+        w1 = self.config.leaf_width
+        avg_empty = float(np.mean([tree.empty_leaves for tree in self.trees]))
+        # A fully-saturated stage 1 makes LC undefined; clamp to 1 empty
+        # cell, the estimator's maximum-resolvable point.
+        avg_empty = max(avg_empty, 1.0)
+        return linear_counting_estimate(avg_empty, w1)
+
+    @property
+    def total_packets(self) -> int:
+        """Total increments seen (identical across trees)."""
+        return self.trees[0].total_increments

@@ -1,0 +1,133 @@
+"""FCM with Conservative Update ("FCU") — a paper-mentioned extension.
+
+§7.1 notes that conservative update "can improve the count-query of
+both FCM and PyramidSketch in a similar degree" but skips implementing
+it.  This module supplies that missing variant: on each packet, only
+the trees whose current count-query equals the minimum over all trees
+are incremented (the classic CU rule, applied at tree granularity).
+
+Like CU, the update is order-dependent, so the sketch keeps explicit
+per-stage node arrays and applies Algorithm 1 per packet — there is no
+vectorized bulk path.  The overestimate-only invariant is preserved:
+each tree's count-query remains an upper bound on the true count, and
+skipping an increment on a tree whose estimate is already above the
+global minimum cannot break that bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.config import FCMConfig
+from repro.hashing.family import hash_families
+from repro.sketches.base import FrequencySketch
+
+
+class _MutableTree:
+    """Per-packet FCM tree state (explicit stage arrays)."""
+
+    __slots__ = ("config", "hash", "arrays")
+
+    def __init__(self, config: FCMConfig, hash_family):
+        self.config = config
+        self.hash = hash_family
+        self.arrays: List[np.ndarray] = [
+            np.zeros(w, dtype=np.int64) for w in config.stage_widths
+        ]
+
+    def leaf_index(self, key: int) -> int:
+        return self.hash.index(key, self.config.stage_widths[0])
+
+    def query_leaf(self, leaf: int) -> int:
+        acc = 0
+        idx = leaf
+        for stage in range(self.config.num_stages):
+            value = int(self.arrays[stage][idx])
+            last = stage == self.config.num_stages - 1
+            if value == self.config.sentinels[stage] and not last:
+                acc += self.config.counting_ranges[stage]
+                idx //= self.config.k
+            else:
+                acc += value
+                break
+        return acc
+
+    def increment(self, leaf: int) -> None:
+        """Algorithm 1, one increment."""
+        idx = leaf
+        for stage in range(self.config.num_stages):
+            sentinel = self.config.sentinels[stage]
+            value = int(self.arrays[stage][idx])
+            last = stage == self.config.num_stages - 1
+            if value < sentinel:
+                self.arrays[stage][idx] = value + 1
+                if value + 1 == sentinel and not last:
+                    idx //= self.config.k
+                    continue
+                return
+            if last:
+                return  # saturated
+            idx //= self.config.k
+
+
+class CUFCMSketch(FrequencySketch):
+    """Feed-forward Count-Min sketch with conservative update.
+
+    Args:
+        memory_bytes: total budget (same sizing as ``FCMSketch``).
+        num_trees, k, stage_bits, seed: tree geometry, as in
+            :class:`repro.core.fcm.FCMSketch`.
+    """
+
+    def __init__(self, memory_bytes: int, num_trees: int = 2, k: int = 8,
+                 stage_bits: tuple = (8, 16, 32), seed: int = 0):
+        self.config = FCMConfig(
+            num_trees=num_trees, k=k, stage_bits=tuple(stage_bits),
+            seed=seed,
+        ).with_memory(memory_bytes)
+        families = hash_families(num_trees, base_seed=self.config.seed)
+        self.trees = [_MutableTree(self.config, f) for f in families]
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.config.memory_bytes
+
+    def update(self, key: int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        key = int(key)
+        leaves = [tree.leaf_index(key) for tree in self.trees]
+        for _ in range(count):
+            estimates = [tree.query_leaf(leaf)
+                         for tree, leaf in zip(self.trees, leaves)]
+            minimum = min(estimates)
+            for tree, leaf, estimate in zip(self.trees, leaves,
+                                            estimates):
+                if estimate == minimum:
+                    tree.increment(leaf)
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Per-packet conservative update (order-dependent)."""
+        trees = self.trees
+        for key in np.asarray(keys, dtype=np.uint64):
+            key = int(key)
+            leaves = [tree.leaf_index(key) for tree in trees]
+            estimates = [tree.query_leaf(leaf)
+                         for tree, leaf in zip(trees, leaves)]
+            minimum = min(estimates)
+            for tree, leaf, estimate in zip(trees, leaves, estimates):
+                if estimate == minimum:
+                    tree.increment(leaf)
+
+    def query(self, key: int) -> int:
+        key = int(key)
+        return min(tree.query_leaf(tree.leaf_index(key))
+                   for tree in self.trees)
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        return np.array([self.query(int(k)) for k in keys],
+                        dtype=np.int64)

@@ -1,0 +1,254 @@
+"""Top-K heavy-flow filter and FCM+TopK (§6).
+
+ElasticSketch's Top-K algorithm keeps candidate heavy flows in key-value
+hash-table levels with a vote-based eviction rule; the residual (mouse)
+traffic is forwarded to a sketch.  The paper shows that backing the
+filter with an FCM-Sketch instead of Elastic's 8-bit CM-Sketch
+(``FCM+TopK``) both tightens the error bound (Theorem 6.1) and frees
+most of the Top-K memory for the sketch.
+
+Per §7.2, FCM+TopK uses a *single* Top-K level of 4K entries and a
+16-ary FCM-Sketch.  The hardware variant (§8.1) cannot atomically swap
+the evicted key/count out through the PHV, so on eviction the incoming
+key inherits the incumbent's count (overestimate-only, slightly less
+accurate — Figure 13); set ``migrate_on_evict=False`` for that mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import FCMConfig
+from repro.core.fcm import FCMSketch
+from repro.hashing.family import hash_families
+from repro.sketches.base import FrequencySketch, SketchMemoryError
+
+BUCKET_BYTES = 13
+"""Per-bucket cost: 8B key fingerprint + 4B vote+ + 1B vote-/flag."""
+
+
+@dataclass
+class _Bucket:
+    """One Top-K entry."""
+
+    key: int
+    positive_votes: int
+    negative_votes: int
+    flagged: bool  # True if part of this flow's count lives in the sketch
+
+
+class TopKFilter:
+    """Elastic-style Top-K candidate-heavy-flow filter.
+
+    Args:
+        entries_per_level: buckets per hash-table level.
+        levels: number of levels (Elastic software: 4; hardware: 1).
+        lambda_ratio: eviction threshold on vote-/vote+ (Elastic: 8).
+        migrate_on_evict: if True, the evicted flow's accumulated count
+            is exported through ``on_miss`` (software behaviour); if
+            False, the new key inherits it (hardware approximation).
+        seed: hash seed.
+    """
+
+    def __init__(self, entries_per_level: int = 4096, levels: int = 1,
+                 lambda_ratio: int = 8, migrate_on_evict: bool = True,
+                 seed: int = 0):
+        if entries_per_level <= 0 or levels <= 0:
+            raise ValueError("entries and levels must be positive")
+        if lambda_ratio <= 0:
+            raise ValueError("lambda_ratio must be positive")
+        self.entries_per_level = entries_per_level
+        self.levels = levels
+        self.lambda_ratio = lambda_ratio
+        self.migrate_on_evict = migrate_on_evict
+        self._tables: List[Dict[int, _Bucket]] = [dict() for _ in range(levels)]
+        self._hashes = hash_families(levels, base_seed=seed + 104729)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Allocated table memory (buckets are fixed-size in hardware)."""
+        return self.levels * self.entries_per_level * BUCKET_BYTES
+
+    def _slot(self, level: int, key: int) -> int:
+        return self._hashes[level].index(key, self.entries_per_level)
+
+    def insert(self, key: int,
+               on_miss: Callable[[int, int], None]) -> None:
+        """Process one packet of ``key``.
+
+        ``on_miss(key, count)`` receives whatever must be recorded in
+        the backing sketch: the packet itself when the filter rejects
+        it, and the evicted flow's accumulated count on migration.
+        """
+        for level in range(self.levels):
+            table = self._tables[level]
+            slot = self._slot(level, key)
+            bucket = table.get(slot)
+            if bucket is None:
+                table[slot] = _Bucket(key=key, positive_votes=1,
+                                      negative_votes=0, flagged=False)
+                return
+            if bucket.key == key:
+                bucket.positive_votes += 1
+                return
+            bucket.negative_votes += 1
+            if bucket.negative_votes >= self.lambda_ratio * bucket.positive_votes:
+                if self.migrate_on_evict:
+                    on_miss(bucket.key, bucket.positive_votes)
+                    table[slot] = _Bucket(key=key, positive_votes=1,
+                                          negative_votes=1, flagged=True)
+                else:
+                    # Hardware: the incumbent count stays in the bucket
+                    # and is inherited by the new key (overestimate).
+                    table[slot] = _Bucket(
+                        key=key,
+                        positive_votes=bucket.positive_votes + 1,
+                        negative_votes=1,
+                        flagged=bucket.flagged,
+                    )
+                return
+        # Rejected by every level: the packet goes to the sketch.
+        on_miss(key, 1)
+
+    def lookup(self, key: int) -> Optional[Tuple[int, bool]]:
+        """Return ``(count, flagged)`` if the key is resident."""
+        for level in range(self.levels):
+            bucket = self._tables[level].get(self._slot(level, key))
+            if bucket is not None and bucket.key == key:
+                return bucket.positive_votes, bucket.flagged
+        return None
+
+    def entries(self) -> Iterable[Tuple[int, int, bool]]:
+        """All resident ``(key, count, flagged)`` triples."""
+        for table in self._tables:
+            for bucket in table.values():
+                yield bucket.key, bucket.positive_votes, bucket.flagged
+
+    def resident_keys(self) -> Set[int]:
+        """Keys currently held by the filter."""
+        return {key for key, _, _ in self.entries()}
+
+
+class FCMTopK(FrequencySketch):
+    """FCM-Sketch behind an Elastic Top-K filter (the paper's FCM+TopK).
+
+    Args:
+        memory_bytes: total budget; the Top-K tables take
+            ``levels * entries * 13`` bytes and the FCM-Sketch gets the
+            remainder (§6: "a much smaller amount of memory can be
+            allocated to the Top-K algorithm").
+        k: FCM tree arity (paper default 16 for FCM+TopK).
+        num_trees: FCM tree count (paper default 2).
+        topk_entries: entries per Top-K level (paper default 4096).
+        topk_levels: Top-K levels (paper default 1).
+        hardware: use the Tofino-feasible no-migration eviction (§8.1).
+        seed: base hash seed.
+    """
+
+    def __init__(self, memory_bytes: int, k: int = 16, num_trees: int = 2,
+                 stage_bits: tuple = (8, 16, 32),
+                 topk_entries: int | None = None,
+                 topk_levels: int = 1, lambda_ratio: int = 8,
+                 hardware: bool = False, seed: int = 0):
+        if topk_entries is None:
+            # Paper default is 4K entries at MB-scale budgets; at smaller
+            # budgets keep the filter to ~1/8 of total memory.
+            topk_entries = min(
+                4096,
+                max(64, int(memory_bytes * 0.125
+                            / (BUCKET_BYTES * topk_levels))),
+            )
+        self.topk = TopKFilter(
+            entries_per_level=topk_entries,
+            levels=topk_levels,
+            lambda_ratio=lambda_ratio,
+            migrate_on_evict=not hardware,
+            seed=seed,
+        )
+        sketch_budget = memory_bytes - self.topk.memory_bytes
+        if sketch_budget <= 0:
+            raise SketchMemoryError(
+                f"budget {memory_bytes}B cannot fit Top-K tables of "
+                f"{self.topk.memory_bytes}B"
+            )
+        config = FCMConfig(
+            num_trees=num_trees, k=k, stage_bits=tuple(stage_bits), seed=seed
+        ).with_memory(sketch_budget)
+        self.fcm = FCMSketch(config)
+        self.hardware = hardware
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.topk.memory_bytes + self.fcm.memory_bytes
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Process ``count`` packets of flow ``key`` through the filter."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            self.topk.insert(int(key), self._to_sketch)
+
+    def _to_sketch(self, key: int, count: int) -> None:
+        self.fcm.update(key, count)
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Per-packet loop: the Top-K filter is order-dependent."""
+        insert = self.topk.insert
+        to_sketch = self._to_sketch
+        for key in np.asarray(keys, dtype=np.uint64):
+            insert(int(key), to_sketch)
+
+    def query(self, key: int) -> int:
+        """Top-K count plus the sketch residue when flagged (§6)."""
+        key = int(key)
+        resident = self.topk.lookup(key)
+        if resident is None:
+            return self.fcm.query(key)
+        count, flagged = resident
+        if flagged:
+            return count + self.fcm.query(key)
+        return count
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        fcm_estimates = self.fcm.query_many(keys)
+        out = np.empty(keys.shape, dtype=np.int64)
+        for i, key in enumerate(keys):
+            resident = self.topk.lookup(int(key))
+            if resident is None:
+                out[i] = fcm_estimates[i]
+            else:
+                count, flagged = resident
+                out[i] = count + fcm_estimates[i] if flagged else count
+        return out
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        """Heavy hitters from resident keys plus sketch estimates."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        hitters = {
+            key for key, _, _ in self.topk.entries()
+            if self.query(key) >= threshold
+        }
+        keys = np.asarray(list(candidate_keys), dtype=np.uint64)
+        if keys.size:
+            estimates = self.query_many(keys)
+            hitters |= {int(k) for k, est in zip(keys, estimates)
+                        if est >= threshold}
+        return hitters
+
+    def cardinality(self) -> float:
+        """LC on FCM stage 1 plus Top-K keys the sketch never saw."""
+        unseen_residents = sum(
+            1 for _, _, flagged in self.topk.entries() if not flagged
+        )
+        return self.fcm.cardinality() + unseen_residents
+
+    def heavy_entries(self) -> List[Tuple[int, int, bool]]:
+        """Resident Top-K entries (for control-plane distribution)."""
+        return list(self.topk.entries())

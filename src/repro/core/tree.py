@@ -1,0 +1,218 @@
+"""A single FCM tree (§3.1-§3.2).
+
+Semantics (Algorithm 1 / Figure 3): a ``b``-bit node counts from 0 to
+``theta = 2^b - 2``; the increment that would exceed ``theta`` sets the
+node to the sentinel ``2^b - 1`` and that increment — and every later
+one — is carried to the parent node (index ``i // k``).  The last stage
+has no parent, so it saturates at its sentinel.
+
+Because every increment is +1 and the carry rule is deterministic, the
+final node values depend only on the *total* number of increments routed
+to each leaf: a leaf receiving ``T`` increments stores ``T`` if
+``T <= theta`` else the sentinel, and forwards ``max(0, T - theta)`` to
+its parent.  The tree therefore keeps per-leaf totals as its canonical
+state and derives the stage arrays vectorized; a per-packet reference
+implementation lives in :mod:`repro.dataplane.pipeline` and the property
+tests assert both produce identical node values.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.config import FCMConfig
+from repro.hashing import HashFamily
+
+
+class FCMTree:
+    """One k-ary tree of an FCM-Sketch.
+
+    Args:
+        config: tree geometry (must have stage widths derived).
+        hash_family: the tree's independent hash function.
+    """
+
+    def __init__(self, config: FCMConfig, hash_family: HashFamily):
+        if not config.stage_widths:
+            raise ValueError("config must have stage widths; "
+                             "use FCMConfig.with_memory()")
+        self.config = config
+        self.hash = hash_family
+        self.widths = list(config.stage_widths)
+        self.thetas = config.counting_ranges
+        self.sentinels = config.sentinels
+        self.k = config.k
+        self.num_stages = config.num_stages
+        self._leaf_totals = np.zeros(self.widths[0], dtype=np.int64)
+        self._stage_values: List[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # state maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def leaf_width(self) -> int:
+        """Number of stage-1 counters (w1)."""
+        return self.widths[0]
+
+    def leaf_index(self, key: int) -> int:
+        """Stage-1 index of a flow key: ``h(f) mod w1``."""
+        return self.hash.index(key, self.leaf_width)
+
+    def update(self, key: int, count: int = 1) -> None:
+        """Record ``count`` packets of flow ``key`` (Algorithm 1)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._leaf_totals[self.leaf_index(key)] += count
+        self._stage_values = None
+
+    def ingest(self, keys: np.ndarray,
+               weights: np.ndarray | None = None) -> None:
+        """Bulk-load a packet stream (vectorized, order-independent).
+
+        With ``weights``, each packet contributes that many increments
+        (byte counting, §3.3).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        idx = self.hash.index(keys, self.leaf_width)
+        if weights is None:
+            self._leaf_totals += np.bincount(idx,
+                                             minlength=self.leaf_width)
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+            if weights.shape != keys.shape:
+                raise ValueError("keys and weights must align")
+            if np.any(weights < 0):
+                raise ValueError("weights must be non-negative")
+            self._leaf_totals += np.bincount(
+                idx, weights=weights, minlength=self.leaf_width
+            ).astype(np.int64)
+        self._stage_values = None
+
+    def merge_from(self, other: "FCMTree") -> None:
+        """Merge another tree's traffic into this one.
+
+        Valid only for trees with identical geometry and hash (i.e.
+        the same sketch deployed at different vantage points); the
+        result equals having ingested both packet streams into one
+        tree, because the canonical state is additive leaf totals.
+        """
+        if other.config.stage_widths != self.config.stage_widths \
+                or other.config.stage_bits != self.config.stage_bits:
+            raise ValueError("cannot merge trees of different geometry")
+        if other.hash.seed != self.hash.seed:
+            raise ValueError("cannot merge trees with different hashes")
+        self._leaf_totals += other._leaf_totals
+        self._stage_values = None
+
+    def ingest_totals(self, leaf_totals: np.ndarray) -> None:
+        """Add pre-aggregated per-leaf increment totals (for tests)."""
+        totals = np.asarray(leaf_totals, dtype=np.int64)
+        if totals.shape != self._leaf_totals.shape:
+            raise ValueError("leaf totals shape mismatch")
+        if np.any(totals < 0):
+            raise ValueError("totals must be non-negative")
+        self._leaf_totals += totals
+        self._stage_values = None
+
+    @property
+    def stage_values(self) -> List[np.ndarray]:
+        """Node values per stage, exactly as stored in hardware."""
+        if self._stage_values is None:
+            self._stage_values = self._derive_stage_values()
+        return self._stage_values
+
+    def _derive_stage_values(self) -> List[np.ndarray]:
+        values: List[np.ndarray] = []
+        totals = self._leaf_totals
+        for stage in range(self.num_stages):
+            theta = self.thetas[stage]
+            sentinel = self.sentinels[stage]
+            if stage == self.num_stages - 1:
+                # Last stage saturates at its sentinel.
+                values.append(np.minimum(totals, sentinel))
+                break
+            stored = np.where(totals <= theta, totals, sentinel)
+            values.append(stored)
+            carries = np.maximum(totals - theta, 0)
+            totals = carries.reshape(-1, self.k).sum(axis=1)
+        return values
+
+    # ------------------------------------------------------------------
+    # queries (§3.2, §3.3)
+    # ------------------------------------------------------------------
+
+    def query(self, key: int) -> int:
+        """Count-query: accumulate along the path while overflowed."""
+        return self.query_leaf(self.leaf_index(key))
+
+    def query_leaf(self, leaf_index: int) -> int:
+        """Count-query starting from an explicit stage-1 index."""
+        if not 0 <= leaf_index < self.leaf_width:
+            raise IndexError(f"leaf index {leaf_index} out of range")
+        values = self.stage_values
+        acc = 0
+        idx = leaf_index
+        for stage in range(self.num_stages):
+            v = int(values[stage][idx])
+            last = stage == self.num_stages - 1
+            if v == self.sentinels[stage] and not last:
+                acc += self.thetas[stage]
+                idx //= self.k
+            else:
+                acc += v
+                break
+        return acc
+
+    def query_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized count-query for many flow keys."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        idx = self.hash.index(keys, self.leaf_width)
+        return self.query_leaves(idx)
+
+    def query_leaves(self, leaf_indices: np.ndarray) -> np.ndarray:
+        """Vectorized count-query from explicit stage-1 indices."""
+        idx = np.asarray(leaf_indices, dtype=np.int64)
+        values = self.stage_values
+        acc = np.zeros(idx.shape, dtype=np.int64)
+        active = np.ones(idx.shape, dtype=bool)
+        current = idx.copy()
+        for stage in range(self.num_stages):
+            v = values[stage][current]
+            last = stage == self.num_stages - 1
+            if last:
+                acc[active] += v[active]
+                break
+            overflow = v == self.sentinels[stage]
+            stops = active & ~overflow
+            acc[stops] += v[stops]
+            continues = active & overflow
+            acc[continues] += self.thetas[stage]
+            active = continues
+            if not active.any():
+                break
+            current //= self.k
+        return acc
+
+    # ------------------------------------------------------------------
+    # occupancy (cardinality support, §3.3)
+    # ------------------------------------------------------------------
+
+    @property
+    def empty_leaves(self) -> int:
+        """Number of stage-1 counters that never received an increment."""
+        return int(np.count_nonzero(self._leaf_totals == 0))
+
+    @property
+    def leaf_totals(self) -> np.ndarray:
+        """Per-leaf increment totals (read-only view, for diagnostics)."""
+        view = self._leaf_totals.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def total_increments(self) -> int:
+        """Total packets routed into this tree."""
+        return int(self._leaf_totals.sum())

@@ -1,0 +1,183 @@
+"""FCM-Sketch → virtual counters (§4.1).
+
+The control plane untangles hash collisions by converting each tree into
+a linear array of *virtual counters*:
+
+1. trace every leaf's path upward until the first non-overflowed node
+   (or the last stage);
+2. merge all paths ending at the same node into one virtual counter
+   whose **value** is the sum of the count values of every node in the
+   merged sub-tree and whose **degree** is the number of merged paths.
+
+A node in overflow contributes its counting range ``theta = 2^b - 2``;
+the terminal node contributes its stored value.  The conversion
+preserves the total count (Figure 5's invariant), except for increments
+lost to last-stage saturation, which the hardware also loses.
+
+The implementation is a single bottom-up vectorized pass: per stage we
+keep, for every node, the accumulated sub-tree value and degree, and
+fold overflowed children into their parents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.tree import FCMTree
+
+
+@dataclass(frozen=True)
+class VirtualCounter:
+    """One virtual counter: exact count of a merged sub-tree.
+
+    Attributes:
+        value: sum of the count values in the merged sub-tree.
+        degree: number of leaf paths merged into this counter.
+        stage: 1-based stage of the terminal node.
+    """
+
+    value: int
+    degree: int
+    stage: int
+
+
+class VirtualCounterArray:
+    """The virtual counters of one FCM tree, ready for the EM step.
+
+    Attributes:
+        values: non-empty virtual counter values.
+        degrees: degrees aligned with ``values``.
+        stages: 1-based terminal stage aligned with ``values``.
+        leaf_width: ``w1`` of the source tree.
+        thetas: per-stage counting ranges of the source tree.
+        num_empty_leaves: stage-1 counters with no increments (these are
+            the value-0, degree-1 virtual counters, kept as a count).
+    """
+
+    def __init__(self, values: np.ndarray, degrees: np.ndarray,
+                 stages: np.ndarray, leaf_width: int,
+                 thetas: List[int], num_empty_leaves: int):
+        self.values = np.asarray(values, dtype=np.int64)
+        self.degrees = np.asarray(degrees, dtype=np.int64)
+        self.stages = np.asarray(stages, dtype=np.int64)
+        if not (self.values.shape == self.degrees.shape == self.stages.shape):
+            raise ValueError("values/degrees/stages must align")
+        self.leaf_width = int(leaf_width)
+        self.thetas = list(thetas)
+        self.num_empty_leaves = int(num_empty_leaves)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def __iter__(self):
+        for v, d, s in zip(self.values, self.degrees, self.stages):
+            yield VirtualCounter(int(v), int(d), int(s))
+
+    @property
+    def total_value(self) -> int:
+        """Sum of all virtual counter values (== total count preserved)."""
+        return int(self.values.sum())
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree D (Theorem 5.1's parameter)."""
+        return int(self.degrees.max()) if len(self) else 0
+
+    @property
+    def max_value(self) -> int:
+        """Maximum counter value z."""
+        return int(self.values.max()) if len(self) else 0
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Number of non-empty virtual counters per degree (Figure 8)."""
+        uniq, counts = np.unique(self.degrees, return_counts=True)
+        return {int(d): int(c) for d, c in zip(uniq, counts)}
+
+    def min_path_count(self, stage: int) -> int:
+        """Smallest per-path count for a counter merged at ``stage``.
+
+        Every path reaching stage ``s`` overflowed its leaf, so its flows
+        sum to at least ``theta_1 + 1``.  Counters merged at stage 1
+        carry no such constraint (one flow of any size suffices).
+        """
+        if stage <= 1:
+            return 1
+        return self.thetas[0] + 1
+
+    @classmethod
+    def from_tree(cls, tree: FCMTree) -> "VirtualCounterArray":
+        """Run the conversion algorithm on one tree (vectorized)."""
+        values = tree.stage_values
+        num_stages = tree.num_stages
+        k = tree.k
+
+        out_values: List[np.ndarray] = []
+        out_degrees: List[np.ndarray] = []
+        out_stages: List[np.ndarray] = []
+
+        # Stage 1: count values and unit degrees.
+        stage_vals = values[0]
+        sentinel = tree.sentinels[0]
+        theta = tree.thetas[0]
+        overflow = stage_vals == sentinel
+        acc = np.where(overflow, theta, stage_vals).astype(np.int64)
+        deg = np.ones_like(acc)
+
+        if num_stages == 1:
+            terminal = stage_vals > 0
+            return cls(stage_vals[terminal], deg[terminal],
+                       np.ones(int(terminal.sum()), dtype=np.int64),
+                       tree.leaf_width, tree.thetas,
+                       int(np.count_nonzero(stage_vals == 0)))
+
+        num_empty = int(np.count_nonzero(stage_vals == 0))
+        terminal = (~overflow) & (stage_vals > 0)
+        out_values.append(acc[terminal])
+        out_degrees.append(deg[terminal])
+        out_stages.append(np.full(int(terminal.sum()), 1, dtype=np.int64))
+
+        for stage in range(1, num_stages):
+            stage_vals = values[stage]
+            last = stage == num_stages - 1
+            # Fold overflowed children into parents.
+            child_acc = np.where(overflow, acc, 0).reshape(-1, k).sum(axis=1)
+            child_deg = np.where(overflow, deg, 0).reshape(-1, k).sum(axis=1)
+            if last:
+                acc = stage_vals + child_acc
+                deg = child_deg
+                reached = deg > 0
+                out_values.append(acc[reached])
+                out_degrees.append(deg[reached])
+                out_stages.append(
+                    np.full(int(reached.sum()), stage + 1, dtype=np.int64)
+                )
+                break
+            sentinel = tree.sentinels[stage]
+            theta = tree.thetas[stage]
+            overflow = stage_vals == sentinel
+            count_value = np.where(overflow, theta, stage_vals)
+            acc = count_value + child_acc
+            deg = child_deg
+            terminal = (~overflow) & (deg > 0)
+            out_values.append(acc[terminal])
+            out_degrees.append(deg[terminal])
+            out_stages.append(
+                np.full(int(terminal.sum()), stage + 1, dtype=np.int64)
+            )
+
+        return cls(
+            np.concatenate(out_values),
+            np.concatenate(out_degrees),
+            np.concatenate(out_stages),
+            tree.leaf_width,
+            tree.thetas,
+            num_empty,
+        )
+
+
+def convert_sketch(sketch) -> List[VirtualCounterArray]:
+    """Convert every tree of an :class:`repro.core.fcm.FCMSketch`."""
+    return [VirtualCounterArray.from_tree(tree) for tree in sketch.trees]

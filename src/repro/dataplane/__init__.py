@@ -1,0 +1,49 @@
+"""PISA data-plane model (§8).
+
+The paper's hardware evaluation runs FCM-Sketch on a Barefoot Tofino
+switch.  This package substitutes an explicit PISA pipeline model:
+
+* :mod:`repro.dataplane.pipeline` — match-action stages with register
+  arrays and stateful ALUs enforcing PISA's one-access-per-stage
+  discipline; includes a per-packet faithful FCM implementation used to
+  cross-check the vectorized core (software == hardware, Figure 13).
+* :mod:`repro.dataplane.resources` — resource accounting (SRAM,
+  stateful ALUs, hash bits, crossbar, VLIW actions, physical stages)
+  calibrated against Table 4, plus literature constants for Table 5.
+* :mod:`repro.dataplane.tcam` — the TCAM lookup-table cardinality
+  estimator of Appendix C.
+"""
+
+from repro.dataplane.pipeline import (
+    FCMPipeline,
+    PipelineError,
+    PisaPipeline,
+    RegisterArray,
+    StatefulALU,
+    TofinoConstraints,
+)
+from repro.dataplane.resources import (
+    ResourceReport,
+    cm_topk_resources,
+    fcm_resources,
+    fcm_topk_resources,
+    LITERATURE_SOLUTIONS,
+    SWITCH_P4,
+)
+from repro.dataplane.tcam import TcamCardinalityTable
+
+__all__ = [
+    "RegisterArray",
+    "StatefulALU",
+    "PisaPipeline",
+    "PipelineError",
+    "TofinoConstraints",
+    "FCMPipeline",
+    "ResourceReport",
+    "fcm_resources",
+    "fcm_topk_resources",
+    "cm_topk_resources",
+    "SWITCH_P4",
+    "LITERATURE_SOLUTIONS",
+    "TcamCardinalityTable",
+]

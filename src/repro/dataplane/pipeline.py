@@ -1,0 +1,264 @@
+"""PISA pipeline model with a per-packet FCM implementation (§8.1).
+
+PISA switches process packets through a fixed sequence of match-action
+stages.  State lives in per-stage register arrays; a stateful ALU can
+read-modify-write one register of one array per packet per stage, with
+a simple predicate deciding the written value and a returned output.
+
+:class:`PisaPipeline` models exactly that discipline, and
+:class:`FCMPipeline` programs it with FCM-Sketch's per-stage logic
+(Algorithm 1 expressed as one stateful-ALU operation per stage).  It is
+deliberately a per-packet reference implementation: the property tests
+assert its register contents match the vectorized
+:class:`repro.core.tree.FCMTree` bit for bit, which is the paper's
+"software == hardware accuracy" claim (Figure 13, FCM bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import FCMConfig
+from repro.hashing.family import hash_families
+
+
+class PipelineError(RuntimeError):
+    """A program violated a PISA constraint."""
+
+
+@dataclass(frozen=True)
+class TofinoConstraints:
+    """Public approximations of Tofino-1 per-pipeline capacities."""
+
+    num_stages: int = 12
+    salus_per_stage: int = 4
+    sram_kb_per_stage: int = 1130  # ~13.2 MB total (Table 4 calibration)
+    hash_bits_per_stage: int = 156
+    crossbar_per_stage: int = 128
+    vliw_per_stage: int = 32
+
+    @property
+    def total_salus(self) -> int:
+        return self.num_stages * self.salus_per_stage
+
+    @property
+    def total_sram_kb(self) -> int:
+        return self.num_stages * self.sram_kb_per_stage
+
+    @property
+    def total_hash_bits(self) -> int:
+        return self.num_stages * self.hash_bits_per_stage
+
+
+class RegisterArray:
+    """A register array resident in one stage's SRAM."""
+
+    def __init__(self, name: str, width_bits: int, size: int):
+        if width_bits <= 0 or size <= 0:
+            raise ValueError("width and size must be positive")
+        self.name = name
+        self.width_bits = width_bits
+        self.size = size
+        self.values = np.zeros(size, dtype=np.int64)
+        self.max_value = (1 << width_bits) - 1
+
+    @property
+    def sram_bits(self) -> int:
+        return self.width_bits * self.size
+
+    def read(self, index: int) -> int:
+        return int(self.values[index])
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= value <= self.max_value:
+            raise PipelineError(
+                f"register {self.name}[{index}] cannot hold {value} "
+                f"({self.width_bits}-bit)"
+            )
+        self.values[index] = value
+
+
+class StatefulALU:
+    """One stateful ALU: a single read-modify-write per packet.
+
+    The update program is a Python callable ``(old) -> (new, output)``
+    standing in for the sALU's predicate/arithmetic configuration.
+    """
+
+    def __init__(self, register: RegisterArray, program):
+        self.register = register
+        self.program = program
+        self._accessed_packet: Optional[int] = None
+
+    def execute(self, packet_id: int, index: int) -> int:
+        """Run the RMW; enforces one access per packet per sALU."""
+        if self._accessed_packet == packet_id:
+            raise PipelineError(
+                f"stateful ALU on {self.register.name} accessed twice "
+                f"for packet {packet_id}"
+            )
+        self._accessed_packet = packet_id
+        old = self.register.read(index)
+        new, output = self.program(old)
+        self.register.write(index, new)
+        return output
+
+
+@dataclass
+class PipelineStage:
+    """One match-action stage: its register arrays and stateful ALUs."""
+
+    index: int
+    registers: List[RegisterArray] = field(default_factory=list)
+    salus: List[StatefulALU] = field(default_factory=list)
+
+    @property
+    def sram_bits(self) -> int:
+        return sum(r.sram_bits for r in self.registers)
+
+
+class PisaPipeline:
+    """A sequence of stages with Tofino-like capacity checks."""
+
+    def __init__(self, constraints: Optional[TofinoConstraints] = None):
+        self.constraints = constraints or TofinoConstraints()
+        self.stages: List[PipelineStage] = []
+        self._packet_counter = 0
+
+    def add_stage(self) -> PipelineStage:
+        if len(self.stages) >= self.constraints.num_stages:
+            raise PipelineError(
+                f"program needs more than "
+                f"{self.constraints.num_stages} stages"
+            )
+        stage = PipelineStage(index=len(self.stages))
+        self.stages.append(stage)
+        return stage
+
+    def place_register(self, stage: PipelineStage, name: str,
+                       width_bits: int, size: int,
+                       program) -> StatefulALU:
+        """Allocate a register array + sALU in a stage, with checks."""
+        if len(stage.salus) >= self.constraints.salus_per_stage:
+            raise PipelineError(
+                f"stage {stage.index} exceeds "
+                f"{self.constraints.salus_per_stage} stateful ALUs"
+            )
+        register = RegisterArray(name, width_bits, size)
+        new_bits = stage.sram_bits + register.sram_bits
+        if new_bits > self.constraints.sram_kb_per_stage * 8192:
+            raise PipelineError(
+                f"stage {stage.index} exceeds its SRAM budget"
+            )
+        alu = StatefulALU(register, program)
+        stage.registers.append(register)
+        stage.salus.append(alu)
+        return alu
+
+    def next_packet_id(self) -> int:
+        self._packet_counter += 1
+        return self._packet_counter
+
+    @property
+    def num_stages_used(self) -> int:
+        return len(self.stages)
+
+
+def _fcm_salu_program(theta: int, sentinel: int, last: bool):
+    """The per-stage FCM register program (Algorithm 1 in one RMW).
+
+    Returns ``(new_value, output)`` where output encodes the count
+    contribution and whether the update proceeds to the next stage:
+    output >= 0 is a final count contribution; -1 means "overflowed,
+    carry on".
+    """
+    def program(old: int):
+        if old <= theta - 1:
+            new = old + 1
+            if new == sentinel and not last:
+                return new, -1
+            return new, new
+        if old == theta:
+            new = old + 1  # reaches the sentinel
+            if last:
+                return new, new
+            return new, -1
+        # Already at the sentinel.
+        if last:
+            return old, old
+        return old, -1
+
+    return program
+
+
+class FCMPipeline:
+    """FCM-Sketch programmed onto the PISA pipeline, per packet.
+
+    Mirrors the Tofino implementation: one pipeline stage per tree
+    level (trees are parallel within a stage, as they use independent
+    memory units), plus a final stage computing the min over trees.
+
+    Args:
+        config: FCM geometry with derived widths.
+        constraints: pipeline capacities.
+    """
+
+    def __init__(self, config: FCMConfig,
+                 constraints: Optional[TofinoConstraints] = None):
+        if not config.stage_widths:
+            raise ValueError("config must have derived stage widths")
+        self.config = config
+        self.pipeline = PisaPipeline(constraints)
+        self.hashes = hash_families(config.num_trees, base_seed=config.seed)
+        self._alus: List[List[StatefulALU]] = []  # [stage][tree]
+        for level in range(config.num_stages):
+            stage = self.pipeline.add_stage()
+            theta = config.counting_ranges[level]
+            sentinel = config.sentinels[level]
+            last = level == config.num_stages - 1
+            level_alus = []
+            for tree in range(config.num_trees):
+                alu = self.pipeline.place_register(
+                    stage,
+                    name=f"tree{tree}_level{level + 1}",
+                    width_bits=config.stage_bits[level],
+                    size=config.stage_widths[level],
+                    program=_fcm_salu_program(theta, sentinel, last),
+                )
+                level_alus.append(alu)
+            self._alus.append(level_alus)
+        # Final stage: min over trees (pure action, no registers).
+        self.pipeline.add_stage()
+
+    def process_packet(self, key: int) -> int:
+        """Update all trees for one packet; returns the count estimate
+        (the paper performs update and count-query together, §3.2)."""
+        packet_id = self.pipeline.next_packet_id()
+        estimates = []
+        for tree in range(self.config.num_trees):
+            index = self.hashes[tree].index(key, self.config.leaf_width)
+            acc = 0
+            for level in range(self.config.num_stages):
+                output = self._alus[level][tree].execute(packet_id, index)
+                if output >= 0:
+                    acc += output if output < self.config.sentinels[level] \
+                        or level == self.config.num_stages - 1 \
+                        else self.config.counting_ranges[level]
+                    break
+                acc += self.config.counting_ranges[level]
+                index //= self.config.k
+            estimates.append(acc)
+        return min(estimates)
+
+    def register_values(self, tree: int) -> List[np.ndarray]:
+        """Stored register contents of one tree (for parity tests)."""
+        return [self._alus[level][tree].register.values.copy()
+                for level in range(self.config.num_stages)]
+
+    @property
+    def stages_used(self) -> int:
+        """Physical stages consumed (tree levels + final min stage)."""
+        return self.pipeline.num_stages_used

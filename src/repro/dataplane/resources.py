@@ -1,0 +1,203 @@
+"""Hardware resource accounting (§8.3, Tables 4-5, Figure 14a).
+
+Resource usage is *derived from program structure* — number of register
+arrays, their sizes, hash widths, table entries — against published
+Tofino-1 per-pipeline capacities (approximations; exact figures are
+vendor-confidential).  The unit-cost constants below are calibrated so
+the paper's own configuration (two 8-ary 8/16/32-bit trees in 1.3 MB)
+reproduces Table 4's percentages; everything else (other k, other
+memory, CM(d)+TopK variants) follows from the same formulas, which is
+what Figure 14a varies.
+
+Literature rows of Table 5 (SketchLearn, QPipe, SpreadSketch) are kept
+as published constants — they are other papers' implementations and
+serve as comparison anchors only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import FCMConfig
+from repro.dataplane.pipeline import TofinoConstraints
+
+# Per-pipeline capacities (see TofinoConstraints).
+_CAPS = TofinoConstraints()
+_TOTAL_SRAM_BITS = _CAPS.total_sram_kb * 8192
+_TOTAL_SALUS = _CAPS.total_salus
+_TOTAL_HASH_BITS = _CAPS.total_hash_bits
+_TOTAL_CROSSBAR = _CAPS.num_stages * _CAPS.crossbar_per_stage
+_TOTAL_VLIW = _CAPS.num_stages * _CAPS.vliw_per_stage
+
+# Unit costs (calibrated against Table 4).
+_CROSSBAR_PER_REGISTER = 6   # match-crossbar units per register access
+_CROSSBAR_PER_TABLE = 9      # per key-value table (wider match keys)
+_VLIW_PER_REGISTER = 1       # one action slot per register update
+_HASH_OVERHEAD_BITS = 0      # extra selector bits per hash
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Hardware resources consumed by one program.
+
+    Percentages are of the total per-pipeline capacity, as in Table 4.
+    """
+
+    name: str
+    sram_pct: float
+    crossbar_pct: float
+    tcam_pct: float
+    salu_pct: float
+    hash_bits_pct: float
+    vliw_pct: float
+    stages: int
+
+    def normalized_to(self, baseline: "ResourceReport") -> Dict[str, float]:
+        """Figure 14a's view: resources normalized to a baseline."""
+        def ratio(mine: float, theirs: float) -> float:
+            return mine / theirs if theirs else math.inf
+
+        return {
+            "SRAM": ratio(self.sram_pct, baseline.sram_pct),
+            "Stateful ALU": ratio(self.salu_pct, baseline.salu_pct),
+            "Hashbits": ratio(self.hash_bits_pct, baseline.hash_bits_pct),
+            "Physical Stages": ratio(self.stages, baseline.stages),
+        }
+
+
+def _pct(used: float, total: float) -> float:
+    return 100.0 * used / total
+
+
+def fcm_resources(config: FCMConfig, with_queries: bool = False,
+                  name: str = "FCM-Sketch") -> ResourceReport:
+    """Resources of a plain FCM-Sketch program.
+
+    Structure: one pipeline stage per tree level (trees parallel), one
+    final stage for the min/count logic; one register array + sALU per
+    (tree, level); per-tree hash of ``log2(w1)`` bits.
+
+    Args:
+        with_queries: add the cardinality-query resources of §8.3
+            (TCAM lookup entries, occupancy sALUs, one more stage).
+    """
+    if not config.stage_widths:
+        raise ValueError("config must have derived stage widths")
+    num_registers = config.num_trees * config.num_stages
+    sram_bits = config.memory_bytes * 8
+    salus = num_registers
+    hash_bits = config.num_trees * (
+        math.ceil(math.log2(config.leaf_width)) + _HASH_OVERHEAD_BITS
+    )
+    crossbar = num_registers * _CROSSBAR_PER_REGISTER
+    vliw = num_registers * _VLIW_PER_REGISTER
+    stages = config.num_stages + 1
+    tcam_pct = 0.0
+    if with_queries:
+        salus += math.ceil(0.1042 * _TOTAL_SALUS)  # occupancy counters
+        stages += 1
+        tcam_pct = 0.35  # < 10 TCAM entries (Appendix C)
+    return ResourceReport(
+        name=name,
+        sram_pct=_pct(sram_bits, _TOTAL_SRAM_BITS),
+        crossbar_pct=_pct(crossbar, _TOTAL_CROSSBAR),
+        tcam_pct=tcam_pct,
+        salu_pct=_pct(salus, _TOTAL_SALUS),
+        hash_bits_pct=_pct(hash_bits, _TOTAL_HASH_BITS),
+        vliw_pct=_pct(vliw, _TOTAL_VLIW),
+        stages=stages,
+    )
+
+
+def fcm_topk_resources(config: FCMConfig, topk_entries: int = 4096,
+                       topk_levels: int = 1,
+                       name: str = "FCM+TopK") -> ResourceReport:
+    """Resources of FCM+TopK: the FCM program plus the Top-K stages.
+
+    The hardware Top-K (§8.1) spends, per level: a key register, a
+    vote+ register, a vote-/flag register and a comparison stage — four
+    additional physical stages and four sALUs for the single-level
+    configuration used on Tofino.
+    """
+    base = fcm_resources(config, name=name)
+    table_bits = topk_levels * topk_entries * 13 * 8
+    topk_salus = 4 * topk_levels
+    topk_hash_bits = topk_levels * math.ceil(math.log2(max(topk_entries, 2)))
+    topk_crossbar = topk_levels * _CROSSBAR_PER_TABLE
+    topk_vliw = 4 * topk_levels
+    return ResourceReport(
+        name=name,
+        sram_pct=base.sram_pct + _pct(table_bits, _TOTAL_SRAM_BITS),
+        crossbar_pct=base.crossbar_pct + _pct(topk_crossbar, _TOTAL_CROSSBAR),
+        tcam_pct=base.tcam_pct,
+        salu_pct=base.salu_pct + _pct(topk_salus, _TOTAL_SALUS),
+        hash_bits_pct=base.hash_bits_pct
+        + _pct(topk_hash_bits, _TOTAL_HASH_BITS),
+        vliw_pct=base.vliw_pct + _pct(topk_vliw, _TOTAL_VLIW),
+        stages=base.stages + 4 * topk_levels,
+    )
+
+
+def cm_topk_resources(depth: int, width: int, counter_bits: int = 8,
+                      topk_entries: int = 16384,
+                      name: str | None = None) -> ResourceReport:
+    """Resources of CM(d)+TopK, the Tofino ElasticSketch emulation
+    (§8.2.2): ``d`` arrays of 8-bit registers plus a one-level Top-K.
+
+    Each CM row is a register array with its own sALU and hash; rows
+    can share stages only up to the per-stage sALU cap, and the min
+    computation adds a final stage.
+    """
+    if depth <= 0 or width <= 0:
+        raise ValueError("depth and width must be positive")
+    sram_bits = depth * width * counter_bits + topk_entries * 13 * 8
+    salus = depth + 4
+    hash_bits = depth * math.ceil(math.log2(width)) + math.ceil(
+        math.log2(max(topk_entries, 2))
+    )
+    crossbar = depth * _CROSSBAR_PER_REGISTER + _CROSSBAR_PER_TABLE
+    vliw = depth * _VLIW_PER_REGISTER + 4
+    # Rows beyond the per-stage sALU cap spill into further stages.
+    cm_stages = math.ceil(depth / _CAPS.salus_per_stage) + 1
+    stages = cm_stages + 4  # + one-level Top-K block
+    return ResourceReport(
+        name=name or f"CM({depth})+TopK",
+        sram_pct=_pct(sram_bits, _TOTAL_SRAM_BITS),
+        crossbar_pct=_pct(crossbar, _TOTAL_CROSSBAR),
+        tcam_pct=0.0,
+        salu_pct=_pct(salus, _TOTAL_SALUS),
+        hash_bits_pct=_pct(hash_bits, _TOTAL_HASH_BITS),
+        vliw_pct=_pct(vliw, _TOTAL_VLIW),
+        stages=stages,
+    )
+
+
+SWITCH_P4 = ResourceReport(
+    name="switch.p4",
+    sram_pct=30.52,
+    crossbar_pct=37.50,
+    tcam_pct=28.12,
+    salu_pct=22.92,
+    hash_bits_pct=33.43,
+    vliw_pct=36.98,
+    stages=12,
+)
+"""Table 4's baseline datacenter switch program (published numbers)."""
+
+
+LITERATURE_SOLUTIONS: Dict[str, Dict[str, object]] = {
+    "SketchLearn": {"measurement": "Generic", "stages": 9,
+                    "salu_pct": 68.75},
+    "QPipe": {"measurement": "Quantile", "stages": 12, "salu_pct": 45.83},
+    "SpreadSketch": {"measurement": "Superspreader", "stages": 6,
+                     "salu_pct": 12.50},
+    "HashPipe": {"measurement": "Heavy hitter",
+                 "stages": "BMv2 implementation", "salu_pct": None},
+    "ElasticSketch": {"measurement": "Generic",
+                      "stages": "BMv2 implementation", "salu_pct": None},
+    "UnivMon": {"measurement": "Generic",
+                "stages": "BMv2 implementation", "salu_pct": None},
+}
+"""Table 5's published resource figures for other Tofino solutions."""

@@ -1,0 +1,5 @@
+"""Shared exception types."""
+
+
+class SketchMemoryError(ValueError):
+    """Raised when a memory budget is too small to build a sketch."""

@@ -1,0 +1,85 @@
+"""Replicated-experiment utilities.
+
+The paper reports error bars (10th-90th percentile, Figure 6) by
+repeating each configuration over random hash seeds.  This module
+provides the replication harness the benchmarks use for that:
+
+    >>> from repro.experiments import replicate
+    >>> summary = replicate(
+    ...     lambda seed: float(seed % 3), seeds=range(6))
+    >>> summary.mean
+    1.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Percentile summary of one metric across replicated runs."""
+
+    values: Sequence[float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.values))
+
+    @property
+    def p10(self) -> float:
+        """10th percentile (the paper's lower error bar)."""
+        return float(np.quantile(self.values, 0.10))
+
+    @property
+    def p90(self) -> float:
+        """90th percentile (the paper's upper error bar)."""
+        return float(np.quantile(self.values, 0.90))
+
+    @property
+    def spread(self) -> float:
+        """p90 - p10 (error-bar height)."""
+        return self.p90 - self.p10
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"mean": self.mean, "median": self.median,
+                "p10": self.p10, "p90": self.p90}
+
+
+def replicate(run: Callable[[int], float],
+              seeds: Iterable[int] = range(5)) -> ReplicationSummary:
+    """Run ``run(seed)`` for every seed and summarize the metric."""
+    values: List[float] = [float(run(int(seed))) for seed in seeds]
+    if not values:
+        raise ValueError("need at least one seed")
+    return ReplicationSummary(values=tuple(values))
+
+
+def replicate_many(
+    run: Callable[[int], Dict[str, float]],
+    seeds: Iterable[int] = range(5),
+) -> Dict[str, ReplicationSummary]:
+    """Like :func:`replicate` for runs returning several metrics."""
+    collected: Dict[str, List[float]] = {}
+    expected_keys = None
+    count = 0
+    for seed in seeds:
+        count += 1
+        metrics = run(int(seed))
+        if expected_keys is None:
+            expected_keys = set(metrics)
+        elif set(metrics) != expected_keys:
+            raise ValueError("runs returned inconsistent metric sets")
+        for name, value in metrics.items():
+            collected.setdefault(name, []).append(float(value))
+    if count == 0:
+        raise ValueError("need at least one seed")
+    return {name: ReplicationSummary(values=tuple(vals))
+            for name, vals in collected.items()}

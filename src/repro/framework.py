@@ -1,0 +1,125 @@
+"""The FCM framework facade (Figure 1).
+
+Ties the two planes together: an FCM-Sketch (or FCM+TopK) in the data
+plane answering line-rate queries, and the control-plane algorithms
+answering generic measurements from the collected sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Union
+
+import numpy as np
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.controlplane.heavychange import HeavyChangeDetector
+from repro.core.em import EMConfig, EMResult
+from repro.core.fcm import FCMSketch
+from repro.core.topk import FCMTopK
+from repro.traffic.trace import Trace
+
+
+@dataclass
+class MeasurementReport:
+    """All of Figure 1's measurements for one window."""
+
+    total_packets: int
+    cardinality: float
+    heavy_hitters: Set[int]
+    distribution: Optional[EMResult]
+    entropy: Optional[float]
+
+
+class FCMFramework:
+    """End-to-end FCM: data-plane sketch + control-plane algorithms.
+
+    Args:
+        memory_bytes: data-plane memory budget.
+        use_topk: front the sketch with the Top-K filter (§6).
+        k: tree arity (paper defaults: 8 plain, 16 with Top-K).
+        num_trees: FCM tree count.
+        em_config: control-plane EM options.
+        seed: hash seed.
+
+    Example:
+        >>> fw = FCMFramework(memory_bytes=64 * 1024)
+        >>> fw.process_packets([1, 1, 2])
+        >>> fw.flow_size(1)
+        2
+    """
+
+    def __init__(self, memory_bytes: int, use_topk: bool = False,
+                 k: Optional[int] = None, num_trees: int = 2,
+                 em_config: Optional[EMConfig] = None, seed: int = 0):
+        if use_topk:
+            self.sketch: Union[FCMSketch, FCMTopK] = FCMTopK(
+                memory_bytes, k=k if k is not None else 16,
+                num_trees=num_trees, seed=seed,
+            )
+        else:
+            self.sketch = FCMSketch.with_memory(
+                memory_bytes, num_trees=num_trees,
+                k=k if k is not None else 8, seed=seed,
+            )
+        self.em_config = em_config
+        self._total_packets = 0
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+
+    def process_packets(self, keys) -> None:
+        """Run a packet stream through the data plane."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        self.sketch.ingest(keys)
+        self._total_packets += int(keys.shape[0])
+
+    def process_trace(self, trace: Trace) -> None:
+        """Run a whole trace through the data plane."""
+        self.process_packets(trace.keys)
+
+    def flow_size(self, key: int) -> int:
+        """Line-rate count-query (§3.3)."""
+        return self.sketch.query(key)
+
+    def heavy_hitters(self, candidate_keys, threshold: int) -> Set[int]:
+        """Line-rate heavy-hitter query (§3.3)."""
+        return self.sketch.heavy_hitters(candidate_keys, threshold)
+
+    def cardinality(self) -> float:
+        """Line-rate cardinality query via Linear Counting (§3.3)."""
+        return self.sketch.cardinality()
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+
+    def flow_size_distribution(self,
+                               iterations: Optional[int] = None) -> EMResult:
+        """Control-plane EM distribution estimate (§4.2)."""
+        return estimate_distribution(self.sketch, config=self.em_config,
+                                     iterations=iterations)
+
+    def entropy(self, iterations: Optional[int] = None) -> float:
+        """Control-plane entropy estimate (§4.4)."""
+        return self.flow_size_distribution(iterations=iterations).entropy
+
+    def heavy_changes(self, other: "FCMFramework", candidate_keys,
+                      threshold: int) -> Set[int]:
+        """Heavy changes between this window and another (§4.4)."""
+        detector = HeavyChangeDetector(other.sketch, self.sketch)
+        return detector.detect(candidate_keys, threshold)
+
+    def report(self, candidate_keys, heavy_hitter_threshold: int,
+               run_em: bool = True) -> MeasurementReport:
+        """One-shot report of every measurement in Figure 1."""
+        distribution = self.flow_size_distribution() if run_em else None
+        return MeasurementReport(
+            total_packets=self._total_packets,
+            cardinality=self.cardinality(),
+            heavy_hitters=self.heavy_hitters(candidate_keys,
+                                             heavy_hitter_threshold),
+            distribution=distribution,
+            entropy=distribution.entropy if distribution else None,
+        )

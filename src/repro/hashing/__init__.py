@@ -1,0 +1,22 @@
+"""Hash functions used throughout the FCM reproduction.
+
+The paper uses BobHash (Bob Jenkins' lookup3) as its default hash [30].
+Every sketch in this repository only needs a family of seeded,
+uniformly-distributed hash functions over flow keys, so we provide:
+
+``bobhash``
+    A faithful scalar implementation of Jenkins' lookup3 ``hashlittle``
+    for byte strings.  Used for parity/distribution tests and anywhere a
+    reference hash is wanted.
+
+``HashFamily``
+    The workhorse: a seeded family of 64-bit mixers (splitmix64 finalizer)
+    that is vectorized over numpy integer arrays.  Each ``HashFamily(seed)``
+    behaves as an independent uniform hash; pairwise independence quality
+    is validated empirically in the test suite.
+"""
+
+from repro.hashing.bobhash import bobhash
+from repro.hashing.family import HashFamily, fingerprint64, splitmix64
+
+__all__ = ["bobhash", "HashFamily", "fingerprint64", "splitmix64"]

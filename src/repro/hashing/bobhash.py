@@ -1,0 +1,101 @@
+"""Scalar BobHash (Bob Jenkins' lookup3 ``hashlittle``).
+
+This is the hash the FCM paper uses by default (citing the empirical hash
+evaluation of Henke et al. [30]).  The implementation below follows the
+public-domain lookup3.c reference, restricted to the little-endian byte
+path, which is sufficient for hashing flow keys.
+
+It is deliberately a plain, readable Python port: the vectorized hashing
+used on the hot paths lives in :mod:`repro.hashing.family`; this module is
+the reference implementation used for parity and distribution tests and
+for hashing non-integer keys.
+"""
+
+from __future__ import annotations
+
+_MASK = 0xFFFFFFFF
+
+
+def _rot(x: int, k: int) -> int:
+    """Rotate the 32-bit value ``x`` left by ``k`` bits."""
+    x &= _MASK
+    return ((x << k) | (x >> (32 - k))) & _MASK
+
+
+def _mix(a: int, b: int, c: int) -> tuple[int, int, int]:
+    """lookup3's reversible ``mix()`` on three 32-bit lanes."""
+    a = (a - c) & _MASK
+    a ^= _rot(c, 4)
+    c = (c + b) & _MASK
+    b = (b - a) & _MASK
+    b ^= _rot(a, 6)
+    a = (a + c) & _MASK
+    c = (c - b) & _MASK
+    c ^= _rot(b, 8)
+    b = (b + a) & _MASK
+    a = (a - c) & _MASK
+    a ^= _rot(c, 16)
+    c = (c + b) & _MASK
+    b = (b - a) & _MASK
+    b ^= _rot(a, 19)
+    a = (a + c) & _MASK
+    c = (c - b) & _MASK
+    c ^= _rot(b, 4)
+    b = (b + a) & _MASK
+    return a, b, c
+
+
+def _final(a: int, b: int, c: int) -> int:
+    """lookup3's ``final()``; returns the ``c`` lane."""
+    c ^= b
+    c = (c - _rot(b, 14)) & _MASK
+    a ^= c
+    a = (a - _rot(c, 11)) & _MASK
+    b ^= a
+    b = (b - _rot(a, 25)) & _MASK
+    c ^= b
+    c = (c - _rot(b, 16)) & _MASK
+    a ^= c
+    a = (a - _rot(c, 4)) & _MASK
+    b ^= a
+    b = (b - _rot(a, 14)) & _MASK
+    c ^= b
+    c = (c - _rot(b, 24)) & _MASK
+    return c & _MASK
+
+
+def bobhash(key: bytes, seed: int = 0) -> int:
+    """Hash ``key`` with Jenkins' lookup3 and return a 32-bit value.
+
+    Args:
+        key: the bytes to hash (e.g. a packed flow key).
+        seed: a 32-bit seed selecting a member of the hash family.
+
+    Returns:
+        An unsigned 32-bit hash value.
+    """
+    if not isinstance(key, (bytes, bytearray)):
+        raise TypeError(f"bobhash expects bytes, got {type(key).__name__}")
+    length = len(key)
+    a = b = c = (0xDEADBEEF + length + (seed & _MASK)) & _MASK
+
+    offset = 0
+    remaining = length
+    while remaining > 12:
+        a = (a + int.from_bytes(key[offset:offset + 4], "little")) & _MASK
+        b = (b + int.from_bytes(key[offset + 4:offset + 8], "little")) & _MASK
+        c = (c + int.from_bytes(key[offset + 8:offset + 12], "little")) & _MASK
+        a, b, c = _mix(a, b, c)
+        offset += 12
+        remaining -= 12
+
+    tail = key[offset:offset + remaining]
+    if remaining == 0:
+        return c
+    padded = bytes(tail) + b"\x00" * (12 - remaining)
+    a = (a + int.from_bytes(padded[0:4], "little")) & _MASK
+    if remaining > 4:
+        b = (b + int.from_bytes(padded[4:8], "little")) & _MASK
+    if remaining > 8:
+        c = (c + int.from_bytes(padded[8:12], "little")) & _MASK
+    return _final(a, b, c)

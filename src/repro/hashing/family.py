@@ -1,0 +1,149 @@
+"""Seeded, vectorized 64-bit hash family.
+
+Sketches need ``d`` independent uniform hash functions over flow keys.
+Flow keys in this reproduction are unsigned integers (the paper keys on
+source IP, a 32-bit value).  ``HashFamily`` implements a seeded mixer
+built on the splitmix64 finalizer, which passes standard avalanche tests
+and is cheap to vectorize with numpy.
+
+All sketch code funnels hashing through this module so that swapping the
+hash (e.g. to :func:`repro.hashing.bobhash.bobhash`) only touches one
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+_U64 = np.uint64
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+KeyLike = Union[int, np.integer, np.ndarray]
+
+
+def splitmix64(x: int) -> int:
+    """Scalar splitmix64 finalizer on a 64-bit integer."""
+    x &= _MASK64
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def _splitmix64_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 array."""
+    z = (x + _U64(0x9E3779B97F4A7C15)) & _U64(_MASK64)
+    z = (z ^ (z >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return z ^ (z >> _U64(31))
+
+
+def fingerprint64(keys: KeyLike, seed: int = 0x5DEECE66D) -> KeyLike:
+    """64-bit fingerprint of integer key(s); convenience wrapper."""
+    return HashFamily(seed).hash64(keys)
+
+
+class HashFamily:
+    """One member of a seeded family of uniform 64-bit hash functions.
+
+    Instances with distinct seeds behave as independent hashes.  Both
+    scalar ints and numpy arrays are accepted; arrays are hashed without
+    Python-level loops.
+
+    Example:
+        >>> h = HashFamily(seed=7)
+        >>> h.index(12345, width=1024) < 1024
+        True
+    """
+
+    __slots__ = ("seed", "_seed64")
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        # Pre-mix the seed so families with small consecutive seeds are
+        # decorrelated.
+        self._seed64 = splitmix64(self.seed ^ 0xA5A5A5A55A5A5A5A)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFamily(seed={self.seed})"
+
+    def hash64(self, keys: KeyLike) -> KeyLike:
+        """Return 64-bit hash value(s) of the given integer key(s)."""
+        if isinstance(keys, np.ndarray):
+            x = keys.astype(np.uint64, copy=False) ^ _U64(self._seed64)
+            return _splitmix64_vec(x)
+        return splitmix64((int(keys) & _MASK64) ^ self._seed64)
+
+    def index(self, keys: KeyLike, width: int) -> KeyLike:
+        """Map key(s) uniformly onto ``[0, width)``."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        h = self.hash64(keys)
+        if isinstance(h, np.ndarray):
+            return (h % _U64(width)).astype(np.int64)
+        return int(h % width)
+
+    def sign(self, keys: KeyLike) -> KeyLike:
+        """Map key(s) to +/-1 (used by Count-Sketch)."""
+        h = self.hash64(keys)
+        if isinstance(h, np.ndarray):
+            return np.where((h >> _U64(63)) == _U64(1), 1, -1).astype(np.int64)
+        return 1 if (h >> 63) else -1
+
+    def leading_zeros(self, keys: KeyLike, bits: int = 64) -> KeyLike:
+        """Number of leading zero bits in the hash (for HyperLogLog).
+
+        Counts within a ``bits``-wide window of the 64-bit hash, so the
+        result is in ``[0, bits]``.
+        """
+        h = self.hash64(keys)
+        if isinstance(h, np.ndarray):
+            window = h >> _U64(64 - bits) if bits < 64 else h
+            # Split into 32-bit halves: log2 is exact for values < 2**32,
+            # avoiding float64 rounding near 2**64.
+            high = (window >> _U64(32)).astype(np.float64)
+            low = (window & _U64(0xFFFFFFFF)).astype(np.float64)
+            bit_length = np.zeros(window.shape, dtype=np.int64)
+            has_high = high > 0
+            has_low = (~has_high) & (low > 0)
+            bit_length[has_high] = (
+                np.floor(np.log2(high[has_high])).astype(np.int64) + 33
+            )
+            bit_length[has_low] = (
+                np.floor(np.log2(low[has_low])).astype(np.int64) + 1
+            )
+            return bits - bit_length
+        window = h >> (64 - bits)
+        if window == 0:
+            return bits
+        return bits - int(window).bit_length()
+
+    def sample_bits(self, keys: KeyLike, level: int) -> KeyLike:
+        """UnivMon-style sampling indicator: True iff the top ``level``
+        bits of the hash are all zero (i.e. the key survives ``level``
+        halvings)."""
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        if level == 0:
+            if isinstance(keys, np.ndarray):
+                return np.ones(keys.shape, dtype=bool)
+            return True
+        h = self.hash64(keys)
+        if isinstance(h, np.ndarray):
+            return (h >> _U64(64 - level)) == _U64(0)
+        return (h >> (64 - level)) == 0
+
+
+def hash_families(count: int, base_seed: int = 0) -> list[HashFamily]:
+    """Create ``count`` decorrelated hash families.
+
+    Args:
+        count: number of independent hash functions needed.
+        base_seed: offset so different sketches get disjoint families.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return [HashFamily(splitmix64(base_seed * 0x10001 + i)) for i in range(count)]

@@ -1,0 +1,155 @@
+"""Evaluation metrics (§7.2, Table 2).
+
+All five metrics the paper reports:
+
+* ARE  — average relative error of per-flow size estimates,
+* AAE  — average absolute error of per-flow size estimates,
+* F1   — harmonic mean of precision and recall for set-valued tasks
+          (heavy hitters / heavy changes),
+* WMRE — weighted mean relative error between two flow-size
+          distributions (Kumar et al. [38]),
+* RE   — relative error of a scalar statistic (cardinality, entropy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Set
+
+import numpy as np
+
+
+def average_relative_error(
+    true_sizes: Sequence[float] | np.ndarray,
+    estimated_sizes: Sequence[float] | np.ndarray,
+) -> float:
+    """ARE = mean(|x̂_i − x_i| / x_i) over all flows.
+
+    Flows with true size zero are rejected: the paper evaluates over
+    flows that appear in the trace, which always have size >= 1.
+    """
+    truth = np.asarray(true_sizes, dtype=np.float64)
+    est = np.asarray(estimated_sizes, dtype=np.float64)
+    _check_aligned(truth, est)
+    if np.any(truth <= 0):
+        raise ValueError("true sizes must be positive for ARE")
+    return float(np.mean(np.abs(est - truth) / truth))
+
+
+def average_absolute_error(
+    true_sizes: Sequence[float] | np.ndarray,
+    estimated_sizes: Sequence[float] | np.ndarray,
+) -> float:
+    """AAE = mean(|x̂_i − x_i|) over all flows."""
+    truth = np.asarray(true_sizes, dtype=np.float64)
+    est = np.asarray(estimated_sizes, dtype=np.float64)
+    _check_aligned(truth, est)
+    return float(np.mean(np.abs(est - truth)))
+
+
+def relative_error(true_value: float, estimated_value: float) -> float:
+    """RE = |x̂ − x| / x for a scalar statistic."""
+    if true_value == 0:
+        raise ValueError("true value must be nonzero for relative error")
+    return abs(estimated_value - true_value) / abs(true_value)
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision/recall/F1 for a reported set against the true set."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def precision_recall(reported: Set[int], truth: Set[int]) -> PrecisionRecall:
+    """Precision and recall of ``reported`` against ``truth``.
+
+    Edge cases follow the usual conventions: an empty report has
+    precision 1 (nothing false was claimed); an empty truth set has
+    recall 1 (nothing was missed).
+    """
+    true_positives = len(reported & truth)
+    precision = true_positives / len(reported) if reported else 1.0
+    recall = true_positives / len(truth) if truth else 1.0
+    return PrecisionRecall(precision=precision, recall=recall)
+
+
+def f1_score(reported: Set[int], truth: Set[int]) -> float:
+    """F1-score of a reported set (heavy hitters / heavy changes)."""
+    return precision_recall(reported, truth).f1
+
+
+def weighted_mean_relative_error(
+    true_distribution: Mapping[int, float] | np.ndarray,
+    estimated_distribution: Mapping[int, float] | np.ndarray,
+) -> float:
+    """WMRE between two flow-size distributions [38].
+
+    ``WMRE = sum_i |n_i − n̂_i| / sum_i (n_i + n̂_i) / 2`` where ``n_i``
+    is the number of flows of size ``i``.  Accepts either dense arrays
+    indexed by flow size or ``{size: count}`` mappings.
+    """
+    truth = _as_dense(true_distribution)
+    est = _as_dense(estimated_distribution)
+    size = max(truth.shape[0], est.shape[0])
+    truth = np.pad(truth, (0, size - truth.shape[0]))
+    est = np.pad(est, (0, size - est.shape[0]))
+    denom = float(np.sum((truth + est) / 2.0))
+    if denom == 0:
+        return 0.0
+    return float(np.sum(np.abs(truth - est)) / denom)
+
+
+def _as_dense(dist: Mapping[int, float] | np.ndarray) -> np.ndarray:
+    if isinstance(dist, np.ndarray):
+        return dist.astype(np.float64, copy=False)
+    if not dist:
+        return np.zeros(1, dtype=np.float64)
+    top = max(int(k) for k in dist)
+    arr = np.zeros(top + 1, dtype=np.float64)
+    for k, v in dist.items():
+        k = int(k)
+        if k < 0:
+            raise ValueError("flow sizes must be non-negative")
+        arr[k] = float(v)
+    return arr
+
+
+def _check_aligned(truth: np.ndarray, est: np.ndarray) -> None:
+    if truth.shape != est.shape:
+        raise ValueError(
+            f"mismatched shapes: truth {truth.shape} vs estimate {est.shape}"
+        )
+    if truth.size == 0:
+        raise ValueError("cannot average over an empty flow set")
+
+
+def flow_size_errors(
+    truth_keys: Iterable[int],
+    truth_sizes: Sequence[int] | np.ndarray,
+    estimator,
+) -> tuple[float, float]:
+    """Convenience: (ARE, AAE) of ``estimator.query`` over all flows.
+
+    ``estimator`` must expose ``query(key) -> float`` or a vectorized
+    ``query_many(keys) -> np.ndarray``.
+    """
+    keys = np.asarray(list(truth_keys), dtype=np.uint64)
+    sizes = np.asarray(truth_sizes, dtype=np.float64)
+    if hasattr(estimator, "query_many"):
+        estimates = np.asarray(estimator.query_many(keys), dtype=np.float64)
+    else:
+        estimates = np.array([estimator.query(int(k)) for k in keys],
+                             dtype=np.float64)
+    return (
+        average_relative_error(sizes, estimates),
+        average_absolute_error(sizes, estimates),
+    )

@@ -1,0 +1,29 @@
+"""Network-wide measurement substrate (Figure 1's application layer).
+
+The paper motivates FCM with in-network applications — load balancing,
+traffic engineering, anomaly detection (§1, Figure 1).  This package
+provides the substrate those applications need:
+
+* :mod:`repro.network.topology` — leaf-spine and fat-tree topologies
+  with ECMP path sets (networkx-based).
+* :mod:`repro.network.switch` — a switch carrying a data-plane sketch,
+  updated by every packet it forwards.
+* :mod:`repro.network.simulator` — routes flows over the fabric,
+  drives per-switch sketches and answers network-wide queries.
+* :mod:`repro.network.apps` — two application studies: sketch-guided
+  elephant-aware load balancing and entropy-based anomaly detection.
+"""
+
+from repro.network.apps import EntropyAnomalyDetector, SketchLoadBalancer
+from repro.network.simulator import NetworkSimulator
+from repro.network.switch import SimulatedSwitch
+from repro.network.topology import fat_tree, leaf_spine
+
+__all__ = [
+    "leaf_spine",
+    "fat_tree",
+    "SimulatedSwitch",
+    "NetworkSimulator",
+    "SketchLoadBalancer",
+    "EntropyAnomalyDetector",
+]

@@ -1,0 +1,145 @@
+"""Application studies on top of the measurement fabric (Figure 1).
+
+Two of the applications the paper motivates:
+
+* :class:`SketchLoadBalancer` — "load balancing of hot objects"
+  (§3.3): mice follow ECMP; flows the ingress sketch classifies as
+  elephants are steered to the least-loaded candidate path.  The study
+  compares link-load imbalance against plain ECMP.
+* :class:`EntropyAnomalyDetector` — "anomaly detection" (§4.4): the
+  control plane tracks per-window entropy estimated from the
+  data-plane sketch; a window whose entropy deviates from the trailing
+  mean by more than a threshold raises an alert (the classic
+  entropy-based DDoS signal [13, 15, 23]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core.fcm import FCMSketch
+from repro.network.simulator import NetworkSimulator
+from repro.traffic.trace import Trace
+
+
+class SketchLoadBalancer:
+    """Elephant-aware path selection driven by the ingress sketch.
+
+    Args:
+        simulator: the fabric to balance (its switches' sketches are
+            the decision signal).
+        elephant_threshold: estimated size above which a flow is
+            steered instead of hashed.
+    """
+
+    def __init__(self, simulator: NetworkSimulator,
+                 elephant_threshold: int = 1000):
+        if elephant_threshold <= 0:
+            raise ValueError("elephant_threshold must be positive")
+        self.simulator = simulator
+        self.elephant_threshold = elephant_threshold
+        self._planned_load: Dict[Tuple[str, str], int] = {}
+        self.steered_flows = 0
+
+    def _path_cost(self, path: Sequence[str]) -> int:
+        return max(
+            self._planned_load.get(tuple(sorted(edge)), 0)
+            for edge in zip(path, path[1:])
+        )
+
+    def _commit(self, path: Sequence[str], count: int) -> None:
+        for edge in zip(path, path[1:]):
+            link = tuple(sorted(edge))
+            self._planned_load[link] = self._planned_load.get(link, 0) \
+                + count
+
+    def select(self, key: int,
+               candidates: List[List[str]]) -> List[str]:
+        """The ``path_selector`` hook for
+        :meth:`NetworkSimulator.route_trace`."""
+        src_leaf = candidates[0][0]
+        estimate = self.simulator.switches[src_leaf].flow_size(key)
+        if estimate >= self.elephant_threshold:
+            self.steered_flows += 1
+            path = min(candidates, key=self._path_cost)
+        else:
+            path = candidates[
+                self.simulator._ecmp_hash.index(key, len(candidates))
+            ]
+        self._commit(path, max(estimate, 1))
+        return path
+
+    def balance(self, warmup: Trace, workload: Trace) -> float:
+        """Warm the sketches on ``warmup`` traffic, then route
+        ``workload`` with elephant steering; returns the resulting
+        link-load imbalance (compare against a plain-ECMP run)."""
+        self.simulator.route_trace(warmup)
+        self.simulator.link_load.clear()
+        self.simulator.route_trace(workload, path_selector=self.select)
+        return self.simulator.load_imbalance()
+
+
+@dataclass
+class AnomalyAlert:
+    """One flagged measurement window."""
+
+    window_index: int
+    entropy: float
+    baseline: float
+    deviation: float
+
+
+class EntropyAnomalyDetector:
+    """Entropy-based anomaly detection over measurement windows.
+
+    Args:
+        memory_bytes: per-window sketch budget.
+        deviation_threshold: relative deviation from the trailing mean
+            that raises an alert (e.g. 0.2 = 20%).
+        warmup_windows: windows used to establish the baseline before
+            alerts can fire.
+        em_iterations: EM iterations per window.
+    """
+
+    def __init__(self, memory_bytes: int = 64 * 1024,
+                 deviation_threshold: float = 0.2,
+                 warmup_windows: int = 2, em_iterations: int = 4,
+                 seed: int = 0):
+        if not 0 < deviation_threshold < 1:
+            raise ValueError("deviation_threshold must be in (0, 1)")
+        if warmup_windows < 1:
+            raise ValueError("need at least one warmup window")
+        self.memory_bytes = memory_bytes
+        self.deviation_threshold = deviation_threshold
+        self.warmup_windows = warmup_windows
+        self.em_iterations = em_iterations
+        self.seed = seed
+        self.entropy_history: List[float] = []
+
+    def _window_entropy(self, window: Trace) -> float:
+        sketch = FCMSketch.with_memory(self.memory_bytes, seed=self.seed)
+        sketch.ingest(window.keys)
+        result = estimate_distribution(sketch,
+                                       iterations=self.em_iterations)
+        return result.entropy
+
+    def scan(self, windows: Sequence[Trace]) -> List[AnomalyAlert]:
+        """Process windows in order; return the alerts raised."""
+        alerts: List[AnomalyAlert] = []
+        for index, window in enumerate(windows):
+            entropy = self._window_entropy(window)
+            if len(self.entropy_history) >= self.warmup_windows:
+                baseline = (sum(self.entropy_history)
+                            / len(self.entropy_history))
+                deviation = abs(entropy - baseline) / max(baseline, 1e-9)
+                if deviation > self.deviation_threshold:
+                    alerts.append(AnomalyAlert(
+                        window_index=index, entropy=entropy,
+                        baseline=baseline, deviation=deviation,
+                    ))
+                    # Anomalous windows do not pollute the baseline.
+                    continue
+            self.entropy_history.append(entropy)
+        return alerts

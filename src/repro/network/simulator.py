@@ -1,0 +1,166 @@
+"""Network-wide measurement simulation.
+
+Routes a packet trace over a switch fabric, updates the sketch of
+every switch on each flow's path, and answers network-wide queries —
+the deployment the paper's Figure 1 sketches (FCM at every switch,
+apps consuming its queries).
+
+Routing model: each flow is pinned to a (source leaf, destination
+leaf) pair by hashing its key, and to one of the pair's equal-cost
+shortest paths by a second hash (ECMP).  A custom ``path_selector``
+can override the ECMP choice per flow — that hook is what the
+load-balancing application study uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.hashing import HashFamily
+from repro.network.switch import SimulatedSwitch
+from repro.network.topology import ecmp_paths, leaf_switches
+from repro.traffic.trace import Trace
+
+PathSelector = Callable[[int, List[List[str]]], List[str]]
+
+
+class NetworkSimulator:
+    """A fabric of sketch-carrying switches.
+
+    Args:
+        graph: the topology (see :mod:`repro.network.topology`).
+        memory_bytes: sketch budget per switch.
+        sketch_factory: optional ``(switch_name) -> sketch`` override.
+        seed: hash seed for flow-to-leaf and ECMP assignment.
+    """
+
+    def __init__(self, graph: nx.Graph, memory_bytes: int = 64 * 1024,
+                 sketch_factory: Optional[Callable[[str], object]] = None,
+                 seed: int = 0):
+        self.graph = graph
+        self.leaves = leaf_switches(graph)
+        if len(self.leaves) < 2:
+            raise ValueError("topology needs at least two leaf switches")
+        self.paths = ecmp_paths(graph)
+        self.switches: Dict[str, SimulatedSwitch] = {}
+        for name in graph.nodes:
+            sketch = sketch_factory(name) if sketch_factory else None
+            self.switches[name] = SimulatedSwitch(
+                name, sketch=sketch, memory_bytes=memory_bytes
+            )
+        self._endpoint_hash = HashFamily(seed + 11)
+        self._ecmp_hash = HashFamily(seed + 23)
+        self.link_load: Dict[Tuple[str, str], int] = {}
+        self._flow_paths: Dict[int, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def endpoints_of(self, key: int) -> Tuple[str, str]:
+        """The flow's (source, destination) leaf pair (hash-pinned)."""
+        n = len(self.leaves)
+        src = self.leaves[self._endpoint_hash.index(key, n)]
+        dst_choices = [leaf for leaf in self.leaves if leaf != src]
+        dst = dst_choices[self._endpoint_hash.index(key ^ 0x5A5A, len(dst_choices))]
+        return src, dst
+
+    def ecmp_path(self, key: int) -> List[str]:
+        """The flow's default ECMP path."""
+        src, dst = self.endpoints_of(key)
+        candidates = self.paths[(src, dst)]
+        return candidates[self._ecmp_hash.index(key, len(candidates))]
+
+    def route_trace(self, trace: Trace,
+                    path_selector: Optional[PathSelector] = None) -> None:
+        """Route a whole trace (per-flow pinning, batched per switch).
+
+        Args:
+            trace: the packet trace.
+            path_selector: optional override called as
+                ``selector(flow_key, candidate_paths) -> path``; falls
+                back to ECMP when ``None``.
+        """
+        gt = trace.ground_truth
+        per_switch_keys: Dict[str, List[int]] = {n: [] for n in self.switches}
+        per_switch_counts: Dict[str, List[int]] = {n: [] for n in self.switches}
+        for key, count in gt.flow_sizes.items():
+            path = self._select_path(key, path_selector)
+            self._flow_paths[key] = path
+            for hop in path:
+                per_switch_keys[hop].append(key)
+                per_switch_counts[hop].append(count)
+            for edge in zip(path, path[1:]):
+                link = tuple(sorted(edge))
+                self.link_load[link] = self.link_load.get(link, 0) + count
+        for name, keys in per_switch_keys.items():
+            if not keys:
+                continue
+            self._forward_aggregated(
+                self.switches[name],
+                np.asarray(keys, dtype=np.uint64),
+                np.asarray(per_switch_counts[name], dtype=np.int64),
+            )
+
+    def _select_path(self, key: int,
+                     selector: Optional[PathSelector]) -> List[str]:
+        src, dst = self.endpoints_of(key)
+        candidates = self.paths[(src, dst)]
+        if selector is not None:
+            path = selector(key, candidates)
+            if path not in candidates:
+                raise ValueError("selector returned a non-candidate path")
+            return path
+        return candidates[self._ecmp_hash.index(key, len(candidates))]
+
+    @staticmethod
+    def _forward_aggregated(switch: SimulatedSwitch, keys: np.ndarray,
+                            counts: np.ndarray) -> None:
+        sketch = switch.sketch
+        if hasattr(sketch, "ingest_weighted"):
+            sketch.ingest_weighted(keys, counts)
+        else:
+            for key, count in zip(keys, counts):
+                sketch.update(int(key), int(count))
+        switch.packets_forwarded += int(counts.sum())
+
+    # ------------------------------------------------------------------
+    # network-wide queries
+    # ------------------------------------------------------------------
+
+    def flow_size(self, key: int) -> int:
+        """Network-wide flow-size estimate: the minimum over every
+        switch on the flow's path (each saw all of its packets)."""
+        key = int(key)
+        path = self._flow_paths.get(key)
+        if path is None:
+            path = self.ecmp_path(key)
+        return min(self.switches[hop].flow_size(key) for hop in path)
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        """Network-wide heavy hitters (path-minimum estimates)."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return {int(k) for k in candidate_keys
+                if self.flow_size(int(k)) >= threshold}
+
+    def total_flows(self) -> float:
+        """Network-wide distinct-flow estimate.
+
+        Every flow traverses exactly two leaves (its source and
+        destination), so summing the leaf cardinalities double-counts
+        by exactly 2.
+        """
+        return sum(self.switches[leaf].cardinality()
+                   for leaf in self.leaves) / 2.0
+
+    def load_imbalance(self) -> float:
+        """Max/mean packet load over used links (1.0 = perfect)."""
+        if not self.link_load:
+            return 1.0
+        loads = np.array(list(self.link_load.values()), dtype=np.float64)
+        return float(loads.max() / loads.mean())

@@ -1,0 +1,68 @@
+"""A simulated switch carrying a data-plane sketch.
+
+Each switch owns one measurement structure (FCM-Sketch by default; any
+:class:`~repro.sketches.base.FrequencySketch` with the same query
+surface works) and counts the traffic it forwards, mirroring the
+deployment model of §3: the sketch sits in the switching pipeline, so
+every forwarded packet updates it at line-rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set
+
+import numpy as np
+
+from repro.core.fcm import FCMSketch
+
+SketchFactory = Callable[[], object]
+
+
+class SimulatedSwitch:
+    """One switch: a name, a sketch, and forwarding counters.
+
+    Args:
+        name: topology node name.
+        sketch: the measurement structure (default: a 64 KB FCM-Sketch
+            keyed on the switch name for hash diversity).
+    """
+
+    def __init__(self, name: str, sketch: Optional[object] = None,
+                 memory_bytes: int = 64 * 1024):
+        self.name = name
+        if sketch is None:
+            sketch = FCMSketch.with_memory(
+                memory_bytes, seed=abs(hash(name)) % (1 << 31)
+            )
+        self.sketch = sketch
+        self.packets_forwarded = 0
+
+    def forward(self, keys: np.ndarray) -> None:
+        """Forward (and measure) a batch of packets."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        self.sketch.ingest(keys)
+        self.packets_forwarded += int(keys.shape[0])
+
+    # -- data-plane queries (§3.3), delegated to the sketch ----------
+
+    def flow_size(self, key: int) -> int:
+        """Estimated size of a flow this switch forwarded."""
+        return int(self.sketch.query(int(key)))
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        """Heavy hitters among the traffic through this switch."""
+        return self.sketch.heavy_hitters(candidate_keys, threshold)
+
+    def cardinality(self) -> float:
+        """Distinct flows seen by this switch."""
+        return float(self.sketch.cardinality())
+
+    @property
+    def utilization(self) -> int:
+        """Packets forwarded (the load-balancing signal)."""
+        return self.packets_forwarded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SimulatedSwitch({self.name!r}, "
+                f"forwarded={self.packets_forwarded})")

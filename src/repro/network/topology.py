@@ -1,0 +1,78 @@
+"""Datacenter topologies and ECMP path sets.
+
+Switch-level graphs (hosts are aggregated into leaf/edge switches, as
+usual in measurement studies).  Each topology exposes the set of
+equal-cost shortest paths between every pair of leaf switches, which
+the simulator's ECMP routing hashes flows onto.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+PathSet = Dict[Tuple[str, str], List[List[str]]]
+
+
+def leaf_spine(num_leaves: int = 4, num_spines: int = 2) -> nx.Graph:
+    """A two-tier leaf-spine fabric: every leaf connects to every
+    spine.  Leaves are named ``leaf0..``, spines ``spine0..``."""
+    if num_leaves < 2 or num_spines < 1:
+        raise ValueError("need at least 2 leaves and 1 spine")
+    graph = nx.Graph()
+    leaves = [f"leaf{i}" for i in range(num_leaves)]
+    spines = [f"spine{i}" for i in range(num_spines)]
+    graph.add_nodes_from(leaves, role="leaf")
+    graph.add_nodes_from(spines, role="spine")
+    for leaf in leaves:
+        for spine in spines:
+            graph.add_edge(leaf, spine)
+    return graph
+
+
+def fat_tree(k: int = 4) -> nx.Graph:
+    """A k-ary fat tree (k pods, switch level only).
+
+    ``k`` must be even.  Nodes: ``core{i}``, ``agg{p}_{i}``,
+    ``edge{p}_{i}``; edge switches carry ``role='leaf'`` so they act
+    as traffic sources/sinks.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree k must be a positive even number")
+    graph = nx.Graph()
+    half = k // 2
+    cores = [f"core{i}" for i in range(half * half)]
+    graph.add_nodes_from(cores, role="core")
+    for pod in range(k):
+        aggs = [f"agg{pod}_{i}" for i in range(half)]
+        edges = [f"edge{pod}_{i}" for i in range(half)]
+        graph.add_nodes_from(aggs, role="agg")
+        graph.add_nodes_from(edges, role="leaf")
+        for agg in aggs:
+            for edge in edges:
+                graph.add_edge(agg, edge)
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                graph.add_edge(agg, cores[i * half + j])
+    return graph
+
+
+def leaf_switches(graph: nx.Graph) -> List[str]:
+    """Names of the traffic-terminating switches."""
+    return sorted(n for n, d in graph.nodes(data=True)
+                  if d.get("role") == "leaf")
+
+
+def ecmp_paths(graph: nx.Graph) -> PathSet:
+    """All equal-cost shortest paths between every leaf pair."""
+    leaves = leaf_switches(graph)
+    paths: PathSet = {}
+    for src in leaves:
+        for dst in leaves:
+            if src == dst:
+                continue
+            paths[(src, dst)] = [
+                list(p) for p in nx.all_shortest_paths(graph, src, dst)
+            ]
+    return paths

@@ -1,0 +1,68 @@
+"""Baseline sketches the paper compares against (Table 2).
+
+Every baseline is implemented from its original publication, with the
+parameters of §7.2:
+
+* Count-Min (CM) — 3 arrays of 32-bit counters,
+* CU — CM with conservative update,
+* Count-Sketch — substrate for UnivMon,
+* MRAC — single counter array + EM posterior (Kumar et al.),
+* HyperLogLog — 8-bit register array,
+* Linear Counting — bitmap-occupancy cardinality estimator,
+* PyramidSketch (PCM) — word-accelerated hierarchical counters,
+* HashPipe — multi-stage key-value heavy-hitter tables,
+* ElasticSketch — Top-K "heavy" part + 8-bit CM "light" part,
+* UnivMon — recursive sampling + Count-Sketch + G-sum estimators.
+
+Attribute access is lazy (PEP 562): some baselines (ElasticSketch,
+MRAC, UnivMon) build on :mod:`repro.core`, which itself uses the sketch
+base classes — laziness keeps those imports acyclic.
+"""
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "FrequencySketch": "repro.sketches.base",
+    "CardinalitySketch": "repro.sketches.base",
+    "SketchMemoryError": "repro.errors",
+    "CountMinSketch": "repro.sketches.countmin",
+    "CUSketch": "repro.sketches.cu",
+    "CountSketch": "repro.sketches.countsketch",
+    "MRAC": "repro.sketches.mrac",
+    "HyperLogLog": "repro.sketches.hyperloglog",
+    "LinearCounting": "repro.sketches.linear_counting",
+    "PyramidCMSketch": "repro.sketches.pyramid",
+    "HashPipe": "repro.sketches.hashpipe",
+    "ElasticSketch": "repro.sketches.elastic",
+    "UnivMon": "repro.sketches.univmon",
+    "ColdFilterSketch": "repro.sketches.coldfilter",
+}
+
+__all__ = list(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.errors import SketchMemoryError
+    from repro.sketches.base import CardinalitySketch, FrequencySketch
+    from repro.sketches.countmin import CountMinSketch
+    from repro.sketches.coldfilter import ColdFilterSketch
+    from repro.sketches.countsketch import CountSketch
+    from repro.sketches.cu import CUSketch
+    from repro.sketches.elastic import ElasticSketch
+    from repro.sketches.hashpipe import HashPipe
+    from repro.sketches.hyperloglog import HyperLogLog
+    from repro.sketches.linear_counting import LinearCounting
+    from repro.sketches.mrac import MRAC
+    from repro.sketches.pyramid import PyramidCMSketch
+    from repro.sketches.univmon import UnivMon
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        module = import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,135 @@
+"""Common sketch interfaces.
+
+Two informal protocols cover every structure in this repository:
+
+* :class:`FrequencySketch` — per-flow size estimation (``update`` /
+  ``query``), with an optional vectorized bulk path (``ingest`` /
+  ``query_many``) used by benchmarks.
+* :class:`CardinalitySketch` — distinct-flow counting.
+
+Sketches are sized by a memory budget in bytes, mirroring the paper's
+"same total memory" comparisons, and report the memory they actually
+allocated via :attr:`memory_bytes`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Set
+
+import numpy as np
+
+
+from repro.errors import SketchMemoryError
+
+__all__ = [
+    "FrequencySketch",
+    "CardinalitySketch",
+    "SketchMemoryError",
+    "counters_for_budget",
+]
+
+
+class FrequencySketch(abc.ABC):
+    """A sketch that estimates per-flow packet counts."""
+
+    @abc.abstractmethod
+    def update(self, key: int, count: int = 1) -> None:
+        """Record ``count`` packets of flow ``key``."""
+
+    @abc.abstractmethod
+    def query(self, key: int) -> int:
+        """Estimate the size of flow ``key``."""
+
+    @property
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Memory actually allocated for counters, in bytes."""
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Consume a packet stream (default: per-packet loop).
+
+        Order-independent sketches override this with a vectorized
+        implementation; order-dependent ones inherit the loop.
+        """
+        for key in np.asarray(keys):
+            self.update(int(key))
+
+    def ingest_weighted(self, keys: np.ndarray,
+                        weights: np.ndarray) -> None:
+        """Consume a packet stream counting ``weights`` units per
+        packet — e.g. bytes instead of packets (§3.3).
+
+        The default aggregates per flow and applies one weighted
+        update, which is exact for order-independent sketches;
+        order-dependent structures may override.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        weights = np.asarray(weights, dtype=np.int64)
+        if keys.shape != weights.shape:
+            raise ValueError("keys and weights must align")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        totals = np.bincount(inverse, weights=weights).astype(np.int64)
+        for key, total in zip(uniq, totals):
+            self.update(int(key), int(total))
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        """Estimate sizes for many flows (default: per-key loop)."""
+        return np.array([self.query(int(k)) for k in np.asarray(keys)],
+                        dtype=np.int64)
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        """Flows among ``candidate_keys`` estimated at/above ``threshold``.
+
+        The paper's data-plane heavy-hitter query classifies flows by
+        their estimated size against a configured threshold (§3.3).  A
+        plain frequency sketch cannot enumerate keys, so candidates are
+        supplied (in deployment, by the packet stream itself; here, by
+        the trace's flow list).  Key-carrying structures (HashPipe,
+        Elastic, UnivMon, FCM+TopK) override this to use stored keys.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        keys = np.asarray(list(candidate_keys), dtype=np.uint64)
+        estimates = self.query_many(keys)
+        return {int(k) for k, est in zip(keys, estimates) if est >= threshold}
+
+
+class CardinalitySketch(abc.ABC):
+    """A sketch that estimates the number of distinct flows."""
+
+    @abc.abstractmethod
+    def update(self, key: int) -> None:
+        """Observe one packet of flow ``key``."""
+
+    @abc.abstractmethod
+    def cardinality(self) -> float:
+        """Estimate the number of distinct flows seen."""
+
+    @property
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Memory actually allocated, in bytes."""
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Consume a packet stream (default: per-packet loop)."""
+        for key in np.asarray(keys):
+            self.update(int(key))
+
+
+def counters_for_budget(memory_bytes: int, bytes_per_counter: float,
+                        minimum: int = 1) -> int:
+    """Number of counters fitting in a byte budget; validates the budget."""
+    if memory_bytes <= 0:
+        raise SketchMemoryError(f"memory budget must be positive, "
+                                f"got {memory_bytes}")
+    count = int(memory_bytes // bytes_per_counter)
+    if count < minimum:
+        raise SketchMemoryError(
+            f"{memory_bytes} bytes is too small: need at least {minimum} "
+            f"counters of {bytes_per_counter} bytes"
+        )
+    return count

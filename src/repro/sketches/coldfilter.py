@@ -1,0 +1,139 @@
+"""Cold Filter (Zhou et al. [62]).
+
+The counter-sharing meta-framework §9 discusses as the closest prior
+design to FCM: a two-layer conservative-update filter absorbs the cold
+(small) flows, and only flows that saturate both layers reach the
+"hot" structure behind it (here a 32-bit Count-Min, giving the classic
+CF+CM combination).
+
+Estimates decompose as::
+
+    layer-1 min < T1            ->  layer-1 min
+    layer-2 min < T2            ->  T1 + layer-2 min
+    both saturated              ->  T1 + T2 + hot-part estimate
+
+Unlike FCM's per-stage feed-forward trees, both filter layers use
+d-way conservative update, which is why the paper notes Cold Filter
+"cannot be easily implemented in the data plane" — every packet may
+need reads of all d counters in both layers before deciding where to
+count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.hashing.family import hash_families
+from repro.sketches.base import FrequencySketch, SketchMemoryError
+from repro.sketches.countmin import CountMinSketch
+
+
+class _CULayer:
+    """One conservative-update filter layer of small counters."""
+
+    def __init__(self, num_counters: int, bits: int, depth: int,
+                 seed: int):
+        if num_counters < depth:
+            raise SketchMemoryError("layer too small for its depth")
+        self.width = num_counters // depth
+        self.depth = depth
+        self.cap = (1 << bits) - 1
+        self.counters = np.zeros((depth, self.width), dtype=np.int64)
+        self._hashes = hash_families(depth, base_seed=seed)
+        self._rows = np.arange(depth)
+
+    def indices(self, key: int) -> np.ndarray:
+        return np.array([h.index(key, self.width) for h in self._hashes])
+
+    def minimum(self, key: int) -> int:
+        idx = self.indices(key)
+        return int(self.counters[self._rows, idx].min())
+
+    def conservative_add(self, key: int, amount: int) -> int:
+        """CU-add up to ``amount``; returns how much was absorbed."""
+        idx = self.indices(key)
+        values = self.counters[self._rows, idx]
+        current = int(values.min())
+        absorbed = min(amount, self.cap - current)
+        if absorbed > 0:
+            target = current + absorbed
+            self.counters[self._rows, idx] = np.maximum(values, target)
+        return absorbed
+
+
+class ColdFilterSketch(FrequencySketch):
+    """Cold Filter in front of a Count-Min sketch (CF+CM).
+
+    Args:
+        memory_bytes: total budget; split between the two filter
+            layers and the hot part per ``layer1_fraction`` /
+            ``layer2_fraction``.
+        layer1_bits / layer2_bits: filter counter widths (CF paper
+            defaults: 4 and 16).
+        depth: hashes per filter layer (CF default 3).
+        seed: base hash seed.
+    """
+
+    def __init__(self, memory_bytes: int, layer1_fraction: float = 0.5,
+                 layer2_fraction: float = 0.25, layer1_bits: int = 4,
+                 layer2_bits: int = 16, depth: int = 3, seed: int = 0):
+        if not 0 < layer1_fraction < 1 or not 0 < layer2_fraction < 1:
+            raise ValueError("layer fractions must be in (0, 1)")
+        if layer1_fraction + layer2_fraction >= 1:
+            raise ValueError("filter layers cannot take the whole budget")
+        l1_bytes = int(memory_bytes * layer1_fraction)
+        l2_bytes = int(memory_bytes * layer2_fraction)
+        hot_bytes = memory_bytes - l1_bytes - l2_bytes
+        self.layer1 = _CULayer(l1_bytes * 8 // layer1_bits, layer1_bits,
+                               depth, seed)
+        self.layer2 = _CULayer(l2_bytes * 8 // layer2_bits, layer2_bits,
+                               depth, seed + 7)
+        self.hot = CountMinSketch(hot_bytes, depth=depth,
+                                  seed=seed + 13)
+        self.t1 = self.layer1.cap
+        self.t2 = self.layer2.cap
+        self._l1_bits = layer1_bits
+        self._l2_bits = layer2_bits
+
+    @property
+    def memory_bytes(self) -> int:
+        l1 = self.layer1.depth * self.layer1.width * self._l1_bits // 8
+        l2 = self.layer2.depth * self.layer2.width * self._l2_bits // 8
+        return l1 + l2 + self.hot.memory_bytes
+
+    def update(self, key: int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        key = int(key)
+        remaining = count
+        absorbed = self.layer1.conservative_add(key, remaining)
+        remaining -= absorbed
+        if remaining <= 0:
+            return
+        absorbed = self.layer2.conservative_add(key, remaining)
+        remaining -= absorbed
+        if remaining > 0:
+            self.hot.update(key, remaining)
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Per-packet loop (conservative update is order-dependent)."""
+        for key in np.asarray(keys, dtype=np.uint64):
+            self.update(int(key))
+
+    def query(self, key: int) -> int:
+        key = int(key)
+        v1 = self.layer1.minimum(key)
+        if v1 < self.t1:
+            return v1
+        v2 = self.layer2.minimum(key)
+        if v2 < self.t2:
+            return self.t1 + v2
+        return self.t1 + self.t2 + self.hot.query(key)
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        return np.array([self.query(int(k)) for k in keys],
+                        dtype=np.int64)

@@ -1,0 +1,92 @@
+"""Count-Sketch (Charikar, Chen, Farach-Colton).
+
+The unbiased frequency sketch UnivMon builds on: each row adds a random
+sign, and the query is the median over rows.  Updates commute, so bulk
+ingest is vectorized like Count-Min.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.hashing.family import hash_families
+from repro.sketches.base import FrequencySketch, counters_for_budget
+
+
+class CountSketch(FrequencySketch):
+    """Count-Sketch with ``depth`` rows and median aggregation.
+
+    Args:
+        memory_bytes: total budget split equally over rows.
+        depth: number of rows; odd values make the median unambiguous.
+        counter_bits: signed counter width.
+        seed: base seed; index and sign hashes draw from disjoint
+            families.
+    """
+
+    def __init__(self, memory_bytes: int, depth: int = 5,
+                 counter_bits: int = 32, seed: int = 0):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self.counter_bits = counter_bits
+        bytes_per = counter_bits // 8
+        total = counters_for_budget(memory_bytes, bytes_per, minimum=depth)
+        self.width = total // depth
+        self.counters = np.zeros((depth, self.width), dtype=np.int64)
+        self._index_hashes = hash_families(depth, base_seed=seed)
+        self._sign_hashes = hash_families(depth, base_seed=seed + 7919)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.depth * self.width * (self.counter_bits // 8)
+
+    def update(self, key: int, count: int = 1) -> None:
+        for row in range(self.depth):
+            idx = self._index_hashes[row].index(key, self.width)
+            sign = self._sign_hashes[row].sign(key)
+            self.counters[row, idx] += sign * count
+
+    def query(self, key: int) -> int:
+        estimates = [
+            self._sign_hashes[row].sign(key)
+            * self.counters[row, self._index_hashes[row].index(key, self.width)]
+            for row in range(self.depth)
+        ]
+        return int(np.median(estimates))
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Vectorized bulk load (order-independent, exact)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        uniq, counts = np.unique(keys, return_counts=True)
+        self.add_aggregated(uniq, counts)
+
+    def add_aggregated(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Add pre-aggregated (key, count) pairs (vectorized)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        counts = np.asarray(counts, dtype=np.int64)
+        for row in range(self.depth):
+            idx = self._index_hashes[row].index(keys, self.width)
+            signs = self._sign_hashes[row].sign(keys)
+            np.add.at(self.counters[row], idx, signs * counts)
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        rows = np.empty((self.depth, keys.shape[0]), dtype=np.int64)
+        for row in range(self.depth):
+            idx = self._index_hashes[row].index(keys, self.width)
+            signs = self._sign_hashes[row].sign(keys)
+            rows[row] = signs * self.counters[row, idx]
+        return np.median(rows, axis=0).astype(np.int64)
+
+    def l2_estimate(self) -> float:
+        """Median-of-rows estimate of the stream's second moment (F2).
+
+        Each row's sum of squared counters is an unbiased F2 estimator;
+        UnivMon's G-sum recursion uses this.
+        """
+        row_sums = np.sum(self.counters.astype(np.float64) ** 2, axis=1)
+        return float(np.median(row_sums))

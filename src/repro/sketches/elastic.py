@@ -1,0 +1,216 @@
+"""ElasticSketch (Yang et al. [59]).
+
+The state-of-the-art generic baseline of Figure 12: a Top-K "heavy"
+part (multi-level key-value tables with vote-based eviction) in front of
+a "light" part made of 8-bit Count-Min counters.  Per §7.2 the paper
+uses 4 Top-K levels; the light part follows Elastic's P4 version with a
+single 8-bit counter array.
+
+The heavy part is shared with FCM+TopK (:class:`repro.core.topk
+.TopKFilter`); only the backing sketch differs, which is exactly the
+substitution §6 argues for.
+
+Supported queries mirror Elastic's paper: flow size, heavy hitters,
+cardinality (linear counting on the light part plus unseen heavy keys),
+flow-size distribution (heavy exact sizes + MRAC-style EM on the light
+array) and entropy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.core.em import EMConfig, EMEstimator, EMResult
+from repro.core.topk import BUCKET_BYTES, TopKFilter
+from repro.core.virtual import VirtualCounterArray
+from repro.hashing.family import hash_families
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchMemoryError,
+    counters_for_budget,
+)
+from repro.sketches.linear_counting import linear_counting_estimate
+
+
+class ElasticSketch(FrequencySketch):
+    """ElasticSketch: Top-K heavy part + 8-bit CM light part.
+
+    Args:
+        memory_bytes: total budget.  The heavy part takes
+            ``levels * entries_per_level * 13`` bytes; the light part
+            gets the remainder.
+        levels: heavy-part levels (paper default 4).
+        entries_per_level: heavy-part entries per level; ``None`` sizes
+            the heavy part to ~25% of the budget (the paper's 4x8K
+            entries assume MB-scale budgets).
+        lambda_ratio: eviction vote threshold (Elastic default 8).
+        hardware: Tofino-feasible single-level, no-migration variant
+            ("CM+TopK" in §8.2.2 is this with ``levels=1``).
+        seed: base hash seed.
+    """
+
+    LIGHT_BITS = 8
+
+    def __init__(self, memory_bytes: int, levels: int = 4,
+                 entries_per_level: Optional[int] = None,
+                 lambda_ratio: int = 8, hardware: bool = False,
+                 light_depth: int = 1, seed: int = 0):
+        if light_depth <= 0:
+            raise ValueError("light_depth must be positive")
+        if entries_per_level is None:
+            entries_per_level = max(
+                64, int(memory_bytes * 0.25 / (BUCKET_BYTES * levels))
+            )
+        self.topk = TopKFilter(
+            entries_per_level=entries_per_level,
+            levels=levels,
+            lambda_ratio=lambda_ratio,
+            migrate_on_evict=not hardware,
+            seed=seed,
+        )
+        light_budget = memory_bytes - self.topk.memory_bytes
+        if light_budget <= 0:
+            raise SketchMemoryError(
+                f"budget {memory_bytes}B cannot fit the heavy part of "
+                f"{self.topk.memory_bytes}B"
+            )
+        self.light_depth = light_depth
+        total_cells = counters_for_budget(light_budget, 1,
+                                          minimum=8 * light_depth)
+        self.light_width = total_cells // light_depth
+        self.light = np.zeros((light_depth, self.light_width),
+                              dtype=np.int64)
+        self._light_cap = (1 << self.LIGHT_BITS) - 1
+        self._light_hashes = hash_families(light_depth,
+                                           base_seed=seed + 31337)
+        self.hardware = hardware
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.topk.memory_bytes + self.light_depth * self.light_width
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def _to_light(self, key: int, count: int) -> None:
+        for row, h in enumerate(self._light_hashes):
+            idx = h.index(key, self.light_width)
+            self.light[row, idx] = min(self.light[row, idx] + count,
+                                       self._light_cap)
+
+    def update(self, key: int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            self.topk.insert(int(key), self._to_light)
+
+    def ingest(self, keys: np.ndarray) -> None:
+        insert = self.topk.insert
+        to_light = self._to_light
+        for key in np.asarray(keys, dtype=np.uint64):
+            insert(int(key), to_light)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _light_query(self, key: int) -> int:
+        return int(min(
+            self.light[row, h.index(key, self.light_width)]
+            for row, h in enumerate(self._light_hashes)
+        ))
+
+    def query(self, key: int) -> int:
+        key = int(key)
+        resident = self.topk.lookup(key)
+        if resident is None:
+            return self._light_query(key)
+        count, flagged = resident
+        return count + self._light_query(key) if flagged else count
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        light = np.full(keys.shape, np.iinfo(np.int64).max, dtype=np.int64)
+        for row, h in enumerate(self._light_hashes):
+            np.minimum(light, self.light[row, h.index(keys,
+                                                      self.light_width)],
+                       out=light)
+        out = np.empty(keys.shape, dtype=np.int64)
+        for i, key in enumerate(keys):
+            resident = self.topk.lookup(int(key))
+            if resident is None:
+                out[i] = light[i]
+            else:
+                count, flagged = resident
+                out[i] = count + light[i] if flagged else count
+        return out
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        hitters = {
+            key for key, _, _ in self.topk.entries()
+            if self.query(key) >= threshold
+        }
+        keys = np.asarray(list(candidate_keys), dtype=np.uint64)
+        if keys.size:
+            estimates = self.query_many(keys)
+            hitters |= {int(k) for k, est in zip(keys, estimates)
+                        if est >= threshold}
+        return hitters
+
+    def cardinality(self) -> float:
+        """Linear counting on the light part + unseen heavy keys."""
+        empty = float(np.mean(
+            np.count_nonzero(self.light == 0, axis=1)
+        ))
+        empty = max(empty, 1.0)
+        light_card = linear_counting_estimate(empty, self.light_width)
+        unseen = sum(1 for _, _, flagged in self.topk.entries()
+                     if not flagged)
+        return light_card + unseen
+
+    # ------------------------------------------------------------------
+    # control-plane estimates
+    # ------------------------------------------------------------------
+
+    def light_virtual(self) -> list:
+        """Light rows viewed as degree-1 virtual counter arrays."""
+        arrays = []
+        for row in range(self.light_depth):
+            nonzero = self.light[row][self.light[row] > 0]
+            n = nonzero.shape[0]
+            arrays.append(VirtualCounterArray(
+                values=nonzero,
+                degrees=np.ones(n, dtype=np.int64),
+                stages=np.ones(n, dtype=np.int64),
+                leaf_width=self.light_width,
+                thetas=[self._light_cap - 1],
+                num_empty_leaves=self.light_width - n,
+            ))
+        return arrays
+
+    def estimate_distribution(self, config: Optional[EMConfig] = None,
+                              iterations: Optional[int] = None) -> EMResult:
+        """Flow-size distribution: heavy exact sizes + light-part EM."""
+        em = EMEstimator(self.light_virtual(), config=config)
+        result = em.run(iterations=iterations)
+        top = max([result.size_counts.shape[0] - 1]
+                  + [self.query(key) for key, _, _ in self.topk.entries()]
+                  + [1])
+        counts = np.zeros(top + 1, dtype=np.float64)
+        counts[: result.size_counts.shape[0]] = result.size_counts
+        for key, count, flagged in self.topk.entries():
+            size = self.query(key)
+            if 0 < size <= top:
+                counts[size] += 1.0
+        return EMResult(size_counts=counts, iterations=result.iterations)
+
+    def estimate_entropy(self, config: Optional[EMConfig] = None) -> float:
+        """Entropy from the estimated flow-size distribution."""
+        return self.estimate_distribution(config=config).entropy

@@ -1,0 +1,71 @@
+"""Linear Counting (Whang, Vander-Zanden & Taylor [58]).
+
+The cardinality estimator FCM-Sketch uses in the data plane (§3.3):
+hash each flow into a bitmap of ``w`` cells and estimate
+
+    n̂ = -w * ln(w0 / w)
+
+where ``w0`` is the number of cells still empty.  FCM applies the same
+formula to the occupancy of its stage-1 counter array; this standalone
+version backs the unit tests and the TCAM lookup-table study (App. C).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing import HashFamily
+from repro.sketches.base import CardinalitySketch, counters_for_budget
+
+
+def linear_counting_estimate(empty_cells: float, total_cells: int) -> float:
+    """The LC maximum-likelihood estimate ``-w * ln(w0 / w)``.
+
+    A fully-occupied bitmap (``empty_cells == 0``) saturates the
+    estimator; we return the coupon-collector upper bound ``w * ln(w)``
+    in that case, matching common practice.
+    """
+    if total_cells <= 0:
+        raise ValueError("total_cells must be positive")
+    if not 0 <= empty_cells <= total_cells:
+        raise ValueError("empty_cells out of range")
+    if empty_cells == 0:
+        return total_cells * math.log(total_cells)
+    return -total_cells * math.log(empty_cells / total_cells)
+
+
+class LinearCounting(CardinalitySketch):
+    """A standalone Linear-Counting bitmap.
+
+    Args:
+        memory_bytes: bitmap budget (1 bit per cell).
+        seed: hash seed.
+    """
+
+    def __init__(self, memory_bytes: int, seed: int = 0):
+        self.num_cells = counters_for_budget(memory_bytes, 1.0 / 8.0,
+                                             minimum=8)
+        self._bitmap = np.zeros(self.num_cells, dtype=bool)
+        self._hash = HashFamily(seed)
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_cells + 7) // 8
+
+    def update(self, key: int) -> None:
+        self._bitmap[self._hash.index(key, self.num_cells)] = True
+
+    def ingest(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        idx = self._hash.index(keys, self.num_cells)
+        self._bitmap[idx] = True
+
+    @property
+    def empty_cells(self) -> int:
+        """Number of cells never touched."""
+        return int(self.num_cells - np.count_nonzero(self._bitmap))
+
+    def cardinality(self) -> float:
+        return linear_counting_estimate(self.empty_cells, self.num_cells)

@@ -1,0 +1,82 @@
+"""MRAC (Kumar, Sung, Xu & Wang [38]).
+
+The flow-size-distribution baseline of Figures 7 and 9: a single
+counter array (counters uniformly chosen by one hash) plus an EM
+posterior over the collision patterns of each counter value.
+
+An MRAC counter is exactly a degree-1 virtual counter of a one-stage
+tree, so the EM step reuses :class:`repro.core.em.EMEstimator` — the
+paper makes the same observation ("each MRAC counter is equivalent to a
+virtual counter with a single path", §7.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.em import EMConfig, EMEstimator, EMResult
+from repro.core.virtual import VirtualCounterArray
+from repro.hashing import HashFamily
+from repro.sketches.base import FrequencySketch, counters_for_budget
+
+
+class MRAC(FrequencySketch):
+    """Single-array counting sketch with EM distribution recovery.
+
+    Args:
+        memory_bytes: counter budget.
+        counter_bits: counter width (paper uses 32).
+        seed: hash seed.
+    """
+
+    def __init__(self, memory_bytes: int, counter_bits: int = 32,
+                 seed: int = 0):
+        self.counter_bits = counter_bits
+        self.width = counters_for_budget(memory_bytes, counter_bits // 8,
+                                         minimum=1)
+        self.counters = np.zeros(self.width, dtype=np.int64)
+        self._hash = HashFamily(seed)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.width * (self.counter_bits // 8)
+
+    def update(self, key: int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.counters[self._hash.index(key, self.width)] += count
+
+    def query(self, key: int) -> int:
+        return int(self.counters[self._hash.index(key, self.width)])
+
+    def ingest(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.uint64)
+        idx = self._hash.index(keys, self.width)
+        self.counters += np.bincount(idx, minlength=self.width)
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        return self.counters[self._hash.index(keys, self.width)]
+
+    def to_virtual(self) -> VirtualCounterArray:
+        """View the array as degree-1 virtual counters for EM."""
+        nonzero = self.counters[self.counters > 0]
+        n = nonzero.shape[0]
+        return VirtualCounterArray(
+            values=nonzero,
+            degrees=np.ones(n, dtype=np.int64),
+            stages=np.ones(n, dtype=np.int64),
+            leaf_width=self.width,
+            thetas=[(1 << self.counter_bits) - 2],
+            num_empty_leaves=self.width - n,
+        )
+
+    def estimate_distribution(self, config: Optional[EMConfig] = None,
+                              iterations: Optional[int] = None,
+                              callback=None) -> EMResult:
+        """Run MRAC's EM and return the flow-size-distribution estimate."""
+        estimator = EMEstimator([self.to_virtual()], config=config)
+        return estimator.run(iterations=iterations, callback=callback)

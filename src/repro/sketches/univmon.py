@@ -1,0 +1,181 @@
+"""UnivMon (Liu et al. [44]).
+
+The universal-streaming baseline of Figure 12: ``L`` levels of
+sampling-and-sketching.  Level ``l`` keeps the substream of flows whose
+sampling-hash has ``l`` leading zero bits (halving per level); each
+level maintains a Count-Sketch and a heap of its top-k flows.  Any
+G-sum ``sum_i g(f_i)`` is estimated with the recursive estimator of
+universal streaming:
+
+    Y_L = sum of g(w_h) over the top level's heavy hitters
+    Y_l = 2 * Y_{l+1} + sum_{h in Q_l} (1 - 2*sampled_{l+1}(h)) * g(w_h)
+
+Cardinality uses ``g = 1``, entropy ``g(x) = x log2 x`` (then
+``H = log2(m) - G/m``), and heavy hitters come from the level-0 heap.
+Per §7.2: 16 levels, 2K-entry heaps, Count-Sketch with the remaining
+memory.
+
+In this software simulation the per-level heaps are materialized after
+ingest by ranking the level's sampled keys by their Count-Sketch
+estimates, which matches the structure's semantics without simulating
+the online heap maintenance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.hashing import HashFamily
+from repro.sketches.base import FrequencySketch, SketchMemoryError
+from repro.sketches.countsketch import CountSketch
+
+HEAP_ENTRY_BYTES = 12  # 8B key + 4B estimate
+
+
+class UnivMon(FrequencySketch):
+    """UnivMon with ``levels`` sampling levels of Count-Sketch + heap.
+
+    Args:
+        memory_bytes: total budget; heaps take
+            ``levels * heap_entries * 12`` bytes, Count-Sketches split
+            the rest equally.
+        levels: number of sampling levels (paper default 16).
+        heap_entries: per-level top-k size; ``None`` scales with the
+            budget, capped at the paper's 2048.
+        depth: Count-Sketch rows per level.
+        seed: base hash seed.
+    """
+
+    def __init__(self, memory_bytes: int, levels: int = 16,
+                 heap_entries: Optional[int] = None, depth: int = 5,
+                 seed: int = 0):
+        if levels <= 0:
+            raise ValueError("levels must be positive")
+        if heap_entries is None:
+            heap_entries = min(
+                2048,
+                max(16, int(memory_bytes * 0.25
+                            / (HEAP_ENTRY_BYTES * levels))),
+            )
+        self.levels = levels
+        self.heap_entries = heap_entries
+        heap_bytes = levels * heap_entries * HEAP_ENTRY_BYTES
+        sketch_budget = memory_bytes - heap_bytes
+        if sketch_budget <= levels * depth * 4:
+            raise SketchMemoryError(
+                f"budget {memory_bytes}B too small for {levels} levels"
+            )
+        per_level = sketch_budget // levels
+        self.sketches: List[CountSketch] = [
+            CountSketch(per_level, depth=depth, seed=seed + 101 * (l + 1))
+            for l in range(levels)
+        ]
+        self._sample_hash = HashFamily(seed + 424243)
+        self._sampled_keys: List[Set[int]] = [set() for _ in range(levels)]
+        self._total_packets = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        return (sum(s.memory_bytes for s in self.sketches)
+                + self.levels * self.heap_entries * HEAP_ENTRY_BYTES)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def update(self, key: int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        key = int(key)
+        self._total_packets += count
+        for level in range(self.levels):
+            if not self._sample_hash.sample_bits(key, level):
+                break
+            self.sketches[level].update(key, count)
+            self._sampled_keys[level].add(key)
+
+    def ingest(self, keys: np.ndarray) -> None:
+        """Vectorized bulk load (sampling and CS updates commute)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        uniq, counts = np.unique(keys, return_counts=True)
+        self._total_packets += int(counts.sum())
+        for level in range(self.levels):
+            mask = self._sample_hash.sample_bits(uniq, level)
+            if not np.any(mask):
+                break
+            sampled = uniq[mask]
+            self.sketches[level].add_aggregated(sampled, counts[mask])
+            self._sampled_keys[level].update(int(k) for k in sampled)
+
+    # ------------------------------------------------------------------
+    # per-level heaps (materialized on demand)
+    # ------------------------------------------------------------------
+
+    def level_heap(self, level: int) -> Dict[int, int]:
+        """Top-k keys of a level with their Count-Sketch estimates."""
+        sampled = self._sampled_keys[level]
+        if not sampled:
+            return {}
+        keys = np.fromiter(sampled, dtype=np.uint64, count=len(sampled))
+        estimates = self.sketches[level].query_many(keys)
+        order = np.argsort(estimates)[::-1][: self.heap_entries]
+        return {int(keys[i]): max(int(estimates[i]), 1) for i in order}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query(self, key: int) -> int:
+        """Flow-size estimate from the level-0 Count-Sketch."""
+        return max(self.sketches[0].query(int(key)), 0)
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
+                          else keys, dtype=np.uint64)
+        return np.maximum(self.sketches[0].query_many(keys), 0)
+
+    def heavy_hitters(self, candidate_keys: Iterable[int],
+                      threshold: int) -> Set[int]:
+        """Level-0 heap entries above the threshold."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return {key for key, est in self.level_heap(0).items()
+                if est >= threshold}
+
+    def g_sum(self, g) -> float:
+        """Recursive universal-streaming estimate of ``sum_i g(f_i)``."""
+        top = self._top_active_level()
+        if top < 0:
+            return 0.0
+        heaps = [self.level_heap(level) for level in range(top + 1)]
+        y = sum(g(est) for est in heaps[top].values())
+        for level in range(top - 1, -1, -1):
+            acc = 2.0 * y
+            for key, est in heaps[level].items():
+                sampled_next = bool(
+                    self._sample_hash.sample_bits(key, level + 1)
+                )
+                acc += (1.0 - 2.0 * sampled_next) * g(est)
+            y = acc
+        return float(y)
+
+    def _top_active_level(self) -> int:
+        for level in range(self.levels - 1, -1, -1):
+            if self._sampled_keys[level]:
+                return level
+        return -1
+
+    def cardinality(self) -> float:
+        """G-sum with g = 1 (distinct-flow count)."""
+        return max(self.g_sum(lambda x: 1.0), 1.0)
+
+    def estimate_entropy(self) -> float:
+        """Entropy via g(x) = x log2(x): H = log2(m) - G/m."""
+        m = self._total_packets
+        if m <= 0:
+            return 0.0
+        g = self.g_sum(lambda x: x * math.log2(x) if x > 0 else 0.0)
+        return max(math.log2(m) - g / m, 0.0)

@@ -1,0 +1,38 @@
+"""Traffic traces and workload generators.
+
+The paper evaluates on CAIDA Equinix-NYC traces (about 20M packets and
+0.5M distinct source-IP flows per 15 s window) and on synthetic Zipf
+traces with skew between 1.1 and 1.7.  CAIDA traces are not
+redistributable, so this package provides:
+
+* :func:`repro.traffic.zipf.zipf_trace` — the paper's §7.4 synthetic
+  workload (fixed packet volume, configurable skew).
+* :func:`repro.traffic.caida_like.caida_like_trace` — a heavy-tailed
+  mixture calibrated to the CAIDA summary statistics quoted in §7.2
+  (average flow size ~40-50 packets, maximum ~100K, strong skew).
+* :class:`repro.traffic.trace.Trace` — an immutable packet trace with
+  ground-truth statistics (exact flow sizes, distribution, entropy,
+  cardinality, heavy hitters, heavy changes) used by every benchmark.
+"""
+
+from repro.traffic.caida_like import caida_like_trace
+from repro.traffic.packet_sizes import imix_sizes, uniform_sizes
+from repro.traffic.flow import FlowKey, pack_ipv4, unpack_ipv4
+from repro.traffic.stats import GroundTruth
+from repro.traffic.trace import Trace, merge_traces, split_windows
+from repro.traffic.zipf import zipf_flow_sizes, zipf_trace
+
+__all__ = [
+    "FlowKey",
+    "pack_ipv4",
+    "unpack_ipv4",
+    "GroundTruth",
+    "Trace",
+    "merge_traces",
+    "split_windows",
+    "zipf_flow_sizes",
+    "zipf_trace",
+    "caida_like_trace",
+    "imix_sizes",
+    "uniform_sizes",
+]

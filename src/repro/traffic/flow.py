@@ -1,0 +1,90 @@
+"""Flow keys.
+
+The paper keys flows on the source IP address (a 32-bit value); finer
+keys such as the 5-tuple would only increase skew (§7.2).  Internally
+every flow key is an unsigned integer, which keeps hashing vectorizable.
+This module provides helpers for converting between dotted-quad strings,
+packed bytes and the canonical integer form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FlowKey = int
+"""Canonical flow-key type: an unsigned integer (source IP by default)."""
+
+MAX_IPV4 = 0xFFFFFFFF
+
+
+def pack_ipv4(address: str) -> FlowKey:
+    """Convert a dotted-quad IPv4 string to the integer flow key.
+
+    >>> pack_ipv4("10.0.0.1")
+    167772161
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def unpack_ipv4(key: FlowKey) -> str:
+    """Convert an integer flow key back to dotted-quad form.
+
+    >>> unpack_ipv4(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= key <= MAX_IPV4:
+        raise ValueError(f"flow key {key} does not fit in IPv4")
+    return ".".join(str((key >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """An optional richer flow key (src, dst, sport, dport, proto).
+
+    Collapsed to a single integer via a fixed-layout pack so the rest of
+    the pipeline stays integer-keyed.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_ip <= MAX_IPV4 or not 0 <= self.dst_ip <= MAX_IPV4:
+            raise ValueError("IP addresses must be 32-bit")
+        if not 0 <= self.src_port <= 0xFFFF or not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError("ports must be 16-bit")
+        if not 0 <= self.protocol <= 0xFF:
+            raise ValueError("protocol must be 8-bit")
+
+    def to_key(self) -> FlowKey:
+        """Pack the 104-bit tuple into one integer flow key."""
+        return (
+            (self.src_ip << 72)
+            | (self.dst_ip << 40)
+            | (self.src_port << 24)
+            | (self.dst_port << 8)
+            | self.protocol
+        )
+
+    @classmethod
+    def from_key(cls, key: int) -> "FiveTuple":
+        """Inverse of :meth:`to_key`."""
+        return cls(
+            src_ip=(key >> 72) & MAX_IPV4,
+            dst_ip=(key >> 40) & MAX_IPV4,
+            src_port=(key >> 24) & 0xFFFF,
+            dst_port=(key >> 8) & 0xFFFF,
+            protocol=key & 0xFF,
+        )

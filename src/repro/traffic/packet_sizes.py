@@ -1,0 +1,34 @@
+"""Packet-size (byte-count) workloads.
+
+§3.3 notes the count-query "can be interpreted in different ways,
+e.g., bytes, packets".  This module supplies per-packet byte sizes so
+sketches can be exercised in byte mode: the classic IMIX mixture and a
+uniform-size generator for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The simple IMIX mixture: (packet size in bytes, proportion).
+IMIX = ((40, 7), (576, 4), (1500, 1))
+
+
+def imix_sizes(num_packets: int, seed: int = 0) -> np.ndarray:
+    """Per-packet byte sizes drawn from the 7:4:1 IMIX mixture."""
+    if num_packets <= 0:
+        raise ValueError("num_packets must be positive")
+    sizes = np.array([s for s, _ in IMIX], dtype=np.int64)
+    weights = np.array([w for _, w in IMIX], dtype=np.float64)
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    return rng.choice(sizes, size=num_packets, p=weights)
+
+
+def uniform_sizes(num_packets: int, size: int = 1000) -> np.ndarray:
+    """Constant per-packet byte size (useful for exact-total tests)."""
+    if num_packets <= 0:
+        raise ValueError("num_packets must be positive")
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return np.full(num_packets, size, dtype=np.int64)

@@ -1,0 +1,155 @@
+"""Exact ground-truth statistics of a packet trace.
+
+Every evaluation metric in the paper compares a sketch estimate with the
+exact value computed from the trace, so this module is the reference
+implementation of all measured quantities:
+
+* per-flow sizes,
+* flow-size distribution (``n_j`` = number of flows of size ``j``),
+* cardinality (number of distinct flows),
+* empirical entropy  ``H = -sum_k k * (n_k / m) * log(k * n_k / m)``
+  following the flow-size-distribution form used by the paper (§4.4,
+  citing Lall et al. [40], with ``m`` the total packet count),
+* heavy hitters above a threshold,
+* heavy changes between two windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Set
+
+import numpy as np
+
+
+def entropy_from_distribution(size_counts: Mapping[int, int]) -> float:
+    """Entropy of the trace from its flow-size distribution.
+
+    Args:
+        size_counts: maps flow size ``k`` to the number of flows ``n_k``.
+
+    Returns:
+        The empirical entropy ``-sum_k (k * n_k / m) log2(k / m)`` where
+        ``m`` is the total number of packets.  This equals the entropy of
+        the packet-to-flow distribution: each flow of size ``k``
+        contributes ``k/m * log2(m/k)``.
+    """
+    total = sum(k * n for k, n in size_counts.items())
+    if total <= 0:
+        return 0.0
+    acc = 0.0
+    for k, n_k in size_counts.items():
+        if k <= 0 or n_k <= 0:
+            continue
+        p = k / total
+        acc += n_k * p * math.log2(p)
+    return -acc
+
+
+def entropy_from_sizes(sizes: Iterable[int]) -> float:
+    """Entropy directly from a collection of flow sizes."""
+    counts: Dict[int, int] = {}
+    for s in sizes:
+        s = int(s)
+        if s > 0:
+            counts[s] = counts.get(s, 0) + 1
+    return entropy_from_distribution(counts)
+
+
+@dataclass
+class GroundTruth:
+    """Exact statistics of one trace window.
+
+    Attributes:
+        flow_sizes: mapping from flow key to its exact packet count.
+        total_packets: number of packets in the window.
+    """
+
+    flow_sizes: Dict[int, int]
+    total_packets: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.total_packets == 0:
+            self.total_packets = sum(self.flow_sizes.values())
+
+    @classmethod
+    def from_packets(cls, keys: np.ndarray,
+                     weights: np.ndarray | None = None) -> "GroundTruth":
+        """Aggregate a packet-key stream into ground truth.
+
+        With ``weights``, flow sizes are weighted sums (e.g. bytes per
+        flow) instead of packet counts.
+        """
+        keys = np.asarray(keys)
+        if weights is None:
+            uniq, counts = np.unique(keys, return_counts=True)
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+            if weights.shape != keys.shape:
+                raise ValueError("keys and weights must align")
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            counts = np.bincount(inverse, weights=weights).astype(np.int64)
+        sizes = {int(k): int(c) for k, c in zip(uniq, counts)}
+        return cls(flow_sizes=sizes, total_packets=int(counts.sum()))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct flows."""
+        return len(self.flow_sizes)
+
+    def size_of(self, key: int) -> int:
+        """Exact size of one flow (0 if absent)."""
+        return self.flow_sizes.get(int(key), 0)
+
+    def size_distribution(self) -> Dict[int, int]:
+        """Map flow size ``j`` -> number of flows of that size ``n_j``."""
+        dist: Dict[int, int] = {}
+        for size in self.flow_sizes.values():
+            dist[size] = dist.get(size, 0) + 1
+        return dist
+
+    def size_distribution_array(self, max_size: int | None = None) -> np.ndarray:
+        """Distribution as a dense array ``a[j] = n_j`` (index 0 unused)."""
+        dist = self.size_distribution()
+        top = max(dist) if dist else 0
+        if max_size is not None:
+            top = max(top, max_size)
+        arr = np.zeros(top + 1, dtype=np.float64)
+        for j, n in dist.items():
+            if j <= top:
+                arr[j] = n
+        return arr
+
+    @property
+    def entropy(self) -> float:
+        """Exact empirical entropy of the window."""
+        return entropy_from_distribution(self.size_distribution())
+
+    def heavy_hitters(self, threshold: int) -> Set[int]:
+        """Flows whose exact size is at least ``threshold`` packets."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return {k for k, v in self.flow_sizes.items() if v >= threshold}
+
+    def heavy_changes(self, other: "GroundTruth", threshold: int) -> Set[int]:
+        """Flows whose size changed by at least ``threshold`` between two
+        windows (the paper's heavy-change definition, §4.4)."""
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        keys = set(self.flow_sizes) | set(other.flow_sizes)
+        return {
+            k
+            for k in keys
+            if abs(self.size_of(k) - other.size_of(k)) >= threshold
+        }
+
+    def keys_array(self) -> np.ndarray:
+        """Distinct flow keys as a uint64 array (vectorized queries)."""
+        return np.fromiter(self.flow_sizes.keys(), dtype=np.uint64,
+                           count=len(self.flow_sizes))
+
+    def sizes_array(self) -> np.ndarray:
+        """Exact sizes aligned with :meth:`keys_array`."""
+        return np.fromiter(self.flow_sizes.values(), dtype=np.int64,
+                           count=len(self.flow_sizes))

@@ -1,0 +1,143 @@
+"""Packet traces.
+
+A :class:`Trace` is an ordered stream of packets, each identified by its
+flow key.  Sketches consume traces either packet-by-packet (for
+order-dependent algorithms such as CU and the Top-K filters) or in bulk
+(for order-independent ones such as CM and FCM, see DESIGN.md).
+
+Traces can be saved/loaded as ``.npz`` so expensive workloads are
+generated once per benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.traffic.stats import GroundTruth
+
+
+class Trace:
+    """An immutable packet trace plus lazily-computed ground truth.
+
+    Args:
+        keys: per-packet flow keys (any integer array-like).
+        name: human-readable label used in benchmark reports.
+    """
+
+    def __init__(self, keys: Sequence[int] | np.ndarray, name: str = "trace"):
+        arr = np.asarray(keys, dtype=np.uint64)
+        if arr.ndim != 1:
+            raise ValueError("trace keys must be one-dimensional")
+        arr.setflags(write=False)
+        self._keys = arr
+        self.name = str(name)
+        self._truth: GroundTruth | None = None
+
+    def __len__(self) -> int:
+        return int(self._keys.shape[0])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(k) for k in self._keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(name={self.name!r}, packets={len(self)})"
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Per-packet flow keys (read-only uint64 array)."""
+        return self._keys
+
+    @property
+    def ground_truth(self) -> GroundTruth:
+        """Exact statistics of the trace (computed once, cached)."""
+        if self._truth is None:
+            self._truth = GroundTruth.from_packets(self._keys)
+        return self._truth
+
+    @property
+    def num_flows(self) -> int:
+        """Number of distinct flows."""
+        return self.ground_truth.cardinality
+
+    def heavy_hitter_threshold(self, fraction: float = 0.0005) -> int:
+        """The paper's heavy-hitter threshold: a fixed fraction of the
+        total packet count (10K packets ~= 0.05% of a 20M trace)."""
+        if not 0 < fraction < 1:
+            raise ValueError("fraction must be in (0, 1)")
+        return max(1, int(round(len(self) * fraction)))
+
+    def save(self, path: str) -> None:
+        """Persist the trace as a compressed ``.npz`` file."""
+        np.savez_compressed(path, keys=self._keys, name=self.name)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        with np.load(path, allow_pickle=False) as data:
+            return cls(data["keys"], name=str(data["name"]))
+
+    def to_csv(self, path: str) -> None:
+        """Export as one flow key per line (dotted-quad when the key
+        fits IPv4, else the integer) — interoperable with external
+        tooling."""
+        from repro.traffic.flow import MAX_IPV4, unpack_ipv4
+
+        with open(path, "w") as fh:
+            fh.write("flow_key\n")
+            for key in self._keys:
+                key = int(key)
+                if key <= MAX_IPV4:
+                    fh.write(unpack_ipv4(key) + "\n")
+                else:
+                    fh.write(str(key) + "\n")
+
+    @classmethod
+    def from_csv(cls, path: str, name: str | None = None) -> "Trace":
+        """Import a trace exported by :meth:`to_csv` (or any file with
+        one source IP / integer key per line; a header row and blank
+        lines are tolerated)."""
+        from repro.traffic.flow import pack_ipv4
+
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        keys = []
+        with open(path) as fh:
+            for line in fh:
+                token = line.strip()
+                if not token or token == "flow_key":
+                    continue
+                if "." in token:
+                    keys.append(pack_ipv4(token))
+                else:
+                    keys.append(int(token))
+        if not keys:
+            raise ValueError(f"no packets found in {path}")
+        return cls(np.asarray(keys, dtype=np.uint64),
+                   name=name if name is not None else path)
+
+
+def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Concatenate several traces into one stream (in order)."""
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+    return Trace(np.concatenate([t.keys for t in traces]), name=name)
+
+
+def split_windows(trace: Trace, num_windows: int) -> List[Trace]:
+    """Split a trace into ``num_windows`` equal, contiguous windows.
+
+    Used by heavy-change detection, which compares adjacent windows.
+    """
+    if num_windows <= 0:
+        raise ValueError("num_windows must be positive")
+    if num_windows > len(trace):
+        raise ValueError("more windows than packets")
+    chunks = np.array_split(trace.keys, num_windows)
+    return [
+        Trace(chunk, name=f"{trace.name}[{i}]") for i, chunk in enumerate(chunks)
+    ]

@@ -1,0 +1,139 @@
+"""Tests for the sketch base classes, budget helper and misc glue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchMemoryError
+from repro.sketches.base import (
+    CardinalitySketch,
+    FrequencySketch,
+    counters_for_budget,
+)
+
+
+class _DictSketch(FrequencySketch):
+    """Minimal exact sketch for exercising the base-class defaults."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def update(self, key, count=1):
+        self.counts[key] = self.counts.get(key, 0) + count
+
+    def query(self, key):
+        return self.counts.get(key, 0)
+
+    @property
+    def memory_bytes(self):
+        return 0
+
+
+class _SetCardinality(CardinalitySketch):
+    def __init__(self):
+        self.seen = set()
+
+    def update(self, key):
+        self.seen.add(key)
+
+    def cardinality(self):
+        return float(len(self.seen))
+
+    @property
+    def memory_bytes(self):
+        return 0
+
+
+class TestCountersForBudget:
+    def test_basic_division(self):
+        assert counters_for_budget(100, 4) == 25
+
+    def test_fractional_counter_size(self):
+        assert counters_for_budget(10, 0.5) == 20
+
+    def test_minimum_enforced(self):
+        with pytest.raises(SketchMemoryError):
+            counters_for_budget(10, 4, minimum=5)
+
+    def test_nonpositive_budget(self):
+        with pytest.raises(SketchMemoryError):
+            counters_for_budget(0, 4)
+
+
+class TestFrequencyDefaults:
+    def test_default_ingest_loops(self):
+        sketch = _DictSketch()
+        sketch.ingest(np.array([1, 1, 2], dtype=np.uint64))
+        assert sketch.query(1) == 2 and sketch.query(2) == 1
+
+    def test_default_query_many(self):
+        sketch = _DictSketch()
+        sketch.update(5, 3)
+        assert sketch.query_many([5, 6]).tolist() == [3, 0]
+
+    def test_default_heavy_hitters(self):
+        sketch = _DictSketch()
+        sketch.update(1, 100)
+        sketch.update(2, 5)
+        assert sketch.heavy_hitters([1, 2], 50) == {1}
+        with pytest.raises(ValueError):
+            sketch.heavy_hitters([1], 0)
+
+    def test_default_ingest_weighted(self):
+        sketch = _DictSketch()
+        sketch.ingest_weighted(np.array([1, 2, 1], dtype=np.uint64),
+                               np.array([10, 20, 30]))
+        assert sketch.query(1) == 40 and sketch.query(2) == 20
+
+    def test_ingest_weighted_validation(self):
+        sketch = _DictSketch()
+        with pytest.raises(ValueError):
+            sketch.ingest_weighted(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            sketch.ingest_weighted(np.array([1]), np.array([-5]))
+
+
+class TestCardinalityDefaults:
+    def test_default_ingest(self):
+        sketch = _SetCardinality()
+        sketch.ingest(np.array([1, 1, 2, 3], dtype=np.uint64))
+        assert sketch.cardinality() == 3.0
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_sketches_dir(self):
+        import repro.sketches as sk
+
+        listing = dir(sk)
+        assert "CountMinSketch" in listing
+        assert "ColdFilterSketch" in listing
+
+    def test_sketches_unknown_attribute(self):
+        import repro.sketches as sk
+
+        with pytest.raises(AttributeError):
+            _ = sk.NoSuchSketch
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestDoctests:
+    def test_selected_module_doctests(self):
+        import doctest
+
+        import repro.experiments
+        import repro.hashing.family
+        import repro.traffic.flow
+
+        for module in (repro.traffic.flow, repro.experiments,
+                       repro.hashing.family):
+            failures, _ = doctest.testmod(module)
+            assert failures == 0, module.__name__

@@ -1,0 +1,109 @@
+"""Tests for the analytic error bounds (§5, Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cm_error_bound,
+    eta,
+    fcm_error_bound,
+    fcm_general_error_bound,
+    fcm_topk_error_bound,
+    recommended_parameters,
+)
+from repro.core import FCMSketch
+from repro.core.virtual import convert_sketch
+from repro.traffic import caida_like_trace
+
+
+class TestEta:
+    """Appendix B's worked values for a binary tree:
+    eta_1 = 0, eta_2 = theta1, eta_3 = 2*theta1 + theta2,
+    eta_4 = 3*theta1 + theta2, eta_5 = 4*theta1 + 2*theta2 + theta3."""
+
+    THETAS = [2, 14, 254]
+
+    def test_eta_values_binary(self):
+        t1, t2, t3 = self.THETAS
+        assert eta(1, 2, self.THETAS) == 0
+        assert eta(2, 2, self.THETAS) == t1
+        assert eta(3, 2, self.THETAS) == 2 * t1 + t2
+        assert eta(4, 2, self.THETAS) == 3 * t1 + t2
+        assert eta(5, 2, self.THETAS) == 4 * t1 + 2 * t2 + t3
+
+    def test_eta_monotone_in_degree(self):
+        values = [eta(xi, 4, [254, 65534, 2**32 - 2])
+                  for xi in range(1, 20)]
+        assert values == sorted(values)
+
+    def test_eta_lower_bound_lemma(self):
+        """The proof of Thm 5.1 uses eta_xi >= (xi-1) * theta_1."""
+        for k in (2, 4, 8):
+            for xi in range(1, 30):
+                assert eta(xi, k, self.THETAS) >= (xi - 1) * self.THETAS[0]
+
+    def test_eta_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            eta(0, 2, self.THETAS)
+
+
+class TestBoundFormulas:
+    def test_cm_bound(self):
+        assert cm_error_bound(1000, 100) == pytest.approx(
+            np.e / 100 * 1000
+        )
+
+    def test_fcm_matches_cm_below_capacity(self):
+        """Theorem 5.1: below w1*theta1 packets the FCM bound takes the
+        exact CM form."""
+        w1, theta1 = 1024, 254
+        packets = w1 * theta1 / 2
+        assert fcm_error_bound(packets, w1, theta1, max_degree=5) == \
+            pytest.approx(cm_error_bound(packets, w1))
+
+    def test_fcm_degree_term_activates(self):
+        w1, theta1 = 64, 2
+        packets = w1 * theta1 * 10
+        low = fcm_error_bound(packets, w1, theta1, max_degree=1)
+        high = fcm_error_bound(packets, w1, theta1, max_degree=4)
+        assert high > low
+
+    def test_general_bound_at_least_simple_when_capped(self):
+        """Lemma B.1's bound is tighter (<=) than Theorem 5.1's
+        relaxation."""
+        w1, k, thetas = 256, 8, [254, 65534, 2**32 - 2]
+        packets = 1e6
+        general = fcm_general_error_bound(packets, w1, k, thetas,
+                                          max_degree=6)
+        simple = fcm_error_bound(packets, w1, thetas[0], max_degree=6)
+        assert general <= simple + 1e-6
+
+    def test_topk_bound_uses_residual(self):
+        full = fcm_topk_error_bound(10_000, 256, 254, 3)
+        filtered = fcm_topk_error_bound(2_000, 256, 254, 3)
+        assert filtered < full
+
+    def test_recommended_parameters(self):
+        w1, d = recommended_parameters(epsilon=0.01, delta=0.05)
+        assert w1 == int(np.ceil(np.e / 0.01))
+        assert d == 3
+        with pytest.raises(ValueError):
+            recommended_parameters(0, 0.1)
+
+
+class TestEmpiricalBound:
+    def test_errors_within_bound(self):
+        """Observed per-flow errors should respect Theorem 5.1 for the
+        overwhelming majority of flows (probability >= 1 - e^-d)."""
+        trace = caida_like_trace(num_packets=50_000, seed=17)
+        sketch = FCMSketch.with_memory(16 * 1024, seed=5)
+        sketch.ingest(trace.keys)
+        gt = trace.ground_truth
+        errors = sketch.query_many(gt.keys_array()) - gt.sizes_array()
+        max_degree = max(a.max_degree for a in convert_sketch(sketch))
+        bound = fcm_error_bound(
+            len(trace), sketch.config.leaf_width,
+            sketch.config.counting_ranges[0], max_degree
+        )
+        violating = float(np.mean(errors > bound))
+        assert violating <= np.exp(-sketch.num_trees) + 0.01

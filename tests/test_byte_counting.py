@@ -1,0 +1,106 @@
+"""Tests for byte-count (weighted) operation (§3.3's 'counts can be
+interpreted as bytes')."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch
+from repro.sketches import CountMinSketch
+from repro.traffic import caida_like_trace
+from repro.traffic.packet_sizes import IMIX, imix_sizes, uniform_sizes
+from repro.traffic.stats import GroundTruth
+
+
+class TestPacketSizes:
+    def test_imix_sizes_valid(self):
+        sizes = imix_sizes(10_000, seed=1)
+        allowed = {s for s, _ in IMIX}
+        assert set(np.unique(sizes)) <= allowed
+
+    def test_imix_mixture_proportions(self):
+        sizes = imix_sizes(50_000, seed=2)
+        small = float(np.mean(sizes == 40))
+        assert 0.5 < small < 0.65  # 7/12 ~ 0.583
+
+    def test_imix_deterministic(self):
+        assert np.array_equal(imix_sizes(1000, seed=3),
+                              imix_sizes(1000, seed=3))
+
+    def test_uniform_sizes(self):
+        assert uniform_sizes(5, 100).tolist() == [100] * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            imix_sizes(0)
+        with pytest.raises(ValueError):
+            uniform_sizes(5, 0)
+
+
+class TestWeightedGroundTruth:
+    def test_byte_totals(self):
+        keys = np.array([1, 1, 2])
+        weights = np.array([100, 200, 50])
+        gt = GroundTruth.from_packets(keys, weights)
+        assert gt.flow_sizes == {1: 300, 2: 50}
+        assert gt.total_packets == 350
+
+    def test_alignment_check(self):
+        with pytest.raises(ValueError):
+            GroundTruth.from_packets(np.array([1, 2]), np.array([1]))
+
+
+class TestWeightedSketches:
+    def test_fcm_byte_mode_matches_repeated_updates(self):
+        keys = np.array([7, 8, 7], dtype=np.uint64)
+        weights = np.array([10, 5, 3], dtype=np.int64)
+        weighted = FCMSketch.with_memory(8 * 1024, seed=1)
+        weighted.ingest_weighted(keys, weights)
+        unweighted = FCMSketch.with_memory(8 * 1024, seed=1)
+        unweighted.update(7, 13)
+        unweighted.update(8, 5)
+        assert weighted.query(7) == unweighted.query(7) == 13
+        assert weighted.query(8) == unweighted.query(8) == 5
+
+    def test_fcm_byte_heavy_hitter(self):
+        """A flow of few large packets must be found as a byte heavy
+        hitter even though it is small in packet counts."""
+        trace = caida_like_trace(num_packets=30_000, seed=71)
+        keys = np.concatenate([
+            trace.keys, np.full(50, 1234, dtype=np.uint64)
+        ])
+        weights = np.concatenate([
+            uniform_sizes(len(trace), 40),
+            uniform_sizes(50, 1500),
+        ])
+        sketch = FCMSketch.with_memory(64 * 1024, seed=1)
+        sketch.ingest_weighted(keys, weights)
+        gt = GroundTruth.from_packets(keys, weights)
+        byte_threshold = 60_000
+        reported = sketch.heavy_hitters(gt.keys_array(), byte_threshold)
+        assert 1234 in reported
+
+    def test_fcm_never_underestimates_bytes(self):
+        trace = caida_like_trace(num_packets=20_000, seed=72)
+        weights = imix_sizes(len(trace), seed=4)
+        sketch = FCMSketch.with_memory(128 * 1024, seed=2)
+        sketch.ingest_weighted(trace.keys, weights)
+        gt = GroundTruth.from_packets(trace.keys, weights)
+        est = sketch.query_many(gt.keys_array())
+        # Last-stage saturation is possible in byte mode; cap truth.
+        capacity = (sum(sketch.config.counting_ranges[:-1])
+                    + sketch.config.sentinels[-1])
+        assert np.all(est >= np.minimum(gt.sizes_array(), capacity))
+
+    def test_cm_generic_weighted_path(self):
+        cm = CountMinSketch(8 * 1024, seed=3)
+        keys = np.array([1, 2, 1], dtype=np.uint64)
+        cm.ingest_weighted(keys, np.array([5, 7, 5]))
+        assert cm.query(1) == 10
+        assert cm.query(2) == 7
+
+    def test_weighted_validation(self):
+        cm = CountMinSketch(4096)
+        with pytest.raises(ValueError):
+            cm.ingest_weighted(np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError):
+            cm.ingest_weighted(np.array([1]), np.array([-1]))

@@ -1,0 +1,100 @@
+"""Tests for Linear Counting and HyperLogLog."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sketches import HyperLogLog, LinearCounting
+from repro.sketches.linear_counting import linear_counting_estimate
+
+
+class TestLinearCountingEstimate:
+    def test_empty_bitmap(self):
+        assert linear_counting_estimate(100, 100) == 0.0
+
+    def test_formula(self):
+        w, w0 = 1000, 500
+        assert linear_counting_estimate(w0, w) == pytest.approx(
+            -w * math.log(w0 / w)
+        )
+
+    def test_saturated_bitmap_finite(self):
+        value = linear_counting_estimate(0, 64)
+        assert value == pytest.approx(64 * math.log(64))
+
+    def test_fractional_empty_cells(self):
+        # Multi-tree averaging passes fractional occupancy.
+        a = linear_counting_estimate(10.5, 100)
+        assert (linear_counting_estimate(11, 100) < a
+                < linear_counting_estimate(10, 100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_counting_estimate(5, 0)
+        with pytest.raises(ValueError):
+            linear_counting_estimate(-1, 10)
+        with pytest.raises(ValueError):
+            linear_counting_estimate(11, 10)
+
+
+class TestLinearCountingSketch:
+    def test_estimates_cardinality(self):
+        lc = LinearCounting(4 * 1024)  # 32768 cells
+        lc.ingest(np.arange(3000, dtype=np.uint64))
+        assert lc.cardinality() == pytest.approx(3000, rel=0.05)
+
+    def test_duplicates_ignored(self):
+        lc = LinearCounting(1024)
+        lc.ingest(np.tile(np.arange(100, dtype=np.uint64), 20))
+        assert lc.cardinality() == pytest.approx(100, rel=0.2)
+
+    def test_scalar_update_matches_ingest(self):
+        a = LinearCounting(512, seed=1)
+        b = LinearCounting(512, seed=1)
+        keys = np.arange(200, dtype=np.uint64)
+        for k in keys:
+            a.update(int(k))
+        b.ingest(keys)
+        assert a.empty_cells == b.empty_cells
+
+    def test_empty(self):
+        assert LinearCounting(128).cardinality() == 0.0
+
+
+class TestHyperLogLog:
+    def test_estimates_large_cardinality(self):
+        hll = HyperLogLog(2048)
+        hll.ingest(np.arange(50_000, dtype=np.uint64))
+        assert hll.cardinality() == pytest.approx(50_000, rel=0.1)
+
+    def test_small_range_correction(self):
+        hll = HyperLogLog(1024)
+        hll.ingest(np.arange(30, dtype=np.uint64))
+        assert hll.cardinality() == pytest.approx(30, rel=0.25)
+
+    def test_duplicates_ignored(self):
+        hll = HyperLogLog(1024)
+        hll.ingest(np.tile(np.arange(1000, dtype=np.uint64), 10))
+        assert hll.cardinality() == pytest.approx(1000, rel=0.15)
+
+    def test_scalar_matches_ingest(self):
+        a = HyperLogLog(256, seed=2)
+        b = HyperLogLog(256, seed=2)
+        keys = np.arange(5000, dtype=np.uint64)
+        for k in keys:
+            a.update(int(k))
+        b.ingest(keys)
+        assert np.array_equal(a.registers, b.registers)
+
+    def test_register_count_power_of_two(self):
+        hll = HyperLogLog(1000)
+        assert hll.num_registers == 512
+        assert hll.memory_bytes == 512
+
+    def test_monotone_in_stream(self):
+        hll = HyperLogLog(1024)
+        hll.ingest(np.arange(1000, dtype=np.uint64))
+        first = hll.cardinality()
+        hll.ingest(np.arange(1000, 5000, dtype=np.uint64))
+        assert hll.cardinality() > first

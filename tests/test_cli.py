@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.sketch == "fcm"
+        assert args.workload == "caida"
+
+    def test_zipf_options(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--workload", "zipf", "--alpha", "1.5"]
+        )
+        assert args.alpha == 1.5
+
+
+class TestCommands:
+    def test_evaluate_fcm(self, capsys):
+        code = main(["evaluate", "--packets", "20000",
+                     "--memory-kb", "16", "--em-iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "are" in out and "cardinality_re" in out
+
+    def test_evaluate_rejects_unknown_sketch(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--sketch", "nope",
+                  "--packets", "1000", "--memory-kb", "16"])
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--packets", "20000",
+                     "--memory-kb", "16", "--sketches", "cm,fcm"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cm" in out and "fcm" in out
+
+    def test_resources(self, capsys):
+        code = main(["resources", "--memory-kb", "1300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FCM-Sketch" in out and "switch.p4" in out

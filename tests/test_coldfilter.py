@@ -1,0 +1,76 @@
+"""Tests for the Cold Filter (CF+CM) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.coldfilter import ColdFilterSketch
+from repro.traffic import caida_like_trace
+
+
+class TestColdFilterStructure:
+    def test_memory_split(self):
+        cf = ColdFilterSketch(64 * 1024)
+        assert cf.memory_bytes <= 64 * 1024
+        assert cf.t1 == 15 and cf.t2 == 65_535
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColdFilterSketch(1024, layer1_fraction=0.7,
+                             layer2_fraction=0.4)
+        with pytest.raises(ValueError):
+            ColdFilterSketch(1024, layer1_fraction=0.0)
+        with pytest.raises(ValueError):
+            ColdFilterSketch(1024).update(1, count=-1)
+
+
+class TestColdFilterCounting:
+    def test_small_flow_in_layer1(self):
+        cf = ColdFilterSketch(32 * 1024)
+        cf.update(7, count=10)
+        assert cf.query(7) == 10
+
+    def test_overflow_to_layer2(self):
+        cf = ColdFilterSketch(32 * 1024)
+        cf.update(7, count=100)  # t1 = 15, rest spills to layer 2
+        assert cf.query(7) == 100
+
+    def test_hot_flow_reaches_cm(self):
+        cf = ColdFilterSketch(32 * 1024, layer2_bits=8)
+        # t1 = 15, t2 = 255: anything above 270 reaches the hot part.
+        cf.update(7, count=1000)
+        assert cf.query(7) == 1000
+
+    def test_never_underestimates(self):
+        trace = caida_like_trace(num_packets=30_000, seed=91)
+        cf = ColdFilterSketch(24 * 1024, seed=2)
+        cf.ingest(trace.keys)
+        gt = trace.ground_truth
+        est = cf.query_many(gt.keys_array())
+        assert np.all(est >= gt.sizes_array())
+
+    def test_filters_protect_hot_part(self):
+        """Mice must be absorbed by the filter layers: the hot CM
+        should see only the heavy tail's residue."""
+        trace = caida_like_trace(num_packets=30_000, seed=92)
+        cf = ColdFilterSketch(24 * 1024, seed=2)
+        cf.ingest(trace.keys)
+        assert int(cf.hot.counters.sum()) < len(trace) // 2
+
+    def test_more_accurate_than_plain_cm(self):
+        from repro.metrics import average_relative_error
+        from repro.sketches import CountMinSketch
+
+        trace = caida_like_trace(num_packets=60_000, seed=93)
+        gt = trace.ground_truth
+        budget = 16 * 1024
+        cm = CountMinSketch(budget, seed=3)
+        cf = ColdFilterSketch(budget, seed=3)
+        cm.ingest(trace.keys)
+        cf.ingest(trace.keys)
+        cm_are = average_relative_error(
+            gt.sizes_array(), cm.query_many(gt.keys_array())
+        )
+        cf_are = average_relative_error(
+            gt.sizes_array(), cf.query_many(gt.keys_array())
+        )
+        assert cf_are < cm_are

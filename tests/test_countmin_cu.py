@@ -1,0 +1,123 @@
+"""Tests for Count-Min and CU sketches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchMemoryError
+from repro.sketches import CountMinSketch, CUSketch
+from repro.traffic import caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return caida_like_trace(num_packets=50_000, seed=8)
+
+
+class TestCountMin:
+    def test_exact_when_no_collisions(self):
+        cm = CountMinSketch(64 * 1024)
+        cm.update(5, count=7)
+        assert cm.query(5) == 7
+
+    def test_never_underestimates(self, trace):
+        cm = CountMinSketch(8 * 1024)
+        cm.ingest(trace.keys)
+        gt = trace.ground_truth
+        assert np.all(cm.query_many(gt.keys_array()) >= gt.sizes_array())
+
+    def test_ingest_equals_scalar(self):
+        a = CountMinSketch(2048, seed=3)
+        b = CountMinSketch(2048, seed=3)
+        keys = np.arange(500, dtype=np.uint64) % 60
+        for k in keys:
+            a.update(int(k))
+        b.ingest(keys)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_query_many_matches_scalar(self, trace):
+        cm = CountMinSketch(8 * 1024)
+        cm.ingest(trace.keys)
+        keys = trace.ground_truth.keys_array()[:100]
+        vec = cm.query_many(keys)
+        for i, k in enumerate(keys):
+            assert vec[i] == cm.query(int(k))
+
+    def test_memory_budget(self):
+        cm = CountMinSketch(10_000, depth=3)
+        assert cm.memory_bytes <= 10_000
+        assert cm.width == 10_000 // 4 // 3
+
+    def test_counter_saturation(self):
+        cm = CountMinSketch(1024, counter_bits=8)
+        cm.update(1, count=500)
+        assert cm.query(1) == 255
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SketchMemoryError):
+            CountMinSketch(0)
+        with pytest.raises(ValueError):
+            CountMinSketch(1024, depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(1024, counter_bits=12)
+        with pytest.raises(ValueError):
+            CountMinSketch(1024).update(1, count=-1)
+
+    def test_more_memory_helps(self, trace):
+        from repro.metrics import average_relative_error
+        gt = trace.ground_truth
+        errors = []
+        for budget in (4 * 1024, 32 * 1024):
+            cm = CountMinSketch(budget, seed=5)
+            cm.ingest(trace.keys)
+            errors.append(average_relative_error(
+                gt.sizes_array(), cm.query_many(gt.keys_array())
+            ))
+        assert errors[1] < errors[0]
+
+
+class TestCU:
+    def test_exact_single_flow(self):
+        cu = CUSketch(4096)
+        for _ in range(5):
+            cu.update(9)
+        assert cu.query(9) == 5
+
+    def test_never_underestimates(self, trace):
+        cu = CUSketch(8 * 1024)
+        cu.ingest(trace.keys)
+        gt = trace.ground_truth
+        assert np.all(cu.query_many(gt.keys_array()) >= gt.sizes_array())
+
+    def test_never_worse_than_cm(self, trace):
+        """Conservative update dominates CM pointwise (same hashes)."""
+        cm = CountMinSketch(8 * 1024, seed=7)
+        cu = CUSketch(8 * 1024, seed=7)
+        cm.ingest(trace.keys)
+        cu.ingest(trace.keys)
+        keys = trace.ground_truth.keys_array()
+        assert np.all(cu.query_many(keys) <= cm.query_many(keys))
+
+    def test_ingest_equals_scalar(self):
+        a = CUSketch(2048, seed=2)
+        b = CUSketch(2048, seed=2)
+        keys = (np.arange(800, dtype=np.uint64) * 7) % 97
+        for k in keys:
+            a.update(int(k))
+        b.ingest(keys)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_interleaving_never_underestimates(self):
+        """CU is order-dependent; whatever the interleaving, estimates
+        must still never drop below the true counts."""
+        rng = np.random.default_rng(4)
+        keys = rng.permutation(
+            np.repeat(np.arange(40, dtype=np.uint64), 25)
+        )
+        cu = CUSketch(256, seed=1)
+        cu.ingest(keys)
+        uniq, counts = np.unique(keys, return_counts=True)
+        assert np.all(cu.query_many(uniq) >= counts)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            CUSketch(1024).update(1, count=-2)

@@ -1,0 +1,67 @@
+"""Tests for Count-Sketch (UnivMon's substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import CountSketch
+
+
+class TestCountSketch:
+    def test_single_flow_exact(self):
+        cs = CountSketch(8 * 1024)
+        cs.update(3, count=11)
+        assert cs.query(3) == 11
+
+    def test_unbiased_roughly(self):
+        """Median estimates over many flows should center on truth."""
+        cs = CountSketch(16 * 1024, seed=2)
+        keys = np.repeat(np.arange(2000, dtype=np.uint64), 5)
+        cs.ingest(keys)
+        estimates = cs.query_many(np.arange(2000, dtype=np.uint64))
+        assert abs(float(np.mean(estimates)) - 5.0) < 1.0
+
+    def test_ingest_equals_scalar(self):
+        a = CountSketch(2048, seed=4)
+        b = CountSketch(2048, seed=4)
+        keys = np.arange(600, dtype=np.uint64) % 83
+        for k in keys:
+            a.update(int(k))
+        b.ingest(keys)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_query_many_matches_scalar(self):
+        cs = CountSketch(4096, seed=1)
+        keys = (np.arange(1000, dtype=np.uint64) * 13) % 211
+        cs.ingest(keys)
+        uniq = np.unique(keys)
+        vec = cs.query_many(uniq)
+        for i, k in enumerate(uniq):
+            assert vec[i] == cs.query(int(k))
+
+    def test_add_aggregated(self):
+        a = CountSketch(2048, seed=9)
+        b = CountSketch(2048, seed=9)
+        keys = np.array([1, 2, 3], dtype=np.uint64)
+        counts = np.array([5, 7, 9])
+        a.add_aggregated(keys, counts)
+        for k, c in zip(keys, counts):
+            for _ in range(c):
+                b.update(int(k))
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_l2_estimate_scale(self):
+        cs = CountSketch(32 * 1024, seed=3)
+        counts = np.full(500, 10)
+        cs.add_aggregated(np.arange(500, dtype=np.uint64), counts)
+        true_f2 = float(np.sum(counts.astype(float) ** 2))
+        assert cs.l2_estimate() == pytest.approx(true_f2, rel=0.5)
+
+    def test_signed_counters(self):
+        """Counters can go negative — that's the point of the signs."""
+        cs = CountSketch(1024, seed=6)
+        cs.ingest(np.arange(5000, dtype=np.uint64))
+        assert (cs.counters < 0).any()
+
+    def test_rejects_depth_zero(self):
+        with pytest.raises(ValueError):
+            CountSketch(1024, depth=0)

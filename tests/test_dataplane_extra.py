@@ -1,0 +1,120 @@
+"""Additional data-plane model tests: constraints, resource math and
+query-path behaviour not covered by the parity tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMConfig
+from repro.dataplane import (
+    FCMPipeline,
+    PipelineError,
+    PisaPipeline,
+    TofinoConstraints,
+    cm_topk_resources,
+    fcm_resources,
+    fcm_topk_resources,
+)
+from repro.dataplane.resources import ResourceReport
+
+
+class TestConstraints:
+    def test_totals(self):
+        caps = TofinoConstraints()
+        assert caps.total_salus == caps.num_stages * caps.salus_per_stage
+        assert caps.total_sram_kb == caps.num_stages * caps.sram_kb_per_stage
+        assert caps.total_hash_bits \
+            == caps.num_stages * caps.hash_bits_per_stage
+
+    def test_custom_constraints_flow_through(self):
+        caps = TofinoConstraints(num_stages=3)
+        pipe = PisaPipeline(caps)
+        for _ in range(3):
+            pipe.add_stage()
+        with pytest.raises(PipelineError):
+            pipe.add_stage()
+
+
+class TestPipelineProgramLimits:
+    def test_too_many_trees_exhausts_salus(self):
+        """A stage holds at most 4 stateful ALUs, so a 5-tree FCM
+        cannot be placed."""
+        config = FCMConfig(num_trees=5, k=2, stage_bits=(4, 8),
+                           stage_widths=(8, 4))
+        with pytest.raises(PipelineError):
+            FCMPipeline(config)
+
+    def test_too_many_stages_rejected(self):
+        config = FCMConfig(num_trees=1, k=2,
+                           stage_bits=(2, 2, 2, 2, 4, 4, 4, 4, 8, 8,
+                                       8, 8, 16),
+                           stage_widths=tuple(4096 // (2 ** i)
+                                              for i in range(13)))
+        with pytest.raises(PipelineError):
+            FCMPipeline(config)
+
+    def test_oversized_stage_register_rejected(self):
+        caps = TofinoConstraints(sram_kb_per_stage=4)
+        config = FCMConfig(num_trees=1, k=2, stage_bits=(8, 16),
+                           stage_widths=(1 << 16, 1 << 15))
+        with pytest.raises(PipelineError):
+            FCMPipeline(config, caps)
+
+
+class TestResourceMath:
+    def test_sram_scales_with_memory(self):
+        small = fcm_resources(FCMConfig().with_memory(256 * 1024))
+        large = fcm_resources(FCMConfig().with_memory(1 << 20))
+        assert large.sram_pct > small.sram_pct
+        assert large.salu_pct == small.salu_pct  # structure unchanged
+
+    def test_more_trees_cost_salus_and_hashes(self):
+        two = fcm_resources(FCMConfig(num_trees=2)
+                            .with_memory(512 * 1024))
+        three = fcm_resources(FCMConfig(num_trees=3)
+                              .with_memory(512 * 1024))
+        assert three.salu_pct > two.salu_pct
+        assert three.hash_bits_pct > two.hash_bits_pct
+
+    def test_requires_derived_widths(self):
+        with pytest.raises(ValueError):
+            fcm_resources(FCMConfig())
+
+    def test_topk_adds_on_top_of_fcm(self):
+        config = FCMConfig(k=16).with_memory(512 * 1024)
+        base = fcm_resources(config)
+        combo = fcm_topk_resources(config)
+        assert combo.sram_pct > base.sram_pct
+        assert combo.stages == base.stages + 4
+        assert combo.vliw_pct > base.vliw_pct
+
+    def test_cm_topk_stage_spill(self):
+        """CM rows beyond the per-stage sALU cap spill into more
+        stages."""
+        shallow = cm_topk_resources(2, 100_000)
+        deep = cm_topk_resources(8, 100_000)
+        assert deep.stages > shallow.stages
+
+    def test_normalized_to_handles_zero(self):
+        a = ResourceReport("a", 1, 1, 0, 1, 1, 1, 4)
+        b = ResourceReport("b", 0, 0, 0, 0, 0, 0, 4)
+        ratios = a.normalized_to(b)
+        assert ratios["SRAM"] == np.inf
+
+
+class TestPipelineQueryPath:
+    def test_saturated_leaf_routes_upward(self):
+        config = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                           stage_widths=(4, 2, 1))
+        pipeline = FCMPipeline(config)
+        estimates = [pipeline.process_packet(0) for _ in range(30)]
+        # Exact running count until the 2+14+? capacity is reached.
+        assert estimates == list(range(1, 31))
+
+    def test_last_stage_saturation_stops_growth(self):
+        config = FCMConfig(num_trees=1, k=2, stage_bits=(2, 2, 2),
+                           stage_widths=(4, 2, 1))
+        pipeline = FCMPipeline(config)
+        capacity = 2 + 2 + 3  # theta1 + theta2 + last-stage sentinel
+        for _ in range(50):
+            last = pipeline.process_packet(0)
+        assert last == capacity

@@ -1,0 +1,84 @@
+"""Deeper coverage for Elastic's light_depth and multi-level Top-K."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import TopKFilter
+from repro.sketches import ElasticSketch
+from repro.traffic import caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return caida_like_trace(num_packets=40_000, seed=111)
+
+
+class TestElasticLightDepth:
+    def test_depth_shrinks_row_width(self):
+        one = ElasticSketch(64 * 1024, light_depth=1, seed=1)
+        two = ElasticSketch(64 * 1024, light_depth=2, seed=1)
+        assert two.light_width < one.light_width
+        assert two.light.shape[0] == 2
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ElasticSketch(64 * 1024, light_depth=0)
+
+    def test_min_over_rows(self, trace):
+        es = ElasticSketch(64 * 1024, light_depth=3, seed=2)
+        es.ingest(trace.keys)
+        key = int(trace.ground_truth.keys_array()[0])
+        if es.topk.lookup(key) is None:
+            per_row = [
+                int(es.light[row, h.index(key, es.light_width)])
+                for row, h in enumerate(es._light_hashes)
+            ]
+            assert es.query(key) == min(per_row)
+
+    def test_query_many_matches_scalar(self, trace):
+        es = ElasticSketch(64 * 1024, light_depth=2, seed=2)
+        es.ingest(trace.keys)
+        keys = trace.ground_truth.keys_array()[:200]
+        vec = es.query_many(keys)
+        for i, k in enumerate(keys):
+            assert vec[i] == es.query(int(k))
+
+    def test_distribution_uses_all_rows(self, trace):
+        es = ElasticSketch(64 * 1024, light_depth=2, seed=2)
+        es.ingest(trace.keys)
+        arrays = es.light_virtual()
+        assert len(arrays) == 2
+        result = es.estimate_distribution(iterations=3)
+        assert result.total_flows > 0
+
+
+class TestMultiLevelTopK:
+    def test_second_level_catches_spill(self):
+        filt = TopKFilter(entries_per_level=1, levels=2, lambda_ratio=100)
+        spilled = []
+        filt.insert(1, lambda k, c: spilled.append((k, c)))
+        # Key 2 collides at level 1 (single slot) but level 2 is free.
+        filt.insert(2, lambda k, c: spilled.append((k, c)))
+        assert spilled == []
+        assert filt.lookup(1) == (1, False)
+        assert filt.lookup(2) == (1, False)
+
+    def test_reject_after_all_levels(self):
+        filt = TopKFilter(entries_per_level=1, levels=2, lambda_ratio=100)
+        spilled = []
+        for key in (1, 2, 3):
+            filt.insert(key, lambda k, c: spilled.append((k, c)))
+        assert spilled == [(3, 1)]
+
+    def test_resident_count_grows_with_levels(self):
+        trace = caida_like_trace(num_packets=20_000, seed=112)
+        single = TopKFilter(entries_per_level=64, levels=1)
+        multi = TopKFilter(entries_per_level=64, levels=4)
+        for filt in (single, multi):
+            for key in trace.keys:
+                filt.insert(int(key), lambda k, c: None)
+        assert len(multi.resident_keys()) > len(single.resident_keys())
+
+    def test_memory_scales_with_levels(self):
+        assert TopKFilter(entries_per_level=64, levels=4).memory_bytes \
+            == 4 * TopKFilter(entries_per_level=64, levels=1).memory_bytes

@@ -1,0 +1,190 @@
+"""Tests for the EM estimator (§4.2-§4.3): combination enumeration,
+feasibility constraints (the paper's Omega(V=9, xi=2) example) and
+end-to-end distribution recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch
+from repro.core.em import (
+    EMConfig,
+    EMEstimator,
+    EMResult,
+    _can_cover,
+    _partitions,
+    enumerate_combinations,
+)
+from repro.core.virtual import VirtualCounterArray, convert_sketch
+from repro.metrics import weighted_mean_relative_error
+from repro.traffic import caida_like_trace
+
+
+class TestPartitions:
+    def test_partitions_of_four(self):
+        parts = sorted(tuple(p) for p in _partitions(4, 4))
+        assert parts == [(1, 1, 1, 1), (1, 1, 2), (1, 3), (2, 2), (4,)]
+
+    def test_max_parts_respected(self):
+        assert all(len(p) <= 2 for p in _partitions(10, 2))
+
+    def test_parts_sum_to_value(self):
+        for p in _partitions(9, 3):
+            assert sum(p) == 9
+
+    def test_non_decreasing(self):
+        for p in _partitions(12, 4):
+            assert p == sorted(p)
+
+    def test_count_matches_partition_function(self):
+        # p(n) for n = 8 into at most 8 parts is 22.
+        assert sum(1 for _ in _partitions(8, 8)) == 22
+
+    def test_empty_for_nonpositive(self):
+        assert list(_partitions(0, 3)) == []
+        assert list(_partitions(5, 0)) == []
+
+
+class TestCanCover:
+    def test_single_group(self):
+        assert _can_cover((5,), 1, 3)
+        assert not _can_cover((2,), 1, 3)
+
+    def test_paper_example_pairs(self):
+        # V=9, xi=2, per-path minimum 3: {3,6} and {4,5} are feasible.
+        assert _can_cover((6, 3), 2, 3)
+        assert _can_cover((5, 4), 2, 3)
+        # {1,8} is not: the size-1 flow cannot overflow its leaf.
+        assert not _can_cover((8, 1), 2, 3)
+
+    def test_grouping_small_parts(self):
+        # {1,2,6}: the 1 and 2 together cover one leaf (sum 3).
+        assert _can_cover((6, 2, 1), 2, 3)
+        # {1,1,7}: 1+1 < 3, so no valid split exists.
+        assert not _can_cover((7, 1, 1), 2, 3)
+
+    def test_needs_enough_parts(self):
+        assert not _can_cover((9,), 2, 3)
+
+    def test_three_groups(self):
+        assert _can_cover((4, 3, 3), 3, 3)
+        assert not _can_cover((8, 1, 1), 3, 3)
+
+
+class TestEnumerateCombinations:
+    def test_paper_omega_example(self):
+        """Omega(V=9, xi=2) with theta_1 = 2 (Figure 5's discussion)."""
+        combos = enumerate_combinations(9, 2, min_path=3, max_flows=2)
+        as_sets = {tuple(np.repeat(sizes, mults))
+                   for sizes, mults in combos}
+        assert as_sets == {(3, 6), (4, 5)}
+
+    def test_more_flows_allowed(self):
+        combos = enumerate_combinations(9, 2, min_path=3, max_flows=3)
+        flat = {tuple(np.repeat(s, m)) for s, m in combos}
+        assert (1, 2, 6) in flat  # 1+2 covers one leaf
+        assert (1, 1, 7) not in flat
+
+    def test_degree_one_unconstrained(self):
+        combos = enumerate_combinations(5, 1, min_path=1, max_flows=2)
+        flat = {tuple(np.repeat(s, m)) for s, m in combos}
+        assert flat == {(5,), (1, 4), (2, 3)}
+
+    def test_at_least_degree_flows(self):
+        combos = enumerate_combinations(6, 3, min_path=1, max_flows=4)
+        assert all(sum(m) >= 3 for _, m in combos)
+
+    def test_empty_when_infeasible(self):
+        # Two paths each needing >= 3 cannot sum to 4.
+        assert enumerate_combinations(4, 2, min_path=3, max_flows=4) == ()
+
+    def test_zero_value(self):
+        assert enumerate_combinations(0, 1, 1, 4) == ()
+
+    def test_multiplicities_compact(self):
+        for sizes, mults in enumerate_combinations(8, 1, 1, 4):
+            assert len(sizes) == len(set(sizes))
+            assert len(sizes) == len(mults)
+
+
+class TestEMConfig:
+    def test_truncation_ladder(self):
+        cfg = EMConfig(exact_threshold=80, pair_threshold=400,
+                       tight_threshold=2000, max_extra_flows=3)
+        assert cfg.max_flows_for(50, 1) == 4
+        assert cfg.max_flows_for(200, 1) == 2
+        assert cfg.max_flows_for(1000, 2) == 2
+        assert cfg.max_flows_for(5000, 1) == 0  # deterministic
+
+
+class TestEMEndToEnd:
+    def test_recovers_uniform_small_flows(self):
+        """All flows of size 2 in a lightly loaded sketch: EM should
+        put nearly all mass at size 2."""
+        sketch = FCMSketch.with_memory(32 * 1024, seed=1)
+        for key in range(400):
+            sketch.update(key, count=2)
+        result = EMEstimator(convert_sketch(sketch)).run(iterations=8)
+        assert result.total_flows == pytest.approx(400, rel=0.1)
+        assert result.size_counts[2] > 0.8 * result.total_flows
+
+    def test_improves_over_iterations(self):
+        trace = caida_like_trace(num_packets=60_000, seed=5)
+        sketch = FCMSketch.with_memory(8 * 1024, seed=3)
+        sketch.ingest(trace.keys)
+        truth = trace.ground_truth.size_distribution_array()
+        estimator = EMEstimator(convert_sketch(sketch))
+        wmres = []
+
+        def track(_iteration, counts):
+            wmres.append(weighted_mean_relative_error(truth, counts))
+
+        estimator.run(iterations=6, callback=track)
+        assert wmres[-1] <= wmres[0]
+
+    def test_total_flows_close_to_truth(self):
+        trace = caida_like_trace(num_packets=60_000, seed=6)
+        sketch = FCMSketch.with_memory(16 * 1024, seed=3)
+        sketch.ingest(trace.keys)
+        result = EMEstimator(convert_sketch(sketch)).run(iterations=5)
+        assert result.total_flows == pytest.approx(
+            trace.ground_truth.cardinality, rel=0.15
+        )
+
+    def test_entropy_close_to_truth(self):
+        trace = caida_like_trace(num_packets=60_000, seed=7)
+        sketch = FCMSketch.with_memory(16 * 1024, seed=3)
+        sketch.ingest(trace.keys)
+        result = EMEstimator(convert_sketch(sketch)).run(iterations=5)
+        assert result.entropy == pytest.approx(
+            trace.ground_truth.entropy, rel=0.05
+        )
+
+    def test_result_views(self):
+        sketch = FCMSketch.with_memory(16 * 1024)
+        sketch.update(1, count=3)
+        sketch.update(2, count=3)
+        result = EMEstimator(convert_sketch(sketch)).run(iterations=3)
+        assert isinstance(result, EMResult)
+        assert result.phi.sum() == pytest.approx(1.0)
+        dist = result.distribution()
+        assert pytest.approx(sum(dist.values()), rel=1e-6) \
+            == result.total_flows
+
+    def test_parallel_matches_serial(self):
+        sketch = FCMSketch.with_memory(8 * 1024, seed=2)
+        rng = np.random.default_rng(1)
+        sketch.ingest(rng.integers(0, 3000, size=20_000, dtype=np.uint64))
+        arrays = convert_sketch(sketch)
+        serial = EMEstimator(arrays, EMConfig(workers=1)).run(iterations=3)
+        parallel = EMEstimator(arrays, EMConfig(workers=2)).run(iterations=3)
+        np.testing.assert_allclose(serial.size_counts,
+                                   parallel.size_counts, rtol=1e-9)
+
+    def test_requires_arrays(self):
+        with pytest.raises(ValueError):
+            EMEstimator([])
+
+    def test_empty_sketch(self):
+        sketch = FCMSketch.with_memory(8 * 1024)
+        result = EMEstimator(convert_sketch(sketch)).run(iterations=2)
+        assert result.total_flows == pytest.approx(0.0, abs=1e-3)

@@ -1,0 +1,144 @@
+"""White-box tests for EM internals: exact partition generation,
+deterministic fallbacks, initialization and degenerate posteriors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FCMSketch
+from repro.core.em import (
+    EMConfig,
+    EMEstimator,
+    _exact_partitions,
+    enumerate_combinations,
+)
+from repro.core.virtual import VirtualCounterArray, convert_sketch
+
+
+def _flatten(combo):
+    sizes, mults = combo
+    return tuple(np.repeat(sizes, mults))
+
+
+class TestExactPartitions:
+    def test_single_part(self):
+        assert list(_exact_partitions(7, 1, 1)) == [((7,), (1,))]
+        assert list(_exact_partitions(2, 1, 3)) == []
+
+    def test_two_parts(self):
+        combos = [_flatten(c) for c in _exact_partitions(9, 2, 3)]
+        assert combos == [(3, 6), (4, 5)]
+
+    def test_two_parts_equal_split(self):
+        combos = [_flatten(c) for c in _exact_partitions(8, 2, 4)]
+        assert combos == [(4, 4)]
+        sizes, mults = next(iter(_exact_partitions(8, 2, 4)))
+        assert sizes == (4,) and mults == (2,)
+
+    def test_three_parts(self):
+        combos = {_flatten(c) for c in _exact_partitions(9, 3, 2)}
+        assert combos == {(2, 2, 5), (2, 3, 4), (3, 3, 3)}
+
+    @given(value=st.integers(1, 60), parts=st.integers(1, 4),
+           min_part=st.integers(1, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_properties(self, value, parts, min_part):
+        for combo in _exact_partitions(value, parts, min_part):
+            flat = _flatten(combo)
+            assert sum(flat) == value
+            assert len(flat) == parts
+            assert min(flat) >= min_part
+            assert flat == tuple(sorted(flat))
+
+    @given(value=st.integers(1, 40), parts=st.integers(1, 3),
+           min_part=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_generic_path(self, value, parts, min_part):
+        """The fast path must enumerate exactly what the generic
+        recursion + cover check would."""
+        fast = {_flatten(c)
+                for c in _exact_partitions(value, parts, min_part)}
+        generic = {
+            _flatten(c)
+            for c in enumerate_combinations(value, parts, min_part,
+                                            max_flows=parts + 1)
+            if len(_flatten(c)) == parts
+            and min(_flatten(c)) >= (min_part if parts > 1 else 1)
+        }
+        if parts == 1:
+            generic = {g for g in generic if g[0] >= min_part}
+        assert fast == generic
+
+
+class TestDeterministicFallback:
+    def test_large_value_single_flow(self):
+        out = np.zeros(10_000, dtype=np.float64)
+        EMEstimator._add_deterministic(out, 5000, degree=1, min_path=1)
+        assert out[5000] == 1.0 and out.sum() == 1.0
+
+    def test_large_value_high_degree(self):
+        out = np.zeros(10_000, dtype=np.float64)
+        EMEstimator._add_deterministic(out, 5000, degree=3,
+                                       min_path=255)
+        assert out[255] == 2.0
+        assert out[5000 - 2 * 255] == 1.0
+
+    def test_degenerate_split(self):
+        out = np.zeros(100, dtype=np.float64)
+        EMEstimator._add_deterministic(out, 10, degree=4, min_path=255)
+        # Cannot fit 3 mice of 255: falls back to equal shares.
+        assert out.sum() == 4.0
+
+    def test_zero_value_ignored(self):
+        out = np.zeros(10, dtype=np.float64)
+        EMEstimator._add_deterministic(out, 0, degree=1, min_path=1)
+        assert out.sum() == 0.0
+
+
+class TestInitialization:
+    def test_initial_guess_total_near_counters(self):
+        sketch = FCMSketch.with_memory(16 * 1024, seed=1)
+        for key in range(200):
+            sketch.update(key, count=3)
+        estimator = EMEstimator(convert_sketch(sketch))
+        n0 = estimator.initial_guess()
+        assert n0.sum() == pytest.approx(200, rel=0.1)
+        assert n0[0] == 0.0
+
+    def test_initial_guess_has_floor(self):
+        sketch = FCMSketch.with_memory(16 * 1024, seed=1)
+        sketch.update(1, count=5)
+        estimator = EMEstimator(convert_sketch(sketch))
+        n0 = estimator.initial_guess()
+        # Every enumerable size gets epsilon support.
+        assert np.all(n0[1:estimator.config.exact_threshold] > 0)
+
+
+class TestDegeneratePosterior:
+    def test_uniform_fallback_when_no_support(self):
+        """If the current estimate gives zero mass to every feasible
+        combination, the posterior falls back to uniform instead of
+        dividing by zero."""
+        sketch = FCMSketch.with_memory(16 * 1024, seed=2)
+        sketch.update(1, count=10)
+        arrays = convert_sketch(sketch)
+        estimator = EMEstimator(arrays, EMConfig(epsilon=0.0))
+        n_j = np.zeros(estimator._size)
+        n_j[3] = 1.0  # support only on size 3; counter value is 10
+        updated = estimator._iterate(n_j)
+        assert np.isfinite(updated).all()
+        assert updated.sum() > 0
+
+
+class TestMultiTreeAveraging:
+    def test_contributions_averaged_over_trees(self):
+        """Eqn. 5: n_j is the *average* over trees, so duplicating the
+        same tree must not double the flow count."""
+        sketch = FCMSketch.with_memory(16 * 1024, seed=3)
+        for key in range(100):
+            sketch.update(key, count=2)
+        single = EMEstimator([convert_sketch(sketch)[0]]).run(iterations=4)
+        double = EMEstimator(convert_sketch(sketch)).run(iterations=4)
+        assert double.total_flows == pytest.approx(single.total_flows,
+                                                   rel=0.1)

@@ -1,0 +1,42 @@
+"""Smoke tests for the example scripts.
+
+Each example is compiled always and executed end-to-end when
+``REPRO_RUN_EXAMPLES=1`` (they take ~1 minute combined; CI time is
+kept for the real test matrix).
+"""
+
+import os
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+RUN_EXAMPLES = os.environ.get("REPRO_RUN_EXAMPLES") == "1"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+@pytest.mark.skipif(not RUN_EXAMPLES,
+                    reason="set REPRO_RUN_EXAMPLES=1 to execute examples")
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

@@ -1,0 +1,52 @@
+"""Tests for the replication harness."""
+
+import pytest
+
+from repro.experiments import ReplicationSummary, replicate, replicate_many
+
+
+class TestReplicate:
+    def test_summary_statistics(self):
+        summary = replicate(lambda seed: float(seed), seeds=range(11))
+        assert summary.mean == 5.0
+        assert summary.median == 5.0
+        assert summary.p10 == pytest.approx(1.0)
+        assert summary.p90 == pytest.approx(9.0)
+        assert summary.spread == pytest.approx(8.0)
+
+    def test_single_seed(self):
+        summary = replicate(lambda seed: 3.0, seeds=[7])
+        assert summary.mean == summary.p10 == summary.p90 == 3.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: 0.0, seeds=[])
+
+    def test_as_dict(self):
+        d = replicate(lambda seed: 1.0, seeds=range(3)).as_dict()
+        assert set(d) == {"mean", "median", "p10", "p90"}
+
+
+class TestReplicateMany:
+    def test_multiple_metrics(self):
+        summaries = replicate_many(
+            lambda seed: {"a": seed, "b": seed * 2.0}, seeds=range(5)
+        )
+        assert summaries["a"].mean == 2.0
+        assert summaries["b"].mean == 4.0
+
+    def test_inconsistent_metrics_rejected(self):
+        def run(seed):
+            return {"a": 1.0} if seed == 0 else {"b": 1.0}
+
+        with pytest.raises(ValueError):
+            replicate_many(run, seeds=range(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_many(lambda seed: {"a": 0.0}, seeds=[])
+
+    def test_values_preserved(self):
+        summary = replicate(lambda seed: float(seed), seeds=[3, 1, 2])
+        assert summary.values == (3.0, 1.0, 2.0)
+        assert isinstance(summary, ReplicationSummary)

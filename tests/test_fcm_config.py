@@ -1,0 +1,96 @@
+"""Tests for FCMConfig geometry and memory derivation."""
+
+import pytest
+
+from repro.core.config import FCMConfig
+from repro.errors import SketchMemoryError
+
+
+class TestValidation:
+    def test_defaults_are_paper_defaults(self):
+        cfg = FCMConfig()
+        assert cfg.num_trees == 2
+        assert cfg.k == 8
+        assert cfg.stage_bits == (8, 16, 32)
+
+    def test_rejects_zero_trees(self):
+        with pytest.raises(ValueError):
+            FCMConfig(num_trees=0)
+
+    def test_rejects_unary_tree(self):
+        with pytest.raises(ValueError):
+            FCMConfig(k=1)
+
+    def test_rejects_no_stages(self):
+        with pytest.raises(ValueError):
+            FCMConfig(stage_bits=())
+
+    def test_rejects_decreasing_bits(self):
+        with pytest.raises(ValueError):
+            FCMConfig(stage_bits=(16, 8))
+
+    def test_rejects_one_bit_counter(self):
+        with pytest.raises(ValueError):
+            FCMConfig(stage_bits=(1, 8))
+
+    def test_rejects_widths_not_k_multiples(self):
+        with pytest.raises(ValueError):
+            FCMConfig(k=8, stage_bits=(8, 16), stage_widths=(64, 4))
+
+    def test_rejects_width_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FCMConfig(stage_bits=(8, 16, 32), stage_widths=(64, 8))
+
+
+class TestDerivedProperties:
+    def test_counting_ranges_and_sentinels(self):
+        cfg = FCMConfig(stage_bits=(2, 4, 8))
+        assert cfg.counting_ranges == [2, 14, 254]
+        assert cfg.sentinels == [3, 15, 255]
+
+    def test_num_stages(self):
+        assert FCMConfig(stage_bits=(8, 16)).num_stages == 2
+
+    def test_leaf_width_requires_derivation(self):
+        with pytest.raises(ValueError):
+            _ = FCMConfig().leaf_width
+
+
+class TestMemoryDerivation:
+    def test_widths_shrink_by_k(self):
+        cfg = FCMConfig(k=8).with_memory(64 * 1024)
+        w = cfg.stage_widths
+        assert w[0] == 8 * w[1] == 64 * w[2]
+
+    def test_memory_within_budget(self):
+        for budget in (16 * 1024, 64 * 1024, 1 << 20):
+            cfg = FCMConfig().with_memory(budget)
+            assert cfg.memory_bytes <= budget
+            # Sizing should not waste more than one leaf-granule.
+            assert cfg.memory_bytes > budget * 0.8
+
+    def test_memory_accounts_all_trees(self):
+        one = FCMConfig(num_trees=1).with_memory(128 * 1024)
+        two = FCMConfig(num_trees=2).with_memory(128 * 1024)
+        assert two.leaf_width < one.leaf_width
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(SketchMemoryError):
+            FCMConfig(k=32).with_memory(16)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(SketchMemoryError):
+            FCMConfig().with_memory(0)
+
+    def test_describe_mentions_geometry(self):
+        text = FCMConfig().with_memory(32 * 1024).describe()
+        assert "k=8" in text and "8/16/32" in text
+
+    def test_memory_bytes_zero_before_derivation(self):
+        assert FCMConfig().memory_bytes == 0
+
+    def test_higher_k_gives_more_leaves(self):
+        """More arity => cheaper upper stages => more leaf counters."""
+        k4 = FCMConfig(k=4).with_memory(256 * 1024)
+        k16 = FCMConfig(k=16).with_memory(256 * 1024)
+        assert k16.leaf_width > k4.leaf_width

@@ -1,0 +1,142 @@
+"""Tests for the multi-tree FCMSketch."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMConfig, FCMSketch
+from repro.traffic import caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def loaded_sketch_and_trace():
+    trace = caida_like_trace(num_packets=60_000, seed=11)
+    sketch = FCMSketch.with_memory(16 * 1024, seed=4)
+    sketch.ingest(trace.keys)
+    return sketch, trace
+
+
+class TestConstruction:
+    def test_with_memory_defaults(self):
+        sketch = FCMSketch.with_memory(64 * 1024)
+        assert sketch.num_trees == 2
+        assert sketch.config.k == 8
+        assert sketch.memory_bytes <= 64 * 1024
+
+    def test_requires_derived_widths(self):
+        with pytest.raises(ValueError):
+            FCMSketch(FCMConfig())
+
+    def test_trees_use_distinct_hashes(self):
+        sketch = FCMSketch.with_memory(32 * 1024)
+        seeds = {tree.hash.seed for tree in sketch.trees}
+        assert len(seeds) == sketch.num_trees
+
+
+class TestQueries:
+    def test_update_query_roundtrip(self):
+        sketch = FCMSketch.with_memory(32 * 1024)
+        sketch.update(111, count=9)
+        assert sketch.query(111) == 9
+
+    def test_never_underestimates(self, loaded_sketch_and_trace):
+        sketch, trace = loaded_sketch_and_trace
+        gt = trace.ground_truth
+        estimates = sketch.query_many(gt.keys_array())
+        assert np.all(estimates >= gt.sizes_array())
+
+    def test_min_over_trees(self, loaded_sketch_and_trace):
+        sketch, trace = loaded_sketch_and_trace
+        key = int(trace.ground_truth.keys_array()[0])
+        per_tree = [tree.query(key) for tree in sketch.trees]
+        assert sketch.query(key) == min(per_tree)
+
+    def test_query_many_matches_scalar(self, loaded_sketch_and_trace):
+        sketch, trace = loaded_sketch_and_trace
+        keys = trace.ground_truth.keys_array()[:200]
+        vec = sketch.query_many(keys)
+        for i, k in enumerate(keys):
+            assert vec[i] == sketch.query(int(k))
+
+    def test_absent_key_usually_small(self, loaded_sketch_and_trace):
+        sketch, _ = loaded_sketch_and_trace
+        absent = np.arange(10**12, 10**12 + 500, dtype=np.uint64)
+        estimates = sketch.query_many(absent)
+        # Collisions can inflate a few, but the median must be tiny.
+        assert np.median(estimates) < 50
+
+
+class TestHeavyHitters:
+    def test_detects_planted_heavy_flow(self):
+        sketch = FCMSketch.with_memory(32 * 1024)
+        keys = np.concatenate([
+            np.full(5000, 42, dtype=np.uint64),
+            np.arange(1000, dtype=np.uint64),
+        ])
+        sketch.ingest(keys)
+        hitters = sketch.heavy_hitters(np.unique(keys), threshold=1000)
+        assert 42 in hitters
+
+    def test_no_false_negatives(self, loaded_sketch_and_trace):
+        """Overestimate-only queries can never miss a true heavy
+        hitter when candidates cover all flows."""
+        sketch, trace = loaded_sketch_and_trace
+        threshold = trace.heavy_hitter_threshold()
+        truth = trace.ground_truth.heavy_hitters(threshold)
+        reported = sketch.heavy_hitters(
+            trace.ground_truth.keys_array(), threshold
+        )
+        assert truth <= reported
+
+    def test_empty_candidates(self):
+        sketch = FCMSketch.with_memory(16 * 1024)
+        assert sketch.heavy_hitters([], 10) == set()
+
+    def test_rejects_bad_threshold(self):
+        sketch = FCMSketch.with_memory(16 * 1024)
+        with pytest.raises(ValueError):
+            sketch.heavy_hitters([1], 0)
+
+
+class TestCardinality:
+    def test_close_on_light_load(self):
+        sketch = FCMSketch.with_memory(64 * 1024)
+        keys = np.arange(2000, dtype=np.uint64)
+        sketch.ingest(keys)
+        assert sketch.cardinality() == pytest.approx(2000, rel=0.1)
+
+    def test_empty_sketch(self):
+        sketch = FCMSketch.with_memory(16 * 1024)
+        assert sketch.cardinality() == 0.0
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = FCMSketch.with_memory(64 * 1024)
+        sketch.ingest(np.tile(np.arange(500, dtype=np.uint64), 50))
+        assert sketch.cardinality() == pytest.approx(500, rel=0.15)
+
+    def test_total_packets(self):
+        sketch = FCMSketch.with_memory(16 * 1024)
+        sketch.ingest(np.array([1, 1, 2], dtype=np.uint64))
+        sketch.update(3, count=4)
+        assert sketch.total_packets == 7
+
+
+class TestAccuracyVsCountMin:
+    def test_fcm_beats_cm_on_skewed_traffic(self):
+        """The headline claim: large ARE reduction vs CM at equal
+        memory on a heavy-tailed trace (§7.3)."""
+        from repro.metrics import average_relative_error
+        from repro.sketches import CountMinSketch
+
+        trace = caida_like_trace(num_packets=120_000, seed=3)
+        gt = trace.ground_truth
+        budget = 16 * 1024
+        fcm = FCMSketch.with_memory(budget, seed=1)
+        cm = CountMinSketch(budget, seed=1)
+        fcm.ingest(trace.keys)
+        cm.ingest(trace.keys)
+        sizes = gt.sizes_array()
+        fcm_are = average_relative_error(sizes,
+                                         fcm.query_many(gt.keys_array()))
+        cm_are = average_relative_error(sizes,
+                                        cm.query_many(gt.keys_array()))
+        assert fcm_are < 0.5 * cm_are

@@ -1,0 +1,175 @@
+"""Tests for the single FCM tree, including the paper's Figure 4
+worked example (binary tree, 2/4/8-bit stages)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FCMConfig
+from repro.core.tree import FCMTree
+from repro.hashing import HashFamily
+
+
+def paper_tree() -> FCMTree:
+    """The Figure 4 tree: binary, 3 stages, 2/4/8-bit, 4 leaves."""
+    cfg = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                    stage_widths=(4, 2, 1))
+    return FCMTree(cfg, HashFamily(0))
+
+
+def load_figure4_initial_state(tree: FCMTree) -> None:
+    """Reproduce the Figure 4b state via per-leaf totals.
+
+    Target node values: stage 1 = [3, 0, 2, 3] (sentinel is 3), stage 2
+    = [15, 4] (sentinel is 15), stage 3 = [9].  Working backwards:
+    C2,0 absorbed 14 and carried 9, so its children carried 23 — all
+    from leaf 0, whose total is 2 + 23 = 25.  C2,1 holds 4, carried
+    entirely by leaf 3 (total 2 + 4 = 6).  Leaf 2 holds exactly its
+    counting range (2, not overflowed); leaf 1 is empty.
+    """
+    tree.ingest_totals(np.array([25, 0, 2, 6]))
+
+
+class TestFigure4Example:
+    def test_initial_state_matches_paper(self):
+        tree = paper_tree()
+        load_figure4_initial_state(tree)
+        values = tree.stage_values
+        assert values[0].tolist() == [3, 0, 2, 3]
+        # C2,0 overflowed -> sentinel 15; C2,1 holds 4.
+        assert values[1].tolist() == [15, 4]
+        assert values[2].tolist() == [9]
+
+    def test_count_queries_match_paper(self):
+        tree = paper_tree()
+        load_figure4_initial_state(tree)
+        # f2 hashes to leaf 0: overflow at stage 1 (2) + overflow at
+        # stage 2 (14) + stage 3 value 9 = 25.
+        assert tree.query_leaf(0) == 25
+        # f1 hashes to leaf 2: value 2, no overflow -> 2.
+        assert tree.query_leaf(2) == 2
+        # leaf 3: overflow (2) + stage-2 value 4 -> 6.
+        assert tree.query_leaf(3) == 6
+        # leaf 1: empty.
+        assert tree.query_leaf(1) == 0
+
+
+class TestUpdateSemantics:
+    def test_single_update_visible(self):
+        tree = paper_tree()
+        tree.update(123)
+        assert tree.query(123) == 1
+
+    def test_update_with_count(self):
+        tree = paper_tree()
+        tree.update(7, count=2)
+        assert tree.query(7) == 2
+
+    def test_update_rejects_negative(self):
+        with pytest.raises(ValueError):
+            paper_tree().update(1, count=-1)
+
+    def test_overflow_carries_to_parent(self):
+        """Figure 4a's update: a leaf at its counting range overflows
+        and the increment lands in the parent."""
+        tree = paper_tree()
+        leaf = tree.leaf_index(42)
+        tree.update(42, count=2)  # leaf at theta_1 = 2, no overflow
+        assert tree.stage_values[0][leaf] == 2
+        tree.update(42)  # 3rd increment: sentinel + carry
+        values = tree.stage_values
+        assert values[0][leaf] == 3  # sentinel
+        assert values[1][leaf // 2] == 1
+        assert tree.query(42) == 3
+
+    def test_deep_overflow_chain(self):
+        tree = paper_tree()
+        # theta = [2, 14, 254]: 100 increments -> 2 + 14 + 84.
+        tree.update(9, count=100)
+        leaf = tree.leaf_index(9)
+        values = tree.stage_values
+        assert values[0][leaf] == 3
+        assert values[1][leaf // 2] == 15
+        assert values[2][0] == 84
+        assert tree.query(9) == 100
+
+    def test_last_stage_saturates(self):
+        tree = paper_tree()
+        # capacity: 2 + 14 + 255 = 271 maximum representable.
+        tree.update(1, count=500)
+        assert tree.query(1) == 2 + 14 + 255
+
+    def test_exact_below_first_overflow(self):
+        tree = paper_tree()
+        key = 77
+        for i in range(1, 3):
+            tree.update(key)
+            assert tree.query(key) == i
+
+
+class TestBulkEquivalence:
+    def test_ingest_equals_scalar_updates(self):
+        cfg = FCMConfig(num_trees=1, k=4, stage_bits=(4, 8, 16),
+                        stage_widths=(64, 16, 4))
+        scalar = FCMTree(cfg, HashFamily(5))
+        bulk = FCMTree(cfg, HashFamily(5))
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 200, size=5000, dtype=np.uint64)
+        for k in keys:
+            scalar.update(int(k))
+        bulk.ingest(keys)
+        for a, b in zip(scalar.stage_values, bulk.stage_values):
+            assert np.array_equal(a, b)
+
+    def test_query_many_matches_scalar(self):
+        cfg = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                        stage_widths=(32, 16, 8))
+        tree = FCMTree(cfg, HashFamily(1))
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 100, size=4000, dtype=np.uint64)
+        tree.ingest(keys)
+        uniq = np.unique(keys)
+        vec = tree.query_many(uniq)
+        for i, k in enumerate(uniq):
+            assert vec[i] == tree.query(int(k))
+
+    def test_incremental_ingest_equals_one_shot(self):
+        cfg = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                        stage_widths=(16, 8, 4))
+        once = FCMTree(cfg, HashFamily(2))
+        twice = FCMTree(cfg, HashFamily(2))
+        keys = np.arange(1000, dtype=np.uint64) % 37
+        once.ingest(keys)
+        twice.ingest(keys[:400])
+        twice.ingest(keys[400:])
+        for a, b in zip(once.stage_values, twice.stage_values):
+            assert np.array_equal(a, b)
+
+
+class TestOccupancy:
+    def test_empty_leaves(self):
+        tree = paper_tree()
+        assert tree.empty_leaves == 4
+        tree.update(3)
+        assert tree.empty_leaves == 3
+
+    def test_total_increments(self):
+        tree = paper_tree()
+        tree.update(1, count=5)
+        tree.update(2, count=7)
+        assert tree.total_increments == 12
+
+    def test_leaf_totals_read_only(self):
+        tree = paper_tree()
+        with pytest.raises(ValueError):
+            tree.leaf_totals[0] = 1
+
+    def test_ingest_totals_validation(self):
+        tree = paper_tree()
+        with pytest.raises(ValueError):
+            tree.ingest_totals(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            tree.ingest_totals(np.array([-1, 0, 0, 0]))
+
+    def test_query_leaf_bounds(self):
+        with pytest.raises(IndexError):
+            paper_tree().query_leaf(99)

@@ -1,0 +1,66 @@
+"""Tests for the conservative-update FCM extension (FCU)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch
+from repro.core.fcu import CUFCMSketch
+from repro.metrics import average_relative_error
+from repro.traffic import caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return caida_like_trace(num_packets=40_000, seed=61)
+
+
+class TestFCUSemantics:
+    def test_single_flow_exact(self):
+        sketch = CUFCMSketch(16 * 1024)
+        sketch.update(5, count=20)
+        assert sketch.query(5) == 20
+
+    def test_never_underestimates(self, trace):
+        sketch = CUFCMSketch(12 * 1024, seed=2)
+        sketch.ingest(trace.keys)
+        gt = trace.ground_truth
+        est = sketch.query_many(gt.keys_array())
+        assert np.all(est >= gt.sizes_array())
+
+    def test_never_worse_than_plain_fcm(self, trace):
+        """CU can only skip increments, so every per-flow estimate is
+        at most the plain FCM estimate (same hashes)."""
+        plain = FCMSketch.with_memory(12 * 1024, seed=2)
+        conservative = CUFCMSketch(12 * 1024, seed=2)
+        plain.ingest(trace.keys)
+        conservative.ingest(trace.keys)
+        keys = trace.ground_truth.keys_array()
+        assert np.all(conservative.query_many(keys)
+                      <= plain.query_many(keys))
+
+    def test_strictly_better_on_average(self, trace):
+        plain = FCMSketch.with_memory(8 * 1024, seed=2)
+        conservative = CUFCMSketch(8 * 1024, seed=2)
+        plain.ingest(trace.keys)
+        conservative.ingest(trace.keys)
+        gt = trace.ground_truth
+        plain_are = average_relative_error(
+            gt.sizes_array(), plain.query_many(gt.keys_array())
+        )
+        cu_are = average_relative_error(
+            gt.sizes_array(), conservative.query_many(gt.keys_array())
+        )
+        assert cu_are <= plain_are
+
+    def test_overflow_chain(self):
+        sketch = CUFCMSketch(16 * 1024, stage_bits=(4, 8, 16))
+        sketch.update(9, count=300)
+        assert sketch.query(9) == 300
+
+    def test_update_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CUFCMSketch(8 * 1024).update(1, count=-1)
+
+    def test_memory_accounting(self):
+        sketch = CUFCMSketch(32 * 1024)
+        assert 0 < sketch.memory_bytes <= 32 * 1024

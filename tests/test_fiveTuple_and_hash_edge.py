@@ -1,0 +1,57 @@
+"""Edge cases: very large keys, degenerate widths, hash boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import HashFamily, bobhash
+from repro.traffic.flow import FiveTuple
+
+
+class TestLargeKeys:
+    def test_five_tuple_key_exceeds_64_bits(self):
+        ft = FiveTuple(src_ip=0xFFFFFFFF, dst_ip=0xFFFFFFFF,
+                       src_port=0xFFFF, dst_port=0xFFFF, protocol=0xFF)
+        key = ft.to_key()
+        assert key.bit_length() > 64
+        assert FiveTuple.from_key(key) == ft
+
+    def test_scalar_hash_masks_large_keys(self):
+        """Scalar hashing folds >64-bit keys instead of crashing."""
+        ft = FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4,
+                       protocol=6)
+        h = HashFamily(1)
+        value = h.hash64(ft.to_key())
+        assert 0 <= value < 2**64
+
+    def test_uint64_extremes(self):
+        h = HashFamily(2)
+        for key in (0, 1, 2**63, 2**64 - 1):
+            idx = h.index(key, 97)
+            assert 0 <= idx < 97
+
+
+class TestWidthEdges:
+    def test_width_one(self):
+        h = HashFamily(3)
+        assert h.index(12345, 1) == 0
+        arr = h.index(np.arange(10, dtype=np.uint64), 1)
+        assert np.all(arr == 0)
+
+    def test_non_power_of_two_width_uniform(self):
+        h = HashFamily(4)
+        idx = h.index(np.arange(30_000, dtype=np.uint64), 7)
+        counts = np.bincount(idx, minlength=7)
+        assert counts.min() > 0.8 * 30_000 / 7
+
+
+class TestBobhashEdges:
+    def test_exactly_twelve_bytes(self):
+        # 12 bytes hits the mix-loop boundary with an empty tail.
+        assert bobhash(b"abcdefghijkl", 0) != bobhash(b"abcdefghijk", 0)
+
+    def test_thirteen_bytes(self):
+        a = bobhash(b"abcdefghijklm", 0)
+        assert 0 <= a <= 0xFFFFFFFF
+
+    def test_seed_is_32_bit_masked(self):
+        assert bobhash(b"x", 2**32) == bobhash(b"x", 0)

@@ -1,0 +1,76 @@
+"""Additional framework and collector behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMConfig
+from repro.framework import FCMFramework, MeasurementReport
+from repro.traffic import caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return caida_like_trace(num_packets=40_000, seed=131)
+
+
+class TestFrameworkConfiguration:
+    def test_default_k_plain_vs_topk(self):
+        plain = FCMFramework(memory_bytes=32 * 1024)
+        topk = FCMFramework(memory_bytes=32 * 1024, use_topk=True)
+        assert plain.sketch.config.k == 8
+        assert topk.sketch.fcm.config.k == 16
+
+    def test_explicit_k_override(self):
+        fw = FCMFramework(memory_bytes=32 * 1024, k=4)
+        assert fw.sketch.config.k == 4
+
+    def test_custom_em_config_used(self, trace):
+        fw = FCMFramework(memory_bytes=32 * 1024,
+                          em_config=EMConfig(max_iterations=2))
+        fw.process_trace(trace)
+        result = fw.flow_size_distribution()
+        assert result.iterations == 2
+
+    def test_incremental_processing(self, trace):
+        fw = FCMFramework(memory_bytes=32 * 1024, seed=1)
+        half = len(trace) // 2
+        fw.process_packets(trace.keys[:half])
+        fw.process_packets(trace.keys[half:])
+        one_shot = FCMFramework(memory_bytes=32 * 1024, seed=1)
+        one_shot.process_trace(trace)
+        gt = trace.ground_truth
+        keys = gt.keys_array()[:100]
+        for key in keys:
+            assert fw.flow_size(int(key)) == one_shot.flow_size(int(key))
+
+
+class TestReport:
+    def test_report_without_em(self, trace):
+        fw = FCMFramework(memory_bytes=32 * 1024)
+        fw.process_trace(trace)
+        report = fw.report(trace.ground_truth.keys_array(),
+                           heavy_hitter_threshold=50, run_em=False)
+        assert isinstance(report, MeasurementReport)
+        assert report.distribution is None
+        assert report.entropy is None
+        assert report.total_packets == len(trace)
+
+    def test_report_with_em(self, trace):
+        fw = FCMFramework(memory_bytes=32 * 1024,
+                          em_config=EMConfig(max_iterations=2))
+        fw.process_trace(trace)
+        report = fw.report(trace.ground_truth.keys_array(),
+                           heavy_hitter_threshold=50)
+        assert report.distribution is not None
+        assert report.entropy == pytest.approx(
+            trace.ground_truth.entropy, rel=0.2
+        )
+
+    def test_topk_framework_report(self, trace):
+        fw = FCMFramework(memory_bytes=48 * 1024, use_topk=True,
+                          em_config=EMConfig(max_iterations=2))
+        fw.process_trace(trace)
+        report = fw.report(trace.ground_truth.keys_array(),
+                           heavy_hitter_threshold=50)
+        truth = trace.ground_truth.heavy_hitters(50)
+        assert truth <= report.heavy_hitters

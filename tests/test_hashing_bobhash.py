@@ -1,0 +1,74 @@
+"""Tests for the scalar BobHash (lookup3) implementation."""
+
+import pytest
+
+from repro.hashing import bobhash
+
+
+class TestBobhashBasics:
+    def test_empty_key_returns_initial_c(self):
+        # lookup3: hashing zero bytes returns the initialized c lane.
+        assert bobhash(b"", 0) == 0xDEADBEEF
+
+    def test_empty_key_with_seed(self):
+        assert bobhash(b"", 1) == (0xDEADBEEF + 1) & 0xFFFFFFFF
+
+    def test_deterministic(self):
+        assert bobhash(b"flow-key", 42) == bobhash(b"flow-key", 42)
+
+    def test_seed_changes_value(self):
+        assert bobhash(b"flow-key", 0) != bobhash(b"flow-key", 1)
+
+    def test_key_changes_value(self):
+        assert bobhash(b"flow-a", 0) != bobhash(b"flow-b", 0)
+
+    def test_returns_32_bit(self):
+        for key in (b"", b"a", b"x" * 100):
+            value = bobhash(key, 7)
+            assert 0 <= value <= 0xFFFFFFFF
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            bobhash("a string", 0)  # type: ignore[arg-type]
+
+
+class TestBobhashTailHandling:
+    """Every tail length 1..12 exercises a distinct padding path."""
+
+    def test_all_tail_lengths_distinct_from_each_other(self):
+        values = {bobhash(b"z" * n, 3) for n in range(1, 13)}
+        assert len(values) == 12
+
+    def test_long_keys_cross_block_boundary(self):
+        # 13+ bytes exercises the mix loop.
+        a = bobhash(b"q" * 13, 0)
+        b = bobhash(b"q" * 25, 0)
+        assert a != b
+
+    def test_trailing_zero_bytes_matter(self):
+        # Appending explicit NUL bytes must change the hash (length is
+        # folded into the initial state).
+        assert bobhash(b"abc", 0) != bobhash(b"abc\x00", 0)
+
+
+class TestBobhashDistribution:
+    def test_bit_balance(self):
+        """Each output bit should be set roughly half the time."""
+        n = 2000
+        counts = [0] * 32
+        for i in range(n):
+            h = bobhash(i.to_bytes(4, "little"), 0)
+            for bit in range(32):
+                counts[bit] += (h >> bit) & 1
+        for bit, count in enumerate(counts):
+            assert 0.4 * n < count < 0.6 * n, f"bit {bit} unbalanced"
+
+    def test_bucket_uniformity(self):
+        """Hash values should spread evenly over a small modulus."""
+        buckets = [0] * 16
+        n = 4096
+        for i in range(n):
+            buckets[bobhash(i.to_bytes(4, "little"), 9) % 16] += 1
+        expected = n / 16
+        for count in buckets:
+            assert 0.7 * expected < count < 1.3 * expected

@@ -1,0 +1,130 @@
+"""Tests for the vectorized hash family."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import HashFamily, splitmix64
+from repro.hashing.family import hash_families
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_64_bit_range(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) <= 2**64 - 1
+
+    def test_avalanche(self):
+        """Flipping one input bit should flip ~half the output bits."""
+        for bit in (0, 17, 40, 63):
+            a = splitmix64(0xABCDEF)
+            b = splitmix64(0xABCDEF ^ (1 << bit))
+            flipped = bin(a ^ b).count("1")
+            assert 16 <= flipped <= 48
+
+
+class TestHashFamilyScalarVectorParity:
+    def test_hash64_parity(self):
+        h = HashFamily(seed=3)
+        keys = np.arange(100, dtype=np.uint64)
+        vec = h.hash64(keys)
+        for i, k in enumerate(keys):
+            assert int(vec[i]) == h.hash64(int(k))
+
+    def test_index_parity(self):
+        h = HashFamily(seed=11)
+        keys = np.arange(500, dtype=np.uint64)
+        vec = h.index(keys, 37)
+        for i, k in enumerate(keys):
+            assert int(vec[i]) == h.index(int(k), 37)
+
+    def test_sign_parity(self):
+        h = HashFamily(seed=5)
+        keys = np.arange(200, dtype=np.uint64)
+        vec = h.sign(keys)
+        for i, k in enumerate(keys):
+            assert int(vec[i]) == h.sign(int(k))
+
+    def test_leading_zeros_parity(self):
+        h = HashFamily(seed=8)
+        keys = np.arange(300, dtype=np.uint64)
+        for bits in (16, 32, 58, 64):
+            vec = h.leading_zeros(keys, bits=bits)
+            for i, k in enumerate(keys):
+                assert int(vec[i]) == h.leading_zeros(int(k), bits=bits)
+
+    def test_sample_bits_parity(self):
+        h = HashFamily(seed=21)
+        keys = np.arange(400, dtype=np.uint64)
+        for level in (0, 1, 3, 7):
+            vec = h.sample_bits(keys, level)
+            for i, k in enumerate(keys):
+                assert bool(vec[i]) == bool(h.sample_bits(int(k), level))
+
+
+class TestHashFamilyBehaviour:
+    def test_index_range(self):
+        h = HashFamily(seed=1)
+        idx = h.index(np.arange(10_000, dtype=np.uint64), 101)
+        assert idx.min() >= 0 and idx.max() < 101
+
+    def test_index_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            HashFamily(0).index(1, 0)
+
+    def test_uniformity(self):
+        h = HashFamily(seed=2)
+        idx = h.index(np.arange(64_000, dtype=np.uint64), 64)
+        counts = np.bincount(idx, minlength=64)
+        assert counts.min() > 700 and counts.max() < 1300
+
+    def test_seeds_decorrelated(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        a = HashFamily(1).index(keys, 1000)
+        b = HashFamily(2).index(keys, 1000)
+        matches = int(np.sum(a == b))
+        assert matches < 30  # ~1/1000 expected per key
+
+    def test_sign_balance(self):
+        signs = HashFamily(9).sign(np.arange(10_000, dtype=np.uint64))
+        assert abs(int(signs.sum())) < 500
+
+    def test_sample_bits_halving(self):
+        h = HashFamily(13)
+        keys = np.arange(100_000, dtype=np.uint64)
+        prev = 100_000
+        for level in range(1, 6):
+            survivors = int(h.sample_bits(keys, level).sum())
+            assert 0.35 * prev < survivors < 0.65 * prev
+            prev = survivors
+
+    def test_sample_bits_nested(self):
+        """A key sampled at level l must be sampled at all lower levels."""
+        h = HashFamily(17)
+        keys = np.arange(50_000, dtype=np.uint64)
+        deep = h.sample_bits(keys, 4)
+        shallow = h.sample_bits(keys, 2)
+        assert not np.any(deep & ~shallow)
+
+    def test_leading_zeros_range(self):
+        h = HashFamily(4)
+        lz = h.leading_zeros(np.arange(10_000, dtype=np.uint64), bits=32)
+        assert lz.min() >= 0 and lz.max() <= 32
+
+    def test_leading_zeros_geometric(self):
+        """P(leading zeros >= r) should be ~2^-r."""
+        h = HashFamily(6)
+        lz = h.leading_zeros(np.arange(100_000, dtype=np.uint64), bits=64)
+        for r in range(1, 8):
+            frac = float(np.mean(lz >= r))
+            assert 0.5 * 2**-r < frac < 2.0 * 2**-r
+
+    def test_hash_families_count(self):
+        fams = hash_families(5, base_seed=3)
+        assert len(fams) == 5
+        assert len({f.seed for f in fams}) == 5
+
+    def test_hash_families_rejects_zero(self):
+        with pytest.raises(ValueError):
+            hash_families(0)

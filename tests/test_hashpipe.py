@@ -1,0 +1,68 @@
+"""Tests for the HashPipe heavy-hitter baseline."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import HashPipe
+from repro.traffic import caida_like_trace
+
+
+class TestHashPipe:
+    def test_single_flow_tracked_exactly(self):
+        hp = HashPipe(4 * 1024)
+        for _ in range(10):
+            hp.update(5)
+        assert hp.query(5) == 10
+
+    def test_absent_key_zero(self):
+        hp = HashPipe(4 * 1024)
+        hp.update(1)
+        assert hp.query(99999) == 0
+
+    def test_heavy_flows_survive_churn(self):
+        hp = HashPipe(8 * 1024, seed=2)
+        rng = np.random.default_rng(0)
+        heavy = np.full(5000, 7, dtype=np.uint64)
+        noise = rng.integers(100, 100_000, size=20_000, dtype=np.uint64)
+        stream = rng.permutation(np.concatenate([heavy, noise]))
+        hp.ingest(stream)
+        hitters = hp.heavy_hitters([], threshold=1000)
+        assert 7 in hitters
+
+    def test_heavy_hitters_enumerate_resident_keys(self):
+        trace = caida_like_trace(num_packets=60_000, seed=3)
+        hp = HashPipe(16 * 1024, seed=1)
+        hp.ingest(trace.keys)
+        threshold = trace.heavy_hitter_threshold()
+        truth = trace.ground_truth.heavy_hitters(threshold)
+        reported = hp.heavy_hitters([], threshold)
+        from repro.metrics import f1_score
+        assert f1_score(reported, truth) > 0.7
+
+    def test_never_overestimates(self):
+        """HashPipe splits a flow across stages; summing resident
+        entries can never exceed the true count."""
+        trace = caida_like_trace(num_packets=30_000, seed=4)
+        hp = HashPipe(8 * 1024)
+        hp.ingest(trace.keys)
+        gt = trace.ground_truth
+        est = hp.query_many(gt.keys_array())
+        assert np.all(est <= gt.sizes_array())
+
+    def test_memory_budget(self):
+        hp = HashPipe(12_000)
+        assert hp.memory_bytes <= 12_000
+        assert hp.slots_per_stage == 12_000 // 12 // 6
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            HashPipe(1024, stages=0)
+        with pytest.raises(ValueError):
+            HashPipe(1024).update(1, count=-1)
+        with pytest.raises(ValueError):
+            HashPipe(1024).heavy_hitters([], 0)
+
+    def test_update_with_count(self):
+        hp = HashPipe(4096)
+        hp.update(3, count=5)
+        assert hp.query(3) == 5

@@ -1,0 +1,69 @@
+"""Tests for lossless FCM sketch merging (distributed collection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMConfig, FCMSketch
+from repro.core.tree import FCMTree
+from repro.hashing import HashFamily
+from repro.traffic import caida_like_trace, split_windows
+
+
+class TestTreeMerge:
+    def _tree(self, seed=1):
+        cfg = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                        stage_widths=(16, 8, 4))
+        return FCMTree(cfg, HashFamily(seed))
+
+    def test_merge_equals_combined_ingest(self):
+        a, b, combined = self._tree(), self._tree(), self._tree()
+        keys_a = np.arange(500, dtype=np.uint64) % 40
+        keys_b = (np.arange(700, dtype=np.uint64) * 3) % 40
+        a.ingest(keys_a)
+        b.ingest(keys_b)
+        combined.ingest(np.concatenate([keys_a, keys_b]))
+        a.merge_from(b)
+        for left, right in zip(a.stage_values, combined.stage_values):
+            assert np.array_equal(left, right)
+
+    def test_rejects_geometry_mismatch(self):
+        cfg_other = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                              stage_widths=(32, 16, 8))
+        other = FCMTree(cfg_other, HashFamily(1))
+        with pytest.raises(ValueError):
+            self._tree().merge_from(other)
+
+    def test_rejects_hash_mismatch(self):
+        with pytest.raises(ValueError):
+            self._tree(seed=1).merge_from(self._tree(seed=2))
+
+
+class TestSketchMerge:
+    def test_windowed_merge_equals_full_trace(self):
+        trace = caida_like_trace(num_packets=40_000, seed=121)
+        windows = split_windows(trace, 4)
+        merged = FCMSketch.with_memory(16 * 1024, seed=5)
+        for window in windows:
+            part = FCMSketch.with_memory(16 * 1024, seed=5)
+            part.ingest(window.keys)
+            merged.merge(part)
+        reference = FCMSketch.with_memory(16 * 1024, seed=5)
+        reference.ingest(trace.keys)
+        keys = trace.ground_truth.keys_array()
+        assert np.array_equal(merged.query_many(keys),
+                              reference.query_many(keys))
+        assert merged.cardinality() == reference.cardinality()
+
+    def test_rejects_config_mismatch(self):
+        a = FCMSketch.with_memory(16 * 1024, seed=1)
+        b = FCMSketch.with_memory(32 * 1024, seed=1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_preserves_total(self):
+        a = FCMSketch.with_memory(16 * 1024, seed=2)
+        b = FCMSketch.with_memory(16 * 1024, seed=2)
+        a.update(1, 5)
+        b.update(2, 7)
+        a.merge(b)
+        assert a.total_packets == 12

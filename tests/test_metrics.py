@@ -1,0 +1,126 @@
+"""Tests for the evaluation metrics (§7.2, Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    average_absolute_error,
+    average_relative_error,
+    f1_score,
+    flow_size_errors,
+    precision_recall,
+    relative_error,
+    weighted_mean_relative_error,
+)
+
+
+class TestARE:
+    def test_perfect_estimate(self):
+        assert average_relative_error([10, 20], [10, 20]) == 0.0
+
+    def test_known_value(self):
+        # |15-10|/10 = 0.5 and |20-20|/20 = 0 -> mean 0.25
+        assert average_relative_error([10, 20], [15, 20]) == pytest.approx(0.25)
+
+    def test_symmetric_in_error_sign(self):
+        over = average_relative_error([10], [15])
+        under = average_relative_error([10], [5])
+        assert over == under
+
+    def test_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            average_relative_error([0], [1])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            average_relative_error([1, 2], [1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_relative_error([], [])
+
+
+class TestAAE:
+    def test_known_value(self):
+        assert average_absolute_error([10, 20], [12, 26]) == pytest.approx(4.0)
+
+    def test_zero_truth_allowed(self):
+        assert average_absolute_error([0], [3]) == 3.0
+
+
+class TestRelativeError:
+    def test_known_value(self):
+        assert relative_error(100, 90) == pytest.approx(0.1)
+
+    def test_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            relative_error(0, 5)
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score({1, 2}, {1, 2}) == 1.0
+
+    def test_half_precision(self):
+        pr = precision_recall({1, 2}, {1})
+        assert pr.precision == 0.5 and pr.recall == 1.0
+        assert pr.f1 == pytest.approx(2 / 3)
+
+    def test_empty_report_empty_truth(self):
+        assert f1_score(set(), set()) == 1.0
+
+    def test_empty_report_nonempty_truth(self):
+        pr = precision_recall(set(), {1})
+        assert pr.precision == 1.0 and pr.recall == 0.0
+        assert pr.f1 == 0.0
+
+    def test_disjoint(self):
+        assert f1_score({1}, {2}) == 0.0
+
+
+class TestWMRE:
+    def test_identical_distributions(self):
+        assert weighted_mean_relative_error({1: 5, 2: 3}, {1: 5, 2: 3}) == 0.0
+
+    def test_known_value(self):
+        # |5-3| / ((5+3)/2) = 2/4 = 0.5
+        assert weighted_mean_relative_error({1: 5}, {1: 3}) == pytest.approx(0.5)
+
+    def test_accepts_arrays(self):
+        a = np.array([0.0, 5.0])
+        b = np.array([0.0, 3.0, 0.0])
+        assert weighted_mean_relative_error(a, b) == pytest.approx(0.5)
+
+    def test_disjoint_supports_max_error(self):
+        # Completely disjoint distributions give WMRE = 2.
+        assert weighted_mean_relative_error({1: 4}, {2: 4}) == pytest.approx(2.0)
+
+    def test_empty_distributions(self):
+        assert weighted_mean_relative_error({}, {}) == 0.0
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            weighted_mean_relative_error({-1: 3}, {1: 3})
+
+
+class TestFlowSizeErrors:
+    class _Exact:
+        def __init__(self, mapping):
+            self.mapping = mapping
+
+        def query(self, key):
+            return self.mapping[key]
+
+    def test_scalar_query_path(self):
+        est = self._Exact({1: 10, 2: 22})
+        are, aae = flow_size_errors([1, 2], [10, 20], est)
+        assert are == pytest.approx(0.05)
+        assert aae == pytest.approx(1.0)
+
+    class _Vectorized:
+        def query_many(self, keys):
+            return np.asarray(keys, dtype=np.float64) * 2
+
+    def test_vectorized_path(self):
+        are, aae = flow_size_errors([1, 2], [2, 4], self._Vectorized())
+        assert are == 0.0 and aae == 0.0

@@ -1,0 +1,73 @@
+"""Tests for the MRAC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import weighted_mean_relative_error
+from repro.sketches import MRAC
+from repro.traffic import caida_like_trace
+
+
+class TestMRACCounting:
+    def test_single_hash_counter(self):
+        m = MRAC(4096)
+        m.update(5, count=4)
+        assert m.query(5) == 4
+
+    def test_ingest_equals_scalar(self):
+        a = MRAC(1024, seed=2)
+        b = MRAC(1024, seed=2)
+        keys = np.arange(700, dtype=np.uint64) % 90
+        for k in keys:
+            a.update(int(k))
+        b.ingest(keys)
+        assert np.array_equal(a.counters, b.counters)
+
+    def test_never_underestimates(self):
+        trace = caida_like_trace(num_packets=30_000, seed=12)
+        m = MRAC(8 * 1024)
+        m.ingest(trace.keys)
+        gt = trace.ground_truth
+        assert np.all(m.query_many(gt.keys_array()) >= gt.sizes_array())
+
+    def test_counters_sum_to_packets(self):
+        trace = caida_like_trace(num_packets=30_000, seed=12)
+        m = MRAC(8 * 1024)
+        m.ingest(trace.keys)
+        assert int(m.counters.sum()) == len(trace)
+
+
+class TestMRACVirtualView:
+    def test_degree_one_only(self):
+        m = MRAC(2048)
+        m.ingest(np.arange(300, dtype=np.uint64))
+        array = m.to_virtual()
+        assert np.all(array.degrees == 1)
+        assert array.leaf_width == m.width
+        assert array.num_empty_leaves == m.width - len(array)
+
+    def test_total_preserved(self):
+        m = MRAC(2048)
+        m.ingest(np.arange(1000, dtype=np.uint64) % 77)
+        assert m.to_virtual().total_value == 1000
+
+
+class TestMRACDistribution:
+    def test_em_recovers_distribution(self):
+        trace = caida_like_trace(num_packets=60_000, seed=13)
+        m = MRAC(32 * 1024)
+        m.ingest(trace.keys)
+        result = m.estimate_distribution(iterations=5)
+        truth = trace.ground_truth.size_distribution_array()
+        assert weighted_mean_relative_error(truth, result.size_counts) < 0.35
+        assert result.total_flows == pytest.approx(
+            trace.ground_truth.cardinality, rel=0.15
+        )
+
+    def test_callback_invoked(self):
+        m = MRAC(4096)
+        m.ingest(np.arange(200, dtype=np.uint64))
+        seen = []
+        m.estimate_distribution(iterations=3,
+                                callback=lambda i, c: seen.append(i))
+        assert seen == [1, 2, 3]

@@ -1,0 +1,196 @@
+"""Tests for the network-wide simulation substrate and app studies."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network import (
+    EntropyAnomalyDetector,
+    NetworkSimulator,
+    SketchLoadBalancer,
+    fat_tree,
+    leaf_spine,
+)
+from repro.network.topology import ecmp_paths, leaf_switches
+from repro.traffic import Trace, caida_like_trace, split_windows
+
+
+class TestTopologies:
+    def test_leaf_spine_shape(self):
+        graph = leaf_spine(num_leaves=4, num_spines=3)
+        assert len(leaf_switches(graph)) == 4
+        assert graph.number_of_edges() == 12
+
+    def test_leaf_spine_validation(self):
+        with pytest.raises(ValueError):
+            leaf_spine(num_leaves=1)
+
+    def test_fat_tree_counts(self):
+        k = 4
+        graph = fat_tree(k)
+        # k^2/4 cores, k pods x k/2 agg + k/2 edge.
+        assert sum(1 for _, d in graph.nodes(data=True)
+                   if d["role"] == "core") == (k // 2) ** 2
+        assert len(leaf_switches(graph)) == k * k // 2
+        assert nx.is_connected(graph)
+
+    def test_fat_tree_validation(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_ecmp_paths_leaf_spine(self):
+        graph = leaf_spine(num_leaves=3, num_spines=4)
+        paths = ecmp_paths(graph)
+        # Every leaf pair has one 2-hop path per spine.
+        assert all(len(p) == 4 for p in paths.values())
+        for (src, dst), candidates in paths.items():
+            for path in candidates:
+                assert path[0] == src and path[-1] == dst
+                assert len(path) == 3
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def routed(self):
+        trace = caida_like_trace(num_packets=60_000, seed=81)
+        sim = NetworkSimulator(leaf_spine(4, 2),
+                               memory_bytes=32 * 1024, seed=1)
+        sim.route_trace(trace)
+        return sim, trace
+
+    def test_requires_two_leaves(self):
+        graph = nx.Graph()
+        graph.add_node("leaf0", role="leaf")
+        with pytest.raises(ValueError):
+            NetworkSimulator(graph)
+
+    def test_endpoints_deterministic(self, routed):
+        sim, _ = routed
+        assert sim.endpoints_of(1234) == sim.endpoints_of(1234)
+        src, dst = sim.endpoints_of(1234)
+        assert src != dst
+
+    def test_all_packets_traverse_two_leaves(self, routed):
+        sim, trace = routed
+        leaf_total = sum(sim.switches[leaf].packets_forwarded
+                         for leaf in sim.leaves)
+        assert leaf_total == 2 * len(trace)
+
+    def test_flow_size_never_underestimates(self, routed):
+        sim, trace = routed
+        gt = trace.ground_truth
+        sample = list(gt.flow_sizes.items())[:300]
+        for key, size in sample:
+            assert sim.flow_size(key) >= size
+
+    def test_network_wide_heavy_hitters(self, routed):
+        sim, trace = routed
+        threshold = trace.heavy_hitter_threshold()
+        truth = trace.ground_truth.heavy_hitters(threshold)
+        reported = sim.heavy_hitters(
+            trace.ground_truth.keys_array(), threshold
+        )
+        assert truth <= reported  # overestimate-only => no misses
+
+    def test_total_flows(self, routed):
+        sim, trace = routed
+        assert sim.total_flows() == pytest.approx(
+            trace.ground_truth.cardinality, rel=0.1
+        )
+
+    def test_link_load_conservation(self, routed):
+        sim, trace = routed
+        # Leaf-spine paths have exactly 2 links, so total link load is
+        # twice the packet volume.
+        assert sum(sim.link_load.values()) == 2 * len(trace)
+
+    def test_selector_validation(self):
+        sim = NetworkSimulator(leaf_spine(2, 2), memory_bytes=16 * 1024)
+        trace = Trace(np.arange(100, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            sim.route_trace(trace,
+                            path_selector=lambda k, c: ["bogus"])
+
+
+class TestLoadBalancer:
+    def _elephant_trace(self, seed: int) -> Trace:
+        rng = np.random.default_rng(seed)
+        elephants = np.repeat(
+            np.arange(10, dtype=np.uint64), 5000
+        )
+        mice = rng.integers(1000, 1_000_000, size=30_000,
+                            dtype=np.uint64)
+        keys = np.concatenate([elephants, mice])
+        rng.shuffle(keys)
+        return Trace(keys)
+
+    def test_steering_helps_on_average(self):
+        """Averaged over seeds, elephant steering should not lose to
+        ECMP and typically wins (greedy bottleneck avoidance)."""
+        baselines, steered = [], []
+        for seed in range(4):
+            trace = self._elephant_trace(seed)
+            ecmp = NetworkSimulator(leaf_spine(4, 2),
+                                    memory_bytes=32 * 1024, seed=seed)
+            ecmp.route_trace(trace)
+            baselines.append(ecmp.load_imbalance())
+
+            sim = NetworkSimulator(leaf_spine(4, 2),
+                                   memory_bytes=32 * 1024, seed=seed)
+            balancer = SketchLoadBalancer(sim, elephant_threshold=1000)
+            steered.append(balancer.balance(warmup=trace,
+                                            workload=trace))
+            assert balancer.steered_flows >= 5
+        assert np.mean(steered) <= np.mean(baselines) * 1.02
+
+    def test_select_prefers_least_loaded_path(self):
+        sim = NetworkSimulator(leaf_spine(2, 2),
+                               memory_bytes=32 * 1024, seed=3)
+        # Warm the ingress sketch so the flow reads as an elephant.
+        key = 42
+        src, _ = sim.endpoints_of(key)
+        sim.switches[src].sketch.update(key, 5000)
+        balancer = SketchLoadBalancer(sim, elephant_threshold=100)
+        candidates = sim.paths[sim.endpoints_of(key)]
+        # Pre-load every link of the first candidate path.
+        balancer._commit(candidates[0], 10_000)
+        chosen = balancer.select(key, candidates)
+        assert chosen == candidates[1]
+        assert balancer.steered_flows == 1
+
+    def test_threshold_validation(self):
+        sim = NetworkSimulator(leaf_spine(2, 2), memory_bytes=16 * 1024)
+        with pytest.raises(ValueError):
+            SketchLoadBalancer(sim, elephant_threshold=0)
+
+
+class TestAnomalyDetector:
+    def test_flags_ddos_window(self):
+        base = caida_like_trace(num_packets=120_000, seed=82)
+        windows = split_windows(base, 4)
+        rng = np.random.default_rng(0)
+        # DDoS: a burst of brand-new 1-packet flows crushes the window
+        # into a very different entropy regime.
+        attack = rng.integers(2**40, 2**41, size=60_000,
+                              dtype=np.uint64)
+        attacked = Trace(np.concatenate([windows[2].keys, attack]))
+        schedule = [windows[0], windows[1], attacked, windows[3]]
+
+        detector = EntropyAnomalyDetector(memory_bytes=64 * 1024,
+                                          deviation_threshold=0.1)
+        alerts = detector.scan(schedule)
+        assert any(alert.window_index == 2 for alert in alerts)
+        assert all(alert.window_index != 1 for alert in alerts)
+
+    def test_quiet_traffic_no_alerts(self):
+        base = caida_like_trace(num_packets=80_000, seed=83)
+        windows = split_windows(base, 4)
+        detector = EntropyAnomalyDetector(memory_bytes=64 * 1024,
+                                          deviation_threshold=0.25)
+        assert detector.scan(windows) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EntropyAnomalyDetector(deviation_threshold=0)
+        with pytest.raises(ValueError):
+            EntropyAnomalyDetector(warmup_windows=0)

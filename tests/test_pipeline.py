@@ -1,0 +1,132 @@
+"""Tests for the PISA pipeline model and the per-packet FCM program."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMConfig, FCMSketch
+from repro.dataplane import (
+    FCMPipeline,
+    PipelineError,
+    PisaPipeline,
+    RegisterArray,
+    StatefulALU,
+    TofinoConstraints,
+)
+
+
+def small_config() -> FCMConfig:
+    return FCMConfig(num_trees=2, k=4, stage_bits=(4, 8, 16),
+                     stage_widths=(64, 16, 4), seed=7)
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        reg = RegisterArray("r", 8, 4)
+        reg.write(2, 255)
+        assert reg.read(2) == 255
+
+    def test_rejects_overflowing_value(self):
+        reg = RegisterArray("r", 8, 4)
+        with pytest.raises(PipelineError):
+            reg.write(0, 256)
+
+    def test_sram_accounting(self):
+        assert RegisterArray("r", 16, 100).sram_bits == 1600
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 0, 4)
+
+
+class TestStatefulALU:
+    def test_single_access_per_packet(self):
+        reg = RegisterArray("r", 8, 2)
+        alu = StatefulALU(reg, lambda old: (old + 1, old))
+        alu.execute(1, 0)
+        with pytest.raises(PipelineError):
+            alu.execute(1, 1)
+        alu.execute(2, 1)  # next packet is fine
+
+
+class TestPisaPipeline:
+    def test_stage_cap(self):
+        pipe = PisaPipeline(TofinoConstraints(num_stages=2))
+        pipe.add_stage()
+        pipe.add_stage()
+        with pytest.raises(PipelineError):
+            pipe.add_stage()
+
+    def test_salu_cap_per_stage(self):
+        constraints = TofinoConstraints(salus_per_stage=1)
+        pipe = PisaPipeline(constraints)
+        stage = pipe.add_stage()
+        pipe.place_register(stage, "a", 8, 4, lambda old: (old, old))
+        with pytest.raises(PipelineError):
+            pipe.place_register(stage, "b", 8, 4, lambda old: (old, old))
+
+    def test_sram_cap_per_stage(self):
+        constraints = TofinoConstraints(sram_kb_per_stage=1)
+        pipe = PisaPipeline(constraints)
+        stage = pipe.add_stage()
+        with pytest.raises(PipelineError):
+            pipe.place_register(stage, "big", 32, 10_000,
+                                lambda old: (old, old))
+
+
+class TestFCMPipeline:
+    def test_stages_used(self):
+        pipeline = FCMPipeline(small_config())
+        # 3 tree levels + the final min stage.
+        assert pipeline.stages_used == 4
+
+    def test_register_parity_with_vectorized_tree(self):
+        """The hardware-equivalence claim (Figure 13): per-packet PISA
+        registers == vectorized core, bit for bit."""
+        config = small_config()
+        pipeline = FCMPipeline(config)
+        sketch = FCMSketch(config)
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 300, size=6000, dtype=np.uint64)
+        for key in keys:
+            pipeline.process_packet(int(key))
+        sketch.ingest(keys)
+        for tree_index, tree in enumerate(sketch.trees):
+            hw = pipeline.register_values(tree_index)
+            sw = tree.stage_values
+            for level, (h, s) in enumerate(zip(hw, sw)):
+                assert np.array_equal(h, s), f"tree {tree_index} " \
+                    f"level {level} diverged"
+
+    def test_process_packet_returns_running_estimate(self):
+        pipeline = FCMPipeline(small_config())
+        estimates = [pipeline.process_packet(42) for _ in range(20)]
+        assert estimates == list(range(1, 21))
+
+    def test_estimate_matches_sketch_query(self):
+        config = small_config()
+        pipeline = FCMPipeline(config)
+        sketch = FCMSketch(config)
+        rng = np.random.default_rng(9)
+        keys = rng.integers(0, 100, size=3000, dtype=np.uint64)
+        last_estimate = {}
+        for key in keys:
+            last_estimate[int(key)] = pipeline.process_packet(int(key))
+        sketch.ingest(keys)
+        uniq, counts = np.unique(keys, return_counts=True)
+        true_counts = dict(zip(uniq.tolist(), counts.tolist()))
+        for key, estimate in last_estimate.items():
+            # At the flow's last packet all its packets are counted, so
+            # the in-flight estimate already covers the true size; later
+            # packets of *other* flows can only grow the final query.
+            assert true_counts[key] <= estimate <= sketch.query(key)
+
+    def test_requires_derived_config(self):
+        with pytest.raises(ValueError):
+            FCMPipeline(FCMConfig())
+
+    def test_paper_config_fits_tofino(self):
+        """The paper's 1.3 MB two-tree 8-ary sketch must fit the
+        Tofino constraints (it ran on real hardware)."""
+        config = FCMConfig().with_memory(1_300_000)
+        pipeline = FCMPipeline(config)
+        assert pipeline.stages_used <= TofinoConstraints().num_stages

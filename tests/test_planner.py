@@ -1,0 +1,80 @@
+"""Tests for the capacity planner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.planner import (
+    memory_for_accuracy,
+    plan_for_accuracy,
+    plan_for_memory,
+)
+from repro.core import FCMSketch
+from repro.traffic import caida_like_trace
+
+
+class TestPlanForAccuracy:
+    def test_meets_epsilon(self):
+        plan = plan_for_accuracy(epsilon=0.001, delta=0.05,
+                                 expected_packets=1_000_000)
+        assert plan.epsilon <= 0.001
+        assert plan.delta <= 0.05
+
+    def test_width_is_granular(self):
+        plan = plan_for_accuracy(0.01, 0.1, 100_000, k=8)
+        assert plan.config.leaf_width % 64 == 0  # k^(L-1)
+        assert plan.config.stage_widths[0] \
+            == 8 * plan.config.stage_widths[1]
+
+    def test_tighter_epsilon_needs_more_memory(self):
+        loose = plan_for_accuracy(0.01, 0.1, 100_000)
+        tight = plan_for_accuracy(0.001, 0.1, 100_000)
+        assert tight.config.memory_bytes > loose.config.memory_bytes
+
+    def test_tighter_delta_needs_more_trees(self):
+        loose = plan_for_accuracy(0.01, 0.3, 100_000)
+        tight = plan_for_accuracy(0.01, 0.001, 100_000)
+        assert tight.config.num_trees > loose.config.num_trees
+
+    def test_describe(self):
+        text = plan_for_accuracy(0.01, 0.1, 100_000).describe()
+        assert "guarantee" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_for_accuracy(0.01, 0.1, expected_packets=0)
+
+
+class TestPlanForMemory:
+    def test_roundtrip_with_accuracy_plan(self):
+        plan = plan_for_accuracy(0.005, 0.14, 500_000)
+        back = plan_for_memory(plan.config.memory_bytes, 500_000,
+                               num_trees=plan.config.num_trees)
+        assert back.epsilon <= 0.005 * 1.05
+
+    def test_degree_term_activation(self):
+        small = plan_for_memory(4 * 1024, expected_packets=10_000_000)
+        assert small.predicted_error > \
+            math.e / small.config.leaf_width * 10_000_000 * 0.99
+        assert small.overflow_safe_volume < 10_000_000
+
+    def test_memory_for_accuracy_scalar(self):
+        assert memory_for_accuracy(0.001, 0.05) \
+            > memory_for_accuracy(0.01, 0.05)
+
+
+class TestPlanHoldsEmpirically:
+    def test_planned_sketch_meets_target(self):
+        """Build the planned sketch, run real traffic, check the
+        guarantee holds at the promised probability."""
+        trace = caida_like_trace(num_packets=80_000, seed=101)
+        plan = plan_for_accuracy(epsilon=0.001, delta=0.14,
+                                 expected_packets=len(trace))
+        sketch = FCMSketch(plan.config)
+        sketch.ingest(trace.keys)
+        gt = trace.ground_truth
+        errors = sketch.query_many(gt.keys_array()) - gt.sizes_array()
+        allowed = plan.epsilon * len(trace)
+        violations = float(np.mean(errors > allowed))
+        assert violations <= plan.delta + 0.01

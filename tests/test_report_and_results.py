@@ -1,0 +1,73 @@
+"""Tests for the consolidated benchmark report and result records."""
+
+import json
+import os
+
+import pytest
+
+from benchmarks import report
+from benchmarks.common import _fmt, _to_jsonable, print_table, save_results
+
+
+class TestJsonSerialization:
+    def test_numpy_types_converted(self):
+        import numpy as np
+
+        payload = {
+            "i": np.int64(3),
+            "f": np.float64(1.5),
+            "a": np.arange(3),
+            "nested": {"t": (np.int32(1), 2)},
+        }
+        out = _to_jsonable(payload)
+        assert out == {"i": 3, "f": 1.5, "a": [0, 1, 2],
+                       "nested": {"t": [1, 2]}}
+        json.dumps(out)  # round-trips
+
+    def test_save_results_writes_file(self, tmp_path, monkeypatch):
+        import benchmarks.common as common
+
+        monkeypatch.setattr(common, "RESULTS_DIR", str(tmp_path))
+        path = save_results("unit_test", {"x": 1})
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert json.load(fh) == {"x": 1}
+
+
+class TestTableFormatting:
+    def test_fmt_floats(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(0.12345) == "0.1235"
+        assert "e" in _fmt(1e-6)
+        assert "e" in _fmt(123456.0)
+
+    def test_fmt_passthrough(self):
+        assert _fmt("abc") == "abc"
+        assert _fmt(7) == "7"
+
+    def test_print_table_alignment(self, capsys):
+        print_table("T", ["a", "bb"], [[1, 2.5], [300, 4]])
+        out = capsys.readouterr().out
+        assert "=== T ===" in out
+        assert "300" in out
+
+
+class TestReportModule:
+    def test_headline_functions_tolerate_missing_keys(self):
+        # A malformed record must not crash the report.
+        assert report._headline("fig06_dataplane_queries", {}) \
+            == "recorded"
+
+    def test_report_runs_against_real_results(self, capsys):
+        if not os.path.isdir(report.RESULTS_DIR):
+            pytest.skip("no results recorded yet")
+        code = report.main()
+        out = capsys.readouterr().out
+        assert "benchmark report" in out
+        assert code == 0
+
+    def test_report_handles_missing_dir(self, monkeypatch, tmp_path,
+                                         capsys):
+        monkeypatch.setattr(report, "RESULTS_DIR",
+                            str(tmp_path / "nope"))
+        assert report.main() == 1

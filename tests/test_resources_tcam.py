@@ -1,0 +1,152 @@
+"""Tests for resource accounting (Tables 4-5) and the TCAM cardinality
+table (Appendix C)."""
+
+import pytest
+
+from repro.core import FCMConfig
+from repro.dataplane import (
+    LITERATURE_SOLUTIONS,
+    SWITCH_P4,
+    TcamCardinalityTable,
+    cm_topk_resources,
+    fcm_resources,
+    fcm_topk_resources,
+)
+from repro.sketches.linear_counting import linear_counting_estimate
+
+
+def paper_config() -> FCMConfig:
+    """The hardware evaluation's configuration: ~1.3 MB, 2 trees."""
+    return FCMConfig().with_memory(1_300_000)
+
+
+class TestTable4:
+    def test_fcm_sram_close_to_table4(self):
+        report = fcm_resources(paper_config())
+        assert report.sram_pct == pytest.approx(9.38, rel=0.10)
+
+    def test_fcm_salu_matches_table4(self):
+        report = fcm_resources(paper_config())
+        assert report.salu_pct == pytest.approx(12.50, rel=0.01)
+
+    def test_fcm_stages_match_table4(self):
+        assert fcm_resources(paper_config()).stages == 4
+
+    def test_fcm_hash_bits_small(self):
+        report = fcm_resources(paper_config())
+        assert report.hash_bits_pct == pytest.approx(2.02, rel=0.30)
+
+    def test_fcm_topk_matches_table4(self):
+        report = fcm_topk_resources(paper_config())
+        assert report.stages == 8
+        assert report.salu_pct == pytest.approx(20.83, rel=0.01)
+        assert report.sram_pct == pytest.approx(9.48, rel=0.10)
+
+    def test_fcm_uses_no_tcam(self):
+        assert fcm_resources(paper_config()).tcam_pct == 0.0
+
+    def test_cardinality_query_overhead(self):
+        """§8.3: queries add ~10.42% sALUs, one stage and <10 TCAM
+        entries."""
+        base = fcm_resources(paper_config())
+        with_q = fcm_resources(paper_config(), with_queries=True)
+        assert with_q.stages == base.stages + 1
+        assert with_q.salu_pct > base.salu_pct
+        assert with_q.tcam_pct > 0
+
+    def test_switch_p4_constants(self):
+        assert SWITCH_P4.stages == 12
+        assert SWITCH_P4.sram_pct == 30.52
+
+
+class TestFigure14a:
+    def test_normalization_baseline_is_one(self):
+        report = fcm_resources(paper_config())
+        ratios = report.normalized_to(report)
+        assert all(v == pytest.approx(1.0) for v in ratios.values())
+
+    def test_fcm_topk_uses_double_stages(self):
+        base = fcm_resources(paper_config())
+        topk = fcm_topk_resources(paper_config())
+        ratios = topk.normalized_to(base)
+        assert ratios["Physical Stages"] == pytest.approx(2.0)
+        assert ratios["Stateful ALU"] == pytest.approx(10 / 6, rel=0.01)
+
+    def test_cm_topk_variants_ordered(self):
+        """More CM rows => more sALUs and hash bits (Figure 14a)."""
+        width = 600_000
+        reports = [cm_topk_resources(d, width) for d in (2, 4, 8)]
+        salus = [r.salu_pct for r in reports]
+        hashes = [r.hash_bits_pct for r in reports]
+        assert salus == sorted(salus)
+        assert hashes == sorted(hashes)
+
+    def test_cm_topk_similar_sram_to_fcm(self):
+        """Figure 14's setup: comparable SRAM across alternatives."""
+        fcm = fcm_resources(paper_config())
+        cm2 = cm_topk_resources(2, 600_000)
+        assert cm2.sram_pct == pytest.approx(fcm.sram_pct, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cm_topk_resources(0, 100)
+
+
+class TestTable5:
+    def test_literature_rows_present(self):
+        for name in ("SketchLearn", "QPipe", "SpreadSketch", "HashPipe",
+                     "ElasticSketch", "UnivMon"):
+            assert name in LITERATURE_SOLUTIONS
+
+    def test_fcm_beats_generic_competitors(self):
+        """Table 5's claim: FCM uses fewer stages and sALUs than the
+        other generic Tofino solutions."""
+        fcm = fcm_resources(paper_config())
+        sketchlearn = LITERATURE_SOLUTIONS["SketchLearn"]
+        assert fcm.stages < sketchlearn["stages"]
+        assert fcm.salu_pct < sketchlearn["salu_pct"]
+
+
+class TestTcamTable:
+    def test_two_orders_of_magnitude_compression(self):
+        """Appendix C: the table is ~100x smaller than one entry per
+        possible w0."""
+        table = TcamCardinalityTable(leaf_width=500_000,
+                                     error_bound=0.002)
+        assert len(table) < 500_000 / 50
+
+    def test_added_error_within_bound(self):
+        table = TcamCardinalityTable(leaf_width=100_000,
+                                     error_bound=0.002)
+        assert table.worst_case_added_error() <= 0.002 + 1e-9
+
+    def test_lookup_never_underestimates(self):
+        table = TcamCardinalityTable(leaf_width=10_000)
+        for w0 in (1, 10, 500, 5000, 9999):
+            exact = linear_counting_estimate(w0, 10_000)
+            assert table.lookup(w0) >= exact - 1e-9
+
+    def test_exact_at_installed_entries(self):
+        table = TcamCardinalityTable(leaf_width=5000)
+        for w0 in table.entries[:20]:
+            assert table.lookup(w0) == pytest.approx(
+                linear_counting_estimate(w0, 5000)
+            )
+
+    def test_untouched_sketch_maps_to_zero(self):
+        table = TcamCardinalityTable(leaf_width=1000)
+        assert table.lookup(1000) == 0.0
+
+    def test_tighter_bound_needs_more_entries(self):
+        loose = TcamCardinalityTable(10_000, error_bound=0.01)
+        tight = TcamCardinalityTable(10_000, error_bound=0.001)
+        assert len(tight) > len(loose)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcamCardinalityTable(1)
+        with pytest.raises(ValueError):
+            TcamCardinalityTable(100, error_bound=0)
+        table = TcamCardinalityTable(100)
+        with pytest.raises(ValueError):
+            table.lookup(101)

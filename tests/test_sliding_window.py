@@ -1,0 +1,83 @@
+"""Tests for the jumping-window sliding measurement extension."""
+
+import numpy as np
+import pytest
+
+from repro.controlplane.sliding import JumpingWindowSketch
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(0)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(100, num_slots=1)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(100, num_slots=3)  # not divisible
+
+    def test_slot_sizing(self):
+        window = JumpingWindowSketch(1000, num_slots=4)
+        assert window.slot_packets == 250
+
+
+class TestWindowing:
+    def test_recent_flow_counted(self):
+        window = JumpingWindowSketch(400, num_slots=4,
+                                     memory_bytes=8 * 1024)
+        for _ in range(50):
+            window.update(7)
+        assert window.query(7) >= 50
+
+    def test_old_traffic_expires(self):
+        window = JumpingWindowSketch(400, num_slots=4,
+                                     memory_bytes=8 * 1024)
+        # Flow 7 appears, then 2x the window of other traffic passes.
+        window.ingest(np.full(100, 7, dtype=np.uint64))
+        filler = np.arange(1000, 1800, dtype=np.uint64)
+        window.ingest(np.repeat(filler, 1))
+        assert window.query(7) == 0
+
+    def test_live_packet_accounting(self):
+        window = JumpingWindowSketch(400, num_slots=4,
+                                     memory_bytes=8 * 1024)
+        window.ingest(np.arange(150, dtype=np.uint64))
+        assert window.packets_seen == 150
+        assert window.live_packets == 150
+        window.ingest(np.arange(1000, dtype=np.uint64))
+        # At most a full window is live.
+        assert window.live_packets <= 400
+
+    def test_never_underestimates_live_span(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 50, size=2000, dtype=np.uint64)
+        window = JumpingWindowSketch(800, num_slots=4,
+                                     memory_bytes=16 * 1024)
+        window.ingest(stream)
+        live = stream[-window.live_packets:]
+        uniq, counts = np.unique(live, return_counts=True)
+        estimates = window.query_many(uniq)
+        assert np.all(estimates >= counts)
+
+    def test_ingest_matches_scalar_updates(self):
+        a = JumpingWindowSketch(200, num_slots=2, memory_bytes=8 * 1024,
+                                seed=2)
+        b = JumpingWindowSketch(200, num_slots=2, memory_bytes=8 * 1024,
+                                seed=2)
+        stream = (np.arange(500, dtype=np.uint64) * 7) % 40
+        a.ingest(stream)
+        for key in stream:
+            b.update(int(key))
+        uniq = np.unique(stream)
+        assert np.array_equal(a.query_many(uniq), b.query_many(uniq))
+
+    def test_heavy_hitters_windowed(self):
+        window = JumpingWindowSketch(400, num_slots=4,
+                                     memory_bytes=8 * 1024)
+        window.ingest(np.concatenate([
+            np.full(200, 9, dtype=np.uint64),
+            np.arange(100, dtype=np.uint64),
+        ]))
+        assert 9 in window.heavy_hitters([9, 1], threshold=100)
+        with pytest.raises(ValueError):
+            window.heavy_hitters([9], 0)
+        assert window.heavy_hitters([], 10) == set()

@@ -1,0 +1,184 @@
+"""Tests for the Top-K filter, FCM+TopK and ElasticSketch."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import FCMTopK, TopKFilter
+from repro.errors import SketchMemoryError
+from repro.metrics import f1_score
+from repro.sketches import ElasticSketch
+from repro.traffic import caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return caida_like_trace(num_packets=60_000, seed=21)
+
+
+class TestTopKFilter:
+    def test_tracks_single_flow_exactly(self):
+        filt = TopKFilter(entries_per_level=64)
+        spilled = []
+        for _ in range(10):
+            filt.insert(5, lambda k, c: spilled.append((k, c)))
+        assert filt.lookup(5) == (10, False)
+        assert spilled == []
+
+    def test_eviction_migrates_count(self):
+        filt = TopKFilter(entries_per_level=1, lambda_ratio=2)
+        spilled = []
+        filt.insert(1, lambda k, c: spilled.append((k, c)))
+        # First miss by key 2 is rejected to the sketch; the second
+        # triggers eviction (2 >= 2 * 1) and migrates key 1's count.
+        filt.insert(2, lambda k, c: spilled.append((k, c)))
+        filt.insert(2, lambda k, c: spilled.append((k, c)))
+        assert spilled == [(2, 1), (1, 1)]
+        count, flagged = filt.lookup(2)
+        assert flagged is True and count == 1
+
+    def test_hardware_mode_inherits_count(self):
+        filt = TopKFilter(entries_per_level=1, lambda_ratio=2,
+                          migrate_on_evict=False)
+        spilled = []
+        filt.insert(1, lambda k, c: spilled.append((k, c)))
+        filt.insert(2, lambda k, c: spilled.append((k, c)))
+        filt.insert(2, lambda k, c: spilled.append((k, c)))
+        # Only the rejected packet reached the sketch; the eviction
+        # exported nothing (the PHV cannot carry the old pair out).
+        assert spilled == [(2, 1)]
+        count, _ = filt.lookup(2)
+        assert count == 2  # inherited 1 + own 1
+
+    def test_miss_goes_to_sketch(self):
+        filt = TopKFilter(entries_per_level=1, lambda_ratio=100)
+        spilled = []
+        filt.insert(1, lambda k, c: spilled.append((k, c)))
+        filt.insert(2, lambda k, c: spilled.append((k, c)))
+        assert spilled == [(2, 1)]
+
+    def test_resident_keys_and_entries(self):
+        filt = TopKFilter(entries_per_level=32)
+        for key in (1, 2, 3):
+            filt.insert(key, lambda k, c: None)
+        assert {k for k, _, _ in filt.entries()} == filt.resident_keys()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKFilter(entries_per_level=0)
+        with pytest.raises(ValueError):
+            TopKFilter(lambda_ratio=0)
+
+
+class TestFCMTopK:
+    def test_count_conservation(self, trace):
+        """Every packet is either in the filter or in the sketch."""
+        sk = FCMTopK(32 * 1024, seed=3)
+        sk.ingest(trace.keys)
+        resident = sum(c for _, c, _ in sk.topk.entries())
+        assert resident + sk.fcm.total_packets == len(trace)
+
+    def test_never_underestimates(self, trace):
+        sk = FCMTopK(32 * 1024, seed=3)
+        sk.ingest(trace.keys)
+        gt = trace.ground_truth
+        est = sk.query_many(gt.keys_array())
+        assert np.all(est >= gt.sizes_array())
+
+    def test_query_many_matches_scalar(self, trace):
+        sk = FCMTopK(32 * 1024, seed=3)
+        sk.ingest(trace.keys)
+        keys = trace.ground_truth.keys_array()[:150]
+        vec = sk.query_many(keys)
+        for i, k in enumerate(keys):
+            assert vec[i] == sk.query(int(k))
+
+    def test_heavy_hitters_strong(self, trace):
+        sk = FCMTopK(32 * 1024, seed=3)
+        sk.ingest(trace.keys)
+        threshold = trace.heavy_hitter_threshold()
+        truth = trace.ground_truth.heavy_hitters(threshold)
+        reported = sk.heavy_hitters(trace.ground_truth.keys_array(),
+                                    threshold)
+        assert f1_score(reported, truth) > 0.95
+
+    def test_cardinality(self, trace):
+        sk = FCMTopK(32 * 1024, seed=3)
+        sk.ingest(trace.keys)
+        truth = trace.ground_truth.cardinality
+        assert sk.cardinality() == pytest.approx(truth, rel=0.1)
+
+    def test_budget_too_small_for_filter(self):
+        with pytest.raises(SketchMemoryError):
+            FCMTopK(1024, topk_entries=4096)
+
+    def test_hardware_mode_mostly_overestimates(self, trace):
+        """Hardware eviction re-attributes the incumbent's count to the
+        new key, so *evicted* flows can be underestimated — but that
+        must stay a small minority (Figure 13's 'small increase')."""
+        sk = FCMTopK(32 * 1024, hardware=True, seed=3)
+        sk.ingest(trace.keys)
+        gt = trace.ground_truth
+        est = sk.query_many(gt.keys_array())
+        under = float(np.mean(est < gt.sizes_array()))
+        assert under < 0.05
+
+    def test_update_with_count(self):
+        sk = FCMTopK(32 * 1024)
+        sk.update(9, count=12)
+        assert sk.query(9) == 12
+
+
+class TestElasticSketch:
+    def test_never_underestimates_unsaturated(self):
+        """With an unsaturated light part Elastic over-estimates only."""
+        small = caida_like_trace(num_packets=20_000, seed=5)
+        es = ElasticSketch(64 * 1024, seed=2)
+        es.ingest(small.keys)
+        gt = small.ground_truth
+        est = es.query_many(gt.keys_array())
+        assert np.all(est >= np.minimum(gt.sizes_array(), 255))
+
+    def test_heavy_flow_exact_in_heavy_part(self):
+        es = ElasticSketch(64 * 1024)
+        keys = np.concatenate([
+            np.full(5000, 3, dtype=np.uint64),
+            np.arange(100, 600, dtype=np.uint64),
+        ])
+        es.ingest(keys)
+        # The heavy flow should reside in the Top-K part with most of
+        # its count.
+        assert es.query(3) >= 4500
+
+    def test_heavy_hitters(self, trace):
+        es = ElasticSketch(64 * 1024, seed=2)
+        es.ingest(trace.keys)
+        threshold = trace.heavy_hitter_threshold()
+        truth = trace.ground_truth.heavy_hitters(threshold)
+        reported = es.heavy_hitters(trace.ground_truth.keys_array(),
+                                    threshold)
+        assert f1_score(reported, truth) > 0.9
+
+    def test_cardinality(self, trace):
+        es = ElasticSketch(64 * 1024, seed=2)
+        es.ingest(trace.keys)
+        truth = trace.ground_truth.cardinality
+        assert es.cardinality() == pytest.approx(truth, rel=0.15)
+
+    def test_distribution_and_entropy(self, trace):
+        es = ElasticSketch(64 * 1024, seed=2)
+        es.ingest(trace.keys)
+        result = es.estimate_distribution(iterations=4)
+        assert result.total_flows == pytest.approx(
+            trace.ground_truth.cardinality, rel=0.25
+        )
+        assert es.estimate_entropy() == pytest.approx(
+            trace.ground_truth.entropy, rel=0.15
+        )
+
+    def test_memory_budget(self):
+        es = ElasticSketch(64 * 1024)
+        assert es.memory_bytes <= 64 * 1024
+
+    def test_budget_too_small(self):
+        with pytest.raises(SketchMemoryError):
+            ElasticSketch(2048, entries_per_level=4096)

@@ -1,0 +1,57 @@
+"""Tests for trace CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import Trace, pack_ipv4
+
+
+class TestCsvRoundtrip:
+    def test_ipv4_keys(self, tmp_path):
+        keys = [pack_ipv4("10.0.0.1"), pack_ipv4("10.0.0.2"),
+                pack_ipv4("10.0.0.1")]
+        trace = Trace(keys, name="t")
+        path = str(tmp_path / "trace.csv")
+        trace.to_csv(path)
+        loaded = Trace.from_csv(path)
+        assert np.array_equal(loaded.keys, trace.keys)
+
+    def test_large_integer_keys(self, tmp_path):
+        keys = [1 << 40, (1 << 40) + 1]
+        trace = Trace(keys)
+        path = str(tmp_path / "trace.csv")
+        trace.to_csv(path)
+        loaded = Trace.from_csv(path)
+        assert np.array_equal(loaded.keys, trace.keys)
+
+    def test_header_and_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "manual.csv"
+        path.write_text("flow_key\n10.0.0.1\n\n192.168.1.1\n")
+        loaded = Trace.from_csv(str(path))
+        assert len(loaded) == 2
+        assert int(loaded.keys[0]) == pack_ipv4("10.0.0.1")
+
+    def test_default_name_is_path(self, tmp_path):
+        path = str(tmp_path / "x.csv")
+        Trace([1, 2]).to_csv(path)
+        assert Trace.from_csv(path).name == path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Trace.from_csv(str(tmp_path / "nope.csv"))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("flow_key\n")
+        with pytest.raises(ValueError):
+            Trace.from_csv(str(path))
+
+    def test_csv_usable_by_sketch(self, tmp_path):
+        from repro import FCMSketch
+
+        trace = Trace(np.arange(100, dtype=np.uint64))
+        path = str(tmp_path / "t.csv")
+        trace.to_csv(path)
+        sketch = FCMSketch.with_memory(8 * 1024)
+        sketch.ingest(Trace.from_csv(path).keys)
+        assert sketch.total_packets == 100

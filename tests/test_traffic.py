@@ -1,0 +1,248 @@
+"""Tests for flow keys, traces, ground truth and generators."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    GroundTruth,
+    Trace,
+    caida_like_trace,
+    merge_traces,
+    pack_ipv4,
+    split_windows,
+    unpack_ipv4,
+    zipf_flow_sizes,
+    zipf_trace,
+)
+from repro.traffic.flow import FiveTuple
+from repro.traffic.stats import entropy_from_distribution, entropy_from_sizes
+from repro.traffic.zipf import calibrate_max_size, truncated_zipf_mean
+
+
+class TestFlowKeys:
+    def test_pack_unpack_roundtrip(self):
+        for addr in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.77"):
+            assert unpack_ipv4(pack_ipv4(addr)) == addr
+
+    def test_pack_known_value(self):
+        assert pack_ipv4("10.0.0.1") == 0x0A000001
+
+    def test_pack_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            pack_ipv4("256.0.0.1")
+
+    def test_pack_rejects_short(self):
+        with pytest.raises(ValueError):
+            pack_ipv4("10.0.0")
+
+    def test_unpack_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            unpack_ipv4(1 << 32)
+
+    def test_five_tuple_roundtrip(self):
+        ft = FiveTuple(src_ip=0x0A000001, dst_ip=0x0A000002,
+                       src_port=1234, dst_port=80, protocol=6)
+        assert FiveTuple.from_key(ft.to_key()) == ft
+
+    def test_five_tuple_validation(self):
+        with pytest.raises(ValueError):
+            FiveTuple(src_ip=1 << 32, dst_ip=0, src_port=0, dst_port=0,
+                      protocol=6)
+        with pytest.raises(ValueError):
+            FiveTuple(src_ip=0, dst_ip=0, src_port=70000, dst_port=0,
+                      protocol=6)
+
+
+class TestGroundTruth:
+    def test_from_packets(self):
+        gt = GroundTruth.from_packets(np.array([1, 1, 2, 3, 3, 3]))
+        assert gt.flow_sizes == {1: 2, 2: 1, 3: 3}
+        assert gt.total_packets == 6
+        assert gt.cardinality == 3
+
+    def test_size_of_absent_flow(self):
+        gt = GroundTruth.from_packets(np.array([5]))
+        assert gt.size_of(99) == 0
+
+    def test_size_distribution(self):
+        gt = GroundTruth(flow_sizes={1: 2, 2: 2, 3: 5})
+        assert gt.size_distribution() == {2: 2, 5: 1}
+
+    def test_size_distribution_array(self):
+        gt = GroundTruth(flow_sizes={1: 2, 2: 5})
+        arr = gt.size_distribution_array()
+        assert arr[2] == 1 and arr[5] == 1 and arr.sum() == 2
+
+    def test_heavy_hitters(self):
+        gt = GroundTruth(flow_sizes={1: 10, 2: 5, 3: 10})
+        assert gt.heavy_hitters(10) == {1, 3}
+        with pytest.raises(ValueError):
+            gt.heavy_hitters(0)
+
+    def test_heavy_changes(self):
+        a = GroundTruth(flow_sizes={1: 100, 2: 5, 3: 50})
+        b = GroundTruth(flow_sizes={1: 10, 2: 5, 4: 80})
+        assert a.heavy_changes(b, 50) == {1, 3, 4}
+
+    def test_keys_and_sizes_aligned(self):
+        gt = GroundTruth.from_packets(np.array([7, 7, 9]))
+        keys, sizes = gt.keys_array(), gt.sizes_array()
+        mapping = dict(zip(keys.tolist(), sizes.tolist()))
+        assert mapping == {7: 2, 9: 1}
+
+
+class TestEntropy:
+    def test_uniform_flows(self):
+        # 4 flows of equal size: packet entropy = log2(4) = 2 bits.
+        assert entropy_from_distribution({10: 4}) == pytest.approx(2.0)
+
+    def test_single_flow_zero_entropy(self):
+        assert entropy_from_distribution({100: 1}) == pytest.approx(0.0)
+
+    def test_empty_distribution(self):
+        assert entropy_from_distribution({}) == 0.0
+
+    def test_matches_direct_computation(self):
+        sizes = [1, 1, 2, 4]
+        total = sum(sizes)
+        expected = -sum((s / total) * np.log2(s / total) for s in sizes)
+        assert entropy_from_sizes(sizes) == pytest.approx(expected)
+
+    def test_ground_truth_entropy(self):
+        gt = GroundTruth(flow_sizes={1: 4, 2: 4})
+        assert gt.entropy == pytest.approx(1.0)
+
+
+class TestTrace:
+    def test_len_and_iter(self):
+        trace = Trace([1, 2, 2, 3])
+        assert len(trace) == 4
+        assert list(trace) == [1, 2, 2, 3]
+
+    def test_keys_read_only(self):
+        trace = Trace([1, 2])
+        with pytest.raises(ValueError):
+            trace.keys[0] = 9
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2)))
+
+    def test_ground_truth_cached(self):
+        trace = Trace([1, 1, 2])
+        assert trace.ground_truth is trace.ground_truth
+        assert trace.num_flows == 2
+
+    def test_heavy_hitter_threshold(self):
+        trace = Trace(np.zeros(20_000, dtype=np.uint64))
+        assert trace.heavy_hitter_threshold(0.0005) == 10
+        with pytest.raises(ValueError):
+            trace.heavy_hitter_threshold(0.0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace([5, 6, 6], name="t")
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert np.array_equal(loaded.keys, trace.keys)
+        assert loaded.name == "t"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Trace.load(str(tmp_path / "absent.npz"))
+
+    def test_merge(self):
+        merged = merge_traces([Trace([1, 2]), Trace([3])])
+        assert list(merged) == [1, 2, 3]
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_split_windows(self):
+        trace = Trace(np.arange(10))
+        windows = split_windows(trace, 3)
+        assert sum(len(w) for w in windows) == 10
+        assert len(windows) == 3
+        with pytest.raises(ValueError):
+            split_windows(trace, 0)
+        with pytest.raises(ValueError):
+            split_windows(trace, 11)
+
+
+class TestZipfGenerator:
+    def test_exact_packet_count(self):
+        for n in (1000, 12_345):
+            assert len(zipf_trace(n, 1.3, seed=1)) == n
+
+    def test_deterministic(self):
+        a = zipf_trace(5000, 1.2, seed=7)
+        b = zipf_trace(5000, 1.2, seed=7)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_seed_changes_trace(self):
+        a = zipf_trace(5000, 1.2, seed=1)
+        b = zipf_trace(5000, 1.2, seed=2)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_flow_sizes_bounded(self):
+        rng = np.random.default_rng(0)
+        sizes = zipf_flow_sizes(10_000, 1.5, 100, rng)
+        assert sizes.min() >= 1 and sizes.max() <= 100
+
+    def test_skew_orders_max_flow(self):
+        """Lower skew with calibrated mean => smaller max flow size."""
+        low = zipf_trace(100_000, 1.1, seed=3)
+        high = zipf_trace(100_000, 1.7, seed=3)
+        assert (low.ground_truth.sizes_array().max()
+                < high.ground_truth.sizes_array().max())
+
+    def test_calibrated_mean_near_target(self):
+        trace = zipf_trace(200_000, 1.3, avg_flow_size=50.0, seed=5)
+        mean = len(trace) / trace.num_flows
+        assert 25 < mean < 100
+
+    def test_truncated_zipf_mean_monotone_in_alpha(self):
+        assert (truncated_zipf_mean(1.1, 1000)
+                > truncated_zipf_mean(1.5, 1000))
+
+    def test_calibrate_max_size(self):
+        max_size = calibrate_max_size(1.3, 50.0)
+        realized = truncated_zipf_mean(1.3, max_size)
+        assert realized == pytest.approx(50.0, rel=0.05)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_trace(0, 1.3)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipf_flow_sizes(0, 1.3, 10, rng)
+        with pytest.raises(ValueError):
+            zipf_flow_sizes(10, 1.3, 0, rng)
+
+
+class TestCaidaLikeGenerator:
+    def test_exact_packet_count(self):
+        assert len(caida_like_trace(num_packets=10_000, seed=2)) == 10_000
+
+    def test_deterministic(self):
+        a = caida_like_trace(num_packets=20_000, seed=4)
+        b = caida_like_trace(num_packets=20_000, seed=4)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_heavy_tailed(self):
+        trace = caida_like_trace(num_packets=200_000, seed=1)
+        sizes = trace.ground_truth.sizes_array()
+        # Mice dominate, elephants exist.
+        assert np.median(sizes) <= 5
+        assert sizes.max() > 1000
+
+    def test_mean_near_target(self):
+        trace = caida_like_trace(num_packets=300_000, avg_flow_size=40.0,
+                                 seed=1)
+        mean = len(trace) / trace.num_flows
+        assert 20 < mean < 80
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            caida_like_trace(num_packets=0)
+        with pytest.raises(ValueError):
+            caida_like_trace(num_packets=10, mice_fraction=1.0)

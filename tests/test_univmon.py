@@ -1,0 +1,86 @@
+"""Tests for the UnivMon baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchMemoryError
+from repro.sketches import UnivMon
+from repro.traffic import caida_like_trace
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    trace = caida_like_trace(num_packets=80_000, seed=31)
+    um = UnivMon(128 * 1024, seed=2)
+    um.ingest(trace.keys)
+    return um, trace
+
+
+class TestStructure:
+    def test_levels_and_memory(self):
+        um = UnivMon(64 * 1024, levels=8)
+        assert len(um.sketches) == 8
+        assert um.memory_bytes <= 64 * 1024
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(SketchMemoryError):
+            UnivMon(256, levels=16)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            UnivMon(1024, levels=0)
+
+    def test_sampling_halves_per_level(self, loaded):
+        um, _ = loaded
+        populations = [len(s) for s in um._sampled_keys if s]
+        # Monotone non-increasing everywhere; strictly halving-ish
+        # while the populations are large enough to be statistical.
+        for a, b in zip(populations, populations[1:]):
+            assert b <= a
+        for a, b in zip(populations[:4], populations[1:5]):
+            assert 0.3 * a < b < 0.7 * a
+
+
+class TestEstimates:
+    def test_cardinality(self, loaded):
+        um, trace = loaded
+        truth = trace.ground_truth.cardinality
+        assert um.cardinality() == pytest.approx(truth, rel=0.30)
+
+    def test_entropy(self, loaded):
+        um, trace = loaded
+        truth = trace.ground_truth.entropy
+        assert um.estimate_entropy() == pytest.approx(truth, rel=0.5)
+
+    def test_heavy_hitters_catch_top_flows(self, loaded):
+        um, trace = loaded
+        gt = trace.ground_truth
+        threshold = trace.heavy_hitter_threshold()
+        truth = gt.heavy_hitters(threshold)
+        reported = um.heavy_hitters([], threshold)
+        # UnivMon is the weakest HH detector in the paper; require it
+        # to find at least the very top flows.
+        top5 = set(sorted(truth, key=gt.size_of, reverse=True)[:5])
+        assert top5 <= reported or len(truth) == 0
+
+    def test_g_sum_constant_function(self, loaded):
+        """g = 1 over a known-cardinality stream."""
+        um, trace = loaded
+        g1 = um.g_sum(lambda x: 1.0)
+        assert g1 == pytest.approx(trace.ground_truth.cardinality,
+                                   rel=0.30)
+
+    def test_scalar_update_path(self):
+        um = UnivMon(32 * 1024, levels=4, seed=1)
+        for key in range(500):
+            um.update(key)
+        assert um.cardinality() == pytest.approx(500, rel=0.4)
+
+    def test_empty(self):
+        um = UnivMon(32 * 1024, levels=4)
+        assert um.g_sum(lambda x: 1.0) == 0.0
+
+    def test_query_nonnegative(self, loaded):
+        um, trace = loaded
+        est = um.query_many(trace.ground_truth.keys_array()[:200])
+        assert np.all(est >= 0)

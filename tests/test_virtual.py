@@ -1,0 +1,121 @@
+"""Tests for the virtual-counter conversion (§4.1), including the
+paper's Figure 5 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMConfig, FCMSketch
+from repro.core.tree import FCMTree
+from repro.core.virtual import VirtualCounterArray, convert_sketch
+from repro.hashing import HashFamily
+from repro.traffic import caida_like_trace
+
+
+def figure5_tree() -> FCMTree:
+    """The Figure 5 tree state (same as Figure 4b)."""
+    cfg = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                    stage_widths=(4, 2, 1))
+    tree = FCMTree(cfg, HashFamily(0))
+    # Stage values [3,0,2,3] / [15,4] / [9] — see test_fcm_tree.
+    tree.ingest_totals(np.array([25, 0, 2, 6]))
+    return tree
+
+
+class TestFigure5Example:
+    def test_conversion_matches_paper(self):
+        array = VirtualCounterArray.from_tree(figure5_tree())
+        counters = {(vc.value, vc.degree) for vc in array}
+        # V^1_1 = 25 (degree 1, path leaf0 -> C2,0 -> C3,0)
+        # V^2_1 = 2 + 2 + 4 = 8? -- paper example has leaf2 = 3
+        # (overflowed); in our Figure-4b state leaf2 = 2, not
+        # overflowed, so it forms its own degree-1 counter of value 2
+        # and leaf 3's path ends at C2,1 with value 2 + 4 = 6.
+        assert (25, 1) in counters
+        assert (2, 1) in counters
+        assert (6, 1) in counters
+        # The empty leaf (value 0, degree 1) is kept as a count.
+        assert array.num_empty_leaves == 1
+
+    def test_paper_degree2_merge(self):
+        """The exact Figure 5 state: leaves 2 and 3 both overflow and
+        share C2,1, merging into a degree-2 counter of value 9."""
+        cfg = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                        stage_widths=(4, 2, 1))
+        tree = FCMTree(cfg, HashFamily(0))
+        # Figure 5: stage 1 = [3,0,3,3], stage 2 = [15,5], stage 3 = [9].
+        # Leaf 2 carries 2, leaf 3 carries 3 -> C2,1 = 5 (no overflow).
+        tree.ingest_totals(np.array([25, 0, 4, 5]))
+        assert tree.stage_values[0].tolist() == [3, 0, 3, 3]
+        assert tree.stage_values[1].tolist() == [15, 5]
+        array = VirtualCounterArray.from_tree(tree)
+        merged = [vc for vc in array if vc.degree == 2]
+        assert len(merged) == 1
+        # value = theta1 + theta1 + 5 = 2 + 2 + 5 = 9, as in the paper.
+        assert merged[0].value == 9
+        assert merged[0].stage == 2
+
+    def test_total_count_preserved(self):
+        array = VirtualCounterArray.from_tree(figure5_tree())
+        assert array.total_value == 25 + 2 + 6
+
+
+class TestConversionProperties:
+    @pytest.fixture(scope="class")
+    def trace_arrays(self):
+        trace = caida_like_trace(num_packets=80_000, seed=9)
+        sketch = FCMSketch.with_memory(16 * 1024, seed=2)
+        sketch.ingest(trace.keys)
+        return trace, sketch, convert_sketch(sketch)
+
+    def test_one_array_per_tree(self, trace_arrays):
+        _, sketch, arrays = trace_arrays
+        assert len(arrays) == sketch.num_trees
+
+    def test_totals_preserved_per_tree(self, trace_arrays):
+        trace, _, arrays = trace_arrays
+        for array in arrays:
+            assert array.total_value == len(trace)
+
+    def test_counters_plus_empties_cover_leaves(self, trace_arrays):
+        """Every leaf is in exactly one virtual counter (or empty)."""
+        _, _, arrays = trace_arrays
+        for array in arrays:
+            covered = int(array.degrees.sum()) + array.num_empty_leaves
+            assert covered == array.leaf_width
+
+    def test_values_positive(self, trace_arrays):
+        _, _, arrays = trace_arrays
+        for array in arrays:
+            assert np.all(array.values > 0)
+            assert np.all(array.degrees >= 1)
+
+    def test_degree_histogram_sums(self, trace_arrays):
+        _, _, arrays = trace_arrays
+        hist = arrays[0].degree_histogram()
+        assert sum(hist.values()) == len(arrays[0])
+
+    def test_degree_histogram_skewed(self, trace_arrays):
+        """Figure 8's shape: counter population decays with degree."""
+        _, _, arrays = trace_arrays
+        hist = arrays[0].degree_histogram()
+        assert hist.get(1, 0) > hist.get(2, 0) >= hist.get(3, 0)
+
+    def test_min_path_count(self, trace_arrays):
+        _, _, arrays = trace_arrays
+        array = arrays[0]
+        assert array.min_path_count(1) == 1
+        assert array.min_path_count(2) == array.thetas[0] + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualCounterArray(np.array([1]), np.array([1, 2]),
+                                np.array([1]), 4, [2], 0)
+
+    def test_single_stage_tree(self):
+        cfg = FCMConfig(num_trees=1, k=2, stage_bits=(8,),
+                        stage_widths=(8,))
+        tree = FCMTree(cfg, HashFamily(0))
+        tree.ingest_totals(np.array([3, 0, 0, 0, 1, 0, 0, 0]))
+        array = VirtualCounterArray.from_tree(tree)
+        assert sorted(array.values.tolist()) == [1, 3]
+        assert array.num_empty_leaves == 6
