@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test chaos bench report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# Tier-1: the full suite (includes the chaos tests) under a pinned
+# hash seed so fault schedules are reproducible run to run.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONHASHSEED=0 $(PYTHON) -m pytest tests/
+
+# Just the fault-injection/graceful-degradation tests.
+chaos:
+	PYTHONHASHSEED=0 $(PYTHON) -m pytest -m chaos tests/
 
 test-examples:
 	REPRO_RUN_EXAMPLES=1 $(PYTHON) -m pytest tests/test_examples.py

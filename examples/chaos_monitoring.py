@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Chaos monitoring: a fabric losing a spine switch mid-trace.
+
+The paper's Figure-1 deployment assumes every switch answers every
+collection; real fabrics do not.  This example routes a Zipf trace
+over a leaf-spine fabric window by window while a seeded FaultPlan
+takes spine0 down from window 2 onward and stalls collection of leaf1
+so badly it times out.  The resilient collector never raises — it
+records the failures in per-window CollectionHealth — and network-wide
+queries keep answering over the surviving vantage points, tagged with
+their degradation level.
+
+Run:  python examples/chaos_monitoring.py
+"""
+
+from repro.controlplane import NetworkSketchCollector
+from repro.network import NetworkSimulator, leaf_spine
+from repro.robustness import FaultInjector, FaultPlan
+from repro.traffic import zipf_trace
+
+NUM_WINDOWS = 4
+
+
+def main() -> None:
+    trace = zipf_trace(120_000, alpha=1.3, seed=17)
+
+    # The chaos schedule: spine0 dies at window 2 and stays down;
+    # leaf1's control channel stalls for the whole run.  The plan seed
+    # makes every random decision (lossy thinning, flipped bits, ...)
+    # reproducible bit for bit.
+    plan = (FaultPlan(seed=42)
+            .kill_switch("spine0", start_window=2)
+            .stall_collection("leaf1", delay=30.0))
+
+    fabric = leaf_spine(num_leaves=4, num_spines=2)
+    sim = NetworkSimulator(fabric, memory_bytes=48 * 1024, seed=1,
+                           fault_injector=FaultInjector(plan))
+    collector = NetworkSketchCollector(sim)
+
+    print(f"fabric: {len(sim.switches)} switches, "
+          f"{len(trace)} packets over {NUM_WINDOWS} windows; "
+          f"spine0 dies at window 2, leaf1 collection stalls\n")
+
+    reports = collector.process(trace, NUM_WINDOWS)
+    for report in reports:
+        health = report.health
+        failed = ", ".join(f"{name} ({reason.split('(')[0].strip()})"
+                           for name, reason
+                           in sorted(health.switches_failed.items()))
+        print(f"window {report.window_index}: "
+              f"{report.total_packets} packets, "
+              f"{len(health.switches_reached)}/{health.switches_total} "
+              f"switches drained, {health.retries} retries, "
+              f"level {health.degradation.name}")
+        if failed:
+            print(f"  failed: {failed}")
+        if health.staleness:
+            print(f"  stale:  {health.staleness}")
+
+    # Network-wide queries over the surviving vantage points.  The
+    # collector above drained (rotated) every sketch, so query a fresh
+    # fabric under the same chaos: the whole trace routed while spine0
+    # is already down (window 2's world).
+    query_sim = NetworkSimulator(fabric, memory_bytes=48 * 1024, seed=1,
+                                 fault_injector=FaultInjector(plan))
+    query_sim.route_trace(trace, window=2)
+    threshold = trace.heavy_hitter_threshold()
+    truth = trace.ground_truth.heavy_hitters(threshold)
+    answer = query_sim.heavy_hitters_resilient(
+        trace.ground_truth.keys_array(), threshold)
+    print(f"\nheavy hitters with spine0 down: {len(answer.value)} "
+          f"reported ({answer.level.name}, "
+          f"skipped {list(answer.switches_skipped)}), "
+          f"{len(truth)} true")
+    assert truth <= answer.value, "path-minimum must not miss true HHs"
+
+    flows = query_sim.total_flows_resilient()
+    print(f"distinct flows (extrapolated over surviving leaves): "
+          f"{flows.value:.0f} [{flows.level.name}]")
+    print("\nthe fabric degraded, the pipeline did not crash — "
+          "every answer carries its degradation tag")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,14 @@ from repro.core.fcm import FCMSketch
 from repro.core.topk import FCMTopK, TopKFilter
 from repro.core.virtual import VirtualCounterArray, convert_sketch
 from repro.framework import FCMFramework, MeasurementReport
+from repro.robustness import (
+    CollectionHealth,
+    CollectionPolicy,
+    DegradationLevel,
+    DegradedAnswer,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.traffic import Trace, caida_like_trace, zipf_trace
 
 __version__ = "1.0.0"
@@ -41,5 +49,11 @@ __all__ = [
     "Trace",
     "caida_like_trace",
     "zipf_trace",
+    "FaultPlan",
+    "FaultInjector",
+    "CollectionPolicy",
+    "CollectionHealth",
+    "DegradationLevel",
+    "DegradedAnswer",
     "__version__",
 ]

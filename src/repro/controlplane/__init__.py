@@ -13,7 +13,11 @@ queries:
   (:mod:`repro.controlplane.collector`).
 """
 
-from repro.controlplane.collector import SketchCollector, WindowReport
+from repro.controlplane.collector import (
+    NetworkSketchCollector,
+    SketchCollector,
+    WindowReport,
+)
 from repro.controlplane.distribution import estimate_distribution
 from repro.controlplane.entropy import estimate_entropy
 from repro.controlplane.heavychange import HeavyChangeDetector
@@ -21,6 +25,7 @@ from repro.controlplane.sliding import JumpingWindowSketch
 
 __all__ = [
     "SketchCollector",
+    "NetworkSketchCollector",
     "WindowReport",
     "estimate_distribution",
     "estimate_entropy",

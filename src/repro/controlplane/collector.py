@@ -4,20 +4,42 @@ The data plane accumulates one FCM-Sketch per measurement window
 (15 s in the paper's CAIDA setup); the control plane periodically
 drains the sketch, converts it to virtual counters, runs the complex
 measurements and rotates in a fresh sketch.  :class:`SketchCollector`
-simulates that loop over a packet trace.
+simulates that loop over a packet trace at a single vantage point;
+:class:`NetworkSketchCollector` drains *every* switch of a
+:class:`~repro.network.simulator.NetworkSimulator` per window, under
+configurable retry/timeout/circuit-breaker policies, and degrades
+gracefully instead of raising when parts of the fabric fail.
+
+Every report carries a :class:`~repro.robustness.policy.CollectionHealth`
+record: which switches were reached, how many retries it took, and how
+stale the data of failing switches has become.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.controlplane.distribution import estimate_distribution
 from repro.controlplane.heavychange import HeavyChangeDetector
 from repro.core.em import EMConfig, EMResult
-from repro.traffic.trace import Trace, split_windows
+from repro.errors import (
+    CollectionTimeoutError,
+    InvalidWindowError,
+    SwitchUnreachableError,
+)
+from repro.robustness.guards import (
+    EMGuardConfig,
+    guarded_estimate_distribution,
+)
+from repro.robustness.policy import (
+    CircuitBreaker,
+    CollectionHealth,
+    CollectionPolicy,
+)
+from repro.traffic.trace import Trace
 
 
 @dataclass
@@ -29,6 +51,24 @@ class WindowReport:
     cardinality_estimate: float
     distribution: Optional[EMResult] = None
     heavy_changes: set = field(default_factory=set)
+    health: Optional[CollectionHealth] = None
+    collected_sketches: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def healthy(self) -> bool:
+        """True when collection of this window saw no degradation."""
+        return self.health is None or self.health.healthy
+
+
+def _window_traces(trace: Trace, num_windows: int) -> List[Trace]:
+    """Split into ``num_windows`` contiguous windows, allowing empty
+    ones (unlike :func:`repro.traffic.trace.split_windows`, which
+    refuses) — a quiet fabric still produces a report per window."""
+    if num_windows <= 0:
+        raise InvalidWindowError("num_windows must be positive")
+    chunks = np.array_split(trace.keys, num_windows)
+    return [Trace(chunk, name=f"{trace.name}[{i}]")
+            for i, chunk in enumerate(chunks)]
 
 
 class SketchCollector:
@@ -41,25 +81,43 @@ class SketchCollector:
             estimation; ``None`` skips the (expensive) EM step.
         change_threshold: if set, adjacent windows are compared for
             heavy changes at this packet-count threshold.
+        em_guard: when set, EM runs under divergence guards and falls
+            back to the pre-EM histogram instead of serving NaNs (the
+            fallback is counted in ``report.health.em_fallbacks``).
     """
 
     def __init__(self, sketch_factory: Callable[[], object],
                  em_config: Optional[EMConfig] = None,
                  run_em: bool = False,
-                 change_threshold: Optional[int] = None):
+                 change_threshold: Optional[int] = None,
+                 em_guard: Optional[EMGuardConfig] = None):
         self.sketch_factory = sketch_factory
         self.em_config = em_config
         self.run_em = run_em
         self.change_threshold = change_threshold
+        self.em_guard = em_guard
         self.sketches: List[object] = []
 
     def process(self, trace: Trace, num_windows: int) -> List[WindowReport]:
-        """Split the trace into windows and collect each one."""
-        windows = split_windows(trace, num_windows)
+        """Split the trace into windows and collect each one.
+
+        Degenerate inputs are guarded: ``num_windows <= 0`` raises
+        :class:`InvalidWindowError`, and empty windows (an empty trace,
+        or more windows than packets) yield empty-but-healthy reports
+        instead of reaching EM.
+        """
+        windows = _window_traces(trace, num_windows)
         reports: List[WindowReport] = []
         previous_sketch = None
         previous_keys: Optional[np.ndarray] = None
         for index, window in enumerate(windows):
+            health = CollectionHealth.fresh(index, ["collector"])
+            if len(window) == 0:
+                self.sketches.append(None)
+                reports.append(WindowReport(
+                    window_index=index, total_packets=0,
+                    cardinality_estimate=0.0, health=health))
+                continue
             sketch = self.sketch_factory()
             sketch.ingest(window.keys)
             self.sketches.append(sketch)
@@ -67,11 +125,10 @@ class SketchCollector:
                 window_index=index,
                 total_packets=len(window),
                 cardinality_estimate=float(sketch.cardinality()),
+                health=health,
             )
             if self.run_em:
-                report.distribution = estimate_distribution(
-                    sketch, config=self.em_config
-                )
+                report.distribution = self._estimate(sketch, health)
             if self.change_threshold is not None and previous_sketch is not None:
                 detector = HeavyChangeDetector(previous_sketch, sketch)
                 candidates = np.union1d(
@@ -84,3 +141,153 @@ class SketchCollector:
             previous_keys = window.ground_truth.keys_array()
             reports.append(report)
         return reports
+
+    def _estimate(self, sketch, health: CollectionHealth) -> EMResult:
+        if self.em_guard is None:
+            return estimate_distribution(sketch, config=self.em_config)
+        outcome = guarded_estimate_distribution(
+            sketch, config=self.em_config, guard=self.em_guard)
+        if outcome.fell_back:
+            health.em_fallbacks += 1
+        return outcome.result
+
+
+class NetworkSketchCollector:
+    """Drains every switch of a fabric once per measurement window.
+
+    The control-plane loop of the paper's Figure 1, hardened for an
+    imperfect fabric: each window routes its share of the trace, then
+    every switch is drained (sketch rotated out) under the
+    :class:`CollectionPolicy` — per-attempt timeout, retry with
+    exponential backoff, and a per-switch circuit breaker that stops
+    hammering persistently-failing switches for a cooldown.  Failures
+    never raise; they are recorded in the window's
+    :class:`CollectionHealth`, and un-drained switches keep
+    accumulating (their next successful drain returns the backlog,
+    whose staleness the health record tracks).
+
+    Args:
+        simulator: the fabric (its ``fault_injector`` supplies chaos).
+        policy: retry/timeout/breaker knobs.
+        run_em: estimate a flow-size distribution per window from the
+            drained sketch of ``em_switch`` (guarded EM, histogram
+            fallback on divergence).
+        em_config / em_guard: EM options for that estimate.
+        em_switch: vantage point for the distribution estimate
+            (default: the first leaf).
+    """
+
+    def __init__(self, simulator,
+                 policy: Optional[CollectionPolicy] = None,
+                 run_em: bool = False,
+                 em_config: Optional[EMConfig] = None,
+                 em_guard: Optional[EMGuardConfig] = None,
+                 em_switch: Optional[str] = None):
+        self.simulator = simulator
+        self.policy = policy if policy is not None else CollectionPolicy()
+        self.run_em = run_em
+        self.em_config = em_config
+        self.em_guard = em_guard if em_guard is not None else EMGuardConfig()
+        self.em_switch = em_switch if em_switch is not None \
+            else simulator.leaves[0]
+        self.breaker = CircuitBreaker(self.policy.breaker_threshold,
+                                      self.policy.breaker_cooldown)
+        self._last_success: Dict[str, int] = {}
+
+    def process(self, trace: Trace, num_windows: int) -> List[WindowReport]:
+        """Route and collect window by window; never raises on faults."""
+        windows = _window_traces(trace, num_windows)
+        reports: List[WindowReport] = []
+        for index, window in enumerate(windows):
+            reports.append(self._collect_window(window, index))
+        return reports
+
+    # ------------------------------------------------------------------
+
+    def _collect_window(self, window: Trace, index: int) -> WindowReport:
+        sim = self.simulator
+        drops_before = sim.packets_dropped
+        if len(window) > 0:
+            sim.route_trace(window, window=index)
+        else:
+            sim.apply_faults(index)
+        health = CollectionHealth(
+            window_index=index, switches_total=len(sim.switches))
+        health.packets_dropped = sim.packets_dropped - drops_before
+
+        collected: Dict[str, object] = {}
+        for name in sorted(sim.switches):
+            if not self.breaker.allows(name, index):
+                health.switches_skipped.append(name)
+                self._note_stale(name, index, health)
+                continue
+            sketch, reason = self._drain_switch(name, index, health)
+            if sketch is not None:
+                collected[name] = sketch
+                self.breaker.record_success(name)
+                self._last_success[name] = index
+            else:
+                health.switches_failed[name] = reason
+                self.breaker.record_failure(name, index)
+                self._note_stale(name, index, health)
+        health.switches_reached = sorted(collected)
+
+        report = WindowReport(
+            window_index=index,
+            total_packets=len(window),
+            cardinality_estimate=self._cardinality(collected),
+            health=health,
+            collected_sketches=collected,
+        )
+        if self.run_em and self.em_switch in collected \
+                and len(window) > 0:
+            outcome = guarded_estimate_distribution(
+                collected[self.em_switch], config=self.em_config,
+                guard=self.em_guard)
+            if outcome.fell_back:
+                health.em_fallbacks += 1
+            report.distribution = outcome.result
+        return report
+
+    def _drain_switch(self, name: str, window: int,
+                      health: CollectionHealth):
+        """One switch's drain under retry/backoff.  Returns
+        ``(sketch, None)`` on success, ``(None, reason)`` on failure.
+        All timing is simulated — nothing sleeps."""
+        sim = self.simulator
+        injector = sim.fault_injector
+        switch = sim.switches[name]
+        last_reason = "no attempt made"
+        for attempt, backoff in enumerate(self.policy.retry.backoffs()):
+            health.backoff_seconds += backoff
+            if attempt > 0:
+                health.retries += 1
+            if not switch.alive:
+                # A dead switch will not answer a retry this window.
+                return None, str(SwitchUnreachableError(name))
+            delay = (injector.collection_delay(name, window, attempt)
+                     if injector is not None else 0.0)
+            if delay > self.policy.timeout:
+                last_reason = str(
+                    CollectionTimeoutError(name, delay, self.policy.timeout))
+                continue
+            try:
+                return switch.rotate(), None
+            except SwitchUnreachableError as err:
+                last_reason = str(err)
+        return None, last_reason
+
+    def _note_stale(self, name: str, window: int,
+                    health: CollectionHealth) -> None:
+        health.staleness[name] = window - self._last_success.get(name, -1)
+
+    def _cardinality(self, collected: Dict[str, object]) -> float:
+        """Distinct-flow estimate from the drained leaf sketches,
+        extrapolated over unreachable leaves (as in
+        :meth:`NetworkSimulator.total_flows_resilient`)."""
+        leaves = self.simulator.leaves
+        reached = [l for l in leaves if l in collected]
+        if not reached:
+            return 0.0
+        total = sum(float(collected[l].cardinality()) for l in reached)
+        return total * (len(leaves) / len(reached)) / 2.0

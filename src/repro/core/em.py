@@ -208,6 +208,7 @@ class EMConfig:
     max_extra_flows: int = 3
     workers: int = 1
     epsilon: float = 1e-10
+    convergence_tol: float = 0.0  # relative L1 change; 0 = run all iters
 
     def max_flows_for(self, value: int, degree: int) -> int:
         """Truncated collision count for a counter (0 = deterministic)."""
@@ -229,11 +230,15 @@ class EMResult:
             of flows of size ``j`` (index 0 unused).
         iterations: number of EM iterations performed.
         history: per-iteration snapshots if a callback requested them.
+        converged: False when the run stopped at the iteration cap with
+            the estimate still moving more than ``convergence_tol``
+            (always True when early stopping is disabled).
     """
 
     size_counts: np.ndarray
     iterations: int
     history: List[np.ndarray] = field(default_factory=list)
+    converged: bool = True
 
     @property
     def total_flows(self) -> float:
@@ -461,19 +466,30 @@ class EMEstimator:
         """
         num_iters = iterations if iterations is not None \
             else self.config.max_iterations
+        tol = self.config.convergence_tol
         n_j = self.initial_guess()
         executor = None
         if self.config.workers > 1:
             executor = ProcessPoolExecutor(max_workers=self.config.workers)
+        performed = 0
+        converged = tol <= 0
         try:
             for it in range(num_iters):
+                previous = n_j
                 n_j = self._iterate(n_j, executor)
+                performed = it + 1
                 if callback is not None:
                     callback(it + 1, n_j.copy())
+                if tol > 0:
+                    denom = max(float(np.abs(previous).sum()), 1e-12)
+                    if float(np.abs(n_j - previous).sum()) / denom < tol:
+                        converged = True
+                        break
         finally:
             if executor is not None:
                 executor.shutdown()
-        return EMResult(size_counts=n_j, iterations=num_iters)
+        return EMResult(size_counts=n_j, iterations=performed,
+                        converged=converged)
 
     def _iterate(self, n_j: np.ndarray, executor=None) -> np.ndarray:
         with np.errstate(divide="ignore"):

@@ -1,5 +1,89 @@
-"""Shared exception types."""
+"""Shared exception hierarchy.
+
+Everything raised by this package derives from :class:`MeasurementError`
+so callers can catch the whole family with one clause.  Validation
+errors additionally subclass :class:`ValueError` to stay compatible
+with pre-existing ``except ValueError`` call sites.
+
+The fault/degradation branch (:class:`NetworkFaultError` and below) is
+what the robustness layer (:mod:`repro.robustness`) raises and catches:
+resilient collectors convert these into per-window
+``CollectionHealth`` records instead of letting them escape.
+"""
 
 
-class SketchMemoryError(ValueError):
+class MeasurementError(Exception):
+    """Base class of every error raised by the repro package."""
+
+
+# ----------------------------------------------------------------------
+# validation errors (also ValueError for backwards compatibility)
+# ----------------------------------------------------------------------
+
+class SketchMemoryError(MeasurementError, ValueError):
     """Raised when a memory budget is too small to build a sketch."""
+
+
+class TopologyError(MeasurementError, ValueError):
+    """Raised for malformed topologies (too few leaves, odd fat-tree k)."""
+
+
+class RoutingError(MeasurementError, ValueError):
+    """Raised when routing is impossible or a path selector misbehaves."""
+
+
+class InvalidWindowError(MeasurementError, ValueError):
+    """Raised for degenerate measurement-window requests."""
+
+
+class FaultPlanError(MeasurementError, ValueError):
+    """Raised for inconsistent fault-plan specifications."""
+
+
+# ----------------------------------------------------------------------
+# runtime faults (the robustness layer's vocabulary)
+# ----------------------------------------------------------------------
+
+class NetworkFaultError(MeasurementError):
+    """Base class for data-plane / collection faults."""
+
+
+class SwitchUnreachableError(NetworkFaultError):
+    """Raised when a switch is dead or unreachable for query/collection."""
+
+    def __init__(self, switch: str, message: str = ""):
+        self.switch = switch
+        super().__init__(message or f"switch {switch!r} is unreachable")
+
+
+class CollectionTimeoutError(NetworkFaultError):
+    """Raised when draining a switch's sketch exceeds the timeout."""
+
+    def __init__(self, switch: str, elapsed: float, timeout: float):
+        self.switch = switch
+        self.elapsed = float(elapsed)
+        self.timeout = float(timeout)
+        super().__init__(
+            f"collecting {switch!r} took {elapsed:.3f}s "
+            f"(timeout {timeout:.3f}s)"
+        )
+
+
+class CircuitOpenError(NetworkFaultError):
+    """Raised when a circuit breaker short-circuits a collection."""
+
+    def __init__(self, switch: str, open_until_window: int):
+        self.switch = switch
+        self.open_until_window = int(open_until_window)
+        super().__init__(
+            f"circuit for {switch!r} open until window {open_until_window}"
+        )
+
+
+class EMDivergenceError(MeasurementError):
+    """Raised when EM produces NaN/inf mass or runaway flow counts."""
+
+    def __init__(self, iteration: int, reason: str):
+        self.iteration = int(iteration)
+        self.reason = reason
+        super().__init__(f"EM diverged at iteration {iteration}: {reason}")

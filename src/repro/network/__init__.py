@@ -16,13 +16,14 @@ provides the substrate those applications need:
 
 from repro.network.apps import EntropyAnomalyDetector, SketchLoadBalancer
 from repro.network.simulator import NetworkSimulator
-from repro.network.switch import SimulatedSwitch
+from repro.network.switch import SimulatedSwitch, switch_seed
 from repro.network.topology import fat_tree, leaf_spine
 
 __all__ = [
     "leaf_spine",
     "fat_tree",
     "SimulatedSwitch",
+    "switch_seed",
     "NetworkSimulator",
     "SketchLoadBalancer",
     "EntropyAnomalyDetector",

@@ -10,6 +10,15 @@ leaf) pair by hashing its key, and to one of the pair's equal-cost
 shortest paths by a second hash (ECMP).  A custom ``path_selector``
 can override the ECMP choice per flow — that hook is what the
 load-balancing application study uses.
+
+Fault model (:mod:`repro.robustness`): when built with a
+``fault_injector``, routing consults the fault plan per measurement
+window — flows re-route around dead switches onto surviving ECMP
+candidates (dropped entirely when no candidate survives), lossy links
+binomially thin the packets reaching downstream hops, and scheduled
+bit flips corrupt switch counter arrays after routing.  Network-wide
+queries then answer over the *surviving* vantage points, tagged with a
+:class:`~repro.robustness.degradation.DegradationLevel`.
 """
 
 from __future__ import annotations
@@ -19,9 +28,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.errors import RoutingError, SwitchUnreachableError, TopologyError
 from repro.hashing import HashFamily
 from repro.network.switch import SimulatedSwitch
 from repro.network.topology import ecmp_paths, leaf_switches
+from repro.robustness.degradation import DegradationLevel, DegradedAnswer
+from repro.robustness.faults import FaultInjector
 from repro.traffic.trace import Trace
 
 PathSelector = Callable[[int, List[List[str]]], List[str]]
@@ -35,26 +47,53 @@ class NetworkSimulator:
         memory_bytes: sketch budget per switch.
         sketch_factory: optional ``(switch_name) -> sketch`` override.
         seed: hash seed for flow-to-leaf and ECMP assignment.
+        fault_injector: optional chaos hook; see the module docstring.
     """
 
     def __init__(self, graph: nx.Graph, memory_bytes: int = 64 * 1024,
                  sketch_factory: Optional[Callable[[str], object]] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 fault_injector: Optional[FaultInjector] = None):
         self.graph = graph
         self.leaves = leaf_switches(graph)
         if len(self.leaves) < 2:
-            raise ValueError("topology needs at least two leaf switches")
+            raise TopologyError("topology needs at least two leaf switches")
         self.paths = ecmp_paths(graph)
         self.switches: Dict[str, SimulatedSwitch] = {}
         for name in graph.nodes:
-            sketch = sketch_factory(name) if sketch_factory else None
+            factory = (
+                (lambda n=name: sketch_factory(n)) if sketch_factory else None
+            )
             self.switches[name] = SimulatedSwitch(
-                name, sketch=sketch, memory_bytes=memory_bytes
+                name, memory_bytes=memory_bytes, sketch_factory=factory
             )
         self._endpoint_hash = HashFamily(seed + 11)
         self._ecmp_hash = HashFamily(seed + 23)
         self.link_load: Dict[Tuple[str, str], int] = {}
         self._flow_paths: Dict[int, List[str]] = {}
+        self.fault_injector = fault_injector
+        self.current_window = 0
+        self.packets_dropped = 0
+        self.flows_dropped = 0
+
+    # ------------------------------------------------------------------
+    # fault application
+    # ------------------------------------------------------------------
+
+    def apply_faults(self, window: int) -> None:
+        """Advance to ``window`` and apply its switch liveness plan."""
+        self.current_window = window
+        if self.fault_injector is not None:
+            self.fault_injector.apply_liveness(self.switches, window)
+
+    def _apply_corruption(self, window: int) -> None:
+        if self.fault_injector is None:
+            return
+        for name in sorted(self.switches):
+            self.fault_injector.corrupt_switch(self.switches[name], window)
+
+    def alive_switches(self) -> Set[str]:
+        return {name for name, sw in self.switches.items() if sw.alive}
 
     # ------------------------------------------------------------------
     # routing
@@ -75,7 +114,8 @@ class NetworkSimulator:
         return candidates[self._ecmp_hash.index(key, len(candidates))]
 
     def route_trace(self, trace: Trace,
-                    path_selector: Optional[PathSelector] = None) -> None:
+                    path_selector: Optional[PathSelector] = None,
+                    window: int = 0) -> None:
         """Route a whole trace (per-flow pinning, batched per switch).
 
         Args:
@@ -83,19 +123,32 @@ class NetworkSimulator:
             path_selector: optional override called as
                 ``selector(flow_key, candidate_paths) -> path``; falls
                 back to ECMP when ``None``.
+            window: measurement-window index for the fault plan.
         """
+        self.apply_faults(window)
+        injector = self.fault_injector
+        chaotic = injector is not None and (
+            len(self.alive_switches()) < len(self.switches)
+            or injector.plan.has_link_loss(window)
+        )
         gt = trace.ground_truth
         per_switch_keys: Dict[str, List[int]] = {n: [] for n in self.switches}
         per_switch_counts: Dict[str, List[int]] = {n: [] for n in self.switches}
         for key, count in gt.flow_sizes.items():
-            path = self._select_path(key, path_selector)
-            self._flow_paths[key] = path
-            for hop in path:
-                per_switch_keys[hop].append(key)
-                per_switch_counts[hop].append(count)
-            for edge in zip(path, path[1:]):
-                link = tuple(sorted(edge))
-                self.link_load[link] = self.link_load.get(link, 0) + count
+            if chaotic:
+                hop_counts = self._route_flow_chaotic(
+                    key, count, path_selector, window)
+            else:
+                path = self._select_path(key, path_selector)
+                self._flow_paths[key] = path
+                hop_counts = [(hop, count) for hop in path]
+                for edge in zip(path, path[1:]):
+                    link = tuple(sorted(edge))
+                    self.link_load[link] = self.link_load.get(link, 0) + count
+            for hop, hop_count in hop_counts:
+                if hop_count > 0:
+                    per_switch_keys[hop].append(key)
+                    per_switch_counts[hop].append(hop_count)
         for name, keys in per_switch_keys.items():
             if not keys:
                 continue
@@ -104,6 +157,45 @@ class NetworkSimulator:
                 np.asarray(keys, dtype=np.uint64),
                 np.asarray(per_switch_counts[name], dtype=np.int64),
             )
+        self._apply_corruption(window)
+
+    def _route_flow_chaotic(self, key: int, count: int,
+                            selector: Optional[PathSelector],
+                            window: int) -> List[Tuple[str, int]]:
+        """Route one flow under faults: re-route around dead switches,
+        thin the count across lossy links.  Returns (hop, count) pairs.
+        """
+        injector = self.fault_injector
+        src, dst = self.endpoints_of(key)
+        candidates = self.paths[(src, dst)]
+        surviving = [p for p in candidates
+                     if all(self.switches[hop].alive for hop in p)]
+        if not surviving:
+            self.packets_dropped += count
+            self.flows_dropped += 1
+            injector.record(window, "flow-dropped", f"flow:{key}",
+                            f"{count} packets, no surviving path "
+                            f"{src}->{dst}")
+            self._flow_paths.pop(key, None)
+            return []
+        if selector is not None:
+            path = selector(key, surviving)
+            if path not in surviving:
+                raise RoutingError("selector returned a non-candidate path")
+        else:
+            path = surviving[self._ecmp_hash.index(key, len(surviving))]
+        self._flow_paths[key] = path
+        hop_counts = [(path[0], count)]
+        current = count
+        for edge in zip(path, path[1:]):
+            link = tuple(sorted(edge))
+            delivered = injector.thin_count(link, key, current, window)
+            self.link_load[link] = self.link_load.get(link, 0) + delivered
+            if delivered < current:
+                self.packets_dropped += current - delivered
+            current = delivered
+            hop_counts.append((edge[1], current))
+        return hop_counts
 
     def _select_path(self, key: int,
                      selector: Optional[PathSelector]) -> List[str]:
@@ -112,7 +204,7 @@ class NetworkSimulator:
         if selector is not None:
             path = selector(key, candidates)
             if path not in candidates:
-                raise ValueError("selector returned a non-candidate path")
+                raise RoutingError("selector returned a non-candidate path")
             return path
         return candidates[self._ecmp_hash.index(key, len(candidates))]
 
@@ -128,35 +220,120 @@ class NetworkSimulator:
         switch.packets_forwarded += int(counts.sum())
 
     # ------------------------------------------------------------------
-    # network-wide queries
+    # network-wide queries (resilient: answer over surviving switches)
     # ------------------------------------------------------------------
 
-    def flow_size(self, key: int) -> int:
-        """Network-wide flow-size estimate: the minimum over every
-        switch on the flow's path (each saw all of its packets)."""
+    def flow_size_resilient(self, key: int) -> DegradedAnswer:
+        """Flow-size estimate over the flow's *surviving* hops.
+
+        The healthy answer is the minimum over every switch on the
+        path (each saw all of the flow's packets); dead hops are
+        skipped and the answer degrades accordingly.  With no hop left
+        the answer is ``UNAVAILABLE`` with value 0.
+        """
         key = int(key)
         path = self._flow_paths.get(key)
         if path is None:
+            # Never routed (or dropped): with a dead endpoint leaf the
+            # flow's traffic is not in the network at all — no vantage
+            # point can answer for it.
+            src, dst = self.endpoints_of(key)
+            if not (self.switches[src].alive and self.switches[dst].alive):
+                dead = tuple(l for l in (src, dst)
+                             if not self.switches[l].alive)
+                return DegradedAnswer(0, DegradationLevel.UNAVAILABLE,
+                                      (), dead)
             path = self.ecmp_path(key)
-        return min(self.switches[hop].flow_size(key) for hop in path)
+        used = tuple(h for h in path if self.switches[h].alive)
+        skipped = tuple(h for h in path if not self.switches[h].alive)
+        if not used:
+            return DegradedAnswer(0, DegradationLevel.UNAVAILABLE,
+                                  (), skipped)
+        value = min(self.switches[hop].flow_size(key) for hop in used)
+        level = DegradationLevel.from_coverage(len(used), len(path))
+        return DegradedAnswer(value, level, used, skipped)
+
+    def flow_size(self, key: int) -> int:
+        """Network-wide flow-size estimate (path minimum; surviving
+        hops only).  Raises :class:`SwitchUnreachableError` when every
+        hop of the flow's path is down."""
+        answer = self.flow_size_resilient(key)
+        if not answer.ok:
+            raise SwitchUnreachableError(
+                ",".join(answer.switches_skipped),
+                f"no surviving switch on the path of flow {int(key)}")
+        return int(answer.value)
+
+    def heavy_hitters_resilient(self, candidate_keys: Iterable[int],
+                                threshold: int) -> DegradedAnswer:
+        """Network-wide heavy hitters over surviving vantage points.
+
+        Flows whose entire path is down are skipped (they cannot be
+        observed at all); the answer's level is the worst level of any
+        answerable flow, or ``UNAVAILABLE`` when nothing was.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        hitters: Set[int] = set()
+        worst = DegradationLevel.FULL
+        used: Set[str] = set()
+        skipped: Set[str] = set()
+        answered = 0
+        total = 0
+        for key in candidate_keys:
+            total += 1
+            answer = self.flow_size_resilient(int(key))
+            skipped.update(answer.switches_skipped)
+            if not answer.ok:
+                continue
+            answered += 1
+            used.update(answer.switches_used)
+            worst = max(worst, answer.level)
+            if answer.value >= threshold:
+                hitters.add(int(key))
+        if total and not answered:
+            return DegradedAnswer(hitters, DegradationLevel.UNAVAILABLE,
+                                  (), tuple(sorted(skipped)))
+        if answered < total:
+            worst = max(worst, DegradationLevel.CRITICAL)
+        return DegradedAnswer(hitters, worst, tuple(sorted(used)),
+                              tuple(sorted(skipped)))
 
     def heavy_hitters(self, candidate_keys: Iterable[int],
                       threshold: int) -> Set[int]:
-        """Network-wide heavy hitters (path-minimum estimates)."""
-        if threshold <= 0:
-            raise ValueError("threshold must be positive")
-        return {int(k) for k in candidate_keys
-                if self.flow_size(int(k)) >= threshold}
+        """Network-wide heavy hitters (path-minimum estimates over
+        surviving switches; unobservable flows are skipped)."""
+        return self.heavy_hitters_resilient(candidate_keys, threshold).value
+
+    def total_flows_resilient(self) -> DegradedAnswer:
+        """Network-wide distinct-flow estimate over surviving leaves.
+
+        Every flow traverses exactly two leaves, so the healthy
+        estimate halves the summed leaf cardinalities.  Dead leaves are
+        extrapolated: the surviving sum is scaled by
+        ``total_leaves / surviving_leaves`` (leaves carry roughly even
+        shares under hash-pinned endpoints).
+        """
+        used = tuple(l for l in self.leaves if self.switches[l].alive)
+        skipped = tuple(l for l in self.leaves if not self.switches[l].alive)
+        if not used:
+            return DegradedAnswer(0.0, DegradationLevel.UNAVAILABLE,
+                                  (), skipped)
+        surviving_sum = sum(self.switches[leaf].cardinality()
+                            for leaf in used)
+        scale = len(self.leaves) / len(used)
+        level = DegradationLevel.from_coverage(len(used), len(self.leaves))
+        return DegradedAnswer(surviving_sum * scale / 2.0, level,
+                              used, skipped)
 
     def total_flows(self) -> float:
-        """Network-wide distinct-flow estimate.
-
-        Every flow traverses exactly two leaves (its source and
-        destination), so summing the leaf cardinalities double-counts
-        by exactly 2.
-        """
-        return sum(self.switches[leaf].cardinality()
-                   for leaf in self.leaves) / 2.0
+        """Network-wide distinct-flow estimate (extrapolated over
+        surviving leaves; raises when none survive)."""
+        answer = self.total_flows_resilient()
+        if not answer.ok:
+            raise SwitchUnreachableError(
+                ",".join(answer.switches_skipped), "every leaf is down")
+        return float(answer.value)
 
     def load_imbalance(self) -> float:
         """Max/mean packet load over used links (1.0 = perfect)."""

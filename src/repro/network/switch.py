@@ -5,17 +5,34 @@ Each switch owns one measurement structure (FCM-Sketch by default; any
 surface works) and counts the traffic it forwards, mirroring the
 deployment model of §3: the sketch sits in the switching pipeline, so
 every forwarded packet updates it at line-rate.
+
+Switches are also the unit of failure for the robustness layer
+(:mod:`repro.robustness`): they carry an ``alive`` flag toggled by the
+fault injector, refuse queries while dead, and can rotate in a fresh
+sketch when the control plane drains them per measurement window.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Iterable, Optional, Set
 
 import numpy as np
 
 from repro.core.fcm import FCMSketch
+from repro.errors import SwitchUnreachableError
 
 SketchFactory = Callable[[], object]
+
+
+def switch_seed(name: str) -> int:
+    """A per-switch hash seed stable across interpreter runs.
+
+    ``hash(name)`` changes under ``PYTHONHASHSEED`` randomization,
+    which silently changed sketch contents between runs; CRC32 is a
+    stable digest with the same diversity.
+    """
+    return zlib.crc32(name.encode("utf-8")) % (1 << 31)
 
 
 class SimulatedSwitch:
@@ -25,20 +42,64 @@ class SimulatedSwitch:
         name: topology node name.
         sketch: the measurement structure (default: a 64 KB FCM-Sketch
             keyed on the switch name for hash diversity).
+        sketch_factory: zero-argument builder used by :meth:`rotate` to
+            install a fresh sketch after a drain; defaults to rebuilding
+            the default FCM-Sketch with the same memory and seed.
     """
 
     def __init__(self, name: str, sketch: Optional[object] = None,
-                 memory_bytes: int = 64 * 1024):
+                 memory_bytes: int = 64 * 1024,
+                 sketch_factory: Optional[SketchFactory] = None):
         self.name = name
+        if sketch_factory is None:
+            if sketch is None:
+                sketch_factory = lambda: FCMSketch.with_memory(  # noqa: E731
+                    memory_bytes, seed=switch_seed(name)
+                )
+            else:
+                sketch_factory = None
         if sketch is None:
-            sketch = FCMSketch.with_memory(
-                memory_bytes, seed=abs(hash(name)) % (1 << 31)
-            )
+            sketch = sketch_factory()
         self.sketch = sketch
+        self._sketch_factory = sketch_factory
         self.packets_forwarded = 0
+        self.alive = True
+
+    # -- fault hooks (driven by repro.robustness.FaultInjector) ------
+
+    def fail(self) -> None:
+        """Take the switch down (queries and forwarding refuse)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the switch back up (its sketch state survived)."""
+        self.alive = True
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise SwitchUnreachableError(self.name)
+
+    def rotate(self) -> object:
+        """Drain: return the current sketch, install a fresh one.
+
+        Mirrors the paper's periodic collection loop — the control
+        plane reads the window's sketch and the data plane starts the
+        next window empty.  Requires a sketch factory (the default
+        sketch always has one).
+        """
+        self._require_alive()
+        if self._sketch_factory is None:
+            raise SwitchUnreachableError(
+                self.name,
+                f"switch {self.name!r} has no sketch factory to rotate; "
+                "pass sketch_factory= when supplying a custom sketch")
+        drained = self.sketch
+        self.sketch = self._sketch_factory()
+        return drained
 
     def forward(self, keys: np.ndarray) -> None:
         """Forward (and measure) a batch of packets."""
+        self._require_alive()
         keys = np.asarray(keys, dtype=np.uint64)
         self.sketch.ingest(keys)
         self.packets_forwarded += int(keys.shape[0])
@@ -47,15 +108,18 @@ class SimulatedSwitch:
 
     def flow_size(self, key: int) -> int:
         """Estimated size of a flow this switch forwarded."""
+        self._require_alive()
         return int(self.sketch.query(int(key)))
 
     def heavy_hitters(self, candidate_keys: Iterable[int],
                       threshold: int) -> Set[int]:
         """Heavy hitters among the traffic through this switch."""
+        self._require_alive()
         return self.sketch.heavy_hitters(candidate_keys, threshold)
 
     def cardinality(self) -> float:
         """Distinct flows seen by this switch."""
+        self._require_alive()
         return float(self.sketch.cardinality())
 
     @property
@@ -64,5 +128,6 @@ class SimulatedSwitch:
         return self.packets_forwarded
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "" if self.alive else ", DOWN"
         return (f"SimulatedSwitch({self.name!r}, "
-                f"forwarded={self.packets_forwarded})")
+                f"forwarded={self.packets_forwarded}{state})")

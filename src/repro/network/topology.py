@@ -12,6 +12,8 @@ from typing import Dict, List, Tuple
 
 import networkx as nx
 
+from repro.errors import TopologyError
+
 PathSet = Dict[Tuple[str, str], List[List[str]]]
 
 
@@ -19,7 +21,7 @@ def leaf_spine(num_leaves: int = 4, num_spines: int = 2) -> nx.Graph:
     """A two-tier leaf-spine fabric: every leaf connects to every
     spine.  Leaves are named ``leaf0..``, spines ``spine0..``."""
     if num_leaves < 2 or num_spines < 1:
-        raise ValueError("need at least 2 leaves and 1 spine")
+        raise TopologyError("need at least 2 leaves and 1 spine")
     graph = nx.Graph()
     leaves = [f"leaf{i}" for i in range(num_leaves)]
     spines = [f"spine{i}" for i in range(num_spines)]
@@ -39,7 +41,7 @@ def fat_tree(k: int = 4) -> nx.Graph:
     as traffic sources/sinks.
     """
     if k < 2 or k % 2:
-        raise ValueError("fat-tree k must be a positive even number")
+        raise TopologyError("fat-tree k must be a positive even number")
     graph = nx.Graph()
     half = k // 2
     cores = [f"core{i}" for i in range(half * half)]

@@ -1,0 +1,67 @@
+"""Fault injection & graceful degradation for network-wide measurement.
+
+Real fabrics lose switches, drop packets, corrupt counters and stall
+control channels; a measurement pipeline that assumes none of that is a
+demo, not a system.  This package makes the failure modes first-class:
+
+* :mod:`repro.robustness.faults` — a deterministic, seedable
+  :class:`FaultPlan`/:class:`FaultInjector` pair that kills switches,
+  thins link traffic, flips counter bits and stalls collections.
+* :mod:`repro.robustness.policy` — retry-with-backoff, timeouts and
+  circuit breakers for sketch collection, plus the per-window
+  :class:`CollectionHealth` record.
+* :mod:`repro.robustness.degradation` — :class:`DegradationLevel` and
+  :class:`DegradedAnswer`, the tagged answers resilient queries return
+  instead of raising.
+* :mod:`repro.robustness.guards` — EM convergence guards with fallback
+  to the pre-EM histogram.
+
+Every random decision derives from the plan seed via CRC32 digests, so
+an identical ``FaultPlan`` reproduces byte-identical fault schedules
+and reports across runs — even under ``PYTHONHASHSEED`` randomization.
+"""
+
+from repro.robustness.degradation import DegradationLevel, DegradedAnswer
+from repro.robustness.faults import (
+    BitFlip,
+    CollectionStall,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LinkLoss,
+    SwitchFailure,
+    stable_digest,
+)
+from repro.robustness.guards import (
+    EMGuardConfig,
+    GuardedEMOutcome,
+    guarded_em_run,
+    guarded_estimate_distribution,
+)
+from repro.robustness.policy import (
+    CircuitBreaker,
+    CollectionHealth,
+    CollectionPolicy,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "SwitchFailure",
+    "LinkLoss",
+    "BitFlip",
+    "CollectionStall",
+    "stable_digest",
+    "RetryPolicy",
+    "CollectionPolicy",
+    "CircuitBreaker",
+    "CollectionHealth",
+    "DegradationLevel",
+    "DegradedAnswer",
+    "EMGuardConfig",
+    "GuardedEMOutcome",
+    "guarded_em_run",
+    "guarded_estimate_distribution",
+]

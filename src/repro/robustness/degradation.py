@@ -1,0 +1,62 @@
+"""Degradation levels and tagged answers for network-wide queries.
+
+A fabric losing vantage points can still answer most measurement
+queries — with wider error.  Instead of raising (or silently returning
+a wrong number), resilient query paths return a
+:class:`DegradedAnswer`: the value, the level of degradation and which
+switches contributed vs. were skipped, so callers can decide whether
+the answer is still actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Tuple
+
+
+class DegradationLevel(IntEnum):
+    """How much of the intended measurement substrate answered."""
+
+    FULL = 0         # every relevant switch contributed
+    DEGRADED = 1     # some switches skipped; answer over survivors
+    CRITICAL = 2     # a minority of switches answered; wide error bars
+    UNAVAILABLE = 3  # no surviving vantage point; value is a placeholder
+
+    @classmethod
+    def from_coverage(cls, used: int, total: int) -> "DegradationLevel":
+        """Map surviving-switch coverage onto a level."""
+        if total <= 0 or used <= 0:
+            return cls.UNAVAILABLE
+        if used == total:
+            return cls.FULL
+        if used * 2 >= total:
+            return cls.DEGRADED
+        return cls.CRITICAL
+
+
+@dataclass(frozen=True)
+class DegradedAnswer:
+    """A query answer tagged with its degradation metadata.
+
+    Attributes:
+        value: the estimate (semantics depend on the query).
+        level: how degraded the answer is.
+        switches_used: vantage points that contributed.
+        switches_skipped: failed/unreachable vantage points.
+    """
+
+    value: object
+    level: DegradationLevel
+    switches_used: Tuple[str, ...] = field(default_factory=tuple)
+    switches_skipped: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True unless no vantage point survived."""
+        return self.level is not DegradationLevel.UNAVAILABLE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DegradedAnswer({self.value!r}, {self.level.name}, "
+                f"used={len(self.switches_used)}, "
+                f"skipped={len(self.switches_skipped)})")

@@ -1,0 +1,335 @@
+"""Deterministic fault injection for network-wide measurement.
+
+A :class:`FaultPlan` is a declarative, seedable schedule of faults —
+dead switches, lossy links, bit flips in raw counter arrays, stalled
+collections — and a :class:`FaultInjector` applies it to a running
+:class:`~repro.network.simulator.NetworkSimulator` / collection loop.
+
+Determinism is a hard requirement (chaos runs must reproduce bit for
+bit), so nothing here uses Python's salted ``hash()``: every random
+stream is an ``np.random.default_rng`` seeded from the plan seed plus
+a CRC32 digest of the entity name and the window index.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultPlanError
+
+LinkName = Tuple[str, str]
+
+
+def stable_digest(*parts) -> int:
+    """A 32-bit digest of strings/ints, stable across interpreter runs
+    (unlike ``hash()`` under ``PYTHONHASHSEED`` randomization)."""
+    acc = 0
+    for part in parts:
+        token = part if isinstance(part, str) else repr(int(part))
+        acc = zlib.crc32(token.encode("utf-8"), acc)
+    return acc & 0xFFFFFFFF
+
+
+def _window_in(window: int, start: int, end: Optional[int]) -> bool:
+    return window >= start and (end is None or window < end)
+
+
+def _check_window_range(start: int, end: Optional[int]) -> None:
+    if start < 0:
+        raise FaultPlanError("start_window must be non-negative")
+    if end is not None and end <= start:
+        raise FaultPlanError(
+            f"empty window range [{start}, {end}): the fault would never fire")
+
+
+# ----------------------------------------------------------------------
+# fault specifications (declarative)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SwitchFailure:
+    """Kill a switch: permanently (``end_window=None``) or for the
+    window range ``[start_window, end_window)``."""
+
+    switch: str
+    start_window: int = 0
+    end_window: Optional[int] = None
+
+    def __post_init__(self):
+        _check_window_range(self.start_window, self.end_window)
+
+    def active(self, window: int) -> bool:
+        return _window_in(window, self.start_window, self.end_window)
+
+
+@dataclass(frozen=True)
+class LinkLoss:
+    """Drop a fraction of the packets crossing a link (both directions)."""
+
+    link: LinkName
+    fraction: float
+    start_window: int = 0
+    end_window: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.fraction <= 1.0:
+            raise FaultPlanError("loss fraction must be in [0, 1]")
+        _check_window_range(self.start_window, self.end_window)
+        object.__setattr__(self, "link", tuple(sorted(self.link)))
+
+    def active(self, window: int) -> bool:
+        return _window_in(window, self.start_window, self.end_window)
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """Flip ``num_flips`` random bits in a switch's raw counter arrays
+    at the start of each window in ``[start_window, end_window)``."""
+
+    switch: str
+    num_flips: int = 1
+    max_bit: int = 20
+    start_window: int = 0
+    end_window: Optional[int] = None
+
+    def __post_init__(self):
+        if self.num_flips < 1:
+            raise FaultPlanError("num_flips must be positive")
+        if not 1 <= self.max_bit <= 40:
+            raise FaultPlanError("max_bit must be in [1, 40]")
+        _check_window_range(self.start_window, self.end_window)
+
+    def active(self, window: int) -> bool:
+        return _window_in(window, self.start_window, self.end_window)
+
+
+@dataclass(frozen=True)
+class CollectionStall:
+    """Stall collection of a switch so it exceeds the policy timeout.
+
+    ``fail_attempts`` bounds how many attempts stall per window: the
+    default ``None`` stalls every attempt (the window's collection
+    fails outright); a finite value lets retry-with-backoff succeed on
+    attempt ``fail_attempts + 1``.
+    """
+
+    switch: str
+    delay: float = 10.0
+    fail_attempts: Optional[int] = None
+    start_window: int = 0
+    end_window: Optional[int] = None
+
+    def __post_init__(self):
+        if self.delay < 0:
+            raise FaultPlanError("stall delay must be non-negative")
+        _check_window_range(self.start_window, self.end_window)
+
+    def active(self, window: int) -> bool:
+        return _window_in(window, self.start_window, self.end_window)
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+
+@dataclass
+class FaultPlan:
+    """A seedable, deterministic schedule of faults.
+
+    Args:
+        seed: master seed; identical seeds (and fault lists) reproduce
+            byte-identical fault schedules and downstream reports.
+        switch_failures / link_losses / bit_flips / stalls: the faults.
+    """
+
+    seed: int = 0
+    switch_failures: List[SwitchFailure] = field(default_factory=list)
+    link_losses: List[LinkLoss] = field(default_factory=list)
+    bit_flips: List[BitFlip] = field(default_factory=list)
+    stalls: List[CollectionStall] = field(default_factory=list)
+
+    # -- builder helpers ------------------------------------------------
+
+    def kill_switch(self, switch: str, start_window: int = 0,
+                    end_window: Optional[int] = None) -> "FaultPlan":
+        self.switch_failures.append(
+            SwitchFailure(switch, start_window, end_window))
+        return self
+
+    def lossy_link(self, a: str, b: str, fraction: float,
+                   start_window: int = 0,
+                   end_window: Optional[int] = None) -> "FaultPlan":
+        self.link_losses.append(
+            LinkLoss((a, b), fraction, start_window, end_window))
+        return self
+
+    def flip_bits(self, switch: str, num_flips: int = 1, max_bit: int = 20,
+                  start_window: int = 0,
+                  end_window: Optional[int] = None) -> "FaultPlan":
+        self.bit_flips.append(
+            BitFlip(switch, num_flips, max_bit, start_window, end_window))
+        return self
+
+    def stall_collection(self, switch: str, delay: float = 10.0,
+                         fail_attempts: Optional[int] = None,
+                         start_window: int = 0,
+                         end_window: Optional[int] = None) -> "FaultPlan":
+        self.stalls.append(
+            CollectionStall(switch, delay, fail_attempts,
+                            start_window, end_window))
+        return self
+
+    # -- schedule queries ----------------------------------------------
+
+    def dead_switches(self, window: int) -> frozenset:
+        """Switch names that are down during ``window``."""
+        return frozenset(f.switch for f in self.switch_failures
+                         if f.active(window))
+
+    def link_drop_fraction(self, link: LinkName, window: int) -> float:
+        """Combined drop probability of a link during ``window``."""
+        link = tuple(sorted(link))
+        keep = 1.0
+        for loss in self.link_losses:
+            if loss.link == link and loss.active(window):
+                keep *= 1.0 - loss.fraction
+        return 1.0 - keep
+
+    def has_link_loss(self, window: int) -> bool:
+        return any(loss.active(window) for loss in self.link_losses)
+
+    def bit_flips_for(self, switch: str, window: int) -> List[BitFlip]:
+        return [f for f in self.bit_flips
+                if f.switch == switch and f.active(window)]
+
+    def collection_delay(self, switch: str, window: int,
+                         attempt: int) -> float:
+        """Simulated collection latency (seconds) for one attempt."""
+        delay = 0.0
+        for stall in self.stalls:
+            if stall.switch != switch or not stall.active(window):
+                continue
+            if stall.fail_attempts is None or attempt < stall.fail_attempts:
+                delay = max(delay, stall.delay)
+        return delay
+
+    # -- deterministic randomness --------------------------------------
+
+    def rng(self, *context) -> np.random.Generator:
+        """A generator keyed on the plan seed plus a stable context
+        digest — the same context always yields the same stream."""
+        return np.random.default_rng(
+            (int(self.seed) & 0xFFFFFFFF, stable_digest(*context)))
+
+
+# ----------------------------------------------------------------------
+# the injector
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One applied fault, recorded for reporting/reproducibility."""
+
+    window: int
+    kind: str
+    target: str
+    detail: str = ""
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to switches, links and collections.
+
+    Stateless with respect to randomness (every decision re-derives its
+    stream from the plan seed + context) but it records applied faults
+    in :attr:`events` and guards against double-applying per-window
+    corruption.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.events: List[FaultEvent] = []
+        self._flipped: set = set()
+
+    # -- switch liveness -----------------------------------------------
+
+    def is_dead(self, switch: str, window: int) -> bool:
+        return switch in self.plan.dead_switches(window)
+
+    def apply_liveness(self, switches: Dict[str, object],
+                       window: int) -> None:
+        """Set the ``alive`` flag of every switch for ``window``."""
+        dead = self.plan.dead_switches(window)
+        for name in sorted(switches):
+            switch = switches[name]
+            was_alive = switch.alive
+            switch.alive = name not in dead
+            if was_alive and not switch.alive:
+                self.events.append(
+                    FaultEvent(window, "switch-down", name))
+            elif not was_alive and switch.alive:
+                self.events.append(
+                    FaultEvent(window, "switch-up", name))
+
+    # -- link loss -------------------------------------------------------
+
+    def thin_count(self, link: LinkName, flow_key: int, count: int,
+                   window: int) -> int:
+        """Packets of a flow surviving one traversal of ``link``."""
+        fraction = self.plan.link_drop_fraction(link, window)
+        if fraction <= 0.0 or count <= 0:
+            return count
+        if fraction >= 1.0:
+            return 0
+        rng = self.plan.rng("link", link[0], link[1], flow_key, window)
+        return int(rng.binomial(count, 1.0 - fraction))
+
+    # -- counter corruption ----------------------------------------------
+
+    def corrupt_switch(self, switch, window: int) -> int:
+        """Flip scheduled bits in the switch's raw counter arrays.
+
+        Applied at most once per (switch, window).  Returns the number
+        of bits flipped.  Works on any sketch exposing FCM-style
+        ``trees`` with integer leaf totals; other sketches are left
+        alone (no raw array to corrupt).
+        """
+        specs = self.plan.bit_flips_for(switch.name, window)
+        if not specs or (switch.name, window) in self._flipped:
+            return 0
+        self._flipped.add((switch.name, window))
+        trees = getattr(switch.sketch, "trees", None)
+        if not trees:
+            return 0
+        flipped = 0
+        for spec in specs:
+            rng = self.plan.rng("bitflip", switch.name, window,
+                                spec.num_flips, spec.max_bit)
+            for _ in range(spec.num_flips):
+                tree = trees[int(rng.integers(len(trees)))]
+                # Raw counter corruption is exactly what this models, so
+                # reach into the tree's canonical array and invalidate
+                # its derived stage values.
+                totals = tree._leaf_totals
+                idx = int(rng.integers(totals.shape[0]))
+                bit = int(rng.integers(spec.max_bit))
+                totals[idx] ^= np.int64(1) << np.int64(bit)
+                tree._stage_values = None
+                flipped += 1
+                self.events.append(FaultEvent(
+                    window, "bit-flip", switch.name,
+                    f"leaf[{idx}] bit {bit}"))
+        return flipped
+
+    # -- collection stalls ------------------------------------------------
+
+    def collection_delay(self, switch: str, window: int,
+                         attempt: int) -> float:
+        return self.plan.collection_delay(switch, window, attempt)
+
+    def record(self, window: int, kind: str, target: str,
+               detail: str = "") -> None:
+        self.events.append(FaultEvent(window, kind, target, detail))

@@ -1,0 +1,134 @@
+"""Convergence guards for the EM estimator.
+
+EM over corrupted or truncated virtual counters can diverge: flow-count
+mass runs away, or log-domain arithmetic produces NaN/inf.  The guards
+here watch every iteration, raise :class:`~repro.errors.EMDivergenceError`
+on trouble, and (in the guarded entry points) fall back to the pre-EM
+MRAC-style histogram — the estimator's initial guess, which reads each
+virtual counter as ``degree`` flows of size ``value/degree`` and is
+always finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.em import EMConfig, EMEstimator, EMResult
+from repro.core.topk import FCMTopK
+from repro.core.virtual import convert_sketch
+from repro.errors import EMDivergenceError
+
+
+@dataclass(frozen=True)
+class EMGuardConfig:
+    """Divergence-detection knobs.
+
+    Args:
+        max_iterations: hard cap applied on top of ``EMConfig``.
+        divergence_factor: abort when the estimated total flow count
+            exceeds this multiple of the initial guess (or drops below
+            its inverse).
+        forbid_nonfinite: abort on any NaN/inf in the size counts.
+    """
+
+    max_iterations: int = 50
+    divergence_factor: float = 50.0
+    forbid_nonfinite: bool = True
+
+
+@dataclass
+class GuardedEMOutcome:
+    """Result of a guarded EM run.
+
+    Attributes:
+        result: the estimate actually served (EM output, or the pre-EM
+            histogram when EM diverged).
+        fell_back: True when the fallback histogram was served.
+        reason: why EM was abandoned (``None`` when it converged).
+    """
+
+    result: EMResult
+    fell_back: bool = False
+    reason: Optional[str] = None
+
+
+def make_divergence_guard(initial_total: float,
+                          guard: EMGuardConfig) -> Callable:
+    """Build a per-iteration callback that raises on divergence."""
+    floor = initial_total / guard.divergence_factor
+    ceiling = initial_total * guard.divergence_factor
+
+    def check(iteration: int, size_counts: np.ndarray) -> None:
+        if guard.forbid_nonfinite and not np.all(np.isfinite(size_counts)):
+            raise EMDivergenceError(iteration, "non-finite size counts")
+        total = float(size_counts.sum())
+        if initial_total > 0 and not floor <= total <= ceiling:
+            raise EMDivergenceError(
+                iteration,
+                f"total flows {total:.3g} outside "
+                f"[{floor:.3g}, {ceiling:.3g}]")
+
+    return check
+
+
+def fallback_histogram(estimator: EMEstimator) -> EMResult:
+    """The pre-EM MRAC-style histogram as a zero-iteration EMResult."""
+    counts = estimator.initial_guess()
+    counts[~np.isfinite(counts)] = 0.0
+    return EMResult(size_counts=counts, iterations=0)
+
+
+def guarded_em_run(estimator: EMEstimator,
+                   guard: Optional[EMGuardConfig] = None,
+                   iterations: Optional[int] = None,
+                   callback=None) -> GuardedEMOutcome:
+    """Run EM under divergence guards with histogram fallback.
+
+    Args:
+        estimator: a prepared :class:`EMEstimator`.
+        guard: guard knobs (defaults are permissive).
+        iterations: override, additionally capped by the guard.
+        callback: forwarded per-iteration hook.
+    """
+    guard = guard if guard is not None else EMGuardConfig()
+    requested = iterations if iterations is not None \
+        else estimator.config.max_iterations
+    capped = min(requested, guard.max_iterations)
+    initial_total = float(estimator.initial_guess().sum())
+    check = make_divergence_guard(initial_total, guard)
+
+    def guarded_callback(iteration: int, size_counts: np.ndarray) -> None:
+        check(iteration, size_counts)
+        if callback is not None:
+            callback(iteration, size_counts)
+
+    try:
+        result = estimator.run(iterations=capped, callback=guarded_callback)
+    except EMDivergenceError as err:
+        return GuardedEMOutcome(result=fallback_histogram(estimator),
+                                fell_back=True, reason=str(err))
+    # Belt and braces: the final estimate itself must be servable.
+    if not np.all(np.isfinite(result.size_counts)):
+        return GuardedEMOutcome(result=fallback_histogram(estimator),
+                                fell_back=True,
+                                reason="non-finite final estimate")
+    return GuardedEMOutcome(result=result)
+
+
+def guarded_estimate_distribution(sketch,
+                                  config: Optional[EMConfig] = None,
+                                  guard: Optional[EMGuardConfig] = None,
+                                  iterations: Optional[int] = None,
+                                  ) -> GuardedEMOutcome:
+    """Guarded counterpart of
+    :func:`repro.controlplane.distribution.estimate_distribution`.
+
+    Accepts an ``FCMSketch`` or ``FCMTopK`` (the residue FCM is used;
+    resident Top-K flows are not re-added on the fallback path).
+    """
+    base = sketch.fcm if isinstance(sketch, FCMTopK) else sketch
+    estimator = EMEstimator(convert_sketch(base), config=config)
+    return guarded_em_run(estimator, guard=guard, iterations=iterations)

@@ -1,0 +1,173 @@
+"""Collection resilience policies: retry, timeout, circuit breaking.
+
+The control plane drains every switch once per measurement window.  A
+drain can fail (switch down) or stall (congested control channel); the
+policies here decide how hard to try before giving up, and when to stop
+trying a persistently-failing switch altogether.
+
+All timing is *simulated* — delays are accounted, never slept — so
+chaos runs stay fast and fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import FaultPlanError
+from repro.robustness.degradation import DegradationLevel
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry with exponential backoff (deterministic, no jitter).
+
+    Attempt ``i`` (0-based) is preceded by a backoff of
+    ``min(base_delay * factor**i, max_delay)`` seconds, except the
+    first, which runs immediately.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise FaultPlanError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.factor < 1:
+            raise FaultPlanError("backoff parameters must be non-negative "
+                                 "with factor >= 1")
+
+    def backoffs(self) -> Iterator[float]:
+        """Backoff before each attempt: 0 for the first, growing after."""
+        for attempt in range(self.max_attempts):
+            if attempt == 0:
+                yield 0.0
+            else:
+                yield min(self.base_delay * self.factor ** (attempt - 1),
+                          self.max_delay)
+
+    @property
+    def total_backoff(self) -> float:
+        """Worst-case simulated seconds spent backing off."""
+        return sum(self.backoffs())
+
+
+@dataclass(frozen=True)
+class CollectionPolicy:
+    """Everything the resilient collectors need to decide a drain.
+
+    Args:
+        timeout: per-attempt collection timeout (simulated seconds).
+        retry: retry/backoff schedule per window.
+        breaker_threshold: consecutive failed *windows* after which the
+            switch's circuit opens (0 disables the breaker).
+        breaker_cooldown: windows to skip while the circuit is open.
+    """
+
+    timeout: float = 1.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 2
+
+    def __post_init__(self):
+        if self.timeout <= 0:
+            raise FaultPlanError("timeout must be positive")
+        if self.breaker_threshold < 0 or self.breaker_cooldown < 0:
+            raise FaultPlanError("breaker parameters must be non-negative")
+
+
+class CircuitBreaker:
+    """Per-switch circuit breaker over measurement windows.
+
+    Closed → (``threshold`` consecutive failed windows) → open for
+    ``cooldown`` windows → half-open (one probe window) → closed on
+    success, open again on failure.
+    """
+
+    def __init__(self, threshold: int, cooldown: int):
+        self.threshold = int(threshold)
+        self.cooldown = int(cooldown)
+        self._failures: Dict[str, int] = {}
+        self._open_until: Dict[str, int] = {}
+
+    def allows(self, switch: str, window: int) -> bool:
+        """Whether collection of ``switch`` should even be attempted."""
+        if self.threshold <= 0:
+            return True
+        return window >= self._open_until.get(switch, 0)
+
+    def open_until(self, switch: str) -> int:
+        return self._open_until.get(switch, 0)
+
+    def record_success(self, switch: str) -> None:
+        self._failures[switch] = 0
+        self._open_until.pop(switch, None)
+
+    def record_failure(self, switch: str, window: int) -> None:
+        if self.threshold <= 0:
+            return
+        count = self._failures.get(switch, 0) + 1
+        self._failures[switch] = count
+        if count >= self.threshold:
+            self._open_until[switch] = window + 1 + self.cooldown
+            # Re-opening resets the consecutive count so the half-open
+            # probe gets a fresh threshold's worth of chances.
+            self._failures[switch] = self.threshold - 1
+
+
+@dataclass
+class CollectionHealth:
+    """Per-window collection metadata carried on ``WindowReport``.
+
+    Attributes:
+        window_index: which measurement window this describes.
+        switches_total: vantage points the collector intended to drain.
+        switches_reached: successfully drained switch names (sorted).
+        switches_failed: ``{switch: reason}`` for every failed drain.
+        switches_skipped: switches short-circuited by an open breaker.
+        retries: total retry attempts beyond the first, all switches.
+        backoff_seconds: simulated time spent backing off.
+        staleness: ``{switch: windows since its last successful drain}``
+            for switches serving stale data (0 = fresh, absent = fresh).
+        packets_dropped: packets lost to dead switches / lossy links
+            while routing this window.
+        em_fallbacks: windows where EM diverged and the pre-EM
+            histogram was served instead.
+    """
+
+    window_index: int = 0
+    switches_total: int = 0
+    switches_reached: List[str] = field(default_factory=list)
+    switches_failed: Dict[str, str] = field(default_factory=dict)
+    switches_skipped: List[str] = field(default_factory=list)
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    staleness: Dict[str, int] = field(default_factory=dict)
+    packets_dropped: int = 0
+    em_fallbacks: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """True when every intended switch was drained fresh."""
+        return (not self.switches_failed and not self.switches_skipped
+                and not self.staleness and self.packets_dropped == 0
+                and self.em_fallbacks == 0)
+
+    @property
+    def degradation(self) -> DegradationLevel:
+        """Coverage-based degradation level for this window."""
+        if self.switches_total == 0:
+            return DegradationLevel.FULL
+        return DegradationLevel.from_coverage(
+            len(self.switches_reached), self.switches_total)
+
+    @classmethod
+    def fresh(cls, window_index: int,
+              switches: Optional[List[str]] = None) -> "CollectionHealth":
+        """A fully-healthy record (the no-fault fast path)."""
+        names = sorted(switches) if switches else []
+        return cls(window_index=window_index,
+                   switches_total=len(names),
+                   switches_reached=names)

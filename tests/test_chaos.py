@@ -1,0 +1,211 @@
+"""Chaos runs: route a Zipf trace under every fault type and assert
+(a) no exception escapes, (b) degraded estimates stay within the
+documented error bounds, (c) identical FaultPlan seeds reproduce
+identical reports.
+
+Marked ``chaos`` so ``make chaos`` / ``pytest -m chaos`` can select
+them; they also run in the regular tier-1 suite.  All randomness is
+plan-seeded (no ``hash()``), so results are identical under any
+``PYTHONHASHSEED``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controlplane import NetworkSketchCollector
+from repro.network import NetworkSimulator, leaf_spine
+from repro.robustness import (
+    CollectionPolicy,
+    DegradationLevel,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.traffic import zipf_trace
+
+pytestmark = pytest.mark.chaos
+
+MEMORY = 32 * 1024
+NUM_WINDOWS = 3
+
+# Each entry: a fresh-plan factory (plans are mutable; sharing one
+# instance across parametrized runs would break isolation).
+FAULT_PLANS = {
+    "dead-switch": lambda: FaultPlan(seed=3).kill_switch("spine0"),
+    "dead-leaf": lambda: FaultPlan(seed=3).kill_switch("leaf3"),
+    "lossy-link": lambda: FaultPlan(seed=3).lossy_link(
+        "leaf0", "spine0", 0.3),
+    "bit-flip": lambda: FaultPlan(seed=3).flip_bits(
+        "spine1", num_flips=4, max_bit=10),
+    "collection-timeout": lambda: FaultPlan(seed=3).stall_collection(
+        "leaf2", delay=9.0),
+}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return zipf_trace(30_000, alpha=1.3, seed=11)
+
+
+def build_sim(plan=None, seed=1):
+    injector = FaultInjector(plan) if plan is not None else None
+    return NetworkSimulator(leaf_spine(4, 2), memory_bytes=MEMORY,
+                            seed=seed, fault_injector=injector)
+
+
+def mean_are(sim, flow_sizes):
+    """Mean absolute relative error over answerable flows."""
+    errors = []
+    for key, true_size in flow_sizes.items():
+        answer = sim.flow_size_resilient(key)
+        if not answer.ok:
+            continue
+        errors.append(abs(answer.value - true_size) / true_size)
+    assert errors, "no flow was answerable"
+    return float(np.mean(errors))
+
+
+class TestChaosRuns:
+    @pytest.mark.parametrize("fault", sorted(FAULT_PLANS))
+    def test_no_exception_escapes(self, trace, fault):
+        sim = build_sim(FAULT_PLANS[fault]())
+        collector = NetworkSketchCollector(sim)
+        reports = collector.process(trace, NUM_WINDOWS)  # must not raise
+        assert len(reports) == NUM_WINDOWS
+        assert all(r.health is not None for r in reports)
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_PLANS))
+    def test_degraded_estimates_within_bounds(self, trace, fault):
+        """Documented degradation bounds (docs/API.md, fault model):
+
+        * dead switch / stalled collection: queries over surviving
+          paths keep mean ARE within 2x the fault-free run (+2%
+          absolute for the near-exact regime);
+        * lossy link (fraction p): additionally allow p, the expected
+          undercount of flows crossing the link;
+        * bit flips: corruption is confined to one vantage point; the
+          path-minimum absorbs inflations, so the same 2x bound holds
+          with a small allowance for deflated counters.
+        """
+        flow_sizes = trace.ground_truth.flow_sizes
+        baseline = build_sim(None)
+        baseline.route_trace(trace)
+        base_are = mean_are(baseline, flow_sizes)
+
+        sim = build_sim(FAULT_PLANS[fault]())
+        sim.route_trace(trace, window=0)
+        faulted_are = mean_are(sim, flow_sizes)
+
+        slack = 0.02
+        if fault == "lossy-link":
+            slack += 0.3  # the injected drop fraction
+        if fault == "bit-flip":
+            slack += 0.05
+        assert faulted_are <= 2.0 * base_are + slack
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_PLANS))
+    def test_identical_seed_identical_reports(self, trace, fault):
+        def run():
+            sim = build_sim(FAULT_PLANS[fault]())
+            collector = NetworkSketchCollector(sim)
+            reports = collector.process(trace, NUM_WINDOWS)
+            sample = sorted(trace.ground_truth.flow_sizes)[:50]
+            answers = [sim.flow_size_resilient(k) for k in sample]
+            return reports, answers, sim.fault_injector.events
+
+        first_reports, first_answers, first_events = run()
+        second_reports, second_answers, second_events = run()
+        assert first_events == second_events
+        assert first_answers == second_answers
+        for a, b in zip(first_reports, second_reports):
+            assert a.health == b.health
+            assert a.total_packets == b.total_packets
+            assert a.cardinality_estimate == b.cardinality_estimate
+
+
+class TestAcceptanceScenario:
+    """The issue's acceptance scenario: one dead spine + one stalled
+    leaf, full pipeline, no raise, health recorded, ARE within 2x."""
+
+    def plan(self):
+        return (FaultPlan(seed=7)
+                .kill_switch("spine0")
+                .stall_collection("leaf1", delay=30.0))
+
+    def test_full_run(self, trace):
+        sim = build_sim(self.plan())
+        collector = NetworkSketchCollector(sim)
+        reports = collector.process(trace, NUM_WINDOWS)
+
+        for report in reports:
+            health = report.health
+            assert "spine0" in health.switches_failed
+            assert "leaf1" in health.switches_failed \
+                or "leaf1" in health.switches_skipped
+            assert health.degradation in (DegradationLevel.DEGRADED,
+                                          DegradationLevel.CRITICAL)
+            # Stalled leaf consumed the full retry budget at least once.
+        assert sum(r.health.retries for r in reports) > 0
+        assert reports[-1].health.staleness.get("spine0", 0) >= NUM_WINDOWS
+
+    def test_query_accuracy_within_2x(self, trace):
+        flow_sizes = trace.ground_truth.flow_sizes
+        baseline = build_sim(None)
+        baseline.route_trace(trace)
+        base_are = mean_are(baseline, flow_sizes)
+
+        sim = build_sim(self.plan())
+        sim.route_trace(trace, window=0)
+        assert mean_are(sim, flow_sizes) <= 2.0 * base_are + 0.02
+
+        threshold = trace.heavy_hitter_threshold()
+        truth = trace.ground_truth.heavy_hitters(threshold)
+        answer = sim.heavy_hitters_resilient(
+            trace.ground_truth.keys_array(), threshold)
+        assert answer.ok
+        # Path-minimum over surviving hops still never misses a true
+        # heavy hitter (every surviving hop saw all of its packets).
+        assert truth <= answer.value
+
+
+class TestRetryAndBreaker:
+    def test_retry_eventually_succeeds(self, trace):
+        plan = FaultPlan(seed=2).stall_collection(
+            "leaf0", delay=9.0, fail_attempts=1)
+        sim = build_sim(plan)
+        collector = NetworkSketchCollector(sim)
+        reports = collector.process(trace, 2)
+        for report in reports:
+            assert "leaf0" in report.health.switches_reached
+            assert report.health.retries >= 1
+            assert report.health.backoff_seconds > 0
+
+    def test_breaker_stops_hammering_dead_switch(self, trace):
+        plan = FaultPlan(seed=2).stall_collection("spine1", delay=9.0)
+        policy = CollectionPolicy(
+            timeout=1.0,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            breaker_threshold=2, breaker_cooldown=2)
+        sim = build_sim(plan)
+        collector = NetworkSketchCollector(sim, policy=policy)
+        reports = collector.process(trace, 6)
+        skipped_windows = [r.window_index for r in reports
+                           if "spine1" in r.health.switches_skipped]
+        failed_windows = [r.window_index for r in reports
+                          if "spine1" in r.health.switches_failed]
+        assert failed_windows == [0, 1, 4]    # breaker trips after two,
+        assert skipped_windows == [2, 3, 5]   # probes at 4, re-opens
+
+    def test_window_ranged_outage_recovers(self, trace):
+        plan = FaultPlan(seed=2).kill_switch(
+            "spine0", start_window=1, end_window=2)
+        sim = build_sim(plan)
+        collector = NetworkSketchCollector(sim)
+        reports = collector.process(trace, 3)
+        assert "spine0" in reports[0].health.switches_reached
+        assert "spine0" in reports[1].health.switches_failed
+        assert "spine0" in reports[2].health.switches_reached
+        kinds = [(e.window, e.kind) for e in sim.fault_injector.events
+                 if e.target == "spine0"]
+        assert (1, "switch-down") in kinds
+        assert (2, "switch-up") in kinds

@@ -1,0 +1,317 @@
+"""Unit tests for the robustness layer: errors, policies, fault plans,
+EM guards, and degenerate collector inputs."""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro import FCMSketch
+from repro.controlplane import SketchCollector
+from repro.core.em import EMEstimator
+from repro.core.virtual import convert_sketch
+from repro.errors import (
+    CollectionTimeoutError,
+    EMDivergenceError,
+    FaultPlanError,
+    InvalidWindowError,
+    MeasurementError,
+    SketchMemoryError,
+    SwitchUnreachableError,
+    TopologyError,
+)
+from repro.network import SimulatedSwitch, switch_seed
+from repro.robustness import (
+    CircuitBreaker,
+    CollectionHealth,
+    CollectionPolicy,
+    DegradationLevel,
+    EMGuardConfig,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    guarded_em_run,
+    guarded_estimate_distribution,
+    stable_digest,
+)
+from repro.traffic import Trace, zipf_trace
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_measurement_error(self):
+        for exc in (SketchMemoryError("x"), TopologyError("x"),
+                    InvalidWindowError("x"), FaultPlanError("x"),
+                    SwitchUnreachableError("s"),
+                    CollectionTimeoutError("s", 2.0, 1.0),
+                    EMDivergenceError(3, "nan")):
+            assert isinstance(exc, MeasurementError)
+
+    def test_validation_errors_stay_value_errors(self):
+        # Pre-existing call sites catch ValueError; keep that working.
+        for exc_type in (SketchMemoryError, TopologyError,
+                         InvalidWindowError, FaultPlanError):
+            assert issubclass(exc_type, ValueError)
+
+    def test_fault_errors_carry_context(self):
+        err = CollectionTimeoutError("leaf0", 5.0, 1.0)
+        assert err.switch == "leaf0"
+        assert err.elapsed == 5.0 and err.timeout == 1.0
+        assert "leaf0" in str(err)
+
+
+class TestStableSeeds:
+    def test_switch_seed_is_crc32(self):
+        assert switch_seed("leaf0") == zlib.crc32(b"leaf0") % (1 << 31)
+
+    def test_default_sketch_uses_stable_seed(self):
+        switch = SimulatedSwitch("spine1", memory_bytes=16 * 1024)
+        assert switch.sketch.config.seed == switch_seed("spine1")
+
+    def test_distinct_switches_get_distinct_seeds(self):
+        names = [f"leaf{i}" for i in range(8)] + [f"spine{i}" for i in range(4)]
+        seeds = {switch_seed(n) for n in names}
+        assert len(seeds) == len(names)
+
+    def test_stable_digest_mixes_context(self):
+        assert stable_digest("a", 1) != stable_digest("a", 2)
+        assert stable_digest("a", 1) == stable_digest("a", 1)
+
+
+class TestSwitchLiveness:
+    def test_dead_switch_refuses_queries(self):
+        switch = SimulatedSwitch("leaf0", memory_bytes=16 * 1024)
+        switch.forward(np.array([1, 2, 3], dtype=np.uint64))
+        switch.fail()
+        with pytest.raises(SwitchUnreachableError):
+            switch.flow_size(1)
+        with pytest.raises(SwitchUnreachableError):
+            switch.forward(np.array([4], dtype=np.uint64))
+        switch.recover()
+        assert switch.flow_size(1) >= 1  # state survived the outage
+
+    def test_rotate_returns_window_sketch(self):
+        switch = SimulatedSwitch("leaf0", memory_bytes=16 * 1024)
+        switch.forward(np.array([7, 7, 7], dtype=np.uint64))
+        drained = switch.rotate()
+        assert drained.query(7) >= 3
+        assert switch.sketch.query(7) == 0
+        assert switch.sketch.config.seed == drained.config.seed
+
+    def test_rotate_without_factory_raises(self):
+        custom = FCMSketch.with_memory(8 * 1024)
+        switch = SimulatedSwitch("leaf0", sketch=custom)
+        with pytest.raises(SwitchUnreachableError):
+            switch.rotate()
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, factor=2.0,
+                             max_delay=0.3)
+        assert list(policy.backoffs()) == [0.0, 0.1, 0.2, 0.3]
+        assert policy.total_backoff == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(FaultPlanError):
+            CollectionPolicy(timeout=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_cools_down(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=3)
+        assert breaker.allows("s", 0)
+        breaker.record_failure("s", 0)
+        assert breaker.allows("s", 1)
+        breaker.record_failure("s", 1)
+        # Open: skip windows 2..4, probe again at 5.
+        for window in (2, 3, 4):
+            assert not breaker.allows("s", window)
+        assert breaker.allows("s", 5)
+
+    def test_success_closes(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=2)
+        breaker.record_failure("s", 0)
+        breaker.record_success("s")
+        breaker.record_failure("s", 1)
+        assert breaker.allows("s", 2)  # streak was reset
+
+    def test_disabled_breaker_always_allows(self):
+        breaker = CircuitBreaker(threshold=0, cooldown=5)
+        for window in range(5):
+            breaker.record_failure("s", window)
+            assert breaker.allows("s", window + 1)
+
+
+class TestCollectionHealth:
+    def test_fresh_is_healthy_and_full(self):
+        health = CollectionHealth.fresh(0, ["a", "b"])
+        assert health.healthy
+        assert health.degradation is DegradationLevel.FULL
+
+    def test_degradation_from_coverage(self):
+        health = CollectionHealth(window_index=0, switches_total=4,
+                                  switches_reached=["a"],
+                                  switches_failed={"b": "down", "c": "down",
+                                                   "d": "down"})
+        assert not health.healthy
+        assert health.degradation is DegradationLevel.CRITICAL
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan().lossy_link("a", "b", 1.5)
+        with pytest.raises(FaultPlanError):
+            FaultPlan().flip_bits("a", num_flips=0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan().stall_collection("a", delay=-1.0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan().kill_switch("a", start_window=5, end_window=2)
+        with pytest.raises(FaultPlanError):
+            FaultPlan().kill_switch("a", start_window=-1)
+
+    def test_window_ranges(self):
+        plan = FaultPlan().kill_switch("s", start_window=2, end_window=4)
+        assert plan.dead_switches(1) == frozenset()
+        assert plan.dead_switches(2) == {"s"}
+        assert plan.dead_switches(3) == {"s"}
+        assert plan.dead_switches(4) == frozenset()
+
+    def test_permanent_failure(self):
+        plan = FaultPlan().kill_switch("s")
+        assert "s" in plan.dead_switches(10_000)
+
+    def test_link_loss_composes_and_normalizes_direction(self):
+        plan = (FaultPlan().lossy_link("b", "a", 0.5)
+                .lossy_link("a", "b", 0.5))
+        assert plan.link_drop_fraction(("a", "b"), 0) == pytest.approx(0.75)
+
+    def test_stall_clears_after_fail_attempts(self):
+        plan = FaultPlan().stall_collection("s", delay=9.0, fail_attempts=2)
+        assert plan.collection_delay("s", 0, 0) == 9.0
+        assert plan.collection_delay("s", 0, 1) == 9.0
+        assert plan.collection_delay("s", 0, 2) == 0.0
+
+    def test_rng_is_deterministic_per_context(self):
+        plan = FaultPlan(seed=42)
+        a = plan.rng("link", "a", "b", 7, 0).integers(0, 1 << 30, 8)
+        b = plan.rng("link", "a", "b", 7, 0).integers(0, 1 << 30, 8)
+        c = plan.rng("link", "a", "b", 7, 1).integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_thin_count_deterministic_and_bounded(self):
+        injector = FaultInjector(FaultPlan(seed=1).lossy_link("a", "b", 0.4))
+        survived = injector.thin_count(("a", "b"), 99, 1000, 0)
+        assert survived == injector.thin_count(("a", "b"), 99, 1000, 0)
+        assert 0 <= survived <= 1000
+        # Unaffected link passes everything through.
+        assert injector.thin_count(("a", "c"), 99, 1000, 0) == 1000
+
+    def test_bit_flip_corrupts_counters_once_per_window(self):
+        plan = FaultPlan(seed=5).flip_bits("leaf0", num_flips=3, max_bit=8)
+        injector = FaultInjector(plan)
+        switch = SimulatedSwitch("leaf0", memory_bytes=16 * 1024)
+        switch.forward(np.arange(100, dtype=np.uint64))
+        before = [t.leaf_totals.copy() for t in switch.sketch.trees]
+        assert injector.corrupt_switch(switch, 0) == 3
+        after = [t.leaf_totals for t in switch.sketch.trees]
+        assert any(not np.array_equal(b, a) for b, a in zip(before, after))
+        # Second application in the same window is a no-op.
+        assert injector.corrupt_switch(switch, 0) == 0
+
+
+class TestEMGuards:
+    @pytest.fixture()
+    def sketch(self):
+        sketch = FCMSketch.with_memory(16 * 1024, seed=3)
+        sketch.ingest(zipf_trace(5_000, alpha=1.3, seed=9).keys)
+        return sketch
+
+    def test_clean_run_does_not_fall_back(self, sketch):
+        outcome = guarded_estimate_distribution(sketch, iterations=3)
+        assert not outcome.fell_back
+        assert outcome.reason is None
+        assert np.all(np.isfinite(outcome.result.size_counts))
+        assert outcome.result.total_flows > 0
+
+    def test_nan_triggers_histogram_fallback(self, sketch):
+        estimator = EMEstimator(convert_sketch(sketch))
+        estimator._iterate = \
+            lambda n_j, executor=None: np.full_like(n_j, np.nan)
+        outcome = guarded_em_run(estimator)
+        assert outcome.fell_back
+        assert "non-finite" in outcome.reason
+        assert outcome.result.iterations == 0  # pre-EM histogram
+        assert np.all(np.isfinite(outcome.result.size_counts))
+        assert outcome.result.total_flows > 0
+
+    def test_runaway_mass_triggers_fallback(self, sketch):
+        estimator = EMEstimator(convert_sketch(sketch))
+        estimator._iterate = \
+            lambda n_j, executor=None: n_j * 1e6 + 1.0
+        outcome = guarded_em_run(
+            estimator, guard=EMGuardConfig(divergence_factor=10.0))
+        assert outcome.fell_back
+        assert "outside" in outcome.reason
+
+    def test_iteration_cap(self, sketch):
+        estimator = EMEstimator(convert_sketch(sketch))
+        outcome = guarded_em_run(estimator,
+                                 guard=EMGuardConfig(max_iterations=2),
+                                 iterations=50)
+        assert not outcome.fell_back
+        assert outcome.result.iterations == 2
+
+    def test_convergence_tolerance_stops_early(self, sketch):
+        from repro.core.em import EMConfig
+        estimator = EMEstimator(convert_sketch(sketch),
+                                config=EMConfig(max_iterations=30,
+                                                convergence_tol=0.5))
+        result = estimator.run()
+        assert result.converged
+        assert result.iterations < 30
+
+
+class TestCollectorGuards:
+    def _factory(self):
+        return lambda: FCMSketch.with_memory(16 * 1024, seed=1)
+
+    def test_rejects_nonpositive_windows(self):
+        collector = SketchCollector(self._factory())
+        trace = Trace(np.arange(10, dtype=np.uint64))
+        for bad in (0, -2):
+            with pytest.raises(InvalidWindowError):
+                collector.process(trace, num_windows=bad)
+            with pytest.raises(ValueError):  # back-compat contract
+                collector.process(trace, num_windows=bad)
+
+    def test_empty_trace_yields_empty_healthy_reports(self):
+        collector = SketchCollector(self._factory(), run_em=True)
+        reports = collector.process(
+            Trace(np.array([], dtype=np.uint64)), num_windows=3)
+        assert len(reports) == 3
+        for report in reports:
+            assert report.total_packets == 0
+            assert report.cardinality_estimate == 0.0
+            assert report.distribution is None  # EM never ran
+            assert report.healthy
+
+    def test_more_windows_than_packets(self):
+        collector = SketchCollector(self._factory())
+        trace = Trace(np.array([5, 5], dtype=np.uint64))
+        reports = collector.process(trace, num_windows=4)
+        assert len(reports) == 4
+        assert sum(r.total_packets for r in reports) == 2
+        assert all(r.healthy for r in reports)
+
+    def test_nonempty_windows_report_health(self):
+        collector = SketchCollector(self._factory())
+        trace = Trace(np.arange(1000, dtype=np.uint64))
+        reports = collector.process(trace, num_windows=2)
+        assert all(r.health is not None and r.health.healthy
+                   for r in reports)
