@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench report examples clean
+.PHONY: install test chaos bench bench-baseline report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,15 @@ bench:
 
 bench-fast:
 	REPRO_BENCH_PACKETS=100000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the committed perf baseline (BENCH_throughput.json):
+# per-sketch ingest/query throughput, telemetry-hook overhead and the
+# control-plane EM runtime.
+bench-baseline:
+	PYTHONHASHSEED=0 $(PYTHON) -m benchmarks.baseline
+
+bench-baseline-validate:
+	$(PYTHON) -m benchmarks.baseline --validate
 
 report:
 	$(PYTHON) -m benchmarks.report

@@ -30,6 +30,12 @@ from repro.robustness import (
     FaultInjector,
     FaultPlan,
 )
+from repro.telemetry import (
+    MemoryExporter,
+    MetricsRegistry,
+    NDJSONExporter,
+    TelemetryEvent,
+)
 from repro.traffic import Trace, caida_like_trace, zipf_trace
 
 __version__ = "1.0.0"
@@ -55,5 +61,9 @@ __all__ = [
     "CollectionHealth",
     "DegradationLevel",
     "DegradedAnswer",
+    "MetricsRegistry",
+    "MemoryExporter",
+    "NDJSONExporter",
+    "TelemetryEvent",
     "__version__",
 ]

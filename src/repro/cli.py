@@ -31,6 +31,7 @@ from repro.metrics import (
     relative_error,
     weighted_mean_relative_error,
 )
+from repro.telemetry import MetricsRegistry, NDJSONExporter
 from repro.traffic import caida_like_trace, zipf_trace
 
 
@@ -40,7 +41,7 @@ def _build_trace(args):
     return zipf_trace(args.packets, alpha=args.alpha, seed=args.seed)
 
 
-def _build_sketch(name: str, memory: int, seed: int):
+def _build_sketch(name: str, memory: int, seed: int, telemetry=None):
     from repro.sketches import (
         CountMinSketch,
         CUSketch,
@@ -50,8 +51,10 @@ def _build_sketch(name: str, memory: int, seed: int):
     )
 
     factories = {
-        "fcm": lambda: FCMSketch.with_memory(memory, seed=seed),
-        "fcm-topk": lambda: FCMTopK(memory, k=16, seed=seed),
+        "fcm": lambda: FCMSketch.with_memory(memory, seed=seed,
+                                             telemetry=telemetry),
+        "fcm-topk": lambda: FCMTopK(memory, k=16, seed=seed,
+                                    telemetry=telemetry),
         "cm": lambda: CountMinSketch(memory, seed=seed),
         "cu": lambda: CUSketch(memory, seed=seed),
         "pcm": lambda: PyramidCMSketch(memory, seed=seed),
@@ -64,7 +67,27 @@ def _build_sketch(name: str, memory: int, seed: int):
     return factories[name]()
 
 
-def _evaluate(sketch, trace, em_iterations: int) -> dict:
+def _open_telemetry(args):
+    """Build (registry, exporter) for ``--telemetry-out``, or Nones."""
+    path = getattr(args, "telemetry_out", None)
+    if not path:
+        return None, None
+    exporter = NDJSONExporter(path)
+    return MetricsRegistry(exporter=exporter), exporter
+
+
+def _close_telemetry(telemetry, exporter) -> None:
+    if telemetry is None:
+        return
+    # Timer histograms hold wall-clock time; leaving them out keeps
+    # the exported stream byte-identical across seeded runs.
+    telemetry.emit("summary", "run.metrics",
+                   **telemetry.snapshot(include_timers=False))
+    exporter.close()
+    print(f"telemetry: {exporter.events_written} events -> {exporter.path}")
+
+
+def _evaluate(sketch, trace, em_iterations: int, telemetry=None) -> dict:
     gt = trace.ground_truth
     report: dict = {}
     if hasattr(sketch, "query_many"):
@@ -83,7 +106,8 @@ def _evaluate(sketch, trace, em_iterations: int) -> dict:
         )
     result = None
     if isinstance(sketch, (FCMSketch, FCMTopK)):
-        result = estimate_distribution(sketch, iterations=em_iterations)
+        result = estimate_distribution(sketch, iterations=em_iterations,
+                                       telemetry=telemetry)
     elif hasattr(sketch, "estimate_distribution"):
         result = sketch.estimate_distribution(iterations=em_iterations)
     if result is not None:
@@ -96,19 +120,25 @@ def _evaluate(sketch, trace, em_iterations: int) -> dict:
 
 def cmd_evaluate(args) -> int:
     trace = _build_trace(args)
-    sketch = _build_sketch(args.sketch, args.memory_kb * 1024, args.seed)
+    telemetry, exporter = _open_telemetry(args)
+    sketch = _build_sketch(args.sketch, args.memory_kb * 1024, args.seed,
+                           telemetry=telemetry)
     sketch.ingest(trace.keys)
     print(f"workload: {len(trace)} packets, "
           f"{trace.num_flows} flows ({trace.name})")
     print(f"sketch:   {args.sketch} @ {args.memory_kb} KB")
-    for metric, value in _evaluate(sketch, trace,
-                                   args.em_iterations).items():
+    for metric, value in _evaluate(sketch, trace, args.em_iterations,
+                                   telemetry=telemetry).items():
         print(f"  {metric:<15} {value:.6f}")
+    if telemetry is not None and hasattr(sketch, "emit_state"):
+        sketch.emit_state()
+    _close_telemetry(telemetry, exporter)
     return 0
 
 
 def cmd_compare(args) -> int:
     trace = _build_trace(args)
+    telemetry, exporter = _open_telemetry(args)
     print(f"workload: {len(trace)} packets, {trace.num_flows} flows")
     header = (f"{'sketch':<10} {'ARE':>9} {'AAE':>9} {'HH F1':>7} "
               f"{'card RE':>9}")
@@ -116,15 +146,17 @@ def cmd_compare(args) -> int:
     print("-" * len(header))
     for name in args.sketches.split(","):
         sketch = _build_sketch(name.strip(), args.memory_kb * 1024,
-                               args.seed)
+                               args.seed, telemetry=telemetry)
         sketch.ingest(trace.keys)
-        report = _evaluate(sketch, trace, em_iterations=0)
+        report = _evaluate(sketch, trace, em_iterations=0,
+                           telemetry=telemetry)
 
         def cell(key: str) -> str:
             return f"{report[key]:.4f}" if key in report else "-"
 
         print(f"{name:<10} {cell('are'):>9} {cell('aae'):>9} "
               f"{cell('hh_f1'):>7} {cell('cardinality_re'):>9}")
+    _close_telemetry(telemetry, exporter)
     return 0
 
 
@@ -157,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Zipf skew (zipf workload only)")
         p.add_argument("--memory-kb", type=int, default=64)
         p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--telemetry-out", default=None, metavar="PATH",
+                       help="write an NDJSON telemetry event stream to "
+                            "PATH (disabled by default)")
 
     p_eval = sub.add_parser("evaluate", help="evaluate one sketch")
     add_workload_args(p_eval)

@@ -39,6 +39,7 @@ from repro.robustness.policy import (
     CollectionHealth,
     CollectionPolicy,
 )
+from repro.telemetry import MetricsRegistry
 from repro.traffic.trace import Trace
 
 
@@ -84,18 +85,23 @@ class SketchCollector:
         em_guard: when set, EM runs under divergence guards and falls
             back to the pre-EM histogram instead of serving NaNs (the
             fallback is counted in ``report.health.em_fallbacks``).
+        telemetry: optional metrics registry; the collector counts
+            windows/packets, forwards the registry to EM, and emits one
+            ``window`` event per report (health fields included).
     """
 
     def __init__(self, sketch_factory: Callable[[], object],
                  em_config: Optional[EMConfig] = None,
                  run_em: bool = False,
                  change_threshold: Optional[int] = None,
-                 em_guard: Optional[EMGuardConfig] = None):
+                 em_guard: Optional[EMGuardConfig] = None,
+                 telemetry: Optional[MetricsRegistry] = None):
         self.sketch_factory = sketch_factory
         self.em_config = em_config
         self.run_em = run_em
         self.change_threshold = change_threshold
         self.em_guard = em_guard
+        self.telemetry = telemetry
         self.sketches: List[object] = []
 
     def process(self, trace: Trace, num_windows: int) -> List[WindowReport]:
@@ -117,6 +123,7 @@ class SketchCollector:
                 reports.append(WindowReport(
                     window_index=index, total_packets=0,
                     cardinality_estimate=0.0, health=health))
+                self._record_window(reports[-1])
                 continue
             sketch = self.sketch_factory()
             sketch.ingest(window.keys)
@@ -140,13 +147,36 @@ class SketchCollector:
             previous_sketch = sketch
             previous_keys = window.ground_truth.keys_array()
             reports.append(report)
+            self._record_window(report)
         return reports
+
+    def _record_window(self, report: WindowReport) -> None:
+        t = self.telemetry
+        if t is None:
+            return
+        t.inc("collector.windows")
+        t.inc("collector.packets", report.total_packets)
+        if report.heavy_changes:
+            t.inc("collector.heavy_changes", len(report.heavy_changes))
+        fields = dict(
+            packets=report.total_packets,
+            cardinality=report.cardinality_estimate,
+            heavy_changes=len(report.heavy_changes),
+        )
+        if report.distribution is not None:
+            fields["em_iterations"] = report.distribution.iterations
+            fields["em_converged"] = report.distribution.converged
+        if report.health is not None:
+            fields.update(report.health.event_fields())
+        t.emit("window", "collector.window", **fields)
 
     def _estimate(self, sketch, health: CollectionHealth) -> EMResult:
         if self.em_guard is None:
-            return estimate_distribution(sketch, config=self.em_config)
+            return estimate_distribution(sketch, config=self.em_config,
+                                         telemetry=self.telemetry)
         outcome = guarded_estimate_distribution(
-            sketch, config=self.em_config, guard=self.em_guard)
+            sketch, config=self.em_config, guard=self.em_guard,
+            telemetry=self.telemetry)
         if outcome.fell_back:
             health.em_fallbacks += 1
         return outcome.result
@@ -175,6 +205,8 @@ class NetworkSketchCollector:
         em_config / em_guard: EM options for that estimate.
         em_switch: vantage point for the distribution estimate
             (default: the first leaf).
+        telemetry: optional metrics registry; drains, retries, skips
+            and per-window health are counted and emitted as events.
     """
 
     def __init__(self, simulator,
@@ -182,7 +214,8 @@ class NetworkSketchCollector:
                  run_em: bool = False,
                  em_config: Optional[EMConfig] = None,
                  em_guard: Optional[EMGuardConfig] = None,
-                 em_switch: Optional[str] = None):
+                 em_switch: Optional[str] = None,
+                 telemetry: Optional[MetricsRegistry] = None):
         self.simulator = simulator
         self.policy = policy if policy is not None else CollectionPolicy()
         self.run_em = run_em
@@ -190,6 +223,7 @@ class NetworkSketchCollector:
         self.em_guard = em_guard if em_guard is not None else EMGuardConfig()
         self.em_switch = em_switch if em_switch is not None \
             else simulator.leaves[0]
+        self.telemetry = telemetry
         self.breaker = CircuitBreaker(self.policy.breaker_threshold,
                                       self.policy.breaker_cooldown)
         self._last_success: Dict[str, int] = {}
@@ -243,10 +277,29 @@ class NetworkSketchCollector:
                 and len(window) > 0:
             outcome = guarded_estimate_distribution(
                 collected[self.em_switch], config=self.em_config,
-                guard=self.em_guard)
+                guard=self.em_guard, telemetry=self.telemetry)
             if outcome.fell_back:
                 health.em_fallbacks += 1
             report.distribution = outcome.result
+        t = self.telemetry
+        if t is not None:
+            t.inc("collector.windows")
+            t.inc("collector.packets", report.total_packets)
+            t.inc("collector.drains_ok", len(health.switches_reached))
+            t.inc("collector.drains_failed", len(health.switches_failed))
+            t.inc("collector.drains_skipped", len(health.switches_skipped))
+            t.inc("collector.retries", health.retries)
+            t.inc("collector.packets_dropped", health.packets_dropped)
+            t.observe("collector.backoff_seconds", health.backoff_seconds)
+            t.set_gauge("collector.last_degradation",
+                        float(health.degradation.value))
+            fields = dict(packets=report.total_packets,
+                          cardinality=report.cardinality_estimate)
+            if report.distribution is not None:
+                fields["em_iterations"] = report.distribution.iterations
+                fields["em_converged"] = report.distribution.converged
+            fields.update(health.event_fields())
+            t.emit("window", "collector.network_window", **fields)
         return report
 
     def _drain_switch(self, name: str, window: int,

@@ -19,6 +19,7 @@ from repro.core.em import EMConfig, EMEstimator, EMResult
 from repro.core.fcm import FCMSketch
 from repro.core.topk import FCMTopK
 from repro.core.virtual import convert_sketch
+from repro.telemetry import MetricsRegistry
 
 Measurable = Union[FCMSketch, FCMTopK]
 
@@ -26,7 +27,9 @@ Measurable = Union[FCMSketch, FCMTopK]
 def estimate_distribution(sketch: Measurable,
                           config: Optional[EMConfig] = None,
                           iterations: Optional[int] = None,
-                          callback=None) -> EMResult:
+                          callback=None,
+                          telemetry: Optional[MetricsRegistry] = None,
+                          ) -> EMResult:
     """Estimate the flow-size distribution from a data-plane sketch.
 
     Args:
@@ -34,13 +37,16 @@ def estimate_distribution(sketch: Measurable,
         config: EM options (defaults follow §4.3's heuristics).
         iterations: overrides ``config.max_iterations``.
         callback: per-iteration hook ``callback(iteration, size_counts)``.
+        telemetry: optional metrics registry; the estimator records
+            iteration counts, convergence and runtime into it.
 
     Returns:
         An :class:`EMResult`; for FCM+TopK the resident heavy flows are
         added to the EM output as exact single flows.
     """
     if isinstance(sketch, FCMTopK):
-        base = EMEstimator(convert_sketch(sketch.fcm), config=config)
+        base = EMEstimator(convert_sketch(sketch.fcm), config=config,
+                           telemetry=telemetry)
         result = base.run(iterations=iterations, callback=callback)
         heavy_sizes = []
         for key, _, _ in sketch.topk.entries():
@@ -54,6 +60,7 @@ def estimate_distribution(sketch: Measurable,
             counts[size] += 1.0
         return EMResult(size_counts=counts, iterations=result.iterations)
     if isinstance(sketch, FCMSketch):
-        estimator = EMEstimator(convert_sketch(sketch), config=config)
+        estimator = EMEstimator(convert_sketch(sketch), config=config,
+                                telemetry=telemetry)
         return estimator.run(iterations=iterations, callback=callback)
     raise TypeError(f"unsupported sketch type: {type(sketch).__name__}")

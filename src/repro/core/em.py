@@ -43,6 +43,7 @@ import numpy as np
 from scipy.special import gammaln
 
 from repro.core.virtual import VirtualCounterArray
+from repro.telemetry import MetricsRegistry
 
 Combination = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
@@ -332,6 +333,16 @@ class _Group:
                   self.multiplicity * weights[self.combo_ids] * self.mults)
 
 
+class _null_context:
+    """Stand-in timer when no telemetry registry is attached."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
 @dataclass
 class _TreeWork:
     """Precomputed E-step inputs for one tree."""
@@ -375,11 +386,13 @@ class EMEstimator:
     """
 
     def __init__(self, arrays: Sequence[VirtualCounterArray],
-                 config: Optional[EMConfig] = None):
+                 config: Optional[EMConfig] = None,
+                 telemetry: Optional[MetricsRegistry] = None):
         if not arrays:
             raise ValueError("need at least one virtual counter array")
         self.arrays = list(arrays)
         self.config = config if config is not None else EMConfig()
+        self.telemetry = telemetry
         self._max_size = max((a.max_value for a in self.arrays), default=1)
         self._size = max(self._max_size + 1, 2)
         self._work = [self._prepare_tree(a) for a in self.arrays]
@@ -467,29 +480,51 @@ class EMEstimator:
         num_iters = iterations if iterations is not None \
             else self.config.max_iterations
         tol = self.config.convergence_tol
+        telemetry = self.telemetry
         n_j = self.initial_guess()
         executor = None
         if self.config.workers > 1:
             executor = ProcessPoolExecutor(max_workers=self.config.workers)
         performed = 0
         converged = tol <= 0
+        rel_change = 0.0
+        timer = (telemetry.timer("em.runtime_seconds")
+                 if telemetry is not None else _null_context())
         try:
-            for it in range(num_iters):
-                previous = n_j
-                n_j = self._iterate(n_j, executor)
-                performed = it + 1
-                if callback is not None:
-                    callback(it + 1, n_j.copy())
-                if tol > 0:
-                    denom = max(float(np.abs(previous).sum()), 1e-12)
-                    if float(np.abs(n_j - previous).sum()) / denom < tol:
+            with timer:
+                for it in range(num_iters):
+                    previous = n_j
+                    n_j = self._iterate(n_j, executor)
+                    performed = it + 1
+                    if callback is not None:
+                        callback(it + 1, n_j.copy())
+                    if tol > 0 or telemetry is not None:
+                        denom = max(float(np.abs(previous).sum()), 1e-12)
+                        rel_change = (float(np.abs(n_j - previous).sum())
+                                      / denom)
+                    if telemetry is not None:
+                        telemetry.inc("em.iterations")
+                        telemetry.observe("em.iteration_rel_change",
+                                          rel_change)
+                        telemetry.emit("em", "em.iteration",
+                                       iteration=performed,
+                                       rel_change=rel_change)
+                    if tol > 0 and rel_change < tol:
                         converged = True
                         break
         finally:
             if executor is not None:
                 executor.shutdown()
-        return EMResult(size_counts=n_j, iterations=performed,
-                        converged=converged)
+        result = EMResult(size_counts=n_j, iterations=performed,
+                          converged=converged)
+        if telemetry is not None:
+            telemetry.inc("em.runs")
+            telemetry.set_gauge("em.converged", 1.0 if converged else 0.0)
+            telemetry.observe("em.iterations_per_run", performed)
+            telemetry.emit("em", "em.run", iterations=performed,
+                           converged=converged, rel_change=rel_change,
+                           total_flows=result.total_flows)
+        return result
 
     def _iterate(self, n_j: np.ndarray, executor=None) -> np.ndarray:
         with np.errstate(divide="ignore"):

@@ -12,7 +12,7 @@ over the per-tree estimates.  Data-plane queries supported at line-rate
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.core.tree import FCMTree
 from repro.hashing.family import hash_families
 from repro.sketches.base import FrequencySketch
 from repro.sketches.linear_counting import linear_counting_estimate
+from repro.telemetry import MetricsRegistry
 
 
 class FCMSketch(FrequencySketch):
@@ -36,7 +37,9 @@ class FCMSketch(FrequencySketch):
         3
     """
 
-    def __init__(self, config: FCMConfig):
+    def __init__(self, config: FCMConfig,
+                 telemetry: Optional[MetricsRegistry] = None,
+                 name: str = "fcm"):
         if not config.stage_widths:
             raise ValueError("config must have stage widths; "
                              "use FCMConfig.with_memory() or "
@@ -46,16 +49,20 @@ class FCMSketch(FrequencySketch):
         self.trees: List[FCMTree] = [
             FCMTree(config, family) for family in families
         ]
+        self._telemetry = telemetry
+        self._tname = name
 
     @classmethod
     def with_memory(cls, memory_bytes: int, num_trees: int = 2, k: int = 8,
                     stage_bits: tuple = (8, 16, 32),
-                    seed: int = 0) -> "FCMSketch":
+                    seed: int = 0,
+                    telemetry: Optional[MetricsRegistry] = None,
+                    name: str = "fcm") -> "FCMSketch":
         """Build an FCM-Sketch sized to a total memory budget."""
         config = FCMConfig(
             num_trees=num_trees, k=k, stage_bits=tuple(stage_bits), seed=seed
         ).with_memory(memory_bytes)
-        return cls(config)
+        return cls(config, telemetry=telemetry, name=name)
 
     @property
     def memory_bytes(self) -> int:
@@ -73,12 +80,22 @@ class FCMSketch(FrequencySketch):
         """Record ``count`` packets of flow ``key`` in every tree."""
         for tree in self.trees:
             tree.update(key, count)
+        t = self._telemetry
+        if t is not None:
+            t.inc(f"{self._tname}.ingest.packets", count)
 
     def ingest(self, keys: np.ndarray) -> None:
         """Bulk-load a packet stream (vectorized per tree)."""
         keys = np.asarray(keys, dtype=np.uint64)
         for tree in self.trees:
             tree.ingest(keys)
+        t = self._telemetry
+        if t is not None:
+            t.inc(f"{self._tname}.ingest.calls")
+            t.inc(f"{self._tname}.ingest.packets", int(keys.size))
+            t.emit("sketch", f"{self._tname}.ingest",
+                   packets=int(keys.size),
+                   total_packets=self.total_packets)
 
     def ingest_weighted(self, keys: np.ndarray,
                         weights: np.ndarray) -> None:
@@ -86,6 +103,11 @@ class FCMSketch(FrequencySketch):
         keys = np.asarray(keys, dtype=np.uint64)
         for tree in self.trees:
             tree.ingest(keys, weights=weights)
+        t = self._telemetry
+        if t is not None:
+            t.inc(f"{self._tname}.ingest.calls")
+            t.inc(f"{self._tname}.ingest.packets",
+                  int(np.asarray(weights).sum()))
 
     def merge(self, other: "FCMSketch") -> None:
         """Merge another identically-configured sketch's traffic.
@@ -100,6 +122,9 @@ class FCMSketch(FrequencySketch):
                              "configurations")
         for mine, theirs in zip(self.trees, other.trees):
             mine.merge_from(theirs)
+        t = self._telemetry
+        if t is not None:
+            t.inc(f"{self._tname}.merges")
 
     # ------------------------------------------------------------------
     # data-plane queries (§3.3)
@@ -107,11 +132,18 @@ class FCMSketch(FrequencySketch):
 
     def query(self, key: int) -> int:
         """Flow-size estimate: minimum count-query over the trees."""
+        t = self._telemetry
+        if t is not None:
+            t.inc(f"{self._tname}.query.keys")
         return min(tree.query(key) for tree in self.trees)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
         keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
                           else keys, dtype=np.uint64)
+        t = self._telemetry
+        if t is not None:
+            t.inc(f"{self._tname}.query.calls")
+            t.inc(f"{self._tname}.query.keys", int(keys.size))
         estimate = self.trees[0].query_many(keys)
         for tree in self.trees[1:]:
             np.minimum(estimate, tree.query_many(keys), out=estimate)
@@ -146,3 +178,59 @@ class FCMSketch(FrequencySketch):
     def total_packets(self) -> int:
         """Total increments seen (identical across trees)."""
         return self.trees[0].total_increments
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry: Optional[MetricsRegistry],
+                         name: Optional[str] = None) -> "FCMSketch":
+        """Attach (or detach, with ``None``) a metrics registry."""
+        self._telemetry = telemetry
+        if name is not None:
+            self._tname = name
+        return self
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """Structural health of the sketch, straight from the trees.
+
+        Per tree: per-stage occupancy fractions, per-stage counts of
+        sentinel (overflowed/saturated) nodes, and empty stage-1
+        leaves.  This is what :meth:`emit_state` publishes; it is also
+        usable without any telemetry attached.
+        """
+        return {
+            "total_packets": self.total_packets,
+            "trees": [
+                {
+                    "occupancy": tree.occupancy(),
+                    "overflows": tree.overflow_counts(),
+                    "empty_leaves": tree.empty_leaves,
+                }
+                for tree in self.trees
+            ],
+        }
+
+    def emit_state(self) -> Dict[str, object]:
+        """Publish :meth:`state_snapshot` as gauges plus one event.
+
+        Gauge names follow ``<name>.tree<i>.stage<s>.occupancy`` /
+        ``.overflows``; the event carries the full nested snapshot.
+        Returns the snapshot either way.
+        """
+        state = self.state_snapshot()
+        t = self._telemetry
+        if t is not None:
+            for i, tree_state in enumerate(state["trees"]):
+                for s, (occ, ovf) in enumerate(zip(tree_state["occupancy"],
+                                                   tree_state["overflows"])):
+                    t.set_gauge(f"{self._tname}.tree{i}.stage{s + 1}"
+                                f".occupancy", occ)
+                    t.set_gauge(f"{self._tname}.tree{i}.stage{s + 1}"
+                                f".overflows", ovf)
+                t.set_gauge(f"{self._tname}.tree{i}.empty_leaves",
+                            tree_state["empty_leaves"])
+            t.set_gauge(f"{self._tname}.total_packets",
+                        state["total_packets"])
+            t.emit("sketch", f"{self._tname}.state", **state)
+        return state

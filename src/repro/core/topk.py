@@ -152,7 +152,8 @@ class FCMTopK(FrequencySketch):
                  stage_bits: tuple = (8, 16, 32),
                  topk_entries: int | None = None,
                  topk_levels: int = 1, lambda_ratio: int = 8,
-                 hardware: bool = False, seed: int = 0):
+                 hardware: bool = False, seed: int = 0,
+                 telemetry=None, name: str = "fcm_topk"):
         if topk_entries is None:
             # Paper default is 4K entries at MB-scale budgets; at smaller
             # budgets keep the filter to ~1/8 of total memory.
@@ -177,7 +178,8 @@ class FCMTopK(FrequencySketch):
         config = FCMConfig(
             num_trees=num_trees, k=k, stage_bits=tuple(stage_bits), seed=seed
         ).with_memory(sketch_budget)
-        self.fcm = FCMSketch(config)
+        self.fcm = FCMSketch(config, telemetry=telemetry,
+                             name=f"{name}.fcm")
         self.hardware = hardware
 
     @property

@@ -205,6 +205,24 @@ class FCMTree:
         """Number of stage-1 counters that never received an increment."""
         return int(np.count_nonzero(self._leaf_totals == 0))
 
+    def overflow_counts(self) -> List[int]:
+        """Per-stage number of nodes at their ``2^b - 1`` sentinel.
+
+        For interior stages the sentinel marks an overflowed node that
+        carried into its parent; for the last stage it marks hard
+        saturation (the only point where FCM can undercount).  These
+        are the saturation counters the telemetry layer publishes.
+        """
+        return [int(np.count_nonzero(values == sentinel))
+                for values, sentinel in zip(self.stage_values,
+                                            self.sentinels)]
+
+    def occupancy(self) -> List[float]:
+        """Per-stage fraction of non-zero nodes (stage-1 entry drives
+        the Linear-Counting cardinality estimate, §3.3)."""
+        return [float(np.count_nonzero(values)) / values.shape[0]
+                for values in self.stage_values]
+
     @property
     def leaf_totals(self) -> np.ndarray:
         """Per-leaf increment totals (read-only view, for diagnostics)."""

@@ -34,6 +34,7 @@ from repro.network.switch import SimulatedSwitch
 from repro.network.topology import ecmp_paths, leaf_switches
 from repro.robustness.degradation import DegradationLevel, DegradedAnswer
 from repro.robustness.faults import FaultInjector
+from repro.telemetry import MetricsRegistry
 from repro.traffic.trace import Trace
 
 PathSelector = Callable[[int, List[List[str]]], List[str]]
@@ -48,12 +49,15 @@ class NetworkSimulator:
         sketch_factory: optional ``(switch_name) -> sketch`` override.
         seed: hash seed for flow-to-leaf and ECMP assignment.
         fault_injector: optional chaos hook; see the module docstring.
+        telemetry: optional metrics registry; per-window packet/drop
+            counts and per-switch forwarding totals are recorded.
     """
 
     def __init__(self, graph: nx.Graph, memory_bytes: int = 64 * 1024,
                  sketch_factory: Optional[Callable[[str], object]] = None,
                  seed: int = 0,
-                 fault_injector: Optional[FaultInjector] = None):
+                 fault_injector: Optional[FaultInjector] = None,
+                 telemetry: Optional[MetricsRegistry] = None):
         self.graph = graph
         self.leaves = leaf_switches(graph)
         if len(self.leaves) < 2:
@@ -72,6 +76,7 @@ class NetworkSimulator:
         self.link_load: Dict[Tuple[str, str], int] = {}
         self._flow_paths: Dict[int, List[str]] = {}
         self.fault_injector = fault_injector
+        self.telemetry = telemetry
         self.current_window = 0
         self.packets_dropped = 0
         self.flows_dropped = 0
@@ -131,6 +136,8 @@ class NetworkSimulator:
             len(self.alive_switches()) < len(self.switches)
             or injector.plan.has_link_loss(window)
         )
+        drops_before = self.packets_dropped
+        flow_drops_before = self.flows_dropped
         gt = trace.ground_truth
         per_switch_keys: Dict[str, List[int]] = {n: [] for n in self.switches}
         per_switch_counts: Dict[str, List[int]] = {n: [] for n in self.switches}
@@ -158,6 +165,27 @@ class NetworkSimulator:
                 np.asarray(per_switch_counts[name], dtype=np.int64),
             )
         self._apply_corruption(window)
+        t = self.telemetry
+        if t is not None:
+            alive = self.alive_switches()
+            t.inc("network.windows_routed")
+            t.inc("network.packets_routed", len(trace))
+            t.inc("network.packets_dropped",
+                  self.packets_dropped - drops_before)
+            t.inc("network.flows_dropped",
+                  self.flows_dropped - flow_drops_before)
+            t.set_gauge("network.switches_alive", len(alive))
+            for name in sorted(self.switches):
+                t.set_gauge(f"network.switch.{name}.packets_forwarded",
+                            self.switches[name].packets_forwarded)
+            t.emit("network", "network.window",
+                   window=window,
+                   packets=len(trace),
+                   packets_dropped=self.packets_dropped - drops_before,
+                   flows_dropped=self.flows_dropped - flow_drops_before,
+                   switches_alive=len(alive),
+                   switches_total=len(self.switches),
+                   dead_switches=sorted(set(self.switches) - alive))
 
     def _route_flow_chaotic(self, key: int, count: int,
                             selector: Optional[PathSelector],

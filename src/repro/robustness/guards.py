@@ -122,13 +122,21 @@ def guarded_estimate_distribution(sketch,
                                   config: Optional[EMConfig] = None,
                                   guard: Optional[EMGuardConfig] = None,
                                   iterations: Optional[int] = None,
+                                  telemetry=None,
                                   ) -> GuardedEMOutcome:
     """Guarded counterpart of
     :func:`repro.controlplane.distribution.estimate_distribution`.
 
     Accepts an ``FCMSketch`` or ``FCMTopK`` (the residue FCM is used;
     resident Top-K flows are not re-added on the fallback path).
+    ``telemetry`` is forwarded to the estimator; a served fallback
+    additionally bumps the ``em.guard_fallbacks`` counter.
     """
     base = sketch.fcm if isinstance(sketch, FCMTopK) else sketch
-    estimator = EMEstimator(convert_sketch(base), config=config)
-    return guarded_em_run(estimator, guard=guard, iterations=iterations)
+    estimator = EMEstimator(convert_sketch(base), config=config,
+                            telemetry=telemetry)
+    outcome = guarded_em_run(estimator, guard=guard, iterations=iterations)
+    if telemetry is not None and outcome.fell_back:
+        telemetry.inc("em.guard_fallbacks")
+        telemetry.emit("em", "em.fallback", reason=outcome.reason)
+    return outcome

@@ -163,6 +163,29 @@ class CollectionHealth:
         return DegradationLevel.from_coverage(
             len(self.switches_reached), self.switches_total)
 
+    def event_fields(self) -> Dict[str, object]:
+        """Flat, JSON-friendly view for telemetry events.
+
+        The telemetry layer reuses this record as the per-window health
+        payload of both collectors; keys are stable and sorted-safe so
+        NDJSON streams stay byte-comparable across seeded runs.
+        """
+        return {
+            "window": self.window_index,
+            "switches_total": self.switches_total,
+            "switches_reached": len(self.switches_reached),
+            "switches_failed": sorted(self.switches_failed),
+            "switches_skipped": sorted(self.switches_skipped),
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "stale_switches": len(self.staleness),
+            "max_staleness": max(self.staleness.values(), default=0),
+            "packets_dropped": self.packets_dropped,
+            "em_fallbacks": self.em_fallbacks,
+            "healthy": self.healthy,
+            "degradation": self.degradation.name,
+        }
+
     @classmethod
     def fresh(cls, window_index: int,
               switches: Optional[List[str]] = None) -> "CollectionHealth":

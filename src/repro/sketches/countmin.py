@@ -45,6 +45,7 @@ class CountMinSketch(FrequencySketch):
         self._dtype = dtype[counter_bits]
         self._max_value = (1 << counter_bits) - 1
         self.counters = np.zeros((depth, self.width), dtype=np.int64)
+        self.seed = seed
         self._hashes: list[HashFamily] = hash_families(depth, base_seed=seed)
 
     @property
@@ -83,3 +84,12 @@ class CountMinSketch(FrequencySketch):
             idx = h.index(keys, self.width)
             np.minimum(estimates, self.counters[row, idx], out=estimates)
         return estimates
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Merge an identically-configured sketch (counters add)."""
+        if (self.depth, self.width, self.counter_bits, self.seed) != \
+                (other.depth, other.width, other.counter_bits, other.seed):
+            raise ValueError("cannot merge sketches with different "
+                             "configurations")
+        np.add(self.counters, other.counters, out=self.counters)
+        np.minimum(self.counters, self._max_value, out=self.counters)

@@ -36,6 +36,7 @@ class CountSketch(FrequencySketch):
         total = counters_for_budget(memory_bytes, bytes_per, minimum=depth)
         self.width = total // depth
         self.counters = np.zeros((depth, self.width), dtype=np.int64)
+        self.seed = seed
         self._index_hashes = hash_families(depth, base_seed=seed)
         self._sign_hashes = hash_families(depth, base_seed=seed + 7919)
 
@@ -81,6 +82,14 @@ class CountSketch(FrequencySketch):
             signs = self._sign_hashes[row].sign(keys)
             rows[row] = signs * self.counters[row, idx]
         return np.median(rows, axis=0).astype(np.int64)
+
+    def merge(self, other: "CountSketch") -> None:
+        """Merge an identically-configured sketch (counters add)."""
+        if (self.depth, self.width, self.counter_bits, self.seed) != \
+                (other.depth, other.width, other.counter_bits, other.seed):
+            raise ValueError("cannot merge sketches with different "
+                             "configurations")
+        np.add(self.counters, other.counters, out=self.counters)
 
     def l2_estimate(self) -> float:
         """Median-of-rows estimate of the stream's second moment (F2).

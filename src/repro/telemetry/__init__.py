@@ -1,0 +1,48 @@
+"""Telemetry: metrics registry + structured NDJSON event export.
+
+Every layer of the reproduction accepts an optional ``telemetry``
+argument (default ``None`` — instrumentation disabled, zero overhead
+beyond a branch per bulk operation):
+
+* data plane — :class:`~repro.core.fcm.FCMSketch` counts ingested
+  packets and queries, and :meth:`~repro.core.fcm.FCMSketch
+  .emit_state` publishes per-stage occupancy and overflow/saturation
+  gauges straight from the trees;
+* control plane — :class:`~repro.controlplane.collector
+  .SketchCollector` / :class:`~repro.controlplane.collector
+  .NetworkSketchCollector` emit one event per drained window
+  (reusing :class:`~repro.robustness.policy.CollectionHealth`), and
+  :class:`~repro.core.em.EMEstimator` reports iterations and
+  convergence;
+* network — :class:`~repro.network.simulator.NetworkSimulator` counts
+  routed/dropped packets and surviving switches per window.
+
+Event streams carry sequence numbers instead of timestamps, so runs
+with fixed seeds are byte-comparable — see :mod:`repro.telemetry
+.events`.  The observability quickstart lives in ``docs/API.md`` and
+``examples/telemetry_monitoring.py``.
+"""
+
+from repro.telemetry.events import (
+    MemoryExporter,
+    NDJSONExporter,
+    TelemetryEvent,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MemoryExporter",
+    "MetricsRegistry",
+    "NDJSONExporter",
+    "TelemetryEvent",
+    "Timer",
+]

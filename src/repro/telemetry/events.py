@@ -1,0 +1,139 @@
+"""Structured telemetry events and their exporters.
+
+Instrumented components emit :class:`TelemetryEvent` records through the
+:class:`~repro.telemetry.registry.MetricsRegistry` they were given.  An
+event is a flat, JSON-serializable mapping plus a monotonically
+increasing sequence number — deliberately *without* a wall-clock
+timestamp, so that two runs with the same seeds produce byte-identical
+event streams (the property the telemetry tests pin down).  Callers who
+want timestamps can stamp them downstream of the exporter.
+
+Two exporters ship with the library:
+
+* :class:`MemoryExporter` — collects events in a list (tests, examples).
+* :class:`NDJSONExporter` — one JSON object per line with sorted keys,
+  to a path or an open stream; the standard interchange format for the
+  observability quickstart and the CLI's ``--telemetry-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "TelemetryEvent",
+    "MemoryExporter",
+    "NDJSONExporter",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured telemetry record.
+
+    Attributes:
+        seq: per-registry monotonic sequence number (0-based).
+        kind: event category (``"sketch"``, ``"em"``, ``"window"``, ...).
+        name: dotted event name within the category.
+        fields: flat JSON-serializable payload.
+    """
+
+    seq: int
+    kind: str
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict form used for NDJSON serialization."""
+        record = {"seq": self.seq, "kind": self.kind, "name": self.name}
+        for key, value in self.fields.items():
+            record[key] = _jsonable(value)
+        return record
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays so events serialize cleanly."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+class MemoryExporter:
+    """Keeps every exported event in memory (for tests and notebooks)."""
+
+    def __init__(self):
+        self.events: List[TelemetryEvent] = []
+
+    def export(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - symmetry with NDJSON
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TelemetryEvent]:
+        """Events filtered by category."""
+        return [e for e in self.events if e.kind == kind]
+
+    def ndjson(self) -> str:
+        """The buffered stream rendered as NDJSON text."""
+        return "\n".join(e.to_json() for e in self.events)
+
+
+class NDJSONExporter:
+    """Writes events as newline-delimited JSON to a path or stream.
+
+    Args:
+        target: a filesystem path (opened for writing, closed by
+            :meth:`close`) or an already-open text stream (left open).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._stream: Optional[IO[str]] = open(target, "w")
+            self._owns_stream = True
+            self.path: Optional[str] = target
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = getattr(target, "name", None)
+        self.events_written = 0
+
+    def export(self, event: TelemetryEvent) -> None:
+        if self._stream is None:
+            raise ValueError("exporter is closed")
+        self._stream.write(event.to_json())
+        self._stream.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "NDJSONExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,259 @@
+"""Metrics registry: counters, gauges, histograms and timers.
+
+The registry is the single instrumentation handle threaded through the
+library: data-plane sketches, the EM estimator, the collectors and the
+network simulator all accept an optional ``telemetry`` argument.  The
+default everywhere is ``None`` — instrumented code guards every record
+with one ``is not None`` check, so disabled telemetry costs a single
+branch per *bulk* operation (the acceptance bar is <= 5% overhead on
+``FCMSketch.ingest``; measured by ``benchmarks/baseline.py``).
+
+Design notes:
+
+* **Deterministic.**  Metrics never read the clock by themselves;
+  events carry sequence numbers, not timestamps.  Timers use an
+  injectable ``clock`` (default ``time.perf_counter``), and their
+  durations stay in histograms — they are never written into the event
+  stream, which therefore stays byte-comparable across runs.
+* **Cheap.**  Counters and gauges are plain attribute updates;
+  histograms keep running aggregates (count/sum/min/max/sum-of-squares)
+  instead of samples, so memory is O(metrics), not O(observations).
+* **Pull or push.**  Consumers either read :meth:`MetricsRegistry
+  .snapshot` at the end of a run, or attach an exporter and receive
+  :class:`~repro.telemetry.events.TelemetryEvent` records as they
+  happen.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.telemetry.events import TelemetryEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (occupancy, staleness, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Running aggregates over observed samples.
+
+    Keeps count, sum, min, max and the sum of squares; :meth:`summary`
+    derives mean and population standard deviation.  The telemetry
+    property tests assert these aggregates match a numpy recomputation
+    over the same samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "sum_squares")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.sum_squares = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sum_squares += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the observed samples."""
+        if self.count == 0:
+            return 0.0
+        variance = self.sum_squares / self.count - self.mean ** 2
+        return math.sqrt(max(variance, 0.0))
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate view (count/sum/mean/min/max/std)."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0, "std": 0.0}
+        return {"count": self.count, "sum": self.total, "mean": self.mean,
+                "min": self.min, "max": self.max, "std": self.std}
+
+
+class Timer:
+    """Context manager recording elapsed seconds into a histogram.
+
+    The clock is injectable so tests can drive it deterministically;
+    durations are *not* exported as events (see module docstring).
+    """
+
+    __slots__ = ("histogram", "_clock", "_started")
+
+    def __init__(self, histogram: Histogram,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.histogram = histogram
+        self._clock = clock
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._started is not None:
+            self.histogram.observe(self._clock() - self._started)
+            self._started = None
+
+
+class MetricsRegistry:
+    """The instrumentation handle: named metrics plus an event stream.
+
+    Args:
+        exporter: optional event sink with an ``export(event)`` method
+            (:class:`~repro.telemetry.events.MemoryExporter`,
+            :class:`~repro.telemetry.events.NDJSONExporter`, ...).
+            Without one, events are dropped and only metrics accumulate.
+        clock: timer clock, injectable for deterministic tests.
+
+    Example:
+        >>> from repro.telemetry import MemoryExporter, MetricsRegistry
+        >>> telemetry = MetricsRegistry(exporter=MemoryExporter())
+        >>> telemetry.inc("demo.packets", 3)
+        >>> telemetry.counter("demo.packets").value
+        3
+    """
+
+    def __init__(self, exporter=None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.exporter = exporter
+        self.clock = clock
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timer_histograms: set = set()
+        self._seq = 0
+
+    # -- metric accessors (get-or-create) ----------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        """A context manager timing into ``histogram(name)``.
+
+        Histograms fed by timers are remembered so that
+        ``snapshot(include_timers=False)`` can leave wall-clock data
+        out of exported event streams (keeping them byte-comparable).
+        """
+        self._timer_histograms.add(name)
+        return Timer(self.histogram(name), clock=self.clock)
+
+    # -- recording shorthands ----------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- events -------------------------------------------------------
+
+    def emit(self, kind: str, name: str, **fields: Any) -> None:
+        """Export a structured event (no-op without an exporter).
+
+        The sequence number advances only when an exporter is attached,
+        so the stream an exporter sees is always gap-free.
+        """
+        if self.exporter is None:
+            return
+        event = TelemetryEvent(seq=self._seq, kind=kind, name=name,
+                               fields=fields)
+        self._seq += 1
+        self.exporter.export(event)
+
+    # -- inspection ---------------------------------------------------
+
+    def snapshot(self, include_timers: bool = True) -> Dict[str, Any]:
+        """All metric values, sorted by name (stable across runs).
+
+        Counters and gauges map to their value; histograms map to their
+        :meth:`Histogram.summary` dict.  With ``include_timers=False``,
+        histograms fed by :meth:`timer` are omitted — they hold real
+        elapsed time, the one metric that varies between otherwise
+        identical seeded runs, so exporters that promise byte-identical
+        streams (e.g. the CLI's final ``run.metrics`` event) drop them.
+        """
+        out: Dict[str, Any] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out[name] = self._gauges[name].value
+        for name in sorted(self._histograms):
+            if not include_timers and name in self._timer_histograms:
+                continue
+            out[name] = self._histograms[name].summary()
+        return out
+
+    def names(self) -> Dict[str, str]:
+        """``{metric name: metric type}`` for everything registered."""
+        out = {name: "counter" for name in self._counters}
+        out.update({name: "gauge" for name in self._gauges})
+        out.update({name: "histogram" for name in self._histograms})
+        return dict(sorted(out.items()))

@@ -1,0 +1,146 @@
+"""Differential harness: every frequency sketch vs an exact oracle.
+
+One seeded Zipf packet stream, one exact dict oracle built
+independently of the library's ground-truth plumbing, and four
+cross-sketch contracts checked uniformly:
+
+* deterministic overestimate-only sketches never report below the
+  oracle count,
+* ``query_many`` equals the scalar ``query`` elementwise,
+* bulk ``ingest`` equals a per-packet ``update`` loop (in stream
+  order, so the contract also holds for order-dependent sketches like
+  CU and the Top-K filters),
+* ``merge`` of two half-stream sketches equals one sketch that
+  ingested the concatenated stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch, FCMTopK
+from repro.sketches import (
+    ColdFilterSketch,
+    CountMinSketch,
+    CountSketch,
+    CUSketch,
+    ElasticSketch,
+)
+from repro.traffic import zipf_trace
+
+MEMORY = 64 * 1024
+PACKETS = 20_000
+SEED = 3
+
+FACTORIES = {
+    "fcm": lambda: FCMSketch.with_memory(MEMORY, seed=SEED),
+    "cm": lambda: CountMinSketch(MEMORY, seed=SEED),
+    "cu": lambda: CUSketch(MEMORY, seed=SEED),
+    "countsketch": lambda: CountSketch(MEMORY, seed=SEED),
+    "elastic": lambda: ElasticSketch(MEMORY, seed=SEED),
+    "coldfilter": lambda: ColdFilterSketch(MEMORY, seed=SEED),
+    "fcm_topk": lambda: FCMTopK(MEMORY, seed=SEED),
+}
+
+#: Sketches whose estimate is a deterministic upper bound.  CountSketch
+#: (median of signed rows) is unbiased and Elastic's 8-bit light part
+#: saturates, so both may undercount by design.
+NEVER_UNDERESTIMATES = ["fcm", "cm", "cu", "coldfilter", "fcm_topk"]
+
+#: Sketches exposing a lossless ``merge``.
+MERGEABLE = ["fcm", "cm", "countsketch"]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_trace(PACKETS, alpha=1.3, seed=SEED).keys
+
+
+@pytest.fixture(scope="module")
+def oracle(stream):
+    """Exact per-flow counts, recomputed from the raw packet stream."""
+    uniq, counts = np.unique(stream, return_counts=True)
+    return {int(k): int(c) for k, c in zip(uniq, counts)}
+
+
+@pytest.mark.parametrize("name", NEVER_UNDERESTIMATES)
+def test_never_underestimates(name, stream, oracle):
+    sketch = FACTORIES[name]()
+    sketch.ingest(stream)
+    keys = np.fromiter(oracle, dtype=np.uint64)
+    estimates = sketch.query_many(keys)
+    for key, est in zip(keys, estimates):
+        assert est >= oracle[int(key)], (
+            f"{name} underestimated flow {key}: "
+            f"{est} < {oracle[int(key)]}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_query_many_matches_scalar_query(name, stream, oracle):
+    sketch = FACTORIES[name]()
+    sketch.ingest(stream)
+    keys = np.fromiter(oracle, dtype=np.uint64)
+    many = np.asarray(sketch.query_many(keys))
+    for key, est in zip(keys, many):
+        assert int(est) == sketch.query(int(key)), (
+            f"{name}.query_many disagrees with query on flow {key}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_ingest_equals_update_loop(name, stream, oracle):
+    bulk = FACTORIES[name]()
+    bulk.ingest(stream)
+    looped = FACTORIES[name]()
+    for key in stream:
+        looped.update(int(key))
+    keys = np.fromiter(oracle, dtype=np.uint64)
+    np.testing.assert_array_equal(
+        np.asarray(bulk.query_many(keys)),
+        np.asarray(looped.query_many(keys)),
+        err_msg=f"{name}: bulk ingest != per-packet update loop",
+    )
+
+
+@pytest.mark.parametrize("name", MERGEABLE)
+def test_merge_equals_concatenated_stream(name, stream, oracle):
+    half = stream.shape[0] // 2
+    left, right = FACTORIES[name](), FACTORIES[name]()
+    left.ingest(stream[:half])
+    right.ingest(stream[half:])
+    left.merge(right)
+    whole = FACTORIES[name]()
+    whole.ingest(stream)
+    keys = np.fromiter(oracle, dtype=np.uint64)
+    np.testing.assert_array_equal(
+        np.asarray(left.query_many(keys)),
+        np.asarray(whole.query_many(keys)),
+        err_msg=f"{name}: merge of halves != concatenated stream",
+    )
+
+
+@pytest.mark.parametrize("name", MERGEABLE)
+def test_merge_rejects_mismatched_configuration(name):
+    a = FACTORIES[name]()
+    factories = {
+        "fcm": lambda: FCMSketch.with_memory(MEMORY // 2, seed=SEED),
+        "cm": lambda: CountMinSketch(MEMORY // 2, seed=SEED),
+        "countsketch": lambda: CountSketch(MEMORY // 2, seed=SEED),
+    }
+    with pytest.raises(ValueError):
+        a.merge(factories[name]())
+
+
+def test_deterministic_sketches_track_oracle_closely(stream, oracle):
+    """At 64 KB the FCM estimate should be near-exact on this stream —
+    a guard against silently broken hashing rather than an accuracy
+    benchmark."""
+    sketch = FACTORIES["fcm"]()
+    sketch.ingest(stream)
+    keys = np.fromiter(oracle, dtype=np.uint64)
+    truth = np.fromiter((oracle[int(k)] for k in keys), dtype=np.int64)
+    estimates = np.asarray(sketch.query_many(keys))
+    are = float(np.mean((estimates - truth) / truth))
+    assert 0.0 <= are < 0.05

@@ -1,0 +1,139 @@
+"""Empty-input regression tests.
+
+Every bulk entry point must tolerate zero-length input: ``ingest`` of
+an empty array is a no-op, ``query_many`` of an empty key set returns
+an empty array, and the estimators defined on an untouched sketch
+return finite values.  These paths are easy to break with a stray
+``reshape``/``min`` over an empty axis, so they are pinned here for
+the whole sketch zoo.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMSketch, FCMTopK
+from repro.sketches import (
+    ColdFilterSketch,
+    CountMinSketch,
+    CountSketch,
+    CUSketch,
+    ElasticSketch,
+    MRAC,
+    PyramidCMSketch,
+    UnivMon,
+)
+from repro.telemetry import MemoryExporter, MetricsRegistry
+
+MEMORY = 32 * 1024
+
+FACTORIES = {
+    "fcm": lambda: FCMSketch.with_memory(MEMORY, seed=1),
+    "fcm_topk": lambda: FCMTopK(MEMORY, seed=1),
+    "cm": lambda: CountMinSketch(MEMORY, seed=1),
+    "cu": lambda: CUSketch(MEMORY, seed=1),
+    "countsketch": lambda: CountSketch(MEMORY, seed=1),
+    "elastic": lambda: ElasticSketch(MEMORY, seed=1),
+    "coldfilter": lambda: ColdFilterSketch(MEMORY, seed=1),
+    "pcm": lambda: PyramidCMSketch(MEMORY, seed=1),
+    "univmon": lambda: UnivMon(MEMORY, seed=1),
+    "mrac": lambda: MRAC(MEMORY, seed=1),
+}
+
+EMPTY_KEYS = (
+    np.array([], dtype=np.uint64),
+    [],
+)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@pytest.mark.parametrize("empty", EMPTY_KEYS,
+                         ids=["ndarray", "list"])
+def test_ingest_empty_is_noop(name, empty):
+    sketch = FACTORIES[name]()
+    sketch.ingest(np.asarray(empty, dtype=np.uint64))
+    assert sketch.query(12345) >= 0
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@pytest.mark.parametrize("empty", EMPTY_KEYS,
+                         ids=["ndarray", "list"])
+def test_query_many_empty_returns_empty(name, empty):
+    sketch = FACTORIES[name]()
+    sketch.ingest(np.arange(100, dtype=np.uint64))
+    result = np.asarray(sketch.query_many(empty))
+    assert result.shape == (0,)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_heavy_hitters_empty_candidates(name):
+    """Empty candidate sets must not raise.
+
+    Sketches with their own heavy-key tables (Elastic, FCM+TopK,
+    UnivMon) may still report resident flows; candidate-driven
+    sketches must return the empty set.
+    """
+    sketch = FACTORIES[name]()
+    if not hasattr(sketch, "heavy_hitters"):
+        pytest.skip(f"{name} has no heavy_hitters")
+    ingested = np.arange(100, dtype=np.uint64)
+    sketch.ingest(ingested)
+    hitters = sketch.heavy_hitters([], threshold=1)
+    assert isinstance(hitters, set)
+    assert hitters <= {int(k) for k in ingested}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_cardinality_of_empty_sketch_is_finite(name):
+    sketch = FACTORIES[name]()
+    if not hasattr(sketch, "cardinality"):
+        pytest.skip(f"{name} has no cardinality")
+    estimate = sketch.cardinality()
+    assert math.isfinite(float(estimate))
+    assert estimate >= 0
+
+
+def test_estimate_distribution_on_empty_fcm():
+    sketch = FCMSketch.with_memory(MEMORY, seed=1)
+    result = estimate_distribution(sketch, iterations=2)
+    assert float(result.size_counts.sum()) == pytest.approx(0.0)
+
+
+def test_empty_ingest_with_telemetry_counts_zero_packets():
+    exporter = MemoryExporter()
+    registry = MetricsRegistry(exporter=exporter)
+    sketch = FCMSketch.with_memory(MEMORY, seed=1, telemetry=registry)
+    sketch.ingest(np.array([], dtype=np.uint64))
+    snap = registry.snapshot()
+    assert snap["fcm.ingest.calls"] == 1
+    assert snap["fcm.ingest.packets"] == 0
+    assert exporter.events[0].fields["packets"] == 0
+
+
+def test_query_many_empty_with_telemetry():
+    registry = MetricsRegistry()
+    sketch = FCMSketch.with_memory(MEMORY, seed=1, telemetry=registry)
+    out = sketch.query_many(np.array([], dtype=np.uint64))
+    assert out.shape == (0,)
+    assert registry.snapshot()["fcm.query.keys"] == 0
+
+
+def test_fcm_ingest_weighted_empty():
+    sketch = FCMSketch.with_memory(MEMORY, seed=1)
+    sketch.ingest_weighted(np.array([], dtype=np.uint64),
+                           np.array([], dtype=np.int64))
+    assert sketch.total_packets == 0
+
+
+def test_merge_of_empty_sketches_is_empty():
+    a = FCMSketch.with_memory(MEMORY, seed=1)
+    b = FCMSketch.with_memory(MEMORY, seed=1)
+    a.merge(b)
+    assert a.total_packets == 0
+    assert np.asarray(
+        a.query_many(np.arange(10, dtype=np.uint64))
+    ).max() == 0

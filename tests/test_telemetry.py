@@ -1,0 +1,269 @@
+"""Unit tests for the telemetry layer and its instrumentation hooks."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.controlplane.distribution import estimate_distribution
+from repro.core import FCMSketch
+from repro.robustness import CollectionHealth, DegradationLevel
+from repro.telemetry import (
+    MemoryExporter,
+    MetricsRegistry,
+    NDJSONExporter,
+    TelemetryEvent,
+)
+from repro.telemetry.registry import Counter, Gauge, Histogram, Timer
+from repro.traffic import zipf_trace
+
+
+# ----------------------------------------------------------------------
+# metric primitives
+# ----------------------------------------------------------------------
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("g")
+    gauge.set(3.5)
+    gauge.set(-1.0)
+    assert gauge.value == -1.0
+
+
+def test_histogram_aggregates():
+    hist = Histogram("h")
+    for v in (1.0, 2.0, 3.0):
+        hist.observe(v)
+    assert hist.count == 3
+    assert hist.total == 6.0
+    assert hist.min == 1.0
+    assert hist.max == 3.0
+    assert hist.mean == 2.0
+    assert hist.std == pytest.approx(math.sqrt(2.0 / 3.0))
+
+
+def test_empty_histogram_summary_is_all_zero():
+    summary = Histogram("h").summary()
+    assert summary == {"count": 0, "sum": 0.0, "mean": 0.0,
+                       "min": 0.0, "max": 0.0, "std": 0.0}
+
+
+def test_timer_uses_injected_clock():
+    ticks = iter([10.0, 13.5])
+    hist = Histogram("t")
+    with Timer(hist, clock=lambda: next(ticks)):
+        pass
+    assert hist.count == 1
+    assert hist.total == pytest.approx(3.5)
+
+
+# ----------------------------------------------------------------------
+# registry + exporters
+# ----------------------------------------------------------------------
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+    assert registry.names() == {"a": "counter", "b": "gauge",
+                                "c": "histogram"}
+
+
+def test_emit_without_exporter_is_noop_and_holds_seq():
+    registry = MetricsRegistry()
+    registry.emit("kind", "name", x=1)
+    registry.exporter = MemoryExporter()
+    registry.emit("kind", "first", x=2)
+    assert registry.exporter.events[0].seq == 0
+
+
+def test_memory_exporter_records_gap_free_sequence():
+    exporter = MemoryExporter()
+    registry = MetricsRegistry(exporter=exporter)
+    for i in range(5):
+        registry.emit("k", f"e{i}", i=i)
+    assert [e.seq for e in exporter.events] == list(range(5))
+    assert [e.name for e in exporter.of_kind("k")] == \
+        [f"e{i}" for i in range(5)]
+
+
+def test_event_json_is_canonical_and_sorted():
+    event = TelemetryEvent(seq=0, kind="k", name="n",
+                           fields={"b": np.int64(2), "a": [np.float64(1.5)]})
+    line = event.to_json()
+    assert line == '{"a":[1.5],"b":2,"kind":"k","name":"n","seq":0}'
+    assert json.loads(line)["a"] == [1.5]
+
+
+def test_ndjson_exporter_round_trip(tmp_path):
+    path = tmp_path / "events.ndjson"
+    with NDJSONExporter(str(path)) as exporter:
+        registry = MetricsRegistry(exporter=exporter)
+        registry.emit("k", "one", value=1)
+        registry.emit("k", "two", value=2)
+    lines = path.read_text().splitlines()
+    assert exporter.events_written == 2
+    assert [json.loads(line)["name"] for line in lines] == ["one", "two"]
+
+
+def test_snapshot_can_exclude_timer_histograms():
+    ticks = iter([0.0, 1.0])
+    registry = MetricsRegistry(clock=lambda: next(ticks))
+    with registry.timer("op.seconds"):
+        pass
+    registry.observe("plain.hist", 2.0)
+    full = registry.snapshot()
+    assert "op.seconds" in full and "plain.hist" in full
+    stable = registry.snapshot(include_timers=False)
+    assert "op.seconds" not in stable
+    assert "plain.hist" in stable
+
+
+def test_snapshot_is_sorted_and_typed():
+    registry = MetricsRegistry()
+    registry.inc("z.counter", 2)
+    registry.set_gauge("a.gauge", 1.5)
+    registry.observe("m.hist", 4.0)
+    snap = registry.snapshot()
+    assert snap["z.counter"] == 2
+    assert snap["a.gauge"] == 1.5
+    assert snap["m.hist"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# instrumentation through the library
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def trace_keys():
+    return zipf_trace(5_000, alpha=1.3, seed=2).keys
+
+
+def test_fcm_ingest_and_query_counters(trace_keys):
+    registry = MetricsRegistry()
+    sketch = FCMSketch.with_memory(32 * 1024, seed=1, telemetry=registry)
+    sketch.ingest(trace_keys)
+    sketch.query(int(trace_keys[0]))
+    sketch.query_many(trace_keys[:10])
+    snap = registry.snapshot()
+    assert snap["fcm.ingest.calls"] == 1
+    assert snap["fcm.ingest.packets"] == trace_keys.shape[0]
+    assert snap["fcm.query.calls"] == 1
+    assert snap["fcm.query.keys"] == 11
+
+
+def test_fcm_emit_state_publishes_gauges(trace_keys):
+    exporter = MemoryExporter()
+    registry = MetricsRegistry(exporter=exporter)
+    sketch = FCMSketch.with_memory(32 * 1024, seed=1, telemetry=registry)
+    sketch.ingest(trace_keys)
+    state = sketch.emit_state()
+    snap = registry.snapshot()
+    assert snap["fcm.tree0.stage1.occupancy"] == \
+        state["trees"][0]["occupancy"][0]
+    assert snap["fcm.tree0.empty_leaves"] == \
+        state["trees"][0]["empty_leaves"]
+    assert snap["fcm.total_packets"] == trace_keys.shape[0]
+    assert exporter.of_kind("sketch")[-1].name == "fcm.state"
+
+
+def test_fcm_merge_counter(trace_keys):
+    registry = MetricsRegistry()
+    a = FCMSketch.with_memory(32 * 1024, seed=1, telemetry=registry)
+    b = FCMSketch.with_memory(32 * 1024, seed=1)
+    a.ingest(trace_keys[:100])
+    b.ingest(trace_keys[100:200])
+    a.merge(b)
+    assert registry.snapshot()["fcm.merges"] == 1
+
+
+def test_attach_telemetry_after_construction(trace_keys):
+    sketch = FCMSketch.with_memory(32 * 1024, seed=1)
+    registry = MetricsRegistry()
+    sketch.attach_telemetry(registry, name="edge")
+    sketch.ingest(trace_keys[:50])
+    assert registry.snapshot()["edge.ingest.packets"] == 50
+    sketch.attach_telemetry(None)
+    sketch.ingest(trace_keys[50:100])
+    assert registry.snapshot()["edge.ingest.packets"] == 50
+
+
+def test_em_instrumentation(trace_keys):
+    exporter = MemoryExporter()
+    registry = MetricsRegistry(exporter=exporter)
+    sketch = FCMSketch.with_memory(32 * 1024, seed=1)
+    sketch.ingest(trace_keys)
+    estimate_distribution(sketch, iterations=3, telemetry=registry)
+    snap = registry.snapshot()
+    assert snap["em.runs"] == 1
+    assert snap["em.iterations"] == 3
+    assert snap["em.iterations_per_run"]["count"] == 1
+    assert snap["em.runtime_seconds"]["count"] == 1
+    assert [e.name for e in exporter.of_kind("em")] == \
+        ["em.iteration"] * 3 + ["em.run"]
+
+
+def test_collection_health_event_fields_are_flat_and_serializable():
+    health = CollectionHealth(window_index=3, switches_total=4,
+                              switches_reached=["s1", "s2"],
+                              switches_failed={"s4": "timeout"})
+    fields = health.event_fields()
+    assert fields["window"] == 3
+    assert fields["switches_reached"] == 2
+    assert fields["switches_failed"] == ["s4"]
+    assert not fields["healthy"]
+    assert fields["degradation"] == health.degradation.name
+    assert isinstance(health.degradation, DegradationLevel)
+    json.dumps(fields)  # must be exportable as-is
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+def _run_pipeline(path: str) -> None:
+    with NDJSONExporter(path) as exporter:
+        registry = MetricsRegistry(exporter=exporter,
+                                   clock=lambda: 0.0)
+        keys = zipf_trace(5_000, alpha=1.3, seed=2).keys
+        sketch = FCMSketch.with_memory(32 * 1024, seed=1,
+                                       telemetry=registry)
+        sketch.ingest(keys)
+        sketch.emit_state()
+        estimate_distribution(sketch, iterations=3, telemetry=registry)
+        registry.emit("summary", "run.metrics", **registry.snapshot())
+
+
+def test_event_stream_is_byte_identical_across_runs(tmp_path):
+    first, second = tmp_path / "a.ndjson", tmp_path / "b.ndjson"
+    _run_pipeline(str(first))
+    _run_pipeline(str(second))
+    assert first.read_bytes() == second.read_bytes()
+    assert first.stat().st_size > 0
+
+
+def test_cli_telemetry_out(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "cli.ndjson"
+    rc = main(["evaluate", "--sketch", "fcm", "--packets", "20000",
+               "--em-iterations", "2", "--telemetry-out", str(out)])
+    assert rc == 0
+    lines = out.read_text().splitlines()
+    assert lines, "CLI produced no telemetry events"
+    records = [json.loads(line) for line in lines]
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    assert records[-1]["name"] == "run.metrics"
+    assert "telemetry:" in capsys.readouterr().out

@@ -1,0 +1,140 @@
+"""Property tests: telemetry aggregates vs independent recomputation.
+
+Two families of properties:
+
+* :class:`~repro.telemetry.registry.Histogram` / ``Timer`` running
+  aggregates must match a numpy recomputation over the same samples —
+  the aggregates are maintained incrementally (count/sum/min/max/sum of
+  squares) and any drift would silently corrupt every published
+  summary.
+* The per-stage overflow counters the telemetry layer publishes
+  (:meth:`FCMTree.overflow_counts`) must equal an independent
+  simulation of the carry cascade run directly from the leaf totals,
+  with leaf totals drawn around the ``2^b - 1`` sentinel boundaries
+  where off-by-one bugs live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FCMSketch
+from repro.telemetry.registry import Histogram, MetricsRegistry, Timer
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_histogram_aggregates_match_numpy(samples):
+    hist = Histogram("h")
+    for value in samples:
+        hist.observe(value)
+    arr = np.asarray(samples, dtype=np.float64)
+    assert hist.count == arr.shape[0]
+    assert hist.total == pytest.approx(float(arr.sum()), rel=1e-9,
+                                       abs=1e-6)
+    assert hist.min == float(arr.min())
+    assert hist.max == float(arr.max())
+    assert hist.mean == pytest.approx(float(arr.mean()), rel=1e-9,
+                                      abs=1e-6)
+    # Sum-of-squares variance is numerically touchier than numpy's
+    # two-pass computation; compare with an absolute floor scaled to
+    # the data's magnitude.
+    scale = max(1.0, float(np.abs(arr).max()) ** 2)
+    assert hist.std == pytest.approx(float(arr.std()),
+                                     rel=1e-4, abs=1e-5 * scale)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_timer_totals_match_sum_of_durations(durations):
+    # Drive the injectable clock: each context entry/exit consumes two
+    # ticks whose difference is the requested duration.
+    ticks = []
+    now = 0.0
+    for duration in durations:
+        ticks.extend([now, now + duration])
+        now += duration + 1.0
+    clock_ticks = iter(ticks)
+    registry = MetricsRegistry(clock=lambda: next(clock_ticks))
+    for _ in durations:
+        with registry.timer("op"):
+            pass
+    hist = registry.histogram("op")
+    arr = np.asarray(durations, dtype=np.float64)
+    assert hist.count == arr.shape[0]
+    assert hist.total == pytest.approx(float(arr.sum()), rel=1e-9,
+                                       abs=1e-6)
+    assert hist.max == pytest.approx(float(arr.max()))
+
+
+def _expected_overflows(leaf_totals, thetas, sentinels, k):
+    """Simulate the carry cascade independently of FCMTree.
+
+    An interior node overflows (stores its sentinel) iff its routed
+    total exceeds theta; the last stage saturates at its sentinel.
+    """
+    expected = []
+    totals = np.asarray(leaf_totals, dtype=np.int64)
+    last = len(thetas) - 1
+    for stage, (theta, sentinel) in enumerate(zip(thetas, sentinels)):
+        if stage == last:
+            expected.append(int(np.count_nonzero(totals >= sentinel)))
+            break
+        expected.append(int(np.count_nonzero(totals > theta)))
+        totals = np.maximum(totals - theta, 0).reshape(-1, k).sum(axis=1)
+    return expected
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_overflow_counters_match_independent_recount(data):
+    sketch = FCMSketch.with_memory(4 * 1024, num_trees=1, k=2, seed=0)
+    tree = sketch.trees[0]
+    theta1 = tree.thetas[0]
+    # Cluster totals around the stage-1 sentinel boundary, with some
+    # large enough to stress stage 2 after k-way carry aggregation.
+    total = st.one_of(
+        st.integers(min_value=0, max_value=theta1 + 2),
+        st.integers(min_value=theta1 - 2, max_value=4 * theta1),
+        st.just(0),
+    )
+    count = data.draw(st.integers(min_value=1,
+                                  max_value=min(64, tree.leaf_width)))
+    values = data.draw(st.lists(total, min_size=count, max_size=count))
+    totals = np.zeros(tree.leaf_width, dtype=np.int64)
+    totals[:count] = values
+    tree.ingest_totals(totals)
+
+    assert tree.overflow_counts() == _expected_overflows(
+        totals, tree.thetas, tree.sentinels, tree.k
+    )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=1, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_emit_state_gauges_match_snapshot(values):
+    registry = MetricsRegistry()
+    sketch = FCMSketch.with_memory(4 * 1024, num_trees=1, k=2, seed=0,
+                                   telemetry=registry)
+    tree = sketch.trees[0]
+    totals = np.zeros(tree.leaf_width, dtype=np.int64)
+    totals[: len(values)] = values
+    tree.ingest_totals(totals)
+
+    state = sketch.emit_state()
+    snap = registry.snapshot()
+    for s, (occ, ovf) in enumerate(zip(state["trees"][0]["occupancy"],
+                                       state["trees"][0]["overflows"])):
+        assert snap[f"fcm.tree0.stage{s + 1}.occupancy"] == occ
+        assert snap[f"fcm.tree0.stage{s + 1}.overflows"] == ovf
+    assert snap["fcm.tree0.empty_leaves"] == \
+        int(np.count_nonzero(totals == 0))
