@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-baseline report examples clean
+.PHONY: install test chaos bench bench-baseline bench-compare report \
+	examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +34,14 @@ bench-baseline:
 
 bench-baseline-validate:
 	$(PYTHON) -m benchmarks.baseline --validate
+
+# Perf-regression gate: rerun the throughput harness at the committed
+# baseline's packet budget, diff against BENCH_throughput.json under
+# per-metric tolerances, and append to BENCH_trajectory.json.  Exits
+# nonzero on regression — this is what CI runs.
+bench-compare:
+	PYTHONHASHSEED=0 $(PYTHON) -m benchmarks.baseline --compare \
+		--tolerances benchmarks/tolerances_ci.json
 
 report:
 	$(PYTHON) -m benchmarks.report

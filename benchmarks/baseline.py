@@ -16,11 +16,22 @@ Usage::
     python -m benchmarks.baseline                     # regenerate
     python -m benchmarks.baseline --packets 20000     # quick smoke
     python -m benchmarks.baseline --validate          # schema check
+    python -m benchmarks.baseline --compare           # regression gate
 
 The record is a committed baseline, not a CI gate on absolute speed:
 numbers move with hardware, but the *schema* and the relative
 telemetry overhead are validated (``--validate``), which is what the
 CI benchmark-smoke job runs.
+
+``--compare`` is the perf-regression gate: it re-measures, diffs the
+fresh run against the committed record under per-metric tolerances
+(absolute throughputs are judged loosely — CI hardware varies run to
+run — while the telemetry-overhead *ratios* are hardware-independent
+and judged tightly), appends one entry to ``BENCH_trajectory.json``
+and exits nonzero when any metric regresses beyond its tolerance.
+Tolerances can be overridden with ``--tolerances FILE.json`` (flat
+``{metric-or-suffix: fraction}``; see ``benchmarks/tolerances_ci
+.json``).
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ import json
 import os
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -45,6 +56,31 @@ SCHEMA_VERSION = 1
 DEFAULT_OUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "BENCH_throughput.json",
+)
+
+DEFAULT_TRAJECTORY = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_trajectory.json",
+)
+
+#: Per-metric regression tolerances, as a fraction of the baseline
+#: value.  Keys match the flattened metric name exactly, or its suffix
+#: after the last dot.  Throughput metrics (higher is better) may drop
+#: to ``baseline * (1 - tol)``; ratio/runtime metrics (lower is
+#: better) may grow to ``baseline * (1 + tol)``.  Absolute speeds get
+#: loose bounds — they swing with the machine — while the telemetry
+#: overhead ratios are dimensionless and stay tight.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "ingest_pps": 0.60,
+    "query_kps": 0.60,
+    "disabled_over_raw": 0.15,
+    "enabled_over_disabled": 0.60,
+    "seconds_per_iter": 1.00,
+}
+
+#: Metrics where a *larger* fresh value is the regression direction.
+LOWER_IS_BETTER_SUFFIXES = (
+    "disabled_over_raw", "enabled_over_disabled", "seconds_per_iter",
 )
 
 MEMORY = 64 * 1024
@@ -212,21 +248,191 @@ def validate_record(record: dict) -> list:
     return errors
 
 
+# ----------------------------------------------------------------------
+# regression comparison (pure functions — unit-tested without timing)
+# ----------------------------------------------------------------------
+
+def flatten_metrics(record: dict) -> Dict[str, float]:
+    """The gated metrics of a record as one flat ``{name: value}``."""
+    out: Dict[str, float] = {}
+    for name in sorted(record.get("sketches", {})):
+        entry = record["sketches"][name]
+        out[f"{name}.ingest_pps"] = float(entry["ingest_pps"])
+        out[f"{name}.query_kps"] = float(entry["query_kps"])
+    overhead = record.get("telemetry_overhead", {})
+    for field in ("disabled_over_raw", "enabled_over_disabled"):
+        if field in overhead:
+            out[f"telemetry.{field}"] = float(overhead[field])
+    em = record.get("em", {})
+    if em.get("iterations"):
+        out["em.seconds_per_iter"] = (float(em["runtime_seconds"])
+                                      / float(em["iterations"]))
+    return out
+
+
+def tolerance_for(metric: str, tolerances: Dict[str, float]) -> float:
+    """Tolerance by exact metric name, then dot-suffix, then 0.5."""
+    if metric in tolerances:
+        return float(tolerances[metric])
+    suffix = metric.rsplit(".", 1)[-1]
+    return float(tolerances.get(suffix, 0.5))
+
+
+def compare_records(baseline: dict, fresh: dict,
+                    tolerances: Dict[str, float]) -> dict:
+    """Diff a fresh record against the committed baseline.
+
+    Returns ``{"rows": [...], "regressions": [...]}`` where each row
+    is ``(metric, baseline, current, ratio, tolerance, verdict)``.
+    Metrics present on only one side are reported but never gate (a
+    new sketch should not fail the gate retroactively); EM runtime is
+    skipped when the packet budgets differ (it scales with load).
+    """
+    base_metrics = flatten_metrics(baseline)
+    fresh_metrics = flatten_metrics(fresh)
+    same_load = baseline.get("packets") == fresh.get("packets")
+    rows = []
+    regressions = []
+    for metric in sorted(set(base_metrics) | set(fresh_metrics)):
+        base = base_metrics.get(metric)
+        current = fresh_metrics.get(metric)
+        if base is None or current is None:
+            rows.append((metric, base, current, None, None, "uncompared"))
+            continue
+        if metric == "em.seconds_per_iter" and not same_load:
+            rows.append((metric, base, current, None, None,
+                         "skipped (packet budgets differ)"))
+            continue
+        tol = tolerance_for(metric, tolerances)
+        ratio = current / base if base else float("inf")
+        lower_better = metric.endswith(LOWER_IS_BETTER_SUFFIXES)
+        if lower_better:
+            regressed = current > base * (1.0 + tol)
+        else:
+            regressed = current < base * (1.0 - tol)
+        verdict = "REGRESSION" if regressed else "ok"
+        rows.append((metric, base, current, ratio, tol, verdict))
+        if regressed:
+            direction = "rose" if lower_better else "fell"
+            regressions.append(
+                f"{metric} {direction} beyond tolerance: "
+                f"baseline {base:.6g} -> current {current:.6g} "
+                f"(ratio {ratio:.3f}, tolerance {tol:.0%})")
+    return {"rows": rows, "regressions": regressions}
+
+
+def trajectory_entry(baseline: dict, fresh: dict,
+                     comparison: dict) -> dict:
+    """One ``BENCH_trajectory.json`` history entry."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "packets": fresh.get("packets"),
+        "baseline_packets": baseline.get("packets"),
+        "metrics": flatten_metrics(fresh),
+        "regressions": list(comparison["regressions"]),
+    }
+
+
+def append_trajectory(path: str, entry: dict) -> int:
+    """Append ``entry`` to the JSON-list history file; returns its
+    new length.  A missing file starts a fresh history; a corrupt one
+    fails loudly rather than silently overwriting it."""
+    history = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            history = json.load(fh)
+        if not isinstance(history, list):
+            raise ValueError(f"{path} does not hold a JSON list")
+    history.append(entry)
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(history)
+
+
+def load_tolerances(path: Optional[str]) -> Dict[str, float]:
+    """The default tolerances, overridden by a flat JSON file."""
+    tolerances = dict(DEFAULT_TOLERANCES)
+    if path:
+        with open(path) as fh:
+            overrides = json.load(fh)
+        if not isinstance(overrides, dict):
+            raise ValueError(f"{path} must hold a flat JSON object")
+        tolerances.update({str(k): float(v)
+                           for k, v in overrides.items()
+                           if not str(k).startswith("__")})
+    return tolerances
+
+
+def run_compare(args) -> int:
+    try:
+        with open(args.out) as fh:
+            baseline = json.load(fh)
+        tolerances = load_tolerances(args.tolerances)
+    except (OSError, ValueError) as exc:
+        print(f"compare setup failed: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_record(baseline)
+    if errors:
+        for error in errors:
+            print(f"INVALID baseline: {error}", file=sys.stderr)
+        return 1
+    packets = args.packets if args.packets is not None \
+        else int(baseline.get("packets", 100_000))
+    fresh = build_record(packets, args.repeats, args.seed)
+    comparison = compare_records(baseline, fresh, tolerances)
+    print(f"\ncompare vs {args.out}:")
+    for metric, base, current, ratio, tol, verdict in comparison["rows"]:
+        ratio_s = f"{ratio:.3f}" if ratio is not None else "-"
+        tol_s = f"{tol:.0%}" if tol is not None else "-"
+        base_s = f"{base:.6g}" if base is not None else "-"
+        cur_s = f"{current:.6g}" if current is not None else "-"
+        print(f"  {metric:<32} {base_s:>12} -> {cur_s:>12}  "
+              f"x{ratio_s:<7} tol {tol_s:<5} {verdict}")
+    entry = trajectory_entry(baseline, fresh, comparison)
+    length = append_trajectory(args.trajectory, entry)
+    print(f"trajectory: appended entry #{length} to {args.trajectory}")
+    if comparison["regressions"]:
+        for regression in comparison["regressions"]:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 2
+    print("no regressions beyond tolerance")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.baseline",
         description="regenerate or validate BENCH_throughput.json",
     )
-    parser.add_argument("--packets", type=int,
-                        default=int(os.environ.get(
-                            "REPRO_BASELINE_PACKETS", 100_000)))
+    parser.add_argument("--packets", type=int, default=None,
+                        help="packet budget (default: "
+                             "$REPRO_BASELINE_PACKETS or 100000; "
+                             "--compare defaults to the baseline's)")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--out", default=DEFAULT_OUT)
     parser.add_argument("--validate", action="store_true",
                         help="validate the existing record instead of "
                              "re-measuring")
+    parser.add_argument("--compare", action="store_true",
+                        help="re-measure and gate against the committed "
+                             "record; append to the trajectory history; "
+                             "exit 2 on regression")
+    parser.add_argument("--tolerances", default=None, metavar="PATH",
+                        help="JSON file overriding per-metric "
+                             "regression tolerances")
+    parser.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                        metavar="PATH",
+                        help="history file appended by --compare")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        return run_compare(args)
+    if args.packets is None:
+        args.packets = int(os.environ.get("REPRO_BASELINE_PACKETS",
+                                          100_000))
 
     if args.validate:
         try:

@@ -3,7 +3,9 @@
 Reads every JSON record the benchmarks left under
 ``benchmarks/results/`` and prints one summary: which experiments ran,
 their headline numbers, and the paper-shape verdicts recomputed from
-the stored data.
+the stored data.  When ``BENCH_trajectory.json`` exists (appended by
+``python -m benchmarks.baseline --compare``), a throughput-trajectory
+section shows how the headline perf numbers moved across compare runs.
 
 Usage:  python -m benchmarks.report
 """
@@ -16,6 +18,17 @@ import sys
 from typing import Dict, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+TRAJECTORY_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                               "BENCH_trajectory.json")
+
+# Headline metrics shown in the trajectory table (full per-metric data
+# stays in the JSON; the report keeps the columns readable).
+TRAJECTORY_METRICS = (
+    ("fcm.ingest_pps", "fcm ingest pps"),
+    ("fcm.query_kps", "fcm query kps"),
+    ("telemetry.enabled_over_disabled", "telem overhead"),
+    ("em.seconds_per_iter", "em s/iter"),
+)
 
 EXPERIMENT_TITLES = {
     "fig06_dataplane_queries": "Figure 6  — data-plane queries vs k",
@@ -91,6 +104,48 @@ def _headline(name: str, data: Dict) -> str:
     return "recorded"
 
 
+def _fmt_metric(value: object) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value >= 10_000:
+        return f"{value:,.0f}"
+    return f"{value:.4f}"
+
+
+def trajectory_lines(path: str = TRAJECTORY_PATH) -> list:
+    """Render ``BENCH_trajectory.json`` as table lines (empty if absent).
+
+    Each compare run appended one entry; showing them in order makes
+    perf drift visible without digging through the raw JSON.
+    """
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path) as fh:
+            entries = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"trajectory unreadable ({err})"]
+    if not isinstance(entries, list) or not entries:
+        return []
+    lines = ["throughput trajectory "
+             f"({len(entries)} compare run(s), {os.path.basename(path)}):"]
+    header = f"  {'timestamp':<20} {'packets':>8}"
+    for _, label in TRAJECTORY_METRICS:
+        header += f" {label:>15}"
+    header += "  regressions"
+    lines.append(header)
+    for entry in entries:
+        metrics = entry.get("metrics", {})
+        row = (f"  {str(entry.get('timestamp', '?')):<20} "
+               f"{str(entry.get('packets', '?')):>8}")
+        for key, _ in TRAJECTORY_METRICS:
+            row += f" {_fmt_metric(metrics.get(key)):>15}"
+        regressions = entry.get("regressions") or []
+        row += f"  {len(regressions) or '-'}"
+        lines.append(row)
+    return lines
+
+
 def main() -> int:
     if not os.path.isdir(RESULTS_DIR):
         print("no results yet — run: pytest benchmarks/ --benchmark-only")
@@ -107,6 +162,11 @@ def main() -> int:
         print(f"[ok]      {title}")
         print(f"          {_headline(name, data)}")
     print("=" * 64)
+    trajectory = trajectory_lines()
+    if trajectory:
+        for line in trajectory:
+            print(line)
+        print("=" * 64)
     print(f"{present}/{len(EXPERIMENT_TITLES)} experiments recorded in "
           f"{RESULTS_DIR}")
     return 0 if present else 1

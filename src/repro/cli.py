@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands mirroring how the paper's system is operated:
+Four subcommands mirroring how the paper's system is operated:
 
 * ``evaluate`` — run one sketch over a synthetic workload and print
   every supported measurement vs ground truth.
@@ -8,12 +8,17 @@ Three subcommands mirroring how the paper's system is operated:
   miniature §7.5).
 * ``resources`` — print the Table-4 style hardware resource report
   for an FCM configuration.
+* ``telemetry-report`` — render an exported NDJSON event/span stream
+  into per-window drain-health, EM-convergence and slow-span tables.
 
 Examples::
 
     python -m repro.cli evaluate --sketch fcm --memory-kb 64
     python -m repro.cli compare --packets 200000 --memory-kb 48
     python -m repro.cli resources --memory-kb 1300 --k 8
+    python -m repro.cli evaluate --telemetry-out run.ndjson \
+        --trace-out spans.ndjson
+    python -m repro.cli telemetry-report run.ndjson
 """
 
 from __future__ import annotations
@@ -31,7 +36,12 @@ from repro.metrics import (
     relative_error,
     weighted_mean_relative_error,
 )
-from repro.telemetry import MetricsRegistry, NDJSONExporter
+from repro.telemetry import (
+    FilterExporter,
+    MetricsRegistry,
+    NDJSONExporter,
+    TeeExporter,
+)
 from repro.traffic import caida_like_trace, zipf_trace
 
 
@@ -68,12 +78,36 @@ def _build_sketch(name: str, memory: int, seed: int, telemetry=None):
 
 
 def _open_telemetry(args):
-    """Build (registry, exporter) for ``--telemetry-out``, or Nones."""
+    """Build (registry, exporter) for the export flags, or Nones.
+
+    ``--telemetry-out`` receives the full event stream;
+    ``--trace-out`` a spans-only stream (same sequence numbers, so the
+    two files correlate).  Either flag alone works; both tee.
+    """
     path = getattr(args, "telemetry_out", None)
-    if not path:
+    trace_path = getattr(args, "trace_out", None)
+    exporters = []
+    if path:
+        exporters.append(NDJSONExporter(path))
+    if trace_path:
+        exporters.append(FilterExporter(NDJSONExporter(trace_path),
+                                        kinds=("span",)))
+    if not exporters:
         return None, None
-    exporter = NDJSONExporter(path)
+    exporter = exporters[0] if len(exporters) == 1 \
+        else TeeExporter(*exporters)
     return MetricsRegistry(exporter=exporter), exporter
+
+
+def _leaf_exporters(exporter):
+    """The NDJSON sinks under a Tee/Filter stack (for the summary)."""
+    if isinstance(exporter, TeeExporter):
+        for inner in exporter.exporters:
+            yield from _leaf_exporters(inner)
+    elif isinstance(exporter, FilterExporter):
+        yield from _leaf_exporters(exporter.inner)
+    else:
+        yield exporter
 
 
 def _close_telemetry(telemetry, exporter) -> None:
@@ -84,7 +118,8 @@ def _close_telemetry(telemetry, exporter) -> None:
     telemetry.emit("summary", "run.metrics",
                    **telemetry.snapshot(include_timers=False))
     exporter.close()
-    print(f"telemetry: {exporter.events_written} events -> {exporter.path}")
+    for sink in _leaf_exporters(exporter):
+        print(f"telemetry: {sink.events_written} events -> {sink.path}")
 
 
 def _evaluate(sketch, trace, em_iterations: int, telemetry=None) -> dict:
@@ -160,6 +195,19 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_telemetry_report(args) -> int:
+    from repro.telemetry.report import load_ndjson, render_report
+
+    try:
+        records = load_ndjson(args.ndjson)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    print(render_report(records, top_spans=args.top_spans,
+                        traces=args.traces), end="")
+    return 0
+
+
 def cmd_resources(args) -> int:
     from repro.dataplane import SWITCH_P4, fcm_resources, \
         fcm_topk_resources
@@ -192,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--telemetry-out", default=None, metavar="PATH",
                        help="write an NDJSON telemetry event stream to "
                             "PATH (disabled by default)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a spans-only NDJSON stream to PATH "
+                            "(combinable with --telemetry-out)")
 
     p_eval = sub.add_parser("evaluate", help="evaluate one sketch")
     add_workload_args(p_eval)
@@ -209,6 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--memory-kb", type=int, default=1300)
     p_res.add_argument("--k", type=int, default=8)
     p_res.set_defaults(func=cmd_resources)
+
+    p_rep = sub.add_parser(
+        "telemetry-report",
+        help="render an NDJSON telemetry stream into tables")
+    p_rep.add_argument("ndjson", metavar="PATH",
+                       help="NDJSON file from --telemetry-out/--trace-out")
+    p_rep.add_argument("--top-spans", type=int, default=10,
+                       help="size of the slow-span ranking (default 10)")
+    p_rep.add_argument("--traces", action="store_true",
+                       help="also summarize reconstructed traces")
+    p_rep.set_defaults(func=cmd_telemetry_report)
     return parser
 
 

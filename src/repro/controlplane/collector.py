@@ -40,6 +40,8 @@ from repro.robustness.policy import (
     CollectionPolicy,
 )
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.health import SketchHealthMonitor, SketchHealthReport
+from repro.telemetry.tracing import maybe_span
 from repro.traffic.trace import Trace
 
 
@@ -54,10 +56,16 @@ class WindowReport:
     heavy_changes: set = field(default_factory=set)
     health: Optional[CollectionHealth] = None
     collected_sketches: Dict[str, object] = field(default_factory=dict)
+    sketch_health: Optional[SketchHealthReport] = None
 
     @property
     def healthy(self) -> bool:
-        """True when collection of this window saw no degradation."""
+        """True when collection of this window saw no degradation.
+
+        Collection health only — the accuracy verdict, when a
+        :class:`~repro.telemetry.health.SketchHealthMonitor` is wired
+        in, lives in :attr:`sketch_health`.
+        """
         return self.health is None or self.health.healthy
 
 
@@ -86,8 +94,15 @@ class SketchCollector:
             back to the pre-EM histogram instead of serving NaNs (the
             fallback is counted in ``report.health.em_fallbacks``).
         telemetry: optional metrics registry; the collector counts
-            windows/packets, forwards the registry to EM, and emits one
-            ``window`` event per report (health fields included).
+            windows/packets, forwards the registry to EM, emits one
+            ``window`` event per report (health fields included) and
+            wraps every window in a ``collector.window`` span.
+        health_monitor: :class:`~repro.telemetry.health
+            .SketchHealthMonitor`; each window's drained sketch is
+            assessed and the verdict stored in
+            ``report.sketch_health``.  A default monitor is created
+            when none is given; a monitor without its own registry
+            inherits ``telemetry``.
     """
 
     def __init__(self, sketch_factory: Callable[[], object],
@@ -95,13 +110,19 @@ class SketchCollector:
                  run_em: bool = False,
                  change_threshold: Optional[int] = None,
                  em_guard: Optional[EMGuardConfig] = None,
-                 telemetry: Optional[MetricsRegistry] = None):
+                 telemetry: Optional[MetricsRegistry] = None,
+                 health_monitor: Optional[SketchHealthMonitor] = None):
         self.sketch_factory = sketch_factory
         self.em_config = em_config
         self.run_em = run_em
         self.change_threshold = change_threshold
         self.em_guard = em_guard
         self.telemetry = telemetry
+        if health_monitor is None:
+            health_monitor = SketchHealthMonitor()
+        self.health_monitor = health_monitor
+        if health_monitor.telemetry is None:
+            health_monitor.telemetry = telemetry
         self.sketches: List[object] = []
 
     def process(self, trace: Trace, num_windows: int) -> List[WindowReport]:
@@ -125,25 +146,32 @@ class SketchCollector:
                     cardinality_estimate=0.0, health=health))
                 self._record_window(reports[-1])
                 continue
-            sketch = self.sketch_factory()
-            sketch.ingest(window.keys)
-            self.sketches.append(sketch)
-            report = WindowReport(
-                window_index=index,
-                total_packets=len(window),
-                cardinality_estimate=float(sketch.cardinality()),
-                health=health,
-            )
-            if self.run_em:
-                report.distribution = self._estimate(sketch, health)
-            if self.change_threshold is not None and previous_sketch is not None:
-                detector = HeavyChangeDetector(previous_sketch, sketch)
-                candidates = np.union1d(
-                    previous_keys, window.ground_truth.keys_array()
+            with maybe_span(self.telemetry, "collector.window",
+                            window=index, packets=len(window)):
+                sketch = self.sketch_factory()
+                sketch.ingest(window.keys)
+                self.sketches.append(sketch)
+                report = WindowReport(
+                    window_index=index,
+                    total_packets=len(window),
+                    cardinality_estimate=float(sketch.cardinality()),
+                    health=health,
                 )
-                report.heavy_changes = detector.detect(
-                    [int(k) for k in candidates], self.change_threshold
-                )
+                if self.run_em:
+                    report.distribution = self._estimate(sketch, health)
+                if self.change_threshold is not None \
+                        and previous_sketch is not None:
+                    detector = HeavyChangeDetector(previous_sketch, sketch)
+                    candidates = np.union1d(
+                        previous_keys, window.ground_truth.keys_array()
+                    )
+                    report.heavy_changes = detector.detect(
+                        [int(k) for k in candidates], self.change_threshold
+                    )
+                if self.health_monitor is not None:
+                    report.sketch_health = self.health_monitor.assess(
+                        sketch, window_index=index,
+                        collection_health=health)
             previous_sketch = sketch
             previous_keys = window.ground_truth.keys_array()
             reports.append(report)
@@ -168,6 +196,8 @@ class SketchCollector:
             fields["em_converged"] = report.distribution.converged
         if report.health is not None:
             fields.update(report.health.event_fields())
+        if report.sketch_health is not None:
+            fields["sketch_status"] = report.sketch_health.status.name
         t.emit("window", "collector.window", **fields)
 
     def _estimate(self, sketch, health: CollectionHealth) -> EMResult:
@@ -206,7 +236,19 @@ class NetworkSketchCollector:
         em_switch: vantage point for the distribution estimate
             (default: the first leaf).
         telemetry: optional metrics registry; drains, retries, skips
-            and per-window health are counted and emitted as events.
+            and per-window health are counted and emitted as events,
+            and every window becomes one trace — a ``collector.window``
+            root span over the ``network.route`` child, one
+            ``collector.drain`` child per switch (annotated with the
+            retry/breaker outcome) and the EM spans.
+        health_monitor: :class:`~repro.telemetry.health
+            .SketchHealthMonitor`; each window the EM vantage point's
+            drained sketch (when reached) plus the window's
+            :class:`CollectionHealth` are assessed, the verdict stored
+            in ``report.sketch_health`` — this is what makes
+            chaos-injected fault windows visibly flip status.  A
+            default monitor is created when none is given; a monitor
+            without its own registry inherits ``telemetry``.
     """
 
     def __init__(self, simulator,
@@ -215,7 +257,8 @@ class NetworkSketchCollector:
                  em_config: Optional[EMConfig] = None,
                  em_guard: Optional[EMGuardConfig] = None,
                  em_switch: Optional[str] = None,
-                 telemetry: Optional[MetricsRegistry] = None):
+                 telemetry: Optional[MetricsRegistry] = None,
+                 health_monitor: Optional[SketchHealthMonitor] = None):
         self.simulator = simulator
         self.policy = policy if policy is not None else CollectionPolicy()
         self.run_em = run_em
@@ -224,6 +267,11 @@ class NetworkSketchCollector:
         self.em_switch = em_switch if em_switch is not None \
             else simulator.leaves[0]
         self.telemetry = telemetry
+        if health_monitor is None:
+            health_monitor = SketchHealthMonitor()
+        self.health_monitor = health_monitor
+        if health_monitor.telemetry is None:
+            health_monitor.telemetry = telemetry
         self.breaker = CircuitBreaker(self.policy.breaker_threshold,
                                       self.policy.breaker_cooldown)
         self._last_success: Dict[str, int] = {}
@@ -240,48 +288,70 @@ class NetworkSketchCollector:
 
     def _collect_window(self, window: Trace, index: int) -> WindowReport:
         sim = self.simulator
-        drops_before = sim.packets_dropped
-        if len(window) > 0:
-            sim.route_trace(window, window=index)
-        else:
-            sim.apply_faults(index)
-        health = CollectionHealth(
-            window_index=index, switches_total=len(sim.switches))
-        health.packets_dropped = sim.packets_dropped - drops_before
-
-        collected: Dict[str, object] = {}
-        for name in sorted(sim.switches):
-            if not self.breaker.allows(name, index):
-                health.switches_skipped.append(name)
-                self._note_stale(name, index, health)
-                continue
-            sketch, reason = self._drain_switch(name, index, health)
-            if sketch is not None:
-                collected[name] = sketch
-                self.breaker.record_success(name)
-                self._last_success[name] = index
-            else:
-                health.switches_failed[name] = reason
-                self.breaker.record_failure(name, index)
-                self._note_stale(name, index, health)
-        health.switches_reached = sorted(collected)
-
-        report = WindowReport(
-            window_index=index,
-            total_packets=len(window),
-            cardinality_estimate=self._cardinality(collected),
-            health=health,
-            collected_sketches=collected,
-        )
-        if self.run_em and self.em_switch in collected \
-                and len(window) > 0:
-            outcome = guarded_estimate_distribution(
-                collected[self.em_switch], config=self.em_config,
-                guard=self.em_guard, telemetry=self.telemetry)
-            if outcome.fell_back:
-                health.em_fallbacks += 1
-            report.distribution = outcome.result
         t = self.telemetry
+        with maybe_span(t, "collector.window", window=index,
+                        packets=len(window)) as window_span:
+            drops_before = sim.packets_dropped
+            if len(window) > 0:
+                sim.route_trace(window, window=index)
+            else:
+                sim.apply_faults(index)
+            health = CollectionHealth(
+                window_index=index, switches_total=len(sim.switches))
+            health.packets_dropped = sim.packets_dropped - drops_before
+
+            collected: Dict[str, object] = {}
+            for name in sorted(sim.switches):
+                if not self.breaker.allows(name, index):
+                    health.switches_skipped.append(name)
+                    self._note_stale(name, index, health)
+                    with maybe_span(t, "collector.drain", switch=name,
+                                    outcome="skipped",
+                                    breaker_open=True):
+                        pass
+                    continue
+                retries_before = health.retries
+                with maybe_span(t, "collector.drain",
+                                switch=name) as drain_span:
+                    sketch, reason = self._drain_switch(
+                        name, index, health)
+                    drain_span.annotate(
+                        retries=health.retries - retries_before,
+                        breaker_open=False)
+                    if sketch is not None:
+                        collected[name] = sketch
+                        self.breaker.record_success(name)
+                        self._last_success[name] = index
+                        drain_span.annotate(outcome="ok")
+                    else:
+                        health.switches_failed[name] = reason
+                        self.breaker.record_failure(name, index)
+                        self._note_stale(name, index, health)
+                        drain_span.annotate(outcome="failed",
+                                            reason=reason)
+            health.switches_reached = sorted(collected)
+
+            report = WindowReport(
+                window_index=index,
+                total_packets=len(window),
+                cardinality_estimate=self._cardinality(collected),
+                health=health,
+                collected_sketches=collected,
+            )
+            if self.run_em and self.em_switch in collected \
+                    and len(window) > 0:
+                outcome = guarded_estimate_distribution(
+                    collected[self.em_switch], config=self.em_config,
+                    guard=self.em_guard, telemetry=self.telemetry)
+                if outcome.fell_back:
+                    health.em_fallbacks += 1
+                report.distribution = outcome.result
+            if self.health_monitor is not None:
+                report.sketch_health = self.health_monitor.assess(
+                    collected.get(self.em_switch), window_index=index,
+                    collection_health=health)
+                window_span.annotate(
+                    sketch_status=report.sketch_health.status.name)
         if t is not None:
             t.inc("collector.windows")
             t.inc("collector.packets", report.total_packets)
@@ -299,6 +369,8 @@ class NetworkSketchCollector:
                 fields["em_iterations"] = report.distribution.iterations
                 fields["em_converged"] = report.distribution.converged
             fields.update(health.event_fields())
+            if report.sketch_health is not None:
+                fields["sketch_status"] = report.sketch_health.status.name
             t.emit("window", "collector.network_window", **fields)
         return report
 

@@ -44,6 +44,7 @@ from scipy.special import gammaln
 
 from repro.core.virtual import VirtualCounterArray
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.tracing import maybe_span
 
 Combination = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
@@ -490,18 +491,26 @@ class EMEstimator:
         rel_change = 0.0
         timer = (telemetry.timer("em.runtime_seconds")
                  if telemetry is not None else _null_context())
+        run_span = maybe_span(telemetry, "em.run",
+                              trees=len(self.arrays),
+                              max_iterations=num_iters)
         try:
-            with timer:
+            with run_span, timer:
                 for it in range(num_iters):
                     previous = n_j
-                    n_j = self._iterate(n_j, executor)
-                    performed = it + 1
-                    if callback is not None:
-                        callback(it + 1, n_j.copy())
-                    if tol > 0 or telemetry is not None:
-                        denom = max(float(np.abs(previous).sum()), 1e-12)
-                        rel_change = (float(np.abs(n_j - previous).sum())
-                                      / denom)
+                    with maybe_span(telemetry, "em.iteration",
+                                    iteration=it + 1) as span:
+                        n_j = self._iterate(n_j, executor)
+                        performed = it + 1
+                        if callback is not None:
+                            callback(it + 1, n_j.copy())
+                        if tol > 0 or telemetry is not None:
+                            denom = max(float(np.abs(previous).sum()),
+                                        1e-12)
+                            rel_change = (
+                                float(np.abs(n_j - previous).sum())
+                                / denom)
+                            span.annotate(rel_change=rel_change)
                     if telemetry is not None:
                         telemetry.inc("em.iterations")
                         telemetry.observe("em.iteration_rel_change",
@@ -512,6 +521,8 @@ class EMEstimator:
                     if tol > 0 and rel_change < tol:
                         converged = True
                         break
+                run_span.annotate(iterations=performed,
+                                  converged=converged)
         finally:
             if executor is not None:
                 executor.shutdown()

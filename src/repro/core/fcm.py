@@ -22,6 +22,7 @@ from repro.hashing.family import hash_families
 from repro.sketches.base import FrequencySketch
 from repro.sketches.linear_counting import linear_counting_estimate
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.tracing import maybe_span
 
 
 class FCMSketch(FrequencySketch):
@@ -87,9 +88,11 @@ class FCMSketch(FrequencySketch):
     def ingest(self, keys: np.ndarray) -> None:
         """Bulk-load a packet stream (vectorized per tree)."""
         keys = np.asarray(keys, dtype=np.uint64)
-        for tree in self.trees:
-            tree.ingest(keys)
         t = self._telemetry
+        with maybe_span(t, f"{self._tname}.ingest",
+                        packets=int(keys.size)):
+            for tree in self.trees:
+                tree.ingest(keys)
         if t is not None:
             t.inc(f"{self._tname}.ingest.calls")
             t.inc(f"{self._tname}.ingest.packets", int(keys.size))
@@ -101,9 +104,11 @@ class FCMSketch(FrequencySketch):
                         weights: np.ndarray) -> None:
         """Bulk-load with per-packet weights, e.g. byte counts (§3.3)."""
         keys = np.asarray(keys, dtype=np.uint64)
-        for tree in self.trees:
-            tree.ingest(keys, weights=weights)
         t = self._telemetry
+        with maybe_span(t, f"{self._tname}.ingest",
+                        packets=int(np.asarray(weights).sum())):
+            for tree in self.trees:
+                tree.ingest(keys, weights=weights)
         if t is not None:
             t.inc(f"{self._tname}.ingest.calls")
             t.inc(f"{self._tname}.ingest.packets",
@@ -144,9 +149,11 @@ class FCMSketch(FrequencySketch):
         if t is not None:
             t.inc(f"{self._tname}.query.calls")
             t.inc(f"{self._tname}.query.keys", int(keys.size))
-        estimate = self.trees[0].query_many(keys)
-        for tree in self.trees[1:]:
-            np.minimum(estimate, tree.query_many(keys), out=estimate)
+        with maybe_span(t, f"{self._tname}.query",
+                        keys=int(keys.size)):
+            estimate = self.trees[0].query_many(keys)
+            for tree in self.trees[1:]:
+                np.minimum(estimate, tree.query_many(keys), out=estimate)
         return estimate
 
     def heavy_hitters(self, candidate_keys: Iterable[int],
@@ -218,8 +225,9 @@ class FCMSketch(FrequencySketch):
         ``.overflows``; the event carries the full nested snapshot.
         Returns the snapshot either way.
         """
-        state = self.state_snapshot()
         t = self._telemetry
+        with maybe_span(t, f"{self._tname}.emit_state"):
+            state = self.state_snapshot()
         if t is not None:
             for i, tree_state in enumerate(state["trees"]):
                 for s, (occ, ovf) in enumerate(zip(tree_state["occupancy"],

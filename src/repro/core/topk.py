@@ -25,6 +25,7 @@ from repro.core.config import FCMConfig
 from repro.core.fcm import FCMSketch
 from repro.hashing.family import hash_families
 from repro.sketches.base import FrequencySketch, SketchMemoryError
+from repro.telemetry.tracing import maybe_span
 
 BUCKET_BYTES = 13
 """Per-bucket cost: 8B key fingerprint + 4B vote+ + 1B vote-/flag."""
@@ -181,6 +182,8 @@ class FCMTopK(FrequencySketch):
         self.fcm = FCMSketch(config, telemetry=telemetry,
                              name=f"{name}.fcm")
         self.hardware = hardware
+        self._telemetry = telemetry
+        self._tname = name
 
     @property
     def memory_bytes(self) -> int:
@@ -198,10 +201,17 @@ class FCMTopK(FrequencySketch):
 
     def ingest(self, keys: np.ndarray) -> None:
         """Per-packet loop: the Top-K filter is order-dependent."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        t = self._telemetry
         insert = self.topk.insert
         to_sketch = self._to_sketch
-        for key in np.asarray(keys, dtype=np.uint64):
-            insert(int(key), to_sketch)
+        with maybe_span(t, f"{self._tname}.ingest",
+                        packets=int(keys.size)):
+            for key in keys:
+                insert(int(key), to_sketch)
+        if t is not None:
+            t.inc(f"{self._tname}.ingest.calls")
+            t.inc(f"{self._tname}.ingest.packets", int(keys.size))
 
     def query(self, key: int) -> int:
         """Top-K count plus the sketch residue when flagged (§6)."""

@@ -48,9 +48,21 @@ def average_absolute_error(
 
 
 def relative_error(true_value: float, estimated_value: float) -> float:
-    """RE = |x̂ − x| / x for a scalar statistic."""
+    """RE = |x̂ − x| / x for a scalar statistic.
+
+    A zero true value makes the ratio undefined, with one exception: a
+    perfect estimate of zero has zero error, so ``relative_error(0, 0)``
+    returns ``0.0``.  Any other estimate against a zero truth raises —
+    callers measuring statistics that can legitimately be zero (e.g.
+    entropy of a single-flow trace) must handle that case explicitly
+    rather than receive an arbitrary sentinel.
+    """
     if true_value == 0:
-        raise ValueError("true value must be nonzero for relative error")
+        if estimated_value == 0:
+            return 0.0
+        raise ValueError(
+            "relative error is undefined for a zero true value "
+            f"(estimate was {estimated_value!r})")
     return abs(estimated_value - true_value) / abs(true_value)
 
 
@@ -72,9 +84,15 @@ class PrecisionRecall:
 def precision_recall(reported: Set[int], truth: Set[int]) -> PrecisionRecall:
     """Precision and recall of ``reported`` against ``truth``.
 
-    Edge cases follow the usual conventions: an empty report has
-    precision 1 (nothing false was claimed); an empty truth set has
-    recall 1 (nothing was missed).
+    Edge cases follow the usual conventions, pinned here because heavy
+    hitter / heavy changer windows can legitimately be empty:
+
+    * empty report, empty truth  → precision 1, recall 1, F1 1
+      (nothing to find, nothing claimed — a perfect answer);
+    * empty report, nonempty truth → precision 1, recall 0, F1 0
+      (nothing false was claimed, everything was missed);
+    * nonempty report, empty truth → precision 0, recall 1, F1 0
+      (every claim is false, nothing was missed).
     """
     true_positives = len(reported & truth)
     precision = true_positives / len(reported) if reported else 1.0
@@ -96,9 +114,18 @@ def weighted_mean_relative_error(
     ``WMRE = sum_i |n_i − n̂_i| / sum_i (n_i + n̂_i) / 2`` where ``n_i``
     is the number of flows of size ``i``.  Accepts either dense arrays
     indexed by flow size or ``{size: count}`` mappings.
+
+    Zero-count truth bins are kept, not dropped: a size the estimate
+    invents (``n_i = 0``, ``n̂_i > 0``) contributes ``n̂_i`` to the
+    numerator and ``n̂_i / 2`` to the denominator, so phantom mass is
+    penalised exactly like missed mass and disjoint distributions reach
+    the metric's maximum of 2.  Two empty distributions compare equal
+    (``0.0``).  Negative counts in either input are rejected.
     """
     truth = _as_dense(true_distribution)
     est = _as_dense(estimated_distribution)
+    if np.any(truth < 0) or np.any(est < 0):
+        raise ValueError("flow counts must be non-negative for WMRE")
     size = max(truth.shape[0], est.shape[0])
     truth = np.pad(truth, (0, size - truth.shape[0]))
     est = np.pad(est, (0, size - est.shape[0]))

@@ -35,6 +35,7 @@ from repro.network.topology import ecmp_paths, leaf_switches
 from repro.robustness.degradation import DegradationLevel, DegradedAnswer
 from repro.robustness.faults import FaultInjector
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.tracing import maybe_span
 from repro.traffic.trace import Trace
 
 PathSelector = Callable[[int, List[List[str]]], List[str]]
@@ -130,42 +131,50 @@ class NetworkSimulator:
                 back to ECMP when ``None``.
             window: measurement-window index for the fault plan.
         """
-        self.apply_faults(window)
-        injector = self.fault_injector
-        chaotic = injector is not None and (
-            len(self.alive_switches()) < len(self.switches)
-            or injector.plan.has_link_loss(window)
-        )
-        drops_before = self.packets_dropped
-        flow_drops_before = self.flows_dropped
-        gt = trace.ground_truth
-        per_switch_keys: Dict[str, List[int]] = {n: [] for n in self.switches}
-        per_switch_counts: Dict[str, List[int]] = {n: [] for n in self.switches}
-        for key, count in gt.flow_sizes.items():
-            if chaotic:
-                hop_counts = self._route_flow_chaotic(
-                    key, count, path_selector, window)
-            else:
-                path = self._select_path(key, path_selector)
-                self._flow_paths[key] = path
-                hop_counts = [(hop, count) for hop in path]
-                for edge in zip(path, path[1:]):
-                    link = tuple(sorted(edge))
-                    self.link_load[link] = self.link_load.get(link, 0) + count
-            for hop, hop_count in hop_counts:
-                if hop_count > 0:
-                    per_switch_keys[hop].append(key)
-                    per_switch_counts[hop].append(hop_count)
-        for name, keys in per_switch_keys.items():
-            if not keys:
-                continue
-            self._forward_aggregated(
-                self.switches[name],
-                np.asarray(keys, dtype=np.uint64),
-                np.asarray(per_switch_counts[name], dtype=np.int64),
-            )
-        self._apply_corruption(window)
         t = self.telemetry
+        with maybe_span(t, "network.route", window=window,
+                        packets=len(trace)) as route_span:
+            self.apply_faults(window)
+            injector = self.fault_injector
+            chaotic = injector is not None and (
+                len(self.alive_switches()) < len(self.switches)
+                or injector.plan.has_link_loss(window)
+            )
+            drops_before = self.packets_dropped
+            flow_drops_before = self.flows_dropped
+            gt = trace.ground_truth
+            per_switch_keys: Dict[str, List[int]] = {
+                n: [] for n in self.switches}
+            per_switch_counts: Dict[str, List[int]] = {
+                n: [] for n in self.switches}
+            for key, count in gt.flow_sizes.items():
+                if chaotic:
+                    hop_counts = self._route_flow_chaotic(
+                        key, count, path_selector, window)
+                else:
+                    path = self._select_path(key, path_selector)
+                    self._flow_paths[key] = path
+                    hop_counts = [(hop, count) for hop in path]
+                    for edge in zip(path, path[1:]):
+                        link = tuple(sorted(edge))
+                        self.link_load[link] = (
+                            self.link_load.get(link, 0) + count)
+                for hop, hop_count in hop_counts:
+                    if hop_count > 0:
+                        per_switch_keys[hop].append(key)
+                        per_switch_counts[hop].append(hop_count)
+            for name, keys in per_switch_keys.items():
+                if not keys:
+                    continue
+                self._forward_aggregated(
+                    self.switches[name],
+                    np.asarray(keys, dtype=np.uint64),
+                    np.asarray(per_switch_counts[name], dtype=np.int64),
+                )
+            self._apply_corruption(window)
+            route_span.annotate(
+                packets_dropped=self.packets_dropped - drops_before,
+                switches_alive=len(self.alive_switches()))
         if t is not None:
             alive = self.alive_switches()
             t.inc("network.windows_routed")

@@ -1,4 +1,4 @@
-"""Telemetry: metrics registry + structured NDJSON event export.
+"""Telemetry: metrics, structured events, spans and sketch health.
 
 Every layer of the reproduction accepts an optional ``telemetry``
 argument (default ``None`` — instrumentation disabled, zero overhead
@@ -17,15 +17,29 @@ beyond a branch per bulk operation):
 * network — :class:`~repro.network.simulator.NetworkSimulator` counts
   routed/dropped packets and surviving switches per window.
 
+On top of the flat metrics/events layer sit two observability tools:
+
+* **tracing** (:mod:`repro.telemetry.tracing`) — hierarchical
+  :class:`Span` records with deterministic counter ids, opened through
+  :meth:`MetricsRegistry.span`; one trace reconstructs a measurement
+  window end to end (simulator routing → per-switch drain → EM);
+* **health** (:mod:`repro.telemetry.health`) — a
+  :class:`SketchHealthMonitor` that turns stage-1 occupancy, saturation
+  gauges, Linear-Counting cardinality and the §5 error bounds into a
+  per-window ``healthy``/``degraded``/``saturated`` verdict.
+
 Event streams carry sequence numbers instead of timestamps, so runs
 with fixed seeds are byte-comparable — see :mod:`repro.telemetry
-.events`.  The observability quickstart lives in ``docs/API.md`` and
-``examples/telemetry_monitoring.py``.
+.events`.  The observability guide lives in ``docs/OBSERVABILITY.md``;
+quickstarts in ``examples/telemetry_monitoring.py`` and
+``examples/pipeline_tracing.py``.
 """
 
 from repro.telemetry.events import (
+    FilterExporter,
     MemoryExporter,
     NDJSONExporter,
+    TeeExporter,
     TelemetryEvent,
 )
 from repro.telemetry.registry import (
@@ -35,14 +49,59 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     Timer,
 )
+from repro.telemetry.tracing import (
+    Span,
+    SpanNode,
+    Tracer,
+    build_trace_trees,
+    maybe_span,
+    read_spans,
+    render_trace_tree,
+)
+
+# The health monitor consumes the robustness layer (DegradationLevel,
+# CollectionHealth), which in turn builds on repro.core — importing it
+# eagerly here would close an import cycle (core.em imports this
+# package).  PEP 562 lazy attributes keep
+# ``from repro.telemetry import SketchHealthMonitor`` working without
+# the cycle.
+_HEALTH_EXPORTS = (
+    "HealthStatus",
+    "HealthThresholds",
+    "SketchHealthMonitor",
+    "SketchHealthReport",
+)
+
+
+def __getattr__(name):
+    if name in _HEALTH_EXPORTS:
+        from repro.telemetry import health
+
+        return getattr(health, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Counter",
+    "FilterExporter",
     "Gauge",
+    "HealthStatus",
+    "HealthThresholds",
     "Histogram",
     "MemoryExporter",
     "MetricsRegistry",
     "NDJSONExporter",
+    "SketchHealthMonitor",
+    "SketchHealthReport",
+    "Span",
+    "SpanNode",
+    "TeeExporter",
     "TelemetryEvent",
     "Timer",
+    "Tracer",
+    "build_trace_trees",
+    "maybe_span",
+    "read_spans",
+    "render_trace_tree",
 ]

@@ -8,19 +8,22 @@ timestamp, so that two runs with the same seeds produce byte-identical
 event streams (the property the telemetry tests pin down).  Callers who
 want timestamps can stamp them downstream of the exporter.
 
-Two exporters ship with the library:
+Four exporters ship with the library:
 
 * :class:`MemoryExporter` — collects events in a list (tests, examples).
 * :class:`NDJSONExporter` — one JSON object per line with sorted keys,
   to a path or an open stream; the standard interchange format for the
   observability quickstart and the CLI's ``--telemetry-out``.
+* :class:`FilterExporter` — forwards only selected event kinds to an
+  inner exporter (the CLI's ``--trace-out`` keeps a spans-only file).
+* :class:`TeeExporter` — fans one stream out to several exporters.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -28,6 +31,8 @@ __all__ = [
     "TelemetryEvent",
     "MemoryExporter",
     "NDJSONExporter",
+    "FilterExporter",
+    "TeeExporter",
 ]
 
 
@@ -137,3 +142,40 @@ class NDJSONExporter:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class FilterExporter:
+    """Forwards only events of the given kinds to an inner exporter.
+
+    Sequence numbers are assigned by the registry before filtering, so
+    a filtered stream keeps its original (now gapped) numbering — span
+    reconstruction and cross-stream correlation still line up.
+    """
+
+    def __init__(self, inner, kinds: Iterable[str]):
+        self.inner = inner
+        self.kinds = frozenset(kinds)
+
+    def export(self, event: TelemetryEvent) -> None:
+        if event.kind in self.kinds:
+            self.inner.export(event)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class TeeExporter:
+    """Duplicates every event to several exporters."""
+
+    def __init__(self, *exporters):
+        if not exporters:
+            raise ValueError("TeeExporter needs at least one exporter")
+        self.exporters = list(exporters)
+
+    def export(self, event: TelemetryEvent) -> None:
+        for exporter in self.exporters:
+            exporter.export(event)
+
+    def close(self) -> None:
+        for exporter in self.exporters:
+            exporter.close()

@@ -1,0 +1,303 @@
+"""Online accuracy self-monitoring for FCM sketches.
+
+The paper's §5 bounds (:mod:`repro.analysis.bounds`) say how wrong a
+count-query can be, *given* the sketch geometry and the traffic volume
+— but nothing in the runtime consumed them until now.
+:class:`SketchHealthMonitor` closes that loop: once per measurement
+window it combines
+
+* structural signals straight from the trees — stage-1 occupancy
+  (which drives Linear-Counting cardinality) and per-stage sentinel
+  counts (last-stage sentinels are hard saturation, the only place FCM
+  can undercount),
+* the Linear-Counting cardinality estimate itself, and
+* the Theorem 5.1 / 6.1 additive error bound scaled to a **predicted
+  ARE envelope** (bound over the mean flow size),
+
+and publishes a ``healthy`` / ``degraded`` / ``saturated`` status —
+as a :class:`SketchHealthReport`, as telemetry gauges/counters, and as
+one ``health`` event per window.  Collection-level trouble (failed or
+stale drains, dropped packets, EM fallbacks) recorded in a
+:class:`~repro.robustness.policy.CollectionHealth` also degrades the
+status, which is how chaos-injected fault windows visibly flip it.
+
+The robustness layer consumes the verdict through
+:attr:`SketchHealthReport.suggested_degradation` (a
+:class:`~repro.robustness.degradation.DegradationLevel`) and through
+:meth:`SketchHealthMonitor.on_status_change` threshold hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, List, Optional
+
+from repro.analysis.bounds import fcm_error_bound, fcm_topk_error_bound
+from repro.robustness.degradation import DegradationLevel
+from repro.robustness.policy import CollectionHealth
+
+__all__ = [
+    "HealthStatus",
+    "HealthThresholds",
+    "SketchHealthReport",
+    "SketchHealthMonitor",
+]
+
+
+class HealthStatus(IntEnum):
+    """Per-window sketch health verdict (ordered worst-last)."""
+
+    HEALTHY = 0    # error envelope within thresholds, collection clean
+    DEGRADED = 1   # accuracy at risk: occupancy/ARE/collection trouble
+    SATURATED = 2  # sketch structurally saturated; undercount possible
+
+    @property
+    def degradation(self) -> DegradationLevel:
+        """The robustness-layer level this status maps onto."""
+        return {
+            HealthStatus.HEALTHY: DegradationLevel.FULL,
+            HealthStatus.DEGRADED: DegradationLevel.DEGRADED,
+            HealthStatus.SATURATED: DegradationLevel.CRITICAL,
+        }[self]
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Knobs deciding when a window stops being healthy.
+
+    Attributes:
+        occupancy_degraded: stage-1 occupancy above which Linear
+            Counting's variance grows noticeably (default 0.85).
+        occupancy_saturated: stage-1 occupancy at which LC is pinned to
+            its clamp and cardinality is no longer resolvable.
+        saturated_nodes: last-stage sentinel count at or above which the
+            sketch is declared saturated (1 = any hard saturation).
+        predicted_are_degraded: predicted ARE envelope above which the
+            window is degraded (1.0 = bound exceeds the mean flow size).
+    """
+
+    occupancy_degraded: float = 0.85
+    occupancy_saturated: float = 0.995
+    saturated_nodes: int = 1
+    predicted_are_degraded: float = 1.0
+
+
+@dataclass
+class SketchHealthReport:
+    """One window's health verdict plus the signals behind it.
+
+    ``error_bound`` is the Theorem 5.1 (or 6.1, for FCM+TopK) additive
+    bound on any single count-query; ``predicted_are`` scales it by the
+    mean flow size (total packets / LC cardinality), an envelope on the
+    average relative error the window's queries should stay within.
+    """
+
+    window_index: int
+    status: HealthStatus
+    reasons: List[str] = field(default_factory=list)
+    stage1_occupancy: float = 0.0
+    saturated_nodes: int = 0
+    max_degree: int = 1
+    total_packets: int = 0
+    cardinality: float = 0.0
+    error_bound: float = 0.0
+    predicted_are: float = 0.0
+    collection_degradation: DegradationLevel = DegradationLevel.FULL
+
+    @property
+    def healthy(self) -> bool:
+        return self.status is HealthStatus.HEALTHY
+
+    @property
+    def suggested_degradation(self) -> DegradationLevel:
+        """Worst of the sketch verdict and the collection coverage."""
+        return max(self.status.degradation, self.collection_degradation)
+
+    def event_fields(self) -> dict:
+        """Flat JSON-friendly payload for the per-window health event."""
+        return {
+            "window": self.window_index,
+            "status": self.status.name,
+            "reasons": list(self.reasons),
+            "stage1_occupancy": self.stage1_occupancy,
+            "saturated_nodes": self.saturated_nodes,
+            "max_degree": self.max_degree,
+            "total_packets": self.total_packets,
+            "cardinality": self.cardinality,
+            "error_bound": self.error_bound,
+            "predicted_are": self.predicted_are,
+            "suggested_degradation": self.suggested_degradation.name,
+        }
+
+
+StatusHook = Callable[[int, Optional[HealthStatus], HealthStatus,
+                       SketchHealthReport], None]
+
+
+class SketchHealthMonitor:
+    """Per-window accuracy watchdog over one sketch (or vantage point).
+
+    Args:
+        thresholds: when to flip status (defaults above).
+        telemetry: optional registry; every assessment publishes
+            gauges (``<name>.stage1_occupancy`` / ``.predicted_are`` /
+            ``.status``), per-status window counters and one ``health``
+            event.
+        name: metric/event name prefix (default ``"health"``).
+
+    Example:
+        >>> from repro.core import FCMSketch
+        >>> monitor = SketchHealthMonitor()
+        >>> sketch = FCMSketch.with_memory(16 * 1024)
+        >>> sketch.update(7, 3)
+        >>> monitor.assess(sketch).status.name
+        'HEALTHY'
+    """
+
+    def __init__(self, thresholds: Optional[HealthThresholds] = None,
+                 telemetry=None, name: str = "health"):
+        self.thresholds = thresholds if thresholds is not None \
+            else HealthThresholds()
+        self.telemetry = telemetry
+        self.name = name
+        self.last_status: Optional[HealthStatus] = None
+        self._hooks: List[StatusHook] = []
+
+    def on_status_change(self, hook: StatusHook) -> "SketchHealthMonitor":
+        """Register ``hook(window, previous, status, report)``, invoked
+        whenever the status differs from the previous window's (and on
+        the first assessment)."""
+        self._hooks.append(hook)
+        return self
+
+    # ------------------------------------------------------------------
+
+    def assess(self, sketch, window_index: int = 0,
+               collection_health: Optional[CollectionHealth] = None,
+               ) -> SketchHealthReport:
+        """Assess one window.
+
+        Args:
+            sketch: an ``FCMSketch`` or ``FCMTopK`` drained for this
+                window; ``None`` when no vantage point was collected
+                (the verdict then rests on ``collection_health`` alone).
+            window_index: measurement-window number for the report.
+            collection_health: the window's drain record, if any.
+        """
+        report = SketchHealthReport(window_index=window_index,
+                                    status=HealthStatus.HEALTHY)
+        limits = self.thresholds
+        if sketch is not None:
+            self._assess_sketch(sketch, report)
+        if collection_health is not None:
+            report.collection_degradation = collection_health.degradation
+            if not collection_health.healthy:
+                report.status = max(report.status, HealthStatus.DEGRADED)
+                report.reasons.append(self._collection_reason(
+                    collection_health))
+        if sketch is None and collection_health is None:
+            raise ValueError("need a sketch or a CollectionHealth record")
+        if sketch is not None:
+            if report.saturated_nodes >= limits.saturated_nodes:
+                report.status = HealthStatus.SATURATED
+                report.reasons.append(
+                    f"last-stage saturation: {report.saturated_nodes} "
+                    f"node(s) at sentinel (undercount possible)")
+            if report.stage1_occupancy >= limits.occupancy_saturated:
+                report.status = HealthStatus.SATURATED
+                report.reasons.append(
+                    f"stage-1 occupancy {report.stage1_occupancy:.3f} at "
+                    f"the Linear-Counting clamp")
+            elif report.stage1_occupancy >= limits.occupancy_degraded:
+                report.status = max(report.status, HealthStatus.DEGRADED)
+                report.reasons.append(
+                    f"stage-1 occupancy {report.stage1_occupancy:.3f} >= "
+                    f"{limits.occupancy_degraded}")
+            if report.predicted_are >= limits.predicted_are_degraded:
+                report.status = max(report.status, HealthStatus.DEGRADED)
+                report.reasons.append(
+                    f"predicted ARE envelope {report.predicted_are:.3f} "
+                    f">= {limits.predicted_are_degraded}")
+        self._publish(report)
+        previous = self.last_status
+        self.last_status = report.status
+        if report.status is not previous:
+            for hook in self._hooks:
+                hook(window_index, previous, report.status, report)
+        return report
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _collection_reason(health: CollectionHealth) -> str:
+        parts = []
+        if health.switches_failed:
+            parts.append(f"failed={sorted(health.switches_failed)}")
+        if health.switches_skipped:
+            parts.append(f"skipped={sorted(health.switches_skipped)}")
+        if health.staleness:
+            parts.append(f"stale={len(health.staleness)}")
+        if health.packets_dropped:
+            parts.append(f"dropped={health.packets_dropped}")
+        if health.em_fallbacks:
+            parts.append(f"em_fallbacks={health.em_fallbacks}")
+        return "collection unhealthy: " + " ".join(parts)
+
+    def _assess_sketch(self, sketch, report: SketchHealthReport) -> None:
+        # FCM+TopK: the bound (Thm 6.1) applies to the residual volume
+        # that reached the backing FCM after the Top-K filter.
+        topk = getattr(sketch, "fcm", None) is not None \
+            and getattr(sketch, "topk", None) is not None
+        fcm = sketch.fcm if topk else sketch
+        trees = fcm.trees
+        report.stage1_occupancy = max(t.occupancy()[0] for t in trees)
+        report.saturated_nodes = sum(t.overflow_counts()[-1]
+                                     for t in trees)
+        report.total_packets = int(fcm.total_packets)
+        report.cardinality = float(sketch.cardinality())
+        report.max_degree = self._max_degree(fcm)
+        config = fcm.config
+        if topk:
+            report.error_bound = fcm_topk_error_bound(
+                report.total_packets, config.leaf_width,
+                config.counting_ranges[0], report.max_degree)
+        else:
+            report.error_bound = fcm_error_bound(
+                report.total_packets, config.leaf_width,
+                config.counting_ranges[0], report.max_degree)
+        if report.cardinality > 0 and report.total_packets > 0:
+            mean_flow = report.total_packets / report.cardinality
+            report.predicted_are = report.error_bound / max(mean_flow, 1.0)
+
+    @staticmethod
+    def _max_degree(fcm) -> int:
+        """Worst-case virtual-counter degree, from the overflow gauges.
+
+        A stage-``l`` overflow (interior sentinel) merges up to ``k``
+        stage-``l`` paths into one stage-``l+1`` counter, so the
+        deepest overflowed interior stage ``l*`` (1-based) bounds the
+        degree at ``k ** l*``; a sketch with no overflows is degree 1
+        (Theorem 5.1's D).
+        """
+        deepest = 0
+        for tree in fcm.trees:
+            counts = tree.overflow_counts()
+            for stage, count in enumerate(counts[:-1], start=1):
+                if count > 0:
+                    deepest = max(deepest, stage)
+        return fcm.config.k ** deepest if deepest else 1
+
+    def _publish(self, report: SketchHealthReport) -> None:
+        t = self.telemetry
+        if t is None:
+            return
+        prefix = self.name
+        t.inc(f"{prefix}.windows.{report.status.name.lower()}")
+        t.set_gauge(f"{prefix}.status", float(report.status.value))
+        t.set_gauge(f"{prefix}.stage1_occupancy", report.stage1_occupancy)
+        t.set_gauge(f"{prefix}.saturated_nodes",
+                    float(report.saturated_nodes))
+        t.set_gauge(f"{prefix}.error_bound", report.error_bound)
+        t.set_gauge(f"{prefix}.predicted_are", report.predicted_are)
+        t.emit("health", f"{prefix}.window", **report.event_fields())

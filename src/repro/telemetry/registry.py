@@ -16,8 +16,9 @@ Design notes:
   durations stay in histograms — they are never written into the event
   stream, which therefore stays byte-comparable across runs.
 * **Cheap.**  Counters and gauges are plain attribute updates;
-  histograms keep running aggregates (count/sum/min/max/sum-of-squares)
-  instead of samples, so memory is O(metrics), not O(observations).
+  histograms keep running aggregates (count/sum/min/max plus Welford's
+  mean/M2 recurrence) instead of samples, so memory is O(metrics), not
+  O(observations).
 * **Pull or push.**  Consumers either read :meth:`MetricsRegistry
   .snapshot` at the end of a run, or attach an exporter and receive
   :class:`~repro.telemetry.events.TelemetryEvent` records as they
@@ -72,13 +73,19 @@ class Gauge:
 class Histogram:
     """Running aggregates over observed samples.
 
-    Keeps count, sum, min, max and the sum of squares; :meth:`summary`
-    derives mean and population standard deviation.  The telemetry
+    Keeps count, sum, min, max and Welford's (mean, M2) recurrence;
+    :meth:`summary` derives mean and population standard deviation.
+    Welford's algorithm replaced the naive sum-of-squares update, which
+    catastrophically cancels on large-mean / tiny-variance streams
+    (e.g. per-window packet counts near 1e9): the variance it derived
+    could come out negative or orders of magnitude off, where Welford
+    stays accurate.  ``std()`` still clamps M2 at zero — even Welford
+    can land a hair below zero in the last float ulp.  The telemetry
     property tests assert these aggregates match a numpy recomputation
-    over the same samples.
+    over the same samples, including adversarial large-mean streams.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "sum_squares")
+    __slots__ = ("name", "count", "total", "min", "max", "_mean", "_m2")
 
     def __init__(self, name: str):
         self.name = name
@@ -86,13 +93,16 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
-        self.sum_squares = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
 
     def observe(self, value: float) -> None:
         value = float(value)
         self.count += 1
         self.total += value
-        self.sum_squares += value * value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -100,15 +110,19 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (Welford M2 / count, clamped at 0)."""
+        if self.count == 0:
+            return 0.0
+        return max(self._m2, 0.0) / self.count
 
     @property
     def std(self) -> float:
         """Population standard deviation of the observed samples."""
-        if self.count == 0:
-            return 0.0
-        variance = self.sum_squares / self.count - self.mean ** 2
-        return math.sqrt(max(variance, 0.0))
+        return math.sqrt(self.variance)
 
     def summary(self) -> Dict[str, float]:
         """Aggregate view (count/sum/mean/min/max/std)."""
@@ -171,6 +185,7 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._timer_histograms: set = set()
         self._seq = 0
+        self._tracer = None
 
     # -- metric accessors (get-or-create) ----------------------------
 
@@ -201,6 +216,37 @@ class MetricsRegistry:
         """
         self._timer_histograms.add(name)
         return Timer(self.histogram(name), clock=self.clock)
+
+    def histogram_as_timer(self, name: str) -> Histogram:
+        """``histogram(name)``, marked as wall-clock data.
+
+        Used for durations recorded outside a :meth:`timer` context
+        (the tracer's per-span histograms): the histogram behaves
+        normally but is excluded from ``snapshot(include_timers=False)``
+        like any timer-fed histogram.
+        """
+        self._timer_histograms.add(name)
+        return self.histogram(name)
+
+    # -- tracing -------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The registry's :class:`~repro.telemetry.tracing.Tracer`.
+
+        Created lazily; spans it opens are exported through this
+        registry's event stream (shared sequence numbers) and time
+        themselves with this registry's clock.
+        """
+        if self._tracer is None:
+            from repro.telemetry.tracing import Tracer
+
+            self._tracer = Tracer(self)
+        return self._tracer
+
+    def span(self, name: str, **annotations: Any):
+        """Open a span on :attr:`tracer` (context manager)."""
+        return self.tracer.span(name, **annotations)
 
     # -- recording shorthands ----------------------------------------
 

@@ -1,0 +1,197 @@
+"""Render an exported NDJSON telemetry stream into operator tables.
+
+This is the analysis side of the observability layer: given the file
+written by the CLI's ``--telemetry-out`` / ``--trace-out`` (or any
+stream of :class:`~repro.telemetry.events.TelemetryEvent` dicts), build
+per-window drain-health tables, EM convergence summaries, sketch-health
+timelines and a top-slow-spans ranking — the ``telemetry-report``
+subcommand prints exactly these.
+
+Everything here is pure text processing over already-exported records;
+nothing imports the simulator or sketches, so the report runs on any
+machine with just the NDJSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+from repro.telemetry.tracing import build_trace_trees, read_spans
+
+__all__ = [
+    "load_ndjson",
+    "window_table",
+    "em_table",
+    "health_table",
+    "slow_spans",
+    "render_report",
+]
+
+_WINDOW_EVENTS = {"collector.window", "collector.network_window"}
+
+
+def load_ndjson(source: Union[str, IO[str], Iterable[str]],
+                ) -> List[Dict[str, Any]]:
+    """Parse NDJSON records from a path, open stream or line iterable.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number (a truncated export should fail loudly,
+    not silently drop telemetry).
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_ndjson(handle)
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            raise ValueError(
+                f"line {lineno} is not valid NDJSON: {err}") from None
+    return records
+
+
+def _fmt_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Left-aligned plain-text table (no external deps)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+
+def window_table(records: List[Dict[str, Any]]) -> str:
+    """Per-window drain health from the collectors' ``window`` events."""
+    rows: List[List[str]] = []
+    for rec in records:
+        if rec.get("kind") != "window" \
+                or rec.get("name") not in _WINDOW_EVENTS:
+            continue
+        failed = rec.get("switches_failed", [])
+        skipped = rec.get("switches_skipped", [])
+        rows.append([
+            str(rec.get("window", "?")),
+            str(rec.get("packets", 0)),
+            (f"{rec.get('switches_reached', '-')}"
+             f"/{rec.get('switches_total', '-')}"
+             if "switches_total" in rec else "-"),
+            ",".join(failed) if failed else "-",
+            ",".join(skipped) if skipped else "-",
+            str(rec.get("retries", 0)),
+            str(rec.get("packets_dropped", 0)),
+            str(rec.get("degradation", "-")),
+            str(rec.get("sketch_status", "-")),
+        ])
+    if not rows:
+        return "no window events"
+    return _fmt_table(
+        ["window", "packets", "drained", "failed", "skipped",
+         "retries", "dropped", "degradation", "sketch"],
+        rows)
+
+
+def em_table(records: List[Dict[str, Any]]) -> str:
+    """EM convergence: one row per ``em.run`` summary event."""
+    rows = []
+    for rec in records:
+        if rec.get("kind") != "em" or rec.get("name") != "em.run":
+            continue
+        rows.append([
+            str(len(rows)),
+            str(rec.get("iterations", "?")),
+            "yes" if rec.get("converged") else "no",
+            f"{float(rec.get('rel_change', 0.0)):.2e}",
+            f"{float(rec.get('total_flows', 0.0)):.1f}",
+        ])
+    if not rows:
+        return "no EM runs"
+    return _fmt_table(
+        ["run", "iterations", "converged", "last_rel_change",
+         "total_flows"],
+        rows)
+
+
+def health_table(records: List[Dict[str, Any]]) -> str:
+    """Sketch-health timeline from the monitor's ``health`` events."""
+    rows = []
+    for rec in records:
+        if rec.get("kind") != "health":
+            continue
+        reasons = rec.get("reasons") or []
+        rows.append([
+            str(rec.get("window", "?")),
+            str(rec.get("status", "?")),
+            f"{float(rec.get('stage1_occupancy', 0.0)):.3f}",
+            str(rec.get("saturated_nodes", 0)),
+            f"{float(rec.get('predicted_are', 0.0)):.4f}",
+            str(rec.get("suggested_degradation", "-")),
+            "; ".join(reasons) if reasons else "-",
+        ])
+    if not rows:
+        return "no health events"
+    return _fmt_table(
+        ["window", "status", "occupancy", "saturated", "pred_ARE",
+         "suggest", "reasons"],
+        rows)
+
+
+def slow_spans(records: List[Dict[str, Any]], top: int = 10) -> str:
+    """The ``top`` slowest spans by recorded duration."""
+    spans = read_spans(records)
+    if not spans:
+        return "no spans"
+    ranked = sorted(spans,
+                    key=lambda s: float(s.get("duration_s") or 0.0),
+                    reverse=True)[:top]
+    rows = [[
+        str(rec.get("name", "?")),
+        f"{float(rec.get('duration_s') or 0.0) * 1e3:.3f}",
+        str(rec.get("trace_id", "?")),
+        str(rec.get("span_id", "?")),
+        str(rec.get("switch", rec.get("window", ""))),
+    ] for rec in ranked]
+    return _fmt_table(
+        ["span", "ms", "trace", "id", "detail"], rows)
+
+
+def render_report(records: List[Dict[str, Any]], top_spans: int = 10,
+                  traces: bool = False) -> str:
+    """The full multi-section text report.
+
+    Args:
+        records: parsed NDJSON records (see :func:`load_ndjson`).
+        top_spans: size of the slow-span ranking.
+        traces: also count reconstructed traces (cheap summary; the
+            tree rendering itself lives in
+            :func:`repro.telemetry.tracing.render_trace_tree`).
+    """
+    sections = [
+        ("Per-window drain health", window_table(records)),
+        ("EM convergence", em_table(records)),
+        ("Sketch health", health_table(records)),
+        (f"Top {top_spans} slow spans", slow_spans(records, top_spans)),
+    ]
+    if traces:
+        trees = build_trace_trees(read_spans(records))
+        total_spans = len(read_spans(records))
+        sections.append(
+            ("Traces",
+             f"{len(trees)} trace(s), {total_spans} span(s)"))
+    out = []
+    for title, body in sections:
+        out.append(f"== {title} ==")
+        out.append(body)
+        out.append("")
+    return "\n".join(out).rstrip() + "\n"

@@ -1,0 +1,277 @@
+"""Hierarchical pipeline tracing: spans over the measurement pipeline.
+
+A :class:`Span` is one timed unit of pipeline work (a routed window, a
+per-switch drain, an EM iteration); spans nest, so one *trace*
+reconstructs a full measurement window end to end: simulator routing →
+per-switch collection → EM estimation.
+
+Determinism follows the same rules as :mod:`repro.telemetry.events`:
+
+* identifiers are **sequence numbers**, not random UUIDs — ``trace_id``
+  increments per root span and ``span_id`` per span, so seeded runs
+  assign identical ids;
+* the clock is **injectable** (the tracer uses its registry's clock);
+  with a deterministic clock the exported stream is byte-identical
+  across runs, while the default ``perf_counter`` clock gives real
+  durations for the ``telemetry-report`` slow-span table.
+
+Spans are exported through the owning
+:class:`~repro.telemetry.registry.MetricsRegistry` as ordinary
+:class:`~repro.telemetry.events.TelemetryEvent` records of kind
+``"span"`` — they share the registry's sequence numbering and exporter,
+so one NDJSON stream interleaves events and spans.  Each span's
+duration is additionally observed into a ``span.<name>`` histogram
+(marked as a timer histogram, i.e. excluded from byte-stable
+snapshots).
+
+Reconstruction helpers (:func:`read_spans`, :func:`build_trace_trees`,
+:func:`render_trace_tree`) turn an exported stream back into trees for
+the CLI's ``telemetry-report`` and ``examples/pipeline_tracing.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.telemetry.events import TelemetryEvent
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "SpanNode",
+    "maybe_span",
+    "read_spans",
+    "build_trace_trees",
+    "render_trace_tree",
+]
+
+#: Field names the tracer writes on every span record; annotations may
+#: not shadow them.
+RESERVED_SPAN_FIELDS = frozenset(
+    {"trace_id", "span_id", "parent_id", "duration_s"})
+
+
+class Span:
+    """One timed unit of pipeline work, used as a context manager.
+
+    Attributes:
+        name: dotted span name (``"collector.window"``, ``"em.run"``).
+        trace_id: id shared by every span of one root's subtree.
+        span_id: this span's id (unique per tracer).
+        parent_id: enclosing span's id, or ``None`` for a root span.
+        annotations: flat JSON-serializable payload; extend any time
+            before exit with :meth:`annotate`.
+        duration_s: elapsed clock seconds, set on exit.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id",
+                 "annotations", "duration_s", "_tracer", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: int,
+                 span_id: int, parent_id: Optional[int],
+                 annotations: Dict[str, Any]):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.annotations = annotations
+        self.duration_s: Optional[float] = None
+        self._tracer = tracer
+        self._started: Optional[float] = None
+
+    def annotate(self, **fields: Any) -> "Span":
+        """Attach fields to the span (exported on exit)."""
+        overlap = RESERVED_SPAN_FIELDS.intersection(fields)
+        if overlap:
+            raise ValueError(f"reserved span fields: {sorted(overlap)}")
+        self.annotations.update(fields)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._started = self._tracer._clock()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = self._tracer._clock() - self._started
+        if exc_type is not None:
+            self.annotations.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+
+
+class Tracer:
+    """Span factory owned by a :class:`MetricsRegistry`.
+
+    Keeps a stack of open spans so nested :meth:`span` calls pick up
+    the enclosing span as their parent automatically — the simulator,
+    collectors and EM estimator only need to share one registry for
+    their spans to connect into a single trace.
+    """
+
+    def __init__(self, registry):
+        self.registry = registry
+        self._stack: List[Span] = []
+        self._next_trace = 0
+        self._next_span = 0
+
+    @property
+    def _clock(self):
+        return self.registry.clock
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **annotations: Any) -> Span:
+        """Open a span (context manager); nests under :attr:`current`."""
+        overlap = RESERVED_SPAN_FIELDS.intersection(annotations)
+        if overlap:
+            raise ValueError(f"reserved span fields: {sorted(overlap)}")
+        parent = self.current
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span_id = self._next_span
+        self._next_span += 1
+        return Span(self, name, trace_id, span_id, parent_id, annotations)
+
+    # -- internal ------------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _finish(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        registry = self.registry
+        registry.histogram_as_timer(f"span.{span.name}").observe(
+            span.duration_s)
+        registry.emit("span", span.name,
+                      trace_id=span.trace_id,
+                      span_id=span.span_id,
+                      parent_id=span.parent_id,
+                      duration_s=span.duration_s,
+                      **span.annotations)
+
+
+class _NullSpan:
+    """Inert stand-in used when no telemetry registry is attached.
+
+    Supports the same context-manager + :meth:`annotate` surface as
+    :class:`Span`, so instrumented code can wrap its work in one
+    ``with maybe_span(...)`` block without branching on ``telemetry``.
+    """
+
+    __slots__ = ()
+
+    def annotate(self, **fields: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+def maybe_span(telemetry, name: str, **annotations: Any):
+    """A real span when ``telemetry`` is a registry, else the no-op.
+
+    The disabled path costs one ``is None`` branch and returns a shared
+    inert instance — the same budget as the library's other optional
+    instrumentation.
+    """
+    if telemetry is None:
+        return NULL_SPAN
+    return telemetry.span(name, **annotations)
+
+
+# ----------------------------------------------------------------------
+# reconstruction
+# ----------------------------------------------------------------------
+
+class SpanNode:
+    """One reconstructed span plus its children, ordered by span_id."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: Dict[str, Any]):
+        self.record = record
+        self.children: List["SpanNode"] = []
+
+    @property
+    def name(self) -> str:
+        return self.record.get("name", "?")
+
+    @property
+    def duration_s(self) -> float:
+        value = self.record.get("duration_s")
+        return float(value) if value is not None else 0.0
+
+
+def read_spans(records: Iterable[Union[Dict[str, Any], TelemetryEvent]],
+               ) -> List[Dict[str, Any]]:
+    """Filter an event stream down to span records (as flat dicts)."""
+    spans: List[Dict[str, Any]] = []
+    for record in records:
+        if isinstance(record, TelemetryEvent):
+            record = record.as_dict()
+        if record.get("kind") == "span":
+            spans.append(record)
+    return spans
+
+
+def build_trace_trees(spans: Iterable[Dict[str, Any]],
+                      ) -> Dict[int, List[SpanNode]]:
+    """Group span records into per-trace trees.
+
+    Returns ``{trace_id: [root SpanNode, ...]}``; roots and children
+    are ordered by ``span_id`` (creation order), which a stack-based
+    tracer makes the pipeline's execution order.
+    """
+    nodes: Dict[int, SpanNode] = {}
+    for record in spans:
+        nodes[int(record["span_id"])] = SpanNode(record)
+    trees: Dict[int, List[SpanNode]] = {}
+    for span_id in sorted(nodes):
+        node = nodes[span_id]
+        parent_id = node.record.get("parent_id")
+        if parent_id is not None and int(parent_id) in nodes:
+            nodes[int(parent_id)].children.append(node)
+        else:
+            trace_id = int(node.record.get("trace_id", 0))
+            trees.setdefault(trace_id, []).append(node)
+    return trees
+
+
+def render_trace_tree(roots: List[SpanNode], indent: str = "  ",
+                      annotation_keys: Optional[List[str]] = None) -> str:
+    """Render one trace's roots as an indented text tree."""
+    lines: List[str] = []
+
+    def walk(node: SpanNode, depth: int) -> None:
+        extra = ""
+        if annotation_keys:
+            shown = {k: node.record[k] for k in annotation_keys
+                     if k in node.record}
+            if shown:
+                extra = "  " + " ".join(f"{k}={v}" for k, v in
+                                        sorted(shown.items()))
+        lines.append(f"{indent * depth}{node.name} "
+                     f"[{node.duration_s * 1e3:.3f} ms]{extra}")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,259 @@
+"""Tests for the perf-regression gate (benchmarks.baseline --compare).
+
+The comparison layer is pure functions over records, so almost
+everything here runs without timing anything; two end-to-end tests run
+``main(["--compare", ...])`` at a tiny packet budget against synthetic
+baselines engineered to pass and to regress.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+# benchmarks/ lives at the repo root, beside tests/
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from benchmarks.baseline import (  # noqa: E402
+    DEFAULT_TOLERANCES,
+    append_trajectory,
+    compare_records,
+    flatten_metrics,
+    load_tolerances,
+    main,
+    tolerance_for,
+    trajectory_entry,
+    validate_record,
+)
+
+
+def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
+                disabled_over_raw=1.0, enabled_over_disabled=1.05,
+                em_runtime=0.05, sketches=("fcm",)):
+    """A schema-valid synthetic baseline record."""
+    return {
+        "schema_version": 1,
+        "packets": packets,
+        "memory_bytes": 64 * 1024,
+        "seed": 1,
+        "repeats": 1,
+        "sketches": {
+            name: {
+                "packets": packets,
+                "ingest_seconds": packets / ingest_pps,
+                "ingest_pps": ingest_pps,
+                "query_keys": 1000,
+                "query_seconds": 1000 / query_kps,
+                "query_kps": query_kps,
+            } for name in sketches
+        },
+        "telemetry_overhead": {
+            "ingest_seconds_raw": 0.01,
+            "ingest_seconds_disabled": 0.01 * disabled_over_raw,
+            "ingest_seconds_enabled":
+                0.01 * disabled_over_raw * enabled_over_disabled,
+            "disabled_over_raw": disabled_over_raw,
+            "enabled_over_disabled": enabled_over_disabled,
+            "budget": 1.05,
+        },
+        "em": {
+            "iterations": 5,
+            "runtime_seconds": em_runtime,
+            "wall_seconds": em_runtime,
+            "estimated_flows": 1234.0,
+        },
+    }
+
+
+class TestFlattenMetrics:
+    def test_flattens_all_gated_metrics(self):
+        flat = flatten_metrics(make_record(sketches=("fcm", "cm")))
+        assert set(flat) == {
+            "cm.ingest_pps", "cm.query_kps",
+            "fcm.ingest_pps", "fcm.query_kps",
+            "telemetry.disabled_over_raw",
+            "telemetry.enabled_over_disabled",
+            "em.seconds_per_iter",
+        }
+        assert flat["em.seconds_per_iter"] == pytest.approx(0.05 / 5)
+
+    def test_empty_record_flattens_empty(self):
+        assert flatten_metrics({}) == {}
+
+
+class TestToleranceFor:
+    def test_exact_name_wins_over_suffix(self):
+        tolerances = {"fcm.ingest_pps": 0.1, "ingest_pps": 0.6}
+        assert tolerance_for("fcm.ingest_pps", tolerances) == 0.1
+        assert tolerance_for("cm.ingest_pps", tolerances) == 0.6
+
+    def test_unknown_metric_defaults_to_half(self):
+        assert tolerance_for("new.metric", {}) == 0.5
+
+    def test_defaults_cover_every_gated_suffix(self):
+        flat = flatten_metrics(make_record())
+        for metric in flat:
+            suffix = metric.rsplit(".", 1)[-1]
+            assert suffix in DEFAULT_TOLERANCES, metric
+
+
+class TestCompareRecords:
+    def test_identical_records_have_no_regressions(self):
+        record = make_record()
+        result = compare_records(record, record, DEFAULT_TOLERANCES)
+        assert result["regressions"] == []
+        assert all(row[-1] == "ok" for row in result["rows"])
+
+    def test_throughput_drop_beyond_tolerance_regresses(self):
+        base = make_record(ingest_pps=1e6)
+        fresh = make_record(ingest_pps=1e6 * 0.3)  # -70% vs 60% tol
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("fcm.ingest_pps" in r and "fell" in r
+                   for r in result["regressions"])
+
+    def test_throughput_gain_never_regresses(self):
+        base = make_record(ingest_pps=1e6)
+        fresh = make_record(ingest_pps=1e9)
+        assert compare_records(base, fresh,
+                               DEFAULT_TOLERANCES)["regressions"] == []
+
+    def test_overhead_rise_beyond_tolerance_regresses(self):
+        base = make_record(enabled_over_disabled=1.0)
+        fresh = make_record(enabled_over_disabled=2.0)  # +100% vs 60%
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("enabled_over_disabled" in r and "rose" in r
+                   for r in result["regressions"])
+
+    def test_overhead_drop_never_regresses(self):
+        base = make_record(enabled_over_disabled=1.5)
+        fresh = make_record(enabled_over_disabled=0.9)
+        assert compare_records(base, fresh,
+                               DEFAULT_TOLERANCES)["regressions"] == []
+
+    def test_em_skipped_when_packet_budgets_differ(self):
+        base = make_record(packets=100_000, em_runtime=0.01)
+        fresh = make_record(packets=2_000, em_runtime=100.0)
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        (em_row,) = [row for row in result["rows"]
+                     if row[0] == "em.seconds_per_iter"]
+        assert em_row[-1].startswith("skipped")
+        assert result["regressions"] == []
+
+    def test_one_sided_metrics_report_but_never_gate(self):
+        base = make_record(sketches=("fcm",))
+        fresh = make_record(sketches=("fcm", "newcomer"),
+                            ingest_pps=1.0)  # newcomer is terrible
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        verdicts = {row[0]: row[-1] for row in result["rows"]}
+        assert verdicts["newcomer.ingest_pps"] == "uncompared"
+        assert not any("newcomer" in r for r in result["regressions"])
+
+
+class TestTrajectory:
+    def test_entry_carries_metrics_and_regressions(self):
+        base, fresh = make_record(), make_record(ingest_pps=1.0)
+        comparison = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        entry = trajectory_entry(base, fresh, comparison)
+        assert entry["packets"] == fresh["packets"]
+        assert entry["baseline_packets"] == base["packets"]
+        assert entry["metrics"] == flatten_metrics(fresh)
+        assert entry["regressions"] == comparison["regressions"]
+        assert "T" in entry["timestamp"]
+
+    def test_append_grows_history_file(self, tmp_path):
+        path = str(tmp_path / "traj.json")
+        assert append_trajectory(path, {"n": 1}) == 1
+        assert append_trajectory(path, {"n": 2}) == 2
+        history = json.loads((tmp_path / "traj.json").read_text())
+        assert [e["n"] for e in history] == [1, 2]
+
+    def test_append_refuses_non_list_file(self, tmp_path):
+        path = tmp_path / "traj.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ValueError):
+            append_trajectory(str(path), {"n": 1})
+
+
+class TestLoadTolerances:
+    def test_none_returns_defaults(self):
+        assert load_tolerances(None) == DEFAULT_TOLERANCES
+
+    def test_overrides_merge_and_comments_skip(self, tmp_path):
+        path = tmp_path / "tol.json"
+        path.write_text(json.dumps({"__comment": "noise",
+                                    "ingest_pps": 0.9,
+                                    "custom.metric": 0.01}))
+        tolerances = load_tolerances(str(path))
+        assert tolerances["ingest_pps"] == 0.9
+        assert tolerances["custom.metric"] == 0.01
+        assert tolerances["query_kps"] == DEFAULT_TOLERANCES["query_kps"]
+        assert "__comment" not in tolerances
+
+    def test_non_object_file_raises(self, tmp_path):
+        path = tmp_path / "tol.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_tolerances(str(path))
+
+
+class TestSyntheticRecordIsValid:
+    def test_make_record_passes_schema(self):
+        assert validate_record(make_record()) == []
+
+
+# ----------------------------------------------------------------------
+# end-to-end: main(["--compare", ...]) at a tiny packet budget
+# ----------------------------------------------------------------------
+
+def _loose_tolerances(tmp_path):
+    path = tmp_path / "tol.json"
+    path.write_text(json.dumps({suffix: 1e9
+                                for suffix in DEFAULT_TOLERANCES}))
+    return str(path)
+
+
+def test_main_compare_passes_and_appends_trajectory(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    traj_path = tmp_path / "traj.json"
+    # Absurdly slow baseline + unbounded tolerances: any machine passes.
+    base_path.write_text(json.dumps(make_record(
+        packets=2_000, ingest_pps=1.0, query_kps=1.0, em_runtime=1e6)))
+    rc = main(["--compare", "--repeats", "1",
+               "--out", str(base_path),
+               "--trajectory", str(traj_path),
+               "--tolerances", _loose_tolerances(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "no regressions beyond tolerance" in out
+    assert "baseline: 2000 packets" in out  # budget came from baseline
+    history = json.loads(traj_path.read_text())
+    assert len(history) == 1
+    assert history[0]["regressions"] == []
+
+
+def test_main_compare_exits_2_on_regression(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    traj_path = tmp_path / "traj.json"
+    # A baseline no machine can meet: fresh fcm throughput regresses.
+    record = make_record(packets=2_000, ingest_pps=1e15, query_kps=1e15,
+                         em_runtime=1e6)
+    base_path.write_text(json.dumps(record))
+    rc = main(["--compare", "--repeats", "1",
+               "--out", str(base_path),
+               "--trajectory", str(traj_path)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err and "fcm.ingest_pps" in err
+    # The trajectory records the failed run too.
+    history = json.loads(traj_path.read_text())
+    assert history[0]["regressions"]
+
+
+def test_main_compare_rejects_invalid_baseline(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps({"schema_version": 999}))
+    rc = main(["--compare", "--out", str(base_path),
+               "--trajectory", str(tmp_path / "traj.json")])
+    assert rc == 1
+    assert "INVALID baseline" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -47,3 +49,63 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "FCM-Sketch" in out and "switch.p4" in out
+
+
+class TestTelemetryExports:
+    def test_trace_out_writes_spans_only(self, tmp_path, capsys):
+        events = tmp_path / "events.ndjson"
+        spans = tmp_path / "spans.ndjson"
+        code = main(["evaluate", "--packets", "20000",
+                     "--memory-kb", "16", "--em-iterations", "2",
+                     "--telemetry-out", str(events),
+                     "--trace-out", str(spans)])
+        assert code == 0
+        span_records = [json.loads(line)
+                        for line in spans.read_text().splitlines()]
+        assert span_records, "no spans exported"
+        assert all(r["kind"] == "span" for r in span_records)
+        # The spans-only stream keeps the full stream's sequence
+        # numbers, so the two files correlate line for line.
+        full = {json.loads(line)["seq"]: json.loads(line)
+                for line in events.read_text().splitlines()}
+        for record in span_records:
+            assert full[record["seq"]] == record
+        out = capsys.readouterr().out
+        assert out.count("telemetry:") == 2  # one summary per sink
+
+    def test_trace_out_alone_works(self, tmp_path):
+        spans = tmp_path / "spans.ndjson"
+        code = main(["evaluate", "--packets", "20000",
+                     "--memory-kb", "16", "--em-iterations", "2",
+                     "--trace-out", str(spans)])
+        assert code == 0
+        names = {json.loads(line)["name"]
+                 for line in spans.read_text().splitlines()}
+        assert "fcm.ingest" in names and "em.run" in names
+
+    def test_telemetry_report_renders_tables(self, tmp_path, capsys):
+        path = tmp_path / "run.ndjson"
+        code = main(["evaluate", "--packets", "20000",
+                     "--memory-kb", "16", "--em-iterations", "2",
+                     "--telemetry-out", str(path)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["telemetry-report", str(path), "--traces"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EM convergence" in out
+        assert "slow spans" in out
+        assert "trace(s)" in out
+
+    def test_telemetry_report_missing_file_errors(self, tmp_path, capsys):
+        code = main(["telemetry-report", str(tmp_path / "nope.ndjson")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_telemetry_report_malformed_line_errors(self, tmp_path,
+                                                    capsys):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"kind": "em"}\nnot json\n')
+        code = main(["telemetry-report", str(path)])
+        assert code == 1
+        assert "line 2" in capsys.readouterr().err

@@ -1,0 +1,174 @@
+"""Tests for the online accuracy self-monitor (repro.telemetry.health).
+
+Unit tests drive the thresholds directly (a tiny FCM configuration is
+easy to saturate); the chaos-marked test runs a leaf-spine fabric with
+a seeded fault plan and asserts the monitor flags *exactly* the fault
+windows degraded while clean windows stay healthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controlplane import NetworkSketchCollector
+from repro.core import FCMConfig, FCMSketch, FCMTopK
+from repro.network import NetworkSimulator, leaf_spine
+from repro.robustness import FaultInjector, FaultPlan
+from repro.robustness.degradation import DegradationLevel
+from repro.robustness.policy import CollectionHealth
+from repro.telemetry import MemoryExporter, MetricsRegistry
+from repro.telemetry.health import (
+    HealthStatus,
+    HealthThresholds,
+    SketchHealthMonitor,
+)
+from repro.traffic import zipf_trace
+
+# Small enough to drive into saturation with a handful of flows.
+TINY = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                 stage_widths=(8, 4, 2), seed=1)
+
+
+class TestStatusMapping:
+    def test_status_maps_onto_degradation_levels(self):
+        assert HealthStatus.HEALTHY.degradation is DegradationLevel.FULL
+        assert HealthStatus.DEGRADED.degradation is DegradationLevel.DEGRADED
+        assert HealthStatus.SATURATED.degradation is DegradationLevel.CRITICAL
+
+    def test_statuses_are_ordered_worst_last(self):
+        assert HealthStatus.HEALTHY < HealthStatus.DEGRADED \
+            < HealthStatus.SATURATED
+
+
+class TestAssess:
+    def test_clean_sketch_is_healthy(self):
+        sketch = FCMSketch.with_memory(32 * 1024, seed=1)
+        sketch.ingest(zipf_trace(5_000, alpha=1.3, seed=3).keys)
+        report = SketchHealthMonitor().assess(sketch)
+        assert report.status is HealthStatus.HEALTHY
+        assert report.healthy
+        assert report.reasons == []
+        assert report.suggested_degradation is DegradationLevel.FULL
+        assert 0.0 < report.stage1_occupancy < 0.85
+        assert report.error_bound > 0.0
+        assert 0.0 < report.predicted_are < 1.0
+
+    def test_saturated_sketch_is_flagged(self):
+        sketch = FCMSketch(TINY)
+        # One elephant past every stage: the single tree's last-stage
+        # counter hits its sentinel -> hard saturation.
+        sketch.update(1, 100_000)
+        report = SketchHealthMonitor().assess(sketch, window_index=4)
+        assert report.status is HealthStatus.SATURATED
+        assert report.window_index == 4
+        assert report.saturated_nodes >= 1
+        assert any("saturation" in reason for reason in report.reasons)
+        assert report.suggested_degradation is DegradationLevel.CRITICAL
+
+    def test_occupancy_threshold_degrades(self):
+        sketch = FCMSketch(TINY)
+        sketch.ingest(np.arange(200, dtype=np.uint64))  # flood stage 1
+        report = SketchHealthMonitor(
+            HealthThresholds(saturated_nodes=10 ** 9,
+                             occupancy_saturated=1.1,
+                             predicted_are_degraded=10.0 ** 9),
+        ).assess(sketch)
+        assert report.stage1_occupancy >= 0.85
+        assert report.status is HealthStatus.DEGRADED
+        assert any("occupancy" in reason for reason in report.reasons)
+
+    def test_overflowed_sketch_reports_max_degree(self):
+        sketch = FCMSketch(TINY)
+        sketch.update(1, 10)  # past the 2-bit stage-1 counter
+        report = SketchHealthMonitor().assess(sketch)
+        assert report.max_degree == TINY.k  # one interior stage overflowed
+
+    def test_unhealthy_collection_degrades_without_sketch(self):
+        health = CollectionHealth(window_index=2, switches_total=4,
+                                  switches_reached=["s1"],
+                                  switches_failed={"s2": "timeout"})
+        report = SketchHealthMonitor().assess(
+            None, window_index=2, collection_health=health)
+        assert report.status is HealthStatus.DEGRADED
+        assert any("collection unhealthy" in r for r in report.reasons)
+        assert report.collection_degradation is health.degradation
+        assert report.suggested_degradation >= health.degradation
+
+    def test_nothing_to_assess_raises(self):
+        with pytest.raises(ValueError):
+            SketchHealthMonitor().assess(None)
+
+    def test_topk_sketch_uses_residual_bound(self):
+        topk = FCMTopK(32 * 1024, k=8, seed=1)
+        fcm = FCMSketch.with_memory(32 * 1024, seed=1)
+        keys = zipf_trace(20_000, alpha=1.3, seed=3).keys
+        topk.ingest(keys)
+        fcm.ingest(keys)
+        topk_report = SketchHealthMonitor().assess(topk)
+        fcm_report = SketchHealthMonitor().assess(fcm)
+        assert topk_report.status is HealthStatus.HEALTHY
+        # The Top-K stage absorbs the elephants, so the residual bound
+        # must be no worse than plain FCM's on the same traffic.
+        assert topk_report.error_bound <= fcm_report.error_bound
+
+
+class TestHooksAndTelemetry:
+    def test_hook_fires_only_on_transitions(self):
+        monitor = SketchHealthMonitor()
+        seen = []
+        monitor.on_status_change(
+            lambda window, prev, status, report:
+            seen.append((window, prev, status)))
+        clean = FCMSketch.with_memory(32 * 1024, seed=1)
+        clean.update(7, 3)
+        saturated = FCMSketch(TINY)
+        saturated.update(1, 100_000)
+        monitor.assess(clean, window_index=0)      # None -> HEALTHY
+        monitor.assess(clean, window_index=1)      # no change
+        monitor.assess(saturated, window_index=2)  # HEALTHY -> SATURATED
+        assert seen == [
+            (0, None, HealthStatus.HEALTHY),
+            (2, HealthStatus.HEALTHY, HealthStatus.SATURATED),
+        ]
+
+    def test_assessment_publishes_metrics_and_event(self):
+        registry = MetricsRegistry(exporter=MemoryExporter())
+        monitor = SketchHealthMonitor(telemetry=registry)
+        sketch = FCMSketch.with_memory(32 * 1024, seed=1)
+        sketch.update(7, 3)
+        monitor.assess(sketch, window_index=5)
+        snap = registry.snapshot()
+        assert snap["health.windows.healthy"] == 1
+        assert snap["health.status"] == 0.0
+        (event,) = registry.exporter.of_kind("health")
+        assert event.name == "health.window"
+        fields = event.as_dict()
+        assert fields["window"] == 5
+        assert fields["status"] == "HEALTHY"
+        assert fields["suggested_degradation"] == "FULL"
+
+
+# ----------------------------------------------------------------------
+# chaos: fault windows must flip the collector's verdict
+# ----------------------------------------------------------------------
+
+@pytest.mark.chaos
+def test_collector_health_flags_exactly_the_fault_windows():
+    trace = zipf_trace(30_000, alpha=1.3, seed=11)
+    plan = FaultPlan(seed=42).kill_switch("spine0", start_window=1,
+                                          end_window=2)
+    sim = NetworkSimulator(leaf_spine(num_leaves=4, num_spines=2),
+                           memory_bytes=48 * 1024, seed=1,
+                           fault_injector=FaultInjector(plan))
+    collector = NetworkSketchCollector(sim)
+    reports = collector.process(trace, 3)
+    statuses = [r.sketch_health.status for r in reports]
+    assert statuses == [HealthStatus.HEALTHY, HealthStatus.DEGRADED,
+                        HealthStatus.HEALTHY]
+    faulty = reports[1].sketch_health
+    assert not faulty.healthy
+    assert faulty.suggested_degradation >= DegradationLevel.DEGRADED
+    assert any("collection unhealthy" in r for r in faulty.reasons)
+    for clean in (reports[0], reports[2]):
+        assert clean.sketch_health.healthy
+        assert clean.sketch_health.suggested_degradation \
+            is DegradationLevel.FULL

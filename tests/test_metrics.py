@@ -56,6 +56,18 @@ class TestRelativeError:
         with pytest.raises(ValueError):
             relative_error(0, 5)
 
+    def test_zero_truth_zero_estimate_is_perfect(self):
+        # A perfect estimate of zero has zero error; only a *wrong*
+        # estimate against a zero truth is undefined.
+        assert relative_error(0, 0) == 0.0
+
+    def test_zero_truth_error_names_the_estimate(self):
+        with pytest.raises(ValueError, match="estimate was 5"):
+            relative_error(0, 5)
+
+    def test_negative_truth_uses_magnitude(self):
+        assert relative_error(-10, -9) == pytest.approx(0.1)
+
 
 class TestF1:
     def test_perfect(self):
@@ -76,6 +88,12 @@ class TestF1:
 
     def test_disjoint(self):
         assert f1_score({1}, {2}) == 0.0
+
+    def test_nonempty_report_empty_truth(self):
+        # Every claim is false, nothing was missed.
+        pr = precision_recall({1, 2}, set())
+        assert pr.precision == 0.0 and pr.recall == 1.0
+        assert pr.f1 == 0.0
 
 
 class TestWMRE:
@@ -101,6 +119,23 @@ class TestWMRE:
     def test_rejects_negative_sizes(self):
         with pytest.raises(ValueError):
             weighted_mean_relative_error({-1: 3}, {1: 3})
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            weighted_mean_relative_error({1: -3}, {1: 3})
+        with pytest.raises(ValueError):
+            weighted_mean_relative_error(
+                np.array([1.0]), np.array([-1.0]))
+
+    def test_zero_count_truth_bin_penalises_phantom_mass(self):
+        # Truth has no flows of size 2; the estimate invents 4 of
+        # them.  |0-4| / ((4+4)/2) over both bins: num = 0 + 4,
+        # denom = (4+4)/2 + (0+4)/2 = 6 -> 2/3.
+        wmre = weighted_mean_relative_error({1: 4, 2: 0}, {1: 4, 2: 4})
+        assert wmre == pytest.approx(2 / 3)
+
+    def test_one_empty_distribution_is_max_error(self):
+        assert weighted_mean_relative_error({1: 4}, {}) == pytest.approx(2.0)
 
 
 class TestFlowSizeErrors:

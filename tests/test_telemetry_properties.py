@@ -4,9 +4,12 @@ Two families of properties:
 
 * :class:`~repro.telemetry.registry.Histogram` / ``Timer`` running
   aggregates must match a numpy recomputation over the same samples —
-  the aggregates are maintained incrementally (count/sum/min/max/sum of
-  squares) and any drift would silently corrupt every published
-  summary.
+  the aggregates are maintained incrementally (count/sum/min/max plus
+  Welford's running mean/M2 for the variance) and any drift would
+  silently corrupt every published summary.  Welford earns its keep on
+  adversarial streams (huge mean, tiny spread) where the naive
+  sum-of-squares formula catastrophically cancels; those get their own
+  test.
 * The per-stage overflow counters the telemetry layer publishes
   (:meth:`FCMTree.overflow_counts`) must equal an independent
   simulation of the carry cascade run directly from the leaf totals,
@@ -42,12 +45,52 @@ def test_histogram_aggregates_match_numpy(samples):
     assert hist.max == float(arr.max())
     assert hist.mean == pytest.approx(float(arr.mean()), rel=1e-9,
                                       abs=1e-6)
-    # Sum-of-squares variance is numerically touchier than numpy's
-    # two-pass computation; compare with an absolute floor scaled to
-    # the data's magnitude.
+    # Welford's single-pass variance tracks numpy's two-pass result
+    # closely even without seeing the data twice.
     scale = max(1.0, float(np.abs(arr).max()) ** 2)
     assert hist.std == pytest.approx(float(arr.std()),
                                      rel=1e-4, abs=1e-5 * scale)
+
+
+@given(
+    mean=st.floats(min_value=1e6, max_value=1e12,
+                   allow_nan=False, allow_infinity=False),
+    spread=st.floats(min_value=0.0, max_value=1.0,
+                     allow_nan=False, allow_infinity=False),
+    offsets=st.lists(st.floats(min_value=-1.0, max_value=1.0,
+                               allow_nan=False, allow_infinity=False),
+                     min_size=2, max_size=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_welford_survives_large_mean_tiny_variance(mean, spread, offsets):
+    """The adversarial regime for running variance: samples like
+    ``1e12 + epsilon``.  A sum-of-squares implementation cancels
+    catastrophically here (often returning negative variance before
+    clamping); Welford must stay near numpy's two-pass answer and never
+    go negative."""
+    samples = [mean + offset * spread for offset in offsets]
+    hist = Histogram("h")
+    for value in samples:
+        hist.observe(value)
+    arr = np.asarray(samples, dtype=np.float64)
+    assert hist.variance >= 0.0
+    assert hist.std >= 0.0
+    expected = float(arr.var())
+    # Single-pass updates round each delta at the mean's float spacing,
+    # so that is the achievable accuracy floor: ~n * spread * ulp(mean).
+    # A sum-of-squares implementation would be off by ~mean^2 * eps
+    # (1e8 at mean 1e12) — ten orders of magnitude past this bound.
+    floor = len(samples) * (spread + 1.0) * float(np.spacing(mean))
+    assert hist.variance == pytest.approx(expected, rel=1e-6,
+                                          abs=max(1e-9, floor))
+
+
+def test_welford_constant_stream_has_zero_variance():
+    hist = Histogram("h")
+    for _ in range(1000):
+        hist.observe(1e12 + 0.25)
+    assert hist.variance == 0.0
+    assert hist.std == 0.0
 
 
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6,

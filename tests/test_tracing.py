@@ -1,0 +1,208 @@
+"""Tests for hierarchical pipeline tracing (repro.telemetry.tracing).
+
+Covers the Span/Tracer primitives, the disabled-path no-op, stream
+determinism (two seeded runs must export byte-identical span NDJSON)
+and end-to-end trace reconstruction: one ``NetworkSketchCollector``
+window must come back as a single connected tree spanning routing,
+per-switch drains and EM iterations.
+"""
+
+import json
+
+import pytest
+
+from repro.controlplane import NetworkSketchCollector
+from repro.network import NetworkSimulator, leaf_spine
+from repro.telemetry import MemoryExporter, MetricsRegistry, NDJSONExporter
+from repro.telemetry.tracing import (
+    NULL_SPAN,
+    build_trace_trees,
+    maybe_span,
+    read_spans,
+    render_trace_tree,
+)
+from repro.traffic import zipf_trace
+
+
+def _registry():
+    return MetricsRegistry(exporter=MemoryExporter(), clock=lambda: 0.0)
+
+
+# ----------------------------------------------------------------------
+# Span / Tracer primitives
+# ----------------------------------------------------------------------
+
+class TestSpan:
+    def test_root_span_exports_on_exit(self):
+        registry = _registry()
+        with registry.span("unit.work", items=3):
+            pass
+        spans = read_spans(registry.exporter.events)
+        assert len(spans) == 1
+        record = spans[0]
+        assert record["name"] == "unit.work"
+        assert record["trace_id"] == 0
+        assert record["span_id"] == 0
+        assert record["parent_id"] is None
+        assert record["items"] == 3
+        assert record["duration_s"] == 0.0
+
+    def test_nesting_assigns_parent_and_shares_trace(self):
+        registry = _registry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        inner, outer = read_spans(registry.exporter.events)
+        assert inner["name"] == "inner"  # children close first
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["trace_id"] == outer["trace_id"]
+
+    def test_sibling_roots_get_distinct_trace_ids(self):
+        registry = _registry()
+        with registry.span("first"):
+            pass
+        with registry.span("second"):
+            pass
+        spans = read_spans(registry.exporter.events)
+        assert [s["trace_id"] for s in spans] == [0, 1]
+        assert [s["span_id"] for s in spans] == [0, 1]
+
+    def test_annotate_accumulates_and_chains(self):
+        registry = _registry()
+        with registry.span("work", a=1) as span:
+            span.annotate(b=2).annotate(c=3)
+        (record,) = read_spans(registry.exporter.events)
+        assert (record["a"], record["b"], record["c"]) == (1, 2, 3)
+
+    @pytest.mark.parametrize("field", ["trace_id", "span_id",
+                                       "parent_id", "duration_s"])
+    def test_reserved_fields_rejected(self, field):
+        registry = _registry()
+        with pytest.raises(ValueError, match="reserved span fields"):
+            registry.span("work", **{field: 1})
+        with registry.span("work") as span:
+            with pytest.raises(ValueError, match="reserved span fields"):
+                span.annotate(**{field: 1})
+
+    def test_exception_annotates_error_and_still_exports(self):
+        registry = _registry()
+        with pytest.raises(RuntimeError):
+            with registry.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = read_spans(registry.exporter.events)
+        assert record["error"] == "RuntimeError"
+        assert registry.tracer.current is None  # stack unwound
+
+    def test_spans_share_event_sequence_numbering(self):
+        registry = _registry()
+        registry.emit("k", "before")
+        with registry.span("work"):
+            pass
+        registry.emit("k", "after")
+        seqs = [e.seq for e in registry.exporter.events]
+        assert seqs == [0, 1, 2]
+
+    def test_span_duration_feeds_timer_histogram(self):
+        ticks = iter([0.0, 2.5])
+        registry = MetricsRegistry(exporter=MemoryExporter(),
+                                   clock=lambda: next(ticks))
+        with registry.span("work"):
+            pass
+        full = registry.snapshot()
+        assert full["span.work"]["mean"] == pytest.approx(2.5)
+        # Timer histograms carry wall-clock values, so the byte-stable
+        # snapshot must exclude them.
+        assert "span.work" not in registry.snapshot(include_timers=False)
+
+
+class TestMaybeSpan:
+    def test_disabled_path_returns_shared_null_span(self):
+        span = maybe_span(None, "anything", x=1)
+        assert span is NULL_SPAN
+        with span as inner:
+            assert inner.annotate(y=2) is span
+
+    def test_enabled_path_returns_real_span(self):
+        registry = _registry()
+        with maybe_span(registry, "real", x=1):
+            pass
+        (record,) = read_spans(registry.exporter.events)
+        assert record["name"] == "real" and record["x"] == 1
+
+
+# ----------------------------------------------------------------------
+# reconstruction
+# ----------------------------------------------------------------------
+
+class TestReconstruction:
+    def test_build_trace_trees_orders_children_by_span_id(self):
+        registry = _registry()
+        with registry.span("root"):
+            with registry.span("a"):
+                pass
+            with registry.span("b"):
+                pass
+        trees = build_trace_trees(read_spans(registry.exporter.events))
+        (roots,) = trees.values()
+        assert [c.name for c in roots[0].children] == ["a", "b"]
+
+    def test_render_trace_tree_indents_and_annotates(self):
+        registry = _registry()
+        with registry.span("root", window=7):
+            with registry.span("leaf"):
+                pass
+        trees = build_trace_trees(read_spans(registry.exporter.events))
+        text = render_trace_tree(list(trees.values())[0],
+                                 annotation_keys=["window"])
+        lines = text.splitlines()
+        assert lines[0].startswith("root ") and "window=7" in lines[0]
+        assert lines[1].startswith("  leaf ")
+
+
+# ----------------------------------------------------------------------
+# end-to-end: one window, one connected trace, byte-identical runs
+# ----------------------------------------------------------------------
+
+def _run_traced_window(path: str):
+    with NDJSONExporter(path) as exporter:
+        registry = MetricsRegistry(exporter=exporter, clock=lambda: 0.0)
+        trace = zipf_trace(20_000, alpha=1.3, seed=5)
+        sim = NetworkSimulator(leaf_spine(num_leaves=4, num_spines=2),
+                               memory_bytes=48 * 1024, seed=1,
+                               telemetry=registry)
+        collector = NetworkSketchCollector(sim, run_em=True,
+                                           telemetry=registry)
+        collector.process(trace, 1)
+
+
+def test_one_window_reconstructs_one_connected_trace(tmp_path):
+    path = tmp_path / "spans.ndjson"
+    _run_traced_window(str(path))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    spans = read_spans(records)
+    trees = build_trace_trees(spans)
+    assert len(trees) == 1, "one window must form exactly one trace"
+    (roots,) = trees.values()
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.name == "collector.window"
+    child_names = [c.name for c in root.children]
+    assert child_names[0] == "network.route"
+    assert child_names.count("collector.drain") == 6  # 4 leaves + 2 spines
+    assert child_names[-1] == "em.run"
+    em_run = root.children[-1]
+    assert em_run.children, "em.run must contain em.iteration children"
+    assert {c.name for c in em_run.children} == {"em.iteration"}
+    # every drain carries its outcome annotation
+    for child in root.children:
+        if child.name == "collector.drain":
+            assert child.record["outcome"] == "ok"
+            assert child.record["breaker_open"] is False
+
+
+def test_span_stream_is_byte_identical_across_runs(tmp_path):
+    first, second = tmp_path / "a.ndjson", tmp_path / "b.ndjson"
+    _run_traced_window(str(first))
+    _run_traced_window(str(second))
+    assert first.read_bytes() == second.read_bytes()
+    assert first.stat().st_size > 0
