@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-baseline bench-compare report \
-	examples clean
+.PHONY: install test chaos bench bench-baseline bench-compare \
+	bench-parallel report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -42,6 +42,14 @@ bench-baseline-validate:
 bench-compare:
 	PYTHONHASHSEED=0 $(PYTHON) -m benchmarks.baseline --compare \
 		--tolerances benchmarks/tolerances_ci.json
+
+# Sharded-ingest smoke: serial vs 4-shard parallel ingest over the
+# engine's codec transport.  Fails when the sharded result diverges
+# from serial or the speedup over the per-packet reference drops
+# below the 2x acceptance bound.
+bench-parallel:
+	PYTHONHASHSEED=0 $(PYTHON) -m benchmarks.baseline --parallel \
+		--packets 200000 --repeats 2 --shards 4
 
 report:
 	$(PYTHON) -m benchmarks.report

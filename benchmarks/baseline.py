@@ -9,7 +9,11 @@ the repo root by default) capturing:
   *disabled* path (``telemetry=None``, must stay within noise of the
   raw tree loop) and the *enabled* path (registry + in-memory
   exporter),
-* the control-plane EM runtime for one representative configuration.
+* the control-plane EM runtime for one representative configuration,
+* serial vs sharded ingest through the parallel engine (pps for the
+  vectorized serial path, the per-packet Algorithm-1 reference and the
+  4-shard engine; codec state bytes per flow; a determinism bit
+  asserting the sharded result is byte-identical to serial).
 
 Usage::
 
@@ -47,6 +51,7 @@ import numpy as np
 
 from repro.controlplane.distribution import estimate_distribution
 from repro.core import FCMSketch, FCMTopK
+from repro.engine import ShardedIngestEngine
 from repro.sketches import CountMinSketch, CUSketch, ElasticSketch
 from repro.telemetry import MemoryExporter, MetricsRegistry
 from repro.traffic import caida_like_trace
@@ -76,11 +81,21 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "disabled_over_raw": 0.15,
     "enabled_over_disabled": 0.60,
     "seconds_per_iter": 1.00,
+    "sharded_ingest_pps": 0.60,
+    "speedup_vs_packet_loop": 0.60,
+    "codec_bytes_per_flow": 0.10,
 }
 
 #: Metrics where a *larger* fresh value is the regression direction.
 LOWER_IS_BETTER_SUFFIXES = (
     "disabled_over_raw", "enabled_over_disabled", "seconds_per_iter",
+    "codec_bytes_per_flow",
+)
+
+#: Metrics that scale with the packet budget; --compare skips them
+#: when the fresh run's budget differs from the committed baseline's.
+LOAD_DEPENDENT_METRICS = (
+    "em.seconds_per_iter", "parallel.codec_bytes_per_flow",
 )
 
 MEMORY = 64 * 1024
@@ -176,6 +191,84 @@ def measure_telemetry_overhead(keys: np.ndarray, repeats: int) -> dict:
     return overhead
 
 
+def _parallel_factory() -> FCMSketch:
+    """Engine replica builder (module-level so workers can pickle it)."""
+    return FCMSketch.with_memory(MEMORY, seed=1)
+
+
+#: The per-packet reference runs on this fraction of the trace (it is
+#: Algorithm 1 in pure Python and would otherwise dominate the run).
+PACKET_LOOP_FRACTION = 50
+PARALLEL_SHARDS = 4
+
+
+def measure_parallel(keys: np.ndarray, num_flows: int, repeats: int,
+                     shards: int = PARALLEL_SHARDS) -> dict:
+    """Serial vs sharded ingest, plus state-codec size per flow.
+
+    Three ingest paths over the same trace:
+
+    * *serial*: one ``FCMSketch.ingest`` call (vectorized bincount),
+    * *packet loop*: per-packet ``update`` — Algorithm 1 as the data
+      plane executes it, the reference the ``speedup`` acceptance
+      criterion is measured against,
+    * *sharded*: :class:`ShardedIngestEngine` with ``shards`` workers
+      (codec-bytes state transport, ``merge`` reduce).
+
+    Also asserts (and records) that the sharded result is
+    byte-identical to the serial sketch's ``to_state()``.
+    """
+    serial_s = _best_of(repeats,
+                        lambda: _parallel_factory().ingest(keys))
+    serial = _parallel_factory()
+    serial.ingest(keys)
+    serial_state = serial.to_state()
+
+    loop_keys = keys[: max(1, keys.shape[0] // PACKET_LOOP_FRACTION)]
+
+    def packet_loop():
+        sketch = _parallel_factory()
+        update = sketch.update
+        for key in loop_keys:
+            update(int(key))
+
+    loop_s = _best_of(repeats, packet_loop)
+
+    with ShardedIngestEngine(_parallel_factory, num_shards=shards,
+                             mode="process") as engine:
+        merged = engine.ingest(keys)
+        stats = engine.last_stats
+        sharded_s = stats.elapsed_s
+        for _ in range(repeats - 1):
+            engine.ingest(keys)
+            if engine.last_stats.elapsed_s < sharded_s:
+                sharded_s = engine.last_stats.elapsed_s
+                stats = engine.last_stats
+
+    serial_pps = keys.shape[0] / serial_s
+    loop_pps = loop_keys.shape[0] / loop_s
+    sharded_pps = keys.shape[0] / sharded_s
+    result = {
+        "packets": int(keys.shape[0]),
+        "flows": int(num_flows),
+        "shards": stats.shards,
+        "mode": stats.mode,
+        "cpus": int(os.cpu_count() or 1),
+        "serial_ingest_pps": serial_pps,
+        "packet_loop_pps": loop_pps,
+        "sharded_ingest_pps": sharded_pps,
+        "speedup_vs_serial": sharded_pps / serial_pps,
+        "speedup_vs_packet_loop": sharded_pps / loop_pps,
+        "deterministic": bool(merged.to_state() == serial_state),
+        "codec_state_bytes": len(serial_state),
+        "codec_bytes_per_flow": len(serial_state) / max(1, num_flows),
+    }
+    print(f"  parallel   serial {serial_pps:>12,.0f} pps   "
+          f"sharded({stats.shards}) {sharded_pps:>12,.0f} pps   "
+          f"packet-loop x{result['speedup_vs_packet_loop']:.1f}")
+    return result
+
+
 def measure_em(keys: np.ndarray, iterations: int = 5) -> dict:
     registry = MetricsRegistry()
     sketch = FCMSketch.with_memory(MEMORY, seed=1)
@@ -211,6 +304,8 @@ def build_record(packets: int, repeats: int, seed: int) -> dict:
         "sketches": measure_sketches(keys, query_keys, repeats),
         "telemetry_overhead": measure_telemetry_overhead(keys, repeats),
         "em": measure_em(keys),
+        "parallel": measure_parallel(
+            keys, trace.ground_truth.keys_array().shape[0], repeats),
     }
 
 
@@ -245,6 +340,20 @@ def validate_record(record: dict) -> list:
         value = em.get(field)
         if not isinstance(value, (int, float)) or value <= 0:
             errors.append(f"em.{field} not positive")
+    parallel = record.get("parallel", {})
+    for field in ("serial_ingest_pps", "packet_loop_pps",
+                  "sharded_ingest_pps", "speedup_vs_packet_loop",
+                  "codec_state_bytes", "codec_bytes_per_flow"):
+        value = parallel.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(f"parallel.{field} not positive")
+    if parallel.get("deterministic") is not True:
+        errors.append("parallel.deterministic is not true (sharded "
+                      "ingest diverged from serial)")
+    speedup = parallel.get("speedup_vs_packet_loop")
+    if isinstance(speedup, (int, float)) and speedup < 2.0:
+        errors.append(f"parallel.speedup_vs_packet_loop {speedup:.2f} "
+                      "below the 2x acceptance bound")
     return errors
 
 
@@ -267,6 +376,11 @@ def flatten_metrics(record: dict) -> Dict[str, float]:
     if em.get("iterations"):
         out["em.seconds_per_iter"] = (float(em["runtime_seconds"])
                                       / float(em["iterations"]))
+    parallel = record.get("parallel", {})
+    for field in ("sharded_ingest_pps", "speedup_vs_packet_loop",
+                  "codec_bytes_per_flow"):
+        if field in parallel:
+            out[f"parallel.{field}"] = float(parallel[field])
     return out
 
 
@@ -299,7 +413,7 @@ def compare_records(baseline: dict, fresh: dict,
         if base is None or current is None:
             rows.append((metric, base, current, None, None, "uncompared"))
             continue
-        if metric == "em.seconds_per_iter" and not same_load:
+        if metric in LOAD_DEPENDENT_METRICS and not same_load:
             rows.append((metric, base, current, None, None,
                          "skipped (packet budgets differ)"))
             continue
@@ -416,6 +530,13 @@ def main(argv=None) -> int:
     parser.add_argument("--validate", action="store_true",
                         help="validate the existing record instead of "
                              "re-measuring")
+    parser.add_argument("--parallel", action="store_true",
+                        help="measure only the serial-vs-sharded ingest "
+                             "section and print it; exit nonzero when "
+                             "sharded ingest diverges from serial or "
+                             "the packet-loop speedup drops below 2x")
+    parser.add_argument("--shards", type=int, default=PARALLEL_SHARDS,
+                        help="worker count for the sharded section")
     parser.add_argument("--compare", action="store_true",
                         help="re-measure and gate against the committed "
                              "record; append to the trajectory history; "
@@ -433,6 +554,25 @@ def main(argv=None) -> int:
     if args.packets is None:
         args.packets = int(os.environ.get("REPRO_BASELINE_PACKETS",
                                           100_000))
+
+    if args.parallel:
+        trace = caida_like_trace(num_packets=args.packets, seed=args.seed)
+        print(f"parallel smoke: {args.packets} packets, "
+              f"{args.shards} shards, best of {args.repeats}")
+        section = measure_parallel(
+            trace.keys, trace.ground_truth.keys_array().shape[0],
+            args.repeats, shards=args.shards)
+        print(json.dumps(section, indent=2, sort_keys=True))
+        failures = []
+        if not section["deterministic"]:
+            failures.append("sharded ingest diverged from serial")
+        if section["speedup_vs_packet_loop"] < 2.0:
+            failures.append(
+                f"speedup_vs_packet_loop "
+                f"{section['speedup_vs_packet_loop']:.2f} < 2.0")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     if args.validate:
         try:

@@ -15,6 +15,7 @@ queries:
 
 from repro.controlplane.collector import (
     NetworkSketchCollector,
+    ParallelSketchCollector,
     SketchCollector,
     WindowReport,
 )
@@ -26,6 +27,7 @@ from repro.controlplane.sliding import JumpingWindowSketch
 __all__ = [
     "SketchCollector",
     "NetworkSketchCollector",
+    "ParallelSketchCollector",
     "WindowReport",
     "estimate_distribution",
     "estimate_entropy",

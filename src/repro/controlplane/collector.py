@@ -28,6 +28,8 @@ from repro.core.em import EMConfig, EMResult
 from repro.errors import (
     CollectionTimeoutError,
     InvalidWindowError,
+    SketchCompatibilityError,
+    StateCodecError,
     SwitchUnreachableError,
 )
 from repro.robustness.guards import (
@@ -57,6 +59,7 @@ class WindowReport:
     health: Optional[CollectionHealth] = None
     collected_sketches: Dict[str, object] = field(default_factory=dict)
     sketch_health: Optional[SketchHealthReport] = None
+    snapshot_bytes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def healthy(self) -> bool:
@@ -301,6 +304,7 @@ class NetworkSketchCollector:
             health.packets_dropped = sim.packets_dropped - drops_before
 
             collected: Dict[str, object] = {}
+            snapshot_bytes: Dict[str, int] = {}
             for name in sorted(sim.switches):
                 if not self.breaker.allows(name, index):
                     health.switches_skipped.append(name)
@@ -319,7 +323,11 @@ class NetworkSketchCollector:
                         retries=health.retries - retries_before,
                         breaker_open=False)
                     if sketch is not None:
+                        sketch, nbytes = self._transport(name, sketch)
                         collected[name] = sketch
+                        if nbytes is not None:
+                            snapshot_bytes[name] = nbytes
+                            drain_span.annotate(snapshot_bytes=nbytes)
                         self.breaker.record_success(name)
                         self._last_success[name] = index
                         drain_span.annotate(outcome="ok")
@@ -337,6 +345,7 @@ class NetworkSketchCollector:
                 cardinality_estimate=self._cardinality(collected),
                 health=health,
                 collected_sketches=collected,
+                snapshot_bytes=snapshot_bytes,
             )
             if self.run_em and self.em_switch in collected \
                     and len(window) > 0:
@@ -373,6 +382,16 @@ class NetworkSketchCollector:
                 fields["sketch_status"] = report.sketch_health.status.name
             t.emit("window", "collector.network_window", **fields)
         return report
+
+    def _transport(self, name: str, sketch):
+        """How a drained sketch reaches the control plane.
+
+        The base collector hands the in-process object straight
+        through.  Returns ``(sketch, bytes_moved_or_None)``;
+        :class:`ParallelSketchCollector` overrides this to move codec
+        bytes instead.
+        """
+        return sketch, None
 
     def _drain_switch(self, name: str, window: int,
                       health: CollectionHealth):
@@ -416,3 +435,43 @@ class NetworkSketchCollector:
             return 0.0
         total = sum(float(collected[l].cardinality()) for l in reached)
         return total * (len(leaves) / len(reached)) / 2.0
+
+
+class ParallelSketchCollector(NetworkSketchCollector):
+    """Network collector whose drain path moves snapshot bytes.
+
+    Same retry/backoff/circuit-breaker/health machinery as
+    :class:`NetworkSketchCollector`, but each successfully drained
+    sketch crosses the data-plane/control-plane boundary as the
+    engine's versioned codec bytes rather than an in-process object
+    handle — the transport a real deployment uses, where the
+    controller receives raw counter arrays over the wire.  Per switch:
+
+    1. the drained sketch is serialized with ``to_state()``,
+    2. an empty replica is built via ``switch.fresh_sketch()``,
+    3. the replica is rehydrated with ``from_state(blob)``.
+
+    ``report.collected_sketches`` then holds the rehydrated replicas
+    and ``report.snapshot_bytes`` the per-switch codec sizes (also
+    annotated on each ``collector.drain`` span and counted in the
+    ``collector.snapshot_bytes`` metric).  Sketches whose type has no
+    codec — or whose replica rejects the state — fall back to the
+    object handle, counted in ``collector.snapshot_fallbacks``; the
+    window never fails because of transport.
+    """
+
+    def _transport(self, name: str, sketch):
+        t = self.telemetry
+        try:
+            blob = sketch.to_state()
+            rebuilt = self.simulator.switches[name].fresh_sketch()
+            rebuilt.from_state(blob)
+        except (SketchCompatibilityError, StateCodecError,
+                AttributeError, SwitchUnreachableError):
+            if t is not None:
+                t.inc("collector.snapshot_fallbacks")
+            return sketch, None
+        if t is not None:
+            t.inc("collector.snapshots_ok")
+            t.inc("collector.snapshot_bytes", len(blob))
+        return rebuilt, len(blob)

@@ -19,7 +19,11 @@ import numpy as np
 from repro.core.config import FCMConfig
 from repro.core.tree import FCMTree
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchCompatibilityError,
+    as_key_array,
+)
 from repro.sketches.linear_counting import linear_counting_estimate
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.tracing import maybe_span
@@ -37,6 +41,8 @@ class FCMSketch(FrequencySketch):
         >>> sketch.query(42)
         3
     """
+
+    STATE_KIND = "fcm"
 
     def __init__(self, config: FCMConfig,
                  telemetry: Optional[MetricsRegistry] = None,
@@ -122,14 +128,35 @@ class FCMSketch(FrequencySketch):
         points — or across measurement sub-windows — merge losslessly:
         the result equals a single sketch that saw both streams.
         """
+        self._require_same_type(other)
         if other.config != self.config:
-            raise ValueError("cannot merge sketches with different "
-                             "configurations")
+            raise SketchCompatibilityError(
+                "cannot merge FCMSketch instances with different "
+                "configurations")
         for mine, theirs in zip(self.trees, other.trees):
             mine.merge_from(theirs)
         t = self._telemetry
         if t is not None:
             t.inc(f"{self._tname}.merges")
+
+    # ------------------------------------------------------------------
+    # state codec
+    # ------------------------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"num_trees": self.config.num_trees, "k": self.config.k,
+                "stage_bits": list(self.config.stage_bits),
+                "stage_widths": list(self.config.stage_widths),
+                "seed": self.config.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {f"tree{i}": tree._leaf_totals
+                for i, tree in enumerate(self.trees)}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        for i, tree in enumerate(self.trees):
+            tree._leaf_totals = arrays[f"tree{i}"].astype(np.int64)
+            tree._stage_values = None
 
     # ------------------------------------------------------------------
     # data-plane queries (§3.3)
@@ -143,8 +170,7 @@ class FCMSketch(FrequencySketch):
         return min(tree.query(key) for tree in self.trees)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         t = self._telemetry
         if t is not None:
             t.inc(f"{self._tname}.query.calls")

@@ -16,13 +16,13 @@ global minimum cannot break that bound.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.core.config import FCMConfig
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch
+from repro.sketches.base import FrequencySketch, as_key_array
 
 
 class _MutableTree:
@@ -79,10 +79,20 @@ class CUFCMSketch(FrequencySketch):
         memory_bytes: total budget (same sizing as ``FCMSketch``).
         num_trees, k, stage_bits, seed: tree geometry, as in
             :class:`repro.core.fcm.FCMSketch`.
+        telemetry: optional metrics registry.
     """
 
+    STATE_KIND = "fcu"
+    UNMERGEABLE_REASON = (
+        "conservative update at tree granularity is order-dependent: "
+        "which trees a packet increments depends on the estimates "
+        "produced by every earlier packet, so per-shard stage arrays "
+        "are not a function of the combined stream")
+
     def __init__(self, memory_bytes: int, num_trees: int = 2, k: int = 8,
-                 stage_bits: tuple = (8, 16, 32), seed: int = 0):
+                 stage_bits: tuple = (8, 16, 32), seed: int = 0,
+                 telemetry=None):
+        self._telemetry = telemetry
         self.config = FCMConfig(
             num_trees=num_trees, k=k, stage_bits=tuple(stage_bits),
             seed=seed,
@@ -111,7 +121,7 @@ class CUFCMSketch(FrequencySketch):
     def ingest(self, keys: np.ndarray) -> None:
         """Per-packet conservative update (order-dependent)."""
         trees = self.trees
-        for key in np.asarray(keys, dtype=np.uint64):
+        for key in as_key_array(keys):
             key = int(key)
             leaves = [tree.leaf_index(key) for tree in trees]
             estimates = [tree.query_leaf(leaf)
@@ -127,7 +137,26 @@ class CUFCMSketch(FrequencySketch):
                    for tree in self.trees)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         return np.array([self.query(int(k)) for k in keys],
                         dtype=np.int64)
+
+    # -- state codec (snapshot only; merge intentionally raises) -------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"num_trees": self.config.num_trees, "k": self.config.k,
+                "stage_bits": list(self.config.stage_bits),
+                "stage_widths": list(self.config.stage_widths),
+                "seed": self.config.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {f"tree{i}_stage{s}": stage
+                for i, tree in enumerate(self.trees)
+                for s, stage in enumerate(tree.arrays)}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        for i, tree in enumerate(self.trees):
+            tree.arrays = [
+                arrays[f"tree{i}_stage{s}"].astype(np.int64)
+                for s in range(self.config.num_stages)
+            ]

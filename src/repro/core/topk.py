@@ -24,7 +24,11 @@ import numpy as np
 from repro.core.config import FCMConfig
 from repro.core.fcm import FCMSketch
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch, SketchMemoryError
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchMemoryError,
+    as_key_array,
+)
 from repro.telemetry.tracing import maybe_span
 
 BUCKET_BYTES = 13
@@ -132,6 +136,51 @@ class TopKFilter:
         """Keys currently held by the filter."""
         return {key for key, _, _ in self.entries()}
 
+    # -- state codec support (used by Elastic / FCM+TopK snapshots) ----
+
+    def state_meta(self) -> Dict[str, object]:
+        """Geometry fields for a host sketch's codec meta."""
+        return {"topk_entries": self.entries_per_level,
+                "topk_levels": self.levels,
+                "lambda_ratio": self.lambda_ratio,
+                "migrate_on_evict": self.migrate_on_evict}
+
+    def state_arrays(self, prefix: str = "topk_") -> Dict[str, np.ndarray]:
+        """Resident buckets as flat arrays, in deterministic order."""
+        rows = [(level, slot, b)
+                for level, table in enumerate(self._tables)
+                for slot, b in sorted(table.items())]
+        n = len(rows)
+        out = {
+            f"{prefix}level": np.empty(n, dtype=np.int64),
+            f"{prefix}slot": np.empty(n, dtype=np.int64),
+            f"{prefix}key": np.empty(n, dtype=np.uint64),
+            f"{prefix}pos": np.empty(n, dtype=np.int64),
+            f"{prefix}neg": np.empty(n, dtype=np.int64),
+            f"{prefix}flag": np.empty(n, dtype=np.uint8),
+        }
+        for i, (level, slot, bucket) in enumerate(rows):
+            out[f"{prefix}level"][i] = level
+            out[f"{prefix}slot"][i] = slot
+            out[f"{prefix}key"][i] = bucket.key
+            out[f"{prefix}pos"][i] = bucket.positive_votes
+            out[f"{prefix}neg"][i] = bucket.negative_votes
+            out[f"{prefix}flag"][i] = bucket.flagged
+        return out
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray],
+                          prefix: str = "topk_") -> None:
+        """Rebuild the tables from :meth:`state_arrays` output."""
+        tables: List[Dict[int, _Bucket]] = [dict() for _ in range(self.levels)]
+        for level, slot, key, pos, neg, flag in zip(
+                arrays[f"{prefix}level"], arrays[f"{prefix}slot"],
+                arrays[f"{prefix}key"], arrays[f"{prefix}pos"],
+                arrays[f"{prefix}neg"], arrays[f"{prefix}flag"]):
+            tables[int(level)][int(slot)] = _Bucket(
+                key=int(key), positive_votes=int(pos),
+                negative_votes=int(neg), flagged=bool(flag))
+        self._tables = tables
+
 
 class FCMTopK(FrequencySketch):
     """FCM-Sketch behind an Elastic Top-K filter (the paper's FCM+TopK).
@@ -148,6 +197,13 @@ class FCMTopK(FrequencySketch):
         hardware: use the Tofino-feasible no-migration eviction (§8.1).
         seed: base hash seed.
     """
+
+    STATE_KIND = "fcm_topk"
+    UNMERGEABLE_REASON = (
+        "the Top-K filter's vote-based eviction is order-dependent: "
+        "which flows are resident and how much of their count spilled "
+        "into the backing FCM depends on packet arrival order across "
+        "the whole stream")
 
     def __init__(self, memory_bytes: int, k: int = 16, num_trees: int = 2,
                  stage_bits: tuple = (8, 16, 32),
@@ -182,6 +238,7 @@ class FCMTopK(FrequencySketch):
         self.fcm = FCMSketch(config, telemetry=telemetry,
                              name=f"{name}.fcm")
         self.hardware = hardware
+        self.seed = seed
         self._telemetry = telemetry
         self._tname = name
 
@@ -225,8 +282,7 @@ class FCMTopK(FrequencySketch):
         return count
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         fcm_estimates = self.fcm.query_many(keys)
         out = np.empty(keys.shape, dtype=np.int64)
         for i, key in enumerate(keys):
@@ -264,3 +320,25 @@ class FCMTopK(FrequencySketch):
     def heavy_entries(self) -> List[Tuple[int, int, bool]]:
         """Resident Top-K entries (for control-plane distribution)."""
         return list(self.topk.entries())
+
+    # -- state codec (snapshot only; merge intentionally raises) -------
+
+    def _state_meta(self) -> Dict[str, object]:
+        meta = {"seed": self.seed, "hardware": self.hardware}
+        meta.update(self.topk.state_meta())
+        meta.update({f"fcm_{k}": v
+                     for k, v in self.fcm._state_meta().items()})
+        return meta
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = self.topk.state_arrays()
+        arrays.update({f"fcm_{k}": v
+                       for k, v in self.fcm._state_arrays().items()})
+        return arrays
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.topk.load_state_arrays(arrays)
+        self.fcm._load_state_arrays({
+            k[len("fcm_"):]: v for k, v in arrays.items()
+            if k.startswith("fcm_")
+        })

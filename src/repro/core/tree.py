@@ -23,6 +23,7 @@ from typing import List
 import numpy as np
 
 from repro.core.config import FCMConfig
+from repro.errors import SketchCompatibilityError
 from repro.hashing import HashFamily
 
 
@@ -101,9 +102,11 @@ class FCMTree:
         """
         if other.config.stage_widths != self.config.stage_widths \
                 or other.config.stage_bits != self.config.stage_bits:
-            raise ValueError("cannot merge trees of different geometry")
+            raise SketchCompatibilityError(
+                "cannot merge trees of different geometry")
         if other.hash.seed != self.hash.seed:
-            raise ValueError("cannot merge trees with different hashes")
+            raise SketchCompatibilityError(
+                "cannot merge trees with different hashes")
         self._leaf_totals += other._leaf_totals
         self._stage_values = None
 

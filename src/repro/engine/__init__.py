@@ -1,0 +1,71 @@
+"""Sharded parallel ingestion engine on the mergeable-sketch protocol.
+
+The engine exploits the fact that the canonical state of most sketches
+in this repository is *additive* (FCM's per-leaf totals, CM/CS counter
+arrays, HLL register maxima, LC bitmap unions): a packet stream can be
+chunked into batches, fanned out to worker processes that each ingest
+into their own sketch replica, and reduced back with the protocol's
+``merge`` — the result is byte-identical to a single sketch that saw
+the whole stream.
+
+Three pieces:
+
+* :mod:`repro.engine.codec` — the versioned binary state codec behind
+  ``to_state()`` / ``from_state()`` (header + raw counter arrays, with
+  geometry/seed compatibility checks).  This is how sketch state moves
+  between processes — and, in deployment terms, how a switch snapshot
+  moves off-device.
+* :mod:`repro.engine.sharded` — :class:`ShardedIngestEngine`, the
+  batch/fan-out/reduce loop over a ``multiprocessing`` pool (or an
+  in-process "inline" mode with identical semantics).
+* :class:`repro.controlplane.collector.ParallelSketchCollector` — the
+  collector drain path built on the codec: per-switch snapshot *bytes*
+  instead of in-process object handles.
+
+Attribute access is lazy (PEP 562) so importing the codec from
+low-level modules (:mod:`repro.sketches.base`) never drags in
+``multiprocessing``.
+"""
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "CODEC_VERSION": "repro.engine.codec",
+    "SketchState": "repro.engine.codec",
+    "pack_state": "repro.engine.codec",
+    "unpack_state": "repro.engine.codec",
+    "peek_kind": "repro.engine.codec",
+    "ensure_compatible_state": "repro.engine.codec",
+    "ShardedIngestEngine": "repro.engine.sharded",
+    "ShardedIngestStats": "repro.engine.sharded",
+    "chunk_batches": "repro.engine.sharded",
+}
+
+__all__ = list(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.engine.codec import (
+        CODEC_VERSION,
+        SketchState,
+        ensure_compatible_state,
+        pack_state,
+        peek_kind,
+        unpack_state,
+    )
+    from repro.engine.sharded import (
+        ShardedIngestEngine,
+        ShardedIngestStats,
+        chunk_batches,
+    )
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        module = import_module(_EXPORTS[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

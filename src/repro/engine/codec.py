@@ -1,0 +1,212 @@
+"""Versioned binary codec for sketch state.
+
+``to_state()`` / ``from_state()`` — the serialization half of the
+mergeable-sketch protocol (:mod:`repro.sketches.base`) — are built on
+this module.  A serialized state is one self-contained byte string::
+
+    MAGIC "RSKS" | version u16 | kind | meta JSON | N named arrays
+
+* ``kind`` identifies the sketch family (``"fcm"``, ``"cm"``, ...), so
+  a Count-Min snapshot can never be loaded into an FCM-Sketch;
+* ``meta`` is a flat JSON object holding *configuration only* —
+  geometry, counter widths, hash seeds.  ``from_state`` compares it
+  field by field against the receiving sketch's own meta and raises
+  :class:`~repro.errors.SketchCompatibilityError` naming the first
+  mismatch, which is what makes cross-geometry / cross-seed merges
+  fail loudly instead of silently corrupting counters;
+* each array is stored as ``name | dtype | shape | raw C-order bytes``
+  — no pickle, so the format is stable across Python versions and safe
+  to move between processes, hosts, or an on-switch agent and the
+  collector.
+
+Encoding is deterministic (sorted JSON keys, caller-ordered arrays):
+``unpack_state`` → ``pack_state`` round-trips byte-identically, which
+the property tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import SketchCompatibilityError, StateCodecError
+
+__all__ = [
+    "CODEC_VERSION",
+    "MAGIC",
+    "SketchState",
+    "pack_state",
+    "unpack_state",
+    "peek_kind",
+    "ensure_compatible_state",
+]
+
+MAGIC = b"RSKS"
+CODEC_VERSION = 1
+
+_HEADER = struct.Struct("<4sHH")   # magic, version, kind length
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_U8 = struct.Struct("<B")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class SketchState:
+    """A decoded sketch snapshot: family tag, config meta, raw arrays."""
+
+    kind: str
+    meta: Dict[str, object]
+    arrays: Dict[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the counter arrays alone."""
+        return sum(a.nbytes for a in self.arrays.values())
+
+
+def _canonical_meta(meta: Mapping[str, object]) -> Dict[str, object]:
+    """JSON round-trip the meta so tuples become lists etc. — the
+    encoded form and the sketch-side expectation compare equal."""
+    return json.loads(json.dumps(dict(meta), sort_keys=True))
+
+
+def pack_state(kind: str, meta: Mapping[str, object],
+               arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Encode a sketch snapshot into the versioned binary format."""
+    kind_b = kind.encode("utf-8")
+    meta_b = json.dumps(dict(meta), sort_keys=True,
+                        separators=(",", ":")).encode("utf-8")
+    parts = [
+        _HEADER.pack(MAGIC, CODEC_VERSION, len(kind_b)),
+        kind_b,
+        _U32.pack(len(meta_b)),
+        meta_b,
+        _U16.pack(len(arrays)),
+    ]
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        name_b = name.encode("utf-8")
+        dtype_b = array.dtype.str.encode("ascii")
+        parts.append(_U16.pack(len(name_b)))
+        parts.append(name_b)
+        parts.append(_U8.pack(len(dtype_b)))
+        parts.append(dtype_b)
+        parts.append(_U8.pack(array.ndim))
+        for dim in array.shape:
+            parts.append(_U64.pack(dim))
+        raw = array.tobytes()
+        parts.append(_U64.pack(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+class _Reader:
+    """Cursor over the encoded buffer with truncation checks."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise StateCodecError(
+                f"truncated sketch state: wanted {n} bytes at offset "
+                f"{self.pos}, only {len(self.data) - self.pos} left")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def unpack(self, spec: struct.Struct) -> Tuple:
+        return spec.unpack(self.take(spec.size))
+
+
+def peek_kind(data: bytes) -> str:
+    """The sketch family tag of an encoded state, header-only read."""
+    reader = _Reader(data)
+    magic, version, kind_len = reader.unpack(_HEADER)
+    if magic != MAGIC:
+        raise StateCodecError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    if version != CODEC_VERSION:
+        raise StateCodecError(
+            f"unsupported codec version {version} (supported: "
+            f"{CODEC_VERSION})")
+    return reader.take(kind_len).decode("utf-8")
+
+
+def unpack_state(data: bytes) -> SketchState:
+    """Decode a :func:`pack_state` buffer back into a snapshot."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise StateCodecError(
+            f"sketch state must be bytes, got {type(data).__name__}")
+    data = bytes(data)
+    reader = _Reader(data)
+    magic, version, kind_len = reader.unpack(_HEADER)
+    if magic != MAGIC:
+        raise StateCodecError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    if version != CODEC_VERSION:
+        raise StateCodecError(
+            f"unsupported codec version {version} (supported: "
+            f"{CODEC_VERSION})")
+    kind = reader.take(kind_len).decode("utf-8")
+    (meta_len,) = reader.unpack(_U32)
+    try:
+        meta = json.loads(reader.take(meta_len).decode("utf-8"))
+    except ValueError as exc:
+        raise StateCodecError(f"corrupt state meta: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise StateCodecError("state meta must be a JSON object")
+    (num_arrays,) = reader.unpack(_U16)
+    arrays: Dict[str, np.ndarray] = {}
+    for _ in range(num_arrays):
+        (name_len,) = reader.unpack(_U16)
+        name = reader.take(name_len).decode("utf-8")
+        (dtype_len,) = reader.unpack(_U8)
+        dtype = np.dtype(reader.take(dtype_len).decode("ascii"))
+        (ndim,) = reader.unpack(_U8)
+        shape = tuple(reader.unpack(_U64)[0] for _ in range(ndim))
+        (nbytes,) = reader.unpack(_U64)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes != expected:
+            raise StateCodecError(
+                f"array {name!r}: payload {nbytes}B does not match "
+                f"shape {shape} of dtype {dtype} ({expected}B)")
+        arrays[name] = np.frombuffer(
+            reader.take(nbytes), dtype=dtype).reshape(shape).copy()
+    if reader.pos != len(data):
+        raise StateCodecError(
+            f"{len(data) - reader.pos} trailing bytes after state payload")
+    return SketchState(kind=kind, meta=meta, arrays=arrays)
+
+
+def ensure_compatible_state(state: SketchState, kind: str,
+                            meta: Mapping[str, object],
+                            target: str = "sketch") -> None:
+    """Reject a snapshot whose family or configuration differs.
+
+    Raises :class:`SketchCompatibilityError` naming the first
+    mismatched field — this is the geometry/seed check guarding both
+    ``from_state`` and, transitively, every cross-process merge.
+    """
+    if state.kind != kind:
+        raise SketchCompatibilityError(
+            f"cannot load {state.kind!r} state into a {kind!r} {target}")
+    expected = _canonical_meta(meta)
+    if set(state.meta) != set(expected):
+        missing = sorted(set(expected) ^ set(state.meta))
+        raise SketchCompatibilityError(
+            f"{kind} state meta fields differ from this {target}'s: "
+            f"{missing}")
+    for field in sorted(expected):
+        if state.meta[field] != expected[field]:
+            raise SketchCompatibilityError(
+                f"incompatible {kind} state: {field} is "
+                f"{state.meta[field]!r}, this {target} has "
+                f"{expected[field]!r}")

@@ -1,0 +1,240 @@
+"""Sharded parallel ingestion over the mergeable-sketch protocol.
+
+The pipeline: chunk the packet stream into fixed-size batches, deal the
+batches round-robin across ``num_shards`` shards, ingest each shard
+into its own sketch replica (in a ``multiprocessing`` worker or
+inline), move the replica state back as codec bytes, and reduce the
+replicas with ``merge`` in shard order.
+
+Because every mergeable sketch here has commutative integer state
+(adds, ORs, maxima), the reduced sketch is **byte-identical** to a
+single sketch that ingested the whole stream — the engine's
+determinism tests pin ``to_state()`` equality for any shard count, in
+both modes.
+
+Worker protocol: a shard task is ``(factory, [batch, ...])``; the
+worker builds ``factory()``, ingests its batches in order, and returns
+``sketch.to_state()`` bytes.  Nothing but the factory and raw key
+arrays crosses the process boundary on the way in, and nothing but
+codec bytes on the way out — no pickled sketch objects.  The factory
+must be picklable (a module-level function or ``functools.partial``,
+not a lambda, when using the ``spawn`` start method).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SketchCompatibilityError
+from repro.sketches.base import MergeableStateMixin, as_key_array
+from repro.telemetry.tracing import maybe_span
+
+__all__ = ["ShardedIngestEngine", "ShardedIngestStats", "chunk_batches"]
+
+DEFAULT_BATCH_SIZE = 65536
+
+
+def chunk_batches(keys: np.ndarray, batch_size: int) -> List[np.ndarray]:
+    """Split a key stream into fixed-size batches (views, no copies)."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    keys = as_key_array(keys)
+    if keys.size == 0:
+        return []
+    return [keys[start:start + batch_size]
+            for start in range(0, keys.size, batch_size)]
+
+
+def _shard_worker(task) -> bytes:
+    """Ingest one shard's batches into a fresh replica; return state."""
+    factory, batches = task
+    sketch = factory()
+    for batch in batches:
+        sketch.ingest(batch)
+    return sketch.to_state()
+
+
+@dataclass
+class ShardedIngestStats:
+    """What one :meth:`ShardedIngestEngine.ingest` run did."""
+
+    packets: int
+    batches: int
+    shards: int
+    mode: str  # "process" or "inline" (the mode actually used)
+    elapsed_s: float
+    state_bytes: int  # total codec bytes returned by the shards
+    shard_packets: List[int] = field(default_factory=list)
+
+    @property
+    def pps(self) -> float:
+        """Ingested packets per second (0 for an empty run)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.packets / self.elapsed_s
+
+
+class ShardedIngestEngine:
+    """Chunk → fan out → ingest → reduce, over a sketch factory.
+
+    Args:
+        factory: zero-argument callable building one sketch replica.
+            Every replica must be identically configured (same seed!)
+            or the reduce step will raise.  Must be picklable for
+            ``mode="process"``.
+        num_shards: replica count; defaults to ``os.cpu_count()``.
+        batch_size: packets per batch (batches are dealt round-robin
+            to shards, so any batch size gives the same result).
+        mode: ``"process"`` (multiprocessing pool), ``"inline"``
+            (same chunk/deal/reduce path without processes), or
+            ``"auto"`` (process when more than one shard is useful).
+        mp_context: ``multiprocessing`` start-method name or context
+            (default: the platform default, ``fork`` on Linux).
+        telemetry: optional :class:`repro.telemetry.MetricsRegistry`.
+        name: metric/span name prefix.
+
+    The engine validates up front that the factory's sketch actually
+    supports the protocol — order-dependent sketches raise
+    :class:`~repro.errors.SketchCompatibilityError` here rather than
+    deep inside a worker.
+
+    Use as a context manager to keep the worker pool alive across
+    multiple :meth:`ingest` calls::
+
+        with ShardedIngestEngine(factory, num_shards=4) as engine:
+            merged = engine.ingest(keys)
+    """
+
+    def __init__(self, factory: Callable[[], MergeableStateMixin],
+                 num_shards: Optional[int] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 mode: str = "auto",
+                 mp_context=None,
+                 telemetry=None,
+                 name: str = "engine"):
+        if mode not in ("auto", "process", "inline"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if num_shards is None:
+            num_shards = os.cpu_count() or 1
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.factory = factory
+        self.num_shards = num_shards
+        self.batch_size = batch_size
+        self.mode = mode
+        self._mp_context = mp_context
+        self._telemetry = telemetry
+        self._tname = name
+        self._pool = None
+        self.last_stats: Optional[ShardedIngestStats] = None
+        self._validate_factory()
+
+    def _validate_factory(self) -> None:
+        """Fail fast if the sketch cannot shard (no merge / no codec)."""
+        probe = self.factory()
+        if not isinstance(probe, MergeableStateMixin):
+            raise SketchCompatibilityError(
+                f"{type(probe).__name__} does not implement the "
+                "mergeable-sketch protocol")
+        if type(probe).merge is MergeableStateMixin.merge:
+            # Re-raise the sketch's own structural reason.
+            probe.merge(probe)
+        if probe.STATE_KIND is None:
+            raise probe._codec_unsupported()
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            ctx = self._mp_context
+            if ctx is None or isinstance(ctx, str):
+                ctx = multiprocessing.get_context(ctx)
+            self._pool = ctx.Pool(processes=self.num_shards)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op if none was started)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedIngestEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the engine
+    # ------------------------------------------------------------------
+
+    def _deal(self, batches: Sequence[np.ndarray]) -> List[List[np.ndarray]]:
+        """Round-robin batches onto shards (deterministic)."""
+        shards: List[List[np.ndarray]] = [[] for _ in range(self.num_shards)]
+        for i, batch in enumerate(batches):
+            shards[i % self.num_shards].append(batch)
+        return [s for s in shards if s]
+
+    def ingest(self, keys: np.ndarray) -> MergeableStateMixin:
+        """Shard-ingest a packet stream; return the reduced sketch.
+
+        Records a :class:`ShardedIngestStats` in :attr:`last_stats`.
+        """
+        keys = as_key_array(keys)
+        t = self._telemetry
+        start = time.perf_counter()
+        batches = chunk_batches(keys, self.batch_size)
+        shards = self._deal(batches)
+        mode = self.mode
+        if mode == "auto":
+            mode = "process" if len(shards) > 1 else "inline"
+        if not shards:
+            mode = "inline"
+        with maybe_span(t, f"{self._tname}.shard_ingest",
+                        packets=int(keys.size), shards=len(shards),
+                        mode=mode):
+            if mode == "process":
+                blobs = self._get_pool().map(
+                    _shard_worker,
+                    [(self.factory, shard) for shard in shards])
+            else:
+                blobs = [_shard_worker((self.factory, shard))
+                         for shard in shards]
+            result = self.factory()
+            for blob in blobs:
+                result.merge(self.factory().from_state(blob))
+        elapsed = time.perf_counter() - start
+        self.last_stats = ShardedIngestStats(
+            packets=int(keys.size),
+            batches=len(batches),
+            shards=len(shards),
+            mode=mode,
+            elapsed_s=elapsed,
+            state_bytes=sum(len(b) for b in blobs),
+            shard_packets=[int(sum(b.size for b in shard))
+                           for shard in shards],
+        )
+        if t is not None:
+            t.inc(f"{self._tname}.ingest.calls")
+            t.inc(f"{self._tname}.ingest.packets", int(keys.size))
+            t.inc(f"{self._tname}.ingest.batches", len(batches))
+            t.set_gauge(f"{self._tname}.state_bytes",
+                        self.last_stats.state_bytes)
+            t.observe(f"{self._tname}.ingest.seconds", elapsed)
+            t.emit("engine", f"{self._tname}.shard_ingest",
+                   packets=int(keys.size), shards=len(shards),
+                   mode=mode, elapsed_s=elapsed,
+                   state_bytes=self.last_stats.state_bytes)
+        return result

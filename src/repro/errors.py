@@ -40,6 +40,24 @@ class FaultPlanError(MeasurementError, ValueError):
     """Raised for inconsistent fault-plan specifications."""
 
 
+class SketchCompatibilityError(MeasurementError, ValueError):
+    """Raised when two sketches cannot be merged or a serialized state
+    cannot be loaded.
+
+    Covers both *structural* incompatibility (the sketch type is
+    order-dependent or otherwise has no lossless merge — the message
+    names the structural reason) and *configuration* incompatibility
+    (same type, but mismatched geometry, counter widths or hash seeds).
+    Subclasses :class:`ValueError` so pre-existing
+    ``except ValueError`` call sites around ``merge`` keep working.
+    """
+
+
+class StateCodecError(MeasurementError, ValueError):
+    """Raised for malformed serialized sketch state (bad magic bytes,
+    unsupported codec version, truncated payload)."""
+
+
 # ----------------------------------------------------------------------
 # runtime faults (the robustness layer's vocabulary)
 # ----------------------------------------------------------------------

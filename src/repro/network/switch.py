@@ -79,6 +79,21 @@ class SimulatedSwitch:
         if not self.alive:
             raise SwitchUnreachableError(self.name)
 
+    def fresh_sketch(self) -> object:
+        """Build an empty sketch identical to this switch's (geometry
+        and seed included).
+
+        The snapshot-transport drain path uses this to rebuild a
+        drained sketch from codec bytes on the control-plane side.
+        Requires a sketch factory (the default sketch always has one).
+        """
+        if self._sketch_factory is None:
+            raise SwitchUnreachableError(
+                self.name,
+                f"switch {self.name!r} has no sketch factory; "
+                "pass sketch_factory= when supplying a custom sketch")
+        return self._sketch_factory()
+
     def rotate(self) -> object:
         """Drain: return the current sketch, install a fresh one.
 

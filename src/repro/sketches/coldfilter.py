@@ -21,12 +21,16 @@ count.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch, SketchMemoryError
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchMemoryError,
+    as_key_array,
+)
 from repro.sketches.countmin import CountMinSketch
 
 
@@ -74,11 +78,20 @@ class ColdFilterSketch(FrequencySketch):
             defaults: 4 and 16).
         depth: hashes per filter layer (CF default 3).
         seed: base hash seed.
+        telemetry: optional metrics registry.
     """
+
+    STATE_KIND = "coldfilter"
+    UNMERGEABLE_REASON = (
+        "both filter layers use conservative update and the hot-part "
+        "handoff depends on when a flow saturated them, so the split of "
+        "a flow's count across layers is a function of packet order, "
+        "not of the combined stream")
 
     def __init__(self, memory_bytes: int, layer1_fraction: float = 0.5,
                  layer2_fraction: float = 0.25, layer1_bits: int = 4,
-                 layer2_bits: int = 16, depth: int = 3, seed: int = 0):
+                 layer2_bits: int = 16, depth: int = 3, seed: int = 0,
+                 telemetry=None):
         if not 0 < layer1_fraction < 1 or not 0 < layer2_fraction < 1:
             raise ValueError("layer fractions must be in (0, 1)")
         if layer1_fraction + layer2_fraction >= 1:
@@ -96,6 +109,8 @@ class ColdFilterSketch(FrequencySketch):
         self.t2 = self.layer2.cap
         self._l1_bits = layer1_bits
         self._l2_bits = layer2_bits
+        self.seed = seed
+        self._telemetry = telemetry
 
     @property
     def memory_bytes(self) -> int:
@@ -119,8 +134,28 @@ class ColdFilterSketch(FrequencySketch):
 
     def ingest(self, keys: np.ndarray) -> None:
         """Per-packet loop (conservative update is order-dependent)."""
-        for key in np.asarray(keys, dtype=np.uint64):
+        for key in as_key_array(keys):
             self.update(int(key))
+
+    # -- state codec (snapshot only; merge intentionally raises) -------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"l1_depth": self.layer1.depth, "l1_width": self.layer1.width,
+                "l1_bits": self._l1_bits,
+                "l2_depth": self.layer2.depth, "l2_width": self.layer2.width,
+                "l2_bits": self._l2_bits,
+                "hot_depth": self.hot.depth, "hot_width": self.hot.width,
+                "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"layer1": self.layer1.counters,
+                "layer2": self.layer2.counters,
+                "hot": self.hot.counters}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.layer1.counters = arrays["layer1"].astype(np.int64)
+        self.layer2.counters = arrays["layer2"].astype(np.int64)
+        self.hot.counters = arrays["hot"].astype(np.int64)
 
     def query(self, key: int) -> int:
         key = int(key)
@@ -133,7 +168,6 @@ class ColdFilterSketch(FrequencySketch):
         return self.t1 + self.t2 + self.hot.query(key)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         return np.array([self.query(int(k)) for k in keys],
                         dtype=np.int64)

@@ -6,17 +6,24 @@ best-accuracy configuration of ``d = 3`` arrays is the default.
 
 CM updates commute, so bulk ingest aggregates the packet stream per flow
 and applies ``np.add.at`` — bit-for-bit identical to per-packet updates.
+The same commutativity makes CM fully mergeable: ``merge`` adds counter
+arrays, and the state codec carries one named array.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
 from repro.hashing import HashFamily
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch, counters_for_budget
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchCompatibilityError,
+    as_key_array,
+    counters_for_budget,
+)
 
 
 class CountMinSketch(FrequencySketch):
@@ -27,10 +34,13 @@ class CountMinSketch(FrequencySketch):
         depth: number of rows / hash functions (paper default 3).
         counter_bits: counter width (paper uses 32).
         seed: base seed for the row hash functions.
+        telemetry: optional metrics registry.
     """
 
+    STATE_KIND = "cm"
+
     def __init__(self, memory_bytes: int, depth: int = 3,
-                 counter_bits: int = 32, seed: int = 0):
+                 counter_bits: int = 32, seed: int = 0, telemetry=None):
         if depth <= 0:
             raise ValueError("depth must be positive")
         if counter_bits not in (8, 16, 32, 64):
@@ -46,6 +56,7 @@ class CountMinSketch(FrequencySketch):
         self._max_value = (1 << counter_bits) - 1
         self.counters = np.zeros((depth, self.width), dtype=np.int64)
         self.seed = seed
+        self._telemetry = telemetry
         self._hashes: list[HashFamily] = hash_families(depth, base_seed=seed)
 
     @property
@@ -69,16 +80,21 @@ class CountMinSketch(FrequencySketch):
 
     def ingest(self, keys: np.ndarray) -> None:
         """Vectorized bulk load (order-independent, exact)."""
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         uniq, counts = np.unique(keys, return_counts=True)
+        self.add_aggregated(uniq, counts)
+
+    def add_aggregated(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Add pre-aggregated (key, count) pairs (vectorized)."""
+        keys = as_key_array(keys)
+        counts = np.asarray(counts, dtype=np.int64)
         for row, h in enumerate(self._hashes):
-            idx = h.index(uniq, self.width)
+            idx = h.index(keys, self.width)
             np.add.at(self.counters[row], idx, counts)
         np.minimum(self.counters, self._max_value, out=self.counters)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         estimates = np.full(keys.shape, np.iinfo(np.int64).max, dtype=np.int64)
         for row, h in enumerate(self._hashes):
             idx = h.index(keys, self.width)
@@ -87,9 +103,23 @@ class CountMinSketch(FrequencySketch):
 
     def merge(self, other: "CountMinSketch") -> None:
         """Merge an identically-configured sketch (counters add)."""
+        self._require_same_type(other)
         if (self.depth, self.width, self.counter_bits, self.seed) != \
                 (other.depth, other.width, other.counter_bits, other.seed):
-            raise ValueError("cannot merge sketches with different "
-                             "configurations")
+            raise SketchCompatibilityError(
+                "cannot merge CountMinSketch instances with different "
+                "geometry or seed")
         np.add(self.counters, other.counters, out=self.counters)
         np.minimum(self.counters, self._max_value, out=self.counters)
+
+    # -- state codec ---------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"depth": self.depth, "width": self.width,
+                "counter_bits": self.counter_bits, "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"counters": self.counters}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.counters = arrays["counters"].astype(np.int64)

@@ -2,17 +2,23 @@
 
 The unbiased frequency sketch UnivMon builds on: each row adds a random
 sign, and the query is the median over rows.  Updates commute, so bulk
-ingest is vectorized like Count-Min.
+ingest is vectorized like Count-Min — and merge is plain counter
+addition.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch, counters_for_budget
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchCompatibilityError,
+    as_key_array,
+    counters_for_budget,
+)
 
 
 class CountSketch(FrequencySketch):
@@ -24,10 +30,13 @@ class CountSketch(FrequencySketch):
         counter_bits: signed counter width.
         seed: base seed; index and sign hashes draw from disjoint
             families.
+        telemetry: optional metrics registry.
     """
 
+    STATE_KIND = "cs"
+
     def __init__(self, memory_bytes: int, depth: int = 5,
-                 counter_bits: int = 32, seed: int = 0):
+                 counter_bits: int = 32, seed: int = 0, telemetry=None):
         if depth <= 0:
             raise ValueError("depth must be positive")
         self.depth = depth
@@ -37,6 +46,7 @@ class CountSketch(FrequencySketch):
         self.width = total // depth
         self.counters = np.zeros((depth, self.width), dtype=np.int64)
         self.seed = seed
+        self._telemetry = telemetry
         self._index_hashes = hash_families(depth, base_seed=seed)
         self._sign_hashes = hash_families(depth, base_seed=seed + 7919)
 
@@ -60,13 +70,13 @@ class CountSketch(FrequencySketch):
 
     def ingest(self, keys: np.ndarray) -> None:
         """Vectorized bulk load (order-independent, exact)."""
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         uniq, counts = np.unique(keys, return_counts=True)
         self.add_aggregated(uniq, counts)
 
     def add_aggregated(self, keys: np.ndarray, counts: np.ndarray) -> None:
         """Add pre-aggregated (key, count) pairs (vectorized)."""
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         counts = np.asarray(counts, dtype=np.int64)
         for row in range(self.depth):
             idx = self._index_hashes[row].index(keys, self.width)
@@ -74,8 +84,7 @@ class CountSketch(FrequencySketch):
             np.add.at(self.counters[row], idx, signs * counts)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         rows = np.empty((self.depth, keys.shape[0]), dtype=np.int64)
         for row in range(self.depth):
             idx = self._index_hashes[row].index(keys, self.width)
@@ -85,11 +94,25 @@ class CountSketch(FrequencySketch):
 
     def merge(self, other: "CountSketch") -> None:
         """Merge an identically-configured sketch (counters add)."""
+        self._require_same_type(other)
         if (self.depth, self.width, self.counter_bits, self.seed) != \
                 (other.depth, other.width, other.counter_bits, other.seed):
-            raise ValueError("cannot merge sketches with different "
-                             "configurations")
+            raise SketchCompatibilityError(
+                "cannot merge CountSketch instances with different "
+                "geometry or seed")
         np.add(self.counters, other.counters, out=self.counters)
+
+    # -- state codec ---------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"depth": self.depth, "width": self.width,
+                "counter_bits": self.counter_bits, "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"counters": self.counters}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.counters = arrays["counters"].astype(np.int64)
 
     def l2_estimate(self) -> float:
         """Median-of-rows estimate of the stream's second moment (F2).

@@ -5,16 +5,26 @@ counters that currently hold the row-minimum for the key, which tightens
 the overestimate.  Conservative update is order-dependent, so ingest is
 a per-packet loop over numpy row indexing (the paper notes CU is a
 strict accuracy improvement over CM at the same memory).
+
+Order dependence also means there is no lossless ``merge``: which
+counters a packet increments depends on every earlier packet, so two
+shards' counter arrays are not a function of the combined stream.  The
+state codec still works — a snapshot of the counter arrays is
+well-defined — which is what the parallel collector uses.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch, counters_for_budget
+from repro.sketches.base import (
+    FrequencySketch,
+    as_key_array,
+    counters_for_budget,
+)
 
 
 class CUSketch(FrequencySketch):
@@ -25,10 +35,17 @@ class CUSketch(FrequencySketch):
         depth: number of rows (paper default 3).
         counter_bits: counter width (paper uses 32).
         seed: base seed for the row hash functions.
+        telemetry: optional metrics registry.
     """
 
+    STATE_KIND = "cu"
+    UNMERGEABLE_REASON = (
+        "conservative update is order-dependent: which counters a packet "
+        "increments depends on every earlier packet, so per-shard counter "
+        "arrays are not a function of the combined stream")
+
     def __init__(self, memory_bytes: int, depth: int = 3,
-                 counter_bits: int = 32, seed: int = 0):
+                 counter_bits: int = 32, seed: int = 0, telemetry=None):
         if depth <= 0:
             raise ValueError("depth must be positive")
         self.depth = depth
@@ -38,6 +55,8 @@ class CUSketch(FrequencySketch):
         self.width = total // depth
         self._max_value = (1 << counter_bits) - 1
         self.counters = np.zeros((depth, self.width), dtype=np.int64)
+        self.seed = seed
+        self._telemetry = telemetry
         self._hashes = hash_families(depth, base_seed=seed)
         self._row_range = np.arange(depth)
 
@@ -65,7 +84,7 @@ class CUSketch(FrequencySketch):
         vectorized pass and run the data-dependent minimum update in a
         tight Python loop.
         """
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         index_matrix = np.empty((self.depth, keys.shape[0]), dtype=np.int64)
         for row, h in enumerate(self._hashes):
             index_matrix[row] = h.index(keys, self.width)
@@ -78,10 +97,21 @@ class CUSketch(FrequencySketch):
             counters[rows, idx] = np.maximum(values, target)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         estimates = np.full(keys.shape, np.iinfo(np.int64).max, dtype=np.int64)
         for row, h in enumerate(self._hashes):
             idx = h.index(keys, self.width)
             np.minimum(estimates, self.counters[row, idx], out=estimates)
         return estimates
+
+    # -- state codec (snapshot only; merge intentionally raises) -------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"depth": self.depth, "width": self.width,
+                "counter_bits": self.counter_bits, "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"counters": self.counters}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.counters = arrays["counters"].astype(np.int64)

@@ -18,7 +18,7 @@ array) and entropy.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.hashing.family import hash_families
 from repro.sketches.base import (
     FrequencySketch,
     SketchMemoryError,
+    as_key_array,
     counters_for_budget,
 )
 from repro.sketches.linear_counting import linear_counting_estimate
@@ -49,14 +50,22 @@ class ElasticSketch(FrequencySketch):
         hardware: Tofino-feasible single-level, no-migration variant
             ("CM+TopK" in §8.2.2 is this with ``levels=1``).
         seed: base hash seed.
+        telemetry: optional metrics registry.
     """
 
     LIGHT_BITS = 8
 
+    STATE_KIND = "elastic"
+    UNMERGEABLE_REASON = (
+        "the Top-K heavy part's vote-based eviction is order-dependent: "
+        "which flows are resident and how much of their count spilled "
+        "into the light part depends on packet arrival order across "
+        "the whole stream")
+
     def __init__(self, memory_bytes: int, levels: int = 4,
                  entries_per_level: Optional[int] = None,
                  lambda_ratio: int = 8, hardware: bool = False,
-                 light_depth: int = 1, seed: int = 0):
+                 light_depth: int = 1, seed: int = 0, telemetry=None):
         if light_depth <= 0:
             raise ValueError("light_depth must be positive")
         if entries_per_level is None:
@@ -86,6 +95,8 @@ class ElasticSketch(FrequencySketch):
         self._light_hashes = hash_families(light_depth,
                                            base_seed=seed + 31337)
         self.hardware = hardware
+        self.seed = seed
+        self._telemetry = telemetry
 
     @property
     def memory_bytes(self) -> int:
@@ -110,8 +121,27 @@ class ElasticSketch(FrequencySketch):
     def ingest(self, keys: np.ndarray) -> None:
         insert = self.topk.insert
         to_light = self._to_light
-        for key in np.asarray(keys, dtype=np.uint64):
+        for key in as_key_array(keys):
             insert(int(key), to_light)
+
+    # -- state codec (snapshot only; merge intentionally raises) -------
+
+    def _state_meta(self) -> Dict[str, object]:
+        meta = {"light_depth": self.light_depth,
+                "light_width": self.light_width,
+                "hardware": self.hardware,
+                "seed": self.seed}
+        meta.update(self.topk.state_meta())
+        return meta
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = self.topk.state_arrays()
+        arrays["light"] = self.light
+        return arrays
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.topk.load_state_arrays(arrays)
+        self.light = arrays["light"].astype(np.int64)
 
     # ------------------------------------------------------------------
     # queries
@@ -132,8 +162,7 @@ class ElasticSketch(FrequencySketch):
         return count + self._light_query(key) if flagged else count
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         light = np.full(keys.shape, np.iinfo(np.int64).max, dtype=np.int64)
         for row, h in enumerate(self._light_hashes):
             np.minimum(light, self.light[row, h.index(keys,

@@ -18,7 +18,11 @@ from typing import Dict, Iterable, List, Set, Tuple
 import numpy as np
 
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch, counters_for_budget
+from repro.sketches.base import (
+    FrequencySketch,
+    as_key_array,
+    counters_for_budget,
+)
 
 SLOT_BYTES = 12  # 8B key + 4B count, as in the original evaluation
 
@@ -30,9 +34,18 @@ class HashPipe(FrequencySketch):
         memory_bytes: total budget split equally over stages.
         stages: number of tables (paper default 6).
         seed: base hash seed.
+        telemetry: optional metrics registry.
     """
 
-    def __init__(self, memory_bytes: int, stages: int = 6, seed: int = 0):
+    STATE_KIND = "hashpipe"
+    UNMERGEABLE_REASON = (
+        "pipelined eviction is order-dependent: which keys remain "
+        "resident and how their counts split across stages depends on "
+        "the packet arrival order, so two shards' tables cannot be "
+        "combined into the tables the full stream would have produced")
+
+    def __init__(self, memory_bytes: int, stages: int = 6, seed: int = 0,
+                 telemetry=None):
         if stages <= 0:
             raise ValueError("stages must be positive")
         self.stages = stages
@@ -42,6 +55,8 @@ class HashPipe(FrequencySketch):
         self._tables: List[Dict[int, Tuple[int, int]]] = [
             dict() for _ in range(stages)
         ]
+        self.seed = seed
+        self._telemetry = telemetry
         self._hashes = hash_families(stages, base_seed=seed)
 
     @property
@@ -89,8 +104,42 @@ class HashPipe(FrequencySketch):
 
     def ingest(self, keys: np.ndarray) -> None:
         insert = self._insert
-        for key in np.asarray(keys, dtype=np.uint64):
+        for key in as_key_array(keys):
             insert(int(key))
+
+    # -- state codec (snapshot only; merge intentionally raises) -------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"stages": self.stages,
+                "slots_per_stage": self.slots_per_stage,
+                "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        entries = [(stage, slot, key, count)
+                   for stage, table in enumerate(self._tables)
+                   for slot, (key, count) in sorted(table.items())]
+        n = len(entries)
+        out = {
+            "stage": np.empty(n, dtype=np.int64),
+            "slot": np.empty(n, dtype=np.int64),
+            "key": np.empty(n, dtype=np.uint64),
+            "count": np.empty(n, dtype=np.int64),
+        }
+        for i, (stage, slot, key, count) in enumerate(entries):
+            out["stage"][i] = stage
+            out["slot"][i] = slot
+            out["key"][i] = key
+            out["count"][i] = count
+        return out
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        tables: List[Dict[int, Tuple[int, int]]] = [
+            dict() for _ in range(self.stages)
+        ]
+        for stage, slot, key, count in zip(arrays["stage"], arrays["slot"],
+                                           arrays["key"], arrays["count"]):
+            tables[int(stage)][int(slot)] = (int(key), int(count))
+        self._tables = tables
 
     def query(self, key: int) -> int:
         """Sum of the key's resident counts across stages (0 if absent)."""

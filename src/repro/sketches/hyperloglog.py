@@ -12,8 +12,15 @@ import math
 
 import numpy as np
 
+from typing import Dict
+
 from repro.hashing import HashFamily
-from repro.sketches.base import CardinalitySketch, counters_for_budget
+from repro.sketches.base import (
+    CardinalitySketch,
+    SketchCompatibilityError,
+    as_key_array,
+    counters_for_budget,
+)
 
 
 def _alpha(m: int) -> float:
@@ -34,13 +41,18 @@ class HyperLogLog(CardinalitySketch):
         memory_bytes: register budget (1 byte per register); rounded
             down to the nearest power of two, as HLL requires.
         seed: hash seed.
+        telemetry: optional metrics registry.
     """
 
-    def __init__(self, memory_bytes: int, seed: int = 0):
+    STATE_KIND = "hll"
+
+    def __init__(self, memory_bytes: int, seed: int = 0, telemetry=None):
         budget = counters_for_budget(memory_bytes, 1, minimum=16)
         self.precision = int(math.floor(math.log2(budget)))
         self.num_registers = 1 << self.precision
         self.registers = np.zeros(self.num_registers, dtype=np.uint8)
+        self.seed = seed
+        self._telemetry = telemetry
         self._hash = HashFamily(seed)
 
     @property
@@ -62,7 +74,7 @@ class HyperLogLog(CardinalitySketch):
             self.registers[idx] = rho
 
     def ingest(self, keys: np.ndarray) -> None:
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         uniq = np.unique(keys)  # duplicates cannot change any register
         h = self._hash.hash64(uniq)
         idx = (h >> np.uint64(64 - self.precision)).astype(np.int64)
@@ -82,6 +94,26 @@ class HyperLogLog(CardinalitySketch):
         )
         rho = (window_bits - bit_length + 1).astype(np.uint8)
         np.maximum.at(self.registers, idx, rho)
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Merge an identically-configured HLL (register-wise max)."""
+        self._require_same_type(other)
+        if (self.precision, self.seed) != (other.precision, other.seed):
+            raise SketchCompatibilityError(
+                "cannot merge HyperLogLog instances with different "
+                "precision or seed")
+        np.maximum(self.registers, other.registers, out=self.registers)
+
+    # -- state codec ---------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"precision": self.precision, "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"registers": self.registers}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self.registers = arrays["registers"].astype(np.uint8)
 
     def cardinality(self) -> float:
         m = self.num_registers

@@ -16,8 +16,15 @@ import math
 
 import numpy as np
 
+from typing import Dict
+
 from repro.hashing import HashFamily
-from repro.sketches.base import CardinalitySketch, counters_for_budget
+from repro.sketches.base import (
+    CardinalitySketch,
+    SketchCompatibilityError,
+    as_key_array,
+    counters_for_budget,
+)
 
 
 def linear_counting_estimate(empty_cells: float, total_cells: int) -> float:
@@ -42,12 +49,17 @@ class LinearCounting(CardinalitySketch):
     Args:
         memory_bytes: bitmap budget (1 bit per cell).
         seed: hash seed.
+        telemetry: optional metrics registry.
     """
 
-    def __init__(self, memory_bytes: int, seed: int = 0):
+    STATE_KIND = "lc"
+
+    def __init__(self, memory_bytes: int, seed: int = 0, telemetry=None):
         self.num_cells = counters_for_budget(memory_bytes, 1.0 / 8.0,
                                              minimum=8)
         self._bitmap = np.zeros(self.num_cells, dtype=bool)
+        self.seed = seed
+        self._telemetry = telemetry
         self._hash = HashFamily(seed)
 
     @property
@@ -58,9 +70,30 @@ class LinearCounting(CardinalitySketch):
         self._bitmap[self._hash.index(key, self.num_cells)] = True
 
     def ingest(self, keys: np.ndarray) -> None:
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         idx = self._hash.index(keys, self.num_cells)
         self._bitmap[idx] = True
+
+    def merge(self, other: "LinearCounting") -> None:
+        """Merge an identically-configured bitmap (cells OR together)."""
+        self._require_same_type(other)
+        if (self.num_cells, self.seed) != (other.num_cells, other.seed):
+            raise SketchCompatibilityError(
+                "cannot merge LinearCounting instances with different "
+                "bitmap size or seed")
+        np.logical_or(self._bitmap, other._bitmap, out=self._bitmap)
+
+    # -- state codec ---------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"num_cells": self.num_cells, "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"bitmap": np.packbits(self._bitmap)}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._bitmap = np.unpackbits(
+            arrays["bitmap"], count=self.num_cells).astype(bool)
 
     @property
     def empty_cells(self) -> int:

@@ -24,12 +24,18 @@ ingest is vectorized layer by layer (same argument as FCM, DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.hashing.family import hash_families
-from repro.sketches.base import FrequencySketch, SketchMemoryError
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchCompatibilityError,
+    SketchMemoryError,
+    as_key_array,
+    pop_deprecated_kwarg,
+)
 
 
 class PyramidCMSketch(FrequencySketch):
@@ -45,25 +51,42 @@ class PyramidCMSketch(FrequencySketch):
     Args:
         memory_bytes: total budget across all layers (a full pyramid
             costs ~2x the first layer, so ``w1 ~= memory_bits / 8``).
-        num_hashes: in-word counter choices per flow (paper: 4).
+        depth: in-word counter choices per flow (paper: 4).  The old
+            spelling ``num_hashes`` still works with a
+            ``DeprecationWarning``.
         first_layer_bits: bits of a layer-1 counter (paper: 4).
         higher_layer_bits: total bits of a higher-layer counter,
             including its 2 flag bits (paper: 4, i.e. 2 counting bits).
         word_bits: machine-word size confining the layer-1 counters.
         seed: base hash seed.
+        telemetry: optional metrics registry.
     """
 
-    def __init__(self, memory_bytes: int, num_hashes: int = 4,
+    STATE_KIND = "pyramid"
+
+    def __init__(self, memory_bytes: int, depth: int | None = None,
                  first_layer_bits: int = 4, higher_layer_bits: int = 4,
-                 word_bits: int = 64, seed: int = 0):
-        if num_hashes <= 0:
-            raise ValueError("num_hashes must be positive")
+                 word_bits: int = 64, seed: int = 0, telemetry=None,
+                 **kwargs):
+        legacy = pop_deprecated_kwarg(kwargs, "num_hashes", "depth",
+                                      "PyramidCMSketch")
+        if kwargs:
+            unknown = ", ".join(sorted(kwargs))
+            raise TypeError("PyramidCMSketch() got unexpected keyword "
+                            f"arguments: {unknown}")
+        if depth is None:
+            depth = 4 if legacy is None else legacy
+        elif legacy is not None:
+            raise TypeError("PyramidCMSketch() got both depth= and the "
+                            "deprecated num_hashes=")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
         if first_layer_bits < 2 or higher_layer_bits < 3:
             raise ValueError("counter widths too small")
         if word_bits % first_layer_bits:
             raise ValueError("word_bits must be a multiple of "
                              "first_layer_bits")
-        self.num_hashes = num_hashes
+        self.depth = depth
         self.first_layer_bits = first_layer_bits
         self.count_bits_high = higher_layer_bits - 2
         self.counters_per_word = word_bits // first_layer_bits
@@ -89,12 +112,19 @@ class PyramidCMSketch(FrequencySketch):
         self._used_bits = used_bits
         self.num_layers = len(self.layer_widths)
         self._layer1_totals = np.zeros(w1, dtype=np.int64)
-        self._hashes = hash_families(num_hashes, base_seed=seed)
+        self.seed = seed
+        self._telemetry = telemetry
+        self._hashes = hash_families(depth, base_seed=seed)
         self._values: List[np.ndarray] | None = None
         self._flags: List[np.ndarray] | None = None  # per-child carry flag
 
+    @property
+    def num_hashes(self) -> int:
+        """Deprecated alias of :attr:`depth`."""
+        return self.depth
+
     def _leaf_indices(self, key: int) -> List[int]:
-        """The flow's ``num_hashes`` layer-1 counters (CM-style)."""
+        """The flow's ``depth`` layer-1 counters (CM-style)."""
         w1 = self.layer_widths[0]
         return [h.index(key, w1) for h in self._hashes]
 
@@ -114,10 +144,49 @@ class PyramidCMSketch(FrequencySketch):
         self._values = None
 
     def ingest(self, keys: np.ndarray) -> None:
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         uniq, counts = np.unique(keys, return_counts=True)
-        for idx in self._leaf_indices_many(uniq):
+        self.add_aggregated(uniq, counts)
+
+    def add_aggregated(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Add pre-aggregated (key, count) pairs (vectorized)."""
+        keys = as_key_array(keys)
+        counts = np.asarray(counts, dtype=np.int64)
+        for idx in self._leaf_indices_many(keys):
             np.add.at(self._layer1_totals, idx, counts)
+        self._values = None
+
+    def merge(self, other: "PyramidCMSketch") -> None:
+        """Merge an identically-configured pyramid.
+
+        Carries are deterministic in the per-counter totals, so adding
+        the layer-1 totals is lossless — same argument as bulk ingest.
+        """
+        self._require_same_type(other)
+        if (self.layer_widths, self.depth, self.first_layer_bits,
+                self.count_bits_high, self.seed) != \
+                (other.layer_widths, other.depth, other.first_layer_bits,
+                 other.count_bits_high, other.seed):
+            raise SketchCompatibilityError(
+                "cannot merge PyramidCMSketch instances with different "
+                "geometry or seed")
+        self._layer1_totals += other._layer1_totals
+        self._values = None
+
+    # -- state codec ---------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"layer_widths": list(self.layer_widths),
+                "depth": self.depth,
+                "first_layer_bits": self.first_layer_bits,
+                "count_bits_high": self.count_bits_high,
+                "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"layer1_totals": self._layer1_totals}
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        self._layer1_totals = arrays["layer1_totals"].astype(np.int64)
         self._values = None
 
     def _materialize(self) -> None:
@@ -177,8 +246,7 @@ class PyramidCMSketch(FrequencySketch):
                    for idx in self._leaf_indices(int(key)))
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         self._materialize()
         assert self._values is not None and self._flags is not None
         shifts = self._shifts()

@@ -29,7 +29,12 @@ from typing import Dict, Iterable, List, Optional, Set
 import numpy as np
 
 from repro.hashing import HashFamily
-from repro.sketches.base import FrequencySketch, SketchMemoryError
+from repro.sketches.base import (
+    FrequencySketch,
+    SketchCompatibilityError,
+    SketchMemoryError,
+    as_key_array,
+)
 from repro.sketches.countsketch import CountSketch
 
 HEAP_ENTRY_BYTES = 12  # 8B key + 4B estimate
@@ -47,11 +52,14 @@ class UnivMon(FrequencySketch):
             budget, capped at the paper's 2048.
         depth: Count-Sketch rows per level.
         seed: base hash seed.
+        telemetry: optional metrics registry.
     """
+
+    STATE_KIND = "univmon"
 
     def __init__(self, memory_bytes: int, levels: int = 16,
                  heap_entries: Optional[int] = None, depth: int = 5,
-                 seed: int = 0):
+                 seed: int = 0, telemetry=None):
         if levels <= 0:
             raise ValueError("levels must be positive")
         if heap_entries is None:
@@ -73,6 +81,8 @@ class UnivMon(FrequencySketch):
             CountSketch(per_level, depth=depth, seed=seed + 101 * (l + 1))
             for l in range(levels)
         ]
+        self.seed = seed
+        self._telemetry = telemetry
         self._sample_hash = HashFamily(seed + 424243)
         self._sampled_keys: List[Set[int]] = [set() for _ in range(levels)]
         self._total_packets = 0
@@ -99,8 +109,14 @@ class UnivMon(FrequencySketch):
 
     def ingest(self, keys: np.ndarray) -> None:
         """Vectorized bulk load (sampling and CS updates commute)."""
-        keys = np.asarray(keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         uniq, counts = np.unique(keys, return_counts=True)
+        self.add_aggregated(uniq, counts)
+
+    def add_aggregated(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Add pre-aggregated (key, count) pairs (vectorized)."""
+        uniq = as_key_array(keys)
+        counts = np.asarray(counts, dtype=np.int64)
         self._total_packets += int(counts.sum())
         for level in range(self.levels):
             mask = self._sample_hash.sample_bits(uniq, level)
@@ -109,6 +125,67 @@ class UnivMon(FrequencySketch):
             sampled = uniq[mask]
             self.sketches[level].add_aggregated(sampled, counts[mask])
             self._sampled_keys[level].update(int(k) for k in sampled)
+
+    def merge(self, other: "UnivMon") -> None:
+        """Merge an identically-configured UnivMon.
+
+        Sampling is a pure function of the key, so the level a flow
+        lands in is shard-independent: per-level Count-Sketches add and
+        sampled-key sets union, losslessly.
+        """
+        self._require_same_type(other)
+        if (self.levels, self.heap_entries, self.seed,
+                self.sketches[0].depth, self.sketches[0].width) != \
+                (other.levels, other.heap_entries, other.seed,
+                 other.sketches[0].depth, other.sketches[0].width):
+            raise SketchCompatibilityError(
+                "cannot merge UnivMon instances with different "
+                "geometry or seed")
+        for mine, theirs in zip(self.sketches, other.sketches):
+            mine.merge(theirs)
+        for mine_keys, their_keys in zip(self._sampled_keys,
+                                         other._sampled_keys):
+            mine_keys |= their_keys
+        self._total_packets += other._total_packets
+
+    # ------------------------------------------------------------------
+    # state codec
+    # ------------------------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        cs = self.sketches[0]
+        return {"levels": self.levels, "heap_entries": self.heap_entries,
+                "depth": cs.depth, "width": cs.width,
+                "counter_bits": cs.counter_bits, "seed": self.seed}
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        lengths = np.array([len(s) for s in self._sampled_keys],
+                           dtype=np.int64)
+        sampled = np.concatenate([
+            np.sort(np.fromiter(s, dtype=np.uint64, count=len(s)))
+            if s else np.empty(0, dtype=np.uint64)
+            for s in self._sampled_keys
+        ]) if lengths.sum() else np.empty(0, dtype=np.uint64)
+        return {
+            "counters": np.stack([s.counters for s in self.sketches]),
+            "sampled_lengths": lengths,
+            "sampled_keys": sampled,
+            "total_packets": np.array([self._total_packets],
+                                      dtype=np.int64),
+        }
+
+    def _load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        counters = arrays["counters"].astype(np.int64)
+        for level, sketch in enumerate(self.sketches):
+            sketch.counters = counters[level].copy()
+        offsets = np.concatenate(
+            ([0], np.cumsum(arrays["sampled_lengths"])))
+        sampled = arrays["sampled_keys"]
+        self._sampled_keys = [
+            {int(k) for k in sampled[offsets[i]:offsets[i + 1]]}
+            for i in range(self.levels)
+        ]
+        self._total_packets = int(arrays["total_packets"][0])
 
     # ------------------------------------------------------------------
     # per-level heaps (materialized on demand)
@@ -133,8 +210,7 @@ class UnivMon(FrequencySketch):
         return max(self.sketches[0].query(int(key)), 0)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
-        keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
-                          else keys, dtype=np.uint64)
+        keys = as_key_array(keys)
         return np.maximum(self.sketches[0].query_many(keys), 0)
 
     def heavy_hitters(self, candidate_keys: Iterable[int],

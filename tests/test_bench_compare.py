@@ -63,6 +63,21 @@ def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
             "wall_seconds": em_runtime,
             "estimated_flows": 1234.0,
         },
+        "parallel": {
+            "packets": packets,
+            "flows": 500,
+            "shards": 4,
+            "mode": "process",
+            "cpus": 4,
+            "serial_ingest_pps": ingest_pps,
+            "packet_loop_pps": ingest_pps / 50.0,
+            "sharded_ingest_pps": 2.0 * ingest_pps,
+            "speedup_vs_serial": 2.0,
+            "speedup_vs_packet_loop": 100.0,
+            "deterministic": True,
+            "codec_state_bytes": 40_000,
+            "codec_bytes_per_flow": 80.0,
+        },
     }
 
 
@@ -75,6 +90,9 @@ class TestFlattenMetrics:
             "telemetry.disabled_over_raw",
             "telemetry.enabled_over_disabled",
             "em.seconds_per_iter",
+            "parallel.sharded_ingest_pps",
+            "parallel.speedup_vs_packet_loop",
+            "parallel.codec_bytes_per_flow",
         }
         assert flat["em.seconds_per_iter"] == pytest.approx(0.05 / 5)
 

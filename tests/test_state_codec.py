@@ -1,0 +1,246 @@
+"""The mergeable-sketch protocol and its versioned state codec.
+
+Every sketch in the zoo must either implement the full protocol
+(``merge`` + ``to_state``/``from_state``) or raise a typed
+:class:`~repro.errors.SketchCompatibilityError` naming the structural
+reason it cannot.  The codec round-trip is pinned byte-identical: a
+deserialized sketch re-serializes to the same bytes, and for every
+mergeable sketch ``merge(a, b)`` equals ingesting the concatenated
+streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch, FCMTopK
+from repro.core.fcu import CUFCMSketch
+from repro.engine import (
+    CODEC_VERSION,
+    ensure_compatible_state,
+    pack_state,
+    peek_kind,
+    unpack_state,
+)
+from repro.errors import (
+    MeasurementError,
+    SketchCompatibilityError,
+    StateCodecError,
+)
+from repro.sketches import (
+    ColdFilterSketch,
+    CountMinSketch,
+    CountSketch,
+    CUSketch,
+    ElasticSketch,
+    HashPipe,
+    HyperLogLog,
+    LinearCounting,
+    MRAC,
+    PyramidCMSketch,
+    UnivMon,
+)
+from repro.traffic import zipf_trace
+
+MEMORY = 16 * 1024
+
+#: Sketches whose state is a commutative function of the stream —
+#: they support lossless ``merge`` and the full codec.
+MERGEABLE = {
+    "fcm": lambda seed=1: FCMSketch.with_memory(MEMORY, seed=seed),
+    "cm": lambda seed=1: CountMinSketch(MEMORY, seed=seed),
+    "cs": lambda seed=1: CountSketch(MEMORY, seed=seed),
+    "mrac": lambda seed=1: MRAC(MEMORY, seed=seed),
+    "lc": lambda seed=1: LinearCounting(MEMORY, seed=seed),
+    "hll": lambda seed=1: HyperLogLog(MEMORY, seed=seed),
+    "pyramid": lambda seed=1: PyramidCMSketch(MEMORY, seed=seed),
+    "univmon": lambda seed=1: UnivMon(MEMORY, seed=seed),
+}
+
+#: Order-dependent sketches: snapshot codec only, merge raises.
+UNMERGEABLE = {
+    "cu": lambda seed=1: CUSketch(MEMORY, seed=seed),
+    "coldfilter": lambda seed=1: ColdFilterSketch(MEMORY, seed=seed),
+    "hashpipe": lambda seed=1: HashPipe(MEMORY, seed=seed),
+    "elastic": lambda seed=1: ElasticSketch(MEMORY, seed=seed),
+    "fcm_topk": lambda seed=1: FCMTopK(MEMORY, seed=seed),
+    "fcu": lambda seed=1: CUFCMSketch(MEMORY, seed=seed),
+}
+
+ALL = {**MERGEABLE, **UNMERGEABLE}
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return zipf_trace(20_000, alpha=1.2, seed=7).keys
+
+
+# ----------------------------------------------------------------------
+# codec round-trips
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_roundtrip_byte_identity(name, keys):
+    sketch = ALL[name]()
+    sketch.ingest(keys)
+    blob = sketch.to_state()
+    clone = ALL[name]().from_state(blob)
+    assert clone.to_state() == blob
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_roundtrip_preserves_queries(name, keys):
+    sketch = ALL[name]()
+    sketch.ingest(keys)
+    clone = ALL[name]().from_state(sketch.to_state())
+    probe = np.unique(keys)[:64]
+    if hasattr(sketch, "query_many"):
+        assert np.array_equal(sketch.query_many(probe),
+                              clone.query_many(probe))
+    else:
+        assert sketch.cardinality() == clone.cardinality()
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_peek_kind_matches(name, keys):
+    sketch = ALL[name]()
+    assert peek_kind(sketch.to_state()) == type(sketch).STATE_KIND
+
+
+def test_empty_sketch_roundtrips():
+    sketch = FCMSketch.with_memory(MEMORY, seed=1)
+    blob = sketch.to_state()
+    assert FCMSketch.with_memory(MEMORY, seed=1) \
+        .from_state(blob).to_state() == blob
+
+
+# ----------------------------------------------------------------------
+# merge semantics
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(MERGEABLE))
+def test_merge_equals_concatenated_stream(name, keys):
+    half = keys.shape[0] // 2
+    a, b, full = MERGEABLE[name](), MERGEABLE[name](), MERGEABLE[name]()
+    a.ingest(keys[:half])
+    b.ingest(keys[half:])
+    full.ingest(keys)
+    a.merge(b)
+    assert a.to_state() == full.to_state()
+
+
+@pytest.mark.parametrize("name", sorted(UNMERGEABLE))
+def test_unmergeable_raises_typed_structural_reason(name):
+    a, b = UNMERGEABLE[name](), UNMERGEABLE[name]()
+    with pytest.raises(SketchCompatibilityError) as excinfo:
+        a.merge(b)
+    # The error must name the structural reason, not just refuse.
+    message = str(excinfo.value)
+    assert type(a).__name__ in message
+    assert "order" in message
+
+
+@pytest.mark.parametrize("name", sorted(MERGEABLE))
+def test_merge_rejects_different_seed(name, keys):
+    a = MERGEABLE[name](seed=1)
+    b = MERGEABLE[name](seed=2)
+    b.ingest(keys[:100])
+    with pytest.raises(SketchCompatibilityError):
+        a.merge(b)
+
+
+def test_merge_rejects_different_type():
+    with pytest.raises(SketchCompatibilityError):
+        CountMinSketch(MEMORY, seed=1).merge(CountSketch(MEMORY, seed=1))
+
+
+def test_merge_rejects_different_geometry():
+    a = FCMSketch.with_memory(MEMORY, seed=1)
+    b = FCMSketch.with_memory(2 * MEMORY, seed=1)
+    with pytest.raises(SketchCompatibilityError):
+        a.merge(b)
+
+
+# ----------------------------------------------------------------------
+# state compatibility checks
+# ----------------------------------------------------------------------
+
+def test_from_state_rejects_different_seed():
+    a = CountMinSketch(MEMORY, seed=1)
+    a.update(7, 3)
+    with pytest.raises(SketchCompatibilityError) as excinfo:
+        CountMinSketch(MEMORY, seed=2).from_state(a.to_state())
+    assert "seed" in str(excinfo.value)
+
+
+def test_from_state_rejects_different_kind():
+    blob = CountMinSketch(MEMORY, seed=1).to_state()
+    with pytest.raises(SketchCompatibilityError) as excinfo:
+        CountSketch(MEMORY, seed=1).from_state(blob)
+    assert "cm" in str(excinfo.value)
+
+
+def test_from_state_rejects_different_geometry():
+    blob = FCMSketch.with_memory(MEMORY, seed=1).to_state()
+    with pytest.raises(SketchCompatibilityError):
+        FCMSketch.with_memory(2 * MEMORY, seed=1).from_state(blob)
+
+
+# ----------------------------------------------------------------------
+# codec robustness
+# ----------------------------------------------------------------------
+
+def test_truncated_blob_rejected():
+    blob = CountMinSketch(MEMORY, seed=1).to_state()
+    with pytest.raises(StateCodecError):
+        unpack_state(blob[: len(blob) // 2])
+
+
+def test_bad_magic_rejected():
+    blob = CountMinSketch(MEMORY, seed=1).to_state()
+    with pytest.raises(StateCodecError):
+        unpack_state(b"XXXX" + blob[4:])
+
+
+def test_garbage_rejected():
+    with pytest.raises(StateCodecError):
+        unpack_state(b"\x00" * 16)
+
+
+def test_trailing_bytes_rejected():
+    blob = CountMinSketch(MEMORY, seed=1).to_state()
+    with pytest.raises(StateCodecError):
+        unpack_state(blob + b"\x00")
+
+
+def test_pack_unpack_standalone():
+    arrays = {"a": np.arange(8, dtype=np.int64)}
+    blob = pack_state("demo", {"w": 8}, arrays)
+    state = unpack_state(blob)
+    assert state.kind == "demo"
+    assert CODEC_VERSION == 1
+    assert state.meta == {"w": 8}
+    assert np.array_equal(state.arrays["a"], arrays["a"])
+    ensure_compatible_state(state, "demo", {"w": 8}, "DemoSketch")
+    with pytest.raises(SketchCompatibilityError):
+        ensure_compatible_state(state, "demo", {"w": 9}, "DemoSketch")
+
+
+# ----------------------------------------------------------------------
+# error taxonomy
+# ----------------------------------------------------------------------
+
+def test_errors_remain_valueerrors():
+    # Pre-protocol callers caught ValueError; the typed errors must
+    # stay inside that contract.
+    assert issubclass(SketchCompatibilityError, ValueError)
+    assert issubclass(SketchCompatibilityError, MeasurementError)
+    assert issubclass(StateCodecError, ValueError)
+    assert issubclass(StateCodecError, MeasurementError)
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_every_sketch_declares_protocol_position(name):
+    sketch = ALL[name]()
+    assert type(sketch).STATE_KIND is not None
+    if name in UNMERGEABLE:
+        assert type(sketch).UNMERGEABLE_REASON
