@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test chaos bench bench-baseline bench-compare \
-	bench-parallel report examples clean
+	bench-parallel report examples stream-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -50,6 +50,16 @@ bench-compare:
 bench-parallel:
 	PYTHONHASHSEED=0 $(PYTHON) -m benchmarks.baseline --parallel \
 		--packets 200000 --repeats 2 --shards 4
+
+# Streaming-runtime smoke: a 3-epoch CLI stream with telemetry out.
+# Fails if any packet is lost at a rotation or the span stream does
+# not record the three runtime.rotate spans.
+stream-smoke:
+	PYTHONHASHSEED=0 $(PYTHON) -m repro.cli stream --packets 30000 \
+		--epoch-packets 10000 --memory-kb 32 --change-threshold 200 \
+		--telemetry-out /tmp/stream_smoke.ndjson | tee /tmp/stream_smoke.out
+	grep -q "zero-gap ok" /tmp/stream_smoke.out
+	test "$$(grep -c '"name":"runtime.rotate"' /tmp/stream_smoke.ndjson)" = 3
 
 report:
 	$(PYTHON) -m benchmarks.report

@@ -1,0 +1,92 @@
+"""Streaming-runtime overhead: EpochManager.feed vs raw FCM ingest.
+
+The runtime adds batch splitting at epoch boundaries, candidate-set
+tracking and drains to codec bytes on top of plain ``ingest``.  These
+benches quantify that tax so rotation/tracking regressions show up in
+the same pytest-benchmark harness as the sketch-level numbers.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import pytest
+
+from repro.core import FCMSketch
+from repro.runtime import EpochConfig, EpochManager, StreamingQueryAPI
+
+from benchmarks.common import caida_trace
+
+INGEST_PACKETS = int(os.environ.get("REPRO_BENCH_PACKETS", 100_000))
+MEMORY = 64 * 1024
+BATCH = 8_192
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return caida_trace().keys[:INGEST_PACKETS]
+
+
+def make_sketch():
+    return FCMSketch.with_memory(MEMORY, seed=1)
+
+
+FACTORY = functools.partial(FCMSketch.with_memory, MEMORY, seed=1)
+
+
+def feed_batches(manager, keys):
+    for start in range(0, keys.shape[0], BATCH):
+        manager.feed(keys[start:start + BATCH])
+    return manager
+
+
+def test_raw_ingest_reference(benchmark, workload):
+    """Floor: one sketch, no epochs, same batching."""
+    benchmark.extra_info["packets"] = int(workload.shape[0])
+
+    def run():
+        sketch = make_sketch()
+        for start in range(0, workload.shape[0], BATCH):
+            sketch.ingest(workload[start:start + BATCH])
+        return sketch
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("track", [True, False],
+                         ids=["candidates", "no-candidates"])
+def test_streaming_feed_throughput(benchmark, workload, track):
+    """Runtime feed with 5 rotations over the stream."""
+    benchmark.extra_info["packets"] = int(workload.shape[0])
+    benchmark.extra_info["epochs"] = 5
+    config = EpochConfig(epoch_packets=max(1, workload.shape[0] // 5),
+                         retention=8, track_candidates=track)
+
+    def run():
+        manager = EpochManager(FACTORY, config=config)
+        feed_batches(manager, workload)
+        return manager
+
+    manager = benchmark.pedantic(run, rounds=2, iterations=1,
+                                 warmup_rounds=0)
+    sealed = sum(e.packets for e in manager.store)
+    assert sealed + manager.live_packets == workload.shape[0]
+
+
+def test_scoped_query_throughput(benchmark, workload):
+    """query_many over scope="all" (every sealed epoch + live)."""
+    config = EpochConfig(epoch_packets=max(1, workload.shape[0] // 5),
+                         retention=8)
+    manager = EpochManager(FACTORY, config=config)
+    feed_batches(manager, workload)
+    api = StreamingQueryAPI(manager)
+    query_keys = workload[:5_000]
+    benchmark.extra_info["queries"] = int(query_keys.shape[0])
+    benchmark.extra_info["epochs"] = len(manager.store) + 1
+
+    result = benchmark.pedantic(
+        lambda: api.query_many(query_keys, scope="all"),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert int(result.min()) >= 1

@@ -30,6 +30,12 @@ from repro.robustness import (
     FaultInjector,
     FaultPlan,
 )
+from repro.runtime import (
+    EpochConfig,
+    EpochManager,
+    SealedEpochStore,
+    StreamingQueryAPI,
+)
 from repro.telemetry import (
     MemoryExporter,
     MetricsRegistry,
@@ -61,6 +67,10 @@ __all__ = [
     "CollectionHealth",
     "DegradationLevel",
     "DegradedAnswer",
+    "EpochConfig",
+    "EpochManager",
+    "SealedEpochStore",
+    "StreamingQueryAPI",
     "MetricsRegistry",
     "MemoryExporter",
     "NDJSONExporter",

@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Four subcommands mirroring how the paper's system is operated:
+Five subcommands mirroring how the paper's system is operated:
 
 * ``evaluate`` — run one sketch over a synthetic workload and print
   every supported measurement vs ground truth.
 * ``compare``  — run several sketches over the same workload (a
   miniature §7.5).
+* ``stream``   — drive a continuous packet stream through the
+  epoch-streaming runtime (zero-gap rotation, bounded retention,
+  automatic heavy-change detection between adjacent epochs).
 * ``resources`` — print the Table-4 style hardware resource report
   for an FCM configuration.
 * ``telemetry-report`` — render an exported NDJSON event/span stream
@@ -15,6 +18,7 @@ Examples::
 
     python -m repro.cli evaluate --sketch fcm --memory-kb 64
     python -m repro.cli compare --packets 200000 --memory-kb 48
+    python -m repro.cli stream --packets 60000 --epoch-packets 20000
     python -m repro.cli resources --memory-kb 1300 --k 8
     python -m repro.cli evaluate --telemetry-out run.ndjson \
         --trace-out spans.ndjson
@@ -195,6 +199,66 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _stream_sketch(memory_bytes: int, seed: int) -> FCMSketch:
+    """Module-level epoch-sketch factory (picklable for ``process``)."""
+    return FCMSketch.with_memory(memory_bytes, seed=seed)
+
+
+def cmd_stream(args) -> int:
+    import functools
+
+    from repro.runtime import EpochConfig, EpochManager, StreamingQueryAPI
+
+    trace = _build_trace(args)
+    telemetry, exporter = _open_telemetry(args)
+    config = EpochConfig(
+        epoch_packets=args.epoch_packets,
+        retention=args.retention,
+        change_threshold=args.change_threshold,
+    )
+    manager = EpochManager(
+        functools.partial(_stream_sketch, args.memory_kb * 1024,
+                          args.seed),
+        config=config, backend=args.backend, num_shards=args.shards,
+        telemetry=telemetry,
+    )
+    print(f"workload: {len(trace)} packets, {trace.num_flows} flows "
+          f"({trace.name})")
+    print(f"runtime:  fcm @ {args.memory_kb} KB, "
+          f"{args.epoch_packets} packets/epoch, "
+          f"retention {args.retention}, backend {args.backend}")
+    header = (f"{'epoch':>5} {'packets':>9} {'cardinality':>12} "
+              f"{'changes':>8} {'state B':>9} {'reason':>12}")
+    print(header)
+    print("-" * len(header))
+    reported = 0
+    for start in range(0, len(trace), args.batch):
+        manager.feed(trace.keys[start:start + args.batch])
+        for epoch in manager.store:
+            if epoch.index >= reported:
+                print(f"{epoch.index:>5} {epoch.packets:>9} "
+                      f"{epoch.cardinality:>12.1f} "
+                      f"{len(epoch.heavy_changes):>8} "
+                      f"{epoch.state_bytes:>9} {epoch.reason:>12}")
+                reported = epoch.index + 1
+    api = StreamingQueryAPI(manager)
+    gt = trace.ground_truth
+    threshold = trace.heavy_hitter_threshold()
+    hitters = api.heavy_hitters(gt.keys_array(), threshold, scope="all")
+    sealed_packets = sum(e.packets for e in manager.store) \
+        + manager.store.evicted * (args.epoch_packets or 0)
+    print(f"live epoch {manager.live_epoch_index}: "
+          f"{manager.live_packets} packets")
+    print(f"ledger: sealed {sealed_packets} + live "
+          f"{manager.live_packets} == fed {manager.packets_fed} "
+          f"({'zero-gap ok' if sealed_packets + manager.live_packets == manager.packets_fed else 'PACKETS LOST'})")
+    print(f"heavy hitters (scope=all, threshold {threshold}): "
+          f"{len(hitters)}")
+    manager.close(seal_live=False)
+    _close_telemetry(telemetry, exporter)
+    return 0
+
+
 def cmd_telemetry_report(args) -> int:
     from repro.telemetry.report import load_ndjson, render_report
 
@@ -255,6 +319,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--sketches",
                        default="cm,cu,pcm,fcm,fcm-topk,elastic")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_stream = sub.add_parser(
+        "stream", help="continuous epoch-streaming runtime")
+    add_workload_args(p_stream)
+    p_stream.add_argument("--epoch-packets", type=int, default=20_000,
+                          help="packets per measurement epoch")
+    p_stream.add_argument("--retention", type=int, default=8,
+                          help="sealed epochs kept in the store")
+    p_stream.add_argument("--batch", type=int, default=4096,
+                          help="feed batch size (epoch boundaries may "
+                               "split a batch; no packets are lost)")
+    p_stream.add_argument("--change-threshold", type=int, default=None,
+                          help="run §4.4 heavy-change detection between "
+                               "adjacent epochs at this threshold")
+    p_stream.add_argument("--backend",
+                          choices=["inline", "sharded", "process"],
+                          default="inline",
+                          help="per-epoch ingest backend")
+    p_stream.add_argument("--shards", type=int, default=None,
+                          help="shard count for the engine backends")
+    p_stream.set_defaults(func=cmd_stream)
 
     p_res = sub.add_parser("resources", help="hardware resource report")
     p_res.add_argument("--memory-kb", type=int, default=1300)

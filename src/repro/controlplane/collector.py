@@ -302,65 +302,114 @@ class NetworkSketchCollector:
             health = CollectionHealth(
                 window_index=index, switches_total=len(sim.switches))
             health.packets_dropped = sim.packets_dropped - drops_before
+            report = self._drain_and_report(
+                index, len(window), health, window_span,
+                run_em=self.run_em and len(window) > 0)
+        self._record_network_window(report, health)
+        return report
 
-            collected: Dict[str, object] = {}
-            snapshot_bytes: Dict[str, int] = {}
-            for name in sorted(sim.switches):
-                if not self.breaker.allows(name, index):
-                    health.switches_skipped.append(name)
-                    self._note_stale(name, index, health)
-                    with maybe_span(t, "collector.drain", switch=name,
-                                    outcome="skipped",
-                                    breaker_open=True):
-                        pass
-                    continue
-                retries_before = health.retries
-                with maybe_span(t, "collector.drain",
-                                switch=name) as drain_span:
-                    sketch, reason = self._drain_switch(
-                        name, index, health)
-                    drain_span.annotate(
-                        retries=health.retries - retries_before,
-                        breaker_open=False)
-                    if sketch is not None:
-                        sketch, nbytes = self._transport(name, sketch)
-                        collected[name] = sketch
-                        if nbytes is not None:
-                            snapshot_bytes[name] = nbytes
-                            drain_span.annotate(snapshot_bytes=nbytes)
-                        self.breaker.record_success(name)
-                        self._last_success[name] = index
-                        drain_span.annotate(outcome="ok")
-                    else:
-                        health.switches_failed[name] = reason
-                        self.breaker.record_failure(name, index)
-                        self._note_stale(name, index, health)
-                        drain_span.annotate(outcome="failed",
-                                            reason=reason)
-            health.switches_reached = sorted(collected)
+    def drain_epoch(self, index: int, total_packets: int = 0,
+                    run_em: Optional[bool] = None) -> WindowReport:
+        """Drain every switch *now*, without routing any traffic.
 
-            report = WindowReport(
+        The epoch-streaming runtime (:mod:`repro.runtime`) routes
+        packets continuously and calls this at each epoch boundary, so
+        sealed-epoch snapshots travel the same hardened path as
+        windowed collection: per-attempt timeout, retry with backoff,
+        per-switch circuit breaker, staleness accounting and the
+        sketch-health verdict all apply to the returned
+        :class:`WindowReport`.
+
+        Args:
+            index: epoch/window number (drives breaker cooldowns and
+                staleness ages).
+            total_packets: packets routed since the previous drain,
+                recorded on the report.
+            run_em: override the collector's ``run_em`` (default:
+                follow it, skipping EM for empty epochs).
+        """
+        t = self.telemetry
+        if run_em is None:
+            run_em = self.run_em and total_packets > 0
+        with maybe_span(t, "collector.drain_epoch", epoch=index,
+                        packets=total_packets) as window_span:
+            health = CollectionHealth(
                 window_index=index,
-                total_packets=len(window),
-                cardinality_estimate=self._cardinality(collected),
-                health=health,
-                collected_sketches=collected,
-                snapshot_bytes=snapshot_bytes,
-            )
-            if self.run_em and self.em_switch in collected \
-                    and len(window) > 0:
-                outcome = guarded_estimate_distribution(
-                    collected[self.em_switch], config=self.em_config,
-                    guard=self.em_guard, telemetry=self.telemetry)
-                if outcome.fell_back:
-                    health.em_fallbacks += 1
-                report.distribution = outcome.result
-            if self.health_monitor is not None:
-                report.sketch_health = self.health_monitor.assess(
-                    collected.get(self.em_switch), window_index=index,
-                    collection_health=health)
-                window_span.annotate(
-                    sketch_status=report.sketch_health.status.name)
+                switches_total=len(self.simulator.switches))
+            report = self._drain_and_report(
+                index, total_packets, health, window_span, run_em=run_em)
+        self._record_network_window(report, health)
+        return report
+
+    def _drain_and_report(self, index: int, total_packets: int,
+                          health: CollectionHealth, window_span,
+                          run_em: bool) -> WindowReport:
+        """The per-switch drain loop plus report assembly, shared by
+        routed windows and route-free epoch drains."""
+        sim = self.simulator
+        t = self.telemetry
+        collected: Dict[str, object] = {}
+        snapshot_bytes: Dict[str, int] = {}
+        for name in sorted(sim.switches):
+            if not self.breaker.allows(name, index):
+                health.switches_skipped.append(name)
+                self._note_stale(name, index, health)
+                with maybe_span(t, "collector.drain", switch=name,
+                                outcome="skipped",
+                                breaker_open=True):
+                    pass
+                continue
+            retries_before = health.retries
+            with maybe_span(t, "collector.drain",
+                            switch=name) as drain_span:
+                sketch, reason = self._drain_switch(
+                    name, index, health)
+                drain_span.annotate(
+                    retries=health.retries - retries_before,
+                    breaker_open=False)
+                if sketch is not None:
+                    sketch, nbytes = self._transport(name, sketch)
+                    collected[name] = sketch
+                    if nbytes is not None:
+                        snapshot_bytes[name] = nbytes
+                        drain_span.annotate(snapshot_bytes=nbytes)
+                    self.breaker.record_success(name)
+                    self._last_success[name] = index
+                    drain_span.annotate(outcome="ok")
+                else:
+                    health.switches_failed[name] = reason
+                    self.breaker.record_failure(name, index)
+                    self._note_stale(name, index, health)
+                    drain_span.annotate(outcome="failed",
+                                        reason=reason)
+        health.switches_reached = sorted(collected)
+
+        report = WindowReport(
+            window_index=index,
+            total_packets=total_packets,
+            cardinality_estimate=self._cardinality(collected),
+            health=health,
+            collected_sketches=collected,
+            snapshot_bytes=snapshot_bytes,
+        )
+        if run_em and self.em_switch in collected:
+            outcome = guarded_estimate_distribution(
+                collected[self.em_switch], config=self.em_config,
+                guard=self.em_guard, telemetry=self.telemetry)
+            if outcome.fell_back:
+                health.em_fallbacks += 1
+            report.distribution = outcome.result
+        if self.health_monitor is not None:
+            report.sketch_health = self.health_monitor.assess(
+                collected.get(self.em_switch), window_index=index,
+                collection_health=health)
+            window_span.annotate(
+                sketch_status=report.sketch_health.status.name)
+        return report
+
+    def _record_network_window(self, report: WindowReport,
+                               health: CollectionHealth) -> None:
+        t = self.telemetry
         if t is not None:
             t.inc("collector.windows")
             t.inc("collector.packets", report.total_packets)
@@ -381,7 +430,6 @@ class NetworkSketchCollector:
             if report.sketch_health is not None:
                 fields["sketch_status"] = report.sketch_health.status.name
             t.emit("window", "collector.network_window", **fields)
-        return report
 
     def _transport(self, name: str, sketch):
         """How a drained sketch reaches the control plane.

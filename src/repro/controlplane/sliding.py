@@ -12,15 +12,26 @@ the no-underestimate invariant carries over to the windowed query.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
 from repro.core.fcm import FCMSketch
+from repro.errors import SketchCompatibilityError, StateCodecError
+from repro.sketches.base import MergeableStateMixin
 
 
-class JumpingWindowSketch:
+class JumpingWindowSketch(MergeableStateMixin):
     """A ring of sketches approximating a sliding window.
+
+    Supports the serialization half of the mergeable-sketch protocol:
+    :meth:`to_state` packs the ring — each live slot's own codec bytes
+    plus the cursor (fill, packets seen) — and :meth:`from_state`
+    rebuilds it on an identically-configured window, byte-identically.
+    ``merge`` raises a typed
+    :class:`~repro.errors.SketchCompatibilityError`: the ring's slot
+    alignment is a function of arrival order, so merging two windows
+    would interleave sub-windows covering different time spans.
 
     Args:
         window_packets: the window size W (in packets).
@@ -30,6 +41,11 @@ class JumpingWindowSketch:
         sketch_factory: builds one sub-window sketch (default: a
             16 KB FCM-Sketch).
     """
+
+    STATE_KIND = "jumping_window"
+    UNMERGEABLE_REASON = (
+        "slot alignment depends on arrival order; merging two windows "
+        "would interleave sub-windows that cover different time spans")
 
     def __init__(self, window_packets: int, num_slots: int = 4,
                  sketch_factory: Optional[Callable[[], object]] = None,
@@ -91,9 +107,12 @@ class JumpingWindowSketch:
         """Estimated size of the flow over (at most) the last window.
 
         The jumping window covers between W - slot and W packets; the
-        estimate never undercounts the covered span.
+        estimate never undercounts the covered span.  Routed through
+        :meth:`query_many` so each slot answers with its vectorized
+        bulk path instead of a per-key loop.
         """
-        return sum(int(slot.query(int(key))) for slot in self._slots)
+        return int(self.query_many(
+            np.asarray([key], dtype=np.uint64))[0])
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
         keys = np.asarray(list(keys) if not isinstance(keys, np.ndarray)
@@ -114,3 +133,70 @@ class JumpingWindowSketch:
         estimates = self.query_many(keys)
         return {int(k) for k, est in zip(keys, estimates)
                 if est >= threshold}
+
+    # ------------------------------------------------------------------
+    # state codec (the mergeable-state protocol's serialization half)
+    # ------------------------------------------------------------------
+
+    def _state_meta(self) -> Dict[str, object]:
+        return {"window_packets": self.window_packets,
+                "num_slots": self.num_slots}
+
+    def to_state(self) -> bytes:
+        """Serialize the ring: per-slot codec bytes plus the cursor.
+
+        Every live slot is packed through its *own* ``to_state`` (so
+        the sub-sketch geometry/seed checks apply on load); the ring's
+        dynamic position — slot fill and packets seen — travels in a
+        ``cursor`` array rather than the meta, which holds
+        configuration only.  Sub-sketches without a codec raise the
+        usual typed :class:`SketchCompatibilityError`.
+        """
+        from repro.engine.codec import pack_state
+
+        arrays: Dict[str, np.ndarray] = {}
+        for i, slot in enumerate(self._slots):
+            to_state = getattr(slot, "to_state", None)
+            if not callable(to_state):
+                raise SketchCompatibilityError(
+                    f"{type(self).__name__} cannot serialize: sub-sketch "
+                    f"{type(slot).__name__} has no state codec")
+            arrays[f"slot{i}"] = np.frombuffer(to_state(), dtype=np.uint8)
+        arrays["cursor"] = np.array(
+            [self._current_fill, self.packets_seen, len(self._slots)],
+            dtype=np.int64)
+        return pack_state(self.STATE_KIND, self._state_meta(), arrays)
+
+    def from_state(self, data: bytes) -> "JumpingWindowSketch":
+        """Rebuild the ring from a :meth:`to_state` snapshot.
+
+        The receiving window must be configured with the same
+        ``window_packets`` / ``num_slots`` and a factory producing
+        sub-sketches compatible with the snapshot's (each slot's own
+        ``from_state`` enforces geometry and seed).  Returns ``self``.
+        """
+        from repro.engine.codec import ensure_compatible_state, unpack_state
+
+        state = unpack_state(data)
+        ensure_compatible_state(state, self.STATE_KIND, self._state_meta(),
+                                target=type(self).__name__)
+        cursor = state.arrays.get("cursor")
+        if cursor is None or cursor.shape != (3,):
+            raise StateCodecError(
+                "jumping_window state is missing its cursor array")
+        current_fill, packets_seen, num_live = (int(v) for v in cursor)
+        if not 0 < num_live <= self.num_slots:
+            raise StateCodecError(
+                f"jumping_window state holds {num_live} slots; this "
+                f"window rings {self.num_slots}")
+        slots: List[object] = []
+        for i in range(num_live):
+            blob = state.arrays.get(f"slot{i}")
+            if blob is None:
+                raise StateCodecError(
+                    f"jumping_window state is missing slot {i}")
+            slots.append(self._factory().from_state(blob.tobytes()))
+        self._slots = slots
+        self._current_fill = current_fill
+        self.packets_seen = packets_seen
+        return self

@@ -98,6 +98,17 @@ class CircuitOpenError(NetworkFaultError):
         )
 
 
+class EpochSnapshotUnavailableError(NetworkFaultError):
+    """Raised when a query scope covers a sealed epoch whose codec
+    snapshot was never captured (e.g. the network vantage switch was
+    unreachable for the whole drain window)."""
+
+    def __init__(self, epoch: int, message: str = ""):
+        self.epoch = int(epoch)
+        super().__init__(
+            message or f"epoch {epoch} has no vantage snapshot to query")
+
+
 class EMDivergenceError(MeasurementError):
     """Raised when EM produces NaN/inf mass or runaway flow counts."""
 

@@ -1,0 +1,564 @@
+"""Epoch lifecycle: zero-gap rotation, drains, bounded retention.
+
+The runtime splits a continuous packet stream into *epochs* — the
+paper's back-to-back measurement windows.  The load-bearing invariant
+is **zero-gap rotation**: when an epoch ends, the next generation's
+sketch is installed *before* the sealed one is drained, so the packet
+that triggers the rotation and every packet after it land in the new
+generation and nothing is dropped at the boundary.  The runtime tests
+pin the ledger exactly: ``sum(sealed packets) + live packets ==
+packets fed``.
+
+Epoch boundaries can be packet-bounded (``epoch_packets``),
+time-bounded (``epoch_seconds`` against an injectable clock), health
+driven (a :class:`~repro.telemetry.health.SketchHealthMonitor`
+verdict of ``SATURATED`` forces an early rotation) or manual
+(:meth:`EpochManager.rotate`).
+
+Two ingest backends share one contract (identical sealed bytes):
+
+* ``inline`` — every batch goes straight into the live sketch;
+* ``sharded`` / ``process`` — batches buffer and flush through a
+  :class:`~repro.engine.sharded.ShardedIngestEngine` (inline or
+  multiprocessing fan-out), whose reduce is byte-identical to serial
+  ingest.
+
+A network-backed runtime (``collector=``) instead routes batches
+through the collector's :class:`~repro.network.simulator
+.NetworkSimulator` and seals epochs by draining every switch via
+:meth:`~repro.controlplane.collector.NetworkSketchCollector
+.drain_epoch` — retry, circuit breaker and collection health all
+apply to the sealed epoch's snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Set
+
+import numpy as np
+
+from repro.controlplane.heavychange import HeavyChangeDetector
+from repro.errors import EpochSnapshotUnavailableError, InvalidWindowError
+from repro.sketches.base import MergeableStateMixin, as_key_array
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.health import HealthStatus, SketchHealthMonitor
+from repro.telemetry.tracing import maybe_span
+from repro.traffic.trace import Trace
+
+__all__ = [
+    "EpochConfig",
+    "SealedEpoch",
+    "SealedEpochStore",
+    "EpochManager",
+]
+
+
+@dataclass(frozen=True)
+class EpochConfig:
+    """Epoch boundary and retention knobs.
+
+    Attributes:
+        epoch_packets: seal the live epoch after this many packets
+            (``None`` = no packet bound).
+        epoch_seconds: seal the live epoch once this much clock time
+            has elapsed, checked at batch boundaries (``None`` = no
+            time bound).  The clock is injectable on the manager.
+        retention: sealed epochs kept by the store; older snapshots
+            are evicted oldest-first.
+        change_threshold: when set, §4.4 heavy-change detection runs
+            automatically between each newly sealed epoch and the one
+            sealed before it.
+        rotate_on_saturation: rotate early when the health monitor
+            declares the live sketch ``SATURATED`` (inline backend).
+        track_candidates: remember each epoch's distinct keys so
+            heavy-change detection and the stateful tests have a
+            candidate set; costs a per-epoch python set.
+    """
+
+    epoch_packets: Optional[int] = None
+    epoch_seconds: Optional[float] = None
+    retention: int = 16
+    change_threshold: Optional[int] = None
+    rotate_on_saturation: bool = False
+    track_candidates: bool = True
+
+    def __post_init__(self):
+        if self.epoch_packets is not None and self.epoch_packets <= 0:
+            raise InvalidWindowError("epoch_packets must be positive")
+        if self.epoch_seconds is not None and self.epoch_seconds <= 0:
+            raise InvalidWindowError("epoch_seconds must be positive")
+        if self.retention <= 0:
+            raise InvalidWindowError("retention must be positive")
+        if self.change_threshold is not None and self.change_threshold <= 0:
+            raise InvalidWindowError("change_threshold must be positive")
+
+
+@dataclass
+class SealedEpoch:
+    """One drained epoch: an immutable codec snapshot plus its verdicts.
+
+    The snapshot (``state``) is the source of truth — queries rehydrate
+    a sketch from the bytes on demand and cache it; re-serializing the
+    rehydrated sketch returns the identical bytes (pinned by the
+    stateful tests, which is what "sealed epochs are immutable" means
+    operationally).
+    """
+
+    index: int
+    packets: int
+    reason: str
+    state: Optional[bytes] = None
+    states: Dict[str, bytes] = field(default_factory=dict)
+    cardinality: float = 0.0
+    heavy_changes: frozenset = frozenset()
+    candidates: frozenset = frozenset()
+    health: Optional[object] = None     # SketchHealthReport
+    report: Optional[object] = None     # WindowReport (network mode)
+    factory: Optional[Callable[[], object]] = field(
+        default=None, repr=False, compare=False)
+    _cached: Optional[object] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def state_bytes(self) -> int:
+        """Total codec bytes retained for this epoch."""
+        if self.states:
+            return sum(len(b) for b in self.states.values())
+        return len(self.state) if self.state is not None else 0
+
+    def sketch(self):
+        """Rehydrate (and cache) the epoch's vantage sketch."""
+        if self._cached is not None:
+            return self._cached
+        if self.state is None or self.factory is None:
+            raise EpochSnapshotUnavailableError(self.index)
+        self._cached = self.factory().from_state(self.state)
+        return self._cached
+
+
+class SealedEpochStore:
+    """Bounded, ordered retention of sealed epochs (oldest evicted).
+
+    Args:
+        retention: maximum sealed epochs held.
+        telemetry: optional registry; the store gauges its size and
+            retained codec bytes and counts evictions.
+    """
+
+    def __init__(self, retention: int = 16,
+                 telemetry: Optional[MetricsRegistry] = None,
+                 name: str = "runtime.store"):
+        if retention <= 0:
+            raise InvalidWindowError("retention must be positive")
+        self.retention = retention
+        self.telemetry = telemetry
+        self.name = name
+        self._epochs: List[SealedEpoch] = []
+        self.evicted = 0
+
+    def append(self, epoch: SealedEpoch) -> None:
+        """Retain a sealed epoch, evicting the oldest beyond the bound."""
+        self._epochs.append(epoch)
+        while len(self._epochs) > self.retention:
+            self._epochs.pop(0)
+            self.evicted += 1
+        t = self.telemetry
+        if t is not None:
+            t.set_gauge(f"{self.name}.epochs", float(len(self._epochs)))
+            t.set_gauge(f"{self.name}.bytes", float(self.total_state_bytes))
+            if self.evicted:
+                t.set_gauge(f"{self.name}.evicted", float(self.evicted))
+
+    def last(self, n: int) -> List[SealedEpoch]:
+        """The most recent ``n`` sealed epochs, oldest first."""
+        if n <= 0:
+            raise InvalidWindowError("n must be positive")
+        return list(self._epochs[-n:])
+
+    @property
+    def total_state_bytes(self) -> int:
+        return sum(e.state_bytes for e in self._epochs)
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    def __iter__(self) -> Iterator[SealedEpoch]:
+        return iter(self._epochs)
+
+    def __getitem__(self, index) -> SealedEpoch:
+        return self._epochs[index]
+
+
+# ----------------------------------------------------------------------
+# ingest backends (one epoch = one generation)
+# ----------------------------------------------------------------------
+
+class _InlineGeneration:
+    """Live epoch fed directly into one sketch instance."""
+
+    def __init__(self, index: int, factory: Callable[[], object]):
+        self.index = index
+        self._sketch = factory()
+        self.packets = 0
+        self.candidates: Set[int] = set()
+
+    def feed(self, keys: np.ndarray) -> None:
+        self._sketch.ingest(keys)
+        self.packets += int(keys.size)
+
+    def materialize(self):
+        return self._sketch
+
+
+class _ShardedGeneration:
+    """Live epoch buffered and flushed through the sharded engine.
+
+    The engine's reduce is byte-identical to serial ingest, so a
+    sealed epoch's snapshot does not depend on the backend — the
+    rotation-determinism tests pin this across ``inline`` and
+    ``process`` engine modes.
+    """
+
+    def __init__(self, index: int, factory: Callable[[], object], engine):
+        self.index = index
+        self._factory = factory
+        self._engine = engine
+        self._pending: List[np.ndarray] = []
+        self._merged = None
+        self.packets = 0
+        self.candidates: Set[int] = set()
+
+    def feed(self, keys: np.ndarray) -> None:
+        self._pending.append(keys)
+        self.packets += int(keys.size)
+
+    def materialize(self):
+        if self._pending:
+            batch = np.concatenate(self._pending) if len(self._pending) > 1 \
+                else self._pending[0]
+            self._pending = []
+            shard_result = self._engine.ingest(batch)
+            if self._merged is None:
+                self._merged = shard_result
+            else:
+                self._merged.merge(shard_result)
+        if self._merged is None:
+            self._merged = self._factory()
+        return self._merged
+
+
+class EpochManager:
+    """Drives a continuous stream through zero-gap measurement epochs.
+
+    Local mode (``sketch_factory=``) ingests into per-epoch sketch
+    generations and seals each epoch as its ``to_state()`` codec bytes;
+    network mode (``collector=``) routes packets through the
+    collector's simulator and seals epochs by draining every switch
+    under the collector's retry/breaker/health policy.
+
+    Args:
+        sketch_factory: zero-argument builder for one epoch's sketch
+            (local mode).  The sketch must support the state codec.
+        collector: a :class:`~repro.controlplane.collector
+            .NetworkSketchCollector` (network mode); mutually
+            exclusive with ``sketch_factory``.
+        config: epoch boundary/retention knobs.
+        backend: ``"inline"`` (direct ingest), ``"sharded"`` (engine
+            fan-out, in-process) or ``"process"`` (engine fan-out over
+            a multiprocessing pool).  Local mode only.
+        num_shards: shard count for the engine backends.
+        telemetry: optional metrics registry; rotations and drains
+            become ``runtime.rotate`` / ``runtime.drain`` spans, the
+            live ledger is gauged and every sealed epoch emits one
+            ``epoch`` event.
+        health_monitor: optional :class:`SketchHealthMonitor`; sealed
+            epochs carry its verdict and, with
+            ``config.rotate_on_saturation``, a ``SATURATED`` live
+            sketch forces an early rotation.
+        clock: injectable monotonic clock for ``epoch_seconds``
+            (default :func:`time.monotonic`).
+        name: metric/span name prefix.
+    """
+
+    def __init__(self, sketch_factory: Optional[Callable[[], object]] = None,
+                 collector=None,
+                 config: Optional[EpochConfig] = None,
+                 backend: str = "inline",
+                 num_shards: Optional[int] = None,
+                 telemetry: Optional[MetricsRegistry] = None,
+                 health_monitor: Optional[SketchHealthMonitor] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "runtime"):
+        if (sketch_factory is None) == (collector is None):
+            raise ValueError(
+                "pass exactly one of sketch_factory= (local mode) or "
+                "collector= (network mode)")
+        if backend not in ("inline", "sharded", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if collector is not None and backend != "inline":
+            raise ValueError("engine backends apply to local mode only")
+        self.config = config if config is not None else EpochConfig()
+        self.collector = collector
+        self.backend = backend
+        self.telemetry = telemetry
+        self.health_monitor = health_monitor
+        self.clock = clock
+        self.name = name
+        self._engine = None
+        if collector is not None:
+            self.sketch_factory = self._vantage_factory()
+        else:
+            probe = sketch_factory()
+            if not isinstance(probe, MergeableStateMixin) \
+                    or probe.STATE_KIND is None:
+                raise InvalidWindowError(
+                    f"{type(probe).__name__} has no state codec; sealed "
+                    "epochs are stored as to_state() bytes")
+            self.sketch_factory = sketch_factory
+            if backend != "inline":
+                from repro.engine.sharded import ShardedIngestEngine
+
+                mode = "inline" if backend == "sharded" else "process"
+                self._engine = ShardedIngestEngine(
+                    sketch_factory, num_shards=num_shards, mode=mode,
+                    telemetry=telemetry, name=f"{name}.engine")
+        if health_monitor is not None and health_monitor.telemetry is None:
+            health_monitor.telemetry = telemetry
+        self.store = SealedEpochStore(self.config.retention,
+                                      telemetry=telemetry,
+                                      name=f"{name}.store")
+        self.packets_fed = 0
+        self.rotations = 0
+        self._epoch_started = self.clock()
+        self._live = self._new_generation(0)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _vantage_factory(self) -> Callable[[], object]:
+        switch = self.collector.simulator.switches[self.collector.em_switch]
+        return switch.fresh_sketch
+
+    def _new_generation(self, index: int):
+        if self.collector is not None:
+            return _NetworkGeneration(index, self.collector.simulator,
+                                      self.collector.em_switch)
+        if self._engine is not None:
+            return _ShardedGeneration(index, self.sketch_factory,
+                                      self._engine)
+        return _InlineGeneration(index, self.sketch_factory)
+
+    @property
+    def live_epoch_index(self) -> int:
+        return self._live.index
+
+    @property
+    def live_packets(self) -> int:
+        return self._live.packets
+
+    def live_sketch(self):
+        """The live epoch's materialized sketch (flushes the engine
+        backends; in network mode, the vantage switch's accumulating
+        sketch)."""
+        return self._live.materialize()
+
+    def close(self, seal_live: bool = True) -> Optional[SealedEpoch]:
+        """Stop the runtime; optionally seal the in-progress epoch.
+
+        Returns the final sealed epoch (or ``None``).  The engine
+        backends shut their worker pool down.
+        """
+        sealed = None
+        if seal_live and self._live.packets > 0:
+            sealed = self.rotate(reason="close")
+        if self._engine is not None:
+            self._engine.close()
+        return sealed
+
+    def __enter__(self) -> "EpochManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(seal_live=False)
+
+    # -- ingest --------------------------------------------------------
+
+    def feed(self, keys) -> None:
+        """Observe a batch of packets, rotating at epoch boundaries.
+
+        A batch that straddles a packet-bounded boundary is split
+        there: the head fills (and seals) the live epoch, the tail
+        opens the next one — the zero-gap ledger
+        ``sealed + live == fed`` holds after every call.
+        """
+        keys = as_key_array(keys)
+        bound = self.config.epoch_packets
+        offset = 0
+        while offset < keys.size:
+            room = keys.size - offset
+            if bound is not None:
+                room = min(room, bound - self._live.packets)
+            chunk = keys[offset:offset + room]
+            self._live.feed(chunk)
+            self.packets_fed += int(chunk.size)
+            if self.config.track_candidates and chunk.size:
+                self._live.candidates.update(
+                    int(k) for k in np.unique(chunk))
+            offset += int(chunk.size)
+            if bound is not None and self._live.packets >= bound:
+                self.rotate(reason="packet_bound")
+            elif self._saturated():
+                self.rotate(reason="saturation")
+        if self.config.epoch_seconds is not None \
+                and self.clock() - self._epoch_started \
+                >= self.config.epoch_seconds \
+                and self._live.packets > 0:
+            self.rotate(reason="time_bound")
+        t = self.telemetry
+        if t is not None:
+            t.set_gauge(f"{self.name}.live_packets",
+                        float(self._live.packets))
+            t.set_gauge(f"{self.name}.packets_fed",
+                        float(self.packets_fed))
+
+    def _saturated(self) -> bool:
+        """Early-rotation check: live sketch declared SATURATED."""
+        if not self.config.rotate_on_saturation \
+                or self.health_monitor is None \
+                or self._live.packets == 0 \
+                or not isinstance(self._live, _InlineGeneration):
+            return False
+        report = self.health_monitor.assess(
+            self._live.materialize(), window_index=self._live.index)
+        return report.status is HealthStatus.SATURATED
+
+    # -- rotation ------------------------------------------------------
+
+    def rotate(self, reason: str = "manual") -> SealedEpoch:
+        """Seal the live epoch and open the next generation.
+
+        Zero-gap: the fresh generation is installed *before* the
+        sealed one is drained, so packets arriving mid-drain (or the
+        remainder of a boundary-straddling batch) land in the new
+        epoch rather than being dropped.
+        """
+        generation = self._live
+        self._live = self._new_generation(generation.index + 1)
+        self._epoch_started = self.clock()
+        t = self.telemetry
+        with maybe_span(t, f"{self.name}.rotate", epoch=generation.index,
+                        packets=generation.packets, reason=reason):
+            sealed = self._drain(generation, reason)
+        self.store.append(sealed)
+        self.rotations += 1
+        if t is not None:
+            t.inc(f"{self.name}.rotations")
+            t.inc(f"{self.name}.sealed_packets", generation.packets)
+            t.emit("epoch", f"{self.name}.sealed",
+                   epoch=sealed.index, packets=sealed.packets,
+                   reason=reason, state_bytes=sealed.state_bytes,
+                   cardinality=sealed.cardinality,
+                   heavy_changes=len(sealed.heavy_changes),
+                   retained=len(self.store))
+        return sealed
+
+    def _drain(self, generation, reason: str) -> SealedEpoch:
+        t = self.telemetry
+        with maybe_span(t, f"{self.name}.drain", epoch=generation.index,
+                        packets=generation.packets) as span:
+            if isinstance(generation, _NetworkGeneration):
+                sealed = self._drain_network(generation, reason)
+            else:
+                sealed = self._drain_local(generation, reason)
+            span.annotate(state_bytes=sealed.state_bytes,
+                          reason=reason)
+        if self.config.change_threshold is not None:
+            sealed.heavy_changes = self._detect_changes(sealed)
+        return sealed
+
+    def _drain_local(self, generation, reason: str) -> SealedEpoch:
+        sketch = generation.materialize()
+        blob = sketch.to_state()
+        health = None
+        if self.health_monitor is not None:
+            health = self.health_monitor.assess(
+                sketch, window_index=generation.index)
+        cardinality = float(sketch.cardinality()) \
+            if hasattr(sketch, "cardinality") else 0.0
+        return SealedEpoch(
+            index=generation.index,
+            packets=generation.packets,
+            reason=reason,
+            state=blob,
+            cardinality=cardinality,
+            candidates=frozenset(generation.candidates),
+            health=health,
+            factory=self.sketch_factory,
+        )
+
+    def _drain_network(self, generation, reason: str) -> SealedEpoch:
+        report = self.collector.drain_epoch(
+            generation.index, total_packets=generation.packets)
+        states: Dict[str, bytes] = {}
+        for switch, sketch in sorted(report.collected_sketches.items()):
+            if getattr(sketch, "STATE_KIND", None) is not None:
+                states[switch] = sketch.to_state()
+        vantage = self.collector.em_switch
+        return SealedEpoch(
+            index=generation.index,
+            packets=generation.packets,
+            reason=reason,
+            state=states.get(vantage),
+            states=states,
+            cardinality=report.cardinality_estimate,
+            candidates=frozenset(generation.candidates),
+            health=report.sketch_health,
+            report=report,
+            factory=self.sketch_factory,
+        )
+
+    def _detect_changes(self, sealed: SealedEpoch) -> frozenset:
+        """§4.4 heavy-change detection vs the previously sealed epoch."""
+        if len(self.store) == 0:
+            return frozenset()
+        previous = self.store[-1]
+        try:
+            before, after = previous.sketch(), sealed.sketch()
+        except EpochSnapshotUnavailableError:
+            return frozenset()
+        candidates = sorted(previous.candidates | sealed.candidates)
+        if not candidates:
+            return frozenset()
+        detector = HeavyChangeDetector(before, after)
+        changes = frozenset(detector.detect(
+            candidates, self.config.change_threshold))
+        t = self.telemetry
+        if t is not None and changes:
+            t.inc(f"{self.name}.heavy_changes", len(changes))
+        return changes
+
+
+class _NetworkGeneration:
+    """Live epoch routed through a :class:`NetworkSimulator`.
+
+    The switches themselves double-buffer: ``SimulatedSwitch.rotate``
+    atomically swaps in a fresh sketch, so the collector drain at the
+    epoch boundary is zero-gap by construction.
+    """
+
+    def __init__(self, index: int, simulator, vantage: str):
+        self.index = index
+        self._simulator = simulator
+        self._vantage = vantage
+        self.packets = 0
+        self.candidates: Set[int] = set()
+
+    def feed(self, keys: np.ndarray) -> None:
+        if keys.size:
+            self._simulator.route_trace(
+                Trace(keys, name=f"epoch{self.index}"), window=self.index)
+        self.packets += int(keys.size)
+
+    def materialize(self):
+        return self._simulator.switches[self._vantage].sketch

@@ -1,0 +1,137 @@
+"""Stateful property tests for the epoch-streaming runtime.
+
+A :class:`hypothesis.stateful.RuleBasedStateMachine` drives an
+:class:`~repro.runtime.EpochManager` through random interleavings of
+batch ingests, forced rotations and scoped queries, shadowed by an
+exact per-epoch dict oracle.  Invariants checked after every rule:
+
+* **no underestimate** — at every scope, the runtime's flow-size
+  estimate is >= the oracle's exact count for that scope;
+* **sealed epochs are immutable** — re-serializing a sealed epoch's
+  rehydrated sketch reproduces the original codec bytes, no matter
+  how many queries ran in between;
+* **bounded retention** — the store never holds more than the
+  configured number of epochs, and evictions are oldest-first;
+* **zero-gap ledger** — the sum of sealed-epoch packet counts
+  (including evicted epochs) plus the live epoch's count equals the
+  total packets fed.
+"""
+
+import functools
+from collections import Counter
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import FCMSketch
+from repro.runtime import EpochConfig, EpochManager, StreamingQueryAPI
+
+RETENTION = 3
+
+#: Small key universe so flows recur across epochs (exercises the
+#: multi-epoch summation paths) and small memory so tests stay fast.
+KEYS = st.integers(min_value=1, max_value=64)
+
+
+def _sketch():
+    return FCMSketch.with_memory(8 * 1024, seed=11)
+
+
+FACTORY = functools.partial(_sketch)
+
+
+class EpochRuntimeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.manager = EpochManager(
+            FACTORY, config=EpochConfig(retention=RETENTION))
+        self.api = StreamingQueryAPI(self.manager)
+        self.live_oracle = Counter()
+        self.sealed_oracles = []          # exact counts, one per epoch
+        self.sealed_packets = []          # includes evicted epochs
+        self.sealed_bytes = {}            # epoch index -> codec bytes
+        self.fed = 0
+
+    # -- rules ---------------------------------------------------------
+
+    @rule(batch=st.lists(KEYS, max_size=60))
+    def ingest(self, batch):
+        self.manager.feed(np.asarray(batch, dtype=np.uint64))
+        self.live_oracle.update(batch)
+        self.fed += len(batch)
+
+    @rule()
+    def force_rotation(self):
+        sealed = self.manager.rotate()
+        self.sealed_oracles.append(self.live_oracle)
+        self.sealed_packets.append(sealed.packets)
+        self.sealed_bytes[sealed.index] = sealed.state
+        self.live_oracle = Counter()
+
+    @rule(key=KEYS)
+    def query_live(self, key):
+        assert self.api.query(key, scope="live") >= self.live_oracle[key]
+
+    @precondition(lambda self: self.sealed_oracles)
+    @rule(key=KEYS)
+    def query_last_sealed(self, key):
+        retained = self.sealed_oracles[-1]
+        assert self.api.query(key, scope="sealed") >= retained[key]
+
+    @precondition(lambda self: self.sealed_oracles)
+    @rule(key=KEYS, n=st.integers(min_value=1, max_value=RETENTION))
+    def query_last_n(self, key, n):
+        n = min(n, len(self.manager.store))
+        if n == 0:
+            return
+        exact = sum(o[key] for o in self.sealed_oracles[-n:])
+        assert self.api.query(key, scope=f"last-{n}") >= exact
+
+    @rule(key=KEYS)
+    def query_all(self, key):
+        retained = self.sealed_oracles[-len(self.manager.store):] \
+            if len(self.manager.store) else []
+        exact = sum(o[key] for o in retained) + self.live_oracle[key]
+        assert self.api.query(key, scope="all") >= exact
+
+    # -- invariants ----------------------------------------------------
+
+    @invariant()
+    def retention_bounded(self):
+        store = self.manager.store
+        assert len(store) <= RETENTION
+        assert store.evicted == max(0, len(self.sealed_oracles)
+                                    - len(store))
+        indices = [e.index for e in store]
+        assert indices == sorted(indices)
+
+    @invariant()
+    def ledger_exact(self):
+        assert self.manager.packets_fed == self.fed
+        assert sum(self.sealed_packets) + self.manager.live_packets \
+            == self.fed
+        # per-epoch packet totals match the oracle exactly
+        for epoch, oracle in zip(
+                self.manager.store,
+                self.sealed_oracles[-len(self.manager.store):]
+                if len(self.manager.store) else []):
+            assert epoch.packets == sum(oracle.values())
+
+    @invariant()
+    def sealed_epochs_immutable(self):
+        for epoch in self.manager.store:
+            assert self.sealed_bytes[epoch.index] == epoch.state
+            assert epoch.sketch().to_state() == epoch.state
+
+
+EpochRuntimeMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None)
+
+TestEpochRuntime = EpochRuntimeMachine.TestCase

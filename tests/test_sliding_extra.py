@@ -1,0 +1,137 @@
+"""Edge cases of the jumping-window sketch and its state codec.
+
+Companions to ``test_sliding_window.py``: exact slot-boundary
+behavior, degenerate window configs, recycled-slot hygiene, and the
+ring's new serialization half of the mergeable-state protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controlplane import JumpingWindowSketch
+from repro.core import FCMSketch
+from repro.errors import SketchCompatibilityError, StateCodecError
+
+
+def make_window(window=400, slots=4, memory=8 * 1024, seed=3):
+    return JumpingWindowSketch(window, num_slots=slots,
+                               memory_bytes=memory, seed=seed)
+
+
+class TestSlotBoundaries:
+    def test_rotation_exactly_at_slot_boundary(self):
+        w = make_window(window=40, slots=4)   # slot = 10 packets
+        w.ingest(np.full(10, 1, dtype=np.uint64))
+        # Rotation is lazy: the full slot is still the only one until
+        # the next packet arrives and opens a fresh slot.
+        assert len(w._slots) == 1
+        assert w.live_packets == 10
+        w.update(2)
+        assert len(w._slots) == 2
+        assert w._current_fill == 1
+        assert w.live_packets == 11
+
+    def test_ingest_chunked_at_exact_boundary(self):
+        w = make_window(window=40, slots=4)
+        w.ingest(np.full(25, 5, dtype=np.uint64))  # 2 full + 5 in third
+        assert len(w._slots) == 3
+        assert w._current_fill == 5
+        assert w.query(5) >= 25
+
+    def test_window_smaller_than_one_slot_rejected(self):
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(3, num_slots=4)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(10, num_slots=20)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(0, num_slots=2)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(40, num_slots=1)
+
+    def test_recycled_slot_reset_zeroes_counters(self):
+        w = make_window(window=40, slots=4)
+        # Fill the whole ring with flow 9, then one more full slot of
+        # flow 8: the oldest flow-9 slot is evicted and the newest
+        # slot starts from zero.
+        w.ingest(np.full(40, 9, dtype=np.uint64))
+        assert len(w._slots) == 4
+        w.ingest(np.full(10, 8, dtype=np.uint64))
+        assert len(w._slots) == 4            # ring did not grow
+        newest = w._slots[-1]
+        assert newest.total_packets == 10    # fresh slot, only flow 8
+        assert newest.query(9) == 0
+        assert w.query(9) <= 30              # evicted slot's 10 gone
+        assert w.query(8) >= 10
+
+
+class TestWindowStateCodec:
+    def test_round_trip_byte_identical(self):
+        w = make_window()
+        rng = np.random.default_rng(7)
+        w.ingest(rng.integers(0, 1000, 350, dtype=np.uint64))
+        blob = w.to_state()
+        clone = make_window().from_state(blob)
+        assert clone.to_state() == blob
+        assert clone.packets_seen == w.packets_seen
+        assert clone.live_packets == w.live_packets
+        uniq = np.arange(1000, dtype=np.uint64)
+        assert np.array_equal(clone.query_many(uniq), w.query_many(uniq))
+
+    def test_partial_ring_round_trip(self):
+        w = make_window(window=400, slots=4)
+        w.ingest(np.full(150, 3, dtype=np.uint64))  # 2 live slots only
+        clone = make_window().from_state(w.to_state())
+        assert len(clone._slots) == 2
+        assert clone._current_fill == 50
+        # The clone keeps accumulating from exactly where w stopped.
+        clone.update(3)
+        w.update(3)
+        assert clone.to_state() == w.to_state()
+
+    def test_mismatched_window_config_rejected(self):
+        blob = make_window(window=400, slots=4).to_state()
+        with pytest.raises(SketchCompatibilityError):
+            make_window(window=800, slots=4).from_state(blob)
+        with pytest.raises(SketchCompatibilityError):
+            JumpingWindowSketch(400, num_slots=8,
+                                memory_bytes=8 * 1024).from_state(blob)
+
+    def test_mismatched_sub_sketch_rejected(self):
+        blob = make_window(memory=8 * 1024).to_state()
+        with pytest.raises((SketchCompatibilityError, StateCodecError)):
+            make_window(memory=16 * 1024).from_state(blob)
+        with pytest.raises((SketchCompatibilityError, StateCodecError)):
+            make_window(seed=99).from_state(blob)
+
+    def test_corrupt_state_rejected(self):
+        blob = make_window().to_state()
+        with pytest.raises(StateCodecError):
+            make_window().from_state(b"XXXX" + blob[4:])
+        with pytest.raises(StateCodecError):
+            make_window().from_state(blob[:32])
+        # Wrong kind entirely: a bare FCM snapshot is not a window.
+        fcm_blob = FCMSketch.with_memory(8 * 1024, seed=3).to_state()
+        with pytest.raises((SketchCompatibilityError, StateCodecError)):
+            make_window().from_state(fcm_blob)
+
+    def test_merge_raises_typed_error(self):
+        a, b = make_window(), make_window()
+        a.ingest(np.full(20, 1, dtype=np.uint64))
+        b.ingest(np.full(20, 2, dtype=np.uint64))
+        with pytest.raises(SketchCompatibilityError) as exc:
+            a.merge(b)
+        assert "arrival order" in str(exc.value)
+        # Typed error still satisfies legacy except ValueError sites.
+        assert isinstance(exc.value, ValueError)
+
+    def test_codec_unavailable_sub_sketch(self):
+        class Plain:
+            def update(self, key):
+                pass
+
+            def ingest(self, keys):
+                pass
+
+        w = JumpingWindowSketch(40, num_slots=4, sketch_factory=Plain)
+        with pytest.raises(SketchCompatibilityError):
+            w.to_state()
