@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test chaos bench bench-baseline bench-compare \
-	bench-parallel report examples stream-smoke clean
+	bench-parallel report examples stream-smoke serve-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -60,6 +60,19 @@ stream-smoke:
 		--telemetry-out /tmp/stream_smoke.ndjson | tee /tmp/stream_smoke.out
 	grep -q "zero-gap ok" /tmp/stream_smoke.out
 	test "$$(grep -c '"name":"runtime.rotate"' /tmp/stream_smoke.ndjson)" = 3
+
+# Measurement-service smoke: concurrent sources through the bounded
+# queues under a shedding policy, graceful drain, exact conservation
+# ledger.  The `timeout` lid turns a hung event loop into a failure
+# instead of a stuck CI job; the grep fails on a ledger leak.
+serve-smoke:
+	PYTHONHASHSEED=0 timeout 120 $(PYTHON) -m repro.cli serve \
+		--packets 30000 --sources 4 --policy shed-oldest \
+		--queue-packets 4096 --source-queue-packets 2048 \
+		--epoch-packets 10000 --worker-batch 1024 --memory-kb 32 \
+		--telemetry-out /tmp/serve_smoke.ndjson | tee /tmp/serve_smoke.out
+	grep -q "\[conserved\]" /tmp/serve_smoke.out
+	grep -q '"name":"service.drain"' /tmp/serve_smoke.ndjson
 
 report:
 	$(PYTHON) -m benchmarks.report

@@ -13,7 +13,11 @@ the repo root by default) capturing:
 * serial vs sharded ingest through the parallel engine (pps for the
   vectorized serial path, the per-packet Algorithm-1 reference and the
   4-shard engine; codec state bytes per flow; a determinism bit
-  asserting the sharded result is byte-identical to serial).
+  asserting the sharded result is byte-identical to serial),
+* sustained ingest through the async measurement service (the full
+  ``submit`` → bounded queue → worker → epoch-manager path under the
+  lossless ``BLOCK`` policy, with the drain's conservation ledger
+  validated alongside the throughput).
 
 Usage::
 
@@ -269,6 +273,66 @@ def measure_parallel(keys: np.ndarray, num_flows: int, repeats: int,
     return result
 
 
+SERVICE_SOURCES = 4
+SERVICE_QUEUE = 32_768
+
+
+def measure_service(keys: np.ndarray, repeats: int) -> dict:
+    """Sustained ingest through the async measurement service.
+
+    The full service path — ``submit`` → bounded queue → ingest
+    worker → epoch manager — under the lossless ``BLOCK`` policy, so
+    the pps measures the service's overhead on top of raw epoch
+    ingest.  The drain's conservation ledger is recorded and
+    validated: a benchmark run that loses packets is invalid, not
+    just slow.
+    """
+    import asyncio
+
+    from repro.runtime import EpochConfig, EpochManager
+    from repro.service import (MeasurementService, PressureConfig,
+                               trace_sources)
+
+    epoch_packets = max(1, keys.shape[0] // 4)
+
+    def once():
+        manager = EpochManager(
+            _parallel_factory,
+            config=EpochConfig(epoch_packets=epoch_packets))
+        service = MeasurementService(
+            manager,
+            pressure=PressureConfig(
+                policy="block",
+                source_packets=SERVICE_QUEUE // SERVICE_SOURCES,
+                global_packets=SERVICE_QUEUE))
+        return asyncio.run(service.run(
+            trace_sources(keys, SERVICE_SOURCES, batch=4_096)))
+
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fresh = once()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, report = elapsed, fresh
+    pps = keys.shape[0] / best
+    result = {
+        "packets": int(keys.shape[0]),
+        "sources": SERVICE_SOURCES,
+        "policy": "block",
+        "seconds": best,
+        "ingest_pps": pps,
+        "sealed_epochs": int(report.sealed_epochs),
+        "shed": int(report.shed),
+        "conserved": bool(report.conserved),
+    }
+    print(f"  service    ingest {pps:>12,.0f} pps   "
+          f"{report.sealed_epochs} epochs   "
+          f"{'conserved' if report.conserved else 'LEAK'}")
+    return result
+
+
 def measure_em(keys: np.ndarray, iterations: int = 5) -> dict:
     registry = MetricsRegistry()
     sketch = FCMSketch.with_memory(MEMORY, seed=1)
@@ -306,6 +370,7 @@ def build_record(packets: int, repeats: int, seed: int) -> dict:
         "em": measure_em(keys),
         "parallel": measure_parallel(
             keys, trace.ground_truth.keys_array().shape[0], repeats),
+        "service": measure_service(keys, repeats),
     }
 
 
@@ -354,6 +419,17 @@ def validate_record(record: dict) -> list:
     if isinstance(speedup, (int, float)) and speedup < 2.0:
         errors.append(f"parallel.speedup_vs_packet_loop {speedup:.2f} "
                       "below the 2x acceptance bound")
+    service = record.get("service", {})
+    for field in ("packets", "seconds", "ingest_pps", "sealed_epochs"):
+        value = service.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(f"service.{field} not positive")
+    if service.get("conserved") is not True:
+        errors.append("service.conserved is not true (the drain "
+                      "ledger leaked packets)")
+    if service.get("shed", 0) != 0:
+        errors.append("service.shed nonzero under the lossless "
+                      "BLOCK policy")
     return errors
 
 
@@ -381,6 +457,9 @@ def flatten_metrics(record: dict) -> Dict[str, float]:
                   "codec_bytes_per_flow"):
         if field in parallel:
             out[f"parallel.{field}"] = float(parallel[field])
+    service = record.get("service", {})
+    if "ingest_pps" in service:
+        out["service.ingest_pps"] = float(service["ingest_pps"])
     return out
 
 

@@ -1,0 +1,102 @@
+"""Measurement-service overhead: sustained ingest through the async
+service vs the raw epoch runtime.
+
+The service adds bounded-queue admission, an asyncio hop between
+producers and the ingest worker, and drain accounting on top of
+``EpochManager.feed``.  These benches quantify that tax — and pin the
+conservation ledger on every timed run, so a benchmark that loses
+packets fails instead of reporting a great number.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import os
+
+import pytest
+
+from repro.core import FCMSketch
+from repro.runtime import EpochConfig, EpochManager
+from repro.service import MeasurementService, PressureConfig, trace_sources
+
+from benchmarks.common import caida_trace
+
+INGEST_PACKETS = int(os.environ.get("REPRO_BENCH_PACKETS", 100_000))
+MEMORY = 64 * 1024
+BATCH = 4_096
+SOURCES = 4
+
+FACTORY = functools.partial(FCMSketch.with_memory, MEMORY, seed=1)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return caida_trace().keys[:INGEST_PACKETS]
+
+
+def make_manager(workload):
+    return EpochManager(
+        FACTORY,
+        config=EpochConfig(epoch_packets=max(1, workload.shape[0] // 4)))
+
+
+def test_runtime_feed_reference(benchmark, workload):
+    """Floor: the same batches fed straight into the epoch manager."""
+    benchmark.extra_info["packets"] = int(workload.shape[0])
+
+    def run():
+        manager = make_manager(workload)
+        for start in range(0, workload.shape[0], BATCH):
+            manager.feed(workload[start:start + BATCH])
+        manager.close(seal_live=True)
+        return manager
+
+    manager = benchmark.pedantic(run, rounds=2, iterations=1,
+                                 warmup_rounds=0)
+    assert manager.packets_fed == workload.shape[0]
+
+
+@pytest.mark.parametrize("policy", ["block", "shed-oldest"])
+def test_service_sustained_ingest(benchmark, workload, policy):
+    """Full service path: concurrent sources, bounded queues, worker,
+    drain.  BLOCK must be lossless; SHED_OLDEST may shed but the
+    ledger must stay exact either way."""
+    benchmark.extra_info["packets"] = int(workload.shape[0])
+    benchmark.extra_info["sources"] = SOURCES
+    benchmark.extra_info["policy"] = policy
+
+    def run():
+        service = MeasurementService(
+            make_manager(workload),
+            pressure=PressureConfig(
+                policy=policy,
+                source_packets=32_768 // SOURCES,
+                global_packets=32_768))
+        return asyncio.run(service.run(
+            trace_sources(workload, SOURCES, batch=BATCH)))
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1,
+                                warmup_rounds=0)
+    assert report.conserved, report.ledger_line()
+    assert report.accepted == workload.shape[0]
+    if policy == "block":
+        assert report.shed == 0
+
+
+def test_service_degrade_sample_under_pressure(benchmark, workload):
+    """Worst-case admission path: sampling decisions on every offer
+    once the queue passes high water (tiny queue forces it)."""
+    def run():
+        service = MeasurementService(
+            make_manager(workload),
+            pressure=PressureConfig(policy="degrade-sample",
+                                    source_packets=4_096,
+                                    global_packets=4_096),
+            worker_batch=1_024)
+        return asyncio.run(service.run(
+            trace_sources(workload, SOURCES, batch=BATCH, burst=8)))
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1,
+                                warmup_rounds=0)
+    assert report.conserved, report.ledger_line()

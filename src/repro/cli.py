@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirroring how the paper's system is operated:
+Six subcommands mirroring how the paper's system is operated:
 
 * ``evaluate`` — run one sketch over a synthetic workload and print
   every supported measurement vs ground truth.
@@ -9,6 +9,10 @@ Five subcommands mirroring how the paper's system is operated:
 * ``stream``   — drive a continuous packet stream through the
   epoch-streaming runtime (zero-gap rotation, bounded retention,
   automatic heavy-change detection between adjacent epochs).
+* ``serve``    — run the asyncio measurement service over the epoch
+  runtime: concurrent sources, bounded queues with a pluggable
+  backpressure policy, graceful drain with an exact conservation
+  ledger (exit 1 on a ledger leak).
 * ``resources`` — print the Table-4 style hardware resource report
   for an FCM configuration.
 * ``telemetry-report`` — render an exported NDJSON event/span stream
@@ -19,6 +23,8 @@ Examples::
     python -m repro.cli evaluate --sketch fcm --memory-kb 64
     python -m repro.cli compare --packets 200000 --memory-kb 48
     python -m repro.cli stream --packets 60000 --epoch-packets 20000
+    python -m repro.cli serve --packets 60000 --sources 4 \
+        --policy shed-oldest --queue-packets 8192
     python -m repro.cli resources --memory-kb 1300 --k 8
     python -m repro.cli evaluate --telemetry-out run.ndjson \
         --trace-out spans.ndjson
@@ -259,6 +265,71 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import functools
+
+    from repro.runtime import EpochConfig, EpochManager
+    from repro.service import (
+        MeasurementService,
+        PressureConfig,
+        trace_sources,
+    )
+
+    trace = _build_trace(args)
+    telemetry, exporter = _open_telemetry(args)
+    manager = EpochManager(
+        functools.partial(_stream_sketch, args.memory_kb * 1024,
+                          args.seed),
+        config=EpochConfig(epoch_packets=args.epoch_packets,
+                           retention=args.retention),
+        telemetry=telemetry,
+    )
+    pressure = PressureConfig(policy=args.policy,
+                              source_packets=args.source_queue_packets,
+                              global_packets=args.queue_packets,
+                              high_water=args.high_water,
+                              seed=args.seed)
+    service = MeasurementService(manager, pressure=pressure,
+                                 telemetry=telemetry,
+                                 worker_batch=args.worker_batch,
+                                 ingest_delay=args.ingest_delay)
+    sources = trace_sources(trace.keys, args.sources, batch=args.batch,
+                            burst=args.burst)
+    print(f"workload: {len(trace)} packets, {trace.num_flows} flows "
+          f"({trace.name})")
+    print(f"service:  {args.sources} sources, policy "
+          f"{pressure.policy.value}, queue {args.queue_packets} "
+          f"(per-source {args.source_queue_packets}), "
+          f"{args.epoch_packets} packets/epoch")
+    report = asyncio.run(service.run(sources))
+    header = (f"{'epoch':>5} {'packets':>9} {'shed level':>11} "
+              f"{'sample':>7} {'reason':>8}")
+    print(header)
+    print("-" * len(header))
+    for epoch in manager.store:
+        level = report.epoch_degradation.get(epoch.index)
+        rate = service.epoch_sample_rate.get(epoch.index, 1.0)
+        print(f"{epoch.index:>5} {epoch.packets:>9} "
+              f"{(level.name if level else '-'):>11} "
+              f"{rate:>7.2f} {epoch.reason:>8}")
+    print(f"{'source':>8} {'offered':>9} {'accepted':>9} "
+          f"{'shed':>7} {'waits':>6}")
+    for name in sorted(report.per_source):
+        stats = report.per_source[name]
+        print(f"{name:>8} {stats.offered:>9} {stats.accepted:>9} "
+              f"{stats.shed:>7} {stats.waits:>6}")
+    print(report.ledger_line())
+    print(f"pressure: transitions {report.pressure_transitions}, "
+          f"queue high-water {report.queue_high_water}, "
+          f"stalls {report.stalls}, failovers {report.failovers}")
+    _close_telemetry(telemetry, exporter)
+    if not report.conserved:
+        print("error: conservation ledger violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_telemetry_report(args) -> int:
     from repro.telemetry.report import load_ndjson, render_report
 
@@ -340,6 +411,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--shards", type=int, default=None,
                           help="shard count for the engine backends")
     p_stream.set_defaults(func=cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve", help="async measurement service over the epoch "
+                      "runtime (bounded queues, backpressure, drain)")
+    add_workload_args(p_serve)
+    p_serve.add_argument("--sources", type=int, default=4,
+                         help="number of concurrent simulated sources")
+    p_serve.add_argument("--policy",
+                         choices=["block", "shed-newest", "shed-oldest",
+                                  "degrade-sample"],
+                         default="block",
+                         help="backpressure policy at admission")
+    p_serve.add_argument("--queue-packets", type=int, default=32_768,
+                         help="global queued-packet bound")
+    p_serve.add_argument("--source-queue-packets", type=int,
+                         default=8_192,
+                         help="per-source queued-packet bound")
+    p_serve.add_argument("--high-water", type=float, default=0.75,
+                         help="pressure threshold as a fraction of the "
+                              "global bound")
+    p_serve.add_argument("--epoch-packets", type=int, default=20_000,
+                         help="packets per measurement epoch")
+    p_serve.add_argument("--retention", type=int, default=8,
+                         help="sealed epochs kept in the store")
+    p_serve.add_argument("--batch", type=int, default=2_048,
+                         help="per-source submit batch size")
+    p_serve.add_argument("--burst", type=int, default=1,
+                         help="batches each source submits back-to-back "
+                              "before yielding")
+    p_serve.add_argument("--worker-batch", type=int, default=4_096,
+                         help="max packets per ingest-worker step")
+    p_serve.add_argument("--ingest-delay", type=float, default=0.0,
+                         help="artificial seconds of work per ingest "
+                              "step (slow-consumer simulation)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_res = sub.add_parser("resources", help="hardware resource report")
     p_res.add_argument("--memory-kb", type=int, default=1300)

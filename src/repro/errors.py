@@ -109,6 +109,26 @@ class EpochSnapshotUnavailableError(NetworkFaultError):
             message or f"epoch {epoch} has no vantage snapshot to query")
 
 
+class ConcurrencyError(MeasurementError, RuntimeError):
+    """Raised when :class:`~repro.runtime.epochs.EpochManager` mutation
+    (``feed`` / ``rotate`` / ``close``) is entered from a second thread
+    while another mutation is still in progress.
+
+    The epoch runtime is single-writer by design: the sealed+live
+    packet ledger is updated in several steps and a concurrent writer
+    could observe (and persist) a torn intermediate state.  Reentrant
+    calls from the *same* thread (``feed`` rotating at an epoch
+    boundary) are always allowed.
+    """
+
+
+class ServiceClosedError(MeasurementError, RuntimeError):
+    """Raised when packets are submitted to a measurement service that
+    is draining or already shut down.  Accepted packets are never
+    dropped by shutdown; packets offered *after* shutdown began are
+    refused loudly instead of being silently lost."""
+
+
 class EMDivergenceError(MeasurementError):
     """Raised when EM produces NaN/inf mass or runaway flow counts."""
 

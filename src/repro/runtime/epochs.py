@@ -33,14 +33,20 @@ apply to the sealed epoch's snapshot.
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Set
 
 import numpy as np
 
 from repro.controlplane.heavychange import HeavyChangeDetector
-from repro.errors import EpochSnapshotUnavailableError, InvalidWindowError
+from repro.errors import (
+    ConcurrencyError,
+    EpochSnapshotUnavailableError,
+    InvalidWindowError,
+)
 from repro.sketches.base import MergeableStateMixin, as_key_array
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.health import HealthStatus, SketchHealthMonitor
@@ -332,9 +338,27 @@ class EpochManager:
         self.packets_fed = 0
         self.rotations = 0
         self._epoch_started = self.clock()
+        # Single-writer guard: feed/rotate/close mutate the sealed+live
+        # ledger in several steps; a second thread interleaving would
+        # tear it.  Reentrant (RLock) so feed -> rotate at an epoch
+        # boundary still works; a *different* thread gets a
+        # ConcurrencyError instead of silently corrupting state.
+        self._write_lock = threading.RLock()
         self._live = self._new_generation(0)
 
     # -- lifecycle -----------------------------------------------------
+
+    @contextmanager
+    def _exclusive(self, operation: str):
+        if not self._write_lock.acquire(blocking=False):
+            raise ConcurrencyError(
+                f"EpochManager.{operation} entered while another thread "
+                f"is mid-feed/rotate; the epoch runtime is single-writer "
+                f"— serialize callers (e.g. one ingest worker) instead")
+        try:
+            yield
+        finally:
+            self._write_lock.release()
 
     def _vantage_factory(self) -> Callable[[], object]:
         switch = self.collector.simulator.switches[self.collector.em_switch]
@@ -369,12 +393,13 @@ class EpochManager:
         Returns the final sealed epoch (or ``None``).  The engine
         backends shut their worker pool down.
         """
-        sealed = None
-        if seal_live and self._live.packets > 0:
-            sealed = self.rotate(reason="close")
-        if self._engine is not None:
-            self._engine.close()
-        return sealed
+        with self._exclusive("close"):
+            sealed = None
+            if seal_live and self._live.packets > 0:
+                sealed = self.rotate(reason="close")
+            if self._engine is not None:
+                self._engine.close()
+            return sealed
 
     def __enter__(self) -> "EpochManager":
         return self
@@ -393,34 +418,35 @@ class EpochManager:
         ``sealed + live == fed`` holds after every call.
         """
         keys = as_key_array(keys)
-        bound = self.config.epoch_packets
-        offset = 0
-        while offset < keys.size:
-            room = keys.size - offset
-            if bound is not None:
-                room = min(room, bound - self._live.packets)
-            chunk = keys[offset:offset + room]
-            self._live.feed(chunk)
-            self.packets_fed += int(chunk.size)
-            if self.config.track_candidates and chunk.size:
-                self._live.candidates.update(
-                    int(k) for k in np.unique(chunk))
-            offset += int(chunk.size)
-            if bound is not None and self._live.packets >= bound:
-                self.rotate(reason="packet_bound")
-            elif self._saturated():
-                self.rotate(reason="saturation")
-        if self.config.epoch_seconds is not None \
-                and self.clock() - self._epoch_started \
-                >= self.config.epoch_seconds \
-                and self._live.packets > 0:
-            self.rotate(reason="time_bound")
-        t = self.telemetry
-        if t is not None:
-            t.set_gauge(f"{self.name}.live_packets",
-                        float(self._live.packets))
-            t.set_gauge(f"{self.name}.packets_fed",
-                        float(self.packets_fed))
+        with self._exclusive("feed"):
+            bound = self.config.epoch_packets
+            offset = 0
+            while offset < keys.size:
+                room = keys.size - offset
+                if bound is not None:
+                    room = min(room, bound - self._live.packets)
+                chunk = keys[offset:offset + room]
+                self._live.feed(chunk)
+                self.packets_fed += int(chunk.size)
+                if self.config.track_candidates and chunk.size:
+                    self._live.candidates.update(
+                        int(k) for k in np.unique(chunk))
+                offset += int(chunk.size)
+                if bound is not None and self._live.packets >= bound:
+                    self.rotate(reason="packet_bound")
+                elif self._saturated():
+                    self.rotate(reason="saturation")
+            if self.config.epoch_seconds is not None \
+                    and self.clock() - self._epoch_started \
+                    >= self.config.epoch_seconds \
+                    and self._live.packets > 0:
+                self.rotate(reason="time_bound")
+            t = self.telemetry
+            if t is not None:
+                t.set_gauge(f"{self.name}.live_packets",
+                            float(self._live.packets))
+                t.set_gauge(f"{self.name}.packets_fed",
+                            float(self.packets_fed))
 
     def _saturated(self) -> bool:
         """Early-rotation check: live sketch declared SATURATED."""
@@ -443,25 +469,27 @@ class EpochManager:
         remainder of a boundary-straddling batch) land in the new
         epoch rather than being dropped.
         """
-        generation = self._live
-        self._live = self._new_generation(generation.index + 1)
-        self._epoch_started = self.clock()
-        t = self.telemetry
-        with maybe_span(t, f"{self.name}.rotate", epoch=generation.index,
-                        packets=generation.packets, reason=reason):
-            sealed = self._drain(generation, reason)
-        self.store.append(sealed)
-        self.rotations += 1
-        if t is not None:
-            t.inc(f"{self.name}.rotations")
-            t.inc(f"{self.name}.sealed_packets", generation.packets)
-            t.emit("epoch", f"{self.name}.sealed",
-                   epoch=sealed.index, packets=sealed.packets,
-                   reason=reason, state_bytes=sealed.state_bytes,
-                   cardinality=sealed.cardinality,
-                   heavy_changes=len(sealed.heavy_changes),
-                   retained=len(self.store))
-        return sealed
+        with self._exclusive("rotate"):
+            generation = self._live
+            self._live = self._new_generation(generation.index + 1)
+            self._epoch_started = self.clock()
+            t = self.telemetry
+            with maybe_span(t, f"{self.name}.rotate",
+                            epoch=generation.index,
+                            packets=generation.packets, reason=reason):
+                sealed = self._drain(generation, reason)
+            self.store.append(sealed)
+            self.rotations += 1
+            if t is not None:
+                t.inc(f"{self.name}.rotations")
+                t.inc(f"{self.name}.sealed_packets", generation.packets)
+                t.emit("epoch", f"{self.name}.sealed",
+                       epoch=sealed.index, packets=sealed.packets,
+                       reason=reason, state_bytes=sealed.state_bytes,
+                       cardinality=sealed.cardinality,
+                       heavy_changes=len(sealed.heavy_changes),
+                       retained=len(self.store))
+            return sealed
 
     def _drain(self, generation, reason: str) -> SealedEpoch:
         t = self.telemetry

@@ -1,0 +1,70 @@
+"""Async measurement service over the epoch-streaming runtime.
+
+This package turns the pull-driven epoch runtime
+(:mod:`repro.runtime`) into a long-lived push service with explicit
+overload behaviour:
+
+* :mod:`repro.service.pressure` — bounded per-source + global queues
+  and the pluggable :class:`BackpressurePolicy` (``BLOCK`` /
+  ``SHED_NEWEST`` / ``SHED_OLDEST`` / ``DEGRADE_SAMPLE``).
+* :mod:`repro.service.sources` — simulated concurrent packet sources
+  (bursty, slow, disconnecting) for demos, benches and chaos tests.
+* :mod:`repro.service.service` — :class:`MeasurementService`: asyncio
+  submission, one ingest worker, a stall watchdog with direct-feed
+  failover, degradation-tagged queries.
+* :mod:`repro.service.shutdown` — the graceful-drain contract and the
+  :class:`DrainReport` conservation ledger
+  (``accepted == ingested + shed``, exactly).
+
+Quickstart::
+
+    import asyncio
+    from repro.core import FCMSketch
+    from repro.runtime import EpochConfig, EpochManager
+    from repro.service import (MeasurementService, PressureConfig,
+                               trace_sources)
+    from repro.traffic import zipf_trace
+
+    trace = zipf_trace(200_000, alpha=1.2, seed=7)
+    manager = EpochManager(lambda: FCMSketch.with_memory(256 * 1024),
+                           config=EpochConfig(epoch_packets=50_000))
+    service = MeasurementService(
+        manager, pressure=PressureConfig(policy="shed-oldest"))
+    report = asyncio.run(
+        service.run(trace_sources(trace.keys, num_sources=4)))
+    assert report.conserved
+    print(report.ledger_line())
+"""
+
+from repro.service.pressure import (
+    BackpressurePolicy,
+    OfferOutcome,
+    PressureConfig,
+    PressureState,
+    ServiceQueues,
+)
+from repro.service.service import MeasurementService, default_watchdog_policy
+from repro.service.shutdown import DrainReport
+from repro.service.sources import (
+    SimulatedSource,
+    SourceDisconnected,
+    SourceStats,
+    trace_sources,
+    zipf_sources,
+)
+
+__all__ = [
+    "BackpressurePolicy",
+    "PressureState",
+    "PressureConfig",
+    "OfferOutcome",
+    "ServiceQueues",
+    "MeasurementService",
+    "default_watchdog_policy",
+    "DrainReport",
+    "SimulatedSource",
+    "SourceDisconnected",
+    "SourceStats",
+    "trace_sources",
+    "zipf_sources",
+]

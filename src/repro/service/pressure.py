@@ -1,0 +1,380 @@
+"""Bounded admission queues and explicit backpressure policies.
+
+The measurement service buffers packets between many concurrent
+sources and one ingest worker.  Buffers are **bounded twice** — a
+per-source packet cap (one chatty source cannot starve the rest) and a
+global cap (total memory is fixed) — and what happens when a bound is
+hit is an explicit, pluggable :class:`BackpressurePolicy` rather than
+an implicit drop:
+
+* ``BLOCK`` — lossless: admission defers the overflow and the caller
+  waits for the ingest worker to make room (classic backpressure).
+* ``SHED_NEWEST`` — the incoming overflow is dropped at the door;
+  everything already queued keeps its place (favors old data).
+* ``SHED_OLDEST`` — the incoming batch is admitted and the globally
+  oldest queued packets are evicted to make room (favors fresh data,
+  the usual choice for monitoring).
+* ``DEGRADE_SAMPLE`` — above the high-water mark, incoming packets
+  are probabilistically *sampled* at a rate that falls linearly with
+  queue depth; the rate is recorded per epoch so queries over shed
+  windows can be tagged with a :class:`~repro.robustness.degradation
+  .DegradationLevel` (Count-Less-style update avoidance: degrade the
+  answer, predictably, instead of the process).
+
+Every admission decision is accounted: packets are *queued*, *shed*
+(admission drop), *evicted* (queue drop) or *deferred* (``BLOCK``
+only, not yet accepted).  The service's conservation ledger
+``accepted == ingested + shed`` is built from exactly these counts.
+
+All of this is deliberately synchronous and deterministic (sampling
+uses a seeded generator) — the asyncio layer in
+:mod:`repro.service.service` wraps it with waiting/wakeup, and the
+hypothesis state machine drives it directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidWindowError
+from repro.sketches.base import as_key_array
+
+__all__ = [
+    "BackpressurePolicy",
+    "PressureState",
+    "PressureConfig",
+    "OfferOutcome",
+    "ServiceQueues",
+]
+
+_EMPTY = np.empty(0, dtype=np.uint64)
+
+
+class BackpressurePolicy(Enum):
+    """What admission does when a queue bound is hit."""
+
+    BLOCK = "block"
+    SHED_NEWEST = "shed-newest"
+    SHED_OLDEST = "shed-oldest"
+    DEGRADE_SAMPLE = "degrade-sample"
+
+    @classmethod
+    def parse(cls, name: "BackpressurePolicy | str") -> "BackpressurePolicy":
+        """Accept an enum member or its CLI spelling (``shed-oldest``)."""
+        if isinstance(name, cls):
+            return name
+        text = str(name).strip().lower().replace("_", "-")
+        for member in cls:
+            if member.value == text:
+                return member
+        raise InvalidWindowError(
+            f"unknown backpressure policy {name!r}; choose from "
+            f"{sorted(m.value for m in cls)}")
+
+
+class PressureState(IntEnum):
+    """Queue-depth regime, ordered by severity.
+
+    ``NORMAL`` below the high-water mark, ``PRESSURE`` between
+    high-water and full, ``OVERLOAD`` at the global bound.  State
+    transitions are counted and emitted as ``pressure`` events.
+    """
+
+    NORMAL = 0
+    PRESSURE = 1
+    OVERLOAD = 2
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    """Queue bounds and shedding knobs.
+
+    Attributes:
+        policy: the :class:`BackpressurePolicy` applied at admission.
+        source_packets: per-source queued-packet cap.
+        global_packets: total queued-packet cap across all sources.
+        high_water: fraction of ``global_packets`` above which the
+            service is under ``PRESSURE`` (and ``DEGRADE_SAMPLE``
+            starts sampling).
+        sample_floor: minimum sampling rate for ``DEGRADE_SAMPLE`` —
+            even a full queue keeps this fraction of arrivals.
+        seed: seed for the sampling generator (deterministic runs).
+    """
+
+    policy: BackpressurePolicy = BackpressurePolicy.BLOCK
+    source_packets: int = 8_192
+    global_packets: int = 32_768
+    high_water: float = 0.75
+    sample_floor: float = 0.05
+    seed: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "policy",
+                           BackpressurePolicy.parse(self.policy))
+        if self.source_packets <= 0 or self.global_packets <= 0:
+            raise InvalidWindowError("queue bounds must be positive")
+        if not 0.0 < self.high_water < 1.0:
+            raise InvalidWindowError("high_water must be in (0, 1)")
+        if not 0.0 < self.sample_floor <= 1.0:
+            raise InvalidWindowError("sample_floor must be in (0, 1]")
+
+    @property
+    def high_water_packets(self) -> int:
+        return max(1, int(self.global_packets * self.high_water))
+
+
+@dataclass
+class OfferOutcome:
+    """The accounting of one admission decision.
+
+    Attributes:
+        queued: packets admitted into the queues by this offer.
+        shed: packets dropped *at the door* (``SHED_NEWEST`` overflow
+            or ``DEGRADE_SAMPLE`` sample-outs).
+        evicted: previously queued packets dropped to make room
+            (``SHED_OLDEST``).  They were accepted at their own
+            admission, so they add to the shed ledger, not accepted.
+        deferred: packets neither admitted nor dropped (``BLOCK``
+            only) — the caller must wait for room and re-offer them.
+        sample_rate: sampling rate applied (1.0 = no sampling).
+        state: pressure state *after* the offer.
+    """
+
+    queued: int = 0
+    shed: int = 0
+    evicted: int = 0
+    deferred: np.ndarray = field(default_factory=lambda: _EMPTY)
+    sample_rate: float = 1.0
+    state: PressureState = PressureState.NORMAL
+
+    @property
+    def accepted(self) -> int:
+        """Packets this offer made the service responsible for."""
+        return self.queued + self.shed
+
+
+class ServiceQueues:
+    """Bounded per-source FIFOs with one global packet budget.
+
+    Admission (:meth:`offer`) applies the configured policy; the
+    ingest worker drains round-robin across sources (:meth:`pop`) so
+    one heavy source cannot monopolize the worker.  Eviction under
+    ``SHED_OLDEST`` is in global arrival order (each enqueued batch
+    carries a sequence number), splitting batches when a partial
+    eviction suffices.
+
+    The queues gauge their own depth/high-water and count shed packets
+    on ``telemetry`` and emit one ``pressure`` event per state
+    transition; everything else (ledger, spans, health) lives in the
+    service.
+    """
+
+    def __init__(self, config: Optional[PressureConfig] = None,
+                 telemetry=None, name: str = "service"):
+        self.config = config if config is not None else PressureConfig()
+        self.telemetry = telemetry
+        self.name = name
+        self._queues: Dict[str, Deque[Tuple[int, np.ndarray]]] = {}
+        self._depths: Dict[str, int] = {}
+        self._order: List[str] = []     # round-robin pop order
+        self._rr = 0
+        self._seq = 0
+        self._rng = np.random.default_rng(self.config.seed)
+        self.depth = 0
+        self.high_water_mark = 0
+        self.shed_newest = 0
+        self.shed_oldest = 0
+        self.sampled_out = 0
+        self.pressure_transitions = 0
+        self.min_sample_rate = 1.0
+        self._state = PressureState.NORMAL
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def state(self) -> PressureState:
+        return self._state
+
+    @property
+    def shed_total(self) -> int:
+        """All packets dropped by the queues (admission + eviction)."""
+        return self.shed_newest + self.shed_oldest + self.sampled_out
+
+    def source_depth(self, source: str) -> int:
+        return self._depths.get(source, 0)
+
+    def _classify(self) -> PressureState:
+        if self.depth >= self.config.global_packets:
+            return PressureState.OVERLOAD
+        if self.depth >= self.config.high_water_packets:
+            return PressureState.PRESSURE
+        return PressureState.NORMAL
+
+    def _note_state(self) -> None:
+        state = self._classify()
+        if state is not self._state:
+            previous, self._state = self._state, state
+            self.pressure_transitions += 1
+            t = self.telemetry
+            if t is not None:
+                t.inc(f"{self.name}.pressure.transitions")
+                t.set_gauge(f"{self.name}.pressure.state",
+                            float(state.value))
+                t.emit("pressure", f"{self.name}.pressure",
+                       previous=previous.name, state=state.name,
+                       depth=self.depth,
+                       high_water=self.config.high_water_packets,
+                       capacity=self.config.global_packets)
+
+    def _gauge(self) -> None:
+        if self.depth > self.high_water_mark:
+            self.high_water_mark = self.depth
+        t = self.telemetry
+        if t is not None:
+            t.set_gauge(f"{self.name}.queue.depth", float(self.depth))
+            t.set_gauge(f"{self.name}.queue.high_water",
+                        float(self.high_water_mark))
+        self._note_state()
+
+    # -- admission -----------------------------------------------------
+
+    def _enqueue(self, source: str, keys: np.ndarray) -> None:
+        if source not in self._queues:
+            self._queues[source] = deque()
+            self._depths[source] = 0
+            self._order.append(source)
+        self._queues[source].append((self._seq, keys))
+        self._seq += 1
+        self._depths[source] += int(keys.size)
+        self.depth += int(keys.size)
+
+    def room_for(self, source: str) -> int:
+        """Packets admissible from ``source`` right now."""
+        return max(0, min(
+            self.config.source_packets - self.source_depth(source),
+            self.config.global_packets - self.depth))
+
+    def offer(self, source: str, keys) -> OfferOutcome:
+        """Apply the admission policy to one batch from ``source``."""
+        keys = as_key_array(keys)
+        outcome = OfferOutcome()
+        policy = self.config.policy
+        if keys.size == 0:
+            outcome.state = self._state
+            return outcome
+
+        if policy is BackpressurePolicy.DEGRADE_SAMPLE \
+                and self.depth >= self.config.high_water_packets:
+            span = self.config.global_packets \
+                - self.config.high_water_packets
+            headroom = self.config.global_packets - self.depth
+            rate = max(self.config.sample_floor,
+                       headroom / span if span > 0 else 0.0)
+            rate = min(rate, 1.0)
+            kept = keys[self._rng.random(keys.size) < rate]
+            outcome.sample_rate = rate
+            outcome.shed += int(keys.size - kept.size)
+            self.sampled_out += int(keys.size - kept.size)
+            self.min_sample_rate = min(self.min_sample_rate, rate)
+            keys = kept
+
+        room = self.room_for(source)
+        if policy is BackpressurePolicy.SHED_OLDEST:
+            self._enqueue(source, keys)
+            outcome.queued = int(keys.size)
+            outcome.evicted = self._evict_to_bounds(source)
+        elif int(keys.size) <= room:
+            if keys.size:
+                self._enqueue(source, keys)
+            outcome.queued = int(keys.size)
+        elif policy is BackpressurePolicy.BLOCK:
+            if room:
+                self._enqueue(source, keys[:room])
+            outcome.queued = room
+            outcome.deferred = keys[room:]
+        else:   # SHED_NEWEST, or DEGRADE_SAMPLE at the floor
+            if room:
+                self._enqueue(source, keys[:room])
+            outcome.queued = room
+            overflow = int(keys.size) - room
+            outcome.shed += overflow
+            self.shed_newest += overflow
+        self._gauge()
+        outcome.state = self._state
+        return outcome
+
+    def _evict_to_bounds(self, source: str) -> int:
+        """Drop queued packets (oldest first) until bounds hold."""
+        evicted = 0
+        # Per-source bound: evict this source's own oldest.
+        while self._depths.get(source, 0) > self.config.source_packets:
+            evicted += self._evict_one(source,
+                                       self._depths[source]
+                                       - self.config.source_packets)
+        # Global bound: evict the globally oldest batch wherever it is.
+        while self.depth > self.config.global_packets:
+            oldest = min(
+                (name for name in self._order if self._queues[name]),
+                key=lambda name: self._queues[name][0][0])
+            evicted += self._evict_one(oldest,
+                                       self.depth
+                                       - self.config.global_packets)
+        self.shed_oldest += evicted
+        return evicted
+
+    def _evict_one(self, source: str, excess: int) -> int:
+        """Drop up to ``excess`` packets from ``source``'s head batch."""
+        seq, batch = self._queues[source][0]
+        if batch.size <= excess:
+            self._queues[source].popleft()
+            dropped = int(batch.size)
+        else:
+            self._queues[source][0] = (seq, batch[excess:])
+            dropped = excess
+        self._depths[source] -= dropped
+        self.depth -= dropped
+        return dropped
+
+    # -- draining ------------------------------------------------------
+
+    def pop(self, max_packets: Optional[int] = None) -> np.ndarray:
+        """Dequeue up to ``max_packets``, round-robin across sources."""
+        if self.depth == 0:
+            return _EMPTY
+        budget = self.depth if max_packets is None \
+            else min(max_packets, self.depth)
+        taken: List[np.ndarray] = []
+        while budget > 0 and self.depth > 0:
+            source = self._order[self._rr % len(self._order)]
+            queue = self._queues[source]
+            if not queue:
+                self._rr += 1
+                continue
+            seq, batch = queue[0]
+            if batch.size <= budget:
+                queue.popleft()
+                chunk = batch
+                self._rr += 1       # full batch taken: next source
+            else:
+                queue[0] = (seq, batch[budget:])
+                chunk = batch[:budget]
+            taken.append(chunk)
+            self._depths[source] -= int(chunk.size)
+            self.depth -= int(chunk.size)
+            budget -= int(chunk.size)
+        self._gauge()
+        if not taken:
+            return _EMPTY
+        return taken[0] if len(taken) == 1 else np.concatenate(taken)
+
+    def flush(self) -> np.ndarray:
+        """Dequeue everything (failover and drain paths)."""
+        return self.pop(None)
+
+    def __len__(self) -> int:
+        return self.depth

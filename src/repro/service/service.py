@@ -1,0 +1,533 @@
+"""The asyncio measurement service over the epoch runtime.
+
+:class:`MeasurementService` turns the pull-driven
+:class:`~repro.runtime.epochs.EpochManager` into a long-lived push
+service: many concurrent sources :meth:`~MeasurementService.submit`
+packet batches, bounded queues absorb the mismatch between arrival
+rate and ingest rate under an explicit
+:class:`~repro.service.pressure.BackpressurePolicy`, one dedicated
+ingest worker feeds the manager, and
+:class:`~repro.runtime.query.StreamingQueryAPI` queries are served
+concurrently while epochs rotate underneath.
+
+Robustness is structural, not aspirational:
+
+* a **watchdog** detects a stalled ingest worker (no progress for the
+  :class:`~repro.robustness.policy.CollectionPolicy` timeout while
+  packets are queued), flushes the queue by feeding the manager
+  directly, and restarts the worker — until the policy's circuit
+  breaker opens, after which the service stays in direct-feed mode;
+* the **conservation ledger** ``accepted == ingested + shed`` is
+  updated at every admission and ingest step, held as an invariant by
+  the hypothesis state machine, and proven exactly at drain;
+* epochs that sealed while packets were being shed are tagged with a
+  :class:`~repro.robustness.degradation.DegradationLevel` (and their
+  sampling rate, under ``DEGRADE_SAMPLE``), re-assessed by the
+  :class:`~repro.telemetry.health.SketchHealthMonitor` so overload
+  visibly flips health, and surfaced on
+  :meth:`MeasurementService.query_tagged` answers.
+
+The state-mutating core (``admit`` / ``ingest_step`` / ``rotate`` /
+``drain_core``) is synchronous and deterministic; asyncio only adds
+waiting and wakeup around it.  That split is what lets the property
+tests drive random interleavings without an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ServiceClosedError
+from repro.robustness.degradation import DegradationLevel, DegradedAnswer
+from repro.robustness.policy import (
+    CircuitBreaker,
+    CollectionHealth,
+    CollectionPolicy,
+    RetryPolicy,
+)
+from repro.runtime.query import StreamingQueryAPI, parse_scope
+from repro.service.pressure import (
+    OfferOutcome,
+    PressureConfig,
+    ServiceQueues,
+)
+from repro.service.shutdown import DrainReport
+from repro.service.sources import (
+    SimulatedSource,
+    SourceDisconnected,
+    SourceStats,
+)
+from repro.sketches.base import as_key_array
+from repro.telemetry.tracing import maybe_span
+
+__all__ = ["MeasurementService", "default_watchdog_policy"]
+
+
+def default_watchdog_policy() -> CollectionPolicy:
+    """Watchdog defaults: a 250 ms stall threshold, two worker
+    restarts before the breaker opens and the service goes direct."""
+    return CollectionPolicy(
+        timeout=0.25,
+        retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+        breaker_threshold=2,
+        breaker_cooldown=4,
+    )
+
+
+class MeasurementService:
+    """Async front end: bounded admission, one ingest worker, queries.
+
+    Args:
+        manager: the :class:`~repro.runtime.epochs.EpochManager` fed by
+            the ingest worker (single-writer: only the service mutates
+            it once the service owns it).
+        pressure: queue bounds + backpressure policy
+            (:class:`~repro.service.pressure.PressureConfig`).
+        watchdog: stall detection knobs as a
+            :class:`~repro.robustness.policy.CollectionPolicy` —
+            ``timeout`` is the no-progress threshold (real seconds),
+            ``breaker_threshold``/``breaker_cooldown`` drive the
+            worker-restart circuit breaker.
+        telemetry: optional registry; the service gauges queue depth /
+            high-water / ledger counts, counts shed and pressure
+            transitions, and opens ``<name>.failover`` /
+            ``<name>.drain`` spans.
+        health_monitor: optional
+            :class:`~repro.telemetry.health.SketchHealthMonitor`;
+            epochs sealed under shedding are re-assessed with the shed
+            count as ``CollectionHealth.packets_dropped``, flipping
+            their health status.
+        worker_batch: max packets per ingest-worker step.
+        ingest_delay: artificial seconds of work per worker step
+            (chaos knob: a slow consumer).
+        ingest_fault: optional awaitable factory invoked before each
+            worker step (chaos knob: an awaitable that never resolves
+            models a stalled worker for the watchdog to catch).
+        clock: monotonic clock for stall detection (injectable).
+        name: metric/span prefix.
+    """
+
+    def __init__(self, manager,
+                 pressure: Optional[PressureConfig] = None,
+                 watchdog: Optional[CollectionPolicy] = None,
+                 telemetry=None,
+                 health_monitor=None,
+                 worker_batch: int = 4_096,
+                 ingest_delay: float = 0.0,
+                 ingest_fault: Optional[Callable[[], Awaitable[None]]]
+                 = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "service"):
+        self.manager = manager
+        self.pressure_config = pressure if pressure is not None \
+            else PressureConfig()
+        self.watchdog_policy = watchdog if watchdog is not None \
+            else default_watchdog_policy()
+        self.telemetry = telemetry
+        self.health_monitor = health_monitor
+        self.worker_batch = int(worker_batch)
+        self.ingest_delay = float(ingest_delay)
+        self.ingest_fault = ingest_fault
+        self.clock = clock
+        self.name = name
+        self.queues = ServiceQueues(self.pressure_config,
+                                    telemetry=telemetry, name=name)
+        self.api = StreamingQueryAPI(manager)
+        self.sources: Dict[str, SourceStats] = {}
+        self.accepted = 0
+        self.ingested = 0
+        self.stalls = 0
+        self.failovers = 0
+        self.direct = False
+        self.epoch_degradation: Dict[int, DegradationLevel] = {}
+        self.epoch_sample_rate: Dict[int, float] = {}
+        self._pending_shed = 0
+        self._pending_rate = 1.0
+        self._next_tag = manager.rotations
+        self._breaker = CircuitBreaker(
+            self.watchdog_policy.breaker_threshold,
+            self.watchdog_policy.breaker_cooldown)
+        self._last_progress = clock()
+        self._closing = False
+        self._closed = False
+        self._cond = asyncio.Condition()
+        self._worker_task: Optional[asyncio.Task] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+
+    # -- ledger --------------------------------------------------------
+
+    @property
+    def shed(self) -> int:
+        """Total packets dropped (admission + eviction + sampling)."""
+        return self.queues.shed_total
+
+    @property
+    def in_flight(self) -> int:
+        """Accepted packets not yet ingested (still queued)."""
+        return self.queues.depth
+
+    def _stats(self, source: str) -> SourceStats:
+        stats = self.sources.get(source)
+        if stats is None:
+            stats = self.sources[source] = SourceStats(source)
+        return stats
+
+    def _export_ledger(self) -> None:
+        t = self.telemetry
+        if t is not None:
+            t.set_gauge(f"{self.name}.ledger.accepted",
+                        float(self.accepted))
+            t.set_gauge(f"{self.name}.ledger.ingested",
+                        float(self.ingested))
+            t.set_gauge(f"{self.name}.ledger.shed", float(self.shed))
+
+    # -- synchronous core (driven directly by the property tests) ------
+
+    def admit(self, source: str, keys) -> OfferOutcome:
+        """Apply the backpressure policy to one batch; update ledger.
+
+        Returns the :class:`~repro.service.pressure.OfferOutcome`;
+        ``outcome.deferred`` (``BLOCK`` only) was *not* accepted and
+        must be re-offered once there is room.
+        """
+        if self._closing:
+            raise ServiceClosedError(
+                f"service {self.name!r} is draining; submit refused")
+        stats = self._stats(source)
+        outcome = self.queues.offer(source, keys)
+        self.accepted += outcome.accepted
+        stats.accepted += outcome.accepted
+        stats.shed += outcome.shed
+        self._pending_shed += outcome.shed + outcome.evicted
+        self._pending_rate = min(self._pending_rate,
+                                 outcome.sample_rate)
+        t = self.telemetry
+        if t is not None:
+            if outcome.accepted:
+                t.inc(f"{self.name}.accepted", outcome.accepted)
+            if outcome.shed + outcome.evicted:
+                t.inc(f"{self.name}.shed",
+                      outcome.shed + outcome.evicted)
+            self._export_ledger()
+        return outcome
+
+    def ingest_step(self, max_packets: Optional[int] = None) \
+            -> np.ndarray:
+        """Dequeue one round-robin slice and feed the epoch manager.
+
+        Returns the keys actually fed (the property tests build their
+        ingested oracle from it).
+        """
+        keys = self.queues.pop(self.worker_batch
+                               if max_packets is None else max_packets)
+        if keys.size:
+            self._feed(keys)
+        return keys
+
+    def _feed(self, keys: np.ndarray) -> None:
+        self.manager.feed(keys)
+        self.ingested += int(keys.size)
+        self._last_progress = self.clock()
+        t = self.telemetry
+        if t is not None:
+            t.inc(f"{self.name}.ingested", int(keys.size))
+            self._export_ledger()
+        self._observe_sealed()
+
+    def _feed_direct(self, source: str, keys: np.ndarray) -> None:
+        """Failover path: accept and ingest in one step, no queue."""
+        n = int(keys.size)
+        self.accepted += n
+        self._stats(source).accepted += n
+        if n:
+            self._feed(keys)
+
+    def rotate(self, reason: str = "manual"):
+        """Seal the live epoch through the service (keeps tags fresh)."""
+        sealed = self.manager.rotate(reason=reason)
+        self._observe_sealed()
+        return sealed
+
+    def flush_queued(self) -> int:
+        """Feed everything queued straight into the manager (failover
+        and drain path; bypasses the worker)."""
+        keys = self.queues.flush()
+        if keys.size:
+            self._feed(keys)
+        return int(keys.size)
+
+    # -- epoch degradation tagging ------------------------------------
+
+    def _observe_sealed(self) -> None:
+        """Tag epochs sealed since the last look.
+
+        Shed packets are attributed to the epoch that was live when
+        they were dropped; when one feed seals several epochs at once,
+        the accumulated shed is attributed to the earliest of them
+        (documented approximation — per-packet attribution does not
+        exist for packets that were never ingested).
+        """
+        manager = self.manager
+        while self._next_tag < manager.rotations:
+            index = self._next_tag
+            self._next_tag += 1
+            shed_here, self._pending_shed = self._pending_shed, 0
+            rate_here, self._pending_rate = self._pending_rate, 1.0
+            sealed = next((e for e in manager.store
+                           if e.index == index), None)
+            packets = sealed.packets if sealed is not None else 0
+            if shed_here == 0:
+                level = DegradationLevel.FULL
+            else:
+                level = DegradationLevel.from_coverage(
+                    packets, packets + shed_here)
+            self.epoch_degradation[index] = level
+            self.epoch_sample_rate[index] = rate_here
+            if sealed is not None and shed_here \
+                    and self.health_monitor is not None:
+                sealed.health = self._assess_shed_epoch(
+                    sealed, index, shed_here)
+            t = self.telemetry
+            if t is not None:
+                t.emit("service-epoch", f"{self.name}.epoch",
+                       epoch=index, packets=packets, shed=shed_here,
+                       degradation=level.name, sample_rate=rate_here)
+
+    def _assess_shed_epoch(self, sealed, index: int, shed: int):
+        record = CollectionHealth(
+            window_index=index, switches_total=1,
+            switches_reached=[self.name], packets_dropped=shed)
+        try:
+            sketch = sealed.sketch()
+        except Exception:
+            sketch = None
+        try:
+            return self.health_monitor.assess(
+                sketch, window_index=index, collection_health=record)
+        except AttributeError:
+            # Non-FCM sketch: assess on the collection record alone.
+            return self.health_monitor.assess(
+                None, window_index=index, collection_health=record)
+
+    # -- tagged queries ------------------------------------------------
+
+    def query_tagged(self, key: int, scope="all") -> DegradedAnswer:
+        """A scoped flow-size estimate tagged with the worst
+        :class:`DegradationLevel` among the epochs it covers."""
+        value = self.api.query(key, scope=scope)
+        levels = [self.epoch_degradation.get(e.index,
+                                             DegradationLevel.FULL)
+                  for e in self.api.epochs(scope)]
+        kind, _ = parse_scope(scope)
+        if kind in ("live", "all"):
+            levels.append(self._live_degradation())
+        level = max(levels, default=DegradationLevel.FULL)
+        return DegradedAnswer(value=value, level=level,
+                              switches_used=(self.name,))
+
+    def _live_degradation(self) -> DegradationLevel:
+        if self._pending_shed == 0:
+            return DegradationLevel.FULL
+        live = self.manager.live_packets + self.queues.depth
+        return DegradationLevel.from_coverage(
+            live, live + self._pending_shed)
+
+    # -- async layer ---------------------------------------------------
+
+    async def submit(self, source: str, keys) -> None:
+        """Offer one batch from ``source``; under ``BLOCK`` this waits
+        for queue room (true backpressure) instead of dropping."""
+        if self._closing:
+            raise ServiceClosedError(
+                f"service {self.name!r} is draining; submit refused")
+        keys = as_key_array(keys)
+        stats = self._stats(source)
+        stats.offered += int(keys.size)
+        stats.batches += 1
+        if self.direct:
+            self._feed_direct(source, keys)
+            return
+        remaining = keys
+        while True:
+            outcome = self.admit(source, remaining)
+            if outcome.queued:
+                async with self._cond:
+                    self._cond.notify_all()
+            remaining = outcome.deferred
+            if remaining.size == 0:
+                return
+            stats.waits += 1
+            async with self._cond:
+                await self._cond.wait_for(
+                    lambda: self._closing or self.direct
+                    or self.queues.room_for(source) > 0)
+            if self._closing:
+                # The remainder was never accepted; refuse it loudly.
+                raise ServiceClosedError(
+                    f"service {self.name!r} began draining while "
+                    f"source {source!r} was blocked; "
+                    f"{int(remaining.size)} deferred packet(s) refused")
+            if self.direct:
+                self._feed_direct(source, remaining)
+                return
+
+    async def start(self) -> None:
+        """Spawn the ingest worker and the stall watchdog."""
+        if self._worker_task is None:
+            self._worker_task = asyncio.create_task(
+                self._ingest_worker(), name=f"{self.name}-worker")
+        if self._watchdog_task is None:
+            self._watchdog_task = asyncio.create_task(
+                self._watchdog(), name=f"{self.name}-watchdog")
+
+    async def _ingest_worker(self) -> None:
+        while True:
+            async with self._cond:
+                await self._cond.wait_for(
+                    lambda: self.queues.depth > 0 or self._closing)
+                if self.queues.depth == 0 and self._closing:
+                    return
+            if self.ingest_fault is not None:
+                await self.ingest_fault()
+            if self.ingest_delay > 0:
+                await asyncio.sleep(self.ingest_delay)
+            self.ingest_step(self.worker_batch)
+            async with self._cond:
+                self._cond.notify_all()
+            await asyncio.sleep(0)
+
+    async def _watchdog(self) -> None:
+        """Detect a stalled worker and fail over to direct feeding."""
+        timeout = self.watchdog_policy.timeout
+        interval = max(timeout / 4.0, 0.01)
+        while not self._closed:
+            await asyncio.sleep(interval)
+            if self.direct or self.queues.depth == 0:
+                continue
+            if self.clock() - self._last_progress > timeout:
+                await self._handle_stall()
+
+    async def _handle_stall(self) -> None:
+        self.stalls += 1
+        t = self.telemetry
+        if t is not None:
+            t.inc(f"{self.name}.stalls")
+            t.emit("stall", f"{self.name}.stall", stall=self.stalls,
+                   queued=self.queues.depth,
+                   timeout=self.watchdog_policy.timeout)
+        if self._worker_task is not None:
+            self._worker_task.cancel()
+            await asyncio.gather(self._worker_task,
+                                 return_exceptions=True)
+            self._worker_task = None
+        self._breaker.record_failure("ingest-worker", self.stalls)
+        with maybe_span(t, f"{self.name}.failover", stall=self.stalls,
+                        queued=self.queues.depth):
+            self.flush_queued()
+        self.failovers += 1
+        if self._breaker.allows("ingest-worker", self.stalls + 1):
+            self._last_progress = self.clock()
+            self._worker_task = asyncio.create_task(
+                self._ingest_worker(), name=f"{self.name}-worker")
+        else:
+            self.direct = True
+            if t is not None:
+                t.emit("failover", f"{self.name}.direct_mode",
+                       stalls=self.stalls,
+                       reason="ingest-worker breaker open")
+        async with self._cond:
+            self._cond.notify_all()
+
+    # -- shutdown ------------------------------------------------------
+
+    def _build_report(self) -> DrainReport:
+        queues = self.queues
+        return DrainReport(
+            accepted=self.accepted,
+            ingested=self.ingested,
+            shed=self.shed,
+            shed_newest=queues.shed_newest,
+            shed_oldest=queues.shed_oldest,
+            sampled_out=queues.sampled_out,
+            sealed_epochs=self.manager.rotations,
+            retained_epochs=len(self.manager.store),
+            live_packets=self.manager.live_packets + queues.depth,
+            stalls=self.stalls,
+            failovers=self.failovers,
+            pressure_transitions=queues.pressure_transitions,
+            queue_high_water=queues.high_water_mark,
+            min_sample_rate=queues.min_sample_rate,
+            per_source=dict(self.sources),
+            epoch_degradation=dict(self.epoch_degradation),
+        )
+
+    def drain_core(self) -> DrainReport:
+        """Synchronous drain: flush, seal the live epoch, prove the
+        ledger.  The async :meth:`drain` funnels into this after
+        stopping the tasks; the property tests call it directly."""
+        self._closing = True
+        t = self.telemetry
+        with maybe_span(t, f"{self.name}.drain",
+                        queued=self.queues.depth,
+                        live=self.manager.live_packets):
+            self.flush_queued()
+            self.manager.close(seal_live=True)
+            self._observe_sealed()
+        self._closed = True
+        report = self._build_report()
+        self._export_ledger()
+        if t is not None:
+            t.emit("drain", f"{self.name}.drain",
+                   **report.event_fields())
+        return report
+
+    async def drain(self) -> DrainReport:
+        """Graceful shutdown: close the door, let the worker finish
+        the backlog (bounded wait), fail over if it is stuck, seal the
+        live epoch and return the exact conservation ledger."""
+        self._closing = True
+        async with self._cond:
+            self._cond.notify_all()
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            await asyncio.gather(self._watchdog_task,
+                                 return_exceptions=True)
+            self._watchdog_task = None
+        if self._worker_task is not None:
+            grace = max(self.watchdog_policy.timeout * 2.0, 0.1)
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._worker_task), timeout=grace)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._worker_task.cancel()
+                await asyncio.gather(self._worker_task,
+                                     return_exceptions=True)
+                self.stalls += 1
+            self._worker_task = None
+        report = self.drain_core()
+        async with self._cond:
+            self._cond.notify_all()   # wake any straggler producers
+        return report
+
+    async def run(self, sources: Iterable[SimulatedSource],
+                  raise_source_errors: bool = True) -> DrainReport:
+        """Convenience harness: start, run every source to completion,
+        drain.  Source disconnects (:class:`SourceDisconnected`) and
+        shutdown refusals are tolerated — the fleet keeps going and
+        the ledger stays exact; other source exceptions re-raise after
+        the drain unless ``raise_source_errors=False``."""
+        await self.start()
+        results = await asyncio.gather(
+            *(source.run(self) for source in sources),
+            return_exceptions=True)
+        report = await self.drain()
+        if raise_source_errors:
+            for result in results:
+                if isinstance(result, BaseException) and not isinstance(
+                        result, (SourceDisconnected, ServiceClosedError)):
+                    raise result
+        return report

@@ -1,0 +1,108 @@
+"""Graceful drain: stop intake, flush, seal, prove conservation.
+
+Shutdown of a measurement service follows one contract:
+
+1. **Close the door** — new :meth:`~repro.service.service
+   .MeasurementService.submit` calls raise
+   :class:`~repro.errors.ServiceClosedError`; producers parked by the
+   ``BLOCK`` policy are woken and their still-deferred packets are
+   refused the same way (they were never accepted, so the ledger does
+   not owe them).
+2. **Flush** — the ingest worker drains every queued packet into the
+   :class:`~repro.runtime.epochs.EpochManager`.  If the worker is
+   stalled (the watchdog's failure mode), the drain cancels it and
+   feeds the manager directly — queued packets survive a dead worker.
+3. **Seal** — the live epoch is rotated out (``reason="close"``), so
+   every ingested packet ends up in a sealed, immutable snapshot.
+4. **Prove** — the :class:`DrainReport` carries the conservation
+   ledger ``accepted == ingested + shed`` (exact, or the report says
+   ``conserved=False`` loudly) and the full ledger is exported as
+   telemetry gauges plus one ``drain`` event.
+
+Nothing is lost silently: every accepted packet is either in a sealed
+epoch (ingested) or in the shed counters with an attributed epoch-level
+:class:`~repro.robustness.degradation.DegradationLevel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.robustness.degradation import DegradationLevel
+from repro.service.sources import SourceStats
+
+__all__ = ["DrainReport"]
+
+
+@dataclass
+class DrainReport:
+    """The service's final accounting, returned by ``drain()``.
+
+    The load-bearing invariant is :attr:`conserved`:
+    ``accepted == ingested + shed``, with ``shed`` split into its three
+    causes.  ``sealed_epochs`` counts every rotation over the service's
+    lifetime (retention may have evicted old *snapshots*, but their
+    packets were counted when sealed — the ledger covers them);
+    ``live_packets`` is always 0 after a drain because the final seal
+    rotates the live epoch out.
+    """
+
+    accepted: int = 0
+    ingested: int = 0
+    shed: int = 0
+    shed_newest: int = 0
+    shed_oldest: int = 0
+    sampled_out: int = 0
+    sealed_epochs: int = 0
+    retained_epochs: int = 0
+    live_packets: int = 0
+    stalls: int = 0
+    failovers: int = 0
+    pressure_transitions: int = 0
+    queue_high_water: int = 0
+    min_sample_rate: float = 1.0
+    per_source: Dict[str, SourceStats] = field(default_factory=dict)
+    epoch_degradation: Dict[int, DegradationLevel] = \
+        field(default_factory=dict)
+
+    @property
+    def conserved(self) -> bool:
+        """Exact conservation: every accepted packet is accounted."""
+        return self.accepted == self.ingested + self.shed \
+            and self.live_packets == 0
+
+    @property
+    def degraded_epochs(self) -> Dict[int, DegradationLevel]:
+        """Epochs whose answers should be consumed with care."""
+        return {index: level
+                for index, level in sorted(self.epoch_degradation.items())
+                if level is not DegradationLevel.FULL}
+
+    def ledger_line(self) -> str:
+        """One-line human ledger (greppable by the smoke targets)."""
+        verdict = "conserved" if self.conserved else "LEAK"
+        return (f"ledger: accepted {self.accepted} == ingested "
+                f"{self.ingested} + shed {self.shed} "
+                f"(newest {self.shed_newest} / oldest {self.shed_oldest}"
+                f" / sampled {self.sampled_out}) [{verdict}]")
+
+    def event_fields(self) -> Dict[str, object]:
+        """Flat payload for the terminal ``drain`` telemetry event."""
+        return {
+            "accepted": self.accepted,
+            "ingested": self.ingested,
+            "shed": self.shed,
+            "shed_newest": self.shed_newest,
+            "shed_oldest": self.shed_oldest,
+            "sampled_out": self.sampled_out,
+            "conserved": self.conserved,
+            "sealed_epochs": self.sealed_epochs,
+            "retained_epochs": self.retained_epochs,
+            "stalls": self.stalls,
+            "failovers": self.failovers,
+            "pressure_transitions": self.pressure_transitions,
+            "queue_high_water": self.queue_high_water,
+            "min_sample_rate": self.min_sample_rate,
+            "degraded_epochs": sorted(self.degraded_epochs),
+        }

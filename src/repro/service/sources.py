@@ -1,0 +1,161 @@
+"""Simulated concurrent packet sources for the measurement service.
+
+A *source* is anything that pushes key batches into a
+:class:`~repro.service.service.MeasurementService` from its own asyncio
+task — standing in for the paper's many monitored vantage points (and
+the roadmap's "millions of users").  :class:`SimulatedSource` replays a
+pre-materialized batch list, optionally in bursts (several batches
+submitted back-to-back before yielding the event loop) and optionally
+*disconnecting* mid-stream (raising after N batches, like a monitored
+host vanishing) — the chaos suite drives all three behaviours.
+
+Helpers split one trace across sources (:func:`trace_sources`) or
+synthesize per-source Zipf traffic (:func:`zipf_sources`), so demos
+and benches build realistic concurrent workloads in one line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import InvalidWindowError
+from repro.sketches.base import as_key_array
+
+__all__ = [
+    "SourceDisconnected",
+    "SourceStats",
+    "SimulatedSource",
+    "trace_sources",
+    "zipf_sources",
+]
+
+
+class SourceDisconnected(ConnectionError):
+    """Raised by a :class:`SimulatedSource` configured to drop its
+    connection mid-stream (``disconnect_after``).  The service must
+    survive it: already-accepted packets stay in the ledger, the rest
+    of the fleet keeps feeding."""
+
+    def __init__(self, source: str, batches_sent: int):
+        self.source = source
+        self.batches_sent = batches_sent
+        super().__init__(
+            f"source {source!r} disconnected after "
+            f"{batches_sent} batch(es)")
+
+
+@dataclass
+class SourceStats:
+    """Per-source admission accounting, kept by the service.
+
+    ``offered`` counts every packet the source pushed; ``accepted`` the
+    packets the service took responsibility for (equal to ``offered``
+    except for packets still deferred when a ``BLOCK`` submit was
+    interrupted); ``shed`` this source's admission drops; ``waits`` how
+    many times a ``BLOCK`` submit had to park for queue room.
+    """
+
+    name: str
+    offered: int = 0
+    accepted: int = 0
+    shed: int = 0
+    batches: int = 0
+    waits: int = 0
+
+    def event_fields(self) -> Dict[str, object]:
+        return {"source": self.name, "offered": self.offered,
+                "accepted": self.accepted, "shed": self.shed,
+                "batches": self.batches, "waits": self.waits}
+
+
+@dataclass
+class SimulatedSource:
+    """A scripted packet source.
+
+    Attributes:
+        name: source id (queue key and stats key).
+        batches: key batches to submit, in order.
+        burst: batches submitted back-to-back before yielding the
+            event loop (1 = cooperative; larger values model bursty
+            senders that monopolize admission).
+        delay: ``asyncio.sleep`` between bursts (0 = just yield) —
+            models a slow sender.
+        disconnect_after: raise :class:`SourceDisconnected` after this
+            many batches (``None`` = run to completion).
+    """
+
+    name: str
+    batches: List[np.ndarray]
+    burst: int = 1
+    delay: float = 0.0
+    disconnect_after: Optional[int] = None
+    sent_batches: int = field(default=0, init=False)
+    sent_packets: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.burst < 1:
+            raise InvalidWindowError("burst must be >= 1")
+        self.batches = [as_key_array(b) for b in self.batches]
+
+    @property
+    def total_packets(self) -> int:
+        return int(sum(b.size for b in self.batches))
+
+    async def run(self, service) -> int:
+        """Push every batch into ``service``; returns packets sent."""
+        for i, batch in enumerate(self.batches):
+            if self.disconnect_after is not None \
+                    and self.sent_batches >= self.disconnect_after:
+                raise SourceDisconnected(self.name, self.sent_batches)
+            await service.submit(self.name, batch)
+            self.sent_batches += 1
+            self.sent_packets += int(batch.size)
+            if (i + 1) % self.burst == 0:
+                if self.delay > 0:
+                    await asyncio.sleep(self.delay)
+                else:
+                    await asyncio.sleep(0)
+        return self.sent_packets
+
+
+def _split_batches(keys: np.ndarray, batch: int) -> List[np.ndarray]:
+    return [keys[start:start + batch]
+            for start in range(0, int(keys.size), batch)]
+
+
+def trace_sources(keys, num_sources: int, batch: int = 2_048,
+                  burst: int = 1, prefix: str = "src") -> \
+        List[SimulatedSource]:
+    """Split one packet stream across ``num_sources`` interleaved
+    sources (round-robin over batches, so all sources are active
+    throughout the trace and epochs mix traffic from everyone)."""
+    if num_sources <= 0:
+        raise InvalidWindowError("num_sources must be positive")
+    if batch <= 0:
+        raise InvalidWindowError("batch must be positive")
+    keys = as_key_array(keys)
+    batches = _split_batches(keys, batch)
+    sources = []
+    for s in range(num_sources):
+        own = batches[s::num_sources]
+        sources.append(SimulatedSource(f"{prefix}{s}", own, burst=burst))
+    return sources
+
+
+def zipf_sources(num_sources: int, packets_each: int, alpha: float = 1.3,
+                 batch: int = 2_048, seed: int = 1,
+                 prefix: str = "src") -> List[SimulatedSource]:
+    """Independent Zipf(α) sources over disjoint seeds (shared key
+    universe, so heavy flows recur across sources)."""
+    from repro.traffic import zipf_trace
+
+    sources = []
+    for s in range(num_sources):
+        trace = zipf_trace(packets_each, alpha=alpha, seed=seed + s)
+        sources.append(SimulatedSource(
+            f"{prefix}{s}", _split_batches(trace.keys, batch)))
+    return sources

@@ -78,6 +78,16 @@ def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
             "codec_state_bytes": 40_000,
             "codec_bytes_per_flow": 80.0,
         },
+        "service": {
+            "packets": packets,
+            "sources": 4,
+            "policy": "block",
+            "seconds": packets / ingest_pps,
+            "ingest_pps": ingest_pps,
+            "sealed_epochs": 4,
+            "shed": 0,
+            "conserved": True,
+        },
     }
 
 
@@ -93,6 +103,7 @@ class TestFlattenMetrics:
             "parallel.sharded_ingest_pps",
             "parallel.speedup_vs_packet_loop",
             "parallel.codec_bytes_per_flow",
+            "service.ingest_pps",
         }
         assert flat["em.seconds_per_iter"] == pytest.approx(0.05 / 5)
 

@@ -422,3 +422,72 @@ class TestStreamCLI:
                          "--memory-kb", "32", "--seed", "4"]) == 0
             runs.append(capsys.readouterr().out)
         assert runs[0] == runs[1]
+
+
+class _BlockingSketch(FCMSketch):
+    """FCM sketch whose ``ingest`` parks on an event — lets a test
+    hold a ``feed`` open from another thread."""
+
+    entered = None
+    release = None
+
+    def ingest(self, keys):
+        if self.entered is not None:
+            self.entered.set()
+            assert self.release.wait(timeout=10)
+        super().ingest(keys)
+
+
+class TestSingleWriter:
+    """The runtime is single-writer: concurrent mutation fails loudly
+    with ``ConcurrencyError`` instead of corrupting the ledger."""
+
+    def test_rotate_during_concurrent_feed_raises(self):
+        import threading
+
+        from repro.errors import ConcurrencyError
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def factory():
+            sketch = _BlockingSketch.with_memory(MEMORY, seed=5)
+            sketch.entered = entered
+            sketch.release = release
+            return sketch
+
+        manager = EpochManager(factory)
+        worker = threading.Thread(
+            target=manager.feed,
+            args=(np.arange(10, dtype=np.uint64),))
+        worker.start()
+        try:
+            assert entered.wait(timeout=10)
+            with pytest.raises(ConcurrencyError):
+                manager.rotate()
+            with pytest.raises(ConcurrencyError):
+                manager.feed(np.arange(5, dtype=np.uint64))
+        finally:
+            release.set()
+            worker.join(timeout=10)
+        assert not worker.is_alive()
+        # Once the writer finishes, the runtime works again and the
+        # blocked attempts changed nothing.
+        sealed = manager.rotate()
+        assert sealed.packets == 10
+        assert manager.packets_fed == 10
+
+    def test_concurrency_error_is_measurement_error(self):
+        from repro.errors import ConcurrencyError
+
+        assert issubclass(ConcurrencyError, MeasurementError)
+        assert issubclass(ConcurrencyError, RuntimeError)
+
+    def test_same_thread_reentry_allowed(self):
+        """Boundary rotations run *inside* feed (same thread) — the
+        guard must be reentrant, not a plain mutex."""
+        manager = EpochManager(
+            make_sketch, config=EpochConfig(epoch_packets=8))
+        manager.feed(np.arange(20, dtype=np.uint64))   # rotates twice
+        assert manager.rotations == 2
+        assert manager.packets_fed == 20

@@ -1,0 +1,415 @@
+"""Measurement-service tests: policies, watchdog failover, drain.
+
+The acceptance criterion of the service layer is exercised directly
+here: the graceful-shutdown drain passes under **every** backpressure
+policy and under an injected ingest stall — the live epoch is sealed,
+zero accepted-and-ingested packets are lost, and the conservation
+ledger ``accepted == ingested + shed`` is exact and exported through
+telemetry.
+
+No pytest-asyncio in the toolchain: every async scenario runs through
+``asyncio.run`` inside a plain sync test, with a hard ``wait_for``
+lid so a hung event loop fails instead of hanging the suite.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch
+from repro.errors import ServiceClosedError
+from repro.robustness import DegradationLevel
+from repro.robustness.policy import CollectionPolicy, RetryPolicy
+from repro.runtime import EpochConfig, EpochManager
+from repro.service import (
+    BackpressurePolicy,
+    MeasurementService,
+    PressureConfig,
+    SimulatedSource,
+    trace_sources,
+)
+from repro.telemetry import MemoryExporter, MetricsRegistry
+from repro.traffic import zipf_trace
+
+POLICIES = [p.value for p in BackpressurePolicy]
+
+LID = 30.0     # hard per-scenario wall-clock lid (hung-loop guard)
+
+
+def run_async(coro):
+    async def lidded():
+        return await asyncio.wait_for(coro, timeout=LID)
+    return asyncio.run(lidded())
+
+
+def make_manager(epoch_packets=8_000, retention=64, telemetry=None):
+    return EpochManager(lambda: FCMSketch.with_memory(64 * 1024),
+                        config=EpochConfig(epoch_packets=epoch_packets,
+                                           retention=retention),
+                        telemetry=telemetry)
+
+
+def make_service(policy="block", *, epoch_packets=8_000,
+                 source_packets=2_048, global_packets=4_096,
+                 telemetry=None, **kwargs):
+    manager = make_manager(epoch_packets=epoch_packets,
+                           telemetry=telemetry)
+    pressure = PressureConfig(policy=policy,
+                              source_packets=source_packets,
+                              global_packets=global_packets)
+    return MeasurementService(manager, pressure=pressure,
+                              telemetry=telemetry, **kwargs)
+
+
+def small_trace(packets=30_000, seed=7):
+    return zipf_trace(packets, alpha=1.2, seed=seed)
+
+
+async def stall_forever():
+    await asyncio.Event().wait()
+
+
+def tight_watchdog(threshold=2):
+    """Real but small timeouts so stall tests finish in well under LID."""
+    return CollectionPolicy(timeout=0.05,
+                            retry=RetryPolicy(max_attempts=1,
+                                              base_delay=0.0),
+                            breaker_threshold=threshold,
+                            breaker_cooldown=100)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_drain_conserves_under_policy(self, policy):
+        trace = small_trace()
+        service = make_service(policy, worker_batch=1_024)
+        report = run_async(service.run(
+            trace_sources(trace.keys, num_sources=4, batch=997)))
+        assert report.conserved, report.ledger_line()
+        assert report.accepted == len(trace)
+        assert report.live_packets == 0
+        # Every ingested packet reached a sealed epoch.
+        assert service.manager.packets_fed == report.ingested
+        assert sum(e.packets for e in service.manager.store) \
+            == report.ingested
+
+    def test_block_is_lossless(self):
+        trace = small_trace()
+        service = make_service("block", worker_batch=512,
+                               source_packets=512, global_packets=1_024)
+        report = run_async(service.run(
+            trace_sources(trace.keys, num_sources=3, batch=499)))
+        assert report.conserved
+        assert report.shed == 0
+        assert report.ingested == len(trace)
+        assert report.degraded_epochs == {}
+
+    def test_shedding_policies_shed_under_pressure(self):
+        keys = np.arange(40_000, dtype=np.uint64) % 1_000
+        for policy, counter in (("shed-newest", "shed_newest"),
+                                ("shed-oldest", "shed_oldest"),
+                                ("degrade-sample", "sampled_out")):
+            service = make_service(policy, worker_batch=256,
+                                   source_packets=2_048,
+                                   global_packets=2_048)
+            # One giant burst with a tiny worker batch forces pressure.
+            src = SimulatedSource("burst", [keys[i:i + 1_000]
+                                            for i in range(0, 40_000,
+                                                           1_000)],
+                                  burst=40)
+            report = run_async(service.run([src]))
+            assert report.conserved, (policy, report.ledger_line())
+            assert report.shed > 0, policy
+            assert getattr(report, counter) > 0, policy
+            assert report.pressure_transitions > 0, policy
+            assert report.queue_high_water >= 2_048 * 3 // 4, policy
+
+    def test_degrade_sample_records_rate_and_tags_epochs(self):
+        keys = np.zeros(30_000, dtype=np.uint64)
+        service = make_service("degrade-sample", epoch_packets=4_000,
+                               worker_batch=256, source_packets=2_048,
+                               global_packets=2_048)
+        src = SimulatedSource("hose", [keys[i:i + 1_500]
+                                       for i in range(0, 30_000, 1_500)],
+                              burst=20)
+        report = run_async(service.run([src]))
+        assert report.conserved
+        assert report.sampled_out > 0
+        assert report.min_sample_rate < 1.0
+        assert report.min_sample_rate \
+            >= service.pressure_config.sample_floor
+        assert report.degraded_epochs    # at least one epoch tagged
+        for level in report.degraded_epochs.values():
+            assert level in (DegradationLevel.DEGRADED,
+                             DegradationLevel.CRITICAL)
+
+    def test_degrade_sample_is_deterministic(self):
+        keys = np.arange(20_000, dtype=np.uint64) % 97
+
+        def one_run():
+            service = make_service("degrade-sample", worker_batch=128,
+                                   source_packets=1_024,
+                                   global_packets=1_024)
+            src = SimulatedSource("s", [keys[i:i + 640]
+                                        for i in range(0, 20_000, 640)],
+                                  burst=100)
+            report = run_async(service.run([src]))
+            return (report.accepted, report.ingested, report.shed,
+                    report.sampled_out, report.min_sample_rate)
+
+        assert one_run() == one_run()
+
+
+class TestWatchdog:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_drain_exact_under_ingest_stall(self, policy):
+        """The acceptance criterion: drain stays exact under every
+        policy with the ingest worker hard-stalled."""
+        trace = small_trace(20_000)
+        service = make_service(policy, worker_batch=1_024,
+                               watchdog=tight_watchdog(),
+                               ingest_fault=stall_forever)
+        sources = trace_sources(trace.keys, num_sources=3, batch=997)
+        for source in sources:
+            source.delay = 0.02    # keep feeding past the stall window
+        report = run_async(service.run(sources))
+        assert report.conserved, (policy, report.ledger_line())
+        assert report.stalls >= 1
+        assert report.failovers >= 1
+        assert report.live_packets == 0
+        assert service.manager.packets_fed == report.ingested
+        assert sum(e.packets for e in service.manager.store) \
+            == report.ingested
+
+    def test_breaker_opens_into_direct_mode(self):
+        keys = np.arange(12_000, dtype=np.uint64) % 300
+        exporter = MemoryExporter()
+        telemetry = MetricsRegistry(exporter=exporter)
+        service = make_service("block", worker_batch=512,
+                               watchdog=tight_watchdog(threshold=2),
+                               ingest_fault=stall_forever,
+                               telemetry=telemetry)
+        report = run_async(service.run(
+            trace_sources(keys, num_sources=2, batch=500)))
+        assert report.conserved
+        assert report.stalls >= 2
+        assert service.direct       # breaker open: permanent failover
+        assert report.ingested == keys.size    # direct feed lost nothing
+        kinds = {e.kind for e in exporter.events}
+        assert "stall" in kinds and "failover" in kinds
+        span_names = {e.name for e in exporter.events
+                      if e.kind == "span"}
+        assert "service.failover" in span_names
+
+    def test_single_stall_restarts_worker(self):
+        """One stall with a generous breaker: the worker is restarted
+        and finishes the job itself (no permanent direct mode)."""
+        fired = False
+
+        async def stall_once():
+            nonlocal fired
+            if not fired:
+                fired = True
+                await asyncio.Event().wait()
+
+        keys = np.arange(6_000, dtype=np.uint64) % 100
+        service = make_service("block", worker_batch=512,
+                               watchdog=tight_watchdog(threshold=5),
+                               ingest_fault=stall_once)
+        report = run_async(service.run(
+            trace_sources(keys, num_sources=2, batch=500)))
+        assert report.conserved
+        assert report.stalls == 1
+        assert not service.direct
+
+
+class TestShutdown:
+    def test_submit_after_drain_refused(self):
+        async def scenario():
+            service = make_service("block")
+            await service.start()
+            await service.submit("a", np.arange(100, dtype=np.uint64))
+            await service.drain()
+            with pytest.raises(ServiceClosedError):
+                await service.submit("a", np.arange(5, dtype=np.uint64))
+
+        run_async(scenario())
+
+    def test_blocked_producer_refused_at_drain(self):
+        """A producer parked by BLOCK is woken at drain; its deferred
+        packets were never accepted, so the ledger stays exact."""
+        async def scenario():
+            service = make_service("block", source_packets=256,
+                                   global_packets=256)
+            # No worker: the queue can only fill up.
+            big = np.arange(1_000, dtype=np.uint64)
+            submit = asyncio.create_task(service.submit("a", big))
+            await asyncio.sleep(0.01)
+            assert not submit.done()       # parked on queue room
+            report = await service.drain()
+            with pytest.raises(ServiceClosedError):
+                await submit
+            assert report.conserved
+            assert report.accepted == 256   # only what fit was accepted
+            assert report.ingested == 256
+            assert service.sources["a"].waits >= 1
+
+        run_async(scenario())
+
+    def test_drain_seals_live_epoch(self):
+        async def scenario():
+            service = make_service("block", epoch_packets=1_000_000)
+            await service.start()
+            await service.submit("a", np.arange(500, dtype=np.uint64))
+            report = await service.drain()
+            assert report.sealed_epochs == 1
+            assert report.retained_epochs == 1
+            store = service.manager.store
+            assert store[0].packets == 500
+            assert store[0].reason == "close"
+            return report
+
+        report = run_async(scenario())
+        assert report.conserved
+
+    def test_ledger_exported_via_telemetry(self):
+        exporter = MemoryExporter()
+        telemetry = MetricsRegistry(exporter=exporter)
+        trace = small_trace(10_000)
+        service = make_service("shed-oldest", worker_batch=512,
+                               source_packets=1_024,
+                               global_packets=1_024,
+                               telemetry=telemetry)
+        report = run_async(service.run(
+            trace_sources(trace.keys, num_sources=2, batch=500)))
+        snap = telemetry.snapshot()
+        assert snap["service.ledger.accepted"] == float(report.accepted)
+        assert snap["service.ledger.ingested"] == float(report.ingested)
+        assert snap["service.ledger.shed"] == float(report.shed)
+        assert snap["service.queue.high_water"] \
+            == float(report.queue_high_water)
+        drains = [e for e in exporter.events if e.kind == "drain"]
+        assert len(drains) == 1
+        assert drains[0].fields["conserved"] is True
+        assert drains[0].fields["accepted"] == report.accepted
+        span_names = {e.name for e in exporter.events
+                      if e.kind == "span"}
+        assert "service.drain" in span_names
+
+    def test_overload_flips_health_monitor(self):
+        from repro.telemetry import HealthStatus, SketchHealthMonitor
+
+        monitor = SketchHealthMonitor()
+        keys = np.zeros(20_000, dtype=np.uint64)
+        service = make_service("shed-newest", epoch_packets=2_000,
+                               worker_batch=128, source_packets=1_024,
+                               global_packets=1_024,
+                               health_monitor=monitor)
+        src = SimulatedSource("hose", [keys[i:i + 1_000]
+                                       for i in range(0, 20_000, 1_000)],
+                              burst=20)
+        report = run_async(service.run([src]))
+        assert report.conserved
+        assert report.degraded_epochs
+        shedding = [e for e in service.manager.store
+                    if e.health is not None
+                    and e.index in report.degraded_epochs]
+        assert shedding
+        assert any(e.health.status >= HealthStatus.DEGRADED
+                   for e in shedding)
+
+
+class TestQueries:
+    def test_tagged_query_full_and_no_underestimate(self):
+        trace = small_trace(20_000)
+        service = make_service("block", worker_batch=1_024)
+        run_async(service.run(
+            trace_sources(trace.keys, num_sources=3, batch=997)))
+        truth = trace.ground_truth.flow_sizes
+        for key in list(truth.keys())[:50]:
+            answer = service.query_tagged(int(key), scope="all")
+            assert answer.level is DegradationLevel.FULL
+            assert answer.value >= truth[key]
+
+    def test_tagged_query_degrades_over_shed_epochs(self):
+        keys = np.zeros(20_000, dtype=np.uint64)
+        service = make_service("shed-newest", epoch_packets=2_000,
+                               worker_batch=128, source_packets=512,
+                               global_packets=512)
+        src = SimulatedSource("hose", [keys[i:i + 1_000]
+                                       for i in range(0, 20_000, 1_000)],
+                              burst=20)
+        report = run_async(service.run([src]))
+        assert report.degraded_epochs
+        tagged = service.query_tagged(0, scope="all")
+        assert tagged.level >= DegradationLevel.DEGRADED
+        # A scope over clean epochs only reports FULL.
+        clean = [idx for idx, lvl in report.epoch_degradation.items()
+                 if lvl is DegradationLevel.FULL]
+        if clean:
+            assert service.query_tagged(0, scope="live").level \
+                is DegradationLevel.FULL
+
+    def test_queries_serve_while_rotating(self):
+        """Tagged queries issued concurrently with ingest/rotation
+        always answer and never underestimate the final total."""
+        async def scenario():
+            service = make_service("block", epoch_packets=2_000,
+                                   worker_batch=512)
+            key = 42
+            keys = np.full(12_000, key, dtype=np.uint64)
+            answers = []
+
+            async def prober():
+                while service.in_flight or not service.manager.rotations:
+                    answers.append(
+                        service.query_tagged(key, scope="all").value)
+                    await asyncio.sleep(0)
+
+            await service.start()
+            probe = asyncio.create_task(prober())
+            for src in trace_sources(keys, num_sources=2, batch=500):
+                await src.run(service)
+            report = await service.drain()
+            await probe
+            return service, report, answers
+
+        service, report, answers = run_async(scenario())
+        assert report.conserved
+        assert answers                        # probes actually ran
+        assert answers == sorted(answers)     # monotone accumulation
+        assert service.query_tagged(42, scope="all").value >= 12_000
+
+
+class TestServeCLI:
+    def test_serve_subcommand(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "serve.ndjson"
+        assert main(["serve", "--packets", "12000", "--sources", "3",
+                     "--policy", "shed-oldest",
+                     "--queue-packets", "2048",
+                     "--source-queue-packets", "1024",
+                     "--epoch-packets", "4000",
+                     "--worker-batch", "512", "--memory-kb", "32",
+                     "--telemetry-out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "ledger: accepted 12000" in captured
+        assert "[conserved]" in captured
+        assert "pressure:" in captured
+        text = out.read_text()
+        assert '"name":"service.drain"' in text
+
+    def test_serve_block_policy_lossless(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--packets", "9000", "--sources", "2",
+                     "--policy", "block", "--queue-packets", "1024",
+                     "--source-queue-packets", "512",
+                     "--epoch-packets", "3000",
+                     "--worker-batch", "256", "--memory-kb", "32",
+                     "--workload", "zipf"]) == 0
+        captured = capsys.readouterr().out
+        assert "ledger: accepted 9000 == ingested 9000 + shed 0" \
+            in captured

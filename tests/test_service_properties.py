@@ -1,0 +1,196 @@
+"""Stateful property tests for the measurement service's sync core.
+
+A :class:`hypothesis.stateful.RuleBasedStateMachine` drives a
+:class:`~repro.service.MeasurementService` through random
+interleavings of source admissions (random sources, batch sizes and
+backpressure policies are drawn per machine), ingest-worker steps,
+forced rotations, watchdog-style direct flushes and the final drain,
+shadowed by an exact oracle of the keys the service *actually*
+ingested (built from :meth:`ingest_step`'s return value, so the
+oracle never guesses what a shedding policy dropped).
+
+Invariants, after every rule:
+
+* **conservation** — ``accepted == ingested + shed + queued`` while
+  running, and ``accepted == ingested + shed`` exactly (with zero
+  live/queued packets) after the drain;
+* **no underestimate** — a scoped ``"all"`` query is >= the oracle's
+  exact count of ingested packets for that flow (retention is set
+  high enough that no sealed epoch is evicted mid-run);
+* **runtime agreement** — the manager's own zero-gap ledger sees
+  exactly the packets the service claims to have ingested;
+* **tagging totals** — per-epoch degradation tags exist for every
+  sealed epoch and shed packets are attributed to exactly one epoch.
+
+The service core is deliberately synchronous (asyncio only wraps it),
+which is what lets hypothesis explore interleavings no event-loop
+schedule would produce — including admissions racing rotations and
+drains with packets still queued.
+"""
+
+import functools
+from collections import Counter
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import FCMSketch
+from repro.robustness import DegradationLevel
+from repro.runtime import EpochConfig, EpochManager
+from repro.service import (
+    BackpressurePolicy,
+    MeasurementService,
+    PressureConfig,
+)
+
+#: High retention: the "all" scope must cover every sealed epoch for
+#: the no-underestimate oracle to be exact.
+RETENTION = 64
+
+KEYS = st.integers(min_value=1, max_value=48)
+SOURCES = st.sampled_from(["s0", "s1", "s2"])
+
+FACTORY = functools.partial(FCMSketch.with_memory, 8 * 1024, seed=11)
+
+
+class MeasurementServiceMachine(RuleBasedStateMachine):
+    @initialize(policy=st.sampled_from(list(BackpressurePolicy)),
+                source_cap=st.integers(min_value=8, max_value=64),
+                global_cap=st.integers(min_value=16, max_value=128),
+                epoch_packets=st.integers(min_value=16, max_value=200))
+    def setup(self, policy, source_cap, global_cap, epoch_packets):
+        manager = EpochManager(
+            FACTORY, config=EpochConfig(epoch_packets=epoch_packets,
+                                        retention=RETENTION))
+        self.service = MeasurementService(
+            manager,
+            pressure=PressureConfig(policy=policy,
+                                    source_packets=source_cap,
+                                    global_packets=global_cap),
+            worker_batch=32)
+        self.ingested_oracle = Counter()   # exact: from ingest_step()
+        self.drained = False
+
+    # -- rules ---------------------------------------------------------
+
+    @precondition(lambda self: not self.drained)
+    @rule(source=SOURCES, batch=st.lists(KEYS, max_size=40))
+    def admit(self, source, batch):
+        keys = np.asarray(batch, dtype=np.uint64)
+        outcome = self.service.admit(source, keys)
+        # BLOCK defers what does not fit; deferred packets were never
+        # accepted, so the machine (standing in for a parked producer
+        # that gave up) simply drops them — conservation must hold.
+        assert outcome.accepted + outcome.deferred.size == keys.size
+        assert outcome.queued + outcome.shed == outcome.accepted
+
+    @precondition(lambda self: not self.drained)
+    @rule(max_packets=st.integers(min_value=1, max_value=64))
+    def ingest_step(self, max_packets):
+        fed = self.service.ingest_step(max_packets)
+        self.ingested_oracle.update(int(k) for k in fed)
+
+    @precondition(lambda self: not self.drained)
+    @rule()
+    def rotate(self):
+        if self.service.manager.live_packets > 0:
+            self.service.rotate(reason="machine")
+
+    @precondition(lambda self: not self.drained)
+    @rule()
+    def watchdog_flush(self):
+        """The failover path: feed everything queued directly."""
+        before = self.service.queues.depth
+        snapshot = [(seq, batch.copy())
+                    for q in self.service.queues._queues.values()
+                    for (seq, batch) in q]
+        flushed = self.service.flush_queued()
+        assert flushed == before
+        for _, batch in snapshot:
+            self.ingested_oracle.update(int(k) for k in batch)
+
+    @precondition(lambda self: not self.drained)
+    @rule(key=KEYS)
+    def query_all(self, key):
+        assert self.service.query_tagged(key, scope="all").value \
+            >= self.ingested_oracle[key]
+
+    @precondition(lambda self: not self.drained)
+    @rule()
+    def drain(self):
+        queued = [(seq, batch.copy())
+                  for q in self.service.queues._queues.values()
+                  for (seq, batch) in q]
+        report = self.service.drain_core()
+        for _, batch in queued:
+            self.ingested_oracle.update(int(k) for k in batch)
+        self.drained = True
+        self.report = report
+        assert report.conserved, report.ledger_line()
+        assert report.live_packets == 0
+        assert report.ingested == sum(self.ingested_oracle.values())
+        # Every sealed epoch carries a degradation tag and sampling
+        # rate; tags beyond FULL only exist where packets were shed.
+        tags = self.service.epoch_degradation
+        assert sorted(tags) == list(range(report.sealed_epochs))
+        if report.shed == 0:
+            assert all(level is DegradationLevel.FULL
+                       for level in tags.values())
+
+    @precondition(lambda self: self.drained)
+    @rule(key=KEYS)
+    def query_after_drain(self, key):
+        """The sealed history stays queryable after shutdown."""
+        answer = self.service.query_tagged(key, scope="all")
+        assert answer.value >= self.ingested_oracle[key]
+        assert self.report.conserved
+
+    # -- invariants ----------------------------------------------------
+
+    @invariant()
+    def conservation(self):
+        service = getattr(self, "service", None)
+        if service is None:
+            return
+        assert service.accepted == service.ingested + service.shed \
+            + service.queues.depth
+
+    @invariant()
+    def runtime_agrees(self):
+        service = getattr(self, "service", None)
+        if service is None:
+            return
+        assert service.manager.packets_fed == service.ingested
+        assert sum(e.packets for e in service.manager.store) \
+            + service.manager.live_packets == service.ingested
+
+    @invariant()
+    def never_underestimates_ingested(self):
+        service = getattr(self, "service", None)
+        if service is None or self.drained:
+            return
+        # Spot-check the heaviest oracle flow (full sweeps per step
+        # would dominate runtime).
+        if self.ingested_oracle:
+            key, exact = self.ingested_oracle.most_common(1)[0]
+            assert service.query_tagged(key, scope="all").value >= exact
+
+    def teardown(self):
+        service = getattr(self, "service", None)
+        if service is not None and not self.drained:
+            report = service.drain_core()
+            assert report.conserved, report.ledger_line()
+
+
+MeasurementServiceMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+
+TestMeasurementService = MeasurementServiceMachine.TestCase
