@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-baseline bench-compare \
-	bench-parallel report examples stream-smoke serve-smoke clean
+.PHONY: install test chaos test-batch-equivalence bench bench-baseline \
+	bench-compare bench-parallel report examples stream-smoke \
+	serve-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +20,17 @@ chaos:
 
 test-examples:
 	REPRO_RUN_EXAMPLES=1 $(PYTHON) -m pytest tests/test_examples.py
+
+# Batch-conflict-resolution equivalence: the differential suite (fixed
+# adversarial batch shapes) plus the hypothesis property suite
+# (searched batches) that pin every sketch's declared ingest contract
+# — exact or relaxed — bit-for-bit against the scalar update loop.
+# Pinned hash + hypothesis seeds keep failures reproducible; the
+# timeout turns a hung shrink into a failure instead of a stuck job.
+test-batch-equivalence:
+	PYTHONHASHSEED=0 timeout 600 $(PYTHON) -m pytest \
+		tests/test_differential.py tests/test_batching_properties.py \
+		-q -m "not chaos" --hypothesis-seed=0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -4,7 +4,11 @@ Writes a single machine-readable record (``BENCH_throughput.json`` at
 the repo root by default) capturing:
 
 * bulk-ingest and point-query throughput (packets / keys per second)
-  for every CLI-exposed sketch of interest,
+  for every CLI-exposed sketch of interest — all sketches now run the
+  vectorized batch path, and the order-dependent ones (CU, Elastic,
+  FCM+TopK, HashPipe, Cold Filter) additionally report their
+  ``batch_fallback_fraction``: the share of packets that had to take
+  the scalar conflict-resolution path inside ``ingest``,
 * the cost of the telemetry hooks on ``FCMSketch.ingest`` — both the
   *disabled* path (``telemetry=None``, must stay within noise of the
   raw tree loop) and the *enabled* path (registry + in-memory
@@ -56,7 +60,13 @@ import numpy as np
 from repro.controlplane.distribution import estimate_distribution
 from repro.core import FCMSketch, FCMTopK
 from repro.engine import ShardedIngestEngine
-from repro.sketches import CountMinSketch, CUSketch, ElasticSketch
+from repro.sketches import (
+    ColdFilterSketch,
+    CountMinSketch,
+    CUSketch,
+    ElasticSketch,
+    HashPipe,
+)
 from repro.telemetry import MemoryExporter, MetricsRegistry
 from repro.traffic import caida_like_trace
 
@@ -88,12 +98,13 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "sharded_ingest_pps": 0.60,
     "speedup_vs_packet_loop": 0.60,
     "codec_bytes_per_flow": 0.10,
+    "batch_fallback_fraction": 0.10,
 }
 
 #: Metrics where a *larger* fresh value is the regression direction.
 LOWER_IS_BETTER_SUFFIXES = (
     "disabled_over_raw", "enabled_over_disabled", "seconds_per_iter",
-    "codec_bytes_per_flow",
+    "codec_bytes_per_flow", "batch_fallback_fraction",
 )
 
 #: Metrics that scale with the packet budget; --compare skips them
@@ -108,14 +119,20 @@ QUERY_KEYS = 5_000
 FACTORIES: Dict[str, Callable] = {
     "fcm": lambda t=None: FCMSketch.with_memory(MEMORY, seed=1, telemetry=t),
     "cm": lambda t=None: CountMinSketch(MEMORY, seed=1),
-    "cu": lambda t=None: CUSketch(MEMORY, seed=1),
-    "elastic": lambda t=None: ElasticSketch(MEMORY, seed=1),
+    "cu": lambda t=None: CUSketch(MEMORY, seed=1, telemetry=t),
+    "elastic": lambda t=None: ElasticSketch(MEMORY, seed=1, telemetry=t),
     "fcm_topk": lambda t=None: FCMTopK(MEMORY, seed=1, telemetry=t),
+    "coldfilter": lambda t=None: ColdFilterSketch(MEMORY, seed=1,
+                                                  telemetry=t),
+    "hashpipe": lambda t=None: HashPipe(MEMORY, seed=1, telemetry=t),
 }
 
-#: Sketches with vectorized ingest get the full packet budget; the
-#: per-packet Python loops get a fraction so the run stays short.
-VECTORIZED = {"fcm", "cm"}
+#: Sketches with vectorized ingest get the full packet budget; any
+#: per-packet Python loop would get a fraction so the run stays short.
+#: Every sketch in the zoo now ships a vectorized batch path (the
+#: order-dependent ones via batch conflict resolution), so the set
+#: covers all of them.
+VECTORIZED = frozenset(FACTORIES)
 SLOW_FRACTION = 4
 
 #: Disabled-telemetry overhead budget on FCMSketch.ingest (ISSUE
@@ -154,8 +171,22 @@ def measure_sketches(keys: np.ndarray, query_keys: np.ndarray,
             "query_seconds": query_s,
             "query_kps": query_keys.shape[0] / query_s,
         }
+        # Untimed instrumented pass: the batch-conflict-resolution
+        # sketches publish the share of packets that took the scalar
+        # fallback path — a gauge the compare gate watches so the
+        # vectorized fraction cannot silently erode.
+        registry = MetricsRegistry()
+        probe = FACTORIES[name](registry)
+        probe.ingest(packets)
+        fraction = registry.snapshot().get(
+            f"{name}.ingest.batch_fallback_fraction")
+        extra = ""
+        if fraction is not None:
+            results[name]["batch_fallback_fraction"] = float(fraction)
+            extra = f"   fallback {float(fraction):.4f}"
         print(f"  {name:<10} ingest {results[name]['ingest_pps']:>12,.0f} "
-              f"pps   query {results[name]['query_kps']:>12,.0f} kps")
+              f"pps   query {results[name]['query_kps']:>12,.0f} kps"
+              f"{extra}")
     return results
 
 
@@ -389,6 +420,12 @@ def validate_record(record: dict) -> list:
             value = entry.get(field)
             if not isinstance(value, (int, float)) or value <= 0:
                 errors.append(f"sketches.{name}.{field} not positive")
+        fraction = entry.get("batch_fallback_fraction")
+        if fraction is not None and not (
+                isinstance(fraction, (int, float))
+                and 0.0 <= fraction <= 1.0):
+            errors.append(f"sketches.{name}.batch_fallback_fraction "
+                          "outside [0, 1]")
     overhead = record.get("telemetry_overhead", {})
     for field in ("ingest_seconds_raw", "ingest_seconds_disabled",
                   "ingest_seconds_enabled", "disabled_over_raw",
@@ -444,6 +481,9 @@ def flatten_metrics(record: dict) -> Dict[str, float]:
         entry = record["sketches"][name]
         out[f"{name}.ingest_pps"] = float(entry["ingest_pps"])
         out[f"{name}.query_kps"] = float(entry["query_kps"])
+        if "batch_fallback_fraction" in entry:
+            out[f"{name}.batch_fallback_fraction"] = float(
+                entry["batch_fallback_fraction"])
     overhead = record.get("telemetry_overhead", {})
     for field in ("disabled_over_raw", "enabled_over_disabled"):
         if field in overhead:
@@ -500,7 +540,14 @@ def compare_records(baseline: dict, fresh: dict,
         ratio = current / base if base else float("inf")
         lower_better = metric.endswith(LOWER_IS_BETTER_SUFFIXES)
         if lower_better:
-            regressed = current > base * (1.0 + tol)
+            if base == 0:
+                # A zero baseline (e.g. a sketch whose batch fallback
+                # never fires on the bench trace) makes the
+                # multiplicative bound vacuous; treat the tolerance as
+                # an absolute ceiling instead.
+                regressed = current > tol
+            else:
+                regressed = current > base * (1.0 + tol)
         else:
             regressed = current < base * (1.0 - tol)
         verdict = "REGRESSION" if regressed else "ok"

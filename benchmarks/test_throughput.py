@@ -14,7 +14,13 @@ import numpy as np
 import pytest
 
 from repro.core import FCMSketch, FCMTopK
-from repro.sketches import CountMinSketch, CUSketch, ElasticSketch
+from repro.sketches import (
+    ColdFilterSketch,
+    CountMinSketch,
+    CUSketch,
+    ElasticSketch,
+    HashPipe,
+)
 
 from benchmarks.common import caida_trace
 
@@ -37,9 +43,14 @@ FACTORIES = {
     "cu": lambda: CUSketch(MEMORY, seed=1),
     "fcm_topk": lambda: FCMTopK(MEMORY, seed=1),
     "elastic": lambda: ElasticSketch(MEMORY, seed=1),
+    "coldfilter": lambda: ColdFilterSketch(MEMORY, seed=1),
+    "hashpipe": lambda: HashPipe(MEMORY, seed=1),
 }
 
-VECTORIZED = {"fcm", "cm"}
+#: Every sketch ships a vectorized batch path now — the additive ones
+#: via bincount scatter, the order-dependent ones via batch conflict
+#: resolution (see ``repro.sketches.batching``).
+VECTORIZED = set(FACTORIES)
 
 
 @pytest.mark.parametrize("name", sorted(FACTORIES))

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+import repro.sketches.batching as batching
 from repro.core.config import FCMConfig
 from repro.core.fcm import FCMSketch
 from repro.hashing.family import hash_families
@@ -118,6 +119,118 @@ class TopKFilter:
         # Rejected by every level: the packet goes to the sketch.
         on_miss(key, 1)
 
+    def slot_matrix(self, keys: np.ndarray) -> np.ndarray:
+        """Per-level slots for many keys at once (rows: keys)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        out = np.empty((keys.shape[0], self.levels), dtype=np.int64)
+        for level, h in enumerate(self._hashes):
+            out[:, level] = h.index(keys, self.entries_per_level)
+        return out
+
+    def insert_run(self, key: int, count: int,
+                   on_miss: Callable[[int, int], None],
+                   slots: Optional[List[int]] = None) -> int:
+        """Process ``count`` consecutive packets of ``key`` at once.
+
+        Bit-identical to ``count`` calls of :meth:`insert` (same table
+        state, same ``on_miss`` totals per flow): instead of walking the
+        levels per packet, the run is advanced between *eviction
+        events*.  Within a phase, each blocking level ``l`` (occupied
+        by another key before the run's current settle level) evicts on
+        run-packet ``t_l = max(1, λ·vote+ − vote−)``; the first event
+        is at ``j* = min t_l``, so packets ``1..j*−1`` settle in bulk,
+        packet ``j*`` evicts at the shallowest triggering level (which
+        becomes the new, strictly shallower settle level), and the
+        phase repeats — at most ``levels`` events per run.
+
+        Returns the number of packets that took the vote/evict slow
+        path (0 when the run settled straight into an empty or matching
+        bucket — the telemetry fallback measure).
+        """
+        if count <= 0:
+            return 0
+        key = int(key)
+        if slots is None:
+            slots = [self._slot(level, key) for level in range(self.levels)]
+        # Fast path: the run settles straight into level 0 (empty slot
+        # or same key) — the common case on realistic traffic.
+        table = self._tables[0]
+        bucket = table.get(slots[0])
+        if bucket is None:
+            table[slots[0]] = _Bucket(key=key, positive_votes=count,
+                                      negative_votes=0, flagged=False)
+            return 0
+        if bucket.key == key:
+            bucket.positive_votes += count
+            return 0
+        blocking: List[_Bucket] = []
+        settle_level = self.levels  # rejected by every level
+        settle: Optional[_Bucket] = None
+        for level in range(self.levels):
+            bucket = self._tables[level].get(slots[level])
+            if bucket is None or bucket.key == key:
+                settle_level = level
+                settle = bucket
+                break
+            blocking.append(bucket)
+        fallback = count if blocking else 0
+        remaining = count
+        lam = self.lambda_ratio
+        while remaining > 0:
+            if blocking:
+                thresholds = [max(1, lam * b.positive_votes
+                                  - b.negative_votes) for b in blocking]
+                jstar = min(thresholds)
+            else:
+                jstar = remaining + 1
+            if remaining < jstar:
+                # No eviction: every remaining packet passes all
+                # blocking levels and settles (or misses outright).
+                for bucket in blocking:
+                    bucket.negative_votes += remaining
+                if settle_level >= self.levels:
+                    on_miss(key, remaining)
+                elif settle is None:
+                    self._tables[settle_level][slots[settle_level]] = _Bucket(
+                        key=key, positive_votes=remaining,
+                        negative_votes=0, flagged=False)
+                else:
+                    settle.positive_votes += remaining
+                return fallback
+            # Eviction event: packet j* evicts at the shallowest
+            # triggering level; packets 1..j*−1 settled normally first.
+            evict_at = thresholds.index(jstar)
+            for i, bucket in enumerate(blocking):
+                if i < evict_at:
+                    bucket.negative_votes += jstar
+                elif i > evict_at:
+                    bucket.negative_votes += jstar - 1
+            if jstar > 1:
+                if settle_level >= self.levels:
+                    on_miss(key, jstar - 1)
+                elif settle is None:
+                    settle = _Bucket(key=key, positive_votes=jstar - 1,
+                                     negative_votes=0, flagged=False)
+                    self._tables[settle_level][slots[settle_level]] = settle
+                else:
+                    settle.positive_votes += jstar - 1
+            incumbent = blocking[evict_at]
+            if self.migrate_on_evict:
+                on_miss(incumbent.key, incumbent.positive_votes)
+                new_bucket = _Bucket(key=key, positive_votes=1,
+                                     negative_votes=1, flagged=True)
+            else:
+                new_bucket = _Bucket(key=key,
+                                     positive_votes=incumbent.positive_votes + 1,
+                                     negative_votes=1,
+                                     flagged=incumbent.flagged)
+            self._tables[evict_at][slots[evict_at]] = new_bucket
+            settle_level = evict_at
+            settle = new_bucket
+            blocking = blocking[:evict_at]
+            remaining -= jstar
+        return fallback
+
     def lookup(self, key: int) -> Optional[Tuple[int, bool]]:
         """Return ``(count, flagged)`` if the key is resident."""
         for level in range(self.levels):
@@ -199,6 +312,23 @@ class FCMTopK(FrequencySketch):
     """
 
     STATE_KIND = "fcm_topk"
+    INGEST_CONTRACT = batching.RELAXED
+    INGEST_GUARANTEES = (batching.REORDER_EQUIVALENT,
+                         batching.NO_UNDERESTIMATE)
+    INGEST_REPLAY_ORDER = batching.HEAVY_ORDER
+    INGEST_RELAXATION = (
+        "per-flow run replay in heavy-first order: the batch is "
+        "collapsed to per-flow totals, flows visited in descending "
+        "count order (heavy flows install their buckets with full "
+        "vote mass before lighter flows can contest them), and each "
+        "flow's packets are driven through the Top-K filter as one "
+        "closed-form run (TopKFilter.insert_run); filter misses are "
+        "flushed to the order-independent FCM backing sketch in one "
+        "vectorized pass — bit-identical to the scalar update loop "
+        "over the heavy-first flow-grouped reordering of the batch, "
+        "and in migrate mode never below the true count (hardware "
+        "mode re-attributes evicted counts by design, under any "
+        "packet order)")
     UNMERGEABLE_REASON = (
         "the Top-K filter's vote-based eviction is order-dependent: "
         "which flows are resident and how much of their count spilled "
@@ -238,6 +368,12 @@ class FCMTopK(FrequencySketch):
         self.fcm = FCMSketch(config, telemetry=telemetry,
                              name=f"{name}.fcm")
         self.hardware = hardware
+        if hardware:
+            # Hardware eviction re-attributes the incumbent's count to
+            # the new key, so evicted flows can be underestimated —
+            # under any packet order.  The instance drops the tag the
+            # migrate-mode class declares.
+            self.INGEST_GUARANTEES = (batching.REORDER_EQUIVALENT,)
         self.seed = seed
         self._telemetry = telemetry
         self._tname = name
@@ -257,18 +393,45 @@ class FCMTopK(FrequencySketch):
         self.fcm.update(key, count)
 
     def ingest(self, keys: np.ndarray) -> None:
-        """Per-packet loop: the Top-K filter is order-dependent."""
-        keys = np.asarray(keys, dtype=np.uint64)
+        """Per-flow run replay through the Top-K filter.
+
+        The batch is collapsed to per-flow totals in heavy-first
+        (descending-count) order and each flow is driven through the
+        filter as one closed-form run (:meth:`TopKFilter.insert_run`,
+        bit-identical to that many consecutive ``insert`` calls).
+        Heavy flows install their buckets with full vote mass before
+        lighter flows can contest them — the residency the filter is
+        designed to converge to.  Everything the filter rejects or
+        evicts is buffered and flushed to the backing FCM — which is
+        order-independent — in one vectorized ``ingest_weighted``
+        pass, so the combined state matches the scalar loop over the
+        heavy-first flow-grouped reordering of the batch exactly.
+        """
+        keys = batching.require_key_batch(keys, "FCMTopK.ingest")
+        packets = int(keys.shape[0])
         t = self._telemetry
-        insert = self.topk.insert
-        to_sketch = self._to_sketch
-        with maybe_span(t, f"{self._tname}.ingest",
-                        packets=int(keys.size)):
-            for key in keys:
-                insert(int(key), to_sketch)
-        if t is not None:
-            t.inc(f"{self._tname}.ingest.calls")
-            t.inc(f"{self._tname}.ingest.packets", int(keys.size))
+        fallback = 0
+        with maybe_span(t, f"{self._tname}.ingest", packets=packets):
+            if packets:
+                uniq, counts = batching.aggregate_batch(
+                    keys, order=batching.HEAVY_ORDER)
+                slot_rows = self.topk.slot_matrix(uniq).tolist()
+                miss_keys: List[int] = []
+                miss_counts: List[int] = []
+
+                def buffer_miss(key: int, count: int) -> None:
+                    miss_keys.append(key)
+                    miss_counts.append(count)
+
+                insert_run = self.topk.insert_run
+                for key, count, slots in zip(uniq.tolist(),
+                                             counts.tolist(), slot_rows):
+                    fallback += insert_run(key, count, buffer_miss, slots)
+                if miss_keys:
+                    self.fcm.ingest_weighted(
+                        np.asarray(miss_keys, dtype=np.uint64),
+                        np.asarray(miss_counts, dtype=np.int64))
+        batching.record_batch_telemetry(t, self._tname, packets, fallback)
 
     def query(self, key: int) -> int:
         """Top-K count plus the sketch residue when flagged (§6)."""

@@ -58,6 +58,18 @@ class StateCodecError(MeasurementError, ValueError):
     unsupported codec version, truncated payload)."""
 
 
+class IngestTypeError(MeasurementError, TypeError):
+    """Raised when a bulk-ingest key batch has an unusable dtype.
+
+    The vectorized batch paths key everything on exact ``uint64``
+    values; a float or negative-signed array would previously be
+    ``astype``-cast — truncating ``1.9`` to ``1`` and wrapping ``-1``
+    to ``2**64 - 1`` — and silently corrupt the per-flow grouping.
+    Subclasses :class:`TypeError` so generic callers can keep a single
+    ``except TypeError`` clause.
+    """
+
+
 # ----------------------------------------------------------------------
 # runtime faults (the robustness layer's vocabulary)
 # ----------------------------------------------------------------------

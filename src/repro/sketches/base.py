@@ -196,6 +196,30 @@ class MergeableStateMixin:
 class FrequencySketch(MergeableStateMixin, abc.ABC):
     """A sketch that estimates per-flow packet counts."""
 
+    #: Machine-readable batch-ingest equivalence contract, read and
+    #: enforced by the differential harness.  ``"exact"`` means
+    #: ``ingest(batch)`` is bit-identical to the per-packet ``update``
+    #: loop in stream order (trivially true for the default loop below
+    #: and for order-independent vectorized paths).  Order-dependent
+    #: sketches with a batch path declare ``"relaxed"`` and document
+    #: the relaxation; see :mod:`repro.sketches.batching`.
+    INGEST_CONTRACT: str = "exact"
+
+    #: Invariants a relaxed batch path still guarantees —
+    #: machine-readable tags from :mod:`repro.sketches.batching`
+    #: (``REORDER_EQUIVALENT``, ``NO_UNDERESTIMATE``).
+    INGEST_GUARANTEES: tuple = ()
+
+    #: Human-readable description of how a relaxed batch path may
+    #: diverge from the stream-order scalar loop (``None`` for exact).
+    INGEST_RELAXATION: Optional[str] = None
+
+    #: The canonical flow visit order behind ``REORDER_EQUIVALENT`` —
+    #: ``"key"`` (ascending key) for order-neutral structures,
+    #: ``"heavy"`` (descending count) for vote/eviction structures.
+    #: See :func:`repro.sketches.batching.aggregate_batch`.
+    INGEST_REPLAY_ORDER: str = "key"
+
     @abc.abstractmethod
     def update(self, key: int, count: int = 1) -> None:
         """Record ``count`` packets of flow ``key``."""

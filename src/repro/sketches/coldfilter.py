@@ -25,6 +25,7 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+import repro.sketches.batching as batching
 from repro.hashing.family import hash_families
 from repro.sketches.base import (
     FrequencySketch,
@@ -82,6 +83,17 @@ class ColdFilterSketch(FrequencySketch):
     """
 
     STATE_KIND = "coldfilter"
+    INGEST_CONTRACT = batching.RELAXED
+    INGEST_GUARANTEES = (batching.REORDER_EQUIVALENT,
+                         batching.NO_UNDERESTIMATE)
+    INGEST_RELAXATION = (
+        "conflict-grouped two-layer conservative update: the batch is "
+        "collapsed to per-flow totals; conflicts are judged per layer "
+        "on the cells a flow actually writes, conflict-free flows are "
+        "applied in one vectorized cascade pass and the residue "
+        "replays sequentially — bit-identical to the scalar update "
+        "loop over the flow-grouped reordering of the batch, and never "
+        "below the true count")
     UNMERGEABLE_REASON = (
         "both filter layers use conservative update and the hot-part "
         "handoff depends on when a flow saturated them, so the split of "
@@ -133,9 +145,109 @@ class ColdFilterSketch(FrequencySketch):
             self.hot.update(key, remaining)
 
     def ingest(self, keys: np.ndarray) -> None:
-        """Per-packet loop (conservative update is order-dependent)."""
-        for key in as_key_array(keys):
-            self.update(int(key))
+        """Batch-conflict-resolution cascade ingest.
+
+        Per-flow totals cascade through both filter layers exactly as
+        ``update(key, c)`` would (``c`` consecutive single-packet
+        updates absorb the same amounts — conservative update
+        saturates monotonically).  Conflicts are judged per layer, on
+        the cells a flow actually writes (the hot Count-Min part is
+        additive and always commutes); conflict-free flows cascade in
+        one vectorized pass and the residue replays the scalar rule in
+        group (ascending-key) order.  Bit-identical to the per-packet loop over
+        :func:`~repro.sketches.batching.flow_grouped_reordering` of
+        the batch.
+        """
+        keys = batching.require_key_batch(keys, "ColdFilterSketch.ingest")
+        packets = int(keys.shape[0])
+        if packets == 0:
+            batching.record_batch_telemetry(self._telemetry, "coldfilter",
+                                            0, 0)
+            return
+        uniq, counts = batching.aggregate_batch(keys)
+        l1, l2 = self.layer1, self.layer2
+        idx1 = np.empty((l1.depth, uniq.shape[0]), dtype=np.int64)
+        for row, h in enumerate(l1._hashes):
+            idx1[row] = h.index(uniq, l1.width)
+        idx2 = np.empty((l2.depth, uniq.shape[0]), dtype=np.int64)
+        for row, h in enumerate(l2._hashes):
+            idx2[row] = h.index(uniq, l2.width)
+        cells1 = idx1 + (l1._rows[:, None].astype(np.int64) * l1.width)
+        cells2 = idx2 + (l2._rows[:, None].astype(np.int64) * l2.width)
+        # Conflicts are judged per layer, on the cells a flow actually
+        # writes: every flow writes layer 1, but only flows whose total
+        # overflows their layer-1 headroom reach layer 2 (the narrow
+        # layer where a combined check would mark nearly everything).
+        conflict1 = batching.mark_conflicting(cells1.T)
+        clean1 = ~conflict1
+        f1 = l1.counters.reshape(-1)
+        min1 = f1[cells1].min(axis=0)
+        a1 = np.minimum(counts, l1.cap - min1)
+        rem = counts - a1
+        # Layer-1-conflicting flows have unknown headroom until they
+        # replay, so conservatively assume they reach layer 2.
+        touches2 = np.where(clean1, rem > 0, True)
+        conflict2 = np.zeros(uniq.shape[0], dtype=bool)
+        if touches2.any():
+            conflict2[touches2] = batching.mark_conflicting(
+                cells2[:, touches2].T)
+        scalar = conflict1 | (touches2 & conflict2)
+        vec = ~scalar
+        hot_keys = []
+        hot_counts = []
+        if vec.any():
+            cc1 = cells1[:, vec]
+            v1 = f1[cc1]
+            f1[cc1] = np.maximum(v1, (min1 + a1)[vec][None, :])
+            over = vec & (rem > 0)
+            if over.any():
+                f2 = l2.counters.reshape(-1)
+                cc2 = cells2[:, over]
+                v2 = f2[cc2]
+                min2 = v2.min(axis=0)
+                a2 = np.minimum(rem[over], l2.cap - min2)
+                f2[cc2] = np.maximum(v2, (min2 + a2)[None, :])
+                rem2 = rem[over] - a2
+                hot = rem2 > 0
+                if hot.any():
+                    hot_keys.append(uniq[over][hot])
+                    hot_counts.append(rem2[hot])
+        fallback = 0
+        if scalar.any():
+            l1c, l2c = l1.counters, l2.counters
+            rows1, rows2 = l1._rows, l2._rows
+            spill_keys = []
+            spill_counts = []
+            for col in np.flatnonzero(scalar):
+                count = int(counts[col])
+                fallback += count
+                v1 = l1c[rows1, idx1[:, col]]
+                m1 = int(v1.min())
+                ab1 = min(count, l1.cap - m1)
+                if ab1 > 0:
+                    l1c[rows1, idx1[:, col]] = np.maximum(v1, m1 + ab1)
+                left = count - ab1
+                if left <= 0:
+                    continue
+                v2 = l2c[rows2, idx2[:, col]]
+                m2 = int(v2.min())
+                ab2 = min(left, l2.cap - m2)
+                if ab2 > 0:
+                    l2c[rows2, idx2[:, col]] = np.maximum(v2, m2 + ab2)
+                left -= ab2
+                if left > 0:
+                    spill_keys.append(int(uniq[col]))
+                    spill_counts.append(left)
+            if spill_keys:
+                hot_keys.append(np.asarray(spill_keys, dtype=np.uint64))
+                hot_counts.append(np.asarray(spill_counts, dtype=np.int64))
+        if hot_keys:
+            # The hot Count-Min part is additive, so one commutative
+            # bulk add covers both the vectorized and scalar spills.
+            self.hot.add_aggregated(np.concatenate(hot_keys),
+                                    np.concatenate(hot_counts))
+        batching.record_batch_telemetry(self._telemetry, "coldfilter",
+                                        packets, fallback)
 
     # -- state codec (snapshot only; merge intentionally raises) -------
 

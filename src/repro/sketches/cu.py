@@ -2,9 +2,13 @@
 
 Identical layout to Count-Min, but an update only increments the
 counters that currently hold the row-minimum for the key, which tightens
-the overestimate.  Conservative update is order-dependent, so ingest is
-a per-packet loop over numpy row indexing (the paper notes CU is a
-strict accuracy improvement over CM at the same memory).
+the overestimate (the paper notes CU is a strict accuracy improvement
+over CM at the same memory).  Conservative update is order-dependent;
+bulk ``ingest`` uses the batch-conflict-resolution path from
+:mod:`repro.sketches.batching` — per-flow grouping, one vectorized pass
+for flows with disjoint cells, scalar fallback for the conflicting
+residue — and is pinned bit-identical to the scalar loop over the
+flow-grouped reordering of the batch (``INGEST_GUARANTEES``).
 
 Order dependence also means there is no lossless ``merge``: which
 counters a packet increments depends on every earlier packet, so two
@@ -19,6 +23,7 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+import repro.sketches.batching as batching
 from repro.hashing.family import hash_families
 from repro.sketches.base import (
     FrequencySketch,
@@ -39,6 +44,16 @@ class CUSketch(FrequencySketch):
     """
 
     STATE_KIND = "cu"
+    INGEST_CONTRACT = batching.RELAXED
+    INGEST_GUARANTEES = (batching.REORDER_EQUIVALENT,
+                         batching.NO_UNDERESTIMATE)
+    INGEST_RELAXATION = (
+        "conflict-grouped conservative update: the batch is collapsed "
+        "to per-flow totals; flows whose hashed cells are disjoint "
+        "from every other flow in the batch are applied in one "
+        "vectorized pass, the conflicting residue sequentially — "
+        "bit-identical to the scalar update loop over the flow-grouped "
+        "reordering of the batch, and never below the true count")
     UNMERGEABLE_REASON = (
         "conservative update is order-dependent: which counters a packet "
         "increments depends on every earlier packet, so per-shard counter "
@@ -78,23 +93,52 @@ class CUSketch(FrequencySketch):
         return int(min(self.counters[row, i] for row, i in enumerate(idx)))
 
     def ingest(self, keys: np.ndarray) -> None:
-        """Per-packet conservative update.
+        """Batch-conflict-resolution conservative update.
 
-        CU is order-dependent; we precompute all row indices in one
-        vectorized pass and run the data-dependent minimum update in a
-        tight Python loop.
+        The batch is collapsed to per-flow totals (``update(key, c)``
+        equals ``c`` consecutive single updates, so grouping a flow's
+        packets is lossless).  Flows whose ``depth`` hashed cells are
+        disjoint from every other flow in the batch commute with the
+        whole batch and are applied in one vectorized min+scatter-max
+        pass; the conflicting residue falls back to the scalar
+        conservative-update rule, in group (ascending-key) order.  The
+        result is bit-identical to the per-packet loop over
+        :func:`~repro.sketches.batching.flow_grouped_reordering` of
+        the batch (``INGEST_GUARANTEES``).
         """
-        keys = as_key_array(keys)
-        index_matrix = np.empty((self.depth, keys.shape[0]), dtype=np.int64)
+        keys = batching.require_key_batch(keys, "CUSketch.ingest")
+        packets = int(keys.shape[0])
+        if packets == 0:
+            batching.record_batch_telemetry(self._telemetry, "cu", 0, 0)
+            return
+        uniq, counts = batching.aggregate_batch(keys)
+        index_matrix = np.empty((self.depth, uniq.shape[0]), dtype=np.int64)
         for row, h in enumerate(self._hashes):
-            index_matrix[row] = h.index(keys, self.width)
-        counters = self.counters
-        rows = self._row_range
-        for col in range(keys.shape[0]):
-            idx = index_matrix[:, col]
-            values = counters[rows, idx]
-            target = values.min() + 1
-            counters[rows, idx] = np.maximum(values, target)
+            index_matrix[row] = h.index(uniq, self.width)
+        cells = index_matrix + (
+            self._row_range[:, None].astype(np.int64) * self.width)
+        conflict = batching.mark_conflicting(cells.T)
+        clean = ~conflict
+        if clean.any():
+            flat = self.counters.reshape(-1)
+            clean_cells = cells[:, clean]
+            values = flat[clean_cells]
+            target = np.minimum(values.min(axis=0) + counts[clean],
+                                self._max_value)
+            flat[clean_cells] = np.maximum(values, target[None, :])
+        fallback = 0
+        if conflict.any():
+            counters = self.counters
+            rows = self._row_range
+            for col in np.flatnonzero(conflict):
+                idx = index_matrix[:, col]
+                values = counters[rows, idx]
+                count = int(counts[col])
+                fallback += count
+                target = min(int(values.min()) + count, self._max_value)
+                counters[rows, idx] = np.maximum(values, target)
+        batching.record_batch_telemetry(self._telemetry, "cu",
+                                        packets, fallback)
 
     def query_many(self, keys: Iterable[int]) -> np.ndarray:
         keys = as_key_array(keys)

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Optional, Set
 
 import numpy as np
 
+import repro.sketches.batching as batching
 from repro.core.em import EMConfig, EMEstimator, EMResult
 from repro.core.topk import BUCKET_BYTES, TopKFilter
 from repro.core.virtual import VirtualCounterArray
@@ -56,6 +57,22 @@ class ElasticSketch(FrequencySketch):
     LIGHT_BITS = 8
 
     STATE_KIND = "elastic"
+    INGEST_CONTRACT = batching.RELAXED
+    INGEST_GUARANTEES = (batching.REORDER_EQUIVALENT,)
+    INGEST_REPLAY_ORDER = batching.HEAVY_ORDER
+    INGEST_RELAXATION = (
+        "per-flow run replay in heavy-first order: the batch is "
+        "collapsed to per-flow totals, flows visited in descending "
+        "count order (heavy flows install their buckets with full "
+        "vote mass before lighter flows can contest them), and each "
+        "flow's packets are driven through the Top-K heavy part as "
+        "one closed-form run (TopKFilter.insert_run); heavy-part "
+        "misses are flushed to the light part in one vectorized "
+        "saturating-add pass — bit-identical to the scalar update "
+        "loop over the heavy-first flow-grouped reordering of the "
+        "batch.  No no-underestimate tag: the 8-bit light part "
+        "saturates at 255, so Elastic can underestimate under any "
+        "packet order")
     UNMERGEABLE_REASON = (
         "the Top-K heavy part's vote-based eviction is order-dependent: "
         "which flows are resident and how much of their count spilled "
@@ -118,11 +135,60 @@ class ElasticSketch(FrequencySketch):
         for _ in range(count):
             self.topk.insert(int(key), self._to_light)
 
+    def _light_add_aggregated(self, keys: np.ndarray,
+                              counts: np.ndarray) -> None:
+        """Saturating bulk add into the light rows.
+
+        A saturating counter's final value after any sequence of
+        non-negative adds is ``min(start + total, cap)``, so summing
+        first and clamping once is bit-identical to the per-miss
+        :meth:`_to_light` loop, in any order.
+        """
+        for row, h in enumerate(self._light_hashes):
+            idx = h.index(keys, self.light_width)
+            np.add.at(self.light[row], idx, counts)
+            np.minimum(self.light[row], self._light_cap,
+                       out=self.light[row])
+
     def ingest(self, keys: np.ndarray) -> None:
-        insert = self.topk.insert
-        to_light = self._to_light
-        for key in as_key_array(keys):
-            insert(int(key), to_light)
+        """Per-flow run replay through the heavy part.
+
+        The batch is collapsed to per-flow totals in heavy-first
+        (descending-count) order; each flow is driven through the
+        Top-K tables as one closed-form run
+        (:meth:`~repro.core.topk.TopKFilter.insert_run`) — heavy
+        flows install their buckets with full vote mass before
+        lighter flows can contest them — and everything the heavy
+        part rejects or evicts is flushed to the light part in one
+        vectorized saturating-add pass.  Bit-identical to the scalar
+        ``update`` loop over the heavy-first
+        :func:`~repro.sketches.batching.flow_grouped_reordering` of
+        the batch.
+        """
+        keys = batching.require_key_batch(keys, "ElasticSketch.ingest")
+        packets = int(keys.shape[0])
+        fallback = 0
+        if packets:
+            uniq, counts = batching.aggregate_batch(
+                keys, order=batching.HEAVY_ORDER)
+            slot_rows = self.topk.slot_matrix(uniq).tolist()
+            miss_keys: list = []
+            miss_counts: list = []
+
+            def buffer_miss(key: int, count: int) -> None:
+                miss_keys.append(key)
+                miss_counts.append(count)
+
+            insert_run = self.topk.insert_run
+            for key, count, slots in zip(uniq.tolist(), counts.tolist(),
+                                         slot_rows):
+                fallback += insert_run(key, count, buffer_miss, slots)
+            if miss_keys:
+                self._light_add_aggregated(
+                    np.asarray(miss_keys, dtype=np.uint64),
+                    np.asarray(miss_counts, dtype=np.int64))
+        batching.record_batch_telemetry(self._telemetry, "elastic",
+                                        packets, fallback)
 
     # -- state codec (snapshot only; merge intentionally raises) -------
 

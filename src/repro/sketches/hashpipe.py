@@ -17,10 +17,10 @@ from typing import Dict, Iterable, List, Set, Tuple
 
 import numpy as np
 
+import repro.sketches.batching as batching
 from repro.hashing.family import hash_families
 from repro.sketches.base import (
     FrequencySketch,
-    as_key_array,
     counters_for_budget,
 )
 
@@ -38,6 +38,16 @@ class HashPipe(FrequencySketch):
     """
 
     STATE_KIND = "hashpipe"
+    INGEST_CONTRACT = batching.RELAXED
+    INGEST_GUARANTEES = (batching.REORDER_EQUIVALENT,)
+    INGEST_RELAXATION = (
+        "per-flow run replay: the batch is collapsed to per-flow "
+        "totals; a run of c same-key packets resolves stage 1 once "
+        "(insert with count c, cascading at most one incumbent) — "
+        "bit-identical to the scalar update loop over the flow-grouped "
+        "reordering of the batch.  No no-underestimate tag: HashPipe "
+        "only tracks resident keys and reports 0 for evicted flows "
+        "under any packet order")
     UNMERGEABLE_REASON = (
         "pipelined eviction is order-dependent: which keys remain "
         "resident and how their counts split across stages depends on "
@@ -66,23 +76,36 @@ class HashPipe(FrequencySketch):
     def update(self, key: int, count: int = 1) -> None:
         if count < 0:
             raise ValueError("count must be non-negative")
-        for _ in range(count):
-            self._insert(int(key))
+        if count:
+            self._insert_run(int(key), count)
 
-    def _insert(self, key: int) -> None:
-        # Stage 1: always insert, evicting the incumbent.
-        slot = self._hashes[0].index(key, self.slots_per_stage)
-        resident = self._tables[0].get(slot)
+    def _insert_run(self, key: int, count: int,
+                    slot: int | None = None) -> int:
+        """Process ``count`` consecutive packets of ``key`` at once.
+
+        Bit-identical to that many single-packet inserts: stage 1
+        always takes the incoming key, so the run's first packet
+        resolves the slot (evicting at most one incumbent into the
+        pipeline) and the remaining ``count − 1`` packets are plain
+        same-key increments.  Returns the packets that needed the
+        eviction cascade (0 for empty-slot or same-key runs).
+        """
+        table = self._tables[0]
+        if slot is None:
+            slot = self._hashes[0].index(key, self.slots_per_stage)
+        resident = table.get(slot)
         if resident is None:
-            self._tables[0][slot] = (key, 1)
-            return
+            table[slot] = (key, count)
+            return 0
         resident_key, resident_count = resident
         if resident_key == key:
-            self._tables[0][slot] = (key, resident_count + 1)
-            return
-        self._tables[0][slot] = (key, 1)
-        carried_key, carried_count = resident_key, resident_count
+            table[slot] = (key, resident_count + count)
+            return 0
+        table[slot] = (key, count)
+        self._cascade(resident_key, resident_count)
+        return count
 
+    def _cascade(self, carried_key: int, carried_count: int) -> None:
         # Later stages: keep the larger count, carry the smaller.
         for stage in range(1, self.stages):
             slot = self._hashes[stage].index(carried_key,
@@ -103,9 +126,27 @@ class HashPipe(FrequencySketch):
         # The smallest carried pair falls off the pipeline (by design).
 
     def ingest(self, keys: np.ndarray) -> None:
-        insert = self._insert
-        for key in as_key_array(keys):
-            insert(int(key))
+        """Per-flow run replay down the pipeline.
+
+        The batch is collapsed to per-flow totals in ascending-key
+        order and each flow's run is resolved against stage 1 once
+        (:meth:`_insert_run`).  Bit-identical to the per-packet loop
+        over :func:`~repro.sketches.batching.flow_grouped_reordering`
+        of the batch.
+        """
+        keys = batching.require_key_batch(keys, "HashPipe.ingest")
+        packets = int(keys.shape[0])
+        fallback = 0
+        if packets:
+            uniq, counts = batching.aggregate_batch(keys)
+            slots = self._hashes[0].index(uniq,
+                                          self.slots_per_stage).tolist()
+            insert_run = self._insert_run
+            for key, count, slot in zip(uniq.tolist(), counts.tolist(),
+                                        slots):
+                fallback += insert_run(key, count, slot)
+        batching.record_batch_telemetry(self._telemetry, "hashpipe",
+                                        packets, fallback)
 
     # -- state codec (snapshot only; merge intentionally raises) -------
 

@@ -1,0 +1,176 @@
+"""Property tests for the batch-conflict-resolution ingest paths.
+
+Hypothesis drives adversarial batches at tiny sketch sizes — many
+repeats of few keys, collision-saturated key spaces, interleaved
+singletons — and checks, for every order-dependent sketch:
+
+* the declared relaxed contract holds bit-for-bit: ``ingest(batch)``
+  equals the scalar ``update`` loop over the flow-grouped reordering
+  of the batch (``REORDER_EQUIVALENT``),
+* sketches tagged ``NO_UNDERESTIMATE`` never report below the exact
+  per-flow count of the batch,
+* querying is idempotent: a second ``query_many`` returns the same
+  answers (no read path mutates state).
+
+These complement ``tests/test_differential.py`` (fixed batch shapes at
+larger sizes) by searching the input space for ordering bugs the fixed
+shapes miss; failures shrink to minimal counterexample batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FCMTopK
+from repro.sketches import (
+    ColdFilterSketch,
+    CUSketch,
+    ElasticSketch,
+    HashPipe,
+)
+from repro.sketches.batching import (
+    NO_UNDERESTIMATE,
+    REORDER_EQUIVALENT,
+    flow_grouped_reordering,
+)
+
+MEMORY = 2 * 1024
+SEED = 9
+
+ORDER_DEPENDENT = {
+    "cu": lambda: CUSketch(MEMORY, seed=SEED),
+    # Elastic's heavy part alone needs >3 KB (64 entries x 4 levels).
+    "elastic": lambda: ElasticSketch(8 * 1024, seed=SEED),
+    "coldfilter": lambda: ColdFilterSketch(MEMORY, seed=SEED),
+    "fcm_topk": lambda: FCMTopK(MEMORY, seed=SEED),
+    "hashpipe": lambda: HashPipe(MEMORY, seed=SEED),
+}
+
+# Adversarial batch shapes.  Key spaces are tiny relative to the
+# sketches' cell counts at MEMORY, so intra-batch cell conflicts (the
+# scalar fallback path) occur constantly.
+
+#: Many repeats of very few keys, in arbitrary interleavings.
+repeat_heavy_batches = st.lists(
+    st.sampled_from([3, 5, 9]), min_size=0, max_size=150)
+
+#: Dense small key space: nearly every flow collides with another.
+collision_batches = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=0, max_size=200)
+
+#: Mostly-unique keys with a few repeated heavy flows interleaved.
+mixed_batches = st.lists(
+    st.one_of(st.integers(min_value=1000, max_value=100_000),
+              st.sampled_from([7, 8])),
+    min_size=0, max_size=150)
+
+BATCH_STRATEGIES = {
+    "repeat_heavy": repeat_heavy_batches,
+    "collision": collision_batches,
+    "mixed": mixed_batches,
+}
+
+
+def _as_batch(keys):
+    return np.asarray(keys, dtype=np.uint64)
+
+
+def _states_equal(a, b):
+    sa, sb = a._state_arrays(), b._state_arrays()
+    return (sorted(sa) == sorted(sb)
+            and all(np.array_equal(sa[k], sb[k]) for k in sa))
+
+
+@pytest.mark.parametrize("strategy_name", sorted(BATCH_STRATEGIES))
+@pytest.mark.parametrize("name", sorted(ORDER_DEPENDENT))
+def test_ingest_matches_flow_grouped_replay(name, strategy_name):
+    factory = ORDER_DEPENDENT[name]
+    assert REORDER_EQUIVALENT in factory().INGEST_GUARANTEES
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=BATCH_STRATEGIES[strategy_name])
+    def check(keys):
+        batch = _as_batch(keys)
+        bulk = factory()
+        bulk.ingest(batch)
+        looped = factory()
+        for key in flow_grouped_reordering(
+                batch, order=looped.INGEST_REPLAY_ORDER):
+            looped.update(int(key))
+        assert _states_equal(bulk, looped), (
+            f"{name}: ingest diverged from flow-grouped replay "
+            f"on batch {keys!r}")
+
+    check()
+
+
+@pytest.mark.parametrize("strategy_name", sorted(BATCH_STRATEGIES))
+@pytest.mark.parametrize("name", sorted(ORDER_DEPENDENT))
+def test_no_underestimate_on_adversarial_batches(name, strategy_name):
+    factory = ORDER_DEPENDENT[name]
+    if NO_UNDERESTIMATE not in factory().INGEST_GUARANTEES:
+        pytest.skip(f"{name} does not tag NO_UNDERESTIMATE")
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=BATCH_STRATEGIES[strategy_name])
+    def check(keys):
+        batch = _as_batch(keys)
+        sketch = factory()
+        sketch.ingest(batch)
+        if batch.size == 0:
+            return
+        uniq, true_counts = np.unique(batch, return_counts=True)
+        estimates = np.asarray(sketch.query_many(uniq))
+        assert (estimates >= true_counts).all(), (
+            f"{name} underestimated on batch {keys!r}")
+
+    check()
+
+
+@pytest.mark.parametrize("name", sorted(ORDER_DEPENDENT))
+def test_requery_is_idempotent(name):
+    factory = ORDER_DEPENDENT[name]
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=collision_batches)
+    def check(keys):
+        batch = _as_batch(keys)
+        sketch = factory()
+        sketch.ingest(batch)
+        probe = np.unique(batch) if batch.size else np.arange(
+            4, dtype=np.uint64)
+        first = np.asarray(sketch.query_many(probe)).copy()
+        second = np.asarray(sketch.query_many(probe))
+        np.testing.assert_array_equal(
+            first, second, err_msg=f"{name}: query mutated state")
+
+    check()
+
+
+@pytest.mark.parametrize("name", sorted(ORDER_DEPENDENT))
+def test_split_ingest_equals_run_grouped_stream(name):
+    """Ingesting a batch in two chunks equals one scalar pass over the
+    two chunks' flow-grouped reorderings concatenated — the contract
+    composes across calls (what the streaming runtime relies on)."""
+    factory = ORDER_DEPENDENT[name]
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=collision_batches, split=st.integers(0, 200))
+    def check(keys, split):
+        batch = _as_batch(keys)
+        split = min(split, batch.size)
+        bulk = factory()
+        bulk.ingest(batch[:split])
+        bulk.ingest(batch[split:])
+        looped = factory()
+        for chunk in (batch[:split], batch[split:]):
+            for key in flow_grouped_reordering(
+                    chunk, order=looped.INGEST_REPLAY_ORDER):
+                looped.update(int(key))
+        assert _states_equal(bulk, looped), (
+            f"{name}: chunked ingest diverged on {keys!r} @ {split}")
+
+    check()

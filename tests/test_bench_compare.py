@@ -30,8 +30,13 @@ from benchmarks.baseline import (  # noqa: E402
 
 def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
                 disabled_over_raw=1.0, enabled_over_disabled=1.05,
-                em_runtime=0.05, sketches=("fcm",)):
-    """A schema-valid synthetic baseline record."""
+                em_runtime=0.05, sketches=("fcm",), fallback=None):
+    """A schema-valid synthetic baseline record.
+
+    ``fallback`` (a fraction in [0, 1]) adds the optional
+    ``batch_fallback_fraction`` field to every sketch entry, as the
+    batch-conflict-resolution sketches report it.
+    """
     return {
         "schema_version": 1,
         "packets": packets,
@@ -46,6 +51,8 @@ def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
                 "query_keys": 1000,
                 "query_seconds": 1000 / query_kps,
                 "query_kps": query_kps,
+                **({} if fallback is None
+                   else {"batch_fallback_fraction": fallback}),
             } for name in sketches
         },
         "telemetry_overhead": {
@@ -110,6 +117,14 @@ class TestFlattenMetrics:
     def test_empty_record_flattens_empty(self):
         assert flatten_metrics({}) == {}
 
+    def test_fallback_fraction_flattens_when_present(self):
+        flat = flatten_metrics(make_record(sketches=("cu",),
+                                           fallback=0.02))
+        assert flat["cu.batch_fallback_fraction"] == pytest.approx(0.02)
+        # Sketches without the field (additive paths) stay absent.
+        assert "cu.batch_fallback_fraction" not in flatten_metrics(
+            make_record(sketches=("cu",)))
+
 
 class TestToleranceFor:
     def test_exact_name_wins_over_suffix(self):
@@ -168,6 +183,33 @@ class TestCompareRecords:
                      if row[0] == "em.seconds_per_iter"]
         assert em_row[-1].startswith("skipped")
         assert result["regressions"] == []
+
+    def test_fallback_rise_beyond_tolerance_regresses(self):
+        base = make_record(sketches=("cu",), fallback=0.10)
+        fresh = make_record(sketches=("cu",), fallback=0.50)
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("cu.batch_fallback_fraction" in r and "rose" in r
+                   for r in result["regressions"])
+
+    def test_fallback_drop_never_regresses(self):
+        base = make_record(sketches=("cu",), fallback=0.50)
+        fresh = make_record(sketches=("cu",), fallback=0.0)
+        assert compare_records(base, fresh,
+                               DEFAULT_TOLERANCES)["regressions"] == []
+
+    def test_zero_fallback_baseline_gates_absolutely(self):
+        """A 0.0 baseline makes the multiplicative bound vacuous; the
+        tolerance then acts as an absolute ceiling on the fraction."""
+        base = make_record(sketches=("cu",), fallback=0.0)
+        within = make_record(sketches=("cu",), fallback=0.05)
+        beyond = make_record(sketches=("cu",), fallback=0.25)
+        tol = DEFAULT_TOLERANCES["batch_fallback_fraction"]
+        assert 0.05 <= tol < 0.25
+        assert compare_records(base, within,
+                               DEFAULT_TOLERANCES)["regressions"] == []
+        result = compare_records(base, beyond, DEFAULT_TOLERANCES)
+        assert any("cu.batch_fallback_fraction" in r
+                   for r in result["regressions"])
 
     def test_one_sided_metrics_report_but_never_gate(self):
         base = make_record(sketches=("fcm",))
@@ -229,6 +271,14 @@ class TestLoadTolerances:
 class TestSyntheticRecordIsValid:
     def test_make_record_passes_schema(self):
         assert validate_record(make_record()) == []
+
+    def test_fallback_fraction_validates_range(self):
+        assert validate_record(make_record(fallback=0.0)) == []
+        assert validate_record(make_record(fallback=1.0)) == []
+        errors = validate_record(make_record(fallback=1.5))
+        assert any("batch_fallback_fraction" in e for e in errors)
+        errors = validate_record(make_record(fallback=-0.1))
+        assert any("batch_fallback_fraction" in e for e in errors)
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import SketchMemoryError
 from repro.sketches import CountMinSketch, CUSketch
+from repro.sketches.batching import flow_grouped_reordering
 from repro.traffic import caida_like_trace
 
 
@@ -97,11 +98,13 @@ class TestCU:
         keys = trace.ground_truth.keys_array()
         assert np.all(cu.query_many(keys) <= cm.query_many(keys))
 
-    def test_ingest_equals_scalar(self):
+    def test_ingest_equals_scalar_replay(self):
+        """CU's batch path is pinned to its relaxed contract: identical
+        to the scalar loop over the flow-grouped reordering."""
         a = CUSketch(2048, seed=2)
         b = CUSketch(2048, seed=2)
         keys = (np.arange(800, dtype=np.uint64) * 7) % 97
-        for k in keys:
+        for k in flow_grouped_reordering(keys):
             a.update(int(k))
         b.ingest(keys)
         assert np.array_equal(a.counters, b.counters)

@@ -1,15 +1,20 @@
 """Differential harness: every frequency sketch vs an exact oracle.
 
 One seeded Zipf packet stream, one exact dict oracle built
-independently of the library's ground-truth plumbing, and four
+independently of the library's ground-truth plumbing, and these
 cross-sketch contracts checked uniformly:
 
 * deterministic overestimate-only sketches never report below the
   oracle count,
 * ``query_many`` equals the scalar ``query`` elementwise,
-* bulk ``ingest`` equals a per-packet ``update`` loop (in stream
-  order, so the contract also holds for order-dependent sketches like
-  CU and the Top-K filters),
+* bulk ``ingest`` honours the sketch's *declared* equivalence
+  contract (``INGEST_CONTRACT`` / ``INGEST_GUARANTEES``, see
+  :mod:`repro.sketches.batching`): ``exact`` sketches must match the
+  per-packet ``update`` loop bit-for-bit in stream order; ``relaxed``
+  sketches must match the loop over the flow-grouped reordering of
+  the batch bit-for-bit, and keep their tagged invariants (e.g.
+  no-underestimate) — checked over duplicate-heavy, collision-forced
+  and shuffled batch shapes,
 * ``merge`` of two half-stream sketches equals one sketch that
   ingested the concatenated stream.
 """
@@ -26,6 +31,16 @@ from repro.sketches import (
     CountSketch,
     CUSketch,
     ElasticSketch,
+    HashPipe,
+)
+from repro.sketches.batching import (
+    EXACT,
+    HEAVY_ORDER,
+    KEY_ORDER,
+    NO_UNDERESTIMATE,
+    RELAXED,
+    REORDER_EQUIVALENT,
+    flow_grouped_reordering,
 )
 from repro.traffic import zipf_trace
 
@@ -41,15 +56,72 @@ FACTORIES = {
     "elastic": lambda: ElasticSketch(MEMORY, seed=SEED),
     "coldfilter": lambda: ColdFilterSketch(MEMORY, seed=SEED),
     "fcm_topk": lambda: FCMTopK(MEMORY, seed=SEED),
+    "hashpipe": lambda: HashPipe(MEMORY, seed=SEED),
 }
 
 #: Sketches whose estimate is a deterministic upper bound.  CountSketch
-#: (median of signed rows) is unbiased and Elastic's 8-bit light part
-#: saturates, so both may undercount by design.
+#: (median of signed rows) is unbiased, Elastic's 8-bit light part
+#: saturates, and HashPipe reports 0 for evicted flows, so those may
+#: undercount by design.
 NEVER_UNDERESTIMATES = ["fcm", "cm", "cu", "coldfilter", "fcm_topk"]
 
 #: Sketches exposing a lossless ``merge``.
 MERGEABLE = ["fcm", "cm", "countsketch"]
+
+#: Small sketches make intra-batch cell collisions (the conflict-
+#: resolution slow path) unavoidable even on small key spaces.
+SMALL_MEMORY = 4 * 1024
+
+
+def _small_factory(name):
+    return {
+        "fcm": lambda: FCMSketch.with_memory(SMALL_MEMORY, seed=SEED),
+        "cm": lambda: CountMinSketch(SMALL_MEMORY, seed=SEED),
+        "cu": lambda: CUSketch(SMALL_MEMORY, seed=SEED),
+        "countsketch": lambda: CountSketch(SMALL_MEMORY, seed=SEED),
+        "elastic": lambda: ElasticSketch(SMALL_MEMORY, seed=SEED),
+        "coldfilter": lambda: ColdFilterSketch(SMALL_MEMORY, seed=SEED),
+        "fcm_topk": lambda: FCMTopK(SMALL_MEMORY, seed=SEED),
+        "hashpipe": lambda: HashPipe(SMALL_MEMORY, seed=SEED),
+    }[name]
+
+
+#: Batch shapes exercising the conflict-resolution machinery from
+#: different directions.  Each builder returns a uint64 packet batch.
+def _batch_duplicate_heavy():
+    """A handful of flows repeated thousands of times, interleaved."""
+    rng = np.random.default_rng(11)
+    return rng.permutation(np.repeat(
+        np.arange(12, dtype=np.uint64) * 1_000_003, 900))
+
+
+def _batch_collision_forced():
+    """Many distinct keys in a tiny key space: at SMALL_MEMORY nearly
+    every flow shares counter cells with another flow in the batch,
+    driving the scalar conflict-resolution fallback."""
+    rng = np.random.default_rng(12)
+    return (rng.integers(0, 700, size=9_000)).astype(np.uint64)
+
+
+def _batch_shuffled_zipf():
+    """A shuffled heavy-tailed stream (the realistic mixed case)."""
+    rng = np.random.default_rng(13)
+    keys = zipf_trace(8_000, alpha=1.2, seed=13).keys
+    return rng.permutation(keys)
+
+
+def _batch_singletons():
+    """Every key appears exactly once (no intra-flow grouping win)."""
+    rng = np.random.default_rng(14)
+    return rng.permutation(np.arange(5_000, dtype=np.uint64) * 97 + 5)
+
+
+BATCHES = {
+    "duplicate_heavy": _batch_duplicate_heavy,
+    "collision_forced": _batch_collision_forced,
+    "shuffled_zipf": _batch_shuffled_zipf,
+    "singletons": _batch_singletons,
+}
 
 
 @pytest.fixture(scope="module")
@@ -89,19 +161,98 @@ def test_query_many_matches_scalar_query(name, stream, oracle):
         )
 
 
+def _state_of(sketch):
+    """Raw counter/table arrays — bit-level equality, not just queries."""
+    return {k: np.asarray(v).copy()
+            for k, v in sketch._state_arrays().items()}
+
+
+def _assert_same_state(a, b, msg):
+    sa, sb = _state_of(a), _state_of(b)
+    assert sorted(sa) == sorted(sb), msg
+    for field in sa:
+        np.testing.assert_array_equal(sa[field], sb[field],
+                                      err_msg=f"{msg} (field {field!r})")
+
+
 @pytest.mark.parametrize("name", sorted(FACTORIES))
-def test_ingest_equals_update_loop(name, stream, oracle):
-    bulk = FACTORIES[name]()
-    bulk.ingest(stream)
-    looped = FACTORIES[name]()
-    for key in stream:
+def test_declared_contract_is_wellformed(name):
+    """The contract attributes the harness relies on are coherent."""
+    sketch = FACTORIES[name]()
+    assert sketch.INGEST_CONTRACT in (EXACT, RELAXED)
+    if sketch.INGEST_CONTRACT == EXACT:
+        assert sketch.INGEST_RELAXATION is None
+        assert sketch.INGEST_GUARANTEES == ()
+    else:
+        # Every relaxed sketch must document the relaxation and pin
+        # itself to the canonical replay stream.
+        assert isinstance(sketch.INGEST_RELAXATION, str)
+        assert sketch.INGEST_RELAXATION
+        assert REORDER_EQUIVALENT in sketch.INGEST_GUARANTEES
+    assert sketch.INGEST_REPLAY_ORDER in (KEY_ORDER, HEAVY_ORDER)
+
+
+@pytest.mark.parametrize("batch_name", sorted(BATCHES))
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_ingest_honours_declared_contract(name, batch_name):
+    """Bulk ``ingest`` vs the scalar ``update`` loop, bit-for-bit.
+
+    ``exact`` sketches must reproduce the loop in stream order;
+    ``relaxed`` sketches must reproduce the loop over
+    ``flow_grouped_reordering`` of the batch (the canonical legal
+    permutation their contract names).  Run at SMALL_MEMORY so the
+    collision-forced batches actually exercise the conflict fallback.
+    """
+    batch = BATCHES[batch_name]()
+    bulk = _small_factory(name)()
+    bulk.ingest(batch)
+    looped = _small_factory(name)()
+    contract = looped.INGEST_CONTRACT
+    replay = batch if contract == EXACT else flow_grouped_reordering(
+        batch, order=looped.INGEST_REPLAY_ORDER)
+    for key in replay:
         looped.update(int(key))
-    keys = np.fromiter(oracle, dtype=np.uint64)
-    np.testing.assert_array_equal(
-        np.asarray(bulk.query_many(keys)),
-        np.asarray(looped.query_many(keys)),
-        err_msg=f"{name}: bulk ingest != per-packet update loop",
-    )
+    _assert_same_state(
+        bulk, looped,
+        f"{name} ({contract}): bulk ingest != scalar loop over "
+        f"{'stream order' if contract == EXACT else 'flow-grouped reordering'}"
+        f" on batch {batch_name!r}")
+
+
+@pytest.mark.parametrize("batch_name", sorted(BATCHES))
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_ingest_keeps_no_underestimate_guarantee(name, batch_name):
+    """Sketches tagged NO_UNDERESTIMATE must stay above the batch's
+    exact per-flow counts after a bulk ingest, on every batch shape."""
+    sketch = _small_factory(name)()
+    if (sketch.INGEST_CONTRACT == EXACT
+            and name not in NEVER_UNDERESTIMATES):
+        pytest.skip(f"{name} does not claim an upper-bound estimate")
+    if (sketch.INGEST_CONTRACT == RELAXED
+            and NO_UNDERESTIMATE not in sketch.INGEST_GUARANTEES):
+        pytest.skip(f"{name} does not tag NO_UNDERESTIMATE")
+    batch = BATCHES[batch_name]()
+    sketch.ingest(batch)
+    uniq, true_counts = np.unique(batch, return_counts=True)
+    estimates = np.asarray(sketch.query_many(uniq))
+    low = estimates < true_counts
+    assert not low.any(), (
+        f"{name} underestimated {int(low.sum())} flows on batch "
+        f"{batch_name!r} (e.g. flow {int(uniq[low][0])}: "
+        f"{int(estimates[low][0])} < {int(true_counts[low][0])})")
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_relaxed_ingest_is_idempotent_requery(name, stream):
+    """Querying after a bulk ingest must not mutate state: repeated
+    ``query_many`` calls return identical answers."""
+    sketch = FACTORIES[name]()
+    sketch.ingest(stream)
+    keys = np.unique(stream)
+    first = np.asarray(sketch.query_many(keys)).copy()
+    second = np.asarray(sketch.query_many(keys))
+    np.testing.assert_array_equal(first, second,
+                                  err_msg=f"{name}: query_many mutated state")
 
 
 @pytest.mark.parametrize("name", MERGEABLE)

@@ -17,12 +17,14 @@ import pytest
 
 from repro.controlplane.distribution import estimate_distribution
 from repro.core import FCMSketch, FCMTopK
+from repro.errors import IngestTypeError
 from repro.sketches import (
     ColdFilterSketch,
     CountMinSketch,
     CountSketch,
     CUSketch,
     ElasticSketch,
+    HashPipe,
     MRAC,
     PyramidCMSketch,
     UnivMon,
@@ -39,10 +41,15 @@ FACTORIES = {
     "countsketch": lambda: CountSketch(MEMORY, seed=1),
     "elastic": lambda: ElasticSketch(MEMORY, seed=1),
     "coldfilter": lambda: ColdFilterSketch(MEMORY, seed=1),
+    "hashpipe": lambda: HashPipe(MEMORY, seed=1),
     "pcm": lambda: PyramidCMSketch(MEMORY, seed=1),
     "univmon": lambda: UnivMon(MEMORY, seed=1),
     "mrac": lambda: MRAC(MEMORY, seed=1),
 }
+
+#: The sketches whose batch path validates key dtypes through
+#: ``repro.sketches.batching.require_key_batch``.
+ORDER_DEPENDENT = ["cu", "elastic", "coldfilter", "fcm_topk", "hashpipe"]
 
 EMPTY_KEYS = (
     np.array([], dtype=np.uint64),
@@ -95,6 +102,58 @@ def test_cardinality_of_empty_sketch_is_finite(name):
     estimate = sketch.cardinality()
     assert math.isfinite(float(estimate))
     assert estimate >= 0
+
+
+@pytest.mark.parametrize("name", ORDER_DEPENDENT)
+def test_ingest_empty_of_any_dtype_is_noop(name):
+    """Empty batches are a no-op regardless of dtype — a zero-length
+    float array carries no values to misinterpret."""
+    for empty in (np.array([], dtype=np.float64),
+                  np.array([], dtype=np.int32),
+                  np.array([], dtype=object),
+                  []):
+        sketch = FACTORIES[name]()
+        sketch.ingest(empty)
+        assert sketch.query(12345) >= 0
+
+
+@pytest.mark.parametrize("name", ORDER_DEPENDENT)
+@pytest.mark.parametrize("bad", [
+    np.array([1.0, 2.5], dtype=np.float64),
+    np.array([1.5], dtype=np.float32),
+    np.array(["a", "b"]),
+    np.array([1, "b"], dtype=object),
+    np.array([True, False]),
+], ids=["float64", "float32", "strings", "mixed_object", "bool"])
+def test_ingest_rejects_unusable_dtypes(name, bad):
+    """Float/string/bool batches raise the typed IngestTypeError
+    instead of being silently astype-truncated into wrong flow keys."""
+    sketch = FACTORIES[name]()
+    with pytest.raises(IngestTypeError):
+        sketch.ingest(bad)
+    # The typed error is also a TypeError for generic callers.
+    assert issubclass(IngestTypeError, TypeError)
+
+
+@pytest.mark.parametrize("name", ORDER_DEPENDENT)
+def test_ingest_rejects_negative_keys(name):
+    sketch = FACTORIES[name]()
+    with pytest.raises(IngestTypeError):
+        sketch.ingest(np.array([3, -1], dtype=np.int64))
+
+
+@pytest.mark.parametrize("name", ORDER_DEPENDENT)
+def test_ingest_accepts_nonnegative_signed_and_python_ints(name):
+    """int32/int64 arrays of non-negative keys and plain Python lists
+    keep working — validation only rejects lossy conversions."""
+    for keys in (np.array([1, 2, 2, 7], dtype=np.int32),
+                 np.array([1, 2, 2, 7], dtype=np.int64),
+                 [1, 2, 2, 7],
+                 (1, 2, 2, 7),
+                 range(8)):
+        sketch = FACTORIES[name]()
+        sketch.ingest(keys)
+        assert sketch.query(2) >= 0
 
 
 def test_estimate_distribution_on_empty_fcm():
