@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test chaos test-batch-equivalence bench bench-baseline \
 	bench-compare bench-parallel report examples stream-smoke \
-	serve-smoke clean
+	serve-smoke obs-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -85,6 +85,23 @@ serve-smoke:
 		--telemetry-out /tmp/serve_smoke.ndjson | tee /tmp/serve_smoke.out
 	grep -q "\[conserved\]" /tmp/serve_smoke.out
 	grep -q '"name":"service.drain"' /tmp/serve_smoke.ndjson
+
+# Observability-plane smoke: a deterministic one-shot `repro obs`
+# run on the logical clock.  Fails on a ledger leak, a firing SLO
+# alert on the clean trace, an out-of-envelope accuracy audit, or an
+# OpenMetrics exposition that does not strict-parse.  The `timeout`
+# lid turns a hung drive loop into a failure instead of a stuck job.
+obs-smoke:
+	PYTHONHASHSEED=0 timeout 120 $(PYTHON) -m repro.cli obs --once \
+		--packets 60000 --epoch-packets 20000 --memory-kb 32 \
+		--openmetrics-out /tmp/obs_smoke.om.txt \
+		--series-out /tmp/obs_smoke.ndjson | tee /tmp/obs_smoke.out
+	grep -q "\[conserved\]" /tmp/obs_smoke.out
+	grep -q "0 firing at exit" /tmp/obs_smoke.out
+	! grep -q "MISCALIBRATED" /tmp/obs_smoke.out
+	grep -q "# EOF" /tmp/obs_smoke.om.txt
+	$(PYTHON) -c "from repro.telemetry.obsplane import parse_openmetrics; \
+		parse_openmetrics(open('/tmp/obs_smoke.om.txt').read())"
 
 report:
 	$(PYTHON) -m benchmarks.report

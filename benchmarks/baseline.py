@@ -21,7 +21,10 @@ the repo root by default) capturing:
 * sustained ingest through the async measurement service (the full
   ``submit`` → bounded queue → worker → epoch-manager path under the
   lossless ``BLOCK`` policy, with the drain's conservation ledger
-  validated alongside the throughput).
+  validated alongside the throughput),
+* the observability plane's own overhead — seconds per registry
+  scrape snapshot, per OpenMetrics render, and per accuracy-audit
+  epoch — so the cost of watching the pipeline is itself gated.
 
 Usage::
 
@@ -99,12 +102,17 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "speedup_vs_packet_loop": 0.60,
     "codec_bytes_per_flow": 0.10,
     "batch_fallback_fraction": 0.10,
+    "scrape_seconds_per_snapshot": 1.00,
+    "render_seconds": 1.00,
+    "audit_seconds_per_epoch": 1.00,
 }
 
 #: Metrics where a *larger* fresh value is the regression direction.
 LOWER_IS_BETTER_SUFFIXES = (
     "disabled_over_raw", "enabled_over_disabled", "seconds_per_iter",
     "codec_bytes_per_flow", "batch_fallback_fraction",
+    "scrape_seconds_per_snapshot", "render_seconds",
+    "audit_seconds_per_epoch",
 )
 
 #: Metrics that scale with the packet budget; --compare skips them
@@ -364,6 +372,80 @@ def measure_service(keys: np.ndarray, repeats: int) -> dict:
     return result
 
 
+OBSPLANE_SCRAPES = 32
+OBSPLANE_AUDIT_RATE = 0.05
+
+
+def measure_obsplane(keys: np.ndarray, repeats: int) -> dict:
+    """Cost of the observability plane itself.
+
+    The plane's overhead budget has three line items, each timed in
+    isolation over a registry populated by a real epoch-runtime run
+    (health monitor + auditor wired, so the metric surface matches
+    what ``repro obs`` actually scrapes):
+
+    * ``scrape_seconds_per_snapshot`` — one full registry snapshot
+      into the time-series store,
+    * ``render_seconds`` — one OpenMetrics text exposition,
+    * ``audit_seconds_per_epoch`` — the accuracy auditor's end-to-end
+      cost for one epoch (hash-sample every batch, then seal against
+      the ingested sketch).
+    """
+    from repro.runtime import EpochConfig, EpochManager
+    from repro.telemetry.health import SketchHealthMonitor
+    from repro.telemetry.obsplane import (
+        AccuracyAuditor,
+        Scraper,
+        render_openmetrics,
+    )
+
+    registry = MetricsRegistry(exporter=MemoryExporter())
+    manager = EpochManager(
+        _parallel_factory,
+        config=EpochConfig(epoch_packets=max(1, keys.shape[0] // 4)),
+        telemetry=registry,
+        health_monitor=SketchHealthMonitor(telemetry=registry),
+        auditor=AccuracyAuditor(sample_rate=OBSPLANE_AUDIT_RATE, seed=1))
+    manager.feed(keys)
+
+    def scrape_n():
+        scraper = Scraper(registry, include_timers=True)
+        for _ in range(OBSPLANE_SCRAPES):
+            scraper.scrape()
+
+    scrape_s = _best_of(repeats, scrape_n) / OBSPLANE_SCRAPES
+    render_s = _best_of(
+        repeats, lambda: render_openmetrics(registry,
+                                            include_timers=True))
+
+    sketch = _parallel_factory()
+    sketch.ingest(keys)
+
+    def audit_epoch():
+        auditor = AccuracyAuditor(sample_rate=OBSPLANE_AUDIT_RATE,
+                                  seed=1)
+        for start in range(0, keys.shape[0], 8_192):
+            auditor.observe(keys[start:start + 8_192])
+        auditor.seal(0, sketch)
+
+    audit_s = _best_of(repeats, audit_epoch)
+    probe = Scraper(registry, include_timers=True)
+    probe.scrape()
+    result = {
+        "packets": int(keys.shape[0]),
+        "metrics_scraped": len(registry.names()),
+        "series": len(probe.store),
+        "audit_sample_rate": OBSPLANE_AUDIT_RATE,
+        "scrape_seconds_per_snapshot": scrape_s,
+        "render_seconds": render_s,
+        "audit_seconds_per_epoch": audit_s,
+    }
+    print(f"  obsplane   scrape {scrape_s * 1e6:>8,.1f} us/snapshot   "
+          f"render {render_s * 1e3:.3f} ms   "
+          f"audit {audit_s * 1e3:.3f} ms/epoch")
+    return result
+
+
 def measure_em(keys: np.ndarray, iterations: int = 5) -> dict:
     registry = MetricsRegistry()
     sketch = FCMSketch.with_memory(MEMORY, seed=1)
@@ -402,6 +484,7 @@ def build_record(packets: int, repeats: int, seed: int) -> dict:
         "parallel": measure_parallel(
             keys, trace.ground_truth.keys_array().shape[0], repeats),
         "service": measure_service(keys, repeats),
+        "obsplane": measure_obsplane(keys, repeats),
     }
 
 
@@ -467,6 +550,13 @@ def validate_record(record: dict) -> list:
     if service.get("shed", 0) != 0:
         errors.append("service.shed nonzero under the lossless "
                       "BLOCK policy")
+    obsplane = record.get("obsplane", {})
+    for field in ("metrics_scraped", "series",
+                  "scrape_seconds_per_snapshot", "render_seconds",
+                  "audit_seconds_per_epoch"):
+        value = obsplane.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(f"obsplane.{field} not positive")
     return errors
 
 
@@ -500,6 +590,11 @@ def flatten_metrics(record: dict) -> Dict[str, float]:
     service = record.get("service", {})
     if "ingest_pps" in service:
         out["service.ingest_pps"] = float(service["ingest_pps"])
+    obsplane = record.get("obsplane", {})
+    for field in ("scrape_seconds_per_snapshot", "render_seconds",
+                  "audit_seconds_per_epoch"):
+        if field in obsplane:
+            out[f"obsplane.{field}"] = float(obsplane[field])
     return out
 
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirroring how the paper's system is operated:
+Seven subcommands mirroring how the paper's system is operated:
 
 * ``evaluate`` — run one sketch over a synthetic workload and print
   every supported measurement vs ground truth.
@@ -17,6 +17,12 @@ Six subcommands mirroring how the paper's system is operated:
   for an FCM configuration.
 * ``telemetry-report`` — render an exported NDJSON event/span stream
   into per-window drain-health, EM-convergence and slow-span tables.
+* ``obs``      — run the measurement service under the observability
+  plane: periodic registry scrapes into time series, SLO burn-rate
+  evaluation, an exact-oracle accuracy audit per epoch, and an ASCII
+  dashboard.  ``--once`` drives everything on a deterministic logical
+  clock and prints one final screen (byte-stable; the mode CI smokes),
+  ``--watch`` live-renders while the trace streams.
 
 Examples::
 
@@ -29,6 +35,8 @@ Examples::
     python -m repro.cli evaluate --telemetry-out run.ndjson \
         --trace-out spans.ndjson
     python -m repro.cli telemetry-report run.ndjson
+    python -m repro.cli obs --once --packets 60000 \
+        --openmetrics-out metrics.om.txt --series-out series.ndjson
 """
 
 from __future__ import annotations
@@ -330,6 +338,122 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """The observability plane over a synchronous service run.
+
+    Drives the measurement service's deterministic core (admit /
+    ingest_step / drain_core — no asyncio) so ``--once`` output is
+    byte-stable: the registry clock is a logical millisecond counter,
+    scrape ticks are scrape counts, and the audit/SLO state depends
+    only on the seed.
+    """
+    import functools
+    import itertools
+    import time as _time
+
+    from repro.runtime import EpochConfig, EpochManager
+    from repro.service import MeasurementService, PressureConfig
+    from repro.telemetry import (
+        MemoryExporter,
+        SketchHealthMonitor,
+        TeeExporter,
+    )
+    from repro.telemetry.obsplane import (
+        AccuracyAuditor,
+        ObservabilityPlane,
+        default_service_slos,
+    )
+
+    trace = _build_trace(args)
+    if args.once:
+        # Logical clock: every read advances 1 ms.  Timers and spans
+        # then hold deterministic durations, so even the timer-fed
+        # histograms in the OpenMetrics text are byte-stable.
+        counter = itertools.count()
+        clock = lambda: next(counter) * 1e-3  # noqa: E731
+    else:
+        clock = _time.perf_counter
+    memory_exporter = MemoryExporter()
+    exporter = memory_exporter
+    sinks = []
+    if getattr(args, "telemetry_out", None):
+        sinks.append(NDJSONExporter(args.telemetry_out))
+        exporter = TeeExporter(memory_exporter, sinks[0])
+    registry = MetricsRegistry(exporter=exporter, clock=clock)
+    auditor = AccuracyAuditor(sample_rate=args.audit_rate,
+                              seed=args.seed, telemetry=registry)
+    manager = EpochManager(
+        functools.partial(_stream_sketch, args.memory_kb * 1024,
+                          args.seed),
+        config=EpochConfig(epoch_packets=args.epoch_packets,
+                           retention=args.retention),
+        telemetry=registry,
+        health_monitor=SketchHealthMonitor(telemetry=registry),
+        auditor=auditor,
+    )
+    service = MeasurementService(
+        manager,
+        pressure=PressureConfig(policy=args.policy, seed=args.seed),
+        telemetry=registry, worker_batch=args.worker_batch,
+        clock=clock)
+    plane = ObservabilityPlane(
+        registry,
+        objectives=default_service_slos(
+            ingest_floor=args.ingest_floor,
+            shed_ceiling=args.shed_ceiling,
+            drain_p99_ceiling=args.drain_p99_ceiling),
+        auditor=auditor, include_timers=True)
+    plane.on_alert(service.on_slo_alert)
+
+    sources = [f"src{i}" for i in range(args.sources)]
+    keys = trace.keys
+    batches = 0
+    for start in range(0, keys.size, args.batch):
+        remaining = keys[start:start + args.batch]
+        source = sources[batches % len(sources)]
+        while remaining.size:
+            outcome = service.admit(source, remaining)
+            remaining = outcome.deferred
+            if remaining.size:          # BLOCK deferred: make room
+                service.ingest_step()
+        batches += 1
+        while service.queues.depth >= service.worker_batch:
+            service.ingest_step()
+        if batches % args.scrape_every == 0:
+            plane.tick()
+            if args.watch and not args.once:
+                sys.stdout.write("\x1b[2J\x1b[H"
+                                 + plane.dashboard(width=args.width))
+                sys.stdout.flush()
+                _time.sleep(args.refresh)
+    while service.queues.depth:
+        service.ingest_step()
+    report = service.drain_core()
+    plane.tick()
+
+    if args.openmetrics_out:
+        text = plane.openmetrics()
+        with open(args.openmetrics_out, "w") as handle:
+            handle.write(text)
+        print(f"openmetrics: {len(text.splitlines())} lines -> "
+              f"{args.openmetrics_out}")
+    if args.series_out:
+        count = plane.write_series(args.series_out)
+        print(f"series: {count} series -> {args.series_out}")
+    for sink in sinks:
+        sink.close()
+        print(f"telemetry: {sink.events_written} events -> {sink.path}")
+    print(plane.dashboard(width=args.width), end="")
+    print(report.ledger_line())
+    fired = len(plane.slo.alerts) if plane.slo is not None else 0
+    print(f"slo: {fired} alert(s) fired, "
+          f"{len(plane.firing_alerts)} firing at exit")
+    if not report.conserved:
+        print("error: conservation ledger violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_telemetry_report(args) -> int:
     from repro.telemetry.report import load_ndjson, render_report
 
@@ -446,6 +570,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="artificial seconds of work per ingest "
                               "step (slow-consumer simulation)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability plane over the measurement service "
+                    "(scrapes, SLO burn rates, accuracy audit, ASCII "
+                    "dashboard)")
+    add_workload_args(p_obs)
+    p_obs.add_argument("--once", action="store_true",
+                       help="deterministic one-shot run on a logical "
+                            "clock; prints one final dashboard "
+                            "(byte-stable output, used by CI)")
+    p_obs.add_argument("--watch", action="store_true",
+                       help="re-render the dashboard live while the "
+                            "trace streams (real clock)")
+    p_obs.add_argument("--sources", type=int, default=4,
+                       help="number of simulated sources")
+    p_obs.add_argument("--policy",
+                       choices=["block", "shed-newest", "shed-oldest",
+                                "degrade-sample"],
+                       default="block",
+                       help="backpressure policy at admission")
+    p_obs.add_argument("--epoch-packets", type=int, default=20_000,
+                       help="packets per measurement epoch")
+    p_obs.add_argument("--retention", type=int, default=8,
+                       help="sealed epochs kept in the store")
+    p_obs.add_argument("--batch", type=int, default=2_048,
+                       help="per-source submit batch size")
+    p_obs.add_argument("--worker-batch", type=int, default=4_096,
+                       help="max packets per ingest step")
+    p_obs.add_argument("--scrape-every", type=int, default=4,
+                       help="scrape the registry every N batches")
+    p_obs.add_argument("--audit-rate", type=float, default=0.05,
+                       help="fraction of flows in the exact-oracle "
+                            "accuracy audit")
+    p_obs.add_argument("--ingest-floor", type=float, default=1.0,
+                       help="SLO: minimum ingested packets per scrape "
+                            "tick")
+    p_obs.add_argument("--shed-ceiling", type=float, default=0.05,
+                       help="SLO: maximum shed/accepted fraction")
+    p_obs.add_argument("--drain-p99-ceiling", type=float, default=1.0,
+                       help="SLO: p99 epoch-drain seconds ceiling")
+    p_obs.add_argument("--openmetrics-out", default=None, metavar="PATH",
+                       help="write the OpenMetrics text exposition")
+    p_obs.add_argument("--series-out", default=None, metavar="PATH",
+                       help="write the scraped time series as NDJSON")
+    p_obs.add_argument("--refresh", type=float, default=0.5,
+                       help="--watch refresh interval in seconds")
+    p_obs.add_argument("--width", type=int, default=78,
+                       help="dashboard width in characters")
+    p_obs.set_defaults(func=cmd_obs)
 
     p_res = sub.add_parser("resources", help="hardware resource report")
     p_res.add_argument("--memory-kb", type=int, default=1300)

@@ -59,6 +59,7 @@ class WindowReport:
     health: Optional[CollectionHealth] = None
     collected_sketches: Dict[str, object] = field(default_factory=dict)
     sketch_health: Optional[SketchHealthReport] = None
+    audit: Optional[object] = None      # AuditReport (auditor wired)
     snapshot_bytes: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -106,6 +107,11 @@ class SketchCollector:
             ``report.sketch_health``.  A default monitor is created
             when none is given; a monitor without its own registry
             inherits ``telemetry``.
+        auditor: optional :class:`~repro.telemetry.obsplane.audit
+            .AccuracyAuditor`; each window's packets feed its exact
+            oracle and the drained sketch is audited at the window
+            boundary (``report.audit``), calibrating the predicted
+            ARE envelope against observed error.
     """
 
     def __init__(self, sketch_factory: Callable[[], object],
@@ -114,7 +120,8 @@ class SketchCollector:
                  change_threshold: Optional[int] = None,
                  em_guard: Optional[EMGuardConfig] = None,
                  telemetry: Optional[MetricsRegistry] = None,
-                 health_monitor: Optional[SketchHealthMonitor] = None):
+                 health_monitor: Optional[SketchHealthMonitor] = None,
+                 auditor=None):
         self.sketch_factory = sketch_factory
         self.em_config = em_config
         self.run_em = run_em
@@ -126,6 +133,9 @@ class SketchCollector:
         self.health_monitor = health_monitor
         if health_monitor.telemetry is None:
             health_monitor.telemetry = telemetry
+        self.auditor = auditor
+        if auditor is not None and auditor.telemetry is None:
+            auditor.telemetry = telemetry
         self.sketches: List[object] = []
 
     def process(self, trace: Trace, num_windows: int) -> List[WindowReport]:
@@ -154,6 +164,8 @@ class SketchCollector:
                 sketch = self.sketch_factory()
                 sketch.ingest(window.keys)
                 self.sketches.append(sketch)
+                if self.auditor is not None:
+                    self.auditor.observe(window.keys)
                 report = WindowReport(
                     window_index=index,
                     total_packets=len(window),
@@ -175,6 +187,9 @@ class SketchCollector:
                     report.sketch_health = self.health_monitor.assess(
                         sketch, window_index=index,
                         collection_health=health)
+                if self.auditor is not None:
+                    report.audit = self.auditor.seal(
+                        index, sketch, health=report.sketch_health)
             previous_sketch = sketch
             previous_keys = window.ground_truth.keys_array()
             reports.append(report)
@@ -252,6 +267,13 @@ class NetworkSketchCollector:
             chaos-injected fault windows visibly flip status.  A
             default monitor is created when none is given; a monitor
             without its own registry inherits ``telemetry``.
+        auditor: optional :class:`~repro.telemetry.obsplane.audit
+            .AccuracyAuditor`.  The collector taps the simulator's
+            routing (``simulator.route_tap``) so the oracle counts
+            exactly what the EM vantage switch's sketch ingested —
+            re-routes, link thinning and drops included — and audits
+            that switch's drained sketch each window
+            (``report.audit``).
     """
 
     def __init__(self, simulator,
@@ -261,7 +283,8 @@ class NetworkSketchCollector:
                  em_guard: Optional[EMGuardConfig] = None,
                  em_switch: Optional[str] = None,
                  telemetry: Optional[MetricsRegistry] = None,
-                 health_monitor: Optional[SketchHealthMonitor] = None):
+                 health_monitor: Optional[SketchHealthMonitor] = None,
+                 auditor=None):
         self.simulator = simulator
         self.policy = policy if policy is not None else CollectionPolicy()
         self.run_em = run_em
@@ -275,9 +298,20 @@ class NetworkSketchCollector:
         self.health_monitor = health_monitor
         if health_monitor.telemetry is None:
             health_monitor.telemetry = telemetry
+        self.auditor = auditor
+        if auditor is not None:
+            if auditor.telemetry is None:
+                auditor.telemetry = telemetry
+            simulator.route_tap = self._route_tap
         self.breaker = CircuitBreaker(self.policy.breaker_threshold,
                                       self.policy.breaker_cooldown)
         self._last_success: Dict[str, int] = {}
+
+    def _route_tap(self, switch: str, keys, counts) -> None:
+        """Feed the auditor's oracle with the vantage switch's exact
+        per-window (flow, count) deliveries."""
+        if switch == self.em_switch:
+            self.auditor.observe_counts(keys, counts)
 
     def process(self, trace: Trace, num_windows: int) -> List[WindowReport]:
         """Route and collect window by window; never raises on faults."""
@@ -405,6 +439,11 @@ class NetworkSketchCollector:
                 collection_health=health)
             window_span.annotate(
                 sketch_status=report.sketch_health.status.name)
+        if self.auditor is not None \
+                and self.em_switch in collected:
+            report.audit = self.auditor.seal(
+                index, collected[self.em_switch],
+                health=report.sketch_health)
         return report
 
     def _record_network_window(self, report: WindowReport,

@@ -81,6 +81,13 @@ class NetworkSimulator:
         self.current_window = 0
         self.packets_dropped = 0
         self.flows_dropped = 0
+        #: Optional ``tap(switch_name, keys, counts)`` invoked with the
+        #: exact per-switch (flow, packet-count) batch each routed
+        #: window delivers — the observability plane's accuracy
+        #: auditor taps the vantage switch here, seeing precisely what
+        #: that switch's sketch saw (drops and re-routes included).
+        self.route_tap: Optional[
+            Callable[[str, np.ndarray, np.ndarray], None]] = None
 
     # ------------------------------------------------------------------
     # fault application
@@ -166,11 +173,13 @@ class NetworkSimulator:
             for name, keys in per_switch_keys.items():
                 if not keys:
                     continue
+                key_arr = np.asarray(keys, dtype=np.uint64)
+                count_arr = np.asarray(per_switch_counts[name],
+                                       dtype=np.int64)
+                if self.route_tap is not None:
+                    self.route_tap(name, key_arr, count_arr)
                 self._forward_aggregated(
-                    self.switches[name],
-                    np.asarray(keys, dtype=np.uint64),
-                    np.asarray(per_switch_counts[name], dtype=np.int64),
-                )
+                    self.switches[name], key_arr, count_arr)
             self._apply_corruption(window)
             route_span.annotate(
                 packets_dropped=self.packets_dropped - drops_before,

@@ -121,6 +121,7 @@ class SealedEpoch:
     heavy_changes: frozenset = frozenset()
     candidates: frozenset = frozenset()
     health: Optional[object] = None     # SketchHealthReport
+    audit: Optional[object] = None      # AuditReport (auditor attached)
     report: Optional[object] = None     # WindowReport (network mode)
     factory: Optional[Callable[[], object]] = field(
         default=None, repr=False, compare=False)
@@ -283,6 +284,12 @@ class EpochManager:
             epochs carry its verdict and, with
             ``config.rotate_on_saturation``, a ``SATURATED`` live
             sketch forces an early rotation.
+        auditor: optional :class:`~repro.telemetry.obsplane.audit
+            .AccuracyAuditor`; every ingested batch feeds its exact
+            oracle and every locally sealed epoch is audited against
+            the drained sketch (observed vs predicted ARE).  Local
+            modes only — a network vantage sketch sees a routed
+            subset, so a whole-stream oracle would misjudge it.
         clock: injectable monotonic clock for ``epoch_seconds``
             (default :func:`time.monotonic`).
         name: metric/span name prefix.
@@ -295,6 +302,7 @@ class EpochManager:
                  num_shards: Optional[int] = None,
                  telemetry: Optional[MetricsRegistry] = None,
                  health_monitor: Optional[SketchHealthMonitor] = None,
+                 auditor=None,
                  clock: Callable[[], float] = time.monotonic,
                  name: str = "runtime"):
         if (sketch_factory is None) == (collector is None):
@@ -332,6 +340,13 @@ class EpochManager:
                     telemetry=telemetry, name=f"{name}.engine")
         if health_monitor is not None and health_monitor.telemetry is None:
             health_monitor.telemetry = telemetry
+        self.auditor = auditor
+        if auditor is not None and collector is not None:
+            raise InvalidWindowError(
+                "accuracy audits apply to local modes only (the network "
+                "vantage sketch sees a routed subset of the stream)")
+        if auditor is not None and auditor.telemetry is None:
+            auditor.telemetry = telemetry
         self.store = SealedEpochStore(self.config.retention,
                                       telemetry=telemetry,
                                       name=f"{name}.store")
@@ -428,6 +443,8 @@ class EpochManager:
                 chunk = keys[offset:offset + room]
                 self._live.feed(chunk)
                 self.packets_fed += int(chunk.size)
+                if self.auditor is not None and chunk.size:
+                    self.auditor.observe(chunk)
                 if self.config.track_candidates and chunk.size:
                     self._live.candidates.update(
                         int(k) for k in np.unique(chunk))
@@ -514,6 +531,10 @@ class EpochManager:
                 sketch, window_index=generation.index)
         cardinality = float(sketch.cardinality()) \
             if hasattr(sketch, "cardinality") else 0.0
+        audit = None
+        if self.auditor is not None:
+            audit = self.auditor.seal(generation.index, sketch,
+                                      health=health)
         return SealedEpoch(
             index=generation.index,
             packets=generation.packets,
@@ -522,6 +543,7 @@ class EpochManager:
             cardinality=cardinality,
             candidates=frozenset(generation.candidates),
             health=health,
+            audit=audit,
             factory=self.sketch_factory,
         )
 

@@ -36,6 +36,7 @@ tests drive random interleavings without an event loop.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from typing import Awaitable, Callable, Dict, Iterable, Optional
 
@@ -51,6 +52,7 @@ from repro.robustness.policy import (
 )
 from repro.runtime.query import StreamingQueryAPI, parse_scope
 from repro.service.pressure import (
+    BackpressurePolicy,
     OfferOutcome,
     PressureConfig,
     ServiceQueues,
@@ -152,6 +154,8 @@ class MeasurementService:
             self.watchdog_policy.breaker_threshold,
             self.watchdog_policy.breaker_cooldown)
         self._last_progress = clock()
+        self._normal_policy: Optional[BackpressurePolicy] = None
+        self._slo_firing: set = set()
         self._closing = False
         self._closed = False
         self._cond = asyncio.Condition()
@@ -259,6 +263,58 @@ class MeasurementService:
         if keys.size:
             self._feed(keys)
         return int(keys.size)
+
+    # -- SLO-driven adaptation ----------------------------------------
+
+    def degrade(self, policy) -> None:
+        """Swap the backpressure policy at runtime (overload response).
+
+        The first call remembers the configured policy so
+        :meth:`restore_policy` can undo the swap; queue contents and
+        the ledger are untouched — only future admissions change.
+        """
+        policy = BackpressurePolicy.parse(policy)
+        config = self.queues.config
+        if policy is config.policy:
+            return
+        if self._normal_policy is None:
+            self._normal_policy = config.policy
+        self.queues.config = dataclasses.replace(config, policy=policy)
+        t = self.telemetry
+        if t is not None:
+            t.inc(f"{self.name}.policy_swaps")
+            t.emit("policy", f"{self.name}.degrade",
+                   policy=policy.value,
+                   normal=self._normal_policy.value)
+
+    def restore_policy(self) -> None:
+        """Return to the policy configured before :meth:`degrade`."""
+        if self._normal_policy is None:
+            return
+        normal, self._normal_policy = self._normal_policy, None
+        self.queues.config = dataclasses.replace(self.queues.config,
+                                                 policy=normal)
+        t = self.telemetry
+        if t is not None:
+            t.emit("policy", f"{self.name}.restore",
+                   policy=normal.value)
+
+    def on_slo_alert(self, alert) -> None:
+        """Adaptive hook for :meth:`SloTracker.on_alert
+        <repro.telemetry.obsplane.slo.SloTracker.on_alert>`.
+
+        While any objective is firing the service degrades to
+        ``DEGRADE_SAMPLE`` (answers get predictably worse instead of
+        the process falling over); when the last alert resolves, the
+        configured policy is restored.
+        """
+        if alert.firing:
+            self._slo_firing.add(alert.objective)
+            self.degrade(BackpressurePolicy.DEGRADE_SAMPLE)
+        else:
+            self._slo_firing.discard(alert.objective)
+            if not self._slo_firing:
+                self.restore_policy()
 
     # -- epoch degradation tagging ------------------------------------
 

@@ -26,7 +26,11 @@ On top of the flat metrics/events layer sit two observability tools:
 * **health** (:mod:`repro.telemetry.health`) — a
   :class:`SketchHealthMonitor` that turns stage-1 occupancy, saturation
   gauges, Linear-Counting cardinality and the §5 error bounds into a
-  per-window ``healthy``/``degraded``/``saturated`` verdict.
+  per-window ``healthy``/``degraded``/``saturated`` verdict;
+* **the observability plane** (:mod:`repro.telemetry.obsplane`) — a
+  registry :class:`Scraper` feeding bounded time series, OpenMetrics /
+  NDJSON exposition, multi-window burn-rate SLO alerting, exact-oracle
+  accuracy audits and the ``repro obs`` ASCII dashboard.
 
 Event streams carry sequence numbers instead of timestamps, so runs
 with fixed seeds are byte-comparable — see :mod:`repro.telemetry
@@ -42,6 +46,7 @@ from repro.telemetry.events import (
     TeeExporter,
     TelemetryEvent,
 )
+from repro.telemetry.quantiles import BucketQuantiles, P2Quantile
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -72,17 +77,39 @@ _HEALTH_EXPORTS = (
     "SketchHealthReport",
 )
 
+# The observability plane stays lazy for the same reason (its audit
+# module pulls numpy and the plane is optional tooling for most
+# library users).
+_OBSPLANE_EXPORTS = (
+    "AccuracyAuditor",
+    "ObservabilityPlane",
+    "Scraper",
+    "SeriesStore",
+    "SloObjective",
+    "SloTracker",
+    "default_service_slos",
+    "parse_openmetrics",
+    "profile_spans",
+    "render_openmetrics",
+)
+
 
 def __getattr__(name):
     if name in _HEALTH_EXPORTS:
         from repro.telemetry import health
 
         return getattr(health, name)
+    if name in _OBSPLANE_EXPORTS:
+        from repro.telemetry import obsplane
+
+        return getattr(obsplane, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "AccuracyAuditor",
+    "BucketQuantiles",
     "Counter",
     "FilterExporter",
     "Gauge",
@@ -92,8 +119,14 @@ __all__ = [
     "MemoryExporter",
     "MetricsRegistry",
     "NDJSONExporter",
+    "ObservabilityPlane",
+    "P2Quantile",
+    "Scraper",
+    "SeriesStore",
     "SketchHealthMonitor",
     "SketchHealthReport",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "SpanNode",
     "TeeExporter",
@@ -101,7 +134,11 @@ __all__ = [
     "Timer",
     "Tracer",
     "build_trace_trees",
+    "default_service_slos",
     "maybe_span",
+    "parse_openmetrics",
+    "profile_spans",
     "read_spans",
+    "render_openmetrics",
     "render_trace_tree",
 ]

@@ -1,0 +1,66 @@
+"""The observability plane: series, SLOs, audits, exposition.
+
+Layered over :mod:`repro.telemetry`'s registry/tracing/health stack:
+
+* :mod:`~repro.telemetry.obsplane.series` — bounded time series and
+  the registry :class:`Scraper` (logical-tick, deterministic),
+* :mod:`~repro.telemetry.obsplane.exposition` — OpenMetrics text and
+  NDJSON series export, both byte-stable under seeded runs,
+* :mod:`~repro.telemetry.obsplane.slo` — declared objectives with
+  multi-window burn-rate alerting,
+* :mod:`~repro.telemetry.obsplane.audit` — exact-oracle accuracy
+  audits calibrating the paper's predicted ARE envelope,
+* :mod:`~repro.telemetry.obsplane.spans` — span-tree aggregation with
+  critical-path attribution,
+* :mod:`~repro.telemetry.obsplane.dashboard` — the ASCII dashboard,
+* :mod:`~repro.telemetry.obsplane.plane` — the
+  :class:`ObservabilityPlane` facade tying it together.
+"""
+
+from repro.telemetry.obsplane.audit import AccuracyAuditor, AuditReport
+from repro.telemetry.obsplane.dashboard import render_dashboard, sparkline
+from repro.telemetry.obsplane.exposition import (
+    OpenMetricsError,
+    parse_openmetrics,
+    render_openmetrics,
+    render_series_ndjson,
+    write_series_ndjson,
+)
+from repro.telemetry.obsplane.plane import ObservabilityPlane
+from repro.telemetry.obsplane.series import Scraper, SeriesStore, TimeSeries
+from repro.telemetry.obsplane.slo import (
+    BurnRateRule,
+    SloAlert,
+    SloObjective,
+    SloTracker,
+    default_service_slos,
+)
+from repro.telemetry.obsplane.spans import (
+    StageProfile,
+    critical_path,
+    profile_spans,
+)
+
+__all__ = [
+    "AccuracyAuditor",
+    "AuditReport",
+    "BurnRateRule",
+    "ObservabilityPlane",
+    "OpenMetricsError",
+    "Scraper",
+    "SeriesStore",
+    "SloAlert",
+    "SloObjective",
+    "SloTracker",
+    "StageProfile",
+    "TimeSeries",
+    "critical_path",
+    "default_service_slos",
+    "parse_openmetrics",
+    "profile_spans",
+    "render_dashboard",
+    "render_openmetrics",
+    "render_series_ndjson",
+    "sparkline",
+    "write_series_ndjson",
+]

@@ -1,0 +1,258 @@
+"""Online accuracy audit: an exact oracle over a sampled flow set.
+
+The :class:`~repro.telemetry.health.SketchHealthMonitor` *predicts* an
+ARE envelope from the paper's Theorem 5.1/6.1 bound — but a prediction
+nobody checks is just a number.  :class:`AccuracyAuditor` measures the
+real thing at a cost the runtime can afford: it keeps an **exact**
+``{key: count}`` oracle for a small deterministic sample of flows,
+and at every epoch seal replays the sampled keys against the sealed
+sketch to compute the *observed* average relative error.
+
+Sampling is by multiplicative hashing (splitmix64 finalizer over the
+key, salted with the auditor seed): a flow is audited iff its hash
+falls under ``sample_rate * 2**64``.  The decision depends only on the
+key, so every packet of a sampled flow is counted — the oracle count
+is exact, not subsampled — and two seeded runs audit the identical
+flow set.  Memory is O(sample_rate x distinct flows) per epoch; the
+oracle resets at each seal.
+
+At seal time the auditor publishes the observed ARE, the predicted
+envelope from the epoch's health report, and their **calibration
+ratio** (observed / predicted).  A ratio above 1.0 means the bound was
+violated — the one signal that distinguishes "the sketch is degraded
+but behaving as theory says" from "something is actually wrong"
+(wrong geometry constant, broken codec, miscounted packets).  Ratios
+are gauged, miscalibrated epochs are counted, and every audit emits
+one ``audit`` event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "AuditReport",
+    "AccuracyAuditor",
+]
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(values: np.ndarray, salt: np.uint64) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (wrapping uint64 arithmetic)."""
+    h = (values + salt) * _SPLITMIX_GAMMA
+    h ^= h >> np.uint64(30)
+    h *= _MIX1
+    h ^= h >> np.uint64(27)
+    h *= _MIX2
+    h ^= h >> np.uint64(31)
+    return h
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """One epoch's accuracy audit.
+
+    Attributes:
+        epoch: the sealed epoch's index.
+        flows_audited: sampled flows with at least one packet.
+        packets_audited: exact packets across the sampled flows.
+        observed_are: mean ``|estimate - true| / true`` over the
+            sampled flows (0.0 when none were sampled).
+        max_relative_error: worst single-flow relative error.
+        predicted_are: the health monitor's envelope for the epoch
+            (``None`` when the epoch carried no health report).
+        calibration: ``observed / predicted`` (``None`` without a
+            prediction; ``inf`` if predicted is 0 while observed > 0).
+        within_envelope: observed ARE at or under the (tolerance-
+            scaled) prediction; vacuously true without a prediction.
+    """
+
+    epoch: int
+    flows_audited: int
+    packets_audited: int
+    observed_are: float
+    max_relative_error: float
+    predicted_are: Optional[float]
+    calibration: Optional[float]
+    within_envelope: bool
+
+    def event_fields(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "flows_audited": self.flows_audited,
+            "packets_audited": self.packets_audited,
+            "observed_are": self.observed_are,
+            "max_relative_error": self.max_relative_error,
+            "predicted_are": self.predicted_are,
+            "calibration": self.calibration,
+            "within_envelope": self.within_envelope,
+        }
+
+
+class AccuracyAuditor:
+    """Exact-oracle ARE audit over a deterministic sample of flows.
+
+    Args:
+        sample_rate: fraction of the key space audited (0 < rate <= 1).
+        seed: salt for the sampling hash — two auditors with the same
+            seed audit the same flows.
+        tolerance_factor: scale on the predicted envelope before the
+            ``within_envelope`` verdict (1.0 = the raw bound; the
+            bound is an upper bound in expectation, so clean seeded
+            traces should pass at 1.0).
+        telemetry: optional registry for gauges / counters / ``audit``
+            events.
+        name: metric/event prefix.
+
+    Usage: call :meth:`observe` with every ingested batch (the epoch
+    manager does this right after feeding the live sketch), then
+    :meth:`seal` with the sealed epoch's sketch.  The oracle resets
+    after each seal.
+    """
+
+    def __init__(self, sample_rate: float = 0.05, seed: int = 1,
+                 tolerance_factor: float = 1.0, telemetry=None,
+                 name: str = "audit"):
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        if tolerance_factor <= 0:
+            raise ValueError("tolerance_factor must be positive")
+        self.sample_rate = sample_rate
+        self.seed = seed
+        self.tolerance_factor = tolerance_factor
+        self.telemetry = telemetry
+        self.name = name
+        self._salt = np.uint64((seed * 0x5851F42D4C957F2D) % (1 << 64))
+        self._threshold = np.uint64(
+            min(int(sample_rate * float(2 ** 64)), 2 ** 64 - 1))
+        self._oracle: Dict[int, int] = {}
+        self.reports: List[AuditReport] = []
+
+    @property
+    def tracked_flows(self) -> int:
+        return len(self._oracle)
+
+    def is_sampled(self, key: int) -> bool:
+        """Whether one key falls in the audited sample (deterministic)."""
+        h = _splitmix64(np.asarray([key], dtype=np.uint64), self._salt)
+        return bool(h[0] < self._threshold)
+
+    def observe(self, keys) -> int:
+        """Count the sampled flows' packets exactly; returns how many
+        of the batch's packets were audited."""
+        keys = np.ascontiguousarray(keys).astype(np.uint64, copy=False)
+        if keys.size == 0:
+            return 0
+        hashes = _splitmix64(keys, self._salt)
+        sampled = keys[hashes < self._threshold]
+        if sampled.size == 0:
+            return 0
+        uniques, counts = np.unique(sampled, return_counts=True)
+        oracle = self._oracle
+        for key, count in zip(uniques.tolist(), counts.tolist()):
+            oracle[key] = oracle.get(key, 0) + count
+        return int(sampled.size)
+
+    def observe_counts(self, keys, counts) -> int:
+        """Aggregated form of :meth:`observe`: ``counts[i]`` packets
+        of flow ``keys[i]`` (the network simulator forwards per-switch
+        batches this way).  Returns the packets audited."""
+        keys = np.ascontiguousarray(keys).astype(np.uint64, copy=False)
+        counts = np.ascontiguousarray(counts)
+        if keys.size == 0:
+            return 0
+        mask = _splitmix64(keys, self._salt) < self._threshold
+        if not mask.any():
+            return 0
+        oracle = self._oracle
+        audited = 0
+        for key, count in zip(keys[mask].tolist(),
+                              counts[mask].tolist()):
+            count = int(count)
+            oracle[key] = oracle.get(key, 0) + count
+            audited += count
+        return audited
+
+    def seal(self, epoch_index: int, sketch,
+             health=None) -> AuditReport:
+        """Audit a sealed epoch's sketch against the oracle.
+
+        Args:
+            epoch_index: the sealed epoch's index.
+            sketch: the drained sketch the epoch was sealed from (any
+                object with ``query_many`` or ``query``).
+            health: the epoch's :class:`~repro.telemetry.health
+                .SketchHealthReport`, if one was assessed — supplies
+                the predicted envelope for calibration.
+
+        The oracle resets afterwards, ready for the next epoch.
+        """
+        oracle = self._oracle
+        self._oracle = {}
+        keys = sorted(oracle)
+        packets = sum(oracle.values())
+        observed = 0.0
+        worst = 0.0
+        if keys:
+            estimates = self._query(sketch, keys)
+            errors = [abs(float(est) - oracle[key]) / oracle[key]
+                      for key, est in zip(keys, estimates)]
+            observed = sum(errors) / len(errors)
+            worst = max(errors)
+        predicted = None
+        if health is not None:
+            predicted = float(health.predicted_are)
+        calibration = None
+        within = True
+        if predicted is not None:
+            allowed = predicted * self.tolerance_factor
+            within = observed <= allowed
+            if predicted > 0:
+                calibration = observed / predicted
+            elif observed > 0:
+                calibration = float("inf")
+            else:
+                calibration = 0.0
+        report = AuditReport(
+            epoch=epoch_index, flows_audited=len(keys),
+            packets_audited=packets, observed_are=observed,
+            max_relative_error=worst, predicted_are=predicted,
+            calibration=calibration, within_envelope=within)
+        self.reports.append(report)
+        self._publish(report)
+        return report
+
+    @staticmethod
+    def _query(sketch, keys):
+        query_many = getattr(sketch, "query_many", None)
+        if query_many is not None:
+            return np.asarray(
+                query_many(np.asarray(keys, dtype=np.uint64)))
+        return [sketch.query(int(key)) for key in keys]
+
+    def _publish(self, report: AuditReport) -> None:
+        t = self.telemetry
+        if t is None:
+            return
+        prefix = self.name
+        t.inc(f"{prefix}.epochs")
+        t.inc(f"{prefix}.flows", report.flows_audited)
+        t.set_gauge(f"{prefix}.observed_are", report.observed_are)
+        t.set_gauge(f"{prefix}.max_relative_error",
+                    report.max_relative_error)
+        if report.predicted_are is not None:
+            t.set_gauge(f"{prefix}.predicted_are", report.predicted_are)
+        if report.calibration is not None \
+                and report.calibration != float("inf"):
+            t.set_gauge(f"{prefix}.calibration", report.calibration)
+        if not report.within_envelope:
+            t.inc(f"{prefix}.miscalibrated")
+        t.set_gauge(f"{prefix}.within_envelope",
+                    1.0 if report.within_envelope else 0.0)
+        t.emit("audit", f"{prefix}.epoch", **report.event_fields())

@@ -1,0 +1,171 @@
+"""ASCII dashboard: one terminal screen of observability state.
+
+:func:`render_dashboard` is a pure function from plane state (series
+store, SLO tracker, audit reports, span profiles) to a text screen —
+no terminal control codes, no clock reads — so the ``repro obs
+--once`` output is deterministic and testable, and the live watch
+mode just re-renders in place.
+
+Panels, top to bottom:
+
+* **series** — one sparkline per selected series (counters shown as
+  per-tick rates, gauges as levels) with the latest value,
+* **slo** — each objective's current value vs target, worst burn
+  rate, and FIRING/ok/idle status,
+* **audit** — the most recent epoch audits: observed vs predicted
+  ARE and the calibration verdict,
+* **stages** — the span profiles that dominate the critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = [
+    "sparkline",
+    "render_dashboard",
+]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Fixed-width unicode sparkline (empty-padded, min/max scaled)."""
+    values = list(values)[-width:]
+    if not values:
+        return " " * width
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if span <= 0:
+            chars.append(_BLOCKS[0])
+        else:
+            idx = int((value - lo) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[idx])
+    return "".join(chars).rjust(width)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value != value:
+        return "NaN"
+    if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+        return f"{value:.3g}"
+    if float(value).is_integer() and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def _rule(title: str, width: int) -> str:
+    bar = f"── {title} "
+    return bar + "─" * max(width - len(bar), 0)
+
+
+def _series_panel(store, names: Iterable[str], width: int) -> List[str]:
+    lines = []
+    label_width = max((len(n) for n in names), default=0)
+    spark_width = max(width - label_width - 14, 8)
+    for name in names:
+        series = store.get(name)
+        if series is None or len(series) == 0:
+            continue
+        if series.kind == "counter":
+            points = list(series)
+            values = [b[1] - a[1] for a, b in zip(points, points[1:])]
+            shown = series.rate(1)
+            suffix = "/t"
+        else:
+            values = [v for _, v in series]
+            shown = series.latest
+            suffix = "  "
+        lines.append(f"{name.ljust(label_width)} "
+                     f"{sparkline(values, spark_width)} "
+                     f"{_fmt(shown):>9}{suffix}")
+    return lines
+
+
+def _slo_panel(slo, width: int) -> List[str]:
+    lines = []
+    for objective in slo.objectives:
+        state = slo._state[objective.name]
+        value = objective.measure(slo.store)
+        if value is None:
+            status, burn = "idle", 0.0
+        else:
+            burn = max((slo._burn(state.bad, rule.long_window,
+                                  objective.budget)
+                        for rule in objective.rules), default=0.0)
+            status = "FIRING" if state.active is not None else "ok"
+        relation = "<=" if objective.kind.endswith("ceiling") else ">="
+        lines.append(
+            f"{objective.name:<22} {_fmt(value):>10} "
+            f"{relation} {_fmt(objective.target):<8} "
+            f"burn {burn:5.2f}  {status}")
+    return lines
+
+
+def _audit_panel(audits, limit: int = 3) -> List[str]:
+    lines = []
+    for report in list(audits)[-limit:]:
+        verdict = "ok" if report.within_envelope else "MISCALIBRATED"
+        lines.append(
+            f"epoch {report.epoch:<4} flows {report.flows_audited:<5} "
+            f"observed {_fmt(report.observed_are):>8} "
+            f"predicted {_fmt(report.predicted_are):>8}  {verdict}")
+    return lines
+
+
+def _stage_panel(profiles, limit: int = 6) -> List[str]:
+    lines = []
+    for profile in list(profiles)[:limit]:
+        lines.append(
+            f"{profile.name:<28} n={profile.count:<5} "
+            f"mean {profile.mean_s * 1e3:8.3f}ms "
+            f"p95 {profile.p95_s * 1e3:8.3f}ms "
+            f"crit {profile.critical_s * 1e3:8.3f}ms")
+    return lines
+
+
+def render_dashboard(store, slo=None, audits=None, profiles=None,
+                     series_names: Optional[Sequence[str]] = None,
+                     title: str = "repro obs", width: int = 78,
+                     max_series: int = 12) -> str:
+    """One dashboard screen as plain text (no escape codes).
+
+    Args:
+        store: the scraped :class:`SeriesStore`.
+        slo: optional :class:`SloTracker` for the objective panel.
+        audits: optional iterable of :class:`AuditReport`.
+        profiles: optional :class:`StageProfile` list (pre-sorted).
+        series_names: series to chart; default picks the first
+            ``max_series`` counters+gauges (skipping derived
+            histogram fields, which the SLO panel already covers).
+        title: header text.
+        width: screen width in characters.
+        max_series: cap on auto-selected series rows.
+    """
+    ticks = [series.latest_tick for series in store
+             if series.latest_tick is not None]
+    tick = max(ticks) if ticks else None
+    lines = [_rule(f"{title} @ tick {_fmt(tick)}", width)]
+    if series_names is None:
+        series_names = [s.name for s in store
+                        if s.kind in ("counter", "gauge")][:max_series]
+    lines.extend(_series_panel(store, series_names, width))
+    if slo is not None and slo.objectives:
+        lines.append(_rule("slo", width))
+        lines.extend(_slo_panel(slo, width))
+        firing = slo.firing
+        if firing:
+            names = ", ".join(a.objective for a in firing)
+            lines.append(f"!! {len(firing)} alert(s) firing: {names}")
+    if audits:
+        lines.append(_rule("audit", width))
+        lines.extend(_audit_panel(audits))
+    if profiles:
+        lines.append(_rule("stages by critical-path time", width))
+        lines.extend(_stage_panel(profiles))
+    lines.append("─" * width)
+    return "\n".join(lines) + "\n"

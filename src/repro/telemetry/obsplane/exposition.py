@@ -1,0 +1,245 @@
+"""OpenMetrics text exposition and NDJSON series export.
+
+:func:`render_openmetrics` turns a
+:class:`~repro.telemetry.registry.MetricsRegistry` into the
+OpenMetrics / Prometheus text format:
+
+* counters become ``# TYPE f counter`` families with one
+  ``f_total`` sample,
+* gauges become gauge families,
+* histograms become *summary* families — ``{quantile="..."}`` samples
+  from the histogram's log-bucket sketch plus ``_count`` and ``_sum``
+  (a summary matches what the registry's histogram actually stores:
+  running aggregates + streaming quantiles, not cumulative buckets).
+
+Metric names are sanitized (dots and invalid characters to ``_``,
+a configurable ``repro_`` prefix) and families are emitted in sorted
+order with ``# EOF`` last, so the text is **byte-stable** across
+seeded runs (timer-fed histograms are excluded by default — they hold
+wall-clock durations, the one nondeterministic metric).
+
+:func:`parse_openmetrics` is the strict inverse used by the format
+tests and the dashboard's self-check: it validates the line grammar,
+TYPE-before-samples ordering, counter ``_total`` suffixes and the
+trailing ``# EOF``, and returns ``{sample name: value}``.
+
+:func:`write_series_ndjson` / :func:`render_series_ndjson` export a
+:class:`~repro.telemetry.obsplane.series.SeriesStore` as one JSON
+object per series (sorted names, canonical separators) — the
+interchange format for offline dashboards, byte-stable under the
+logical scrape clock.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, IO, List, Tuple, Union
+
+__all__ = [
+    "render_openmetrics",
+    "parse_openmetrics",
+    "render_series_ndjson",
+    "write_series_ndjson",
+    "OpenMetricsError",
+]
+
+DEFAULT_QUANTILES = (0.50, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Sample line grammar: name, optional {labels}, one value.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>-?(?:[0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?"
+    r"|\+?Inf|NaN))$")
+
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+class OpenMetricsError(ValueError):
+    """A rendered exposition violated the OpenMetrics grammar."""
+
+
+def sanitize(name: str, prefix: str = "repro") -> str:
+    """A metric name made OpenMetrics-legal (dots -> underscores)."""
+    flat = _INVALID.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    """Canonical sample value: integral floats render as integers."""
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return "NaN" if value != value else (
+            "+Inf" if value > 0 else "-Inf")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(registry, prefix: str = "repro",
+                       include_timers: bool = False,
+                       quantiles: Tuple[float, ...] = DEFAULT_QUANTILES,
+                       ) -> str:
+    """The registry's current state in OpenMetrics text format."""
+    lines: List[str] = []
+    names = registry.names()
+    timers = registry.timer_names
+    seen: Dict[str, str] = {}
+    for raw in sorted(names):
+        kind = names[raw]
+        if kind == "histogram" and not include_timers and raw in timers:
+            continue
+        family = sanitize(raw, prefix)
+        if family in seen:
+            # Two raw names collapsed onto one sanitized family —
+            # refuse rather than silently merging distinct metrics.
+            raise OpenMetricsError(
+                f"metric names {seen[family]!r} and {raw!r} both "
+                f"sanitize to {family!r}")
+        seen[family] = raw
+        if kind == "counter":
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"# HELP {family} counter {raw}")
+            lines.append(f"{family}_total "
+                         f"{_format_value(registry.counter(raw).value)}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"# HELP {family} gauge {raw}")
+            lines.append(f"{family} "
+                         f"{_format_value(registry.gauge(raw).value)}")
+        else:
+            histogram = registry.histogram(raw)
+            lines.append(f"# TYPE {family} summary")
+            lines.append(f"# HELP {family} histogram {raw}")
+            for q in quantiles:
+                lines.append(
+                    f'{family}{{quantile="{q:g}"}} '
+                    f"{_format_value(histogram.quantile(q))}")
+            lines.append(f"{family}_count "
+                         f"{_format_value(histogram.count)}")
+            lines.append(f"{family}_sum "
+                         f"{_format_value(histogram.total)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, float]:
+    """Strictly parse an OpenMetrics exposition.
+
+    Enforces: every sample belongs to the most recently declared
+    family; families are declared exactly once, with samples following
+    their TYPE line; counter samples use the ``_total`` suffix; label
+    sets follow ``name="value"`` grammar; the final line is ``# EOF``
+    with nothing after it.  Returns ``{sample key: value}`` where the
+    key is the sample name plus any label string.
+
+    Raises:
+        OpenMetricsError: on any grammar or structure violation.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise OpenMetricsError("exposition must end with '# EOF'")
+    samples: Dict[str, float] = {}
+    declared: Dict[str, str] = {}
+    current: str = ""
+    current_type: str = ""
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise OpenMetricsError(
+                    f"line {lineno}: malformed TYPE line {line!r}")
+            _, _, family, kind = parts
+            if kind not in ("counter", "gauge", "summary", "histogram",
+                            "unknown", "info", "stateset"):
+                raise OpenMetricsError(
+                    f"line {lineno}: unknown metric type {kind!r}")
+            if family in declared:
+                raise OpenMetricsError(
+                    f"line {lineno}: family {family!r} declared twice")
+            declared[family] = kind
+            current, current_type = family, kind
+            continue
+        if line.startswith("# HELP "):
+            if line.split(" ", 3)[2:3] != [current]:
+                raise OpenMetricsError(
+                    f"line {lineno}: HELP outside its family block")
+            continue
+        if line.startswith("#"):
+            raise OpenMetricsError(
+                f"line {lineno}: unexpected comment {line!r}")
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise OpenMetricsError(
+                f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = match.group("labels")
+        if labels:
+            for label in labels.split(","):
+                if not _LABEL.match(label):
+                    raise OpenMetricsError(
+                        f"line {lineno}: malformed label {label!r}")
+        if not current:
+            raise OpenMetricsError(
+                f"line {lineno}: sample before any TYPE declaration")
+        if current_type == "counter":
+            if name != f"{current}_total" or labels:
+                raise OpenMetricsError(
+                    f"line {lineno}: counter sample must be "
+                    f"{current}_total")
+        elif current_type == "gauge":
+            if name != current:
+                raise OpenMetricsError(
+                    f"line {lineno}: gauge sample {name!r} outside "
+                    f"family {current!r}")
+        elif current_type in ("summary", "histogram"):
+            allowed = (current, f"{current}_count", f"{current}_sum",
+                       f"{current}_bucket")
+            if name not in allowed:
+                raise OpenMetricsError(
+                    f"line {lineno}: sample {name!r} outside "
+                    f"family {current!r}")
+        key = name if not labels else f"{name}{{{labels}}}"
+        if key in samples:
+            raise OpenMetricsError(
+                f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = float(match.group("value"))
+    return samples
+
+
+def render_series_ndjson(store) -> str:
+    """One canonical JSON object per series, sorted by name."""
+    lines = []
+    for series in store:
+        record = {
+            "series": series.name,
+            "kind": series.kind,
+            "points": [[tick, value] for tick, value in series],
+        }
+        lines.append(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_series_ndjson(store, target: Union[str, IO[str]]) -> int:
+    """Write :func:`render_series_ndjson` to a path or open stream.
+
+    Returns the number of series written.
+    """
+    text = render_series_ndjson(store)
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            handle.write(text)
+    else:
+        target.write(text)
+    return len(store)

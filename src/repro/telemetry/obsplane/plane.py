@@ -1,0 +1,126 @@
+"""The observability plane facade: scrape, evaluate, render.
+
+:class:`ObservabilityPlane` wires the plane's parts around one
+:class:`~repro.telemetry.registry.MetricsRegistry`:
+
+* a :class:`~repro.telemetry.obsplane.series.Scraper` snapshotting the
+  registry into bounded time series,
+* an optional :class:`~repro.telemetry.obsplane.slo.SloTracker`
+  evaluating declared objectives after every scrape,
+* an optional :class:`~repro.telemetry.obsplane.audit
+  .AccuracyAuditor` (owned by the caller, attached here so renders
+  can show its reports),
+
+and exposes the render surface: OpenMetrics text, series NDJSON, span
+profiles (when the registry's exporter keeps events in memory) and
+the ASCII dashboard.  One :meth:`tick` is the plane's unit of work —
+the service loop, the CLI watcher and the tests all drive the same
+method.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.telemetry.obsplane.audit import AccuracyAuditor
+from repro.telemetry.obsplane.dashboard import render_dashboard
+from repro.telemetry.obsplane.exposition import (
+    render_openmetrics,
+    render_series_ndjson,
+    write_series_ndjson,
+)
+from repro.telemetry.obsplane.series import Scraper, SeriesStore
+from repro.telemetry.obsplane.slo import SloObjective, SloTracker
+from repro.telemetry.obsplane.spans import StageProfile, profile_spans
+
+__all__ = ["ObservabilityPlane"]
+
+
+class ObservabilityPlane:
+    """Scraper + SLO tracker + renderers over one registry.
+
+    Args:
+        registry: the :class:`MetricsRegistry` to observe.
+        objectives: optional :class:`SloObjective` list; with any, a
+            :class:`SloTracker` runs after every scrape.
+        auditor: optional :class:`AccuracyAuditor` to surface in the
+            dashboard (the epoch runtime drives it; the plane only
+            reads its reports).
+        capacity: ring-buffer points per series.
+        include_timers: scrape timer-fed histograms too (wall-clock
+            data — leave off for byte-stable exports unless the
+            registry clock is injected).
+        name: metric prefix for the plane's own bookkeeping.
+    """
+
+    def __init__(self, registry, objectives: Optional[
+                 Sequence[SloObjective]] = None,
+                 auditor: Optional[AccuracyAuditor] = None,
+                 capacity: int = 512, include_timers: bool = False,
+                 name: str = "obs"):
+        self.registry = registry
+        self.store = SeriesStore(capacity=capacity)
+        self.scraper = Scraper(registry, store=self.store,
+                               include_timers=include_timers, name=name)
+        self.slo: Optional[SloTracker] = None
+        if objectives:
+            self.slo = SloTracker(self.store, objectives,
+                                  telemetry=registry, name=f"{name}.slo")
+        self.auditor = auditor
+        self.name = name
+
+    # -- driving -------------------------------------------------------
+
+    def tick(self) -> float:
+        """Scrape once and evaluate the objectives; returns the tick."""
+        tick = self.scraper.scrape()
+        if self.slo is not None:
+            self.slo.evaluate(tick)
+        return tick
+
+    @property
+    def firing_alerts(self):
+        return self.slo.firing if self.slo is not None else []
+
+    def on_alert(self, hook) -> "ObservabilityPlane":
+        """Register an alert hook (requires objectives)."""
+        if self.slo is None:
+            raise ValueError("no objectives declared; nothing to alert on")
+        self.slo.on_alert(hook)
+        return self
+
+    # -- rendering -----------------------------------------------------
+
+    def openmetrics(self, prefix: str = "repro",
+                    include_timers: Optional[bool] = None) -> str:
+        if include_timers is None:
+            include_timers = self.scraper.include_timers
+        return render_openmetrics(self.registry, prefix=prefix,
+                                  include_timers=include_timers)
+
+    def series_ndjson(self) -> str:
+        return render_series_ndjson(self.store)
+
+    def write_series(self, target) -> int:
+        return write_series_ndjson(self.store, target)
+
+    def span_profiles(self) -> List[StageProfile]:
+        """Stage profiles from the registry's in-memory exporter.
+
+        Returns ``[]`` when the exporter does not retain events
+        (NDJSON exporters stream to disk; profile those offline with
+        :func:`~repro.telemetry.obsplane.spans.profile_spans`).
+        """
+        exporter = getattr(self.registry, "exporter", None)
+        events = getattr(exporter, "events", None)
+        if not events:
+            return []
+        return profile_spans(events)
+
+    def dashboard(self, title: str = "repro obs", width: int = 78,
+                  series_names: Optional[Sequence[str]] = None) -> str:
+        audits = self.auditor.reports if self.auditor is not None else []
+        return render_dashboard(
+            self.store, slo=self.slo, audits=audits,
+            profiles=self.span_profiles(),
+            series_names=series_names, title=title, width=width)

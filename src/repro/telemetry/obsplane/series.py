@@ -1,0 +1,240 @@
+"""Bounded time series and the registry scraper.
+
+The observability plane's data model is deliberately small: a
+:class:`TimeSeries` is a ring buffer of ``(tick, value)`` points with
+windowed delta/rate/mean/max derivations and optional P² quantile
+trackers over its own points; a :class:`SeriesStore` is a named bag of
+them; a :class:`Scraper` walks a
+:class:`~repro.telemetry.registry.MetricsRegistry` and appends one
+point per metric per scrape:
+
+* counters  -> ``<name>`` (cumulative; consumers derive rates),
+* gauges    -> ``<name>``,
+* histograms -> ``<name>.count`` / ``.sum`` / ``.mean`` / ``.p50`` /
+  ``.p95`` / ``.p99`` (quantiles come from the histogram's log-bucket
+  sketch, see :meth:`~repro.telemetry.registry.Histogram.quantile`).
+
+Determinism: the scrape "clock" is a **logical tick counter** by
+default — scrape *N* is tick *N* — so two seeded runs that scrape at
+the same points produce identical series byte for byte.  A wall-clock
+tick source can be injected for live dashboards.  Timer-fed
+histograms (real elapsed time) are excluded by default for the same
+reason; pass ``include_timers=True`` when the registry clock is
+injected (or when byte-stability does not matter).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.quantiles import P2Quantile
+
+__all__ = [
+    "TimeSeries",
+    "SeriesStore",
+    "Scraper",
+]
+
+
+class TimeSeries:
+    """A bounded ring buffer of ``(tick, value)`` points.
+
+    Args:
+        name: series name (dotted, mirrors the metric name).
+        kind: ``"counter"`` / ``"gauge"`` / ``"derived"`` — counters
+            are cumulative and meaningful through :meth:`delta` /
+            :meth:`rate`; gauges through :meth:`window_mean` /
+            :meth:`window_max`.
+        capacity: points retained (oldest evicted).
+        track_quantiles: also run P² p50/p95/p99 estimators over the
+            appended points (all points ever, not just the retained
+            window) — cheap, and it survives ring-buffer eviction.
+    """
+
+    __slots__ = ("name", "kind", "_points", "_p2")
+
+    def __init__(self, name: str, kind: str = "gauge",
+                 capacity: int = 512, track_quantiles: bool = False):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.kind = kind
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+        self._p2: Optional[Dict[float, P2Quantile]] = (
+            {q: P2Quantile(q) for q in (0.50, 0.95, 0.99)}
+            if track_quantiles else None)
+
+    def append(self, tick: float, value: float) -> None:
+        self._points.append((float(tick), float(value)))
+        if self._p2 is not None:
+            for estimator in self._p2.values():
+                estimator.observe(value)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(self._points)
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    @property
+    def latest(self) -> Optional[float]:
+        return self._points[-1][1] if self._points else None
+
+    @property
+    def latest_tick(self) -> Optional[float]:
+        return self._points[-1][0] if self._points else None
+
+    def _window(self, window: int) -> List[Tuple[float, float]]:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        n = min(window + 1, len(self._points))
+        if n == 0:
+            return []
+        return [self._points[i]
+                for i in range(len(self._points) - n, len(self._points))]
+
+    def delta(self, window: int = 1) -> float:
+        """Value change over the last ``window`` scrape intervals."""
+        pts = self._window(window)
+        if len(pts) < 2:
+            return 0.0
+        return pts[-1][1] - pts[0][1]
+
+    def rate(self, window: int = 1) -> float:
+        """Delta per tick over the last ``window`` scrape intervals."""
+        pts = self._window(window)
+        if len(pts) < 2:
+            return 0.0
+        dt = pts[-1][0] - pts[0][0]
+        if dt <= 0:
+            return 0.0
+        return (pts[-1][1] - pts[0][1]) / dt
+
+    def window_mean(self, window: int = 1) -> float:
+        pts = self._window(window)
+        if not pts:
+            return 0.0
+        return sum(v for _, v in pts) / len(pts)
+
+    def window_max(self, window: int = 1) -> float:
+        pts = self._window(window)
+        if not pts:
+            return 0.0
+        return max(v for _, v in pts)
+
+    def quantile(self, q: float) -> float:
+        """P² quantile over appended points (needs track_quantiles)."""
+        if self._p2 is None:
+            raise ValueError(
+                f"series {self.name!r} does not track quantiles")
+        estimator = self._p2.get(q)
+        if estimator is None:
+            raise ValueError(f"series {self.name!r} tracks "
+                             f"{sorted(self._p2)} only, not {q}")
+        return estimator.value()
+
+
+class SeriesStore:
+    """Named :class:`TimeSeries`, get-or-create, stably ordered."""
+
+    def __init__(self, capacity: int = 512,
+                 track_quantiles: bool = False):
+        self.capacity = capacity
+        self.track_quantiles = track_quantiles
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str, kind: str = "gauge") -> TimeSeries:
+        entry = self._series.get(name)
+        if entry is None:
+            entry = self._series[name] = TimeSeries(
+                name, kind=kind, capacity=self.capacity,
+                track_quantiles=self.track_quantiles)
+        return entry
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        for name in self.names():
+            yield self._series[name]
+
+
+#: Histogram summary fields the scraper turns into per-histogram
+#: series (``<histogram>.<field>``).
+HISTOGRAM_FIELDS = ("count", "sum", "mean", "p50", "p95", "p99")
+
+
+class Scraper:
+    """Periodically snapshots a registry into a :class:`SeriesStore`.
+
+    Args:
+        registry: the :class:`~repro.telemetry.registry
+            .MetricsRegistry` to scrape.
+        store: destination (created with ``capacity`` if omitted).
+        capacity: ring-buffer points per series for a created store.
+        include_timers: also scrape timer-fed histograms (wall-clock
+            data; breaks byte-stability unless the registry clock is
+            injected).
+        tick_source: callable returning the tick for each scrape;
+            default is a logical counter 0, 1, 2, ... (deterministic).
+        name: prefix for the scraper's own bookkeeping metrics.
+
+    Every :meth:`scrape` also gauges ``<name>.scrapes`` on the scraped
+    registry, so the plane's own activity is visible in its output.
+    """
+
+    def __init__(self, registry, store: Optional[SeriesStore] = None,
+                 capacity: int = 512, include_timers: bool = False,
+                 tick_source: Optional[Callable[[], float]] = None,
+                 name: str = "obs"):
+        self.registry = registry
+        self.store = store if store is not None \
+            else SeriesStore(capacity=capacity)
+        self.include_timers = include_timers
+        self.name = name
+        self.scrapes = 0
+        self._tick_source = tick_source
+        self.last_tick: float = -1.0
+
+    def _next_tick(self) -> float:
+        if self._tick_source is not None:
+            return float(self._tick_source())
+        return float(self.scrapes)
+
+    def scrape(self) -> float:
+        """Snapshot every metric into the store; returns the tick."""
+        tick = self._next_tick()
+        registry = self.registry
+        timers = registry.timer_names
+        for metric_name, kind in registry.names().items():
+            if kind == "counter":
+                self.store.series(metric_name, "counter").append(
+                    tick, registry.counter(metric_name).value)
+            elif kind == "gauge":
+                self.store.series(metric_name, "gauge").append(
+                    tick, registry.gauge(metric_name).value)
+            else:
+                if not self.include_timers and metric_name in timers:
+                    continue
+                summary = registry.histogram(metric_name).summary()
+                for field in HISTOGRAM_FIELDS:
+                    self.store.series(
+                        f"{metric_name}.{field}", "derived").append(
+                        tick, summary[field])
+        self.scrapes += 1
+        self.last_tick = tick
+        registry.set_gauge(f"{self.name}.scrapes", float(self.scrapes))
+        return tick

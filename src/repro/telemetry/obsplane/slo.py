@@ -1,0 +1,334 @@
+"""Service-level objectives with multi-window burn-rate alerting.
+
+An :class:`SloObjective` declares what "good" means for one signal in
+the :class:`~repro.telemetry.obsplane.series.SeriesStore`:
+
+* ``rate_floor`` — a counter's per-tick rate must stay at or above
+  ``target`` (ingest throughput floor),
+* ``ratio_ceiling`` — ``delta(metric) / delta(denominator)`` over one
+  scrape interval must stay at or below ``target`` (shed fraction),
+* ``gauge_ceiling`` — the series' latest value must stay at or below
+  ``target`` (drain-latency p99, EM runtime — the scraper publishes
+  histogram quantiles as plain series),
+* ``gauge_floor`` — the latest value must stay at or above ``target``.
+
+Each scrape turns the objective into a 0/1 *bad* sample; the error
+budget (``budget``, the tolerated bad fraction) converts windowed bad
+fractions into **burn rates** (1.0 = burning exactly the budget).
+:class:`BurnRateRule` pairs a long and a short window with a burn
+threshold — the standard multi-window pattern: the long window gives
+significance, the short window makes the alert *stop* promptly when
+the problem does.  An alert fires when any rule's long **and** short
+burn both reach the threshold, and resolves when every rule's short
+burn falls back under half its threshold (hysteresis).
+
+:class:`SloTracker` evaluates all objectives per tick, emits ``slo``
+events and gauges through the registry, keeps the alert history, and
+invokes registered hooks — the measurement service registers its
+degradation hook here, closing the measure -> alert -> adapt loop.
+
+Everything is deterministic: evaluation consumes only series content,
+windows are counted in scrape ticks, and objectives over missing
+series are simply inactive (no false alarms during warmup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SloObjective",
+    "BurnRateRule",
+    "SloAlert",
+    "SloTracker",
+    "default_service_slos",
+]
+
+_KINDS = ("rate_floor", "ratio_ceiling", "gauge_ceiling", "gauge_floor")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when burn >= ``burn`` over both windows (in ticks)."""
+
+    long_window: int
+    short_window: int
+    burn: float
+
+    def __post_init__(self):
+        if self.long_window <= 0 or self.short_window <= 0:
+            raise ValueError("burn-rate windows must be positive")
+        if self.short_window > self.long_window:
+            raise ValueError("short window must not exceed the long one")
+        if self.burn <= 0:
+            raise ValueError("burn threshold must be positive")
+
+
+#: Fast-burn (page-now) and slow-burn (sustained) defaults, scaled to
+#: scrape ticks rather than wall hours.
+DEFAULT_RULES: Tuple[BurnRateRule, ...] = (
+    BurnRateRule(long_window=8, short_window=2, burn=4.0),
+    BurnRateRule(long_window=32, short_window=8, burn=1.5),
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declared objective over a series.
+
+    Attributes:
+        name: objective name (metric/event suffix).
+        kind: one of ``rate_floor`` / ``ratio_ceiling`` /
+            ``gauge_ceiling`` / ``gauge_floor``.
+        metric: primary series name in the store.
+        target: the floor or ceiling.
+        denominator: second series for ``ratio_ceiling``.
+        budget: tolerated bad fraction of scrape ticks (error budget).
+        rules: burn-rate rules (defaults above).
+        description: one line for dashboards.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    target: float
+    denominator: Optional[str] = None
+    budget: float = 0.05
+    rules: Tuple[BurnRateRule, ...] = DEFAULT_RULES
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; "
+                             f"choose from {_KINDS}")
+        if self.kind == "ratio_ceiling" and not self.denominator:
+            raise ValueError("ratio_ceiling needs a denominator series")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+
+    def measure(self, store) -> Optional[float]:
+        """The objective's current value, or ``None`` when inactive
+        (series missing or, for ratios, no denominator traffic)."""
+        series = store.get(self.metric)
+        if series is None or len(series) == 0:
+            return None
+        if self.kind == "rate_floor":
+            if len(series) < 2:
+                return None
+            return series.rate(1)
+        if self.kind == "ratio_ceiling":
+            denom = store.get(self.denominator)
+            if denom is None or len(denom) < 2 or len(series) < 2:
+                return None
+            moved = denom.delta(1)
+            if moved <= 0:
+                return None
+            return series.delta(1) / moved
+        return series.latest
+
+    def is_bad(self, value: float) -> bool:
+        if self.kind in ("rate_floor", "gauge_floor"):
+            return value < self.target
+        return value > self.target
+
+
+@dataclass
+class SloAlert:
+    """One alert lifecycle: fired at a tick, possibly resolved later."""
+
+    objective: str
+    rule: BurnRateRule
+    fired_tick: float
+    value: float
+    burn_short: float
+    burn_long: float
+    resolved_tick: Optional[float] = None
+
+    @property
+    def firing(self) -> bool:
+        return self.resolved_tick is None
+
+    def event_fields(self) -> dict:
+        return {
+            "objective": self.objective,
+            "fired_tick": self.fired_tick,
+            "resolved_tick": self.resolved_tick,
+            "value": self.value,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "long_window": self.rule.long_window,
+            "short_window": self.rule.short_window,
+            "burn_threshold": self.rule.burn,
+        }
+
+
+AlertHook = Callable[[SloAlert], None]
+
+
+class _ObjectiveState:
+    __slots__ = ("bad", "active")
+
+    def __init__(self, capacity: int):
+        from collections import deque
+
+        self.bad = deque(maxlen=capacity)
+        self.active: Optional[SloAlert] = None
+
+
+class SloTracker:
+    """Evaluates objectives against a series store, tick by tick.
+
+    Args:
+        store: the scraped :class:`SeriesStore`.
+        objectives: declared :class:`SloObjective` list.
+        telemetry: optional registry for gauges/counters/``slo``
+            events (usually the same registry the store is scraped
+            from — the next scrape then records the SLO verdicts as
+            series too).
+        name: metric/event prefix.
+    """
+
+    def __init__(self, store, objectives: Sequence[SloObjective],
+                 telemetry=None, name: str = "slo"):
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self.store = store
+        self.objectives = list(objectives)
+        self.telemetry = telemetry
+        self.name = name
+        capacity = max((r.long_window for o in self.objectives
+                        for r in o.rules), default=1)
+        self._state: Dict[str, _ObjectiveState] = {
+            o.name: _ObjectiveState(capacity) for o in self.objectives}
+        self.alerts: List[SloAlert] = []
+        self._hooks: List[AlertHook] = []
+
+    def on_alert(self, hook: AlertHook) -> "SloTracker":
+        """Register ``hook(alert)`` for every fire *and* resolve."""
+        self._hooks.append(hook)
+        return self
+
+    @property
+    def firing(self) -> List[SloAlert]:
+        return [a for a in self.alerts if a.firing]
+
+    def _burn(self, bad, window: int, budget: float) -> float:
+        """Burn rate over the last ``window`` ticks.  The fraction is
+        normalized by the *window size*, not the retained sample count
+        — ticks before the first evaluation count as good, so a
+        half-filled window cannot over-weight one early bad tick."""
+        if not bad:
+            return 0.0
+        tail = list(bad)[-window:]
+        return (sum(tail) / window) / budget
+
+    def evaluate(self, tick: float) -> List[SloAlert]:
+        """Evaluate every objective at ``tick``; returns alerts whose
+        state changed (newly fired or newly resolved)."""
+        changed: List[SloAlert] = []
+        t = self.telemetry
+        for objective in self.objectives:
+            state = self._state[objective.name]
+            value = objective.measure(self.store)
+            if value is None:
+                continue
+            bad = objective.is_bad(value)
+            state.bad.append(1.0 if bad else 0.0)
+            worst_short = worst_long = 0.0
+            trigger: Optional[BurnRateRule] = None
+            for rule in objective.rules:
+                burn_long = self._burn(state.bad, rule.long_window,
+                                       objective.budget)
+                burn_short = self._burn(state.bad, rule.short_window,
+                                        objective.budget)
+                worst_long = max(worst_long, burn_long)
+                worst_short = max(worst_short, burn_short)
+                if burn_long >= rule.burn and burn_short >= rule.burn:
+                    trigger = rule
+                    break
+            if t is not None:
+                prefix = f"{self.name}.{objective.name}"
+                t.set_gauge(f"{prefix}.value", float(value))
+                t.set_gauge(f"{prefix}.burn", worst_long)
+                t.set_gauge(f"{prefix}.bad", 1.0 if bad else 0.0)
+            if state.active is None and trigger is not None:
+                alert = SloAlert(
+                    objective=objective.name, rule=trigger,
+                    fired_tick=tick, value=float(value),
+                    burn_short=self._burn(state.bad,
+                                          trigger.short_window,
+                                          objective.budget),
+                    burn_long=self._burn(state.bad, trigger.long_window,
+                                         objective.budget))
+                state.active = alert
+                self.alerts.append(alert)
+                changed.append(alert)
+                self._publish(alert, "firing")
+            elif state.active is not None and trigger is None:
+                # Hysteresis: resolve only once every short-window burn
+                # drops below half its threshold.
+                calm = all(
+                    self._burn(state.bad, rule.short_window,
+                               objective.budget) < rule.burn / 2.0
+                    for rule in objective.rules)
+                if calm:
+                    alert = state.active
+                    alert.resolved_tick = tick
+                    state.active = None
+                    changed.append(alert)
+                    self._publish(alert, "resolved")
+        return changed
+
+    def _publish(self, alert: SloAlert, transition: str) -> None:
+        t = self.telemetry
+        for hook in self._hooks:
+            hook(alert)
+        if t is None:
+            return
+        t.inc(f"{self.name}.alerts.{transition}")
+        t.set_gauge(f"{self.name}.{alert.objective}.firing",
+                    1.0 if alert.firing else 0.0)
+        t.emit("slo", f"{self.name}.{alert.objective}",
+               transition=transition, **alert.event_fields())
+
+
+def default_service_slos(service_name: str = "service",
+                         runtime_name: str = "runtime",
+                         ingest_floor: float = 1.0,
+                         shed_ceiling: float = 0.05,
+                         drain_p99_ceiling: float = 1.0,
+                         em_ceiling: float = 5.0,
+                         ) -> List[SloObjective]:
+    """The measurement service's standard objective set.
+
+    Args:
+        service_name: the service's metric prefix.
+        runtime_name: the epoch manager's metric prefix.
+        ingest_floor: minimum ingested packets per scrape tick.
+        shed_ceiling: maximum shed/accepted fraction per tick.
+        drain_p99_ceiling: p99 seconds for one epoch drain.
+        em_ceiling: p95 seconds for one EM run.
+    """
+    return [
+        SloObjective(
+            name="ingest_rate", kind="rate_floor",
+            metric=f"{service_name}.ingested", target=ingest_floor,
+            description="ingested packets per tick stays above floor"),
+        SloObjective(
+            name="shed_fraction", kind="ratio_ceiling",
+            metric=f"{service_name}.shed",
+            denominator=f"{service_name}.accepted",
+            target=shed_ceiling,
+            description="shed/accepted fraction stays below ceiling"),
+        SloObjective(
+            name="drain_latency_p99", kind="gauge_ceiling",
+            metric=f"span.{runtime_name}.drain.p99",
+            target=drain_p99_ceiling,
+            description="p99 epoch-drain latency stays below ceiling"),
+        SloObjective(
+            name="em_runtime_p95", kind="gauge_ceiling",
+            metric="em.runtime_seconds.p95", target=em_ceiling,
+            description="p95 EM run time stays below ceiling"),
+    ]

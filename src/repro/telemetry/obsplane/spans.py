@@ -1,0 +1,126 @@
+"""Span aggregation: trace trees folded into per-stage profiles.
+
+:mod:`repro.telemetry.tracing` reconstructs individual traces; this
+module answers the *aggregate* question — where does pipeline time go?
+:func:`profile_spans` folds any stream of span records into one
+:class:`StageProfile` per span name:
+
+* ``count`` / ``total_s`` / ``mean_s`` / ``p50_s`` / ``p95_s`` /
+  ``max_s`` over the stage's durations (quantiles from the same
+  log-bucket sketch the registry histograms use),
+* ``self_s`` — time spent in the stage itself, children's time
+  subtracted (clamped at zero for clock-skewed records), and
+* ``critical_s`` — time the stage contributes to **critical paths**:
+  for every trace, the walk from each root along its longest-duration
+  child chain; a stage on that chain accrues its self-time there.
+  Sorting by ``critical_s`` answers "what should be optimized first"
+  directly, where sorting by ``total_s`` overweights broad parents.
+
+The profiles power the ``telemetry-report`` span-duration table and
+the ``repro obs`` dashboard's stage panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.telemetry.quantiles import BucketQuantiles
+from repro.telemetry.tracing import SpanNode, build_trace_trees, read_spans
+
+__all__ = [
+    "StageProfile",
+    "profile_spans",
+    "critical_path",
+]
+
+
+@dataclass
+class StageProfile:
+    """Aggregate timing for one span name across all traces."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+    self_s: float = 0.0
+    critical_s: float = 0.0
+    _sketch: BucketQuantiles = field(default_factory=BucketQuantiles,
+                                     repr=False)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    @property
+    def p50_s(self) -> float:
+        return self._sketch.quantile(0.50)
+
+    @property
+    def p95_s(self) -> float:
+        return self._sketch.quantile(0.95)
+
+    def _observe(self, duration: float) -> None:
+        self.count += 1
+        self.total_s += duration
+        self.max_s = max(self.max_s, duration)
+        self._sketch.observe(duration)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "count": self.count,
+                "total_s": self.total_s, "mean_s": self.mean_s,
+                "p50_s": self.p50_s, "p95_s": self.p95_s,
+                "max_s": self.max_s, "self_s": self.self_s,
+                "critical_s": self.critical_s}
+
+
+def critical_path(root: SpanNode) -> List[SpanNode]:
+    """The root-to-leaf walk following the longest-duration child."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda child: child.duration_s)
+        path.append(node)
+    return path
+
+
+def _self_time(node: SpanNode) -> float:
+    children = sum(child.duration_s for child in node.children)
+    return max(node.duration_s - children, 0.0)
+
+
+def profile_spans(records: Iterable[Any]) -> List[StageProfile]:
+    """Fold span records (events or dicts) into per-stage profiles.
+
+    Accepts anything :func:`~repro.telemetry.tracing.read_spans`
+    accepts — a full mixed event stream is fine; non-span records are
+    ignored.  Returns profiles sorted by ``critical_s`` descending
+    (ties broken by total time, then name, so the order is stable).
+    """
+    spans = read_spans(records)
+    profiles: Dict[str, StageProfile] = {}
+
+    def stage(name: str) -> StageProfile:
+        profile = profiles.get(name)
+        if profile is None:
+            profile = profiles[name] = StageProfile(name)
+        return profile
+
+    trees = build_trace_trees(spans)
+    for trace_id in sorted(trees):
+        stack = list(trees[trace_id])
+        on_critical = set()
+        for root in trees[trace_id]:
+            for node in critical_path(root):
+                on_critical.add(id(node))
+        while stack:
+            node = stack.pop()
+            profile = stage(node.name)
+            profile._observe(node.duration_s)
+            self_time = _self_time(node)
+            profile.self_s += self_time
+            if id(node) in on_critical:
+                profile.critical_s += self_time
+            stack.extend(node.children)
+    return sorted(profiles.values(),
+                  key=lambda p: (-p.critical_s, -p.total_s, p.name))

@@ -1,0 +1,230 @@
+"""Streaming quantile estimators for the telemetry layer.
+
+Two complementary estimators, both O(1) memory per observation and
+fully deterministic (no sampling, no randomness):
+
+* :class:`BucketQuantiles` — fixed log-scale buckets, the engine
+  behind :meth:`~repro.telemetry.registry.Histogram.quantile`.  Each
+  power of two is subdivided into ``SUBDIV`` equal-width sub-buckets,
+  giving a guaranteed relative resolution of ``2 ** (1 / SUBDIV)``
+  (~9% with the default 8) over the full float range, with explicit
+  zero and mirrored negative buckets.  Estimates interpolate linearly
+  inside the target bucket and are clamped to the observed min/max,
+  so a quantile can never leave the observed value range.
+* :class:`P2Quantile` — the Jain & Chlamtac P² algorithm: five
+  markers per tracked quantile, adjusted with a piecewise-parabolic
+  fit.  No buckets, no bounds assumptions; the observability plane
+  runs it over *scraped series points* (e.g. a p95 of queue depth
+  across time), where the value range is unknown up front.
+
+The telemetry property tests cross-check :class:`BucketQuantiles`
+against ``numpy.quantile`` within the bucket-resolution tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = [
+    "SUBDIV",
+    "BucketQuantiles",
+    "P2Quantile",
+]
+
+#: Sub-buckets per power of two.  Relative bucket width (and therefore
+#: the worst-case quantile resolution) is ``2 ** (1 / SUBDIV)``.
+SUBDIV = 8
+
+
+def _bucket_index(value: float) -> int:
+    """The log-bucket index of a positive finite value.
+
+    ``frexp`` gives ``value = m * 2**e`` with ``m in [0.5, 1)``; the
+    binade ``e`` is subdivided into :data:`SUBDIV` equal mantissa
+    slices.  Indices are totally ordered by value.
+    """
+    m, e = math.frexp(value)
+    sub = int((m - 0.5) * 2 * SUBDIV)
+    if sub >= SUBDIV:           # m rounded up to 1.0 in float math
+        sub = SUBDIV - 1
+    return e * SUBDIV + sub
+
+
+def _bucket_bounds(index: int) -> Tuple[float, float]:
+    """``[lo, hi)`` value bounds of a positive bucket index."""
+    e, sub = divmod(index, SUBDIV)
+    lo = math.ldexp(0.5 + sub / (2 * SUBDIV), e)
+    hi = math.ldexp(0.5 + (sub + 1) / (2 * SUBDIV), e)
+    return lo, hi
+
+
+class BucketQuantiles:
+    """Fixed log-bucket quantile sketch over arbitrary floats.
+
+    Buckets are sparse (a dict of index -> count), so memory is
+    proportional to the number of *distinct magnitudes* observed, not
+    the number of observations.  Signs are handled by mirroring: a
+    negative value lands in the negative bucket of its magnitude, and
+    exact zeros get their own bucket.
+    """
+
+    __slots__ = ("count", "_pos", "_neg", "_zeros", "_min", "_max")
+
+    def __init__(self):
+        self.count = 0
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+        self._zeros = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value > 0.0:
+            index = _bucket_index(value)
+            self._pos[index] = self._pos.get(index, 0) + 1
+        elif value < 0.0:
+            index = _bucket_index(-value)
+            self._neg[index] = self._neg.get(index, 0) + 1
+        else:
+            self._zeros += 1
+
+    def _ordered(self) -> Iterator[Tuple[float, float, int]]:
+        """Buckets as ``(lo, hi, count)`` in ascending value order."""
+        for index in sorted(self._neg, reverse=True):
+            lo, hi = _bucket_bounds(index)
+            yield -hi, -lo, self._neg[index]
+        if self._zeros:
+            yield 0.0, 0.0, self._zeros
+        for index in sorted(self._pos):
+            lo, hi = _bucket_bounds(index)
+            yield lo, hi, self._pos[index]
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile of everything observed.
+
+        Matches numpy's default ``linear`` method to within one
+        bucket: the target rank is ``q * (count - 1)``, located by a
+        cumulative walk over the ordered buckets, interpolated
+        linearly inside the containing bucket and clamped to the
+        observed ``[min, max]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q={q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        cumulative = 0
+        for lo, hi, count in self._ordered():
+            if rank < cumulative + count:
+                frac = (rank - cumulative) / count
+                estimate = lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+                return min(max(estimate, self._min), self._max)
+            cumulative += count
+        return self._max
+
+    def resolution(self) -> float:
+        """Worst-case multiplicative error of a nonzero estimate."""
+        return 2.0 ** (1.0 / SUBDIV)
+
+
+# P² marker positions for one tracked quantile p: the five markers
+# estimate the min, the p/2, p, (1+p)/2 quantiles and the max.
+
+class P2Quantile:
+    """Jain & Chlamtac's P² streaming quantile estimator.
+
+    Five markers, adjusted after every observation with a
+    piecewise-parabolic (hence P²) interpolation; converges to the
+    true quantile without storing samples.  For fewer than five
+    observations, :meth:`value` falls back to the exact small-sample
+    quantile.
+
+    Args:
+        q: quantile in (0, 1), e.g. 0.95.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired",
+                 "_increments", "_initial")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"P2Quantile needs q in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                         3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._heights = sorted(self._initial)
+            return
+        heights = self._heights
+        # Locate the cell and bump the endpoint markers.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - self._positions[i]
+            below = self._positions[i] - self._positions[i - 1]
+            above = self._positions[i + 1] - self._positions[i]
+            if (delta >= 1.0 and above > 1.0) \
+                    or (delta <= -1.0 and below > 1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not heights[i - 1] < candidate < heights[i + 1]:
+                    candidate = self._linear(i, step)
+                heights[i] = candidate
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any observation)."""
+        if self.count == 0:
+            return 0.0
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            rank = self.q * (len(ordered) - 1)
+            low = int(rank)
+            high = min(low + 1, len(ordered) - 1)
+            return ordered[low] + (ordered[high] - ordered[low]) \
+                * (rank - low)
+        return self._heights[2]

@@ -32,6 +32,7 @@ import time
 from typing import Any, Callable, Dict, Optional
 
 from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.quantiles import BucketQuantiles
 
 __all__ = [
     "Counter",
@@ -83,9 +84,16 @@ class Histogram:
     can land a hair below zero in the last float ulp.  The telemetry
     property tests assert these aggregates match a numpy recomputation
     over the same samples, including adversarial large-mean streams.
+
+    Every observation additionally feeds a sparse log-bucket sketch
+    (:class:`~repro.telemetry.quantiles.BucketQuantiles`), so
+    :meth:`quantile` answers any quantile to within the bucket
+    resolution (~9% relative) without storing samples; :meth:`summary`
+    surfaces p50/p95/p99 for the observability plane's scraper.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_mean", "_m2")
+    __slots__ = ("name", "count", "total", "min", "max", "_mean", "_m2",
+                 "_quantiles")
 
     def __init__(self, name: str):
         self.name = name
@@ -95,6 +103,7 @@ class Histogram:
         self.max = -math.inf
         self._mean = 0.0
         self._m2 = 0.0
+        self._quantiles = BucketQuantiles()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -107,6 +116,7 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._quantiles.observe(value)
 
     @property
     def mean(self) -> float:
@@ -124,13 +134,26 @@ class Histogram:
         """Population standard deviation of the observed samples."""
         return math.sqrt(self.variance)
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the observed samples.
+
+        Log-bucket estimate (sparse fixed buckets, ~9% worst-case
+        relative resolution), clamped to the observed min/max; 0.0
+        with no observations.  The telemetry property tests
+        cross-check it against ``numpy.quantile``.
+        """
+        return self._quantiles.quantile(q)
+
     def summary(self) -> Dict[str, float]:
-        """Aggregate view (count/sum/mean/min/max/std)."""
+        """Aggregate view (count/sum/mean/min/max/std + p50/p95/p99)."""
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0, "std": 0.0}
+                    "min": 0.0, "max": 0.0, "std": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {"count": self.count, "sum": self.total, "mean": self.mean,
-                "min": self.min, "max": self.max, "std": self.std}
+                "min": self.min, "max": self.max, "std": self.std,
+                "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
 
 
 class Timer:
@@ -275,6 +298,16 @@ class MetricsRegistry:
         self.exporter.export(event)
 
     # -- inspection ---------------------------------------------------
+
+    @property
+    def timer_names(self) -> frozenset:
+        """Histogram names fed by timers/spans (wall-clock data).
+
+        The observability plane's scraper uses this to leave real
+        elapsed time out of byte-stable series exports, mirroring
+        ``snapshot(include_timers=False)``.
+        """
+        return frozenset(self._timer_histograms)
 
     def snapshot(self, include_timers: bool = True) -> Dict[str, Any]:
         """All metric values, sorted by name (stable across runs).

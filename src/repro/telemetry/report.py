@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
+from repro.telemetry.obsplane.spans import profile_spans
 from repro.telemetry.tracing import build_trace_trees, read_spans
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "em_table",
     "health_table",
     "slow_spans",
+    "stage_table",
     "render_report",
 ]
 
@@ -166,6 +168,32 @@ def slow_spans(records: List[Dict[str, Any]], top: int = 10) -> str:
         ["span", "ms", "trace", "id", "detail"], rows)
 
 
+def stage_table(records: List[Dict[str, Any]]) -> str:
+    """Per-stage span durations aggregated across every trace.
+
+    One row per span *name* (where :func:`slow_spans` ranks individual
+    spans): count, mean/p95/max duration, and self/critical-path time
+    from :func:`~repro.telemetry.obsplane.spans.profile_spans` —
+    sorted so the stage worth optimizing first is on top.
+    """
+    profiles = profile_spans(records)
+    if not profiles:
+        return "no spans"
+    rows = [[
+        profile.name,
+        str(profile.count),
+        f"{profile.mean_s * 1e3:.3f}",
+        f"{profile.p95_s * 1e3:.3f}",
+        f"{profile.max_s * 1e3:.3f}",
+        f"{profile.self_s * 1e3:.3f}",
+        f"{profile.critical_s * 1e3:.3f}",
+    ] for profile in profiles]
+    return _fmt_table(
+        ["stage", "count", "mean_ms", "p95_ms", "max_ms", "self_ms",
+         "critical_ms"],
+        rows)
+
+
 def render_report(records: List[Dict[str, Any]], top_spans: int = 10,
                   traces: bool = False) -> str:
     """The full multi-section text report.
@@ -182,6 +210,7 @@ def render_report(records: List[Dict[str, Any]], top_spans: int = 10,
         ("EM convergence", em_table(records)),
         ("Sketch health", health_table(records)),
         (f"Top {top_spans} slow spans", slow_spans(records, top_spans)),
+        ("Stage durations (critical-path ranked)", stage_table(records)),
     ]
     if traces:
         trees = build_trace_trees(read_spans(records))

@@ -95,6 +95,15 @@ def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
             "shed": 0,
             "conserved": True,
         },
+        "obsplane": {
+            "packets": packets,
+            "metrics_scraped": 40,
+            "series": 60,
+            "audit_sample_rate": 0.05,
+            "scrape_seconds_per_snapshot": 2e-4,
+            "render_seconds": 5e-4,
+            "audit_seconds_per_epoch": 3e-3,
+        },
     }
 
 
@@ -111,6 +120,9 @@ class TestFlattenMetrics:
             "parallel.speedup_vs_packet_loop",
             "parallel.codec_bytes_per_flow",
             "service.ingest_pps",
+            "obsplane.scrape_seconds_per_snapshot",
+            "obsplane.render_seconds",
+            "obsplane.audit_seconds_per_epoch",
         }
         assert flat["em.seconds_per_iter"] == pytest.approx(0.05 / 5)
 
@@ -210,6 +222,24 @@ class TestCompareRecords:
         result = compare_records(base, beyond, DEFAULT_TOLERANCES)
         assert any("cu.batch_fallback_fraction" in r
                    for r in result["regressions"])
+
+    def test_obsplane_cost_rise_beyond_tolerance_regresses(self):
+        base = make_record()
+        fresh = make_record()
+        # scrape cost x3 vs the 1.0 (=+100%) default tolerance
+        fresh["obsplane"]["scrape_seconds_per_snapshot"] *= 3.0
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("obsplane.scrape_seconds_per_snapshot" in r
+                   and "rose" in r for r in result["regressions"])
+
+    def test_obsplane_cost_drop_never_regresses(self):
+        base = make_record()
+        fresh = make_record()
+        for field in ("scrape_seconds_per_snapshot", "render_seconds",
+                      "audit_seconds_per_epoch"):
+            fresh["obsplane"][field] *= 0.25
+        assert compare_records(base, fresh,
+                               DEFAULT_TOLERANCES)["regressions"] == []
 
     def test_one_sided_metrics_report_but_never_gate(self):
         base = make_record(sketches=("fcm",))

@@ -1,0 +1,846 @@
+"""Observability-plane tests: scrape, expose, alert, audit, profile.
+
+Pins the acceptance bar of the plane:
+
+* streaming quantiles track ``numpy.quantile`` within the log-bucket
+  resolution (hypothesis cross-check);
+* OpenMetrics exposition and series NDJSON are byte-identical across
+  two seeded runs, and the strict parser rejects malformed text;
+* an injected drain stall trips the drain-latency SLO (and the
+  service degrades through the alert hook), while a clean seeded
+  trace fires **zero** alerts;
+* the accuracy auditor's observed ARE stays within the health
+  monitor's predicted envelope on clean traces, in both local and
+  network (vantage-tap) modes.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controlplane import NetworkSketchCollector, SketchCollector
+from repro.core import FCMSketch
+from repro.errors import InvalidWindowError
+from repro.network import NetworkSimulator, leaf_spine
+from repro.runtime import EpochConfig, EpochManager
+from repro.service import BackpressurePolicy, MeasurementService, PressureConfig
+from repro.telemetry import MemoryExporter, MetricsRegistry
+from repro.telemetry.health import SketchHealthMonitor
+from repro.telemetry.obsplane import (
+    AccuracyAuditor,
+    BurnRateRule,
+    ObservabilityPlane,
+    OpenMetricsError,
+    Scraper,
+    SeriesStore,
+    SloObjective,
+    SloTracker,
+    TimeSeries,
+    critical_path,
+    default_service_slos,
+    parse_openmetrics,
+    profile_spans,
+    render_dashboard,
+    render_openmetrics,
+    render_series_ndjson,
+    sparkline,
+)
+from repro.telemetry.quantiles import BucketQuantiles, P2Quantile
+from repro.traffic import zipf_trace
+
+
+def make_sketch(seed=5):
+    return FCMSketch.with_memory(64 * 1024, seed=seed)
+
+
+def stream(n=20_000, seed=9):
+    return zipf_trace(n, alpha=1.2, seed=seed).keys
+
+
+class SteppingClock:
+    """Deterministic clock advancing ``step`` per call (injectable)."""
+
+    def __init__(self, step=1e-4):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# streaming quantiles
+# ---------------------------------------------------------------------------
+
+
+class TestBucketQuantiles:
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=200),
+           st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=200, deadline=None)
+    def test_tracks_numpy_within_bucket_resolution(self, values, q):
+        sketch = BucketQuantiles()
+        for v in values:
+            sketch.observe(v)
+        est = sketch.quantile(q)
+        data = np.sort(np.asarray(values))
+        n = len(data)
+        # The estimate interpolates inside log-buckets, so it must sit
+        # within one bucket factor of the neighbourhood of the target
+        # rank (numpy's interpolation lands between adjacent ranks).
+        rank = q * (n - 1)
+        lo = data[max(0, int(np.floor(rank)) - 1)]
+        hi = data[min(n - 1, int(np.ceil(rank)) + 1)]
+        res = sketch.resolution()
+        assert lo / res <= est <= hi * res
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_clamped_to_observed_range(self, values):
+        sketch = BucketQuantiles()
+        for v in values:
+            sketch.observe(v)
+        assert min(values) <= sketch.quantile(0.0)
+        assert sketch.quantile(1.0) <= max(values)
+
+    def test_histogram_quantiles_cross_checked_against_numpy(self):
+        rng = np.random.default_rng(3)
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        values = rng.lognormal(mean=0.0, sigma=1.5, size=5_000)
+        for v in values:
+            registry.observe("latency", float(v))
+        hist = registry.histogram("latency")
+        res = 2 ** (1 / 8)
+        for q in (0.50, 0.95, 0.99):
+            true = float(np.quantile(values, q))
+            est = hist.quantile(q)
+            assert true / res**2 <= est <= true * res**2
+        summary = hist.summary()
+        assert summary["p50"] == hist.quantile(0.50)
+        assert summary["p95"] == hist.quantile(0.95)
+        assert summary["p99"] == hist.quantile(0.99)
+
+    def test_negative_and_zero_values(self):
+        sketch = BucketQuantiles()
+        for v in (-8.0, -4.0, 0.0, 4.0, 8.0):
+            sketch.observe(v)
+        assert sketch.quantile(0.0) == -8.0
+        assert sketch.quantile(1.0) == 8.0
+        assert -8.0 <= sketch.quantile(0.25) <= 0.0
+
+    def test_p2_converges_on_seeded_stream(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 100.0, size=20_000)
+        p50 = P2Quantile(0.5)
+        p95 = P2Quantile(0.95)
+        for v in values:
+            p50.observe(float(v))
+            p95.observe(float(v))
+        assert abs(p50.value() - 50.0) < 3.0
+        assert abs(p95.value() - 95.0) < 3.0
+
+    def test_p2_exact_below_five_samples(self):
+        p = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            p.observe(v)
+        assert p.value() == 2.0
+
+
+# ---------------------------------------------------------------------------
+# series + scraper
+# ---------------------------------------------------------------------------
+
+
+class TestTimeSeries:
+    def test_ring_buffer_evicts_oldest(self):
+        series = TimeSeries("x", capacity=3)
+        for tick in range(5):
+            series.append(tick, tick * 10.0)
+        assert series.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert series.latest == 40.0
+        assert len(series) == 3
+
+    def test_delta_and_rate(self):
+        series = TimeSeries("c", kind="counter", capacity=8)
+        for tick, value in enumerate([0, 5, 15, 30]):
+            series.append(tick, value)
+        assert series.delta(1) == 15.0
+        assert series.delta(3) == 30.0
+        assert series.rate(1) == 15.0
+        assert series.rate(3) == 10.0
+        assert series.window_max(3) == 30.0
+        assert series.window_mean(1) == 22.5
+
+    def test_windows_shorter_than_history(self):
+        series = TimeSeries("g", capacity=8)
+        series.append(0, 7.0)
+        assert series.delta(5) == 0.0        # one point: no delta yet
+        assert series.rate(5) == 0.0
+        assert series.window_mean(5) == 7.0
+
+    def test_quantile_requires_tracking(self):
+        series = TimeSeries("g", capacity=8)
+        with pytest.raises(ValueError):
+            series.quantile(0.5)
+        tracked = TimeSeries("g", capacity=8, track_quantiles=True)
+        tracked.append(0, 1.0)
+        tracked.quantile(0.95)
+        with pytest.raises(ValueError):
+            tracked.quantile(0.42)
+
+    def test_invalid_capacity_and_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", capacity=0)
+        series = TimeSeries("x")
+        with pytest.raises(ValueError):
+            series.delta(0)
+
+
+class TestScraper:
+    def test_scrapes_counters_gauges_histograms(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.inc("pkts", 10)
+        registry.set_gauge("depth", 3.0)
+        registry.observe("lat", 2.0)
+        scraper = Scraper(registry)
+        scraper.scrape()
+        registry.inc("pkts", 5)
+        scraper.scrape()
+        store = scraper.store
+        assert store.get("pkts").points() == [(0.0, 10.0), (1.0, 15.0)]
+        assert store.get("depth").latest == 3.0
+        assert store.get("lat.count").latest == 1.0
+        assert store.get("lat.p99").latest > 0.0
+        # the scraper's own bookkeeping gauge is scraped on the next pass
+        assert registry.gauge("obs.scrapes").value == 2.0
+
+    def test_logical_ticks_are_scrape_indices(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.inc("c")
+        scraper = Scraper(registry)
+        assert [scraper.scrape() for _ in range(3)] == [0.0, 1.0, 2.0]
+        assert scraper.last_tick == 2.0
+
+    def test_timer_histograms_excluded_by_default(self):
+        clock = SteppingClock(0.5)
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("drain_seconds"):
+            pass
+        registry.observe("plain", 1.0)
+        scraper = Scraper(registry)
+        scraper.scrape()
+        assert "drain_seconds.count" not in scraper.store
+        assert "plain.count" in scraper.store
+        wide = Scraper(registry, include_timers=True)
+        wide.scrape()
+        assert "drain_seconds.count" in wide.store
+
+    def test_injected_tick_source(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        ticks = iter([10.0, 20.0])
+        scraper = Scraper(registry, tick_source=lambda: next(ticks))
+        assert scraper.scrape() == 10.0
+        assert scraper.scrape() == 20.0
+
+
+# ---------------------------------------------------------------------------
+# exposition
+# ---------------------------------------------------------------------------
+
+
+def populated_registry():
+    registry = MetricsRegistry(exporter=MemoryExporter(),
+                               clock=lambda: 0.0)
+    registry.inc("service.accepted", 1_000)
+    registry.inc("service.shed", 25)
+    registry.set_gauge("health.status", 1.0)
+    for v in (0.5, 1.0, 2.0, 4.0):
+        registry.observe("em.runtime_seconds", v)
+    return registry
+
+
+class TestOpenMetrics:
+    def test_round_trip_strict_parse(self):
+        text = render_openmetrics(populated_registry())
+        samples = parse_openmetrics(text)
+        assert samples["repro_service_accepted_total"] == 1_000.0
+        assert samples["repro_service_shed_total"] == 25.0
+        assert samples["repro_health_status"] == 1.0
+        assert samples["repro_em_runtime_seconds_count"] == 4.0
+        assert samples["repro_em_runtime_seconds_sum"] == 7.5
+        assert 'repro_em_runtime_seconds{quantile="0.5"}' in samples
+        assert text.endswith("# EOF\n")
+
+    def test_byte_identical_across_seeded_runs(self):
+        assert render_openmetrics(populated_registry()) \
+            == render_openmetrics(populated_registry())
+
+    def test_sanitize_collision_refused(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        registry.inc("a.b")
+        registry.inc("a_b")
+        with pytest.raises(OpenMetricsError, match="sanitize"):
+            render_openmetrics(registry)
+
+    def test_timers_excluded_unless_requested(self):
+        clock = SteppingClock(0.25)
+        registry = MetricsRegistry(clock=clock)
+        with registry.timer("span.drain"):
+            pass
+        assert "span_drain" not in render_openmetrics(registry)
+        assert "repro_span_drain_count" in render_openmetrics(
+            registry, include_timers=True)
+
+    @pytest.mark.parametrize("text", [
+        "",                                              # empty
+        "repro_x 1\n",                                   # no EOF
+        "repro_x 1\n# EOF\n",                            # sample before TYPE
+        "# TYPE repro_x gauge\nrepro_x 1\n# TYPE repro_x gauge\n"
+        "repro_x 2\n# EOF\n",                            # family twice
+        "# TYPE repro_x gauge\nrepro_x 1\nrepro_x 1\n# EOF\n",  # dup sample
+        "# TYPE repro_x counter\nrepro_x 1\n# EOF\n",    # counter w/o _total
+        "# TYPE repro_x gauge\nrepro_y 1\n# EOF\n",      # sample outside fam
+        "# TYPE repro_x gauge\nrepro_x{bad labels} 1\n# EOF\n",
+        "# TYPE repro_x wibble\nrepro_x 1\n# EOF\n",     # unknown type
+        "# TYPE repro_x gauge\nrepro_x one\n# EOF\n",    # non-numeric value
+    ])
+    def test_strict_parser_rejects_malformed(self, text):
+        with pytest.raises(OpenMetricsError):
+            parse_openmetrics(text)
+
+    def test_series_ndjson_canonical_and_stable(self, tmp_path):
+        def build():
+            registry = populated_registry()
+            scraper = Scraper(registry)
+            scraper.scrape()
+            registry.inc("service.accepted", 10)
+            scraper.scrape()
+            return scraper.store
+
+        first = render_series_ndjson(build())
+        assert first == render_series_ndjson(build())
+        lines = first.strip().split("\n")
+        import json
+
+        names = [json.loads(line)["series"] for line in lines]
+        assert names == sorted(names)
+        assert json.loads(lines[0])["points"]
+
+
+# ---------------------------------------------------------------------------
+# SLO burn-rate alerting
+# ---------------------------------------------------------------------------
+
+
+def gauge_slo(target=1.0, budget=0.1,
+              rules=(BurnRateRule(long_window=4, short_window=2,
+                                  burn=4.0),)):
+    return SloObjective(name="lat_p99", kind="gauge_ceiling",
+                        metric="lat.p99", target=target, budget=budget,
+                        rules=rules)
+
+
+class TestSloTracker:
+    def drive(self, tracker, store, values):
+        series = store.series("lat.p99")
+        changed = []
+        for tick, value in enumerate(values):
+            series.append(float(tick), value)
+            changed.extend(tracker.evaluate(float(tick)))
+        return changed
+
+    def test_fires_when_both_windows_burn(self):
+        store = SeriesStore()
+        tracker = SloTracker(store, [gauge_slo()])
+        # 2 good ticks, then sustained badness: short window saturates
+        # immediately, long window crosses 4x budget on the 2nd bad tick
+        # (2 bad / 4 ticks = 0.5 fraction / 0.1 budget = 5 >= 4).
+        changed = self.drive(tracker, store, [0.5, 0.5, 5.0, 5.0, 5.0])
+        assert len(changed) == 1
+        alert = changed[0]
+        assert alert.firing and alert.objective == "lat_p99"
+        assert alert.burn_short >= 4.0 and alert.burn_long >= 4.0
+        assert tracker.firing == [alert]
+
+    def test_single_blip_does_not_fire(self):
+        store = SeriesStore()
+        tracker = SloTracker(store, [gauge_slo()])
+        changed = self.drive(tracker, store,
+                             [0.5, 5.0, 0.5, 0.5, 0.5, 0.5])
+        # one bad tick in a 4-tick window = 0.25/0.1 = 2.5x burn on the
+        # long window — under the 4x gate, so a blip never fires even
+        # though the short window momentarily saturates.
+        assert changed == []
+        assert tracker.alerts == []
+
+    def test_resolves_with_hysteresis(self):
+        store = SeriesStore()
+        tracker = SloTracker(store, [gauge_slo()])
+        values = [5.0, 5.0, 5.0] + [0.5] * 6
+        changed = self.drive(tracker, store, values)
+        assert len(changed) == 2
+        fired, resolved = changed
+        assert fired is resolved
+        assert resolved.resolved_tick is not None
+        assert not resolved.firing
+        assert tracker.firing == []
+        # resolve happened only after the short window fully drained
+        assert resolved.resolved_tick >= resolved.fired_tick + 2
+
+    def test_missing_series_is_inactive(self):
+        store = SeriesStore()
+        tracker = SloTracker(store, [gauge_slo()])
+        assert tracker.evaluate(0.0) == []
+        assert tracker.alerts == []
+
+    def test_ratio_needs_denominator_movement(self):
+        store = SeriesStore()
+        objective = SloObjective(name="shed", kind="ratio_ceiling",
+                                 metric="s.shed", denominator="s.acc",
+                                 target=0.05)
+        shed, acc = store.series("s.shed"), store.series("s.acc")
+        shed.append(0, 0.0)
+        acc.append(0, 0.0)
+        assert objective.measure(store) is None   # no traffic yet
+        shed.append(1, 50.0)
+        acc.append(1, 100.0)
+        assert objective.measure(store) == pytest.approx(0.5)
+
+    def test_rate_floor_measures_per_tick_rate(self):
+        store = SeriesStore()
+        objective = SloObjective(name="ingest", kind="rate_floor",
+                                 metric="s.ing", target=100.0)
+        series = store.series("s.ing", "counter")
+        series.append(0, 0.0)
+        assert objective.measure(store) is None
+        series.append(1, 250.0)
+        assert objective.measure(store) == pytest.approx(250.0)
+        assert not objective.is_bad(250.0)
+        assert objective.is_bad(50.0)
+
+    def test_alert_hooks_see_fire_and_resolve(self):
+        store = SeriesStore()
+        seen = []
+        tracker = SloTracker(store, [gauge_slo()])
+        tracker.on_alert(lambda alert: seen.append(alert.firing))
+        self.drive(tracker, store, [5.0, 5.0, 5.0] + [0.5] * 6)
+        assert seen == [True, False]
+
+    def test_telemetry_published(self):
+        registry = MetricsRegistry(exporter=MemoryExporter(),
+                                   clock=lambda: 0.0)
+        store = SeriesStore()
+        tracker = SloTracker(store, [gauge_slo()], telemetry=registry)
+        self.drive(tracker, store, [5.0, 5.0, 5.0])
+        assert registry.counter("slo.alerts.firing").value == 1
+        assert registry.gauge("slo.lat_p99.firing").value == 1.0
+        kinds = [e.kind for e in registry.exporter.events]
+        assert "slo" in kinds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateRule(long_window=2, short_window=4, burn=1.0)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="nope", metric="m", target=1.0)
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="ratio_ceiling", metric="m",
+                         target=1.0)
+        with pytest.raises(ValueError):
+            SloTracker(SeriesStore(), [gauge_slo(), gauge_slo()])
+
+    def test_default_service_slos_shape(self):
+        objectives = default_service_slos(ingest_floor=2.0)
+        names = {o.name for o in objectives}
+        assert names == {"ingest_rate", "shed_fraction",
+                         "drain_latency_p99", "em_runtime_p95"}
+        ingest = next(o for o in objectives if o.name == "ingest_rate")
+        assert ingest.target == 2.0 and ingest.kind == "rate_floor"
+
+
+# ---------------------------------------------------------------------------
+# accuracy audit
+# ---------------------------------------------------------------------------
+
+
+class _ExactSketch:
+    """Query-only stand-in that answers from a dict (zero error)."""
+
+    def __init__(self, counts, bias=0):
+        self.counts = counts
+        self.bias = bias
+
+    def query(self, key):
+        return self.counts.get(key, 0) + self.bias
+
+
+class _FakeHealth:
+    def __init__(self, predicted_are):
+        self.predicted_are = predicted_are
+
+
+class TestAccuracyAuditor:
+    def test_sampling_is_deterministic_and_seed_scoped(self):
+        a = AccuracyAuditor(sample_rate=0.2, seed=7)
+        b = AccuracyAuditor(sample_rate=0.2, seed=7)
+        c = AccuracyAuditor(sample_rate=0.2, seed=8)
+        keys = list(range(1_000))
+        set_a = {k for k in keys if a.is_sampled(k)}
+        set_b = {k for k in keys if b.is_sampled(k)}
+        set_c = {k for k in keys if c.is_sampled(k)}
+        assert set_a == set_b
+        assert set_a != set_c
+        assert 0.1 < len(set_a) / len(keys) < 0.3
+
+    def test_oracle_counts_are_exact(self):
+        auditor = AccuracyAuditor(sample_rate=0.5, seed=3)
+        keys = stream(5_000, seed=2)
+        auditor.observe(keys)
+        truth = {}
+        for k in keys.tolist():
+            if auditor.is_sampled(k):
+                truth[k] = truth.get(k, 0) + 1
+        assert auditor._oracle == truth
+        report = auditor.seal(0, _ExactSketch(truth))
+        assert report.observed_are == 0.0
+        assert report.flows_audited == len(truth)
+        assert report.packets_audited == sum(truth.values())
+        assert auditor.tracked_flows == 0     # oracle reset at seal
+
+    def test_observe_counts_matches_observe(self):
+        plain = AccuracyAuditor(sample_rate=0.5, seed=3)
+        agg = AccuracyAuditor(sample_rate=0.5, seed=3)
+        keys = stream(4_000, seed=4)
+        plain.observe(keys)
+        uniques, counts = np.unique(keys, return_counts=True)
+        agg.observe_counts(uniques, counts)
+        assert plain._oracle == agg._oracle
+
+    def test_calibration_and_envelope_verdict(self):
+        auditor = AccuracyAuditor(sample_rate=1.0, seed=1)
+        auditor.observe(np.asarray([1, 1, 1, 1], dtype=np.uint64))
+        # estimate 5 vs truth 4: relative error 0.25
+        report = auditor.seal(0, _ExactSketch({1: 4}, bias=1),
+                              health=_FakeHealth(0.5))
+        assert report.observed_are == pytest.approx(0.25)
+        assert report.calibration == pytest.approx(0.5)
+        assert report.within_envelope
+        auditor.observe(np.asarray([1, 1, 1, 1], dtype=np.uint64))
+        bad = auditor.seal(1, _ExactSketch({1: 4}, bias=1),
+                           health=_FakeHealth(0.1))
+        assert not bad.within_envelope
+        assert bad.calibration == pytest.approx(2.5)
+
+    def test_empty_epoch_audits_clean(self):
+        auditor = AccuracyAuditor(sample_rate=0.05, seed=1)
+        report = auditor.seal(0, _ExactSketch({}))
+        assert report.flows_audited == 0
+        assert report.observed_are == 0.0
+        assert report.within_envelope
+
+    def test_telemetry_publication(self):
+        registry = MetricsRegistry(exporter=MemoryExporter(),
+                                   clock=lambda: 0.0)
+        auditor = AccuracyAuditor(sample_rate=1.0, seed=1,
+                                  telemetry=registry)
+        auditor.observe(np.asarray([7, 7], dtype=np.uint64))
+        auditor.seal(0, _ExactSketch({7: 2}), health=_FakeHealth(0.2))
+        assert registry.counter("audit.epochs").value == 1
+        assert registry.gauge("audit.within_envelope").value == 1.0
+        assert any(e.kind == "audit" for e in registry.exporter.events)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyAuditor(sample_rate=0.0)
+        with pytest.raises(ValueError):
+            AccuracyAuditor(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            AccuracyAuditor(tolerance_factor=0.0)
+
+
+class TestAuditWiring:
+    def test_epoch_manager_audits_within_envelope_on_clean_trace(self):
+        auditor = AccuracyAuditor(sample_rate=0.1, seed=2)
+        manager = EpochManager(
+            make_sketch,
+            config=EpochConfig(epoch_packets=8_000, retention=8),
+            health_monitor=SketchHealthMonitor(),
+            auditor=auditor)
+        manager.feed(stream(20_000, seed=11))
+        sealed = [manager.store[i] for i in range(len(manager.store))]
+        assert len(sealed) == 2
+        for epoch in sealed:
+            assert epoch.audit is not None
+            assert epoch.audit.flows_audited > 0
+            assert epoch.audit.predicted_are is not None
+            # acceptance: observed ARE within the predicted envelope
+            assert epoch.audit.within_envelope
+        assert [r.epoch for r in auditor.reports] == [0, 1]
+
+    def test_auditor_with_collector_mode_is_rejected(self):
+        sim = NetworkSimulator(leaf_spine(4, 2), memory_bytes=16 * 1024)
+        collector = NetworkSketchCollector(sim)
+        with pytest.raises(InvalidWindowError):
+            EpochManager(collector=collector,
+                         config=EpochConfig(epoch_packets=4_000),
+                         auditor=AccuracyAuditor())
+
+    def test_sketch_collector_audits_windows(self):
+        auditor = AccuracyAuditor(sample_rate=0.1, seed=2)
+        collector = SketchCollector(
+            sketch_factory=lambda: make_sketch(seed=1),
+            health_monitor=SketchHealthMonitor(),
+            auditor=auditor)
+        trace = zipf_trace(16_000, alpha=1.2, seed=5)
+        reports = collector.process(trace, num_windows=2)
+        assert [r.audit.epoch for r in reports] == [0, 1]
+        for report in reports:
+            assert report.audit.flows_audited > 0
+            assert report.audit.within_envelope
+
+    def test_network_collector_audits_vantage_switch(self):
+        sim = NetworkSimulator(leaf_spine(4, 2), memory_bytes=64 * 1024)
+        auditor = AccuracyAuditor(sample_rate=0.2, seed=2)
+        collector = NetworkSketchCollector(sim, auditor=auditor)
+        assert sim.route_tap is not None
+        trace = zipf_trace(12_000, alpha=1.2, seed=5)
+        reports = collector.process(trace, num_windows=2)
+        for report in reports:
+            assert report.audit is not None
+            # the vantage switch sees a routed subset, never more than
+            # the whole window
+            assert report.audit.packets_audited < len(trace)
+            assert report.audit.flows_audited > 0
+            # exact oracle vs the vantage sketch: FCM never
+            # undercounts, and the sampled flows' errors stay small on
+            # an uncongested sketch
+            assert report.audit.observed_are < 0.5
+
+
+# ---------------------------------------------------------------------------
+# span profiles
+# ---------------------------------------------------------------------------
+
+
+class TestProfileSpans:
+    def make_events(self):
+        clock = SteppingClock(0.0)
+        registry = MetricsRegistry(exporter=MemoryExporter(), clock=clock)
+
+        def advance(seconds):
+            clock.t += seconds
+
+        with registry.span("window"):
+            with registry.span("route"):
+                advance(3.0)
+            with registry.span("drain"):
+                advance(1.0)
+            advance(0.5)
+        return registry.exporter.events
+
+    def test_self_time_and_critical_path(self):
+        profiles = {p.name: p for p in profile_spans(self.make_events())}
+        assert profiles["route"].count == 1
+        assert profiles["route"].total_s == pytest.approx(3.0)
+        assert profiles["window"].total_s == pytest.approx(4.5)
+        assert profiles["window"].self_s == pytest.approx(0.5)
+        # route is the longest child: it carries critical time, drain
+        # does not
+        assert profiles["route"].critical_s == pytest.approx(3.0)
+        assert profiles["drain"].critical_s == 0.0
+        assert profiles["drain"].self_s == pytest.approx(1.0)
+
+    def test_sorted_by_critical_time(self):
+        profiles = profile_spans(self.make_events())
+        crit = [p.critical_s for p in profiles]
+        assert crit == sorted(crit, reverse=True)
+
+    def test_critical_path_walk(self):
+        from repro.telemetry.tracing import build_trace_trees, read_spans
+
+        spans = read_spans(self.make_events())
+        roots = next(iter(build_trace_trees(spans).values()))
+        names = [node.name for node in critical_path(roots[0])]
+        assert names == ["window", "route"]
+
+    def test_stage_quantiles_and_dict(self):
+        profiles = profile_spans(self.make_events())
+        for profile in profiles:
+            d = profile.as_dict()
+            assert d["count"] == profile.count
+            assert d["p95_s"] >= 0.0
+            assert profile.mean_s <= profile.max_s + 1e-12
+
+    def test_ignores_non_span_records(self):
+        events = list(self.make_events())
+        registry = MetricsRegistry(exporter=MemoryExporter(),
+                                   clock=lambda: 0.0)
+        registry.emit("window", "collector.window", packets=5)
+        events.extend(registry.exporter.events)
+        assert {p.name for p in profile_spans(events)} \
+            == {"window", "route", "drain"}
+
+
+# ---------------------------------------------------------------------------
+# the plane end to end: clean runs, injected stall, dashboard
+# ---------------------------------------------------------------------------
+
+
+def build_serviced_plane(clock, *, epoch_packets=3_000,
+                         drain_p99_ceiling=1.0):
+    registry = MetricsRegistry(exporter=MemoryExporter(), clock=clock)
+    manager = EpochManager(
+        make_sketch,
+        config=EpochConfig(epoch_packets=epoch_packets, retention=8),
+        telemetry=registry,
+        health_monitor=SketchHealthMonitor(telemetry=registry))
+    service = MeasurementService(
+        manager, pressure=PressureConfig(policy="block"),
+        telemetry=registry, clock=clock)
+    plane = ObservabilityPlane(
+        registry,
+        objectives=default_service_slos(
+            drain_p99_ceiling=drain_p99_ceiling),
+        include_timers=True)
+    plane.on_alert(service.on_slo_alert)
+    return registry, service, plane
+
+
+def drive(service, plane, keys, batch=1_500):
+    for start in range(0, len(keys), batch):
+        service.admit("src", keys[start:start + batch])
+        while service.queues.depth:
+            service.ingest_step()
+        plane.tick()
+
+
+class TestPlaneEndToEnd:
+    def test_clean_trace_fires_zero_alerts(self):
+        clock = SteppingClock(1e-4)
+        registry, service, plane = build_serviced_plane(clock)
+        drive(service, plane, stream(15_000, seed=3))
+        assert plane.slo.alerts == []
+        assert plane.firing_alerts == []
+        assert service.queues.config.policy is BackpressurePolicy.BLOCK
+        report = service.drain_core()
+        assert report.conserved
+
+    def test_injected_stall_trips_drain_latency_slo(self):
+        clock = SteppingClock(1e-4)
+        registry, service, plane = build_serviced_plane(clock)
+        keys = stream(24_000, seed=3)
+        drive(service, plane, keys[:6_000])
+        assert plane.slo.alerts == []
+        # inject the stall: every clock read now costs 2 wall seconds,
+        # so each epoch drain span blows through the 1s p99 ceiling
+        clock.step = 2.0
+        drive(service, plane, keys[6_000:])
+        fired = [a for a in plane.slo.alerts
+                 if a.objective == "drain_latency_p99"]
+        assert fired, "injected stall must trip the drain-latency SLO"
+        assert plane.firing_alerts
+        # the alert hook degraded the service's admission policy
+        assert service.queues.config.policy \
+            is BackpressurePolicy.DEGRADE_SAMPLE
+        assert service._normal_policy is BackpressurePolicy.BLOCK
+
+    def test_plane_renders_all_surfaces(self):
+        clock = SteppingClock(1e-4)
+        registry, service, plane = build_serviced_plane(clock)
+        drive(service, plane, stream(8_000, seed=3))
+        text = plane.openmetrics()
+        parse_openmetrics(text)               # strict: raises on bad text
+        ndjson = plane.series_ndjson()
+        assert ndjson.count("\n") == len(plane.store)
+        profiles = plane.span_profiles()
+        assert any(p.name == "runtime.drain" for p in profiles)
+        board = plane.dashboard(width=80)
+        assert "slo" in board and "stages" in board
+
+    def test_on_alert_requires_objectives(self):
+        registry = MetricsRegistry(clock=lambda: 0.0)
+        plane = ObservabilityPlane(registry)
+        with pytest.raises(ValueError):
+            plane.on_alert(lambda alert: None)
+        assert plane.firing_alerts == []
+
+
+class TestDashboard:
+    def test_sparkline_shapes(self):
+        assert sparkline([], 8) == " " * 8
+        line = sparkline([0.0, 1.0, 2.0, 3.0], 4)
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([5.0, 5.0], 2) == "▁▁"
+
+    def test_render_dashboard_is_deterministic(self):
+        def build():
+            registry = populated_registry()
+            scraper = Scraper(registry)
+            scraper.scrape()
+            registry.inc("service.accepted", 64)
+            scraper.scrape()
+            return render_dashboard(scraper.store, title="t", width=72)
+
+        first = build()
+        assert first == build()
+        for line in first.split("\n"):
+            assert len(line) <= 100
+
+
+# ---------------------------------------------------------------------------
+# CLI: deterministic one-shot runs
+# ---------------------------------------------------------------------------
+
+
+class TestObsCli:
+    def run_once(self, tmp_path, tag):
+        from repro.cli import main
+
+        om = tmp_path / f"{tag}.om.txt"
+        nd = tmp_path / f"{tag}.ndjson"
+        code = main(["obs", "--once", "--packets", "12000",
+                     "--epoch-packets", "4000", "--seed", "5",
+                     "--openmetrics-out", str(om),
+                     "--series-out", str(nd)])
+        assert code == 0
+        return om.read_text(), nd.read_text()
+
+    def test_once_is_byte_stable_and_valid(self, tmp_path, capsys):
+        om_a, nd_a = self.run_once(tmp_path, "a")
+        om_b, nd_b = self.run_once(tmp_path, "b")
+        assert om_a == om_b
+        assert nd_a == nd_b
+        samples = parse_openmetrics(om_a)
+        assert samples["repro_service_accepted_total"] == 12_000.0
+        assert samples["repro_audit_within_envelope"] == 1.0
+        out = capsys.readouterr().out
+        assert "ledger: accepted 12000" in out
+        assert "[conserved]" in out
+        assert "0 firing at exit" in out
+
+    def test_telemetry_report_stage_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ndjson = tmp_path / "events.ndjson"
+        assert main(["obs", "--once", "--packets", "12000",
+                     "--epoch-packets", "4000", "--seed", "5",
+                     "--telemetry-out", str(ndjson)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry-report", str(ndjson)]) == 0
+        out = capsys.readouterr().out
+        assert "Stage durations (critical-path ranked)" in out
+        table = out.split("Stage durations (critical-path ranked) ==")[1]
+        assert "runtime.drain" in table
+        assert "critical_ms" in table
+
+    def test_stage_table_empty_stream(self):
+        from repro.telemetry.report import stage_table
+
+        assert stage_table([]) == "no spans"

@@ -56,7 +56,8 @@ def test_histogram_aggregates():
 def test_empty_histogram_summary_is_all_zero():
     summary = Histogram("h").summary()
     assert summary == {"count": 0, "sum": 0.0, "mean": 0.0,
-                       "min": 0.0, "max": 0.0, "std": 0.0}
+                       "min": 0.0, "max": 0.0, "std": 0.0,
+                       "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 def test_timer_uses_injected_clock():
