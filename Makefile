@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test chaos test-batch-equivalence bench bench-baseline \
-	bench-compare bench-parallel report examples stream-smoke \
+	bench-compare bench-parallel bench-paper report examples stream-smoke \
 	serve-smoke obs-smoke clean
 
 install:
@@ -62,6 +62,14 @@ bench-compare:
 bench-parallel:
 	PYTHONHASHSEED=0 $(PYTHON) -m benchmarks.baseline --parallel \
 		--packets 200000 --repeats 2 --shards 4
+
+# Paper-scale smoke: the persistent shared-memory pool at a
+# downscaled 2M-packet slice of the paper's trace shape, under a hard
+# timeout.  Reports speedup_vs_serial with an honest cpu gate; the
+# absolute >1 floor is enforced by bench-compare at the full 20M.
+bench-paper:
+	PYTHONHASHSEED=0 timeout 600 $(PYTHON) -m benchmarks.baseline \
+		--parallel --scale paper --packets 2000000 --repeats 1
 
 # Streaming-runtime smoke: a 3-epoch CLI stream with telemetry out.
 # Fails if any packet is lost at a rotation or the span stream does

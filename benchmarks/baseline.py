@@ -14,10 +14,15 @@ the repo root by default) capturing:
   raw tree loop) and the *enabled* path (registry + in-memory
   exporter),
 * the control-plane EM runtime for one representative configuration,
-* serial vs sharded ingest through the parallel engine (pps for the
-  vectorized serial path, the per-packet Algorithm-1 reference and the
-  4-shard engine; codec state bytes per flow; a determinism bit
-  asserting the sharded result is byte-identical to serial),
+* serial vs sharded ingest through the persistent shared-memory
+  worker pool (pps for the vectorized serial path, the per-packet
+  Algorithm-1 reference and the pool backend; codec state bytes per
+  flow; a determinism bit asserting the pool result is byte-identical
+  to serial).  ``--scale paper`` adds a second ``parallel_paper``
+  section at the paper's trace shape (20M packets, ~0.5M flows) where
+  ``speedup_vs_serial`` is the headline number.  Runners with a
+  single usable core record the section with ``gate: "skipped
+  (cpus < 2)"`` — an explicit marker, never a silent pass,
 * sustained ingest through the async measurement service (the full
   ``submit`` → bounded queue → worker → epoch-manager path under the
   lossless ``BLOCK`` policy, with the drain's conservation ledger
@@ -62,7 +67,7 @@ import numpy as np
 
 from repro.controlplane.distribution import estimate_distribution
 from repro.core import FCMSketch, FCMTopK
-from repro.engine import ShardedIngestEngine
+from repro.engine import PersistentShardPool, usable_cpus
 from repro.sketches import (
     ColdFilterSketch,
     CountMinSketch,
@@ -100,6 +105,7 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "seconds_per_iter": 1.00,
     "sharded_ingest_pps": 0.60,
     "speedup_vs_packet_loop": 0.60,
+    "speedup_vs_serial": 0.60,
     "codec_bytes_per_flow": 0.10,
     "batch_fallback_fraction": 0.10,
     "scrape_seconds_per_snapshot": 1.00,
@@ -242,25 +248,51 @@ def _parallel_factory() -> FCMSketch:
 #: The per-packet reference runs on this fraction of the trace (it is
 #: Algorithm 1 in pure Python and would otherwise dominate the run).
 PACKET_LOOP_FRACTION = 50
-PARALLEL_SHARDS = 4
+
+#: Paper-scale trace shape (§6 of the FCM paper evaluates one-second
+#: CAIDA windows of this order): 20M packets at caida_like's mean
+#: flow size of ~40 packets gives ~0.5M distinct flows.
+PAPER_PACKETS = 20_000_000
+
+#: Minimum usable cores for the speedup gate to be meaningful; below
+#: this the section carries an explicit ``gate: skipped`` marker.
+PARALLEL_MIN_CPUS = 2
+
+GATE_OK = "ok"
+GATE_SKIPPED = f"skipped (cpus < {PARALLEL_MIN_CPUS})"
 
 
 def measure_parallel(keys: np.ndarray, num_flows: int, repeats: int,
-                     shards: int = PARALLEL_SHARDS) -> dict:
-    """Serial vs sharded ingest, plus state-codec size per flow.
+                     shards: Optional[int] = None,
+                     label: str = "parallel") -> dict:
+    """Serial vs pool-sharded ingest, plus state-codec size per flow.
 
     Three ingest paths over the same trace:
 
     * *serial*: one ``FCMSketch.ingest`` call (vectorized bincount),
     * *packet loop*: per-packet ``update`` — Algorithm 1 as the data
-      plane executes it, the reference the ``speedup`` acceptance
-      criterion is measured against,
-    * *sharded*: :class:`ShardedIngestEngine` with ``shards`` workers
-      (codec-bytes state transport, ``merge`` reduce).
+      plane executes it, the reference the ``speedup_vs_packet_loop``
+      acceptance criterion is measured against,
+    * *sharded*: :class:`PersistentShardPool` — persistent workers
+      over a shared-memory slab ring, hash-partitioned shard-local
+      sketches, one codec merge at seal.  The pool outlives the
+      repeats, so worker spawn cost is paid once and best-of timing
+      measures the steady state, exactly like an epoch pipeline.
 
-    Also asserts (and records) that the sharded result is
-    byte-identical to the serial sketch's ``to_state()``.
+    ``cpus`` records the cores this process may actually run on
+    (`sched_getaffinity`, not `cpu_count`), and ``gate`` says whether
+    the ``speedup_vs_serial`` criterion is meaningful here: a 1-core
+    runner reports ``skipped (cpus < 2)`` explicitly rather than
+    letting a vacuous pass through.
+
+    Also asserts (and records) that the pool result is byte-identical
+    to the serial sketch's ``to_state()``.
     """
+    cpus = usable_cpus()
+    if shards is None:
+        shards = max(PARALLEL_MIN_CPUS, cpus)
+    gate = GATE_OK if cpus >= PARALLEL_MIN_CPUS else GATE_SKIPPED
+
     serial_s = _best_of(repeats,
                         lambda: _parallel_factory().ingest(keys))
     serial = _parallel_factory()
@@ -277,16 +309,20 @@ def measure_parallel(keys: np.ndarray, num_flows: int, repeats: int,
 
     loop_s = _best_of(repeats, packet_loop)
 
-    with ShardedIngestEngine(_parallel_factory, num_shards=shards,
-                             mode="process") as engine:
-        merged = engine.ingest(keys)
-        stats = engine.last_stats
-        sharded_s = stats.elapsed_s
-        for _ in range(repeats - 1):
-            engine.ingest(keys)
-            if engine.last_stats.elapsed_s < sharded_s:
-                sharded_s = engine.last_stats.elapsed_s
-                stats = engine.last_stats
+    with PersistentShardPool(_parallel_factory,
+                             num_shards=shards) as pool:
+        sharded_s = float("inf")
+        merged_state = b""
+        merge_s = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pool.publish(keys)
+            merged = pool.seal(0)
+            elapsed = time.perf_counter() - start
+            if elapsed < sharded_s:
+                sharded_s = elapsed
+                merged_state = merged.to_state()
+                merge_s = pool.last_merge_seconds
 
     serial_pps = keys.shape[0] / serial_s
     loop_pps = loop_keys.shape[0] / loop_s
@@ -294,21 +330,24 @@ def measure_parallel(keys: np.ndarray, num_flows: int, repeats: int,
     result = {
         "packets": int(keys.shape[0]),
         "flows": int(num_flows),
-        "shards": stats.shards,
-        "mode": stats.mode,
-        "cpus": int(os.cpu_count() or 1),
+        "shards": int(shards),
+        "backend": "pool",
+        "cpus": int(cpus),
+        "gate": gate,
         "serial_ingest_pps": serial_pps,
         "packet_loop_pps": loop_pps,
         "sharded_ingest_pps": sharded_pps,
         "speedup_vs_serial": sharded_pps / serial_pps,
         "speedup_vs_packet_loop": sharded_pps / loop_pps,
-        "deterministic": bool(merged.to_state() == serial_state),
+        "merge_seconds": float(merge_s),
+        "deterministic": bool(merged_state == serial_state),
         "codec_state_bytes": len(serial_state),
         "codec_bytes_per_flow": len(serial_state) / max(1, num_flows),
     }
-    print(f"  parallel   serial {serial_pps:>12,.0f} pps   "
-          f"sharded({stats.shards}) {sharded_pps:>12,.0f} pps   "
-          f"packet-loop x{result['speedup_vs_packet_loop']:.1f}")
+    print(f"  {label:<10} serial {serial_pps:>12,.0f} pps   "
+          f"pool({shards}) {sharded_pps:>12,.0f} pps   "
+          f"x{result['speedup_vs_serial']:.2f} vs serial "
+          f"[{gate}]")
     return result
 
 
@@ -466,13 +505,14 @@ def measure_em(keys: np.ndarray, iterations: int = 5) -> dict:
     return em
 
 
-def build_record(packets: int, repeats: int, seed: int) -> dict:
+def build_record(packets: int, repeats: int, seed: int,
+                 paper_packets: Optional[int] = None) -> dict:
     trace = caida_like_trace(num_packets=packets, seed=seed)
     keys = trace.keys
     query_keys = trace.ground_truth.keys_array()[:QUERY_KEYS]
     print(f"baseline: {packets} packets, memory {MEMORY // 1024} KB, "
           f"best of {repeats}")
-    return {
+    record = {
         "schema_version": SCHEMA_VERSION,
         "packets": packets,
         "memory_bytes": MEMORY,
@@ -486,6 +526,53 @@ def build_record(packets: int, repeats: int, seed: int) -> dict:
         "service": measure_service(keys, repeats),
         "obsplane": measure_obsplane(keys, repeats),
     }
+    if paper_packets:
+        del trace, keys, query_keys
+        paper = caida_like_trace(num_packets=paper_packets, seed=seed)
+        print(f"paper scale: {paper_packets} packets, "
+              f"{paper.ground_truth.keys_array().shape[0]} flows")
+        record["parallel_paper"] = measure_parallel(
+            paper.keys, paper.ground_truth.keys_array().shape[0],
+            max(1, min(repeats, 2)), label="paper")
+    return record
+
+
+def _validate_parallel_section(section: dict, prefix: str,
+                               errors: list,
+                               require_speedup: bool = False) -> None:
+    """Schema checks shared by ``parallel`` and ``parallel_paper``.
+
+    ``require_speedup`` enforces the paper-scale acceptance bound
+    (``speedup_vs_serial > 1``) — but only when the section's own
+    ``gate`` marker says the run happened on a multi-core machine;
+    a ``skipped`` gate is legitimate, a *missing* one is not.
+    """
+    for field in ("serial_ingest_pps", "packet_loop_pps",
+                  "sharded_ingest_pps", "speedup_vs_serial",
+                  "speedup_vs_packet_loop", "cpus",
+                  "codec_state_bytes", "codec_bytes_per_flow"):
+        value = section.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(f"{prefix}.{field} not positive")
+    gate = section.get("gate")
+    if gate not in (GATE_OK, GATE_SKIPPED):
+        errors.append(f"{prefix}.gate missing or unrecognized "
+                      f"(expected {GATE_OK!r} or {GATE_SKIPPED!r}, "
+                      f"got {gate!r})")
+    if section.get("deterministic") is not True:
+        errors.append(f"{prefix}.deterministic is not true (pool "
+                      "ingest diverged from serial)")
+    speedup = section.get("speedup_vs_packet_loop")
+    if isinstance(speedup, (int, float)) and speedup < 2.0:
+        errors.append(f"{prefix}.speedup_vs_packet_loop {speedup:.2f} "
+                      "below the 2x acceptance bound")
+    if require_speedup and gate == GATE_OK:
+        vs_serial = section.get("speedup_vs_serial")
+        if not (isinstance(vs_serial, (int, float))
+                and vs_serial > 1.0):
+            errors.append(
+                f"{prefix}.speedup_vs_serial {vs_serial} is not > 1 "
+                "on a multi-core runner (gate 'ok')")
 
 
 def validate_record(record: dict) -> list:
@@ -525,20 +612,12 @@ def validate_record(record: dict) -> list:
         value = em.get(field)
         if not isinstance(value, (int, float)) or value <= 0:
             errors.append(f"em.{field} not positive")
-    parallel = record.get("parallel", {})
-    for field in ("serial_ingest_pps", "packet_loop_pps",
-                  "sharded_ingest_pps", "speedup_vs_packet_loop",
-                  "codec_state_bytes", "codec_bytes_per_flow"):
-        value = parallel.get(field)
-        if not isinstance(value, (int, float)) or value <= 0:
-            errors.append(f"parallel.{field} not positive")
-    if parallel.get("deterministic") is not True:
-        errors.append("parallel.deterministic is not true (sharded "
-                      "ingest diverged from serial)")
-    speedup = parallel.get("speedup_vs_packet_loop")
-    if isinstance(speedup, (int, float)) and speedup < 2.0:
-        errors.append(f"parallel.speedup_vs_packet_loop {speedup:.2f} "
-                      "below the 2x acceptance bound")
+    _validate_parallel_section(record.get("parallel", {}),
+                               "parallel", errors)
+    if "parallel_paper" in record:
+        _validate_parallel_section(record["parallel_paper"],
+                                   "parallel_paper", errors,
+                                   require_speedup=True)
     service = record.get("service", {})
     for field in ("packets", "seconds", "ingest_pps", "sealed_epochs"):
         value = service.get(field)
@@ -583,10 +662,14 @@ def flatten_metrics(record: dict) -> Dict[str, float]:
         out["em.seconds_per_iter"] = (float(em["runtime_seconds"])
                                       / float(em["iterations"]))
     parallel = record.get("parallel", {})
-    for field in ("sharded_ingest_pps", "speedup_vs_packet_loop",
-                  "codec_bytes_per_flow"):
+    for field in ("sharded_ingest_pps", "speedup_vs_serial",
+                  "speedup_vs_packet_loop", "codec_bytes_per_flow"):
         if field in parallel:
             out[f"parallel.{field}"] = float(parallel[field])
+    paper = record.get("parallel_paper", {})
+    for field in ("sharded_ingest_pps", "speedup_vs_serial"):
+        if field in paper:
+            out[f"parallel_paper.{field}"] = float(paper[field])
     service = record.get("service", {})
     if "ingest_pps" in service:
         out["service.ingest_pps"] = float(service["ingest_pps"])
@@ -615,10 +698,22 @@ def compare_records(baseline: dict, fresh: dict,
     Metrics present on only one side are reported but never gate (a
     new sketch should not fail the gate retroactively); EM runtime is
     skipped when the packet budgets differ (it scales with load).
+
+    Speedup metrics are only relatively compared when *both* records
+    carry a passing cpu gate (a 1-core baseline's speedup is noise,
+    not a bar to hold).  On top of the relative tolerances, a fresh
+    ``parallel_paper`` section with ``gate: "ok"`` must clear the
+    absolute paper-scale acceptance floor ``speedup_vs_serial > 1``
+    regardless of what the baseline recorded.
     """
     base_metrics = flatten_metrics(baseline)
     fresh_metrics = flatten_metrics(fresh)
     same_load = baseline.get("packets") == fresh.get("packets")
+
+    def gate_of(record, metric):
+        section = metric.split(".", 1)[0]
+        return record.get(section, {}).get("gate", GATE_OK)
+
     rows = []
     regressions = []
     for metric in sorted(set(base_metrics) | set(fresh_metrics)):
@@ -631,6 +726,15 @@ def compare_records(baseline: dict, fresh: dict,
             rows.append((metric, base, current, None, None,
                          "skipped (packet budgets differ)"))
             continue
+        if metric.endswith("speedup_vs_serial"):
+            skipped = [side for side, rec in (("baseline", baseline),
+                                              ("fresh", fresh))
+                       if gate_of(rec, metric) != GATE_OK]
+            if skipped:
+                rows.append((metric, base, current, None, None,
+                             f"skipped (cpus < {PARALLEL_MIN_CPUS} "
+                             f"on {'/'.join(skipped)})"))
+                continue
         tol = tolerance_for(metric, tolerances)
         ratio = current / base if base else float("inf")
         lower_better = metric.endswith(LOWER_IS_BETTER_SUFFIXES)
@@ -653,6 +757,14 @@ def compare_records(baseline: dict, fresh: dict,
                 f"{metric} {direction} beyond tolerance: "
                 f"baseline {base:.6g} -> current {current:.6g} "
                 f"(ratio {ratio:.3f}, tolerance {tol:.0%})")
+    paper = fresh.get("parallel_paper", {})
+    if paper.get("gate") == GATE_OK:
+        vs_serial = paper.get("speedup_vs_serial")
+        if isinstance(vs_serial, (int, float)) and vs_serial <= 1.0:
+            regressions.append(
+                f"parallel_paper.speedup_vs_serial {vs_serial:.3f} "
+                "<= 1 on a multi-core runner: the pool backend lost "
+                "to serial ingest at paper scale")
     return {"rows": rows, "regressions": regressions}
 
 
@@ -715,7 +827,9 @@ def run_compare(args) -> int:
         return 1
     packets = args.packets if args.packets is not None \
         else int(baseline.get("packets", 100_000))
-    fresh = build_record(packets, args.repeats, args.seed)
+    paper_packets = baseline.get("parallel_paper", {}).get("packets")
+    fresh = build_record(packets, args.repeats, args.seed,
+                         paper_packets=paper_packets)
     comparison = compare_records(baseline, fresh, tolerances)
     print(f"\ncompare vs {args.out}:")
     for metric, base, current, ratio, tol, verdict in comparison["rows"]:
@@ -752,12 +866,19 @@ def main(argv=None) -> int:
                         help="validate the existing record instead of "
                              "re-measuring")
     parser.add_argument("--parallel", action="store_true",
-                        help="measure only the serial-vs-sharded ingest "
+                        help="measure only the serial-vs-pool ingest "
                              "section and print it; exit nonzero when "
-                             "sharded ingest diverges from serial or "
+                             "pool ingest diverges from serial or "
                              "the packet-loop speedup drops below 2x")
-    parser.add_argument("--shards", type=int, default=PARALLEL_SHARDS,
-                        help="worker count for the sharded section")
+    parser.add_argument("--scale", choices=("default", "paper"),
+                        default="default",
+                        help="'paper' sizes --parallel at the paper's "
+                             "trace shape (20M packets unless "
+                             "--packets overrides) and makes full "
+                             "runs append a parallel_paper section")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="pool worker count for the sharded "
+                             "section (default: max(2, usable cpus))")
     parser.add_argument("--compare", action="store_true",
                         help="re-measure and gate against the committed "
                              "record; append to the trajectory history; "
@@ -773,24 +894,42 @@ def main(argv=None) -> int:
     if args.compare:
         return run_compare(args)
     if args.packets is None:
-        args.packets = int(os.environ.get("REPRO_BASELINE_PACKETS",
-                                          100_000))
+        if args.parallel and args.scale == "paper":
+            args.packets = PAPER_PACKETS
+        else:
+            args.packets = int(os.environ.get("REPRO_BASELINE_PACKETS",
+                                              100_000))
 
     if args.parallel:
         trace = caida_like_trace(num_packets=args.packets, seed=args.seed)
-        print(f"parallel smoke: {args.packets} packets, "
-              f"{args.shards} shards, best of {args.repeats}")
+        shards = args.shards if args.shards is not None \
+            else max(PARALLEL_MIN_CPUS, usable_cpus())
+        print(f"parallel smoke ({args.scale} scale): "
+              f"{args.packets} packets, {shards} shards, "
+              f"best of {args.repeats}")
         section = measure_parallel(
             trace.keys, trace.ground_truth.keys_array().shape[0],
-            args.repeats, shards=args.shards)
+            args.repeats, shards=shards)
         print(json.dumps(section, indent=2, sort_keys=True))
         failures = []
         if not section["deterministic"]:
-            failures.append("sharded ingest diverged from serial")
+            failures.append("pool ingest diverged from serial")
         if section["speedup_vs_packet_loop"] < 2.0:
             failures.append(
                 f"speedup_vs_packet_loop "
                 f"{section['speedup_vs_packet_loop']:.2f} < 2.0")
+        # The absolute paper-scale acceptance floor only binds at the
+        # full paper budget on a multi-core runner; the downscaled CI
+        # smoke reports the number without gating it (the --compare
+        # gate owns that bound).
+        if (args.scale == "paper"
+                and args.packets >= PAPER_PACKETS
+                and section["gate"] == GATE_OK
+                and section["speedup_vs_serial"] <= 1.0):
+            failures.append(
+                f"speedup_vs_serial "
+                f"{section['speedup_vs_serial']:.2f} <= 1 at paper "
+                "scale on a multi-core runner")
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1 if failures else 0
@@ -810,7 +949,9 @@ def main(argv=None) -> int:
                   f"({len(record['sketches'])} sketches)")
         return 1 if errors else 0
 
-    record = build_record(args.packets, args.repeats, args.seed)
+    record = build_record(
+        args.packets, args.repeats, args.seed,
+        paper_packets=PAPER_PACKETS if args.scale == "paper" else None)
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")

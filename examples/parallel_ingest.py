@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
 """Parallel ingest: shard a trace across workers, merge losslessly.
 
-Demonstrates the three pieces the engine layer adds:
+Demonstrates the pieces the engine layer adds:
 
 1. the mergeable-sketch protocol — ``merge`` / ``to_state`` /
    ``from_state`` on every sketch (order-dependent ones refuse with a
    typed reason),
-2. :class:`~repro.engine.ShardedIngestEngine` — chunk the stream,
-   fan batches out to a worker pool, reduce the replicas with
-   ``merge``; the result is byte-identical to a serial ingest,
-3. :class:`~repro.controlplane.ParallelSketchCollector` — the same
+2. the unified :class:`~repro.engine.IngestBackend` API — one
+   ``make_backend("kind[:shards]")`` spec builds every ingest path,
+3. :class:`~repro.engine.PersistentShardPool` (the ``pool`` backend) —
+   persistent workers over a shared-memory slab ring, hash-partitioned
+   shards, one merge per epoch seal; byte-identical to serial,
+4. :class:`~repro.engine.ShardedIngestEngine` — the per-batch
+   fan-out/reduce loop beneath the ``sharded``/``process`` backends,
+5. :class:`~repro.controlplane.ParallelSketchCollector` — the same
    codec bytes as the drain transport of the network-wide collector.
 
 Run:  python examples/parallel_ingest.py
@@ -17,7 +21,12 @@ Run:  python examples/parallel_ingest.py
 
 from repro import FCMSketch, caida_like_trace
 from repro.controlplane import ParallelSketchCollector
-from repro.engine import ShardedIngestEngine, peek_kind
+from repro.engine import (
+    ShardedIngestEngine,
+    make_backend,
+    peek_kind,
+    usable_cpus,
+)
 from repro.errors import SketchCompatibilityError
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import leaf_spine
@@ -51,6 +60,18 @@ def main() -> None:
           f"{stats.batches // stats.shards}+ batches ({stats.mode}), "
           f"{stats.pps:,.0f} pps")
     print(f"byte-identical to serial: {merged.to_state() == blob}")
+
+    # --- the persistent pool behind the unified backend API ----------
+    # Workers spawn once and survive epoch seals; batches land in a
+    # shared-memory slab ring, each worker ingests its hash-partition
+    # in place, and the per-epoch seal is the only merge.
+    with make_backend("pool:2", sketch_factory=make_sketch) as backend:
+        for start in range(0, trace.keys.shape[0], 65_536):
+            backend.ingest_batch(trace.keys[start:start + 65_536])
+        sealed = backend.seal(epoch=0)
+    print(f"pool:     {backend.describe()['shards']} persistent shards "
+          f"on {usable_cpus()} usable cpu(s), "
+          f"sealed byte-identical: {sealed == blob}")
 
     # --- the protocol is explicit about what cannot shard ------------
     try:

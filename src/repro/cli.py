@@ -218,6 +218,22 @@ def _stream_sketch(memory_bytes: int, seed: int) -> FCMSketch:
     return FCMSketch.with_memory(memory_bytes, seed=seed)
 
 
+def _backend_spec(args) -> str:
+    """Resolve the backend spec, folding in the deprecated --shards."""
+    spec = args.backend
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        import warnings
+
+        warnings.warn(
+            "--shards is deprecated; encode the shard count in the "
+            "backend spec instead, e.g. --backend process:4",
+            DeprecationWarning, stacklevel=2)
+        if ":" not in spec:
+            spec = f"{spec}:{shards}"
+    return spec
+
+
 def cmd_stream(args) -> int:
     import functools
 
@@ -233,14 +249,14 @@ def cmd_stream(args) -> int:
     manager = EpochManager(
         functools.partial(_stream_sketch, args.memory_kb * 1024,
                           args.seed),
-        config=config, backend=args.backend, num_shards=args.shards,
+        config=config, backend=_backend_spec(args),
         telemetry=telemetry,
     )
     print(f"workload: {len(trace)} packets, {trace.num_flows} flows "
           f"({trace.name})")
     print(f"runtime:  fcm @ {args.memory_kb} KB, "
           f"{args.epoch_packets} packets/epoch, "
-          f"retention {args.retention}, backend {args.backend}")
+          f"retention {args.retention}, backend {manager.backend_spec}")
     header = (f"{'epoch':>5} {'packets':>9} {'cardinality':>12} "
               f"{'changes':>8} {'state B':>9} {'reason':>12}")
     print(header)
@@ -291,6 +307,7 @@ def cmd_serve(args) -> int:
                           args.seed),
         config=EpochConfig(epoch_packets=args.epoch_packets,
                            retention=args.retention),
+        backend=args.backend,
         telemetry=telemetry,
     )
     pressure = PressureConfig(policy=args.policy,
@@ -528,12 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--change-threshold", type=int, default=None,
                           help="run §4.4 heavy-change detection between "
                                "adjacent epochs at this threshold")
-    p_stream.add_argument("--backend",
-                          choices=["inline", "sharded", "process"],
-                          default="inline",
-                          help="per-epoch ingest backend")
+    p_stream.add_argument("--backend", default="inline",
+                          help="ingest backend spec 'kind[:shards]': "
+                               "inline, sharded, process, or pool "
+                               "(e.g. pool:4)")
     p_stream.add_argument("--shards", type=int, default=None,
-                          help="shard count for the engine backends")
+                          help="deprecated; encode the shard count in "
+                               "--backend instead (e.g. process:4)")
     p_stream.set_defaults(func=cmd_stream)
 
     p_serve = sub.add_parser(
@@ -569,6 +587,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ingest-delay", type=float, default=0.0,
                          help="artificial seconds of work per ingest "
                               "step (slow-consumer simulation)")
+    p_serve.add_argument("--backend", default="inline",
+                         help="ingest backend spec 'kind[:shards]': "
+                              "inline, sharded, process, or pool")
     p_serve.set_defaults(func=cmd_serve)
 
     p_obs = sub.add_parser(

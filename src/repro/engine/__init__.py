@@ -8,16 +8,24 @@ into their own sketch replica, and reduced back with the protocol's
 ``merge`` — the result is byte-identical to a single sketch that saw
 the whole stream.
 
-Three pieces:
+The pieces:
 
 * :mod:`repro.engine.codec` — the versioned binary state codec behind
   ``to_state()`` / ``from_state()`` (header + raw counter arrays, with
   geometry/seed compatibility checks).  This is how sketch state moves
   between processes — and, in deployment terms, how a switch snapshot
   moves off-device.
+* :mod:`repro.engine.backends` — the **one ingest-backend contract**:
+  :class:`IngestBackend` (``ingest_batch`` / ``seal`` / ``merge_into``
+  / ``close`` / ``describe()``) and :func:`make_backend`, which builds
+  any backend from a ``"kind[:shards]"`` spec string
+  (``inline`` / ``sharded`` / ``process`` / ``pool`` / ``network``).
+* :mod:`repro.engine.pool` — :class:`PersistentShardPool`, the
+  paper-scale path: persistent workers over a ``shared_memory`` slab
+  ring, hash-partitioned shard-local sketches, one merge per epoch.
 * :mod:`repro.engine.sharded` — :class:`ShardedIngestEngine`, the
-  batch/fan-out/reduce loop over a ``multiprocessing`` pool (or an
-  in-process "inline" mode with identical semantics).
+  per-batch batch/fan-out/reduce loop (the low-level engine beneath
+  the ``sharded``/``process`` backends).
 * :class:`repro.controlplane.collector.ParallelSketchCollector` — the
   collector drain path built on the codec: per-switch snapshot *bytes*
   instead of in-process object handles.
@@ -40,11 +48,32 @@ _EXPORTS = {
     "ShardedIngestEngine": "repro.engine.sharded",
     "ShardedIngestStats": "repro.engine.sharded",
     "chunk_batches": "repro.engine.sharded",
+    "IngestBackend": "repro.engine.backends",
+    "InlineBackend": "repro.engine.backends",
+    "EngineBackend": "repro.engine.backends",
+    "PoolBackend": "repro.engine.backends",
+    "NetworkBackend": "repro.engine.backends",
+    "make_backend": "repro.engine.backends",
+    "parse_backend_spec": "repro.engine.backends",
+    "BACKEND_KINDS": "repro.engine.backends",
+    "PersistentShardPool": "repro.engine.pool",
+    "shard_of": "repro.engine.pool",
+    "usable_cpus": "repro.engine.pool",
 }
 
 __all__ = list(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.engine.backends import (
+        BACKEND_KINDS,
+        EngineBackend,
+        IngestBackend,
+        InlineBackend,
+        NetworkBackend,
+        PoolBackend,
+        make_backend,
+        parse_backend_spec,
+    )
     from repro.engine.codec import (
         CODEC_VERSION,
         SketchState,
@@ -52,6 +81,11 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         pack_state,
         peek_kind,
         unpack_state,
+    )
+    from repro.engine.pool import (
+        PersistentShardPool,
+        shard_of,
+        usable_cpus,
     )
     from repro.engine.sharded import (
         ShardedIngestEngine,

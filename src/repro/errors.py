@@ -141,6 +141,20 @@ class ServiceClosedError(MeasurementError, RuntimeError):
     refused loudly instead of being silently lost."""
 
 
+class WorkerPoolError(MeasurementError, RuntimeError):
+    """Raised when a persistent ingest worker dies, errors, or times
+    out.  The shared-memory pool raises this from ``publish``/``seal``
+    on the *publisher* side; :class:`~repro.engine.backends.PoolBackend`
+    catches it and fails over to serial direct-feed so the live epoch
+    is re-ingested rather than lost (breaker-style: the pool stays
+    down for the backend's remaining lifetime)."""
+
+    def __init__(self, message: str, worker_id=None, exitcode=None):
+        self.worker_id = worker_id
+        self.exitcode = exitcode
+        super().__init__(message)
+
+
 class EMDivergenceError(MeasurementError):
     """Raised when EM produces NaN/inf mass or runaway flow counts."""
 

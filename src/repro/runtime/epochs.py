@@ -15,29 +15,37 @@ driven (a :class:`~repro.telemetry.health.SketchHealthMonitor`
 verdict of ``SATURATED`` forces an early rotation) or manual
 (:meth:`EpochManager.rotate`).
 
-Two ingest backends share one contract (identical sealed bytes):
+Ingest goes through one :class:`~repro.engine.backends.IngestBackend`
+selected by a single spec string (identical sealed bytes on all of
+them):
 
-* ``inline`` — every batch goes straight into the live sketch;
-* ``sharded`` / ``process`` — batches buffer and flush through a
-  :class:`~repro.engine.sharded.ShardedIngestEngine` (inline or
-  multiprocessing fan-out), whose reduce is byte-identical to serial
-  ingest.
+* ``inline`` — every batch straight into the live sketch;
+* ``sharded`` / ``process`` — batches buffer and flush through the
+  :class:`~repro.engine.sharded.ShardedIngestEngine`;
+* ``pool`` (alias ``shm``) — the persistent shared-memory worker pool
+  (:class:`~repro.engine.pool.PersistentShardPool`): workers outlive
+  rotations, each epoch pays exactly one merge at seal time, and a
+  dead worker fails over to serial direct-feed without losing the
+  epoch;
+* ``network`` — batches routed through a collector's
+  :class:`~repro.network.simulator.NetworkSimulator`; epochs sealed by
+  draining every switch via :meth:`~repro.controlplane.collector
+  .NetworkSketchCollector.drain_epoch` (retry, circuit breaker and
+  collection health all apply).  Built automatically when
+  ``collector=`` is passed.
 
-A network-backed runtime (``collector=``) instead routes batches
-through the collector's :class:`~repro.network.simulator
-.NetworkSimulator` and seals epochs by draining every switch via
-:meth:`~repro.controlplane.collector.NetworkSketchCollector
-.drain_epoch` — retry, circuit breaker and collection health all
-apply to the sealed epoch's snapshot.
+A shard count rides in the spec (``"pool:4"``); the old ``num_shards=``
+kwarg still works under a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set, Union
 
 import numpy as np
 
@@ -51,7 +59,6 @@ from repro.sketches.base import MergeableStateMixin, as_key_array
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.health import HealthStatus, SketchHealthMonitor
 from repro.telemetry.tracing import maybe_span
-from repro.traffic.trace import Trace
 
 __all__ = [
     "EpochConfig",
@@ -199,61 +206,20 @@ class SealedEpochStore:
 
 
 # ----------------------------------------------------------------------
-# ingest backends (one epoch = one generation)
+# live-epoch bookkeeping (the ingest itself lives in the backend,
+# which persists across rotations — that is the whole point of the
+# pool backend: rotation resets the shard sketches, not the workers)
 # ----------------------------------------------------------------------
 
-class _InlineGeneration:
-    """Live epoch fed directly into one sketch instance."""
+class _Generation:
+    """Per-epoch ledger record: index, packet count, candidate keys."""
 
-    def __init__(self, index: int, factory: Callable[[], object]):
+    __slots__ = ("index", "packets", "candidates")
+
+    def __init__(self, index: int):
         self.index = index
-        self._sketch = factory()
         self.packets = 0
         self.candidates: Set[int] = set()
-
-    def feed(self, keys: np.ndarray) -> None:
-        self._sketch.ingest(keys)
-        self.packets += int(keys.size)
-
-    def materialize(self):
-        return self._sketch
-
-
-class _ShardedGeneration:
-    """Live epoch buffered and flushed through the sharded engine.
-
-    The engine's reduce is byte-identical to serial ingest, so a
-    sealed epoch's snapshot does not depend on the backend — the
-    rotation-determinism tests pin this across ``inline`` and
-    ``process`` engine modes.
-    """
-
-    def __init__(self, index: int, factory: Callable[[], object], engine):
-        self.index = index
-        self._factory = factory
-        self._engine = engine
-        self._pending: List[np.ndarray] = []
-        self._merged = None
-        self.packets = 0
-        self.candidates: Set[int] = set()
-
-    def feed(self, keys: np.ndarray) -> None:
-        self._pending.append(keys)
-        self.packets += int(keys.size)
-
-    def materialize(self):
-        if self._pending:
-            batch = np.concatenate(self._pending) if len(self._pending) > 1 \
-                else self._pending[0]
-            self._pending = []
-            shard_result = self._engine.ingest(batch)
-            if self._merged is None:
-                self._merged = shard_result
-            else:
-                self._merged.merge(shard_result)
-        if self._merged is None:
-            self._merged = self._factory()
-        return self._merged
 
 
 class EpochManager:
@@ -272,10 +238,16 @@ class EpochManager:
             .NetworkSketchCollector` (network mode); mutually
             exclusive with ``sketch_factory``.
         config: epoch boundary/retention knobs.
-        backend: ``"inline"`` (direct ingest), ``"sharded"`` (engine
-            fan-out, in-process) or ``"process"`` (engine fan-out over
-            a multiprocessing pool).  Local mode only.
-        num_shards: shard count for the engine backends.
+        backend: an ingest-backend spec string ``"kind[:shards]"`` —
+            ``"inline"``, ``"sharded"``, ``"process"`` or ``"pool"``
+            (alias ``"shm"``; the persistent shared-memory worker
+            pool) — or a ready-built
+            :class:`~repro.engine.backends.IngestBackend` instance.
+            Local mode only; network mode builds its backend from the
+            collector.
+        num_shards: deprecated — encode the shard count in the spec
+            (``backend="pool:4"``).  Still honored, with a
+            :class:`DeprecationWarning`.
         telemetry: optional metrics registry; rotations and drains
             become ``runtime.rotate`` / ``runtime.drain`` spans, the
             live ledger is gauged and every sealed epoch emits one
@@ -298,31 +270,53 @@ class EpochManager:
     def __init__(self, sketch_factory: Optional[Callable[[], object]] = None,
                  collector=None,
                  config: Optional[EpochConfig] = None,
-                 backend: str = "inline",
+                 backend: Union[str, object] = "inline",
                  num_shards: Optional[int] = None,
                  telemetry: Optional[MetricsRegistry] = None,
                  health_monitor: Optional[SketchHealthMonitor] = None,
                  auditor=None,
                  clock: Callable[[], float] = time.monotonic,
                  name: str = "runtime"):
+        from repro.engine.backends import (
+            IngestBackend,
+            NetworkBackend,
+            make_backend,
+            parse_backend_spec,
+        )
+
         if (sketch_factory is None) == (collector is None):
             raise ValueError(
                 "pass exactly one of sketch_factory= (local mode) or "
                 "collector= (network mode)")
-        if backend not in ("inline", "sharded", "process"):
-            raise ValueError(f"unknown backend {backend!r}")
-        if collector is not None and backend != "inline":
+        if num_shards is not None:
+            warnings.warn(
+                "EpochManager(num_shards=...) is deprecated; encode the "
+                "shard count in the backend spec instead, e.g. "
+                "backend='process:4' or backend='pool:4'",
+                DeprecationWarning, stacklevel=2)
+        if isinstance(backend, str):
+            kind, spec_shards = parse_backend_spec(backend)
+            if spec_shards is None and num_shards is not None:
+                backend = f"{kind}:{num_shards}"
+        else:
+            if not isinstance(backend, IngestBackend):
+                raise ValueError(
+                    f"backend must be a spec string or an IngestBackend, "
+                    f"not {type(backend).__name__}")
+            kind = backend.describe().get("kind", "custom")
+        if collector is not None and not (
+                isinstance(backend, str) and kind == "inline"):
             raise ValueError("engine backends apply to local mode only")
         self.config = config if config is not None else EpochConfig()
         self.collector = collector
-        self.backend = backend
         self.telemetry = telemetry
         self.health_monitor = health_monitor
         self.clock = clock
         self.name = name
-        self._engine = None
         if collector is not None:
             self.sketch_factory = self._vantage_factory()
+            self.backend = NetworkBackend(collector, telemetry=telemetry,
+                                          name=f"{name}.backend")
         else:
             probe = sketch_factory()
             if not isinstance(probe, MergeableStateMixin) \
@@ -331,13 +325,12 @@ class EpochManager:
                     f"{type(probe).__name__} has no state codec; sealed "
                     "epochs are stored as to_state() bytes")
             self.sketch_factory = sketch_factory
-            if backend != "inline":
-                from repro.engine.sharded import ShardedIngestEngine
-
-                mode = "inline" if backend == "sharded" else "process"
-                self._engine = ShardedIngestEngine(
-                    sketch_factory, num_shards=num_shards, mode=mode,
-                    telemetry=telemetry, name=f"{name}.engine")
+            if isinstance(backend, str):
+                self.backend = make_backend(
+                    backend, sketch_factory=sketch_factory,
+                    telemetry=telemetry, name=f"{name}.backend")
+            else:
+                self.backend = backend
         if health_monitor is not None and health_monitor.telemetry is None:
             health_monitor.telemetry = telemetry
         self.auditor = auditor
@@ -359,7 +352,7 @@ class EpochManager:
         # boundary still works; a *different* thread gets a
         # ConcurrencyError instead of silently corrupting state.
         self._write_lock = threading.RLock()
-        self._live = self._new_generation(0)
+        self._live = _Generation(0)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -379,14 +372,10 @@ class EpochManager:
         switch = self.collector.simulator.switches[self.collector.em_switch]
         return switch.fresh_sketch
 
-    def _new_generation(self, index: int):
-        if self.collector is not None:
-            return _NetworkGeneration(index, self.collector.simulator,
-                                      self.collector.em_switch)
-        if self._engine is not None:
-            return _ShardedGeneration(index, self.sketch_factory,
-                                      self._engine)
-        return _InlineGeneration(index, self.sketch_factory)
+    @property
+    def backend_spec(self) -> str:
+        """Canonical spec string of the active ingest backend."""
+        return self.backend.spec
 
     @property
     def live_epoch_index(self) -> int:
@@ -397,23 +386,26 @@ class EpochManager:
         return self._live.packets
 
     def live_sketch(self):
-        """The live epoch's materialized sketch (flushes the engine
-        backends; in network mode, the vantage switch's accumulating
-        sketch)."""
-        return self._live.materialize()
+        """The live epoch's merged sketch via ``backend.peek()``.
+
+        Free on ``inline``; flushes buffered batches on the engine
+        backends; on ``pool`` it is a full barrier + merge (shard
+        answers are only cheaply queryable post-seal); in network
+        mode, the vantage switch's accumulating sketch.
+        """
+        return self.backend.peek()
 
     def close(self, seal_live: bool = True) -> Optional[SealedEpoch]:
         """Stop the runtime; optionally seal the in-progress epoch.
 
-        Returns the final sealed epoch (or ``None``).  The engine
-        backends shut their worker pool down.
+        Returns the final sealed epoch (or ``None``).  The backend
+        releases its workers/slabs/pools.
         """
         with self._exclusive("close"):
             sealed = None
             if seal_live and self._live.packets > 0:
                 sealed = self.rotate(reason="close")
-            if self._engine is not None:
-                self._engine.close()
+            self.backend.close()
             return sealed
 
     def __enter__(self) -> "EpochManager":
@@ -441,7 +433,8 @@ class EpochManager:
                 if bound is not None:
                     room = min(room, bound - self._live.packets)
                 chunk = keys[offset:offset + room]
-                self._live.feed(chunk)
+                self.backend.ingest_batch(chunk)
+                self._live.packets += int(chunk.size)
                 self.packets_fed += int(chunk.size)
                 if self.auditor is not None and chunk.size:
                     self.auditor.observe(chunk)
@@ -466,14 +459,20 @@ class EpochManager:
                             float(self.packets_fed))
 
     def _saturated(self) -> bool:
-        """Early-rotation check: live sketch declared SATURATED."""
+        """Early-rotation check: live sketch declared SATURATED.
+
+        Only polled on backends whose ``peek()`` is free (inline); a
+        per-batch barrier on the pool or an engine flush per batch
+        would defeat the backends' purpose.
+        """
         if not self.config.rotate_on_saturation \
                 or self.health_monitor is None \
                 or self._live.packets == 0 \
-                or not isinstance(self._live, _InlineGeneration):
+                or self.collector is not None \
+                or not self.backend.CHEAP_PEEK:
             return False
         report = self.health_monitor.assess(
-            self._live.materialize(), window_index=self._live.index)
+            self.backend.peek(), window_index=self._live.index)
         return report.status is HealthStatus.SATURATED
 
     # -- rotation ------------------------------------------------------
@@ -488,7 +487,7 @@ class EpochManager:
         """
         with self._exclusive("rotate"):
             generation = self._live
-            self._live = self._new_generation(generation.index + 1)
+            self._live = _Generation(generation.index + 1)
             self._epoch_started = self.clock()
             t = self.telemetry
             with maybe_span(t, f"{self.name}.rotate",
@@ -512,7 +511,7 @@ class EpochManager:
         t = self.telemetry
         with maybe_span(t, f"{self.name}.drain", epoch=generation.index,
                         packets=generation.packets) as span:
-            if isinstance(generation, _NetworkGeneration):
+            if self.collector is not None:
                 sealed = self._drain_network(generation, reason)
             else:
                 sealed = self._drain_local(generation, reason)
@@ -523,8 +522,8 @@ class EpochManager:
         return sealed
 
     def _drain_local(self, generation, reason: str) -> SealedEpoch:
-        sketch = generation.materialize()
-        blob = sketch.to_state()
+        blob = self.backend.seal(generation.index)
+        sketch = self.backend.last_sealed_sketch
         health = None
         if self.health_monitor is not None:
             health = self.health_monitor.assess(
@@ -548,18 +547,14 @@ class EpochManager:
         )
 
     def _drain_network(self, generation, reason: str) -> SealedEpoch:
-        report = self.collector.drain_epoch(
-            generation.index, total_packets=generation.packets)
-        states: Dict[str, bytes] = {}
-        for switch, sketch in sorted(report.collected_sketches.items()):
-            if getattr(sketch, "STATE_KIND", None) is not None:
-                states[switch] = sketch.to_state()
-        vantage = self.collector.em_switch
+        vantage_state = self.backend.seal(generation.index)
+        report = self.backend.last_report
+        states: Dict[str, bytes] = dict(self.backend.last_states or {})
         return SealedEpoch(
             index=generation.index,
             packets=generation.packets,
             reason=reason,
-            state=states.get(vantage),
+            state=vantage_state,
             states=states,
             cardinality=report.cardinality_estimate,
             candidates=frozenset(generation.candidates),
@@ -587,28 +582,3 @@ class EpochManager:
         if t is not None and changes:
             t.inc(f"{self.name}.heavy_changes", len(changes))
         return changes
-
-
-class _NetworkGeneration:
-    """Live epoch routed through a :class:`NetworkSimulator`.
-
-    The switches themselves double-buffer: ``SimulatedSwitch.rotate``
-    atomically swaps in a fresh sketch, so the collector drain at the
-    epoch boundary is zero-gap by construction.
-    """
-
-    def __init__(self, index: int, simulator, vantage: str):
-        self.index = index
-        self._simulator = simulator
-        self._vantage = vantage
-        self.packets = 0
-        self.candidates: Set[int] = set()
-
-    def feed(self, keys: np.ndarray) -> None:
-        if keys.size:
-            self._simulator.route_trace(
-                Trace(keys, name=f"epoch{self.index}"), window=self.index)
-        self.packets += int(keys.size)
-
-    def materialize(self):
-        return self._simulator.switches[self._vantage].sketch

@@ -538,6 +538,7 @@ class MeasurementService:
         self._export_ledger()
         if t is not None:
             t.emit("drain", f"{self.name}.drain",
+                   backend=self.manager.backend_spec,
                    **report.event_fields())
         return report
 

@@ -17,6 +17,8 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
 
 from benchmarks.baseline import (  # noqa: E402
     DEFAULT_TOLERANCES,
+    GATE_OK,
+    GATE_SKIPPED,
     append_trajectory,
     compare_records,
     flatten_metrics,
@@ -28,14 +30,40 @@ from benchmarks.baseline import (  # noqa: E402
 )
 
 
+def make_parallel_section(packets=2_000, ingest_pps=1e6, gate="ok",
+                          speedup_vs_serial=2.0, cpus=4):
+    """One parallel/parallel_paper section as measure_parallel emits."""
+    return {
+        "packets": packets,
+        "flows": 500,
+        "shards": 4,
+        "backend": "pool",
+        "cpus": cpus,
+        "gate": gate,
+        "serial_ingest_pps": ingest_pps,
+        "packet_loop_pps": ingest_pps / 50.0,
+        "sharded_ingest_pps": speedup_vs_serial * ingest_pps,
+        "speedup_vs_serial": speedup_vs_serial,
+        "speedup_vs_packet_loop": 50.0 * speedup_vs_serial,
+        "merge_seconds": 0.002,
+        "deterministic": True,
+        "codec_state_bytes": 40_000,
+        "codec_bytes_per_flow": 80.0,
+    }
+
+
 def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
                 disabled_over_raw=1.0, enabled_over_disabled=1.05,
-                em_runtime=0.05, sketches=("fcm",), fallback=None):
+                em_runtime=0.05, sketches=("fcm",), fallback=None,
+                gate="ok", paper=None):
     """A schema-valid synthetic baseline record.
 
     ``fallback`` (a fraction in [0, 1]) adds the optional
     ``batch_fallback_fraction`` field to every sketch entry, as the
-    batch-conflict-resolution sketches report it.
+    batch-conflict-resolution sketches report it.  ``gate`` sets the
+    parallel section's cpu-gate marker; ``paper`` (a dict of
+    make_parallel_section overrides) adds a ``parallel_paper``
+    section.
     """
     return {
         "schema_version": 1,
@@ -70,21 +98,10 @@ def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
             "wall_seconds": em_runtime,
             "estimated_flows": 1234.0,
         },
-        "parallel": {
-            "packets": packets,
-            "flows": 500,
-            "shards": 4,
-            "mode": "process",
-            "cpus": 4,
-            "serial_ingest_pps": ingest_pps,
-            "packet_loop_pps": ingest_pps / 50.0,
-            "sharded_ingest_pps": 2.0 * ingest_pps,
-            "speedup_vs_serial": 2.0,
-            "speedup_vs_packet_loop": 100.0,
-            "deterministic": True,
-            "codec_state_bytes": 40_000,
-            "codec_bytes_per_flow": 80.0,
-        },
+        "parallel": make_parallel_section(
+            packets=packets, ingest_pps=ingest_pps, gate=gate),
+        **({} if paper is None
+           else {"parallel_paper": make_parallel_section(**paper)}),
         "service": {
             "packets": packets,
             "sources": 4,
@@ -117,6 +134,7 @@ class TestFlattenMetrics:
             "telemetry.enabled_over_disabled",
             "em.seconds_per_iter",
             "parallel.sharded_ingest_pps",
+            "parallel.speedup_vs_serial",
             "parallel.speedup_vs_packet_loop",
             "parallel.codec_bytes_per_flow",
             "service.ingest_pps",
@@ -128,6 +146,13 @@ class TestFlattenMetrics:
 
     def test_empty_record_flattens_empty(self):
         assert flatten_metrics({}) == {}
+
+    def test_paper_section_flattens_when_present(self):
+        flat = flatten_metrics(make_record(paper=dict()))
+        assert "parallel_paper.sharded_ingest_pps" in flat
+        assert "parallel_paper.speedup_vs_serial" in flat
+        assert "parallel_paper.sharded_ingest_pps" not in \
+            flatten_metrics(make_record())
 
     def test_fallback_fraction_flattens_when_present(self):
         flat = flatten_metrics(make_record(sketches=("cu",),
@@ -250,6 +275,49 @@ class TestCompareRecords:
         assert verdicts["newcomer.ingest_pps"] == "uncompared"
         assert not any("newcomer" in r for r in result["regressions"])
 
+    def test_speedup_skipped_when_either_gate_skipped(self):
+        """A 1-core run's speedup is noise, not a bar to hold: the
+        relative speedup comparison must carry an explicit skipped
+        verdict — never a silent pass, never a false regression."""
+        base = make_record(gate=GATE_SKIPPED)  # e.g. a 1-cpu dev box
+        fresh = make_record()
+        fresh["parallel"]["speedup_vs_serial"] = 0.01
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        (row,) = [r for r in result["rows"]
+                  if r[0] == "parallel.speedup_vs_serial"]
+        assert row[-1].startswith("skipped (cpus <")
+        assert "baseline" in row[-1]
+        assert result["regressions"] == []
+
+    def test_speedup_compared_when_both_gates_ok(self):
+        base = make_record()
+        fresh = make_record()
+        fresh["parallel"]["speedup_vs_serial"] = 0.01  # -99.5% vs 60%
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("parallel.speedup_vs_serial" in r and "fell" in r
+                   for r in result["regressions"])
+
+    def test_paper_floor_binds_on_multicore_fresh_run(self):
+        """The paper-scale acceptance bound is absolute: a fresh run
+        whose pool lost to serial regresses even when the committed
+        baseline was generated on a 1-core box (gate skipped)."""
+        base = make_record(paper=dict(gate=GATE_SKIPPED,
+                                      speedup_vs_serial=0.9, cpus=1))
+        fresh = make_record(paper=dict(gate=GATE_OK,
+                                       speedup_vs_serial=0.9))
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("parallel_paper.speedup_vs_serial" in r
+                   and "lost to serial" in r
+                   for r in result["regressions"])
+
+    def test_paper_floor_skipped_on_single_core_fresh_run(self):
+        base = make_record(paper=dict())
+        fresh = make_record(paper=dict(gate=GATE_SKIPPED,
+                                       speedup_vs_serial=0.9, cpus=1))
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert not any("lost to serial" in r
+                       for r in result["regressions"])
+
 
 class TestTrajectory:
     def test_entry_carries_metrics_and_regressions(self):
@@ -301,6 +369,22 @@ class TestLoadTolerances:
 class TestSyntheticRecordIsValid:
     def test_make_record_passes_schema(self):
         assert validate_record(make_record()) == []
+        assert validate_record(make_record(paper=dict())) == []
+
+    def test_missing_gate_marker_is_invalid(self):
+        record = make_record()
+        del record["parallel"]["gate"]
+        assert any("parallel.gate" in e
+                   for e in validate_record(record))
+
+    def test_paper_speedup_floor_validates_by_own_gate(self):
+        losing = dict(speedup_vs_serial=0.9)
+        errors = validate_record(make_record(paper=losing))
+        assert any("speedup_vs_serial" in e and "multi-core" in e
+                   for e in errors)
+        skipped = dict(speedup_vs_serial=0.9, gate=GATE_SKIPPED,
+                       cpus=1)
+        assert validate_record(make_record(paper=skipped)) == []
 
     def test_fallback_fraction_validates_range(self):
         assert validate_record(make_record(fallback=0.0)) == []

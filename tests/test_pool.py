@@ -1,0 +1,244 @@
+"""Persistent shared-memory worker pool: lifecycle, determinism, chaos.
+
+The pool's contract extends the engine's: workers are spawned once and
+live across epoch seals, batches travel through shared-memory slabs
+(zero-copy numpy views on the worker side), each worker owns one
+hash-partitioned shard, and the only merge is the per-epoch seal — yet
+the sealed state must stay **byte-identical** to a serial sketch that
+ingested the whole stream.  On worker death the :class:`PoolBackend`
+wrapper must fail over to serial direct-feed without losing the epoch.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import FCMSketch
+from repro.engine import PersistentShardPool, PoolBackend, shard_of
+from repro.errors import SketchCompatibilityError, WorkerPoolError
+from repro.sketches import CUSketch
+from repro.traffic import zipf_trace
+
+MEMORY = 16 * 1024
+
+
+def fcm_factory():
+    return FCMSketch.with_memory(MEMORY, seed=3)
+
+
+def serial_state(keys):
+    sketch = fcm_factory()
+    sketch.ingest(keys)
+    return sketch.to_state()
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return zipf_trace(40_000, alpha=1.2, seed=9).keys
+
+
+# ----------------------------------------------------------------------
+# hash partitioning
+# ----------------------------------------------------------------------
+
+class TestShardOf:
+    def test_partition_is_total_and_deterministic(self, keys):
+        shards = shard_of(keys, 3)
+        assert shards.shape == keys.shape
+        assert set(np.unique(shards)) <= {0, 1, 2}
+        assert np.array_equal(shards, shard_of(keys, 3))
+        # Partitioning by mask recovers every packet exactly once.
+        total = sum(int((shards == s).sum()) for s in range(3))
+        assert total == keys.shape[0]
+
+    def test_single_shard_takes_everything(self, keys):
+        assert (shard_of(keys, 1) == 0).all()
+
+    def test_spreads_across_shards(self, keys):
+        # The mixer must not collapse a zipf key space onto one shard.
+        counts = np.bincount(shard_of(keys, 4).astype(np.int64),
+                             minlength=4)
+        assert (counts > 0).all()
+
+
+# ----------------------------------------------------------------------
+# lifecycle: persistent workers across epoch seals
+# ----------------------------------------------------------------------
+
+class TestPoolLifecycle:
+    def test_three_epoch_rotations_byte_identical_same_workers(self, keys):
+        """One pool, three sealed epochs: every seal byte-identical to
+        serial, with the *same* worker processes throughout (the whole
+        point of persistence — no per-epoch spawn)."""
+        epochs = np.array_split(keys, 3)
+        with PersistentShardPool(fcm_factory, num_shards=2) as pool:
+            pids = None
+            for index, epoch_keys in enumerate(epochs):
+                for start in range(0, epoch_keys.shape[0], 4096):
+                    pool.publish(epoch_keys[start:start + 4096])
+                if pids is None:
+                    pids = pool.worker_pids()
+                    assert len(pids) == 2
+                merged = pool.seal(epoch=index)
+                assert merged.to_state() == serial_state(epoch_keys)
+                assert pool.worker_pids() == pids
+            assert pool.seals == 3
+
+    def test_seal_resets_shard_state_between_epochs(self, keys):
+        with PersistentShardPool(fcm_factory, num_shards=2) as pool:
+            pool.publish(keys)
+            first = pool.seal(epoch=0)
+            pool.publish(keys)
+            second = pool.seal(epoch=1)
+        # Equal states, not accumulated ones: epoch 1 saw only its own
+        # packets.
+        assert first.to_state() == second.to_state()
+
+    def test_seal_before_any_publish_returns_fresh_sketch(self):
+        pool = PersistentShardPool(fcm_factory, num_shards=2)
+        try:
+            assert pool.seal().to_state() == fcm_factory().to_state()
+            assert not pool.started
+        finally:
+            pool.close()
+
+    def test_slab_ring_wraps_and_reuses(self, keys):
+        """More batches than slabs forces ring reuse under the
+        ack-gate; determinism must survive the wrap."""
+        with PersistentShardPool(fcm_factory, num_shards=2,
+                                 slab_packets=2048,
+                                 num_slabs=2) as pool:
+            pool.publish(keys)  # 40k keys -> 20 slab-sized chunks
+            assert pool.published_batches > pool.num_slabs
+            merged = pool.seal()
+            assert merged.to_state() == serial_state(keys)
+
+    def test_snapshot_is_consistent_mid_epoch(self, keys):
+        half = keys.shape[0] // 2
+        with PersistentShardPool(fcm_factory, num_shards=2) as pool:
+            pool.publish(keys[:half])
+            snap = pool.snapshot()
+            assert snap.to_state() == serial_state(keys[:half])
+            # The snapshot barrier must not reset shard state.
+            pool.publish(keys[half:])
+            assert pool.seal().to_state() == serial_state(keys)
+
+
+# ----------------------------------------------------------------------
+# teardown: shared memory is provably released
+# ----------------------------------------------------------------------
+
+class TestPoolTeardown:
+    def test_slabs_unlinked_on_close(self, keys):
+        pool = PersistentShardPool(fcm_factory, num_shards=2)
+        pool.publish(keys[:4096])
+        names = list(pool.slab_names)
+        assert names
+        pool.seal()
+        pool.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        pool.close()  # idempotent
+
+    def test_publish_after_close_raises(self, keys):
+        pool = PersistentShardPool(fcm_factory, num_shards=2)
+        pool.close()
+        with pytest.raises(WorkerPoolError):
+            pool.publish(keys[:64])
+
+    def test_no_resource_tracker_noise_at_interpreter_exit(self):
+        """A full publish/seal/close cycle in a pristine interpreter
+        must leave no resource_tracker complaints on stderr (leaked or
+        double-unregistered segments both warn loudly there)."""
+        src = str(pathlib.Path(__file__).parent.parent / "src")
+        script = (
+            "import numpy as np\n"
+            "from repro.core import FCMSketch\n"
+            "from repro.engine import PersistentShardPool\n"
+            "def factory():\n"
+            "    return FCMSketch.with_memory(16 * 1024, seed=3)\n"
+            "pool = PersistentShardPool(factory, num_shards=2)\n"
+            "pool.publish(np.arange(20000, dtype=np.uint64) % 997)\n"
+            "pool.seal()\n"
+            "pool.close()\n"
+            "print('OK')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True,
+                              timeout=120, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
+
+
+# ----------------------------------------------------------------------
+# protocol enforcement
+# ----------------------------------------------------------------------
+
+class TestPoolValidation:
+    def test_unmergeable_factory_rejected_up_front(self):
+        with pytest.raises(SketchCompatibilityError):
+            PersistentShardPool(lambda: CUSketch(MEMORY, seed=3))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            PersistentShardPool(fcm_factory, num_shards=0)
+        with pytest.raises(ValueError):
+            PersistentShardPool(fcm_factory, slab_packets=0)
+        with pytest.raises(ValueError):
+            PersistentShardPool(fcm_factory, num_slabs=0)
+
+
+# ----------------------------------------------------------------------
+# chaos: worker death mid-epoch
+# ----------------------------------------------------------------------
+
+@pytest.mark.chaos
+class TestPoolChaos:
+    def test_worker_kill_fails_over_without_losing_the_epoch(self, keys):
+        """SIGKILL one worker mid-epoch: the PoolBackend must detect
+        the death, replay the retained batches into a serial inline
+        backend, and seal an epoch byte-identical to serial ingest."""
+        backend = PoolBackend(fcm_factory, num_shards=2)
+        try:
+            first, second = np.array_split(keys, 2)
+            for start in range(0, first.shape[0], 4096):
+                backend.ingest_batch(first[start:start + 4096])
+            victim = backend.pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            time.sleep(0.2)
+            for start in range(0, second.shape[0], 4096):
+                backend.ingest_batch(second[start:start + 4096])
+            blob = backend.seal(0)
+            assert blob == serial_state(keys)
+            assert backend.failed_over is True
+            info = backend.describe()
+            assert info["failed_over"] is True
+            assert "failover_reason" in info
+        finally:
+            backend.close()
+
+    def test_failed_over_backend_keeps_sealing_serially(self, keys):
+        backend = PoolBackend(fcm_factory, num_shards=2)
+        try:
+            backend.ingest_batch(keys[:4096])
+            os.kill(backend.pool.worker_pids()[0], signal.SIGKILL)
+            time.sleep(0.2)
+            backend.ingest_batch(keys[4096:8192])
+            assert backend.seal(0) == serial_state(keys[:8192])
+            # The next epoch stays on the serial path and stays exact.
+            backend.ingest_batch(keys[8192:12288])
+            assert backend.seal(1) == serial_state(keys[8192:12288])
+        finally:
+            backend.close()

@@ -163,7 +163,7 @@ class TestRotationDeterminism:
     def test_two_runs_byte_identical(self):
         assert self._run("inline") == self._run("inline")
 
-    @pytest.mark.parametrize("backend", ["sharded", "process"])
+    @pytest.mark.parametrize("backend", ["sharded", "process", "pool:2"])
     def test_engine_backends_match_inline(self, backend):
         inline_states, inline_changes = self._run("inline")
         engine_states, engine_changes = self._run(backend)
