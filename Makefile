@@ -2,9 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos test-batch-equivalence bench bench-baseline \
-	bench-compare bench-parallel bench-paper report examples stream-smoke \
-	serve-smoke obs-smoke clean
+.PHONY: install test chaos test-batch-equivalence test-em-parallel bench \
+	bench-baseline bench-compare bench-parallel bench-paper report \
+	examples stream-smoke serve-smoke obs-smoke clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,17 @@ test-batch-equivalence:
 	PYTHONHASHSEED=0 timeout 600 $(PYTHON) -m pytest \
 		tests/test_differential.py tests/test_batching_properties.py \
 		-q -m "not chaos" --hypothesis-seed=0
+
+# Parallel + incremental EM: the differential suite (serial vs pool
+# bit-identity across worker counts, chaos failover) plus the
+# warm-start property suite (perturbed-epoch closeness, identical-
+# epoch non-inferiority, degenerate-seed rejection).  Pinned hash +
+# hypothesis seeds keep failures reproducible; the timeout turns a
+# wedged worker pool into a failure instead of a stuck job.
+test-em-parallel:
+	PYTHONHASHSEED=0 timeout 600 $(PYTHON) -m pytest \
+		tests/test_em_parallel.py tests/test_em_warmstart_properties.py \
+		-q --hypothesis-seed=0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,6 +14,14 @@ the repo root by default) capturing:
   raw tree loop) and the *enabled* path (registry + in-memory
   exporter),
 * the control-plane EM runtime for one representative configuration,
+* serial vs parallel EM (``em_parallel``): the same fixed-iteration
+  estimate inline and fanned out over the persistent EM worker pool,
+  with ``identical`` asserting the bit-exactness contract and the
+  cpu-gated ``speedup_vs_serial`` as the headline (single-core
+  runners mark the gate ``skipped (cpus < 2)``, never a silent pass),
+* incremental EM across adjacent sealed epochs (``em_warm_start``):
+  the streaming warm-start chain's ``iterations_saved`` on the second
+  epoch, gated nonzero,
 * serial vs sharded ingest through the persistent shared-memory
   worker pool (pps for the vectorized serial path, the per-packet
   Algorithm-1 reference and the pool backend; codec state bytes per
@@ -106,6 +114,7 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "sharded_ingest_pps": 0.60,
     "speedup_vs_packet_loop": 0.60,
     "speedup_vs_serial": 0.60,
+    "iterations_saved": 0.60,
     "codec_bytes_per_flow": 0.10,
     "batch_fallback_fraction": 0.10,
     "scrape_seconds_per_snapshot": 1.00,
@@ -485,6 +494,126 @@ def measure_obsplane(keys: np.ndarray, repeats: int) -> dict:
     return result
 
 
+EM_PARALLEL_ITERATIONS = 5
+EM_PARALLEL_MEMORY = 16 * 1024
+
+
+def measure_em_parallel(keys: np.ndarray, repeats: int,
+                        workers: Optional[int] = None) -> dict:
+    """Serial vs fanned-out EM over the same virtual counters.
+
+    Times the same fixed-iteration EM run twice: ``workers=1``
+    (inline) and ``workers>=2`` (the persistent shared-memory EM pool
+    of :mod:`repro.core.em_parallel`).  The pool is warmed with one
+    throwaway run first so the spawn cost — paid once per estimator in
+    production — stays out of the steady-state timing.  A smaller
+    sketch than the ingest benches (more collision groups per counter
+    value) keeps the response step compute-bound.
+
+    ``identical`` records the bit-exactness contract
+    (``np.array_equal`` between the two estimates) and is validated as
+    a hard invariant, not a tolerance.  As with the ingest pool
+    sections, ``gate`` marks whether ``speedup_vs_serial`` means
+    anything here: single-core runners record ``skipped (cpus < 2)``
+    explicitly.
+    """
+    from repro.core.em import EMConfig, EMEstimator
+    from repro.core.virtual import convert_sketch
+
+    cpus = usable_cpus()
+    if workers is None:
+        workers = max(PARALLEL_MIN_CPUS, cpus)
+    gate = GATE_OK if cpus >= PARALLEL_MIN_CPUS else GATE_SKIPPED
+
+    sketch = FCMSketch.with_memory(EM_PARALLEL_MEMORY, seed=1)
+    sketch.ingest(keys)
+    arrays = convert_sketch(sketch)
+
+    with EMEstimator(arrays, EMConfig(workers=1)) as est:
+        serial_s = _best_of(
+            repeats, lambda: est.run(iterations=EM_PARALLEL_ITERATIONS))
+        serial = est.run(iterations=EM_PARALLEL_ITERATIONS)
+        units = len(est._units)
+
+    with EMEstimator(arrays, EMConfig(workers=workers)) as est:
+        est.run(iterations=1)  # spawn + warm the pool
+        parallel_s = _best_of(
+            repeats, lambda: est.run(iterations=EM_PARALLEL_ITERATIONS))
+        parallel = est.run(iterations=EM_PARALLEL_ITERATIONS)
+
+    result = {
+        "packets": int(keys.shape[0]),
+        "iterations": EM_PARALLEL_ITERATIONS,
+        "memory_bytes": EM_PARALLEL_MEMORY,
+        "workers": int(workers),
+        "units": int(units),
+        "cpus": int(cpus),
+        "gate": gate,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup_vs_serial": serial_s / parallel_s,
+        "identical": bool(np.array_equal(serial.size_counts,
+                                         parallel.size_counts)),
+    }
+    print(f"  em_par     serial {serial_s:.3f}s   "
+          f"pool({workers}) {parallel_s:.3f}s   "
+          f"x{result['speedup_vs_serial']:.2f} vs serial   "
+          f"{'bit-identical' if result['identical'] else 'DIVERGED'} "
+          f"[{gate}]")
+    return result
+
+
+def measure_em_warm_start(keys: np.ndarray) -> dict:
+    """Incremental EM across adjacent sealed epochs.
+
+    Feeds the trace through an :class:`EpochManager` as two sealed
+    epochs and estimates both through
+    :meth:`StreamingQueryAPI.estimate_distribution` twice — once with
+    the warm-start chain disabled (every epoch cold) and once enabled
+    (each epoch seeded from its predecessor's converged estimate).
+    The headline gauge is the second epoch's ``iterations_saved``:
+    the early-stopped iterations its budget allowed but the seeded run
+    did not need.  ``iterations_vs_cold`` (warm minus cold iteration
+    count on the same epoch) is recorded for transparency but not
+    gated — on noisy adjacent epochs the cold observed-distribution
+    init is already a strong start, and the win the runtime banks is
+    converging well inside the budget, not beating cold's count.
+    """
+    from repro.runtime import EpochConfig, EpochManager
+    from repro.runtime.query import StreamingQueryAPI
+
+    epoch_packets = max(1, keys.shape[0] // 2)
+
+    def chain(warm: bool):
+        manager = EpochManager(
+            _parallel_factory,
+            config=EpochConfig(epoch_packets=epoch_packets))
+        manager.feed(keys[: 2 * epoch_packets])
+        api = StreamingQueryAPI(manager)
+        return api.estimate_distribution(scope="last-2", warm_start=warm)
+
+    cold = chain(warm=False)
+    warm = chain(warm=True)
+    last = max(warm)
+    warm_result = warm[last]
+    cold_result = cold[last]
+    result = {
+        "packets": int(min(keys.shape[0], 2 * epoch_packets)),
+        "epochs": len(warm),
+        "cold_iterations": int(cold_result.iterations),
+        "warm_iterations": int(warm_result.iterations),
+        "iterations_vs_cold": int(warm_result.iterations
+                                  - cold_result.iterations),
+        "iterations_saved": int(warm_result.iterations_saved),
+        "warm_started": bool(warm_result.warm_started),
+        "warm_converged": bool(warm_result.converged),
+    }
+    print(f"  em_warm    cold {cold_result.iterations} iters   "
+          f"warm {warm_result.iterations} iters   "
+          f"saved {warm_result.iterations_saved} of budget")
+    return result
+
+
 def measure_em(keys: np.ndarray, iterations: int = 5) -> dict:
     registry = MetricsRegistry()
     sketch = FCMSketch.with_memory(MEMORY, seed=1)
@@ -521,6 +650,8 @@ def build_record(packets: int, repeats: int, seed: int,
         "sketches": measure_sketches(keys, query_keys, repeats),
         "telemetry_overhead": measure_telemetry_overhead(keys, repeats),
         "em": measure_em(keys),
+        "em_parallel": measure_em_parallel(keys, repeats),
+        "em_warm_start": measure_em_warm_start(keys),
         "parallel": measure_parallel(
             keys, trace.ground_truth.keys_array().shape[0], repeats),
         "service": measure_service(keys, repeats),
@@ -612,6 +743,35 @@ def validate_record(record: dict) -> list:
         value = em.get(field)
         if not isinstance(value, (int, float)) or value <= 0:
             errors.append(f"em.{field} not positive")
+    em_par = record.get("em_parallel", {})
+    for field in ("iterations", "workers", "units", "cpus",
+                  "serial_seconds", "parallel_seconds",
+                  "speedup_vs_serial"):
+        value = em_par.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(f"em_parallel.{field} not positive")
+    gate = em_par.get("gate")
+    if gate not in (GATE_OK, GATE_SKIPPED):
+        errors.append(f"em_parallel.gate missing or unrecognized "
+                      f"(expected {GATE_OK!r} or {GATE_SKIPPED!r}, "
+                      f"got {gate!r})")
+    if em_par.get("identical") is not True:
+        errors.append("em_parallel.identical is not true (parallel EM "
+                      "diverged from serial — the bit-exactness "
+                      "contract is broken)")
+    warm = record.get("em_warm_start", {})
+    for field in ("epochs", "cold_iterations", "warm_iterations"):
+        value = warm.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors.append(f"em_warm_start.{field} not positive")
+    saved = warm.get("iterations_saved")
+    if not isinstance(saved, (int, float)) or saved < 1:
+        errors.append("em_warm_start.iterations_saved below 1 (the "
+                      "warm-started adjacent epoch did not converge "
+                      "early)")
+    for flag in ("warm_started", "warm_converged"):
+        if warm.get(flag) is not True:
+            errors.append(f"em_warm_start.{flag} is not true")
     _validate_parallel_section(record.get("parallel", {}),
                                "parallel", errors)
     if "parallel_paper" in record:
@@ -661,6 +821,14 @@ def flatten_metrics(record: dict) -> Dict[str, float]:
     if em.get("iterations"):
         out["em.seconds_per_iter"] = (float(em["runtime_seconds"])
                                       / float(em["iterations"]))
+    em_par = record.get("em_parallel", {})
+    if "speedup_vs_serial" in em_par:
+        out["em_parallel.speedup_vs_serial"] = float(
+            em_par["speedup_vs_serial"])
+    warm = record.get("em_warm_start", {})
+    if "iterations_saved" in warm:
+        out["em_warm_start.iterations_saved"] = float(
+            warm["iterations_saved"])
     parallel = record.get("parallel", {})
     for field in ("sharded_ingest_pps", "speedup_vs_serial",
                   "speedup_vs_packet_loop", "codec_bytes_per_flow"):
@@ -765,6 +933,14 @@ def compare_records(baseline: dict, fresh: dict,
                 f"parallel_paper.speedup_vs_serial {vs_serial:.3f} "
                 "<= 1 on a multi-core runner: the pool backend lost "
                 "to serial ingest at paper scale")
+    em_par = fresh.get("em_parallel", {})
+    if em_par.get("gate") == GATE_OK:
+        vs_serial = em_par.get("speedup_vs_serial")
+        if isinstance(vs_serial, (int, float)) and vs_serial <= 1.0:
+            regressions.append(
+                f"em_parallel.speedup_vs_serial {vs_serial:.3f} <= 1 "
+                "on a multi-core runner: the EM worker pool lost to "
+                "the inline response step")
     return {"rows": rows, "regressions": regressions}
 
 

@@ -140,7 +140,8 @@ def _close_telemetry(telemetry, exporter) -> None:
         print(f"telemetry: {sink.events_written} events -> {sink.path}")
 
 
-def _evaluate(sketch, trace, em_iterations: int, telemetry=None) -> dict:
+def _evaluate(sketch, trace, em_iterations: int, telemetry=None,
+              em_workers: int = 1) -> dict:
     gt = trace.ground_truth
     report: dict = {}
     if hasattr(sketch, "query_many"):
@@ -159,7 +160,11 @@ def _evaluate(sketch, trace, em_iterations: int, telemetry=None) -> dict:
         )
     result = None
     if isinstance(sketch, (FCMSketch, FCMTopK)):
-        result = estimate_distribution(sketch, iterations=em_iterations,
+        from repro.core.em import EMConfig
+
+        em_config = EMConfig(workers=em_workers) if em_workers > 1 else None
+        result = estimate_distribution(sketch, config=em_config,
+                                       iterations=em_iterations,
                                        telemetry=telemetry)
     elif hasattr(sketch, "estimate_distribution"):
         result = sketch.estimate_distribution(iterations=em_iterations)
@@ -181,7 +186,8 @@ def cmd_evaluate(args) -> int:
           f"{trace.num_flows} flows ({trace.name})")
     print(f"sketch:   {args.sketch} @ {args.memory_kb} KB")
     for metric, value in _evaluate(sketch, trace, args.em_iterations,
-                                   telemetry=telemetry).items():
+                                   telemetry=telemetry,
+                                   em_workers=args.em_workers).items():
         print(f"  {metric:<15} {value:.6f}")
     if telemetry is not None and hasattr(sketch, "emit_state"):
         sketch.emit_state()
@@ -284,6 +290,19 @@ def cmd_stream(args) -> int:
           f"({'zero-gap ok' if sealed_packets + manager.live_packets == manager.packets_fed else 'PACKETS LOST'})")
     print(f"heavy hitters (scope=all, threshold {threshold}): "
           f"{len(hitters)}")
+    if args.em_warm_start:
+        print("per-epoch EM (warm-started along the seal chain):")
+        em_header = (f"{'epoch':>5} {'iters':>6} {'saved':>6} "
+                     f"{'warm':>5} {'flows':>10}")
+        print(em_header)
+        print("-" * len(em_header))
+        for index, result in api.estimate_distribution(
+                scope=max(1, len(manager.store)),
+                warm_start=True).items():
+            print(f"{index:>5} {result.iterations:>6} "
+                  f"{result.iterations_saved:>6} "
+                  f"{'yes' if result.warm_started else 'no':>5} "
+                  f"{result.total_flows:>10.1f}")
     manager.close(seal_live=False)
     _close_telemetry(telemetry, exporter)
     return 0
@@ -524,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(p_eval)
     p_eval.add_argument("--sketch", default="fcm")
     p_eval.add_argument("--em-iterations", type=int, default=5)
+    p_eval.add_argument("--em-workers", type=int, default=1,
+                        help="EM worker processes for the response step "
+                             "(>1 fans out, bit-identical to serial)")
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_cmp = sub.add_parser("compare", help="compare several sketches")
@@ -545,6 +567,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--change-threshold", type=int, default=None,
                           help="run §4.4 heavy-change detection between "
                                "adjacent epochs at this threshold")
+    p_stream.add_argument("--em-warm-start", action="store_true",
+                          help="after streaming, run per-epoch EM "
+                               "warm-started along the seal chain and "
+                               "print iterations saved per epoch")
     p_stream.add_argument("--backend", default="inline",
                           help="ingest backend spec 'kind[:shards]': "
                                "inline, sharded, process, or pool "

@@ -7,6 +7,12 @@ Wraps the EM estimator for the two data-plane structures:
 * :class:`~repro.core.topk.FCMTopK` — EM over the FCM residue plus the
   Top-K filter's exact heavy-flow sizes (the Top-K algorithm counts
   resident flows exactly, §6).
+
+With ``config.workers > 1`` the estimator fans the E-step out over its
+persistent worker pool (bit-identical to serial); this wrapper owns
+the estimator's lifetime and always releases the pool before
+returning.  ``warm_start`` threads a previous estimate through as the
+EM seed (incremental EM for adjacent epochs).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ def estimate_distribution(sketch: Measurable,
                           iterations: Optional[int] = None,
                           callback=None,
                           telemetry: Optional[MetricsRegistry] = None,
+                          warm_start=None,
                           ) -> EMResult:
     """Estimate the flow-size distribution from a data-plane sketch.
 
@@ -39,15 +46,19 @@ def estimate_distribution(sketch: Measurable,
         callback: per-iteration hook ``callback(iteration, size_counts)``.
         telemetry: optional metrics registry; the estimator records
             iteration counts, convergence and runtime into it.
+        warm_start: optional EM seed (an :class:`EMResult`, sparse
+            ``{size: count}`` dict, or dense vector); degenerate seeds
+            raise :class:`~repro.errors.EMWarmStartError`.
 
     Returns:
         An :class:`EMResult`; for FCM+TopK the resident heavy flows are
         added to the EM output as exact single flows.
     """
     if isinstance(sketch, FCMTopK):
-        base = EMEstimator(convert_sketch(sketch.fcm), config=config,
-                           telemetry=telemetry)
-        result = base.run(iterations=iterations, callback=callback)
+        with EMEstimator(convert_sketch(sketch.fcm), config=config,
+                         telemetry=telemetry) as base:
+            result = base.run(iterations=iterations, callback=callback,
+                              warm_start=warm_start)
         heavy_sizes = []
         for key, _, _ in sketch.topk.entries():
             size = sketch.query(key)
@@ -58,9 +69,13 @@ def estimate_distribution(sketch: Measurable,
         counts[: result.size_counts.shape[0]] = result.size_counts
         for size in heavy_sizes:
             counts[size] += 1.0
-        return EMResult(size_counts=counts, iterations=result.iterations)
+        return EMResult(size_counts=counts, iterations=result.iterations,
+                        converged=result.converged,
+                        warm_started=result.warm_started,
+                        iterations_saved=result.iterations_saved)
     if isinstance(sketch, FCMSketch):
-        estimator = EMEstimator(convert_sketch(sketch), config=config,
-                                telemetry=telemetry)
-        return estimator.run(iterations=iterations, callback=callback)
+        with EMEstimator(convert_sketch(sketch), config=config,
+                         telemetry=telemetry) as estimator:
+            return estimator.run(iterations=iterations, callback=callback,
+                                 warm_start=warm_start)
     raise TypeError(f"unsupported sketch type: {type(sketch).__name__}")

@@ -29,12 +29,20 @@ truncated by counter value and degree.  The ladder (all configurable):
 
 Combination sets depend only on ``(V, degree, min_path, max_flows)`` and
 are cached process-wide; per-iteration work is vectorized with numpy.
+
+Scale-out (§7.3.2): each iteration's response step decomposes into
+independent ``(tree, degree-group)`` units reduced in a fixed float64
+order; with ``EMConfig.workers > 1`` the units fan out across a
+persistent shared-memory worker pool (:mod:`repro.core.em_parallel`)
+and the result is **bit-identical** to the serial run.  ``run()`` also
+accepts a ``warm_start`` seed — typically the previous sealed epoch's
+converged estimate — so adjacent epochs skip the iterations a cold
+start would spend rediscovering a near-identical distribution.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -42,7 +50,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.special import gammaln
 
+from repro.core.em_parallel import (
+    DEFAULT_CHUNK_GROUPS,
+    EMWorkerPool,
+    build_units,
+    unit_partial,
+)
 from repro.core.virtual import VirtualCounterArray
+from repro.errors import EMWarmStartError, WorkerPoolError
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.tracing import maybe_span
 
@@ -211,6 +226,17 @@ class EMConfig:
     workers: int = 1
     epsilon: float = 1e-10
     convergence_tol: float = 0.0  # relative L1 change; 0 = run all iters
+    chunk_groups: int = DEFAULT_CHUNK_GROUPS  # groups per parallel unit
+    worker_timeout: float = 60.0  # seconds before the pool is wedged
+    #: How far a warm-start seed pulls the EM start away from the cold
+    #: observed-distribution guess (0 < blend <= 1).  1.0 trusts the
+    #: seed verbatim — right when re-estimating the *same* epoch, where
+    #: the seed is already (near) the fixed point.  Converged estimates
+    #: are spiky, though, and a *foreign* epoch's spikes starve sizes
+    #: the new epoch needs, making raw seeds converge slower than cold;
+    #: blending towards the cold guess removes that pathology, so the
+    #: default stays at 0.5 for adjacent-epoch chains.
+    warm_start_blend: float = 0.5
 
     def max_flows_for(self, value: int, degree: int) -> int:
         """Truncated collision count for a counter (0 = deterministic)."""
@@ -235,12 +261,20 @@ class EMResult:
         converged: False when the run stopped at the iteration cap with
             the estimate still moving more than ``convergence_tol``
             (always True when early stopping is disabled).
+        warm_started: True when the run was seeded from a previous
+            estimate instead of the cold initial guess.
+        iterations_saved: iterations the budget allowed but the run did
+            not need (``budget - performed`` when it converged early;
+            0 otherwise).  For warm-started runs this is the
+            incremental-EM win the runtime gauges per epoch.
     """
 
     size_counts: np.ndarray
     iterations: int
     history: List[np.ndarray] = field(default_factory=list)
     converged: bool = True
+    warm_started: bool = False
+    iterations_saved: int = 0
 
     @property
     def total_flows(self) -> float:
@@ -346,23 +380,18 @@ class _null_context:
 
 @dataclass
 class _TreeWork:
-    """Precomputed E-step inputs for one tree."""
+    """Precomputed E-step inputs for one tree.
+
+    ``build_units`` splits the groups into (degree, chunk) work units;
+    the per-tree contribution is ``deterministic`` plus the unit
+    partials summed in canonical unit order — the same ordered float64
+    reduction whether the partials were computed inline or by the
+    worker pool.
+    """
 
     leaf_width: int
     groups: List[_Group]
     deterministic: np.ndarray  # dense per-size contribution, constant
-
-
-def _tree_contribution(work: _TreeWork, log_n: np.ndarray,
-                       size: int) -> np.ndarray:
-    """E-step contribution of one tree (callable in a worker process)."""
-    out = work.deterministic.copy()
-    if out.shape[0] < size:
-        out = np.pad(out, (0, size - out.shape[0]))
-    for group in work.groups:
-        log_rate = math.log(group.degree / work.leaf_width)
-        group.contribute(log_n, log_rate, out)
-    return out
 
 
 # ----------------------------------------------------------------------
@@ -396,10 +425,22 @@ class EMEstimator:
         self.telemetry = telemetry
         self._max_size = max((a.max_value for a in self.arrays), default=1)
         self._size = max(self._max_size + 1, 2)
+        #: Enumeration/grouping happens exactly once, here — ``run()``
+        #: reuses ``_work``/``_units``, so repeated runs on one
+        #: instance are idempotent and skip the expensive E-step prep
+        #: (pinned by the regression test in test_em_internals.py).
+        self.prepare_calls = 0
+        self.initial_guess_builds = 0
         self._work = [self._prepare_tree(a) for a in self.arrays]
+        self._units = build_units(self._work,
+                                  chunk_groups=self.config.chunk_groups)
+        self._n0_cache: Optional[np.ndarray] = None
+        self._pool: Optional[EMWorkerPool] = None
+        self._failed_over = False
 
     def _prepare_tree(self, array: VirtualCounterArray) -> _TreeWork:
         cfg = self.config
+        self.prepare_calls += 1
         grouped: Dict[Tuple[int, int], int] = {}
         deterministic = np.zeros(self._size, dtype=np.float64)
         for value, degree, stage in zip(array.values, array.degrees,
@@ -453,39 +494,187 @@ class EMEstimator:
         is read as ``xi`` flows of size ``V / xi`` (the count-query view
         of its leaves), averaged over trees, with a small floor on every
         enumerable size so EM can move mass anywhere.
+
+        The guess is a pure function of the (immutable) arrays, so it
+        is built once and cached; callers get a private copy.
         """
-        n0 = np.zeros(self._size, dtype=np.float64)
-        for array in self.arrays:
-            for value, degree in zip(array.values, array.degrees):
-                value, degree = int(value), int(degree)
-                if value <= 0:
+        if self._n0_cache is None:
+            self.initial_guess_builds += 1
+            n0 = np.zeros(self._size, dtype=np.float64)
+            for array in self.arrays:
+                for value, degree in zip(array.values, array.degrees):
+                    value, degree = int(value), int(degree)
+                    if value <= 0:
+                        continue
+                    share = max(1, int(round(value / degree)))
+                    n0[min(share, self._size - 1)] += degree
+            n0 /= len(self.arrays)
+            floor_top = min(self.config.exact_threshold + 1, self._size)
+            n0[1:floor_top] += self.config.epsilon
+            n0[0] = 0.0
+            self._n0_cache = n0
+        return self._n0_cache.copy()
+
+    # ------------------------------------------------------------------
+    # warm starts
+    # ------------------------------------------------------------------
+
+    def _coerce_warm_start(self, seed) -> np.ndarray:
+        """Validate a warm-start seed and adapt it to this estimator.
+
+        Accepted forms:
+
+        * :class:`EMResult` — the previous epoch's converged estimate;
+          its sparse distribution is rebinned (sizes beyond this
+          epoch's maximum clip into the top bin, preserving mass).
+        * ``{size: count}`` dict — same rebinning.
+        * dense 1-D array — must match this estimator's histogram
+          length exactly (a mismatched vector is a caller bug, not an
+          adjacent-epoch artifact, so it raises instead of guessing).
+
+        Raises:
+            EMWarmStartError: non-finite entries, negative mass,
+                all-zero mass, a wrong-length dense vector, or an
+                unrecognized type.
+        """
+        if isinstance(seed, EMResult):
+            seed = {int(j): float(c) for j, c in
+                    enumerate(seed.size_counts) if j > 0 and c > 0.0}
+        if isinstance(seed, dict):
+            dense = np.zeros(self._size, dtype=np.float64)
+            for size, count in seed.items():
+                size = int(size)
+                if size <= 0:
                     continue
-                share = max(1, int(round(value / degree)))
-                n0[min(share, self._size - 1)] += degree
-        n0 /= len(self.arrays)
+                dense[min(size, self._size - 1)] += float(count)
+        else:
+            try:
+                dense = np.asarray(seed, dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise EMWarmStartError(
+                    f"warm-start seed is not numeric: {exc}") from exc
+            if dense.ndim != 1:
+                raise EMWarmStartError(
+                    f"warm-start seed must be 1-D, got shape "
+                    f"{dense.shape}")
+            if dense.shape[0] != self._size:
+                raise EMWarmStartError(
+                    f"warm-start seed length {dense.shape[0]} != "
+                    f"histogram length {self._size}; pass the EMResult "
+                    "or a sparse dict to rebin across epochs")
+            dense = dense.copy()
+        if not np.all(np.isfinite(dense)):
+            raise EMWarmStartError("warm-start seed has non-finite "
+                                   "entries")
+        if np.any(dense < 0):
+            raise EMWarmStartError("warm-start seed has negative mass")
+        if float(dense.sum()) <= 0.0:
+            raise EMWarmStartError("warm-start seed carries no mass")
+        # Same floor as the cold guess so EM can still move mass onto
+        # sizes the previous epoch never saw.
         floor_top = min(self.config.exact_threshold + 1, self._size)
-        n0[1:floor_top] += self.config.epsilon
-        n0[0] = 0.0
-        return n0
+        dense[1:floor_top] += self.config.epsilon
+        dense[0] = 0.0
+        return dense
+
+    def _blend_seed(self, seed: np.ndarray) -> np.ndarray:
+        """Apply ``config.warm_start_blend`` to a coerced seed.
+
+        The seed's mass is first rescaled to the cold guess's total
+        (adjacent epochs carry different volumes; the shape is what is
+        worth transferring), then mixed with the cold guess:
+        ``(1 - blend) * cold + blend * seed``.
+        """
+        lam = float(self.config.warm_start_blend)
+        if not 0.0 < lam <= 1.0:
+            raise EMWarmStartError(
+                f"warm_start_blend must be in (0, 1], got {lam}")
+        if lam >= 1.0:
+            return seed
+        n0 = self.initial_guess()
+        seed_total = float(seed.sum())
+        if seed_total > 0.0:
+            seed = seed * (float(n0.sum()) / seed_total)
+        return (1.0 - lam) * n0 + lam * seed
+
+    # ------------------------------------------------------------------
+    # parallel pool lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def failed_over(self) -> bool:
+        """True once a worker failure dropped this run to serial."""
+        return self._failed_over
+
+    def _ensure_pool(self) -> Optional[EMWorkerPool]:
+        if (self.config.workers <= 1 or self._failed_over
+                or not self._units):
+            return None
+        if self._pool is None:
+            self._pool = EMWorkerPool(
+                self._units, self._size, self.config.workers,
+                timeout=self.config.worker_timeout,
+                telemetry=self.telemetry)
+        return self._pool
+
+    def _fail_over(self, exc: WorkerPoolError) -> None:
+        """Breaker-style drop to serial for the estimator's lifetime.
+
+        The unit partials are pure functions of ``log_n``, so the
+        failed iteration is simply recomputed inline — the final
+        estimate is bit-identical to an undisturbed run.
+        """
+        self._failed_over = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+        if self.telemetry is not None:
+            self.telemetry.inc("em.parallel.failovers")
+            self.telemetry.set_gauge("em.parallel.workers", 0.0)
+            self.telemetry.emit("em", "em.parallel.failover",
+                                reason=str(exc))
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; safe before any run)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "EMEstimator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
 
     def run(self, iterations: Optional[int] = None,
             callback: Optional[Callable[[int, np.ndarray], None]] = None,
-            ) -> EMResult:
+            warm_start=None) -> EMResult:
         """Run EM and return the final estimate.
+
+        Repeated calls on one instance are idempotent: preparation is
+        cached, every run starts from the same (cold or given) seed,
+        and with ``workers > 1`` the worker pool is reused across runs.
 
         Args:
             iterations: override ``config.max_iterations``.
             callback: invoked as ``callback(iteration, size_counts)``
                 after each iteration (used for convergence plots).
+            warm_start: optional seed — an :class:`EMResult`, a sparse
+                ``{size: count}`` dict, or a dense vector of this
+                estimator's histogram length.  The seed is mass-
+                rescaled and mixed with the cold guess per
+                ``config.warm_start_blend``; degenerate seeds raise
+                :class:`~repro.errors.EMWarmStartError` up front.
         """
         num_iters = iterations if iterations is not None \
             else self.config.max_iterations
         tol = self.config.convergence_tol
         telemetry = self.telemetry
-        n_j = self.initial_guess()
-        executor = None
-        if self.config.workers > 1:
-            executor = ProcessPoolExecutor(max_workers=self.config.workers)
+        warm = warm_start is not None
+        n_j = (self._blend_seed(self._coerce_warm_start(warm_start))
+               if warm else self.initial_guess())
         performed = 0
         converged = tol <= 0
         rel_change = 0.0
@@ -493,64 +682,91 @@ class EMEstimator:
                  if telemetry is not None else _null_context())
         run_span = maybe_span(telemetry, "em.run",
                               trees=len(self.arrays),
-                              max_iterations=num_iters)
-        try:
-            with run_span, timer:
-                for it in range(num_iters):
-                    previous = n_j
-                    with maybe_span(telemetry, "em.iteration",
-                                    iteration=it + 1) as span:
-                        n_j = self._iterate(n_j, executor)
-                        performed = it + 1
-                        if callback is not None:
-                            callback(it + 1, n_j.copy())
-                        if tol > 0 or telemetry is not None:
-                            denom = max(float(np.abs(previous).sum()),
-                                        1e-12)
-                            rel_change = (
-                                float(np.abs(n_j - previous).sum())
-                                / denom)
-                            span.annotate(rel_change=rel_change)
-                    if telemetry is not None:
-                        telemetry.inc("em.iterations")
-                        telemetry.observe("em.iteration_rel_change",
-                                          rel_change)
-                        telemetry.emit("em", "em.iteration",
-                                       iteration=performed,
-                                       rel_change=rel_change)
-                    if tol > 0 and rel_change < tol:
-                        converged = True
-                        break
-                run_span.annotate(iterations=performed,
-                                  converged=converged)
-        finally:
-            if executor is not None:
-                executor.shutdown()
+                              max_iterations=num_iters,
+                              workers=self.config.workers,
+                              warm_start=warm)
+        with run_span, timer:
+            for it in range(num_iters):
+                previous = n_j
+                with maybe_span(telemetry, "em.iteration",
+                                iteration=it + 1) as span:
+                    n_j = self._iterate(n_j)
+                    performed = it + 1
+                    if callback is not None:
+                        callback(it + 1, n_j.copy())
+                    if tol > 0 or telemetry is not None:
+                        denom = max(float(np.abs(previous).sum()),
+                                    1e-12)
+                        rel_change = (
+                            float(np.abs(n_j - previous).sum())
+                            / denom)
+                        span.annotate(rel_change=rel_change)
+                if telemetry is not None:
+                    telemetry.inc("em.iterations")
+                    telemetry.observe("em.iteration_rel_change",
+                                      rel_change)
+                    telemetry.emit("em", "em.iteration",
+                                   iteration=performed,
+                                   rel_change=rel_change)
+                if tol > 0 and rel_change < tol:
+                    converged = True
+                    break
+            run_span.annotate(iterations=performed, converged=converged)
+        saved = num_iters - performed if converged else 0
         result = EMResult(size_counts=n_j, iterations=performed,
-                          converged=converged)
+                          converged=converged, warm_started=warm,
+                          iterations_saved=saved)
         if telemetry is not None:
             telemetry.inc("em.runs")
             telemetry.set_gauge("em.converged", 1.0 if converged else 0.0)
             telemetry.observe("em.iterations_per_run", performed)
+            if warm:
+                telemetry.inc("em.warm_start.runs")
+                telemetry.set_gauge("em.warm_start.iterations_saved",
+                                    float(saved))
             telemetry.emit("em", "em.run", iterations=performed,
                            converged=converged, rel_change=rel_change,
+                           warm_started=warm,
                            total_flows=result.total_flows)
         return result
 
-    def _iterate(self, n_j: np.ndarray, executor=None) -> np.ndarray:
+    def _partials(self, log_n: np.ndarray) -> List[np.ndarray]:
+        """Per-unit partial histograms, in canonical unit order.
+
+        Tries the worker pool first (when configured); any
+        :class:`WorkerPoolError` fails the estimator over to inline
+        computation for good and recomputes this iteration serially —
+        partials are pure in ``log_n``, so the result is unchanged.
+        """
+        pool = self._ensure_pool()
+        if pool is not None:
+            try:
+                return pool.iterate(log_n)
+            except WorkerPoolError as exc:
+                self._fail_over(exc)
+        return [unit_partial(unit, log_n, self._size)
+                for unit in self._units]
+
+    def _iterate(self, n_j: np.ndarray) -> np.ndarray:
         with np.errstate(divide="ignore"):
             log_n = np.log(n_j)
-        if executor is not None:
-            futures = [
-                executor.submit(_tree_contribution, work, log_n, self._size)
-                for work in self._work
-            ]
-            contributions = [f.result() for f in futures]
-        else:
-            contributions = [
-                _tree_contribution(work, log_n, self._size)
-                for work in self._work
-            ]
+        partials = self._partials(log_n)
+        contributions = []
+        unit_idx = 0
+        for tree_idx, work in enumerate(self._work):
+            out = work.deterministic
+            if out.shape[0] < self._size:
+                out = np.pad(out, (0, self._size - out.shape[0]))
+            else:
+                out = out.copy()
+            # Fixed reduction order — ascending (degree, chunk) within
+            # the tree — shared by the serial and parallel paths; this
+            # is the bit-exactness contract.
+            while (unit_idx < len(self._units)
+                   and self._units[unit_idx].tree == tree_idx):
+                out += partials[unit_idx]
+                unit_idx += 1
+            contributions.append(out)
         new = np.mean(contributions, axis=0)
         new[0] = 0.0
         return new

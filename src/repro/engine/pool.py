@@ -96,7 +96,7 @@ def shard_of(keys: np.ndarray, num_shards: int) -> np.ndarray:
     return x % np.uint64(num_shards)
 
 
-def _attach_untracked(name: str):
+def attach_untracked(name: str):
     """Attach to an existing slab without resource-tracker ownership.
 
     Only the creating (publisher) process owns slab cleanup.  Python
@@ -114,6 +114,11 @@ def _attach_untracked(name: str):
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:
         return shared_memory.SharedMemory(name=name)
+
+
+#: Back-compat alias; the EM worker pool (`repro.core.em_parallel`)
+#: reuses the same attach discipline for its contribution slabs.
+_attach_untracked = attach_untracked
 
 
 def _pool_worker(worker_id: int, num_shards: int, factory,

@@ -162,3 +162,13 @@ class EMDivergenceError(MeasurementError):
         self.iteration = int(iteration)
         self.reason = reason
         super().__init__(f"EM diverged at iteration {iteration}: {reason}")
+
+
+class EMWarmStartError(MeasurementError, ValueError):
+    """Raised when a warm-start seed for EM is unusable.
+
+    Degenerate seeds — all-zero mass, a dense vector of the wrong
+    length, or non-finite entries — are rejected up front so a bad
+    seed can never silently corrupt the estimate; the estimator is
+    left untouched and a cold :meth:`~repro.core.em.EMEstimator.run`
+    still works afterwards."""

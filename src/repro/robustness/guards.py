@@ -81,11 +81,28 @@ def fallback_histogram(estimator: EMEstimator) -> EMResult:
     return EMResult(size_counts=counts, iterations=0)
 
 
+def _served_fallback(estimator: EMEstimator,
+                     reason: str) -> GuardedEMOutcome:
+    """Build the fallback outcome and record it on the estimator's
+    telemetry (``em.guard_fallbacks`` counter + ``em.fallback`` event),
+    so every guarded entry point counts fallbacks uniformly."""
+    telemetry = estimator.telemetry
+    if telemetry is not None:
+        telemetry.inc("em.guard_fallbacks")
+        telemetry.emit("em", "em.fallback", reason=reason)
+    return GuardedEMOutcome(result=fallback_histogram(estimator),
+                            fell_back=True, reason=reason)
+
+
 def guarded_em_run(estimator: EMEstimator,
                    guard: Optional[EMGuardConfig] = None,
                    iterations: Optional[int] = None,
                    callback=None) -> GuardedEMOutcome:
     """Run EM under divergence guards with histogram fallback.
+
+    A served fallback is recorded on the estimator's telemetry (when
+    attached): the ``em.guard_fallbacks`` counter and an ``em.fallback``
+    event carrying the reason.
 
     Args:
         estimator: a prepared :class:`EMEstimator`.
@@ -108,13 +125,10 @@ def guarded_em_run(estimator: EMEstimator,
     try:
         result = estimator.run(iterations=capped, callback=guarded_callback)
     except EMDivergenceError as err:
-        return GuardedEMOutcome(result=fallback_histogram(estimator),
-                                fell_back=True, reason=str(err))
+        return _served_fallback(estimator, str(err))
     # Belt and braces: the final estimate itself must be servable.
     if not np.all(np.isfinite(result.size_counts)):
-        return GuardedEMOutcome(result=fallback_histogram(estimator),
-                                fell_back=True,
-                                reason="non-finite final estimate")
+        return _served_fallback(estimator, "non-finite final estimate")
     return GuardedEMOutcome(result=result)
 
 
@@ -133,10 +147,7 @@ def guarded_estimate_distribution(sketch,
     additionally bumps the ``em.guard_fallbacks`` counter.
     """
     base = sketch.fcm if isinstance(sketch, FCMTopK) else sketch
-    estimator = EMEstimator(convert_sketch(base), config=config,
-                            telemetry=telemetry)
-    outcome = guarded_em_run(estimator, guard=guard, iterations=iterations)
-    if telemetry is not None and outcome.fell_back:
-        telemetry.inc("em.guard_fallbacks")
-        telemetry.emit("em", "em.fallback", reason=outcome.reason)
-    return outcome
+    with EMEstimator(convert_sketch(base), config=config,
+                     telemetry=telemetry) as estimator:
+        return guarded_em_run(estimator, guard=guard,
+                              iterations=iterations)

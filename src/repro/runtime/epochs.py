@@ -134,6 +134,12 @@ class SealedEpoch:
         default=None, repr=False, compare=False)
     _cached: Optional[object] = field(
         default=None, repr=False, compare=False)
+    #: Converged EM estimate for this epoch (EMResult), filled in by
+    #: :meth:`StreamingQueryAPI.estimate_distribution` so the *next*
+    #: epoch can warm-start from it.  Living on the epoch keeps the
+    #: cache retention-bounded: evicting the epoch evicts the seed.
+    em_result: Optional[object] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def state_bytes(self) -> int:
@@ -190,6 +196,17 @@ class SealedEpochStore:
         if n <= 0:
             raise InvalidWindowError("n must be positive")
         return list(self._epochs[-n:])
+
+    def by_index(self, index: int) -> Optional[SealedEpoch]:
+        """The retained epoch with this seal index, or None (evicted /
+        never sealed).  The warm-start chain uses this to find epoch
+        ``i - 1`` when estimating epoch ``i``."""
+        for epoch in reversed(self._epochs):
+            if epoch.index == index:
+                return epoch
+            if epoch.index < index:
+                break
+        return None
 
     @property
     def total_state_bytes(self) -> int:

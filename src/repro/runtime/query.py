@@ -22,16 +22,20 @@ flow spans epochs.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
-from repro.errors import InvalidWindowError
+from repro.errors import InvalidWindowError, SketchCompatibilityError
 from repro.sketches.base import as_key_array
 
 __all__ = ["StreamingQueryAPI", "parse_scope"]
 
 Scope = Union[str, int, Tuple[str, int]]
+
+#: Early-stop tolerance for runtime EM: warm starts only pay off when
+#: a converged run may stop before the iteration cap.
+DEFAULT_RUNTIME_EM_TOL = 1e-3
 
 
 def parse_scope(scope: Scope) -> Tuple[str, int]:
@@ -156,6 +160,97 @@ class StreamingQueryAPI:
             if kind == "live":
                 return total
         return total + sum(e.cardinality for e in self.epochs(scope))
+
+    def estimate_distribution(self, scope: Scope = "sealed",
+                              config=None,
+                              iterations: Optional[int] = None,
+                              warm_start: bool = True) -> Dict[int, object]:
+        """Per-epoch EM flow-size estimates, warm-started along the
+        seal chain (incremental EM, ROADMAP "EM at scale").
+
+        For every sealed epoch in the scope (oldest first), EM runs on
+        the epoch's rehydrated sketch seeded from the *previous*
+        epoch's converged estimate — adjacent epochs carry similar
+        distributions, so the warm seed skips the iterations a cold
+        start spends rediscovering it.  Each converged result is
+        cached on its :class:`~repro.runtime.epochs.SealedEpoch`
+        (``em_result``), making repeat queries free and bounding the
+        seed cache by the store's retention.  A ``"live"``/``"all"``
+        scope additionally estimates the in-progress epoch (never
+        cached — the live sketch is still mutating), seeded from the
+        newest sealed estimate.
+
+        The manager's telemetry records ``runtime.em.warm_starts``,
+        ``runtime.em.cache_hits`` and the per-run
+        ``runtime.em.iterations_saved`` gauge.
+
+        Args:
+            scope: which epochs to estimate (see module docstring).
+            config: :class:`~repro.core.em.EMConfig`; defaults to the
+                paper ladder with ``convergence_tol`` =
+                ``DEFAULT_RUNTIME_EM_TOL`` so early stopping (and thus
+                the warm-start win) is active.
+            iterations: overrides ``config.max_iterations``.
+            warm_start: chain seeds across epochs (False = cold runs).
+
+        Returns:
+            ``{epoch_index: EMResult}`` in ascending epoch order; the
+            live epoch appears under its in-progress index.
+
+        Raises:
+            SketchCompatibilityError: the manager's sketches are not
+                FCM-family (EM needs virtual counter trees).
+        """
+        from repro.controlplane.distribution import estimate_distribution
+        from repro.core.em import EMConfig
+
+        if config is None:
+            config = EMConfig(convergence_tol=DEFAULT_RUNTIME_EM_TOL)
+        manager = self.manager
+        telemetry = getattr(manager, "telemetry", None)
+        store = manager.store
+        results: Dict[int, object] = {}
+
+        def run_em(sketch, seed):
+            try:
+                return estimate_distribution(
+                    sketch, config=config, iterations=iterations,
+                    telemetry=telemetry, warm_start=seed)
+            except TypeError as exc:
+                raise SketchCompatibilityError(
+                    f"estimate_distribution needs an FCM-family "
+                    f"sketch: {exc}") from exc
+
+        for epoch in self.epochs(scope):
+            if epoch.em_result is not None:
+                results[epoch.index] = epoch.em_result
+                if telemetry is not None:
+                    telemetry.inc("runtime.em.cache_hits")
+                continue
+            seed = None
+            if warm_start:
+                previous = store.by_index(epoch.index - 1)
+                if previous is not None:
+                    seed = previous.em_result
+            result = run_em(epoch.sketch(), seed)
+            epoch.em_result = result
+            results[epoch.index] = result
+            if telemetry is not None and seed is not None:
+                telemetry.inc("runtime.em.warm_starts")
+                telemetry.set_gauge("runtime.em.iterations_saved",
+                                    float(result.iterations_saved))
+                telemetry.emit("runtime", "runtime.em.warm_start",
+                               epoch=epoch.index,
+                               iterations=result.iterations,
+                               iterations_saved=result.iterations_saved)
+        kind, _ = parse_scope(scope)
+        if kind in ("live", "all"):
+            seed = None
+            if warm_start and len(store):
+                seed = store.last(1)[0].em_result
+            results[manager.live_epoch_index] = run_em(
+                manager.live_sketch(), seed)
+        return results
 
     def heavy_changes(self, scope: Scope = "sealed") -> Set[int]:
         """§4.4 heavy changes recorded for the scope's sealed epochs.

@@ -52,10 +52,44 @@ def make_parallel_section(packets=2_000, ingest_pps=1e6, gate="ok",
     }
 
 
+def make_em_parallel_section(gate="ok", speedup_vs_serial=1.8,
+                             identical=True, cpus=4):
+    """One em_parallel section as measure_em_parallel emits."""
+    return {
+        "packets": 2_000,
+        "iterations": 5,
+        "memory_bytes": 16 * 1024,
+        "workers": 2,
+        "units": 8,
+        "cpus": cpus,
+        "gate": gate,
+        "serial_seconds": 0.05,
+        "parallel_seconds": 0.05 / speedup_vs_serial,
+        "speedup_vs_serial": speedup_vs_serial,
+        "identical": identical,
+    }
+
+
+def make_em_warm_start_section(iterations_saved=5, warm_iterations=4,
+                               warm_converged=True):
+    """One em_warm_start section as measure_em_warm_start emits."""
+    return {
+        "packets": 2_000,
+        "epochs": 2,
+        "cold_iterations": 4,
+        "warm_iterations": warm_iterations,
+        "iterations_vs_cold": warm_iterations - 4,
+        "iterations_saved": iterations_saved,
+        "warm_started": True,
+        "warm_converged": warm_converged,
+    }
+
+
 def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
                 disabled_over_raw=1.0, enabled_over_disabled=1.05,
                 em_runtime=0.05, sketches=("fcm",), fallback=None,
-                gate="ok", paper=None):
+                gate="ok", paper=None, em_parallel=None,
+                em_warm_start=None):
     """A schema-valid synthetic baseline record.
 
     ``fallback`` (a fraction in [0, 1]) adds the optional
@@ -63,7 +97,8 @@ def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
     batch-conflict-resolution sketches report it.  ``gate`` sets the
     parallel section's cpu-gate marker; ``paper`` (a dict of
     make_parallel_section overrides) adds a ``parallel_paper``
-    section.
+    section.  ``em_parallel``/``em_warm_start`` (override dicts)
+    replace fields of the EM sections, which are always present.
     """
     return {
         "schema_version": 1,
@@ -98,6 +133,9 @@ def make_record(packets=2_000, ingest_pps=1e6, query_kps=1e5,
             "wall_seconds": em_runtime,
             "estimated_flows": 1234.0,
         },
+        "em_parallel": make_em_parallel_section(**(em_parallel or {})),
+        "em_warm_start": make_em_warm_start_section(
+            **(em_warm_start or {})),
         "parallel": make_parallel_section(
             packets=packets, ingest_pps=ingest_pps, gate=gate),
         **({} if paper is None
@@ -133,6 +171,8 @@ class TestFlattenMetrics:
             "telemetry.disabled_over_raw",
             "telemetry.enabled_over_disabled",
             "em.seconds_per_iter",
+            "em_parallel.speedup_vs_serial",
+            "em_warm_start.iterations_saved",
             "parallel.sharded_ingest_pps",
             "parallel.speedup_vs_serial",
             "parallel.speedup_vs_packet_loop",
@@ -318,6 +358,54 @@ class TestCompareRecords:
         assert not any("lost to serial" in r
                        for r in result["regressions"])
 
+    def test_em_speedup_skipped_when_either_gate_skipped(self):
+        """Same marker pattern as the ingest pool: a 1-core run's EM
+        speedup is noise, and the skip is explicit, never silent."""
+        base = make_record(em_parallel=dict(gate=GATE_SKIPPED, cpus=1,
+                                            speedup_vs_serial=0.5))
+        fresh = make_record(em_parallel=dict(speedup_vs_serial=0.01))
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        (row,) = [r for r in result["rows"]
+                  if r[0] == "em_parallel.speedup_vs_serial"]
+        assert row[-1].startswith("skipped (cpus <")
+        # But the absolute floor still binds on the multi-core fresh
+        # run regardless of the 1-core baseline.
+        assert any("em_parallel.speedup_vs_serial" in r
+                   and "lost to" in r for r in result["regressions"])
+
+    def test_em_floor_binds_on_multicore_fresh_run(self):
+        base = make_record(em_parallel=dict(gate=GATE_SKIPPED, cpus=1,
+                                            speedup_vs_serial=0.5))
+        fresh = make_record(em_parallel=dict(gate=GATE_OK,
+                                             speedup_vs_serial=0.9))
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("em_parallel.speedup_vs_serial" in r
+                   and "lost to the inline response step" in r
+                   for r in result["regressions"])
+
+    def test_em_floor_skipped_on_single_core_fresh_run(self):
+        base = make_record()
+        fresh = make_record(em_parallel=dict(gate=GATE_SKIPPED, cpus=1,
+                                             speedup_vs_serial=0.5))
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert not any("inline response step" in r
+                       for r in result["regressions"])
+
+    def test_warm_start_savings_drop_beyond_tolerance_regresses(self):
+        base = make_record(em_warm_start=dict(iterations_saved=6))
+        fresh = make_record(em_warm_start=dict(iterations_saved=1,
+                                               warm_iterations=9))
+        result = compare_records(base, fresh, DEFAULT_TOLERANCES)
+        assert any("em_warm_start.iterations_saved" in r and "fell" in r
+                   for r in result["regressions"])
+
+    def test_warm_start_savings_rise_never_regresses(self):
+        base = make_record(em_warm_start=dict(iterations_saved=2))
+        fresh = make_record(em_warm_start=dict(iterations_saved=8,
+                                               warm_iterations=2))
+        assert compare_records(base, fresh,
+                               DEFAULT_TOLERANCES)["regressions"] == []
+
 
 class TestTrajectory:
     def test_entry_carries_metrics_and_regressions(self):
@@ -385,6 +473,27 @@ class TestSyntheticRecordIsValid:
         skipped = dict(speedup_vs_serial=0.9, gate=GATE_SKIPPED,
                        cpus=1)
         assert validate_record(make_record(paper=skipped)) == []
+
+    def test_em_parallel_divergence_is_invalid(self):
+        """Bit-exactness is a hard invariant, not a tolerance."""
+        errors = validate_record(
+            make_record(em_parallel=dict(identical=False)))
+        assert any("em_parallel.identical" in e for e in errors)
+
+    def test_em_parallel_missing_gate_is_invalid(self):
+        record = make_record()
+        del record["em_parallel"]["gate"]
+        assert any("em_parallel.gate" in e
+                   for e in validate_record(record))
+
+    def test_warm_start_zero_savings_is_invalid(self):
+        errors = validate_record(
+            make_record(em_warm_start=dict(iterations_saved=0,
+                                           warm_iterations=10)))
+        assert any("iterations_saved" in e for e in errors)
+        errors = validate_record(
+            make_record(em_warm_start=dict(warm_converged=False)))
+        assert any("warm_converged" in e for e in errors)
 
     def test_fallback_fraction_validates_range(self):
         assert validate_record(make_record(fallback=0.0)) == []

@@ -14,6 +14,9 @@ from repro.core.em import EMConfig, EMEstimator
 from repro.core.tree import FCMTree
 from repro.core.virtual import VirtualCounterArray
 from repro.hashing import HashFamily
+from repro.robustness import EMGuardConfig, guarded_em_run
+from repro.telemetry import MemoryExporter, MetricsRegistry
+from repro.telemetry.tracing import read_spans
 
 
 def small_tree(widths=(16, 8, 4)) -> FCMTree:
@@ -77,6 +80,29 @@ class TestDegree2EM:
         assert degrees == [1, 2]
         result = EMEstimator([array]).run(iterations=5)
         assert result.total_flows == pytest.approx(3.0, abs=1.0)
+
+    def test_guarded_run_on_degree2_counters_counts_fallbacks(self):
+        """Degree-2 enumeration under the divergence guard: a clean
+        run counts no fallback; a zero-width corridor serves the
+        fallback histogram and records counter + event + spans."""
+        array = force_degree2_state()
+        exporter = MemoryExporter()
+        telemetry = MetricsRegistry(exporter=exporter)
+
+        clean = guarded_em_run(
+            EMEstimator([array], telemetry=telemetry), iterations=3)
+        assert not clean.fell_back
+        assert telemetry.counter("em.guard_fallbacks").value == 0
+
+        tripped = guarded_em_run(
+            EMEstimator([array], telemetry=telemetry),
+            guard=EMGuardConfig(divergence_factor=1.0))
+        assert tripped.fell_back
+        assert telemetry.counter("em.guard_fallbacks").value == 1
+        events = [e for e in exporter.events if e.name == "em.fallback"]
+        assert len(events) == 1 and events[0].kind == "em"
+        assert {"em.run", "em.iteration"} <= {
+            s["name"] for s in read_spans(exporter.events)}
 
     def test_heavier_traffic_many_degrees(self):
         """A loaded small-counter tree produces a degree spectrum and

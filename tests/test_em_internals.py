@@ -1,5 +1,6 @@
 """White-box tests for EM internals: exact partition generation,
-deterministic fallbacks, initialization and degenerate posteriors."""
+deterministic fallbacks, initialization, degenerate posteriors,
+repeated-run caching and guard-fallback telemetry."""
 
 import numpy as np
 import pytest
@@ -14,6 +15,9 @@ from repro.core.em import (
     enumerate_combinations,
 )
 from repro.core.virtual import VirtualCounterArray, convert_sketch
+from repro.robustness import EMGuardConfig, guarded_estimate_distribution
+from repro.telemetry import MemoryExporter, MetricsRegistry
+from repro.telemetry.tracing import read_spans
 
 
 def _flatten(combo):
@@ -129,6 +133,82 @@ class TestDegeneratePosterior:
         updated = estimator._iterate(n_j)
         assert np.isfinite(updated).all()
         assert updated.sum() > 0
+
+
+class TestRepeatedRuns:
+    """Regression: ``run()`` twice on one estimator must be idempotent
+    *and* cheap — tree preparation and the initial guess are built at
+    construction/first use and never again (a second ``run()`` used to
+    pay the full ``_prepare_tree`` enumeration)."""
+
+    def test_second_run_bit_identical_and_skips_preparation(self):
+        sketch = FCMSketch.with_memory(16 * 1024, seed=4)
+        for key in range(300):
+            sketch.update(key, count=2)
+        arrays = convert_sketch(sketch)
+        estimator = EMEstimator(arrays)
+        assert estimator.prepare_calls == len(arrays)
+
+        first = estimator.run(iterations=3)
+        second = estimator.run(iterations=3)
+        assert np.array_equal(first.size_counts, second.size_counts)
+        assert first.total_flows == second.total_flows
+        # Still exactly one preparation per tree and one guess build:
+        # the repeat run re-used every cached precomputation.
+        assert estimator.prepare_calls == len(arrays)
+        assert estimator.initial_guess_builds == 1
+
+    def test_initial_guess_returns_private_copies(self):
+        sketch = FCMSketch.with_memory(16 * 1024, seed=4)
+        sketch.update(1, count=5)
+        estimator = EMEstimator(convert_sketch(sketch))
+        a = estimator.initial_guess()
+        a[:] = -1.0
+        b = estimator.initial_guess()
+        assert estimator.initial_guess_builds == 1
+        assert np.all(b >= 0)
+
+
+class TestGuardFallbackTelemetry:
+    """The guarded entry points must *account* for served fallbacks:
+    counter, event and the spans of the aborted run."""
+
+    @staticmethod
+    def _sketch():
+        sketch = FCMSketch.with_memory(16 * 1024, seed=6)
+        for key in range(150):
+            sketch.update(key, count=4)
+        return sketch
+
+    def test_fallback_counted_and_event_emitted(self):
+        exporter = MemoryExporter()
+        telemetry = MetricsRegistry(exporter=exporter)
+        # A zero-width divergence corridor aborts on the first
+        # iteration deterministically.
+        outcome = guarded_estimate_distribution(
+            self._sketch(), guard=EMGuardConfig(divergence_factor=1.0),
+            telemetry=telemetry)
+        assert outcome.fell_back
+        assert "total flows" in outcome.reason
+        assert telemetry.counter("em.guard_fallbacks").value == 1
+        events = [e for e in exporter.events if e.name == "em.fallback"]
+        assert len(events) == 1
+        assert events[0].kind == "em"
+        assert events[0].fields["reason"] == outcome.reason
+        # The aborted run still exports its spans: the trace shows the
+        # iteration that tripped the guard.
+        spans = read_spans(exporter.events)
+        names = {s["name"] for s in spans}
+        assert {"em.run", "em.iteration"} <= names
+
+    def test_clean_run_counts_nothing(self):
+        exporter = MemoryExporter()
+        telemetry = MetricsRegistry(exporter=exporter)
+        outcome = guarded_estimate_distribution(
+            self._sketch(), iterations=2, telemetry=telemetry)
+        assert not outcome.fell_back
+        assert telemetry.counter("em.guard_fallbacks").value == 0
+        assert not [e for e in exporter.events if e.name == "em.fallback"]
 
 
 class TestMultiTreeAveraging:

@@ -1,0 +1,243 @@
+"""Parallel EM control plane: bit-exact differential suite + chaos.
+
+§7.3.2: each EM iteration's response step decomposes over independent
+``(tree, degree-group)`` units.  The contract under test is stronger
+than statistical equivalence — with ``EMConfig.workers > 1`` the
+estimate must be **bit-identical** (``np.array_equal``, no tolerance)
+to the serial run, because both paths compute the same unit partials
+and reduce them in the same canonical float64 order.  The chaos case
+SIGKILLs a worker mid-run and requires the failover to serial to leave
+the result unchanged.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core import FCMConfig, FCMSketch
+from repro.core.em import EMConfig, EMEstimator
+from repro.core.em_parallel import (
+    EMUnit,
+    EMWorkerPool,
+    build_units,
+    unit_partial,
+)
+from repro.core.tree import FCMTree
+from repro.core.virtual import VirtualCounterArray, convert_sketch
+from repro.errors import WorkerPoolError
+from repro.hashing import HashFamily
+from repro.telemetry import MemoryExporter, MetricsRegistry
+from repro.traffic import zipf_trace
+
+MEMORY = 16 * 1024
+
+
+def zipf_arrays(seed=9, packets=20_000):
+    sketch = FCMSketch.with_memory(MEMORY, seed=seed)
+    sketch.ingest(zipf_trace(packets, alpha=1.2, seed=seed).keys)
+    return convert_sketch(sketch)
+
+
+def degree2_array() -> VirtualCounterArray:
+    """Small-leaf tree whose counters merge (degree >= 2) while still
+    landing inside the enumeration thresholds (same construction as
+    test_em_degree2)."""
+    cfg = FCMConfig(num_trees=1, k=2, stage_bits=(2, 4, 8),
+                    stage_widths=(64, 32, 16))
+    tree = FCMTree(cfg, HashFamily(3))
+    rng = np.random.default_rng(5)
+    tree.ingest(rng.integers(0, 120, size=3000, dtype=np.uint64))
+    array = VirtualCounterArray.from_tree(tree)
+    assert array.max_degree >= 2
+    return array
+
+
+def run_with_workers(arrays, workers, iterations=4, **cfg_kwargs):
+    config = EMConfig(workers=workers, **cfg_kwargs)
+    with EMEstimator(arrays, config) as estimator:
+        return estimator.run(iterations=iterations)
+
+
+def assert_bit_identical(a, b):
+    assert np.array_equal(a.size_counts, b.size_counts)
+    assert a.total_flows == b.total_flows
+    assert a.iterations == b.iterations
+
+
+# ----------------------------------------------------------------------
+# unit decomposition
+# ----------------------------------------------------------------------
+
+class TestBuildUnits:
+    def test_canonical_order_and_coverage(self):
+        arrays = zipf_arrays()
+        with EMEstimator(arrays) as est:
+            units = est._units
+        # Ascending (tree, degree, chunk): the reduction-order contract.
+        keys = [(u.tree, u.degree, u.chunk) for u in units]
+        assert keys == sorted(keys)
+        assert [u.index for u in units] == list(range(len(units)))
+        # Every enumerable group of every tree appears exactly once.
+        total_groups = sum(len(w.groups) for w in est._work)
+        assert sum(len(u.groups) for u in units) == total_groups
+
+    def test_degree1_sketch_still_fans_out(self):
+        """Chunking splits a degree-1-dominated sketch into multiple
+        units, so the pool has parallel work even without collisions."""
+        arrays = zipf_arrays()
+        units = build_units(
+            [w for w in EMEstimator(arrays)._work], chunk_groups=8)
+        per_tree = {}
+        for u in units:
+            per_tree[u.tree] = per_tree.get(u.tree, 0) + 1
+        assert all(n >= 2 for n in per_tree.values())
+
+    def test_unit_partial_pure_in_log_n(self):
+        arrays = zipf_arrays()
+        with EMEstimator(arrays) as est:
+            n0 = est.initial_guess()
+            with np.errstate(divide="ignore"):
+                log_n = np.log(n0)
+            unit = est._units[0]
+            a = unit_partial(unit, log_n, est._size)
+            b = unit_partial(unit, log_n, est._size)
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# bit-exact differential suite
+# ----------------------------------------------------------------------
+
+class TestBitExactness:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_multi_tree_zipf_matches_serial(self, workers):
+        arrays = zipf_arrays()
+        serial = run_with_workers(arrays, workers=1)
+        parallel = run_with_workers(arrays, workers=workers)
+        assert_bit_identical(serial, parallel)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_degree2_tree_matches_serial(self, workers):
+        """Degree >= 2 groups exercise the enumerated posterior inside
+        worker processes."""
+        arrays = [degree2_array()]
+        serial = run_with_workers(arrays, workers=1, iterations=5)
+        parallel = run_with_workers(arrays, workers=workers, iterations=5)
+        assert_bit_identical(serial, parallel)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_seeded_sketches_match_serial(self, seed):
+        arrays = zipf_arrays(seed=seed, packets=10_000)
+        serial = run_with_workers(arrays, workers=1, iterations=3)
+        parallel = run_with_workers(arrays, workers=2, iterations=3)
+        assert_bit_identical(serial, parallel)
+
+    def test_small_chunks_agree_serial_vs_parallel(self):
+        """The chunk size picks the float64 reduction grouping, so it
+        is part of the contract: at any *fixed* chunk size, serial and
+        parallel runs reduce identically."""
+        arrays = zipf_arrays()
+        serial = run_with_workers(arrays, workers=1, chunk_groups=4)
+        fine = run_with_workers(arrays, workers=2, chunk_groups=4)
+        assert_bit_identical(serial, fine)
+
+    def test_repeat_runs_identical(self):
+        arrays = zipf_arrays()
+        with EMEstimator(arrays, EMConfig(workers=2)) as est:
+            first = est.run(iterations=3)
+            second = est.run(iterations=3)
+        assert np.array_equal(first.size_counts, second.size_counts)
+
+
+# ----------------------------------------------------------------------
+# pool lifecycle
+# ----------------------------------------------------------------------
+
+class TestPoolLifecycle:
+    def test_pool_reused_across_runs(self):
+        arrays = zipf_arrays()
+        with EMEstimator(arrays, EMConfig(workers=2)) as est:
+            est.run(iterations=2)
+            pids = est._pool.worker_pids()
+            est.run(iterations=2)
+            assert est._pool.worker_pids() == pids
+
+    def test_close_is_idempotent_and_safe_before_run(self):
+        arrays = zipf_arrays()
+        est = EMEstimator(arrays, EMConfig(workers=2))
+        est.close()
+        est.close()
+
+    def test_serial_config_never_spawns(self):
+        arrays = zipf_arrays()
+        with EMEstimator(arrays, EMConfig(workers=1)) as est:
+            est.run(iterations=2)
+            assert est._pool is None
+
+    def test_pool_telemetry_gauges(self):
+        arrays = zipf_arrays()
+        telemetry = MetricsRegistry()
+        with EMEstimator(arrays, EMConfig(workers=2),
+                         telemetry=telemetry) as est:
+            est.run(iterations=2)
+            assert telemetry.gauge("em.parallel.workers").value == 2.0
+            assert telemetry.gauge("em.parallel.units").value >= 2.0
+        # close() reports the pool as gone.
+        assert telemetry.gauge("em.parallel.workers").value == 0.0
+
+
+# ----------------------------------------------------------------------
+# chaos: worker death fails over to serial, result unchanged
+# ----------------------------------------------------------------------
+
+@pytest.mark.chaos
+class TestFailover:
+    def test_worker_killed_mid_run_result_bit_identical(self):
+        arrays = zipf_arrays()
+        serial = run_with_workers(arrays, workers=1, iterations=4)
+
+        exporter = MemoryExporter()
+        telemetry = MetricsRegistry(exporter=exporter)
+        killed = []
+
+        def assassin(iteration, _counts):
+            if iteration == 1:
+                victim = est._pool.worker_pids()[0]
+                os.kill(victim, signal.SIGKILL)
+                killed.append(victim)
+
+        with EMEstimator(arrays, EMConfig(workers=2),
+                         telemetry=telemetry) as est:
+            survived = est.run(iterations=4, callback=assassin)
+            assert killed and est.failed_over
+            # Later runs stay serial (breaker, not flapping retry).
+            again = est.run(iterations=4)
+            assert est._pool is None
+
+        assert_bit_identical(serial, survived)
+        assert_bit_identical(serial, again)
+        assert telemetry.counter("em.parallel.failovers").value == 1
+        events = [e for e in exporter.events
+                  if e.name == "em.parallel.failover"]
+        assert len(events) == 1
+
+    def test_dead_pool_raises_worker_pool_error(self):
+        """The raw pool (no estimator breaker) surfaces worker death as
+        WorkerPoolError rather than hanging until the timeout."""
+        arrays = zipf_arrays()
+        with EMEstimator(arrays) as est:
+            units = est._units
+            size = est._size
+            n0 = est.initial_guess()
+        with np.errstate(divide="ignore"):
+            log_n = np.log(n0)
+        pool = EMWorkerPool(units, size, num_workers=2, timeout=30.0)
+        try:
+            pool.iterate(log_n)
+            os.kill(pool.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises(WorkerPoolError):
+                pool.iterate(log_n)
+        finally:
+            pool.terminate()

@@ -1,0 +1,158 @@
+"""Property tests for incremental (warm-started) EM.
+
+Three contracts:
+
+* **Closeness** — seeding EM from an adjacent (perturbed) epoch's
+  estimate steers it to (numerically) the same fixed point the cold
+  start finds: warm and cold answers agree on total flow count and
+  distribution shape.
+* **Non-inferiority** — re-estimating the *same* epoch seeded from its
+  own converged estimate (full seed trust, ``warm_start_blend=1.0``)
+  never needs more iterations than the cold start did.
+* **Typed failure** — degenerate seeds (all-zero, wrong length, NaN,
+  negative, non-numeric) raise :class:`EMWarmStartError` up front and
+  leave the estimator fully usable; the estimate is never corrupted.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FCMSketch
+from repro.core.em import EMConfig, EMEstimator
+from repro.core.virtual import convert_sketch
+from repro.errors import EMWarmStartError
+from repro.traffic import zipf_trace
+
+MEMORY = 16 * 1024
+TOL = 1e-3
+
+
+def arrays_for(keys, seed=3):
+    sketch = FCMSketch.with_memory(MEMORY, seed=seed)
+    sketch.ingest(keys)
+    return convert_sketch(sketch)
+
+
+def epoch_pair(trace_seed: int, drop_fraction: float):
+    """Two adjacent epochs: the second replays the first with a slice
+    of the stream dropped and fresh packets appended (perturbation)."""
+    trace = zipf_trace(12_000, alpha=1.2, seed=trace_seed)
+    half = trace.keys.shape[0] // 2
+    first, second = trace.keys[:half], trace.keys[half:]
+    keep = int(second.shape[0] * (1.0 - drop_fraction))
+    if keep >= second.shape[0]:
+        return first, second
+    extra = zipf_trace(second.shape[0] - keep, alpha=1.2,
+                       seed=trace_seed + 101).keys
+    perturbed = np.concatenate([second[:keep], extra])
+    return first, perturbed
+
+
+class TestPerturbedEpochCloseness:
+    @given(trace_seed=st.integers(0, 4),
+           drop_fraction=st.sampled_from([0.0, 0.1, 0.3]))
+    @settings(max_examples=6, deadline=None)
+    def test_warm_result_close_to_cold_fixed_point(self, trace_seed,
+                                                   drop_fraction):
+        first, perturbed = epoch_pair(trace_seed, drop_fraction)
+        config = EMConfig(max_iterations=30, convergence_tol=TOL)
+        prev = EMEstimator(arrays_for(first), config).run()
+        arrays = arrays_for(perturbed)
+        cold = EMEstimator(arrays, config).run()
+        warm = EMEstimator(arrays, config).run(warm_start=prev)
+        assert warm.warm_started and warm.converged and cold.converged
+        assert warm.total_flows == pytest.approx(cold.total_flows,
+                                                 rel=0.05)
+        l1 = float(np.abs(warm.size_counts - cold.size_counts).sum())
+        assert l1 <= 0.15 * cold.total_flows
+
+    @given(trace_seed=st.integers(0, 3))
+    @settings(max_examples=4, deadline=None)
+    def test_warm_run_converges_within_default_budget(self, trace_seed):
+        """The blended seed must not wander: warm runs converge within
+        the same default iteration budget cold runs use, so the
+        runtime's ``iterations_saved`` gauge stays meaningful."""
+        first, perturbed = epoch_pair(trace_seed, 0.2)
+        config = EMConfig(convergence_tol=TOL)  # default 10-iter budget
+        prev = EMEstimator(arrays_for(first), config).run()
+        warm = EMEstimator(arrays_for(perturbed), config).run(
+            warm_start=prev)
+        assert warm.converged
+        assert warm.iterations_saved > 0
+
+
+class TestIdenticalEpochNonInferiority:
+    @given(trace_seed=st.integers(0, 4),
+           budget=st.sampled_from([6, 10, 20]))
+    @settings(max_examples=8, deadline=None)
+    def test_never_more_iterations_than_cold(self, trace_seed, budget):
+        keys = zipf_trace(8_000, alpha=1.2, seed=trace_seed).keys
+        arrays = arrays_for(keys)
+        config = EMConfig(max_iterations=budget, convergence_tol=TOL,
+                          warm_start_blend=1.0)
+        cold = EMEstimator(arrays, config).run()
+        warm = EMEstimator(arrays, config).run(warm_start=cold)
+        assert warm.iterations <= cold.iterations
+        assert warm.iterations_saved >= cold.iterations_saved
+        assert warm.total_flows == pytest.approx(cold.total_flows,
+                                                 rel=0.02)
+
+    def test_self_seed_converges_immediately(self):
+        """A converged estimate is (near) the fixed point: re-seeding
+        the same epoch with it stops after a single check."""
+        arrays = arrays_for(zipf_trace(8_000, alpha=1.2, seed=1).keys)
+        config = EMConfig(max_iterations=30, convergence_tol=TOL,
+                          warm_start_blend=1.0)
+        cold = EMEstimator(arrays, config).run()
+        warm = EMEstimator(arrays, config).run(warm_start=cold)
+        assert warm.iterations <= 2
+
+
+class TestDegenerateSeeds:
+    @pytest.fixture(scope="class")
+    def arrays(self):
+        return arrays_for(zipf_trace(4_000, alpha=1.2, seed=2).keys)
+
+    @pytest.mark.parametrize("seed_builder", [
+        lambda size: np.zeros(size),                      # no mass
+        lambda size: np.zeros(size // 2 + 1),             # wrong length
+        lambda size: np.full(size, np.nan),               # non-finite
+        lambda size: -np.ones(size),                      # negative
+        lambda size: np.ones((size, 2)),                  # not 1-D
+        lambda size: {},                                  # empty dict
+        lambda size: {3: -1.0},                           # negative dict
+        lambda size: object(),                            # non-numeric
+    ], ids=["zero", "short", "nan", "negative", "2d", "empty-dict",
+            "negative-dict", "object"])
+    def test_raises_typed_error(self, arrays, seed_builder):
+        estimator = EMEstimator(arrays)
+        with pytest.raises(EMWarmStartError):
+            estimator.run(warm_start=seed_builder(estimator._size))
+
+    def test_bad_blend_config_raises(self, arrays):
+        estimator = EMEstimator(
+            arrays, EMConfig(warm_start_blend=0.0))
+        with pytest.raises(EMWarmStartError):
+            estimator.run(warm_start={3: 1.0})
+
+    def test_estimator_usable_after_rejection(self, arrays):
+        """A rejected seed must not corrupt state: the next cold run is
+        bit-identical to a fresh estimator's."""
+        estimator = EMEstimator(arrays)
+        with pytest.raises(EMWarmStartError):
+            estimator.run(warm_start=np.zeros(estimator._size))
+        after = estimator.run(iterations=3)
+        fresh = EMEstimator(arrays).run(iterations=3)
+        assert np.array_equal(after.size_counts, fresh.size_counts)
+        assert not after.warm_started
+
+    def test_sparse_dict_and_result_rebin(self, arrays):
+        """Sizes beyond this epoch's maximum clip into the top bin —
+        mass is preserved, never dropped."""
+        estimator = EMEstimator(arrays)
+        size = estimator._size
+        coerced = estimator._coerce_warm_start({size + 50: 2.0, 3: 1.0})
+        assert coerced[size - 1] == pytest.approx(2.0, abs=1e-6)
+        assert coerced[3] == pytest.approx(1.0, abs=1e-6)
